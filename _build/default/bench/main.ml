@@ -1,0 +1,224 @@
+(* Benchmark harness.
+
+   Two layers, matching DESIGN.md section 4:
+
+   1. The reproduction tables: every table/figure-level claim of the paper
+      (E1..E8) is regenerated and printed with its verdicts. This is the
+      output recorded in EXPERIMENTS.md.
+
+   2. Bechamel micro/macro benchmarks: one [Test.make] per experiment
+      (regenerating that table end-to-end) plus microbenchmarks of the hot
+      building blocks (independent sets, line subgraphs, matrix merges,
+      adversary games, a full XPaxos commit).
+
+   Usage:
+     dune exec bench/main.exe                 # tables + benchmarks
+     dune exec bench/main.exe -- --tables     # tables only
+     dune exec bench/main.exe -- --micro      # benchmarks only
+     dune exec bench/main.exe -- --quick      # trimmed sweeps (CI) *)
+
+open Bechamel
+open Toolkit
+module Experiments = Qs_harness.Experiments
+module Graph = Qs_graph.Graph
+module Indep = Qs_graph.Indep
+module Line = Qs_graph.Line_subgraph
+module Theorem4 = Qs_adversary.Theorem4
+
+(* ------------------------------------------------------------------ *)
+(* Benchmark subjects *)
+
+(* An adversarially loaded suspect graph: the Theorem-4 end state for f=4 on
+   n=12 — the worst realistic input for the quorum search. *)
+let adversarial_graph () =
+  let setup = Theorem4.default_setup ~n:12 ~f:4 in
+  let game = Theorem4.greedy setup in
+  let g = Graph.create 12 in
+  List.iter (fun (a, b) -> Graph.add_edge g (min a b) (max a b)) game.Theorem4.injections;
+  g
+
+let bench_lex_first =
+  let g = adversarial_graph () in
+  Test.make ~name:"indep/lex-first-IS n=12 f=4"
+    (Staged.stage (fun () -> ignore (Indep.lex_first_independent_set g 8)))
+
+let bench_max_is =
+  let g = adversarial_graph () in
+  Test.make ~name:"indep/max-IS n=12 f=4"
+    (Staged.stage (fun () -> ignore (Indep.max_independent_set_size g)))
+
+let bench_line_subgraph =
+  let g = adversarial_graph () in
+  Test.make ~name:"line-subgraph/maximal n=12"
+    (Staged.stage (fun () -> ignore (Line.maximal g)))
+
+let bench_matrix_merge =
+  let a = Qs_core.Suspicion_matrix.create 16 in
+  let row = Array.init 16 (fun i -> i mod 3) in
+  Test.make ~name:"matrix/merge-row n=16"
+    (Staged.stage (fun () -> ignore (Qs_core.Suspicion_matrix.merge_row a ~owner:1 row)))
+
+let bench_sha256 =
+  let payload = String.make 1024 'x' in
+  Test.make ~name:"crypto/sha256 1KiB"
+    (Staged.stage (fun () -> ignore (Qs_crypto.Sha256.digest_string payload)))
+
+let bench_theorem4_greedy =
+  Test.make ~name:"adversary/theorem4-greedy f=4"
+    (Staged.stage (fun () ->
+         ignore (Theorem4.greedy (Theorem4.default_setup ~n:10 ~f:4))))
+
+let bench_quorum_round =
+  Test.make ~name:"cluster/suspicion-round n=7 f=2"
+    (Staged.stage (fun () ->
+         let c = Qs_core.Cluster.create { Qs_core.Quorum_select.n = 7; f = 2 } in
+         Qs_core.Cluster.fd_suspect c ~at:0 [ 5 ];
+         Qs_core.Cluster.run_until_quiet c))
+
+let bench_xpaxos_commit =
+  let config =
+    {
+      Qs_xpaxos.Replica.n = 5;
+      f = 2;
+      mode = Qs_xpaxos.Replica.Enumeration;
+      initial_timeout = Qs_sim.Stime.of_ms 50;
+      timeout_strategy = Qs_fd.Timeout.Fixed;
+    }
+  in
+  Test.make ~name:"xpaxos/request-commit n=5 f=2"
+    (Staged.stage (fun () ->
+         let c = Qs_xpaxos.Xcluster.create config in
+         ignore (Qs_xpaxos.Xcluster.submit c "op");
+         Qs_xpaxos.Xcluster.run c))
+
+let bench_pbft_commit participation name =
+  let config =
+    {
+      Qs_pbft.Preplica.n = 7;
+      f = 2;
+      participation;
+      initial_timeout = Qs_sim.Stime.of_ms 50;
+      timeout_strategy = Qs_fd.Timeout.Fixed;
+    }
+  in
+  Test.make ~name
+    (Staged.stage (fun () ->
+         let c = Qs_pbft.Pcluster.create config in
+         ignore (Qs_pbft.Pcluster.submit c "op");
+         Qs_pbft.Pcluster.run c))
+
+let micro_group =
+  Test.make_grouped ~name:"micro"
+    [
+      bench_lex_first;
+      bench_max_is;
+      bench_line_subgraph;
+      bench_matrix_merge;
+      bench_sha256;
+      bench_theorem4_greedy;
+      bench_quorum_round;
+      bench_xpaxos_commit;
+      bench_pbft_commit Qs_pbft.Preplica.Full "pbft/commit full n=7";
+      bench_pbft_commit Qs_pbft.Preplica.Selected "pbft/commit selected n=7";
+    ]
+
+(* Scaling of the NP-hard selection step (Section VI-C: "for small graphs,
+   e.g. including only tenth of nodes, it is easy to compute"): the
+   lexicographically-first independent set on the Theorem-4 adversary's end
+   state, the densest suspicion graph a model-respecting execution
+   produces. *)
+let scaling_group =
+  let subject n =
+    let f = (n - 2) / 3 in
+    let setup = Theorem4.default_setup ~n ~f in
+    let game = Theorem4.greedy setup in
+    let g = Graph.create n in
+    List.iter (fun (a, b) -> Graph.add_edge g (min a b) (max a b)) game.Theorem4.injections;
+    (g, n - f)
+  in
+  Test.make_grouped ~name:"scaling"
+    (List.map
+       (fun n ->
+         let g, q = subject n in
+         Test.make ~name:(Printf.sprintf "lex-first-IS n=%02d (adversarial)" n)
+           (Staged.stage (fun () -> ignore (Indep.lex_first_independent_set g q))))
+       [ 10; 20; 30; 40; 50 ])
+
+(* One Test.make per reproduced table/figure: regenerating it end-to-end. *)
+let experiment_group =
+  let quick_fs = [ 1; 2 ] in
+  Test.make_grouped ~name:"experiments"
+    [
+      Test.make ~name:"E1 fig4" (Staged.stage (fun () -> ignore (Experiments.e1 ())));
+      Test.make ~name:"E2 upper-bound"
+        (Staged.stage (fun () -> ignore (Experiments.e2 ~fs:quick_fs ())));
+      Test.make ~name:"E3 lower-bound"
+        (Staged.stage (fun () -> ignore (Experiments.e3 ~fs:quick_fs ())));
+      Test.make ~name:"E4 follower"
+        (Staged.stage (fun () -> ignore (Experiments.e4 ~fs:quick_fs ())));
+      Test.make ~name:"E5 view-changes"
+        (Staged.stage (fun () -> ignore (Experiments.e5 ~fs:quick_fs ())));
+      Test.make ~name:"E6 messages" (Staged.stage (fun () -> ignore (Experiments.e6 ())));
+      Test.make ~name:"E7 detector" (Staged.stage (fun () -> ignore (Experiments.e7 ())));
+      Test.make ~name:"E8 flows" (Staged.stage (fun () -> ignore (Experiments.e8 ())));
+      Test.make ~name:"E9 chain" (Staged.stage (fun () -> ignore (Experiments.e9 ())));
+      Test.make ~name:"E10 stack" (Staged.stage (fun () -> ignore (Experiments.e10 ())));
+      Test.make ~name:"E11 star"
+        (Staged.stage (fun () -> ignore (Experiments.e11 ())));
+      Test.make ~name:"E12 recovery"
+        (Staged.stage (fun () -> ignore (Experiments.e12 ())));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Runner *)
+
+let run_benchmarks () =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let instance = Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
+  let run_group group =
+    let raw = Benchmark.all cfg [ instance ] group in
+    let results = Analyze.all ols instance raw in
+    let rows =
+      Hashtbl.fold
+        (fun name ols_result acc ->
+          let ns =
+            match Analyze.OLS.estimates ols_result with
+            | Some (est :: _) -> est
+            | _ -> nan
+          in
+          (name, ns) :: acc)
+        results []
+    in
+    List.iter
+      (fun (name, ns) ->
+        let pretty =
+          if Float.is_nan ns then "n/a"
+          else if ns >= 1e9 then Printf.sprintf "%8.2f s " (ns /. 1e9)
+          else if ns >= 1e6 then Printf.sprintf "%8.2f ms" (ns /. 1e6)
+          else if ns >= 1e3 then Printf.sprintf "%8.2f us" (ns /. 1e3)
+          else Printf.sprintf "%8.0f ns" ns
+        in
+        Printf.printf "  %-42s %s/run\n" name pretty)
+      (List.sort compare rows)
+  in
+  print_endline "== Bechamel: building blocks ==";
+  run_group micro_group;
+  print_newline ();
+  print_endline "== Bechamel: quorum-search scaling (Section VI-C) ==";
+  run_group scaling_group;
+  print_newline ();
+  print_endline "== Bechamel: full experiment regeneration ==";
+  run_group experiment_group;
+  print_newline ()
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let flag f = List.mem f args in
+  let quick = flag "--quick" in
+  let tables_only = flag "--tables" in
+  let micro_only = flag "--micro" in
+  let ok = ref true in
+  if not micro_only then ok := Experiments.run_and_print_all ~quick ();
+  if not tables_only then run_benchmarks ();
+  if not !ok then exit 1

@@ -1,0 +1,240 @@
+(* Command-line front end: run the paper's experiments, or poke at the
+   building blocks (Theorem-4 games, follower-selection attacks). *)
+
+open Cmdliner
+
+let experiment_of_id id =
+  match String.lowercase_ascii id with
+  | "e1" -> Some (fun () -> Qs_harness.Experiments.e1 ())
+  | "e2" -> Some (fun () -> Qs_harness.Experiments.e2 ())
+  | "e3" -> Some (fun () -> Qs_harness.Experiments.e3 ())
+  | "e4" -> Some (fun () -> Qs_harness.Experiments.e4 ())
+  | "e5" -> Some (fun () -> Qs_harness.Experiments.e5 ())
+  | "e6" -> Some (fun () -> Qs_harness.Experiments.e6 ())
+  | "e7" -> Some (fun () -> Qs_harness.Experiments.e7 ())
+  | "e8" -> Some (fun () -> Qs_harness.Experiments.e8 ())
+  | "e9" -> Some (fun () -> Qs_harness.Experiments.e9 ())
+  | "e10" -> Some (fun () -> Qs_harness.Experiments.e10 ())
+  | "e11" -> Some (fun () -> Qs_harness.Experiments.e11 ())
+  | "e12" -> Some (fun () -> Qs_harness.Experiments.e12 ())
+  | _ -> None
+
+let experiment_cmd =
+  let id =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ID" ~doc:"Experiment id: e1-e9, or 'all'.")
+  in
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Trim parameter sweeps (used by CI).")
+  in
+  let run id quick =
+    if String.lowercase_ascii id = "all" then
+      if Qs_harness.Experiments.run_and_print_all ~quick () then `Ok ()
+      else `Error (false, "some experiment verdicts failed")
+    else
+      match experiment_of_id id with
+      | Some f ->
+        Qs_harness.Experiments.print (f ());
+        `Ok ()
+      | None -> `Error (true, Printf.sprintf "unknown experiment %S" id)
+  in
+  let doc = "Regenerate a paper table/figure (see DESIGN.md section 4)." in
+  Cmd.v (Cmd.info "experiment" ~doc) Term.(ret (const run $ id $ quick))
+
+let attack_cmd =
+  let f = Arg.(value & opt int 2 & info [ "f" ] ~doc:"Number of faulty processes.") in
+  let n = Arg.(value & opt (some int) None & info [ "n" ] ~doc:"Processes (default 2f+2).") in
+  let run f n =
+    let n = Option.value n ~default:((2 * f) + 2) in
+    let setup = Qs_adversary.Theorem4.default_setup ~n ~f in
+    let game = Qs_adversary.Theorem4.exhaustive setup in
+    Printf.printf "Theorem-4 adversary, n=%d f=%d, target C(f+2,2)=%d quorums\n\n" n f
+      (Qs_adversary.Theorem4.target ~f);
+    List.iteri
+      (fun i ((suspector, suspect), quorum) ->
+        Printf.printf "%2d. %s suspects %s -> quorum %s\n" (i + 1)
+          (Qs_core.Pid.to_string suspector)
+          (Qs_core.Pid.to_string suspect)
+          (Qs_core.Pid.set_to_string quorum))
+      (List.combine game.Qs_adversary.Theorem4.injections game.Qs_adversary.Theorem4.quorums);
+    let live = Qs_adversary.Theorem4.replay setup game in
+    Printf.printf "\nLive cluster issued %d quorums (+1 initial default = %d).\n" live (live + 1)
+  in
+  let doc = "Play the Theorem-4 lower-bound adversary against Algorithm 1." in
+  Cmd.v (Cmd.info "attack" ~doc) Term.(const run $ f $ n)
+
+let follower_cmd =
+  let f = Arg.(value & opt int 2 & info [ "f" ] ~doc:"Number of faulty processes.") in
+  let run f =
+    let n = (3 * f) + 1 in
+    let r = Qs_harness.Leader_attack.run ~n ~f in
+    Printf.printf
+      "Follower Selection under leader attack: n=%d f=%d\n\
+      \  suspicions injected : %d\n\
+      \  quorums issued      : %d (bound 6f+2 = %d)\n\
+      \  max per epoch       : %d (bound 3f+1 = %d)\n\
+      \  epochs entered      : %d\n"
+      n f r.Qs_harness.Leader_attack.injections r.Qs_harness.Leader_attack.total_issued
+      ((6 * f) + 2)
+      r.Qs_harness.Leader_attack.max_per_epoch
+      ((3 * f) + 1)
+      r.Qs_harness.Leader_attack.epochs
+  in
+  let doc = "Attack Follower Selection (Algorithm 2) and report the bounds." in
+  Cmd.v (Cmd.info "follower-attack" ~doc) Term.(const run $ f)
+
+(* ------------------------------------------------------------------ *)
+(* simulate: run one protocol integration under a fault scenario *)
+
+let simulate_cmd =
+  let protocol =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("xpaxos-enum", `Xpaxos_enum);
+               ("xpaxos-qs", `Xpaxos_qs);
+               ("pbft-full", `Pbft_full);
+               ("pbft-selected", `Pbft_selected);
+               ("minbft-full", `Minbft_full);
+               ("minbft-selected", `Minbft_selected);
+               ("chain", `Chain);
+               ("star", `Star);
+             ])
+          `Xpaxos_qs
+      & info [ "protocol" ] ~doc:"Which integration to run.")
+  in
+  let f = Arg.(value & opt int 2 & info [ "f" ] ~doc:"Failure budget.") in
+  let mute =
+    Arg.(value & opt_all int [] & info [ "mute" ] ~doc:"Mute this replica (repeatable, 0-based).")
+  in
+  let requests = Arg.(value & opt int 5 & info [ "requests" ] ~doc:"Client requests to submit.") in
+  let until = Arg.(value & opt int 10_000 & info [ "until" ] ~doc:"Simulated milliseconds to run.") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Simulation seed.") in
+  let verbose =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Log protocol events to stderr.")
+  in
+  let run protocol f mute requests until seed verbose =
+    if verbose then Qs_stdx.Debug.enable ();
+    let ms = Qs_sim.Stime.of_ms in
+    let seed64 = Int64.of_int seed in
+    let strategy = Qs_fd.Timeout.Exponential { factor = 2.0; max = ms 2000 } in
+    let report name committed total messages extra =
+      Printf.printf "%s: committed %d/%d requests, %d messages%s\n" name committed total
+        messages extra
+    in
+    let ops = List.init requests (fun i -> Printf.sprintf "op%d" i) in
+    match protocol with
+    | `Xpaxos_enum | `Xpaxos_qs ->
+      let mode =
+        if protocol = `Xpaxos_enum then Qs_xpaxos.Replica.Enumeration
+        else Qs_xpaxos.Replica.Quorum_selection
+      in
+      let n = (2 * f) + 1 in
+      let c =
+        Qs_xpaxos.Xcluster.create ~seed:seed64
+          { Qs_xpaxos.Replica.n; f; mode; initial_timeout = ms 25; timeout_strategy = strategy }
+      in
+      List.iter (fun p -> Qs_xpaxos.Xcluster.set_fault c p Qs_xpaxos.Replica.Mute) mute;
+      let rs = List.map (Qs_xpaxos.Xcluster.submit c ~resubmit_every:(ms 100)) ops in
+      Qs_xpaxos.Xcluster.run ~until:(ms until) c;
+      report "xpaxos"
+        (List.length (List.filter (Qs_xpaxos.Xcluster.is_globally_committed c) rs))
+        requests
+        (Qs_xpaxos.Xcluster.message_count c)
+        (Printf.sprintf ", max view %d, final group %s" (Qs_xpaxos.Xcluster.max_view c)
+           (Qs_core.Pid.set_to_string (Qs_xpaxos.Replica.group (Qs_xpaxos.Xcluster.replica c (n - 1)))))
+    | `Pbft_full | `Pbft_selected ->
+      let participation =
+        if protocol = `Pbft_full then Qs_pbft.Preplica.Full else Qs_pbft.Preplica.Selected
+      in
+      let n = (3 * f) + 1 in
+      let c =
+        Qs_pbft.Pcluster.create ~seed:seed64
+          {
+            Qs_pbft.Preplica.n;
+            f;
+            participation;
+            initial_timeout = ms 25;
+            timeout_strategy = strategy;
+          }
+      in
+      List.iter (fun p -> Qs_pbft.Pcluster.set_fault c p Qs_pbft.Preplica.Mute) mute;
+      let rs = List.map (Qs_pbft.Pcluster.submit c ~resubmit_every:(ms 100)) ops in
+      Qs_pbft.Pcluster.run ~until:(ms until) c;
+      report "pbft"
+        (List.length (List.filter (Qs_pbft.Pcluster.is_globally_committed c) rs))
+        requests
+        (Qs_pbft.Pcluster.message_count c)
+        (Printf.sprintf ", active %s"
+           (Qs_core.Pid.set_to_string
+              (Qs_pbft.Preplica.participants (Qs_pbft.Pcluster.replica c (n - 1)))))
+    | `Minbft_full | `Minbft_selected ->
+      let participation =
+        if protocol = `Minbft_full then Qs_minbft.Mreplica.Full else Qs_minbft.Mreplica.Selected
+      in
+      let n = (2 * f) + 1 in
+      let c =
+        Qs_minbft.Mcluster.create ~seed:seed64
+          {
+            Qs_minbft.Mreplica.n;
+            f;
+            participation;
+            initial_timeout = ms 25;
+            timeout_strategy = strategy;
+          }
+      in
+      List.iter (fun p -> Qs_minbft.Mcluster.set_fault c p Qs_minbft.Mreplica.Mute) mute;
+      let rs = List.map (Qs_minbft.Mcluster.submit c ~resubmit_every:(ms 100)) ops in
+      Qs_minbft.Mcluster.run ~until:(ms until) c;
+      report "minbft"
+        (List.length (List.filter (Qs_minbft.Mcluster.is_committed c) rs))
+        requests
+        (Qs_minbft.Mcluster.message_count c)
+        (Printf.sprintf ", active %s"
+           (Qs_core.Pid.set_to_string
+              (Qs_minbft.Mreplica.active (Qs_minbft.Mcluster.replica c (n - 1)))))
+    | `Chain ->
+      let n = (3 * f) + 1 in
+      let c =
+        Qs_bchain.Chain_cluster.create ~seed:seed64
+          { Qs_bchain.Chain_node.n; f; initial_timeout = ms 25; timeout_strategy = strategy }
+      in
+      List.iter (fun p -> Qs_bchain.Chain_cluster.set_fault c p Qs_bchain.Chain_node.Mute) mute;
+      let rs = List.map (Qs_bchain.Chain_cluster.submit c ~resubmit_every:(ms 100)) ops in
+      Qs_bchain.Chain_cluster.run ~until:(ms until) c;
+      report "chain"
+        (List.length (List.filter (Qs_bchain.Chain_cluster.is_committed c) rs))
+        requests
+        (Qs_bchain.Chain_cluster.message_count c)
+        (Printf.sprintf ", chain %s"
+           (Qs_core.Pid.set_to_string (Qs_bchain.Chain_cluster.current_chain c)))
+    | `Star ->
+      let n = (3 * f) + 1 in
+      let c =
+        Qs_star.Star_cluster.create ~seed:seed64
+          { Qs_star.Star_node.n; f; initial_timeout = ms 25; timeout_strategy = strategy }
+      in
+      List.iter (fun p -> Qs_star.Star_cluster.set_fault c p Qs_star.Star_node.Mute) mute;
+      let rs = List.map (Qs_star.Star_cluster.submit c ~resubmit_every:(ms 100)) ops in
+      Qs_star.Star_cluster.run ~until:(ms until) c;
+      report "star"
+        (List.length (List.filter (Qs_star.Star_cluster.is_committed c) rs))
+        requests
+        (Qs_star.Star_cluster.message_count c)
+        (Printf.sprintf ", leader %s quorum %s"
+           (Qs_core.Pid.to_string (Qs_star.Star_node.leader (Qs_star.Star_cluster.node c (n - 1))))
+           (Qs_core.Pid.set_to_string
+              (Qs_star.Star_node.quorum (Qs_star.Star_cluster.node c (n - 1)))))
+  in
+  let doc = "Run one protocol integration under a fault scenario in the simulator." in
+  Cmd.v (Cmd.info "simulate" ~doc)
+    Term.(const run $ protocol $ f $ mute $ requests $ until $ seed $ verbose)
+
+let () =
+  let doc = "Quorum Selection for Byzantine Fault Tolerance - reproduction toolkit" in
+  let info = Cmd.info "qsel" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ experiment_cmd; attack_cmd; follower_cmd; simulate_cmd ]))

@@ -1,0 +1,1 @@
+examples/attack_demo.ml: List Printf Qs_adversary Qs_core Qs_stdx Theorem4

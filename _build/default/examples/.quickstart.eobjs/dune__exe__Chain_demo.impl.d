@@ -1,0 +1,1 @@
+examples/chain_demo.ml: Chain_cluster Chain_node List Printf Qs_bchain Qs_core Qs_fd Qs_sim String

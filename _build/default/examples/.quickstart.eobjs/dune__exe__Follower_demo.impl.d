@@ -1,0 +1,1 @@
+examples/follower_demo.ml: Fcluster Fmsg Follower_select Printf Qs_core Qs_follower

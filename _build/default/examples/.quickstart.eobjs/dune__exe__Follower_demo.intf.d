@@ -1,0 +1,1 @@
+examples/follower_demo.mli:

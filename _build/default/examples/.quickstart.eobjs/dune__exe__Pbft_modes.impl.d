@@ -1,0 +1,1 @@
+examples/pbft_modes.ml: List Pcluster Preplica Printf Qs_fd Qs_pbft Qs_sim String

@@ -1,0 +1,1 @@
+examples/pbft_modes.mli:

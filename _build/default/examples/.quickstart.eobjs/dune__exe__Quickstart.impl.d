@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cluster List Pid Printf Qs_core Quorum_select

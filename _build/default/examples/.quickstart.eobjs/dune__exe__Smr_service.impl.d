@@ -1,0 +1,1 @@
+examples/smr_service.ml: Array Hashtbl List Printf Qs_core Qs_fd Qs_sim Qs_xpaxos Replica String Xcluster Xmsg

@@ -1,0 +1,1 @@
+lib/adversary/attack.ml: List Printf Qs_sim Qs_xpaxos String

@@ -1,0 +1,1 @@
+lib/adversary/attack.mli: Qs_sim Qs_xpaxos

@@ -1,0 +1,1 @@
+lib/adversary/theorem4.ml: Array Fun Hashtbl List Printf Qs_core Qs_graph Qs_stdx

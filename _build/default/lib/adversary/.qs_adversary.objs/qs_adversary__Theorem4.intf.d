@@ -1,0 +1,1 @@
+lib/adversary/theorem4.mli: Qs_stdx

@@ -1,0 +1,41 @@
+module Xcluster = Qs_xpaxos.Xcluster
+module Replica = Qs_xpaxos.Replica
+module Sim = Qs_sim.Sim
+
+type t =
+  | Mute_replicas of int list
+  | Omit_links of (int * int) list
+  | Delay_links of ((int * int) * Qs_sim.Stime.t) list
+  | Equivocate of { leader : int; victim : int }
+  | Ramp_delay of {
+      src : int;
+      dst : int;
+      step : Qs_sim.Stime.t;
+      every : Qs_sim.Stime.t;
+    }
+
+let apply cluster = function
+  | Mute_replicas rs -> List.iter (fun r -> Xcluster.set_fault cluster r Replica.Mute) rs
+  | Omit_links links ->
+    List.iter (fun (src, dst) -> Xcluster.omit_link cluster ~src ~dst) links
+  | Delay_links links ->
+    List.iter (fun ((src, dst), by) -> Xcluster.delay_link cluster ~src ~dst ~by) links
+  | Equivocate { leader; victim } ->
+    Xcluster.set_fault cluster leader (Replica.Equivocate victim)
+  | Ramp_delay { src; dst; step; every } ->
+    let sim = Xcluster.sim cluster in
+    let current = ref 0 in
+    let rec ramp () =
+      current := !current + step;
+      Xcluster.delay_link cluster ~src ~dst ~by:!current;
+      Sim.schedule sim ~delay:every ramp
+    in
+    Sim.schedule sim ~delay:every ramp
+
+let describe = function
+  | Mute_replicas rs ->
+    Printf.sprintf "mute replicas %s" (String.concat "," (List.map string_of_int rs))
+  | Omit_links links -> Printf.sprintf "omit %d links" (List.length links)
+  | Delay_links links -> Printf.sprintf "delay %d links" (List.length links)
+  | Equivocate { leader; victim } -> Printf.sprintf "leader %d equivocates to %d" leader victim
+  | Ramp_delay { src; dst; _ } -> Printf.sprintf "increasing delay on %d->%d" src dst

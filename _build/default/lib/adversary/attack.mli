@@ -1,0 +1,27 @@
+(** Named fault scenarios for XPaxos experiments.
+
+    These map the paper's failure classification (Section II) onto concrete
+    cluster manipulations:
+    - commission: [Equivocate];
+    - omission on individual links: [Omit_links];
+    - repeated omission / mute processes: [Mute_replicas];
+    - timing failures: [Delay_links];
+    - increasing timing failures: [Ramp_delay] (the delay grows without
+      bound, so no fixed timeout ever suffices — only adaptive ones keep
+      accuracy). *)
+
+type t =
+  | Mute_replicas of int list
+  | Omit_links of (int * int) list  (** (src, dst) pairs *)
+  | Delay_links of ((int * int) * Qs_sim.Stime.t) list
+  | Equivocate of { leader : int; victim : int }
+  | Ramp_delay of {
+      src : int;
+      dst : int;
+      step : Qs_sim.Stime.t;
+      every : Qs_sim.Stime.t;
+    }  (** delay grows by [step] every [every] ticks *)
+
+val apply : Qs_xpaxos.Xcluster.t -> t -> unit
+
+val describe : t -> string

@@ -1,0 +1,157 @@
+module Graph = Qs_graph.Graph
+module Indep = Qs_graph.Indep
+module Cluster = Qs_core.Cluster
+module QS = Qs_core.Quorum_select
+
+type setup = { n : int; f : int; faulty : int list; victims : int * int }
+
+let default_setup ~n ~f =
+  if n < f + 2 then invalid_arg "Theorem4.default_setup: need n >= f + 2";
+  if n - f <= f then invalid_arg "Theorem4.default_setup: need n - f > f";
+  { n; f; faulty = List.init f (fun i -> i); victims = (f, f + 1) }
+
+let target ~f = (f + 2) * (f + 1) / 2
+
+type game = { injections : (int * int) list; quorums : int list list }
+
+let norm (a, b) = if a < b then (a, b) else (b, a)
+
+let quorum_after setup used =
+  let g = Graph.create setup.n in
+  List.iter (fun (a, b) -> Graph.add_edge g a b) used;
+  Indep.lex_first_independent_set g (setup.n - setup.f)
+
+let fplus2 setup =
+  let v1, v2 = setup.victims in
+  List.sort_uniq compare (v1 :: v2 :: setup.faulty)
+
+let eligible setup ~used ~quorum =
+  let members = List.filter (fun p -> List.mem p quorum) (fplus2 setup) in
+  let is_faulty p = List.mem p setup.faulty in
+  let pairs = ref [] in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          if a < b && (is_faulty a || is_faulty b) && not (List.mem (a, b) used) then begin
+            (* Prefer a correct suspector (earned suspicion); otherwise the
+               faulty process issues a false one. *)
+            let suspector, suspect = if is_faulty b && not (is_faulty a) then (a, b) else (b, a) in
+            pairs := (suspector, suspect) :: !pairs
+          end)
+        members)
+    members;
+  List.sort compare !pairs
+
+let greedy setup =
+  let rec loop used acc_inj acc_quorums =
+    match quorum_after setup (List.map norm used) with
+    | None -> { injections = List.rev acc_inj; quorums = List.rev acc_quorums }
+    | Some quorum -> (
+      match eligible setup ~used:(List.map norm used) ~quorum with
+      | [] -> { injections = List.rev acc_inj; quorums = List.rev acc_quorums }
+      | (x, y) :: _ -> (
+        let used' = (x, y) :: used in
+        match quorum_after setup (List.map norm used') with
+        | None -> { injections = List.rev acc_inj; quorums = List.rev acc_quorums }
+        | Some q' -> loop used' ((x, y) :: acc_inj) (q' :: acc_quorums)))
+  in
+  loop [] [] []
+
+let random rng setup =
+  let rec loop used acc_inj acc_quorums =
+    match quorum_after setup (List.map norm used) with
+    | None -> { injections = List.rev acc_inj; quorums = List.rev acc_quorums }
+    | Some quorum -> (
+      match eligible setup ~used:(List.map norm used) ~quorum with
+      | [] -> { injections = List.rev acc_inj; quorums = List.rev acc_quorums }
+      | moves -> (
+        let x, y = Qs_stdx.Prng.pick_list rng moves in
+        let used' = (x, y) :: used in
+        match quorum_after setup (List.map norm used') with
+        | None -> { injections = List.rev acc_inj; quorums = List.rev acc_quorums }
+        | Some q' -> loop used' ((x, y) :: acc_inj) (q' :: acc_quorums)))
+  in
+  loop [] [] []
+
+let exhaustive ?(limit_pairs = 16) setup =
+  let candidates = fplus2 setup in
+  let is_faulty p = List.mem p setup.faulty in
+  (* All pairs within F+2 with a faulty endpoint, in a fixed order. *)
+  let all_pairs =
+    List.concat_map
+      (fun a ->
+        List.filter_map
+          (fun b -> if a < b && (is_faulty a || is_faulty b) then Some (a, b) else None)
+          candidates)
+      candidates
+  in
+  let m = List.length all_pairs in
+  if m > limit_pairs then
+    invalid_arg "Theorem4.exhaustive: too many pairs; use greedy for large f";
+  let pair_index = Hashtbl.create 16 in
+  List.iteri (fun i p -> Hashtbl.replace pair_index p i) all_pairs;
+  let pair_arr = Array.of_list all_pairs in
+  (* best.(mask) = Some (length, first-move) of a longest continuation given
+     the used-pair set [mask]. *)
+  let memo : (int, int * int option) Hashtbl.t = Hashtbl.create 1024 in
+  let rec best mask =
+    match Hashtbl.find_opt memo mask with
+    | Some r -> r
+    | None ->
+      let used =
+        List.filteri (fun i _ -> mask land (1 lsl i) <> 0) (Array.to_list pair_arr)
+      in
+      let result =
+        match quorum_after setup used with
+        | None -> (0, None)
+        | Some quorum ->
+          let moves = eligible setup ~used ~quorum in
+          List.fold_left
+            (fun (best_len, best_move) (x, y) ->
+              let idx = Hashtbl.find pair_index (norm (x, y)) in
+              let len, _ = best (mask lor (1 lsl idx)) in
+              if 1 + len > best_len then (1 + len, Some idx) else (best_len, best_move))
+            (0, None) moves
+      in
+      Hashtbl.replace memo mask result;
+      result
+  in
+  (* Reconstruct the longest sequence. *)
+  let rec build mask acc_inj acc_quorums =
+    match best mask with
+    | _, None -> { injections = List.rev acc_inj; quorums = List.rev acc_quorums }
+    | _, Some idx -> (
+      let a, b = pair_arr.(idx) in
+      let used = List.filteri (fun i _ -> (mask lor (1 lsl idx)) land (1 lsl i) <> 0)
+          (Array.to_list pair_arr)
+      in
+      (* orient like [eligible] does *)
+      let suspector, suspect = if is_faulty b && not (is_faulty a) then (a, b) else (b, a) in
+      match quorum_after setup used with
+      | None -> { injections = List.rev acc_inj; quorums = List.rev acc_quorums }
+      | Some q' ->
+        build (mask lor (1 lsl idx)) ((suspector, suspect) :: acc_inj) (q' :: acc_quorums))
+  in
+  build 0 [] []
+
+let replay setup game =
+  let config = { QS.n = setup.n; f = setup.f } in
+  let cluster = Cluster.create config in
+  let correct = List.filter (fun p -> not (List.mem p setup.faulty)) (List.init setup.n Fun.id) in
+  List.iter2
+    (fun (suspector, suspect) expected ->
+      Cluster.fd_suspect cluster ~at:suspector [ suspect ];
+      (* Transient: the next injection may come from the same suspector. *)
+      Cluster.fd_suspect cluster ~at:suspector [];
+      Cluster.run_until_quiet cluster;
+      match Cluster.agreed_quorum cluster ~correct with
+      | Some quorum when quorum = expected -> ()
+      | Some quorum ->
+        failwith
+          (Printf.sprintf "replay diverged: live %s vs predicted %s"
+             (Qs_core.Pid.set_to_string quorum)
+             (Qs_core.Pid.set_to_string expected))
+      | None -> failwith "replay: correct processes disagree")
+    game.injections game.quorums;
+  Cluster.max_issued cluster ~correct

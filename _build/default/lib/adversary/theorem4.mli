@@ -1,0 +1,73 @@
+(** The lower-bound adversary of Theorem 4.
+
+    The adversary fixes [f] faulty processes [F] and two correct victims; it
+    then repeatedly waits until the correct processes agree on a quorum and
+    causes one suspicion [(x, y)] with both endpoints inside the current
+    quorum, both inside [F⁺² = F ∪ victims], and at least one endpoint
+    faulty (a faulty process can always either issue a false suspicion or
+    {e earn} one by omitting a message). Every such suspicion forces a new
+    quorum (no-suspicion property), and the proof shows a sequence of
+    [C(f+2,2) − 1] suspicions — hence [C(f+2,2)] quorums counting the
+    initial one — is always attainable.
+
+    Two engines are provided:
+    - a {e pure game} against Algorithm 1's deterministic quorum function
+      (lexicographically-first independent set), searched exhaustively for
+      small [f] or greedily for larger [f];
+    - a {e replay} of a suspicion sequence against the real gossip cluster,
+      verifying that the live protocol issues exactly the predicted number
+      of quorums. *)
+
+type setup = {
+  n : int;
+  f : int;
+  faulty : int list;  (** |faulty| = f *)
+  victims : int * int;  (** two correct processes *)
+}
+
+val default_setup : n:int -> f:int -> setup
+(** Faulty = [{0..f-1}], victims = [(f, f+1)] — low ids, which is what hurts
+    a lexicographic quorum rule. Requires [n ≥ f + 2]. *)
+
+val target : f:int -> int
+(** [C(f+2,2)]: the number of quorums (including the initial default) the
+    adversary aims to force. *)
+
+type game = {
+  injections : (int * int) list;
+      (** suspicions in order: [(suspector, suspect)] *)
+  quorums : int list list;
+      (** the quorum after each injection (the initial default is not
+          listed) *)
+}
+
+val quorum_after : setup -> (int * int) list -> int list option
+(** The pure model: Algorithm 1's quorum for a given set of recorded
+    suspicion pairs (all in the same epoch). [None] if no independent set of
+    size q exists (cannot happen for sequences this adversary plays). *)
+
+val eligible : setup -> used:(int * int) list -> quorum:int list -> (int * int) list
+(** Pairs the adversary may inject next: unordered pairs inside
+    [F⁺² ∩ quorum] with a faulty endpoint, not used before, returned as
+    (suspector, suspect) with the suspector chosen correct when possible
+    (making the suspicion an {e earned} omission rather than a false one —
+    both are allowed; the choice is cosmetic). *)
+
+val greedy : setup -> game
+(** Play first-eligible-in-lexicographic-order until stuck. *)
+
+val random : Qs_stdx.Prng.t -> setup -> game
+(** Pick a uniformly random eligible pair each step until stuck — the
+    randomized strategy behind the paper's "our simulations suggest"
+    per-epoch maximum. *)
+
+val exhaustive : ?limit_pairs:int -> setup -> game
+(** Depth-first search over injection orders, memoized on the used-pair set,
+    returning a longest game. Feasible for [f ≤ 4] ([2^15] states);
+    [limit_pairs] guards against misuse (default 16 pairs). *)
+
+val replay : setup -> game -> int
+(** Run the injection sequence against a live {!Qs_core.Cluster} (gossip
+    bus) and return the maximum number of quorums issued by any correct
+    process. Raises [Failure] if the live cluster ever disagrees with the
+    pure game's predicted quorum. *)

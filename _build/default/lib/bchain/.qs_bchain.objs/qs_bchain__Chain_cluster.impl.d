@@ -1,0 +1,1 @@
+lib/bchain/chain_cluster.ml: Array Chain_msg Chain_node Hashtbl List Qs_core Qs_crypto Qs_sim

@@ -1,0 +1,1 @@
+lib/bchain/chain_cluster.mli: Chain_msg Chain_node Qs_core Qs_sim

@@ -1,0 +1,1 @@
+lib/bchain/chain_msg.ml: Printf Qs_core Qs_crypto

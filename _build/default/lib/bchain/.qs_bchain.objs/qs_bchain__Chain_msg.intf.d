@@ -1,0 +1,1 @@
+lib/bchain/chain_msg.mli: Qs_core Qs_crypto

@@ -1,0 +1,1 @@
+lib/bchain/chain_node.ml: Chain_msg Hashtbl List Option Qs_core Qs_crypto Qs_fd Qs_sim

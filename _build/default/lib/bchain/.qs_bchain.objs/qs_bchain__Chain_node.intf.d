@@ -1,0 +1,1 @@
+lib/bchain/chain_node.mli: Chain_msg Qs_core Qs_crypto Qs_fd Qs_sim

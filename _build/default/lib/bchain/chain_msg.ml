@@ -1,0 +1,53 @@
+module Auth = Qs_crypto.Auth
+
+type request = { client : int; rid : int; op : string }
+
+type forward = {
+  slot : int;
+  cepoch : int;
+  request : request;
+  hsig : Auth.signature;
+}
+
+type body =
+  | Forward of forward
+  | Ack of { aslot : int; aepoch : int }
+  | Qsel of Qs_core.Msg.t
+
+type t = { sender : Qs_core.Pid.t; body : body; signature : Auth.signature }
+
+let encode_request r = Printf.sprintf "REQ|%d|%d|%s" r.client r.rid r.op
+
+let head_binding ~slot ~cepoch request =
+  Printf.sprintf "CHAIN|%d|%d|%s" slot cepoch (encode_request request)
+
+let sign_head auth ~head ~slot ~cepoch request =
+  Auth.sign auth ~signer:head (head_binding ~slot ~cepoch request)
+
+let verify_head auth ~head fwd =
+  head >= 0
+  && head < Auth.universe auth
+  && Auth.verify auth ~signer:head
+       (head_binding ~slot:fwd.slot ~cepoch:fwd.cepoch fwd.request)
+       fwd.hsig
+
+let hex = Qs_crypto.Sha256.hex
+
+let encode_body = function
+  | Forward f ->
+    Printf.sprintf "F:%d|%d|%s|%s" f.slot f.cepoch (encode_request f.request) (hex f.hsig)
+  | Ack { aslot; aepoch } -> Printf.sprintf "A:%d|%d" aslot aepoch
+  | Qsel m -> "Q:" ^ Qs_core.Msg.encode m.Qs_core.Msg.update ^ "#" ^ hex m.Qs_core.Msg.signature
+
+let seal auth ~sender body =
+  { sender; body; signature = Auth.sign auth ~signer:sender (encode_body body) }
+
+let verify auth t =
+  t.sender >= 0
+  && t.sender < Auth.universe auth
+  && Auth.verify auth ~signer:t.sender (encode_body t.body) t.signature
+
+let tag = function
+  | Forward _ -> "CHAIN"
+  | Ack _ -> "ACK"
+  | Qsel _ -> "QSEL-UPDATE"

@@ -1,0 +1,297 @@
+module Sim = Qs_sim.Sim
+module Detector = Qs_fd.Detector
+module Timeout = Qs_fd.Timeout
+module QS = Qs_core.Quorum_select
+module Pid = Qs_core.Pid
+module Auth = Qs_crypto.Auth
+
+type config = {
+  n : int;
+  f : int;
+  initial_timeout : Qs_sim.Stime.t;
+  timeout_strategy : Timeout.strategy;
+}
+
+type fault = Honest | Mute | Omit_to of Pid.t list
+
+type slot_state = {
+  mutable forward : Chain_msg.forward option;
+  mutable committed : bool;
+}
+
+type t = {
+  config : config;
+  me : Pid.t;
+  auth : Auth.t;
+  sim : Sim.t;
+  net_send : dst:Pid.t -> Chain_msg.t -> unit;
+  on_execute : Chain_msg.request -> unit;
+  mutable fd : Chain_msg.t Detector.t option;
+  mutable qsel : QS.t option;
+  mutable chain : Pid.t list;
+  mutable cepoch : int;
+  slots : (int * int, slot_state) Hashtbl.t; (* (cepoch, slot) *)
+  mutable next_slot : int;
+  proposed : (int * int, unit) Hashtbl.t; (* request ids the head proposed *)
+  executed_ids : (int * int, unit) Hashtbl.t;
+  mutable executed : Chain_msg.request list; (* reversed *)
+  awaiting_forward : (int * int, unit) Hashtbl.t;
+  mutable fault : fault;
+}
+
+let me t = t.me
+
+let fd t = Option.get t.fd
+
+let qsel t = Option.get t.qsel
+
+let set_fault t fault = t.fault <- fault
+
+let chain t = t.chain
+
+let head t = match t.chain with h :: _ -> h | [] -> assert false
+
+let is_head t = head t = t.me
+
+let chain_epoch t = t.cepoch
+
+let executed t = List.rev t.executed
+
+let detector = fd
+
+let quorum_selector = qsel
+
+let fault_allows t dst =
+  match t.fault with
+  | Honest -> true
+  | Mute -> false
+  | Omit_to victims -> not (List.mem dst victims)
+
+let send t ~dst body =
+  if dst = t.me || fault_allows t dst then
+    t.net_send ~dst (Chain_msg.seal t.auth ~sender:t.me body)
+
+let send_all_including_self t body =
+  for dst = 0 to t.config.n - 1 do
+    send t ~dst body
+  done
+
+(* Chain neighbors. *)
+let successor t =
+  let rec loop = function
+    | a :: b :: _ when a = t.me -> Some b
+    | _ :: rest -> loop rest
+    | [] -> None
+  in
+  loop t.chain
+
+let predecessor t =
+  let rec loop prev = function
+    | a :: _ when a = t.me -> prev
+    | a :: rest -> loop (Some a) rest
+    | [] -> None
+  in
+  loop None t.chain
+
+let in_chain t = List.mem t.me t.chain
+
+let slot_state t key =
+  match Hashtbl.find_opt t.slots key with
+  | Some s -> s
+  | None ->
+    let s = { forward = None; committed = false } in
+    Hashtbl.replace t.slots key s;
+    s
+
+let execute t (request : Chain_msg.request) =
+  let key = (request.Chain_msg.client, request.Chain_msg.rid) in
+  if not (Hashtbl.mem t.executed_ids key) then begin
+    Hashtbl.replace t.executed_ids key ();
+    t.executed <- request :: t.executed;
+    t.on_execute request
+  end
+
+(* Position in the current chain, 0 = head. *)
+let position t =
+  let rec loop i = function
+    | p :: _ when p = t.me -> Some i
+    | _ :: rest -> loop (i + 1) rest
+    | [] -> None
+  in
+  loop 0 t.chain
+
+(* Ack deadlines scale with the distance to the tail: the predecessor of a
+   failed link is the first to time out, so blame lands on the actual
+   culprit and the re-chaining cancels the (longer) upstream expectations
+   before they would falsely fire — BChain's position-scaled timeouts. *)
+let expect_ack t ~from ~slot =
+  let epoch = t.cepoch in
+  let len = List.length t.chain in
+  let pos = match position t with Some i -> i | None -> 0 in
+  let timeout = t.config.initial_timeout * (len - pos) in
+  Detector.expect (fd t) ~from ~tag:"ack" ~timeout (fun m ->
+      match m.Chain_msg.body with
+      | Chain_msg.Ack { aslot; aepoch } -> aslot = slot && aepoch = epoch
+      | _ -> false)
+
+(* Forward deadlines grow with chain position: a request reaches position i
+   after i hops, and on a break the node just past it times out first —
+   blame lands on the break, and the re-chaining cancels the (longer)
+   downstream expectations. *)
+let expect_forward_request t ~from ~position (request : Chain_msg.request) =
+  let timeout = t.config.initial_timeout * max 1 position in
+  Detector.expect (fd t) ~from ~tag:"forward" ~timeout (fun m ->
+      match m.Chain_msg.body with
+      | Chain_msg.Forward f -> f.Chain_msg.request = request
+      | _ -> false)
+
+let commit t key =
+  let s = slot_state t key in
+  if not s.committed then begin
+    s.committed <- true;
+    match s.forward with
+    | Some f -> execute t f.Chain_msg.request
+    | None -> ()
+  end
+
+(* Pass a forward along the chain (or start the ack wave at the tail). *)
+let relay t (f : Chain_msg.forward) =
+  match successor t with
+  | Some next ->
+    send t ~dst:next (Chain_msg.Forward f);
+    expect_ack t ~from:next ~slot:f.Chain_msg.slot
+  | None ->
+    (* Tail: commit and start the ack wave. *)
+    commit t (t.cepoch, f.Chain_msg.slot);
+    (match predecessor t with
+     | Some prev ->
+       send t ~dst:prev (Chain_msg.Ack { aslot = f.Chain_msg.slot; aepoch = t.cepoch })
+     | None -> ())
+
+let propose t (request : Chain_msg.request) =
+  let key = (request.Chain_msg.client, request.Chain_msg.rid) in
+  Hashtbl.replace t.proposed key ();
+  let slot = t.next_slot in
+  t.next_slot <- slot + 1;
+  let f =
+    {
+      Chain_msg.slot;
+      cepoch = t.cepoch;
+      request;
+      hsig = Chain_msg.sign_head t.auth ~head:t.me ~slot ~cepoch:t.cepoch request;
+    }
+  in
+  let s = slot_state t (t.cepoch, slot) in
+  s.forward <- Some f;
+  if List.length t.chain = 1 then commit t (t.cepoch, slot) else relay t f
+
+(* No early return on local execution: the head may have executed in an
+   earlier chain configuration while current members have not — it must
+   still re-propose. Exactly-once execution is enforced at [execute]. *)
+let submit t request =
+  let key = (request.Chain_msg.client, request.Chain_msg.rid) in
+  if is_head t then begin
+    if not (Hashtbl.mem t.proposed key) then propose t request
+  end
+  else if in_chain t then begin
+    (* Every member guards its own upstream link: if the forward never
+       arrives, the predecessor is suspected. Without this, a break right
+       after the single watching node would go undetected (e.g. a mute head
+       whose successor is also mute). *)
+    match (predecessor t, position t) with
+    | Some pred, Some pos when not (Hashtbl.mem t.awaiting_forward key) ->
+      Hashtbl.replace t.awaiting_forward key ();
+      expect_forward_request t ~from:pred ~position:pos request
+    | _ -> ()
+  end
+
+let handle_forward t ~src (f : Chain_msg.forward) =
+  if
+    in_chain t
+    && predecessor t = Some src
+    && f.Chain_msg.cepoch = t.cepoch
+    && Chain_msg.verify_head t.auth ~head:(head t) f
+  then begin
+    let s = slot_state t (t.cepoch, f.Chain_msg.slot) in
+    match s.forward with
+    | Some stored when stored.Chain_msg.request <> f.Chain_msg.request ->
+      (* The head signed two bindings for one slot in one epoch. *)
+      Detector.detected (fd t) (head t)
+    | Some _ -> ()
+    | None ->
+      s.forward <- Some f;
+      relay t f
+  end
+
+let handle_ack t ~src (aslot, aepoch) =
+  if in_chain t && successor t = Some src && aepoch = t.cepoch then begin
+    commit t (t.cepoch, aslot);
+    match predecessor t with
+    | Some prev -> send t ~dst:prev (Chain_msg.Ack { aslot; aepoch })
+    | None -> () (* head: wave complete *)
+  end
+
+let on_quorum t quorum =
+  if quorum <> t.chain then begin
+    t.cepoch <- t.cepoch + 1;
+    t.chain <- quorum;
+    Detector.cancel_all (fd t);
+    Hashtbl.reset t.awaiting_forward;
+    (* Uncommitted in-flight slots die with the old chain; clients
+       resubmit, and execution dedupes on request id. *)
+    Hashtbl.reset t.proposed
+  end
+
+let process t ~src msg =
+  match msg.Chain_msg.body with
+  | Chain_msg.Forward f -> handle_forward t ~src f
+  | Chain_msg.Ack { aslot; aepoch } -> handle_ack t ~src (aslot, aepoch)
+  | Chain_msg.Qsel update -> QS.handle_update (qsel t) update
+
+let receive t ~src msg =
+  if Chain_msg.verify t.auth msg && msg.Chain_msg.sender = src then
+    Detector.receive (fd t) ~src msg
+
+let create config ~me ~auth ~sim ~net_send ?(on_execute = fun _ -> ()) () =
+  if config.n <= 0 || config.f < 0 || config.n - config.f <= config.f then
+    invalid_arg "Chain_node.create: need n - f > f";
+  if me < 0 || me >= config.n then invalid_arg "Chain_node.create: me out of range";
+  let t =
+    {
+      config;
+      me;
+      auth;
+      sim;
+      net_send;
+      on_execute;
+      fd = None;
+      qsel = None;
+      chain = List.init (config.n - config.f) (fun i -> i);
+      cepoch = 0;
+      slots = Hashtbl.create 64;
+      next_slot = 0;
+      proposed = Hashtbl.create 64;
+      executed_ids = Hashtbl.create 64;
+      executed = [];
+      awaiting_forward = Hashtbl.create 64;
+      fault = Honest;
+    }
+  in
+  let timeouts =
+    Timeout.create ~n:config.n ~initial:config.initial_timeout config.timeout_strategy
+  in
+  t.fd <-
+    Some
+      (Detector.create ~sim ~me ~n:config.n ~timeouts
+         ~deliver:(fun ~src m -> process t ~src m)
+         ~on_suspected:(fun s -> QS.handle_suspected (qsel t) s)
+         ());
+  t.qsel <-
+    Some
+      (QS.create
+         { QS.n = config.n; f = config.f }
+         ~me ~auth
+         ~send:(fun update -> send_all_including_self t (Chain_msg.Qsel update))
+         ~on_quorum:(fun quorum -> on_quorum t quorum)
+         ());
+  t

@@ -1,0 +1,1 @@
+lib/core/cluster.ml: Array List Msg Pid Qs_crypto Queue Quorum_select

@@ -1,0 +1,1 @@
+lib/core/cluster.mli: Pid Qs_crypto Quorum_select

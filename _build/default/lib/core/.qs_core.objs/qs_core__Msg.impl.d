@@ -1,0 +1,1 @@
+lib/core/msg.ml: Array Buffer Format Pid Qs_crypto

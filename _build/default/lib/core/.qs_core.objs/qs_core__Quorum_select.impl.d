@@ -1,0 +1,1 @@
+lib/core/quorum_select.ml: Array List Logs Msg Pid Qs_crypto Qs_graph Qs_stdx Suspicion_matrix

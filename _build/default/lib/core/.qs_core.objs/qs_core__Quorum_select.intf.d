@@ -1,0 +1,1 @@
+lib/core/quorum_select.mli: Msg Pid Qs_crypto Qs_graph Suspicion_matrix

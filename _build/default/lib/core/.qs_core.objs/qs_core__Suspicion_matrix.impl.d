@@ -1,0 +1,1 @@
+lib/core/suspicion_matrix.ml: Array Format Pid Qs_graph

@@ -1,0 +1,1 @@
+lib/core/suspicion_matrix.mli: Format Qs_graph

@@ -1,0 +1,29 @@
+(** Wire messages for the quorum selection module.
+
+    An UPDATE carries one row of the [suspected] matrix — the owner's own
+    suspicions — signed by the owner (Algorithm 1, line 15). Forwarders
+    relay the original signature, so a Byzantine process can neither alter a
+    correct process's row in transit nor fabricate rows for others; it can
+    only sign arbitrary rows of its own (equivocation the algorithm
+    tolerates by design, Section VI-C). *)
+
+type update = {
+  owner : Pid.t;  (** whose suspicion row this is *)
+  row : int array;  (** [row.(k)] = last epoch in which owner suspected k *)
+}
+
+type t = {
+  update : update;
+  signature : Qs_crypto.Auth.signature;
+}
+
+val encode : update -> string
+(** Canonical byte encoding used for signing. *)
+
+val seal : Qs_crypto.Auth.t -> update -> t
+(** Sign as the row's owner. *)
+
+val verify : Qs_crypto.Auth.t -> t -> bool
+(** Check the owner's signature over the canonical encoding. *)
+
+val pp : Format.formatter -> t -> unit

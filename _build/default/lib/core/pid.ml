@@ -1,0 +1,14 @@
+type t = int
+
+let pp ppf i = Format.fprintf ppf "p%d" (i + 1)
+
+let to_string i = Format.asprintf "%a" pp i
+
+let pp_set ppf s =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ") pp)
+    s
+
+let set_to_string s = Format.asprintf "%a" pp_set s
+
+let universe n = List.init n (fun i -> i)

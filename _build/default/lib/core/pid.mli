@@ -1,0 +1,19 @@
+(** Process identifiers.
+
+    Internally processes are 0-based indices into the universe Π; the paper
+    numbers them p1..pn, so printing is 1-based. *)
+
+type t = int
+
+val pp : Format.formatter -> t -> unit
+(** Prints [p<i+1>]. *)
+
+val to_string : t -> string
+
+val pp_set : Format.formatter -> t list -> unit
+(** Prints [{p1, p3, p4}]. *)
+
+val set_to_string : t list -> string
+
+val universe : int -> t list
+(** [universe n] is [\[0; …; n-1\]]. *)

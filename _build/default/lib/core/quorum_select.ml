@@ -1,0 +1,127 @@
+module Graph = Qs_graph.Graph
+module Indep = Qs_graph.Indep
+
+type config = { n : int; f : int }
+
+let q c = c.n - c.f
+
+let validate_config c =
+  if c.f < 0 then invalid_arg "Quorum_select: f must be non-negative";
+  if c.n - c.f <= c.f then invalid_arg "Quorum_select: need n - f > f (correct majority)"
+
+type t = {
+  config : config;
+  me : Pid.t;
+  auth : Qs_crypto.Auth.t;
+  send : Msg.t -> unit;
+  on_quorum : Pid.t list -> unit;
+  on_epoch : int -> unit;
+  matrix : Suspicion_matrix.t;
+  mutable epoch : int;
+  mutable suspecting : Pid.t list;
+  mutable last_quorum : Pid.t list;
+  mutable history : Pid.t list list; (* reversed *)
+  mutable epochs_entered : int;
+  mutable rejected : int;
+}
+
+let create config ~me ~auth ~send ~on_quorum ?(on_epoch = fun _ -> ()) () =
+  validate_config config;
+  if me < 0 || me >= config.n then invalid_arg "Quorum_select.create: me out of range";
+  if Qs_crypto.Auth.universe auth < config.n then
+    invalid_arg "Quorum_select.create: auth universe too small";
+  {
+    config;
+    me;
+    auth;
+    send;
+    on_quorum;
+    on_epoch;
+    matrix = Suspicion_matrix.create config.n;
+    epoch = 1;
+    suspecting = [];
+    last_quorum = List.init (q config) (fun i -> i);
+    history = [];
+    epochs_entered = 0;
+    rejected = 0;
+  }
+
+let me t = t.me
+
+(* updateSuspicions (Algorithm 1, lines 11-15): stamp current suspicions with
+   the current epoch in our own row and broadcast it, including to self. The
+   local matrix is only updated by the self-delivered UPDATE, which keeps a
+   single code path for state changes and quorum re-evaluation — this is why
+   line 15 broadcasts "to all including self". Returns whether the broadcast
+   row differs from the locally stored one (i.e. whether a self-update will
+   eventually arrive and re-trigger updateQuorum). *)
+let update_suspicions t s =
+  t.suspecting <- List.sort_uniq compare (List.filter (fun j -> j <> t.me) s);
+  let row = Suspicion_matrix.row t.matrix t.me in
+  let changed = ref false in
+  List.iter
+    (fun j ->
+      if row.(j) < t.epoch then begin
+        row.(j) <- t.epoch;
+        changed := true
+      end)
+    t.suspecting;
+  t.send (Msg.seal t.auth { Msg.owner = t.me; row });
+  !changed
+
+let handle_suspected t s = ignore (update_suspicions t s)
+
+(* updateQuorum (lines 25-34). One deviation from the listing: when the epoch
+   bump leaves our own row unchanged (current suspicions were already stamped
+   or empty), the self-addressed UPDATE carries no new information, so no
+   handler would ever re-evaluate the quorum at the new epoch; we therefore
+   continue evaluating locally. Progress is guaranteed because each such
+   iteration raises the epoch and strictly shrinks the suspect graph. *)
+let rec update_quorum t =
+  let g = Suspicion_matrix.suspect_graph t.matrix ~epoch:t.epoch in
+  match Indep.lex_first_independent_set g (q t.config) with
+  | None ->
+    (* Suspicions in the current epoch are inconsistent: age them out. *)
+    t.epoch <- t.epoch + 1;
+    t.epochs_entered <- t.epochs_entered + 1;
+    t.on_epoch t.epoch;
+    if not (update_suspicions t t.suspecting) then update_quorum t
+  | Some quorum ->
+    if quorum <> t.last_quorum then begin
+      t.last_quorum <- quorum;
+      t.history <- quorum :: t.history;
+      Logs.debug ~src:Qs_stdx.Debug.quorum (fun m ->
+          m "p%d QUORUM %s (epoch %d)" (t.me + 1) (Pid.set_to_string quorum) t.epoch);
+      t.on_quorum quorum
+    end
+
+let handle_update t msg =
+  if not (Msg.verify t.auth msg) then t.rejected <- t.rejected + 1
+  else begin
+    let changed =
+      Suspicion_matrix.merge_row t.matrix ~owner:msg.Msg.update.Msg.owner
+        msg.Msg.update.Msg.row
+    in
+    if changed then begin
+      t.send msg; (* forward, so every correct process sees every suspicion *)
+      update_quorum t
+    end
+  end
+
+let epoch t = t.epoch
+
+let last_quorum t = t.last_quorum
+
+let quorums_issued t = List.length t.history
+
+let quorum_history t = List.rev t.history
+
+let epochs_entered t = t.epochs_entered
+
+let matrix t = t.matrix
+
+let suspecting t = t.suspecting
+
+let rejected_updates t = t.rejected
+
+let suspect_graph t = Suspicion_matrix.suspect_graph t.matrix ~epoch:t.epoch

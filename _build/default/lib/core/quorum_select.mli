@@ -1,0 +1,78 @@
+(** Quorum Selection — Algorithm 1 of the paper.
+
+    One instance runs at each process. Inputs:
+    - [handle_suspected]: the ⟨SUSPECTED, S⟩ events from the local failure
+      detector;
+    - [handle_update]: UPDATE messages from the network.
+
+    Outputs, via callbacks:
+    - [send]: broadcast an UPDATE {e to all processes including self}
+      (Algorithm 1 line 15 — self-delivery is what re-triggers
+      [updateQuorum] after a local state change, and forwarding on change
+      implements the anti-entropy gossip of lines 22–23);
+    - [on_quorum]: ⟨QUORUM, Q⟩ events, [|Q| = n − f];
+    - [on_epoch]: epoch increments (line 28), which the Follower-Selection
+      variant and the XPaxos integration use to cancel expectations.
+
+    The module never needs consensus: the [suspected] matrix is merged with
+    pointwise max, so all correct processes converge on the same state and —
+    because the quorum is the deterministic lexicographically-first
+    independent set — on the same quorum (Agreement). *)
+
+type config = { n : int; f : int }
+(** [q = n - f] processes form a quorum; requires [0 ≤ f] and [f < n - f]
+    (majority correct, Section IV). *)
+
+val q : config -> int
+
+val validate_config : config -> unit
+(** Raises [Invalid_argument] on a config violating the model. *)
+
+type t
+
+val create :
+  config ->
+  me:Pid.t ->
+  auth:Qs_crypto.Auth.t ->
+  send:(Msg.t -> unit) ->
+  on_quorum:(Pid.t list -> unit) ->
+  ?on_epoch:(int -> unit) ->
+  unit ->
+  t
+
+val me : t -> Pid.t
+
+val handle_suspected : t -> Pid.t list -> unit
+(** ⟨SUSPECTED, S⟩ from the failure detector: remember [S] as the current
+    suspicions, stamp them with the current epoch in our row, and broadcast
+    the row (updateSuspicions, lines 11–15). *)
+
+val handle_update : t -> Msg.t -> unit
+(** Verify the owner's signature, max-merge the row, and on change forward
+    the message and re-evaluate the quorum (lines 16–24). Badly signed
+    updates are dropped and counted. *)
+
+val epoch : t -> int
+
+val last_quorum : t -> Pid.t list
+(** Most recent quorum (initially [{p1 … pq}], line 8). *)
+
+val quorums_issued : t -> int
+(** Number of ⟨QUORUM⟩ events issued (the metric of Theorems 3 and 4). *)
+
+val quorum_history : t -> Pid.t list list
+(** All issued quorums, oldest first (excludes the initial default). *)
+
+val epochs_entered : t -> int
+(** Number of epoch increments. *)
+
+val matrix : t -> Suspicion_matrix.t
+(** The live matrix — treat as read-only. *)
+
+val suspecting : t -> Pid.t list
+(** Current FD suspicions as last reported. *)
+
+val rejected_updates : t -> int
+
+val suspect_graph : t -> Qs_graph.Graph.t
+(** The graph [G_i] for the current epoch (for inspection). *)

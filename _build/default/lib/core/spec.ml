@@ -1,0 +1,27 @@
+let quorum_size_ok config quorum =
+  let rec increasing = function
+    | a :: (b :: _ as rest) -> a < b && increasing rest
+    | _ -> true
+  in
+  List.length quorum = Quorum_select.q config
+  && increasing quorum
+  && List.for_all (fun p -> p >= 0 && p < config.Quorum_select.n) quorum
+
+let agreement = function
+  | [] -> true
+  | first :: rest -> List.for_all (fun quorum -> quorum = first) rest
+
+let no_suspicion ~quorum ~correct ~suspects_of =
+  List.for_all
+    (fun j ->
+      (not (List.mem j quorum))
+      || List.for_all (fun s -> not (List.mem s quorum)) (suspects_of j))
+    correct
+
+let termination ~issued_before ~issued_after = issued_before = issued_after
+
+let upper_bound_per_epoch ~f ~issued = issued <= f * (f + 1)
+
+let conjectured_bound_per_epoch ~f ~issued = issued <= (f + 2) * (f + 1) / 2
+
+let lower_bound_target ~f = (f + 2) * (f + 1) / 2

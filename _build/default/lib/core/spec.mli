@@ -1,0 +1,31 @@
+(** Checkers for the Quorum Selection properties (paper, Section IV-A).
+
+    These are pure predicates over observed executions; the integration
+    tests and the experiment harness run a simulation to quiescence and then
+    assert them. *)
+
+val quorum_size_ok : Quorum_select.config -> Pid.t list -> bool
+(** |Q| = n − f and Q ⊆ Π, strictly increasing ids. *)
+
+val agreement : Pid.t list list -> bool
+(** All (correct) processes ended on the same quorum. *)
+
+val no_suspicion :
+  quorum:Pid.t list -> correct:Pid.t list -> suspects_of:(Pid.t -> Pid.t list) -> bool
+(** For every correct process [j] in the quorum, [j] suspects nobody in the
+    quorum. (Processes outside the quorum may suspect whoever they like.) *)
+
+val termination :
+  issued_before:int list -> issued_after:int list -> bool
+(** Given per-process issue counts sampled at two quiescent points with extra
+    (suspicion-free) run time in between, no process issued further quorums:
+    the operational check that quorum changes stop. *)
+
+val upper_bound_per_epoch : f:int -> issued:int -> bool
+(** Theorem 3's per-epoch bound: at most [f × (f+1)] quorums. *)
+
+val conjectured_bound_per_epoch : f:int -> issued:int -> bool
+(** The simulation-suggested tight bound: at most [C(f+2, 2)]. *)
+
+val lower_bound_target : f:int -> int
+(** [C(f+2,2)] — what the Theorem-4 adversary must force. *)

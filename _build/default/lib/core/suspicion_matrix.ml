@@ -1,0 +1,71 @@
+type t = { size : int; cells : int array array }
+
+let create size =
+  if size <= 0 then invalid_arg "Suspicion_matrix.create";
+  { size; cells = Array.make_matrix size size 0 }
+
+let n t = t.size
+
+let copy t = { size = t.size; cells = Array.map Array.copy t.cells }
+
+let equal a b = a.size = b.size && a.cells = b.cells
+
+let check t i =
+  if i < 0 || i >= t.size then invalid_arg "Suspicion_matrix: index out of range"
+
+let get t ~suspector ~suspect =
+  check t suspector;
+  check t suspect;
+  t.cells.(suspector).(suspect)
+
+let record t ~suspector ~suspect ~epoch =
+  check t suspector;
+  check t suspect;
+  if suspector = suspect then invalid_arg "Suspicion_matrix.record: self-suspicion";
+  if epoch > t.cells.(suspector).(suspect) then t.cells.(suspector).(suspect) <- epoch
+
+let row t i =
+  check t i;
+  Array.copy t.cells.(i)
+
+let merge_row t ~owner incoming =
+  check t owner;
+  if Array.length incoming <> t.size then invalid_arg "Suspicion_matrix.merge_row: bad width";
+  let changed = ref false in
+  for k = 0 to t.size - 1 do
+    if k <> owner && incoming.(k) > t.cells.(owner).(k) then begin
+      t.cells.(owner).(k) <- incoming.(k);
+      changed := true
+    end
+  done;
+  !changed
+
+let merge t other =
+  if t.size <> other.size then invalid_arg "Suspicion_matrix.merge: size mismatch";
+  let changed = ref false in
+  for l = 0 to t.size - 1 do
+    if merge_row t ~owner:l other.cells.(l) then changed := true
+  done;
+  !changed
+
+let suspect_graph t ~epoch =
+  let g = Qs_graph.Graph.create t.size in
+  for l = 0 to t.size - 1 do
+    for k = l + 1 to t.size - 1 do
+      if t.cells.(l).(k) >= epoch || t.cells.(k).(l) >= epoch then
+        Qs_graph.Graph.add_edge g l k
+    done
+  done;
+  g
+
+let max_epoch t =
+  Array.fold_left (fun acc r -> Array.fold_left max acc r) 0 t.cells
+
+let pp ppf t =
+  for l = 0 to t.size - 1 do
+    Format.fprintf ppf "@[<h>%a: %a@]@."
+      Pid.pp l
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+         Format.pp_print_int)
+      (Array.to_list t.cells.(l))
+  done

@@ -1,0 +1,43 @@
+(** The eventually-consistent [suspected] matrix (paper, Section VI-A).
+
+    [get ~suspector:l ~suspect:k] is the last epoch in which [l] suspected
+    [k] (0 = never). Rows are merged with pointwise max, making the matrix a
+    join-semilattice: merges commute, associate and are idempotent, so
+    correct processes converge to the same state regardless of message
+    order — the paper's "eventual consistent shared data structure". *)
+
+type t
+
+val create : int -> t
+(** All-zero [n × n] matrix. *)
+
+val n : t -> int
+
+val copy : t -> t
+
+val equal : t -> t -> bool
+
+val get : t -> suspector:int -> suspect:int -> int
+
+val record : t -> suspector:int -> suspect:int -> epoch:int -> unit
+(** Max-merge a single cell ([record] never lowers a value). Recording a
+    self-suspicion is rejected with [Invalid_argument]. *)
+
+val row : t -> int -> int array
+(** Copy of a row — what an UPDATE message carries. *)
+
+val merge_row : t -> owner:int -> int array -> bool
+(** Pointwise max of [owner]'s row with the given vector. Returns [true] iff
+    any cell changed (Algorithm 1, lines 17–21). *)
+
+val merge : t -> t -> bool
+(** Whole-matrix max-merge; [true] iff the target changed. *)
+
+val suspect_graph : t -> epoch:int -> Qs_graph.Graph.t
+(** Edge [(l,k)] iff [l] suspected [k] or [k] suspected [l] in [epoch] or
+    later (Section VI-B). *)
+
+val max_epoch : t -> int
+(** Largest recorded cell. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,33 @@
+let block_size = 64
+
+let normalize_key key =
+  let key = if String.length key > block_size then Sha256.digest_string key else key in
+  let padded = Bytes.make block_size '\x00' in
+  Bytes.blit_string key 0 padded 0 (String.length key);
+  Bytes.to_string padded
+
+let xor_with s byte =
+  String.map (fun c -> Char.chr (Char.code c lxor byte)) s
+
+let mac ~key msg =
+  let key = normalize_key key in
+  let inner = Sha256.init () in
+  Sha256.feed inner (xor_with key 0x36);
+  Sha256.feed inner msg;
+  let inner_digest = Sha256.finalize inner in
+  let outer = Sha256.init () in
+  Sha256.feed outer (xor_with key 0x5c);
+  Sha256.feed outer inner_digest;
+  Sha256.finalize outer
+
+let mac_hex ~key msg = Sha256.hex (mac ~key msg)
+
+let verify ~key msg ~tag =
+  let expected = mac ~key msg in
+  if String.length expected <> String.length tag then false
+  else begin
+    (* Fold over all bytes regardless of mismatches. *)
+    let diff = ref 0 in
+    String.iteri (fun i c -> diff := !diff lor (Char.code c lxor Char.code tag.[i])) expected;
+    !diff = 0
+  end

@@ -1,0 +1,10 @@
+(** HMAC-SHA256 (RFC 2104). *)
+
+val mac : key:string -> string -> string
+(** [mac ~key msg] is the 32-byte HMAC-SHA256 tag. *)
+
+val mac_hex : key:string -> string -> string
+(** Hex-encoded tag. *)
+
+val verify : key:string -> string -> tag:string -> bool
+(** Constant-time-ish comparison of a recomputed tag against [tag]. *)

@@ -1,0 +1,1 @@
+lib/fd/detector.ml: Array List Logs Qs_sim Qs_stdx String Timeout

@@ -1,0 +1,1 @@
+lib/fd/timeout.ml: Array Qs_sim Stdlib

@@ -1,0 +1,1 @@
+lib/fd/timeout.mli: Qs_sim

@@ -1,0 +1,147 @@
+module Sim = Qs_sim.Sim
+
+type 'm expectation = {
+  id : int;
+  from : int;
+  pred : 'm -> bool;
+  tag : string;
+  mutable overdue : bool;  (* deadline passed without a match *)
+  mutable closed : bool;   (* fulfilled or cancelled *)
+}
+
+type 'm t = {
+  sim : Sim.t;
+  me : int;
+  n : int;
+  authenticate : src:int -> 'm -> bool;
+  timeouts : Timeout.t;
+  deliver : src:int -> 'm -> unit;
+  on_suspected : int list -> unit;
+  mutable expectations : 'm expectation list;
+  mutable next_id : int;
+  overdue_counts : int array;    (* per peer: open overdue expectations *)
+  detected_flags : bool array;   (* permanent suspicions *)
+  mutable raised_total : int;
+  mutable false_suspicions : int;
+  mutable rejected : int;
+  mutable last_published : int list;
+}
+
+let create ~sim ~me ~n ?(authenticate = fun ~src:_ _ -> true) ~timeouts ~deliver
+    ~on_suspected () =
+  if me < 0 || me >= n then invalid_arg "Detector.create: me out of range";
+  {
+    sim;
+    me;
+    n;
+    authenticate;
+    timeouts;
+    deliver;
+    on_suspected;
+    expectations = [];
+    next_id = 0;
+    overdue_counts = Array.make n 0;
+    detected_flags = Array.make n false;
+    raised_total = 0;
+    false_suspicions = 0;
+    rejected = 0;
+    last_published = [];
+  }
+
+let me t = t.me
+
+let suspect_list t =
+  List.filter
+    (fun i -> t.detected_flags.(i) || t.overdue_counts.(i) > 0)
+    (List.init t.n (fun i -> i))
+
+let publish_if_changed t =
+  let s = suspect_list t in
+  if s <> t.last_published then begin
+    t.last_published <- s;
+    Logs.debug ~src:Qs_stdx.Debug.fd (fun m ->
+        m "p%d SUSPECTED {%s}" (t.me + 1)
+          (String.concat ", " (List.map (fun i -> "p" ^ string_of_int (i + 1)) s)));
+    t.on_suspected s
+  end
+
+let is_suspected t i = t.detected_flags.(i) || t.overdue_counts.(i) > 0
+
+let is_detected t i = t.detected_flags.(i)
+
+let suspected t = suspect_list t
+
+let prune t =
+  t.expectations <- List.filter (fun e -> not e.closed) t.expectations
+
+let expect t ~from ?(tag = "") ?timeout pred =
+  if from < 0 || from >= t.n then invalid_arg "Detector.expect: peer out of range";
+  let e = { id = t.next_id; from; pred; tag; overdue = false; closed = false } in
+  t.next_id <- t.next_id + 1;
+  t.expectations <- e :: t.expectations;
+  let deadline =
+    match timeout with Some d -> d | None -> Timeout.current t.timeouts from
+  in
+  Sim.schedule t.sim ~delay:deadline (fun () ->
+      if not e.closed then begin
+        (* Expectation completeness: deadline passed, suspect the issuer. *)
+        e.overdue <- true;
+        t.overdue_counts.(e.from) <- t.overdue_counts.(e.from) + 1;
+        t.raised_total <- t.raised_total + 1;
+        publish_if_changed t
+      end)
+
+let fulfill t e =
+  e.closed <- true;
+  if e.overdue then begin
+    (* The suspicion was false: the message was late, not omitted. *)
+    t.overdue_counts.(e.from) <- t.overdue_counts.(e.from) - 1;
+    t.false_suspicions <- t.false_suspicions + 1;
+    Timeout.on_false_suspicion t.timeouts e.from
+  end
+
+let receive t ~src m =
+  if not (t.authenticate ~src m) then t.rejected <- t.rejected + 1
+  else begin
+    let matched = ref false in
+    List.iter
+      (fun e ->
+        if (not e.closed) && e.from = src && e.pred m then begin
+          matched := true;
+          fulfill t e
+        end)
+      t.expectations;
+    if !matched then begin
+      prune t;
+      publish_if_changed t
+    end;
+    t.deliver ~src m
+  end
+
+let cancel_all t =
+  List.iter
+    (fun e ->
+      if not e.closed then begin
+        e.closed <- true;
+        if e.overdue then t.overdue_counts.(e.from) <- t.overdue_counts.(e.from) - 1
+      end)
+    t.expectations;
+  t.expectations <- [];
+  publish_if_changed t
+
+let detected t i =
+  if i < 0 || i >= t.n then invalid_arg "Detector.detected: peer out of range";
+  if not t.detected_flags.(i) then begin
+    t.detected_flags.(i) <- true;
+    t.raised_total <- t.raised_total + 1;
+    publish_if_changed t
+  end
+
+let open_expectations t =
+  List.length (List.filter (fun e -> not e.closed) t.expectations)
+
+let raised_total t = t.raised_total
+
+let false_suspicions t = t.false_suspicions
+
+let rejected_messages t = t.rejected

@@ -1,0 +1,85 @@
+(** Expectation-based Byzantine failure detector (paper, Section IV-B).
+
+    One detector instance runs at each process, between the network and the
+    application (Fig. 1). The application drives it with {e expectations}
+    ("I expect a message matching [P] from process [i]") and {e detections}
+    ("I have proof that [i] is faulty"); the detector turns missed or late
+    expectations into suspicions and publishes the current suspect set.
+
+    Event mapping to the paper:
+    - [receive]   = ⟨RECEIVE, m, i⟩ (network layer input)
+    - [~deliver]  = ⟨DELIVER, m, i⟩ (output to application / quorum selection)
+    - [expect]    = ⟨EXPECT, P, i⟩
+    - [~on_suspected] = ⟨SUSPECTED, S⟩
+    - [detected]  = ⟨DETECTED, i⟩
+    - [cancel_all] = ⟨CANCEL⟩
+
+    Properties implemented (Section IV-B1):
+    - {e Expectation completeness}: an uncancelled expectation either matches
+      a delivered message or its issuer is eventually suspected (a timer
+      fires at the expectation's deadline).
+    - {e Detection completeness}: [detected i] suspends [i] forever.
+    - {e Eventual strong accuracy}: holds when the application meets the
+      accuracy requirements and timeouts adapt ([Timeout.Exponential] /
+      [Additive]); a false suspicion is cancelled when the late message
+      arrives, and the timeout grows so that eventually no false suspicions
+      are raised. *)
+
+type 'm t
+
+val create :
+  sim:Qs_sim.Sim.t ->
+  me:int ->
+  n:int ->
+  ?authenticate:(src:int -> 'm -> bool) ->
+  timeouts:Timeout.t ->
+  deliver:(src:int -> 'm -> unit) ->
+  on_suspected:(int list -> unit) ->
+  unit ->
+  'm t
+(** [authenticate] defaults to accepting everything (protocol stacks that
+    sign whole payloads verify before handing messages in). [deliver] and
+    [on_suspected] are the module's outputs; [on_suspected] receives the full
+    sorted suspect set each time it changes. *)
+
+val me : _ t -> int
+
+val receive : 'm t -> src:int -> 'm -> unit
+(** Feed a message from the network. Unauthenticated messages are counted
+    and discarded. Otherwise every open matching expectation from [src] is
+    fulfilled (cancelling any suspicion it caused and adapting the timeout if
+    it was overdue), then the message is delivered. *)
+
+val expect : 'm t -> from:int -> ?tag:string -> ?timeout:Qs_sim.Stime.t -> ('m -> bool) -> unit
+(** Register an expectation with deadline [now + Timeout.current from], or
+    [now + timeout] when the override is given. Protocols use the override
+    when the expected message needs more than one round trip — e.g. a chain
+    ack whose deadline must scale with the distance to the tail, so that the
+    process closest to a failure times out (and is believed) first. *)
+
+val cancel_all : 'm t -> unit
+(** Drop all open expectations and the suspicions they caused. Permanent
+    detections stay. *)
+
+val detected : 'm t -> int -> unit
+(** Permanently suspect a process (application-level proof of misbehavior). *)
+
+val suspected : _ t -> int list
+(** Current suspect set, sorted. *)
+
+val is_suspected : _ t -> int -> bool
+
+val is_detected : _ t -> int -> bool
+
+(** {2 Introspection for tests and experiments} *)
+
+val open_expectations : _ t -> int
+
+val raised_total : _ t -> int
+(** Suspicion events raised over the run (per process, counting repeats). *)
+
+val false_suspicions : _ t -> int
+(** Suspicions later cancelled by a matching (late) message. *)
+
+val rejected_messages : _ t -> int
+(** Messages discarded by authentication. *)

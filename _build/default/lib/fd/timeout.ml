@@ -1,0 +1,35 @@
+type strategy =
+  | Fixed
+  | Exponential of { factor : float; max : Qs_sim.Stime.t }
+  | Additive of { step : Qs_sim.Stime.t; max : Qs_sim.Stime.t }
+
+type t = {
+  strategy : strategy;
+  timeouts : Qs_sim.Stime.t array;
+  mutable increases : int;
+}
+
+let create ~n ~initial strategy =
+  if initial <= 0 then invalid_arg "Timeout.create: initial must be positive";
+  { strategy; timeouts = Array.make n initial; increases = 0 }
+
+let check t i =
+  if i < 0 || i >= Array.length t.timeouts then invalid_arg "Timeout: peer out of range"
+
+let current t i =
+  check t i;
+  t.timeouts.(i)
+
+let on_false_suspicion t i =
+  check t i;
+  match t.strategy with
+  | Fixed -> ()
+  | Exponential { factor; max } ->
+    t.increases <- t.increases + 1;
+    t.timeouts.(i) <-
+      Stdlib.min max (int_of_float (float_of_int t.timeouts.(i) *. factor))
+  | Additive { step; max } ->
+    t.increases <- t.increases + 1;
+    t.timeouts.(i) <- Stdlib.min max (t.timeouts.(i) + step)
+
+let increases t = t.increases

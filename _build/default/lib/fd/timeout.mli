@@ -1,0 +1,36 @@
+(** Adaptive expectation timeouts.
+
+    The failure detector's {e eventual strong accuracy} (paper, Section
+    IV-B1b) cannot hold with a fixed timeout below the post-GST network bound:
+    expected messages between correct processes must stop being suspected
+    eventually. The standard fix is to grow the timeout whenever a suspicion
+    proves false (the expected message arrived after the deadline). After
+    finitely many increases the timeout exceeds two communication rounds and
+    false suspicions stop.
+
+    The [Fixed] strategy is kept for the ablation experiment (E7 variant)
+    showing exactly this failure mode. *)
+
+type strategy =
+  | Fixed
+      (** Never adapt: accuracy holds only if the initial timeout already
+          exceeds the (unknown) network bound. *)
+  | Exponential of { factor : float; max : Qs_sim.Stime.t }
+      (** Multiply by [factor] on each false suspicion, capped at [max]. *)
+  | Additive of { step : Qs_sim.Stime.t; max : Qs_sim.Stime.t }
+      (** Add [step] on each false suspicion, capped at [max]. *)
+
+type t
+(** Per-peer timeout state for one observing process. *)
+
+val create : n:int -> initial:Qs_sim.Stime.t -> strategy -> t
+(** One timeout per observed peer, all starting at [initial]. *)
+
+val current : t -> int -> Qs_sim.Stime.t
+(** Current timeout used for expectations on messages from peer [i]. *)
+
+val on_false_suspicion : t -> int -> unit
+(** The expected message from peer [i] arrived after its deadline: adapt. *)
+
+val increases : t -> int
+(** Total number of adaptations (all peers) — an accuracy-cost metric. *)

@@ -1,0 +1,1 @@
+lib/follower/fcluster.ml: Array Fmsg Follower_select List Option Qs_core Qs_crypto Queue

@@ -1,0 +1,1 @@
+lib/follower/fcluster.mli: Fmsg Follower_select Qs_core Qs_crypto

@@ -1,0 +1,1 @@
+lib/follower/fmsg.ml: Buffer Format List Qs_core Qs_crypto Qs_graph

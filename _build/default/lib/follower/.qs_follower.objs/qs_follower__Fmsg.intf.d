@@ -1,0 +1,1 @@
+lib/follower/fmsg.mli: Format Qs_core Qs_crypto Qs_graph

@@ -1,0 +1,1 @@
+lib/follower/follower_select.ml: Array Fmsg List Qs_core Qs_crypto Qs_graph

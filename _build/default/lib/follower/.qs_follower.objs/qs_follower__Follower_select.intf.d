@@ -1,0 +1,1 @@
+lib/follower/follower_select.mli: Fmsg Qs_core Qs_crypto Qs_graph

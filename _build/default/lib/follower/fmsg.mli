@@ -1,0 +1,38 @@
+(** Wire messages for Follower Selection (Algorithm 2).
+
+    Two payloads travel between processes: the UPDATE rows of the suspicion
+    gossip (identical to Algorithm 1) and the leader's FOLLOWERS message
+    ⟨FOLLOWERS, Fw, L, e⟩_σ (Algorithm 2, line 26), which carries the chosen
+    followers, the line subgraph justifying the choice, and the epoch. *)
+
+type followers = {
+  leader : Qs_core.Pid.t;  (** the signer; Definition 3c requires l_{L'} = signer *)
+  epoch : int;
+  followers : Qs_core.Pid.t list;  (** Fw, sorted *)
+  line : (int * int) list;  (** edges of L, each (i, j) with i < j, sorted *)
+}
+
+type payload =
+  | Update of Qs_core.Msg.update
+  | Followers of followers
+
+type t = {
+  payload : payload;
+  signature : Qs_crypto.Auth.signature;
+}
+
+val signer : payload -> Qs_core.Pid.t
+(** Who must have signed: the row owner or the claimed leader. *)
+
+val encode : payload -> string
+
+val seal : Qs_crypto.Auth.t -> payload -> t
+
+val verify : Qs_crypto.Auth.t -> t -> bool
+
+val line_graph : n:int -> followers -> Qs_graph.Graph.t
+(** Materialize the carried line subgraph over universe [n]. Raises
+    [Invalid_argument] on out-of-range vertices, which callers treat as
+    malformed. *)
+
+val pp : Format.formatter -> t -> unit

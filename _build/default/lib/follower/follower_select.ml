@@ -1,0 +1,214 @@
+module Graph = Qs_graph.Graph
+module Indep = Qs_graph.Indep
+module Line = Qs_graph.Line_subgraph
+module Pid = Qs_core.Pid
+module Msg = Qs_core.Msg
+module Suspicion_matrix = Qs_core.Suspicion_matrix
+module Quorum_select = Qs_core.Quorum_select
+
+type t = {
+  config : Quorum_select.config;
+  me : Pid.t;
+  auth : Qs_crypto.Auth.t;
+  send : Fmsg.t -> unit;
+  on_quorum : leader:Pid.t -> Pid.t list -> unit;
+  fd_expect : leader:Pid.t -> epoch:int -> unit;
+  fd_cancel : unit -> unit;
+  fd_detected : Pid.t -> unit;
+  matrix : Suspicion_matrix.t;
+  mutable epoch : int;
+  mutable suspecting : Pid.t list;
+  mutable leader : Pid.t;
+  mutable stable : bool;
+  mutable qlast : Pid.t list;
+  mutable history : (Pid.t * Pid.t list) list; (* reversed *)
+  mutable epochs_entered : int;
+  mutable detections : Pid.t list;
+  mutable rejected : int;
+}
+
+let q_of t = Quorum_select.q t.config
+
+let default_quorum config = List.init (Quorum_select.q config) (fun i -> i)
+
+let create config ~me ~auth ~send ~on_quorum ?(fd_expect = fun ~leader:_ ~epoch:_ -> ())
+    ?(fd_cancel = fun () -> ()) ?(fd_detected = fun _ -> ()) () =
+  Quorum_select.validate_config config;
+  if config.Quorum_select.n <= 3 * config.Quorum_select.f then
+    invalid_arg "Follower_select: requires n > 3f";
+  if me < 0 || me >= config.Quorum_select.n then
+    invalid_arg "Follower_select.create: me out of range";
+  {
+    config;
+    me;
+    auth;
+    send;
+    on_quorum;
+    fd_expect;
+    fd_cancel;
+    fd_detected;
+    matrix = Suspicion_matrix.create config.Quorum_select.n;
+    epoch = 1;
+    suspecting = [];
+    leader = 0;
+    stable = true;
+    qlast = default_quorum config;
+    history = [];
+    epochs_entered = 0;
+    detections = [];
+    rejected = 0;
+  }
+
+let me t = t.me
+
+(* Identical to Algorithm 1's updateSuspicions; see Quorum_select. *)
+let update_suspicions t s =
+  t.suspecting <- List.sort_uniq compare (List.filter (fun j -> j <> t.me) s);
+  let row = Suspicion_matrix.row t.matrix t.me in
+  let changed = ref false in
+  List.iter
+    (fun j ->
+      if row.(j) < t.epoch then begin
+        row.(j) <- t.epoch;
+        changed := true
+      end)
+    t.suspecting;
+  t.send (Fmsg.seal t.auth (Fmsg.Update { Msg.owner = t.me; row }));
+  !changed
+
+let select_followers l ~leader ~q =
+  let candidates = List.filter (fun v -> v <> leader) (Line.possible_followers l) in
+  let rec take k = function
+    | _ when k = 0 -> []
+    | [] -> invalid_arg "Follower_select.select_followers: not enough possible followers"
+    | v :: rest -> v :: take (k - 1) rest
+  in
+  take (q - 1) candidates
+
+let issue t ~leader quorum =
+  t.qlast <- quorum;
+  t.history <- (leader, quorum) :: t.history;
+  t.on_quorum ~leader quorum
+
+(* updateQuorum (Algorithm 2, lines 7-26). *)
+let rec update_quorum t =
+  let g = Suspicion_matrix.suspect_graph t.matrix ~epoch:t.epoch in
+  if not (Indep.exists_independent_set g (q_of t)) then begin
+    (* Lines 9-16: inconsistent suspicions — new epoch, default quorum. *)
+    t.epoch <- t.epoch + 1;
+    t.epochs_entered <- t.epochs_entered + 1;
+    t.fd_cancel ();
+    t.leader <- 0;
+    t.stable <- true;
+    t.qlast <- default_quorum t.config;
+    t.history <- (t.leader, t.qlast) :: t.history;
+    t.on_quorum ~leader:t.leader t.qlast;
+    if not (update_suspicions t t.suspecting) then update_quorum t
+  end
+  else begin
+    let l = Line.maximal g in
+    match Line.leader_of l with
+    | None ->
+      (* Cannot happen for n > 3f: Lemma 8 b) guarantees an uncovered vertex
+         whenever an independent set of size q exists. *)
+      assert false
+    | Some new_leader ->
+      if new_leader <> t.leader then begin
+        t.stable <- false;
+        t.leader <- new_leader;
+        t.fd_cancel ();
+        if new_leader <> t.me then t.fd_expect ~leader:new_leader ~epoch:t.epoch
+        else begin
+          let fw = select_followers l ~leader:t.me ~q:(q_of t) in
+          t.send
+            (Fmsg.seal t.auth
+               (Fmsg.Followers
+                  {
+                    Fmsg.leader = t.me;
+                    epoch = t.epoch;
+                    followers = fw;
+                    line = Graph.edges l;
+                  }))
+        end
+      end
+  end
+
+let handle_suspected t s = ignore (update_suspicions t s)
+
+let well_formed ~n ~q ~suspect_graph f =
+  let fw = f.Fmsg.followers in
+  let distinct = List.length (List.sort_uniq compare fw) = List.length fw in
+  let in_range v = v >= 0 && v < n in
+  (* a) l ∉ Fw ∧ |Fw| = q − 1 *)
+  distinct
+  && List.length fw = q - 1
+  && List.for_all in_range fw
+  && (not (List.mem f.Fmsg.leader fw))
+  && in_range f.Fmsg.leader
+  && List.for_all (fun (i, j) -> in_range i && in_range j && i <> j) f.Fmsg.line
+  &&
+  match Fmsg.line_graph ~n f with
+  | exception Invalid_argument _ -> false
+  | l' ->
+    (* b) L' ⊆ G_i and L' is a line subgraph *)
+    Line.is_line_subgraph l'
+    && Graph.is_subgraph ~sub:l' ~super:suspect_graph
+    (* c) l_{L'} = sender *)
+    && Line.leader_of l' = Some f.Fmsg.leader
+    (* d) all followers are possible followers for L' *)
+    && List.for_all (Line.is_possible_follower l') fw
+
+let detect t culprit =
+  t.detections <- culprit :: t.detections;
+  t.fd_detected culprit
+
+let handle_followers t msg f =
+  let j = f.Fmsg.leader in
+  if j = t.leader && f.Fmsg.epoch = t.epoch then begin
+    let n = t.config.Quorum_select.n in
+    if not (well_formed ~n ~q:(q_of t) ~suspect_graph:(Suspicion_matrix.suspect_graph t.matrix ~epoch:t.epoch) f)
+    then detect t j
+    else begin
+      let quorum = List.sort compare (j :: f.Fmsg.followers) in
+      if t.stable && quorum <> t.qlast then detect t j (* equivocation *)
+      else if not t.stable then begin
+        t.stable <- true;
+        t.send msg; (* forward the FOLLOWERS message *)
+        issue t ~leader:j quorum
+      end
+    end
+  end
+
+let handle_msg t msg =
+  if not (Fmsg.verify t.auth msg) then t.rejected <- t.rejected + 1
+  else
+    match msg.Fmsg.payload with
+    | Fmsg.Update u ->
+      let changed = Suspicion_matrix.merge_row t.matrix ~owner:u.Msg.owner u.Msg.row in
+      if changed then begin
+        t.send msg;
+        update_quorum t
+      end
+    | Fmsg.Followers f -> handle_followers t msg f
+
+let epoch t = t.epoch
+
+let leader t = t.leader
+
+let stable t = t.stable
+
+let last_quorum t = t.qlast
+
+let quorums_issued t = List.length t.history
+
+let quorum_history t = List.rev t.history
+
+let epochs_entered t = t.epochs_entered
+
+let detections t = t.detections
+
+let matrix t = t.matrix
+
+let suspect_graph t = Suspicion_matrix.suspect_graph t.matrix ~epoch:t.epoch
+
+let rejected_msgs t = t.rejected

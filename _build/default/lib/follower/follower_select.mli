@@ -1,0 +1,88 @@
+(** Follower Selection — Algorithm 2 of the paper (Section VIII).
+
+    A leader-centric variant of Quorum Selection for applications where
+    followers never talk to each other, so suspicions {e between followers}
+    need not trigger a change ({e no leader suspicion} replaces
+    {e no suspicion}). Under [n > 3f] and FIFO links it needs only [O(f)]
+    quorum changes per epoch (Theorem 9) instead of Algorithm 1's [O(f²)].
+
+    Mechanics: suspicions gossip exactly as in Algorithm 1; from the suspect
+    graph each process computes a {e maximal line subgraph} and takes its
+    designated node as leader (Definition 1). The leader picks [q − 1]
+    {e possible followers} (Definition 2) and broadcasts a signed FOLLOWERS
+    message carrying its line subgraph as justification; receivers check it
+    is well formed (Definition 3) and adopt the quorum. A leader that omits,
+    malforms or equivocates its FOLLOWERS message is reported to the failure
+    detector ([fd_expect] / [fd_detected]), earning a suspicion that changes
+    the leader.
+
+    Deviations from the listing, documented here:
+    - after an epoch bump whose re-stamped row is unchanged, evaluation
+      continues locally (same liveness fix as in {!Qs_core.Quorum_select});
+    - [stable] is reset to [true] on an epoch bump, since the bump installs
+      the default quorum; the listing leaves it stale, which would let a
+      Byzantine default leader slip an unchecked FOLLOWERS message through. *)
+
+type t
+
+val create :
+  Qs_core.Quorum_select.config ->
+  me:Qs_core.Pid.t ->
+  auth:Qs_crypto.Auth.t ->
+  send:(Fmsg.t -> unit) ->
+  on_quorum:(leader:Qs_core.Pid.t -> Qs_core.Pid.t list -> unit) ->
+  ?fd_expect:(leader:Qs_core.Pid.t -> epoch:int -> unit) ->
+  ?fd_cancel:(unit -> unit) ->
+  ?fd_detected:(Qs_core.Pid.t -> unit) ->
+  unit ->
+  t
+(** [send] must broadcast to all processes including the sender (like
+    Algorithm 1). The [fd_*] callbacks drive the failure detector: expect a
+    FOLLOWERS message from the new leader ([fd_expect]), cancel expectations
+    on leader/epoch change ([fd_cancel]), report proofs of misbehavior
+    ([fd_detected]). They default to no-ops for harnesses that emulate the
+    detector externally. *)
+
+val me : t -> Qs_core.Pid.t
+
+val handle_suspected : t -> Qs_core.Pid.t list -> unit
+(** ⟨SUSPECTED, S⟩ from the failure detector. *)
+
+val handle_msg : t -> Fmsg.t -> unit
+(** An UPDATE or FOLLOWERS message from the network. *)
+
+val epoch : t -> int
+
+val leader : t -> Qs_core.Pid.t
+
+val stable : t -> bool
+
+val last_quorum : t -> Qs_core.Pid.t list
+(** Current quorum including the leader, sorted. *)
+
+val quorums_issued : t -> int
+
+val quorum_history : t -> (Qs_core.Pid.t * Qs_core.Pid.t list) list
+(** (leader, quorum) in issue order. *)
+
+val epochs_entered : t -> int
+
+val detections : t -> Qs_core.Pid.t list
+(** Processes this node reported via [fd_detected], most recent first. *)
+
+val matrix : t -> Qs_core.Suspicion_matrix.t
+
+val suspect_graph : t -> Qs_graph.Graph.t
+
+val rejected_msgs : t -> int
+
+val select_followers : Qs_graph.Graph.t -> leader:Qs_core.Pid.t -> q:int -> Qs_core.Pid.t list
+(** The deterministic follower choice a correct leader makes: the [q − 1]
+    smallest possible followers of the line subgraph, excluding the leader.
+    Exposed for tests. Raises [Invalid_argument] if fewer are available
+    (impossible under the model's [n > 3f]). *)
+
+val well_formed :
+  n:int -> q:int -> suspect_graph:Qs_graph.Graph.t -> Fmsg.followers -> bool
+(** Definition 3 check against the receiver's current suspect graph.
+    Exposed for tests. *)

@@ -1,0 +1,1 @@
+lib/graph/indep.ml: Graph List Qs_stdx

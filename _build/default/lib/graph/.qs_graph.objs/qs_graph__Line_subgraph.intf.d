@@ -1,0 +1,1 @@
+lib/graph/line_subgraph.mli: Graph

@@ -1,0 +1,112 @@
+module Bitset = Qs_stdx.Bitset
+
+type t = { n : int; adj : Bitset.t array }
+
+let create n =
+  if n < 0 then invalid_arg "Graph.create";
+  { n; adj = Array.init n (fun _ -> Bitset.create n) }
+
+let n t = t.n
+
+let copy t = { n = t.n; adj = Array.map Bitset.copy t.adj }
+
+let equal a b = a.n = b.n && Array.for_all2 Bitset.equal a.adj b.adj
+
+let check t i =
+  if i < 0 || i >= t.n then invalid_arg "Graph: vertex out of range"
+
+let add_edge t i j =
+  check t i;
+  check t j;
+  if i = j then invalid_arg "Graph.add_edge: self-loop";
+  Bitset.add t.adj.(i) j;
+  Bitset.add t.adj.(j) i
+
+let remove_edge t i j =
+  check t i;
+  check t j;
+  Bitset.remove t.adj.(i) j;
+  Bitset.remove t.adj.(j) i
+
+let has_edge t i j =
+  check t i;
+  check t j;
+  i <> j && Bitset.mem t.adj.(i) j
+
+let degree t i =
+  check t i;
+  Bitset.cardinal t.adj.(i)
+
+let max_degree t =
+  let best = ref 0 in
+  for i = 0 to t.n - 1 do
+    best := max !best (Bitset.cardinal t.adj.(i))
+  done;
+  !best
+
+let neighbors t i =
+  check t i;
+  Bitset.elements t.adj.(i)
+
+let neighbor_set t i =
+  check t i;
+  t.adj.(i)
+
+let edges t =
+  let acc = ref [] in
+  for i = t.n - 1 downto 0 do
+    List.iter (fun j -> if i < j then acc := (i, j) :: !acc) (List.rev (neighbors t i))
+  done;
+  List.sort compare !acc
+
+let edge_count t = List.length (edges t)
+
+let is_empty t = Array.for_all Bitset.is_empty t.adj
+
+let vertices t = List.init t.n (fun i -> i)
+
+let non_isolated t =
+  List.filter (fun i -> not (Bitset.is_empty t.adj.(i))) (vertices t)
+
+let isolated t = List.filter (fun i -> Bitset.is_empty t.adj.(i)) (vertices t)
+
+let of_edges n edge_list =
+  let t = create n in
+  List.iter (fun (i, j) -> add_edge t i j) edge_list;
+  t
+
+let is_subgraph ~sub ~super =
+  sub.n = super.n
+  && List.for_all (fun (i, j) -> has_edge super i j) (edges sub)
+
+let union a b =
+  if a.n <> b.n then invalid_arg "Graph.union: universe mismatch";
+  let t = copy a in
+  List.iter (fun (i, j) -> add_edge t i j) (edges b);
+  t
+
+let induced_has_cycle t =
+  (* DFS with parent tracking; any back edge means a cycle. *)
+  let color = Array.make t.n 0 in
+  let found = ref false in
+  let rec dfs parent v =
+    color.(v) <- 1;
+    List.iter
+      (fun u ->
+        if not !found then
+          if color.(u) = 0 then dfs v u
+          else if u <> parent then found := true)
+      (neighbors t v);
+    color.(v) <- 2
+  in
+  for v = 0 to t.n - 1 do
+    if (not !found) && color.(v) = 0 then dfs (-1) v
+  done;
+  !found
+
+let pp ppf t =
+  Format.fprintf ppf "graph(n=%d; %a)" t.n
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+       (fun ppf (i, j) -> Format.fprintf ppf "%d-%d" i j))
+    (edges t)

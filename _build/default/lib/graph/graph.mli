@@ -1,0 +1,63 @@
+(** Undirected simple graphs over a fixed vertex universe [0 .. n-1].
+
+    Suspect graphs (paper, Section VI-B) have one vertex per process; edges
+    record suspicions at or after the current epoch. The universe is small
+    (tens of vertices), so adjacency is kept as bitset rows. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the edgeless graph on [n] vertices. *)
+
+val n : t -> int
+(** Number of vertices. *)
+
+val copy : t -> t
+
+val equal : t -> t -> bool
+
+val add_edge : t -> int -> int -> unit
+(** Add undirected edge. Self-loops are rejected with [Invalid_argument]. *)
+
+val remove_edge : t -> int -> int -> unit
+
+val has_edge : t -> int -> int -> bool
+
+val degree : t -> int -> int
+
+val max_degree : t -> int
+
+val neighbors : t -> int -> int list
+(** Increasing order. *)
+
+val neighbor_set : t -> int -> Qs_stdx.Bitset.t
+(** The adjacency row itself — do not mutate. *)
+
+val edges : t -> (int * int) list
+(** All edges as [(i, j)] with [i < j], lexicographic. *)
+
+val edge_count : t -> int
+
+val is_empty : t -> bool
+
+val vertices : t -> int list
+
+val non_isolated : t -> int list
+(** Vertices with degree ≥ 1, increasing. The "core" the exact algorithms
+    run on. *)
+
+val isolated : t -> int list
+
+val of_edges : int -> (int * int) list -> t
+
+val is_subgraph : sub:t -> super:t -> bool
+(** Every edge of [sub] is an edge of [super] (universes must match). *)
+
+val union : t -> t -> t
+(** Edge union (same universe). *)
+
+val induced_has_cycle : t -> bool
+(** Does the graph contain a cycle? Used to validate line subgraphs
+    (Definition 1 requires acyclicity). *)
+
+val pp : Format.formatter -> t -> unit

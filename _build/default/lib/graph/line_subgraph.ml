@@ -1,0 +1,118 @@
+let is_line_subgraph l = Graph.max_degree l <= 2 && not (Graph.induced_has_cycle l)
+
+let leader_of l =
+  let rec loop v =
+    if v >= Graph.n l then None
+    else if Graph.degree l v = 0 then Some v
+    else loop (v + 1)
+  in
+  loop 0
+
+(* Break every cycle of a Δ≤2 subgraph by dropping one of its edges. All
+   cycle vertices keep degree ≥ 1, so coverage is preserved (see DESIGN.md). *)
+let open_cycles l =
+  let l = Graph.copy l in
+  let n = Graph.n l in
+  let visited = Array.make n false in
+  for start = 0 to n - 1 do
+    if not visited.(start) then begin
+      (* Walk the component; it is a path or a cycle. *)
+      let component = ref [] in
+      let rec walk v =
+        if not visited.(v) then begin
+          visited.(v) <- true;
+          component := v :: !component;
+          List.iter walk (Graph.neighbors l v)
+        end
+      in
+      walk start;
+      let vs = !component in
+      let edge_ends =
+        List.fold_left (fun acc v -> acc + Graph.degree l v) 0 vs
+      in
+      (* In a cycle every vertex has degree 2: #edges = #vertices. *)
+      if List.length vs > 0 && edge_ends = 2 * List.length vs then begin
+        match vs with
+        | v :: _ ->
+          (match Graph.neighbors l v with
+           | u :: _ -> Graph.remove_edge l v u
+           | [] -> ())
+        | [] -> ()
+      end
+    end
+  done;
+  l
+
+let covers_prefix_avoiding g j =
+  let n = Graph.n g in
+  if j < 0 || j >= n then invalid_arg "Line_subgraph.covers_prefix_avoiding";
+  let must_cover = List.filter (fun v -> v < j && Graph.degree g v > 0) (Graph.vertices g) in
+  (* An isolated vertex below j can never be covered, so j cannot lead. *)
+  let blocked = List.exists (fun v -> v < j && Graph.degree g v = 0) (Graph.vertices g) in
+  if blocked then None
+  else begin
+    let deg = Array.make n 0 in
+    let chosen = ref [] in
+    (* Backtracking over incident-edge choices. Every vertex in [must_cover]
+       needs at least one incident edge, so branching over its neighbors is
+       exhaustive. Cycles are permitted during the search and opened at the
+       end. *)
+    let rec go = function
+      | [] -> true
+      | w :: rest when deg.(w) > 0 -> go rest
+      | w :: rest ->
+        let try_neighbor u =
+          u <> j && deg.(u) < 2
+          && not (List.mem (min w u, max w u) !chosen)
+          &&
+          begin
+            deg.(w) <- deg.(w) + 1;
+            deg.(u) <- deg.(u) + 1;
+            chosen := (min w u, max w u) :: !chosen;
+            if go rest then true
+            else begin
+              deg.(w) <- deg.(w) - 1;
+              deg.(u) <- deg.(u) - 1;
+              chosen := List.tl !chosen;
+              false
+            end
+          end
+        in
+        List.exists try_neighbor (Graph.neighbors g w)
+    in
+    if go must_cover then begin
+      let l = Graph.of_edges n !chosen in
+      Some (open_cycles l)
+    end
+    else None
+  end
+
+let maximal g =
+  let n = Graph.n g in
+  (* The leader cannot exceed the first isolated vertex of g, nor n-1. *)
+  let rec first_isolated v =
+    if v >= n then n - 1 else if Graph.degree g v = 0 then v else first_isolated (v + 1)
+  in
+  let jmax = first_isolated 0 in
+  let rec search j =
+    if j < 0 then Graph.create n (* empty line subgraph; leader 0 *)
+    else
+      match covers_prefix_avoiding g j with
+      | Some l -> l
+      | None -> search (j - 1)
+  in
+  search jmax
+
+let leader g =
+  match leader_of (maximal g) with
+  | Some l -> l
+  | None -> invalid_arg "Line_subgraph.leader: no degree-0 vertex"
+
+let is_possible_follower l v =
+  let deg1_neighbors =
+    List.filter (fun u -> Graph.degree l u = 1) (Graph.neighbors l v)
+  in
+  List.length deg1_neighbors < 2
+
+let possible_followers l =
+  List.filter (is_possible_follower l) (Graph.vertices l)

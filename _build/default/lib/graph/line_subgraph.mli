@@ -1,0 +1,46 @@
+(** Line subgraphs and leaders (paper, Section VIII, Definitions 1–2).
+
+    A {e line subgraph} of [G] is an acyclic subgraph with maximum degree 2 —
+    a vertex-disjoint union of simple paths. It designates a leader: the
+    minimum vertex of degree 0. A {e maximal} line subgraph is one whose
+    leader id is maximum over all line subgraphs of [G]; the leader is unique
+    even though the subgraph is not, which is what lets correct processes
+    agree (Lemma 5).
+
+    Intuition: edges of [L] "cover" suspected processes; the maximal line
+    subgraph covers the longest prefix of process ids that can be covered, so
+    the leader is the first process that no arrangement of suspicions can
+    pin down. *)
+
+val is_line_subgraph : Graph.t -> bool
+(** Acyclic and maximum degree ≤ 2 (Definition 1). *)
+
+val leader_of : Graph.t -> int option
+(** [leader_of l] is the minimum vertex with degree 0 in [l] — vertices
+    absent from [l] count as degree 0. [None] only if every vertex has
+    degree ≥ 1 (cannot happen for suspect graphs with [n > 3f]). *)
+
+val covers_prefix_avoiding : Graph.t -> int -> Graph.t option
+(** [covers_prefix_avoiding g j] looks for a line subgraph [L ⊆ g] in which
+    every vertex [v < j] that is non-isolated in [g] has degree ≥ 1 and [j]
+    has degree 0. Returns the witness, or [None]. Requires every [v < j] to
+    be non-isolated in [g] to succeed (an isolated vertex can never be
+    covered). *)
+
+val maximal : Graph.t -> Graph.t
+(** A maximal line subgraph of [g] (deterministic: same input, same output).
+    Its leader, via [leader_of], is the unique maximal leader. *)
+
+val leader : Graph.t -> int
+(** [leader g] = [Option.get (leader_of (maximal g))]: the leader every
+    correct process converges to for suspect graph [g]. Raises
+    [Invalid_argument] in the degenerate case where no vertex can have
+    degree 0. *)
+
+val possible_followers : Graph.t -> int list
+(** All vertices of the line subgraph that are possible followers per
+    Definition 2: a vertex is excluded iff it is adjacent (in [l]) to two
+    vertices of degree 1. Degree-0 vertices are vacuously possible followers.
+    The caller excludes the leader (Definition 3a). *)
+
+val is_possible_follower : Graph.t -> int -> bool

@@ -1,0 +1,1 @@
+lib/harness/e_bounds.ml: List Printf Qs_adversary Qs_core Qs_stdx Verdict

@@ -1,0 +1,1 @@
+lib/harness/e_bounds.mli: Qs_stdx Verdict

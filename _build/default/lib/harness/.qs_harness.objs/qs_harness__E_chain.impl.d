@@ -1,0 +1,1 @@
+lib/harness/e_chain.ml: Format List Option Printf Qs_bchain Qs_fd Qs_sim Qs_star Qs_stdx Qs_xpaxos Verdict

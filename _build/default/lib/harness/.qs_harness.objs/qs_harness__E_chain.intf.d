@@ -1,0 +1,1 @@
+lib/harness/e_chain.mli: Qs_stdx Verdict

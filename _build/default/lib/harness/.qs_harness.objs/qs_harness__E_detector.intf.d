@@ -1,0 +1,1 @@
+lib/harness/e_detector.mli: Qs_fd Qs_sim Qs_stdx Verdict

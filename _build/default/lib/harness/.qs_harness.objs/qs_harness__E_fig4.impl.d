@@ -1,0 +1,1 @@
+lib/harness/e_fig4.ml: List Printf Qs_core Qs_graph Qs_stdx String Verdict

@@ -1,0 +1,1 @@
+lib/harness/e_fig4.mli: Qs_core Qs_stdx Verdict

@@ -1,0 +1,1 @@
+lib/harness/e_follower.ml: Leader_attack List Printf Qs_core Qs_graph Qs_stdx String Verdict

@@ -1,0 +1,1 @@
+lib/harness/e_follower.mli: Qs_stdx Verdict

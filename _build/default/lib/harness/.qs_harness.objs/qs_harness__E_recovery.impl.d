@@ -1,0 +1,1 @@
+lib/harness/e_recovery.ml: Format List Option Qs_bchain Qs_fd Qs_minbft Qs_pbft Qs_sim Qs_star Qs_stdx Qs_xpaxos Verdict

@@ -1,0 +1,1 @@
+lib/harness/e_recovery.mli: Qs_sim Qs_stdx Verdict

@@ -1,0 +1,1 @@
+lib/harness/e_stack.ml: Format Fun Heartbeat List Printf Qs_fd Qs_sim Qs_stdx Verdict

@@ -1,0 +1,1 @@
+lib/harness/e_stack.mli: Qs_stdx Verdict

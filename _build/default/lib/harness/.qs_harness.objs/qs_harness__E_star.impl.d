@@ -1,0 +1,1 @@
+lib/harness/e_star.ml: List Printf Qs_fd Qs_sim Qs_star Qs_stdx Verdict

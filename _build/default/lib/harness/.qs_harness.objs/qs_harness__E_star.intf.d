@@ -1,0 +1,1 @@
+lib/harness/e_star.mli: Qs_stdx Verdict

@@ -1,0 +1,1 @@
+lib/harness/e_xpaxos.ml: Buffer Float Fun Leader_attack List Printf Qs_fd Qs_minbft Qs_pbft Qs_sim Qs_stdx Qs_xpaxos Verdict

@@ -1,0 +1,1 @@
+lib/harness/e_xpaxos.mli: Qs_stdx Verdict

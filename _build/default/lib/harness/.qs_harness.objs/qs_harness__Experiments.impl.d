@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: E_bounds E_chain E_detector E_fig4 E_follower E_recovery E_stack E_star E_xpaxos List Printf Qs_stdx Verdict

@@ -1,0 +1,1 @@
+lib/harness/explore.ml: Array Format Hashtbl List Printf Qs_core Qs_crypto String

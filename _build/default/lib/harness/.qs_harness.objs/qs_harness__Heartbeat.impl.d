@@ -1,0 +1,1 @@
+lib/harness/heartbeat.ml: Array Hashtbl List Option Printf Qs_core Qs_crypto Qs_fd Qs_sim

@@ -1,0 +1,1 @@
+lib/harness/heartbeat.mli: Qs_core Qs_fd Qs_sim

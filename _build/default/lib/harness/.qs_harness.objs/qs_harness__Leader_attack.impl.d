@@ -1,0 +1,1 @@
+lib/harness/leader_attack.ml: Fun Hashtbl List Qs_core Qs_follower

@@ -1,0 +1,1 @@
+lib/harness/leader_attack.mli:

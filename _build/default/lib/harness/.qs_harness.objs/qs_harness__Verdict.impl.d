@@ -1,0 +1,1 @@
+lib/harness/verdict.ml: Format List

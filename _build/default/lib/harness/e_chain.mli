@@ -1,0 +1,11 @@
+(** Experiment E9 (extension, DESIGN.md §6): chain communication.
+
+    The paper's Section I credits BChain's quorum selection with
+    "drastically reducing the number of necessary intra-replica messages" by
+    communicating along a chain; Section X names chain communication as
+    future work. This experiment measures messages per committed request for
+    the chain against XPaxos's all-to-all pattern (active quorum and full
+    replication), and verifies the chain re-forms around a mute member via
+    quorum selection. *)
+
+val run : unit -> Qs_stdx.Table.t * Verdict.t list

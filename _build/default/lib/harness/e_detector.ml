@@ -1,0 +1,120 @@
+module Table = Qs_stdx.Table
+module Sim = Qs_sim.Sim
+module Network = Qs_sim.Network
+module Stime = Qs_sim.Stime
+module Detector = Qs_fd.Detector
+module Timeout = Qs_fd.Timeout
+
+let ms = Stime.of_ms
+
+type result = {
+  strategy : string;
+  false_pre_gst : int;
+  false_post_gst : int;
+  omitter_suspected_rounds : int;
+  omitter_suspected_final : bool;
+  final_timeout : Stime.t;
+}
+
+let gst = ms 5_000
+
+let rounds = 100
+
+let round_period = ms 200
+
+let run_one strategy ~name =
+  let sim = Sim.create ~seed:42L () in
+  let net =
+    Network.create ~sim ~n:3
+      ~delay:
+        (Network.Eventually_synchronous
+           { gst; pre_lo = ms 1; pre_hi = ms 300; post_lo = ms 5; post_hi = ms 80 })
+      ()
+  in
+  let timeouts = Timeout.create ~n:3 ~initial:(ms 50) strategy in
+  let false_pre = ref 0 and false_post = ref 0 in
+  let omitter_rounds = ref 0 in
+  let correct_suspected = ref false in
+  let detector =
+    Detector.create ~sim ~me:0 ~n:3 ~timeouts
+      ~deliver:(fun ~src:_ _ -> ())
+      ~on_suspected:(fun s ->
+        let now = Sim.now sim in
+        if List.mem 1 s && not !correct_suspected then begin
+          correct_suspected := true;
+          (* Count at the raise edge only; post-GST gets one timeout of
+             slack for expectations issued just before GST. *)
+          if now <= Stime.( + ) gst (ms 400) then incr false_pre else incr false_post
+        end;
+        if not (List.mem 1 s) then correct_suspected := false)
+      ()
+  in
+  Network.set_handler net 0 (fun ~src m -> Detector.receive detector ~src m);
+  for k = 1 to rounds do
+    Sim.schedule_at sim ~at:(k * round_period) (fun () ->
+        Detector.expect detector ~from:1 (fun m -> m = k);
+        Detector.expect detector ~from:2 (fun m -> m = k);
+        if Detector.is_suspected detector 2 then incr omitter_rounds;
+        (* The correct peer replies instantly; the omitter never does. *)
+        Network.send net ~src:1 ~dst:0 k)
+  done;
+  Sim.run sim;
+  {
+    strategy = name;
+    false_pre_gst = !false_pre;
+    false_post_gst = !false_post;
+    omitter_suspected_rounds = !omitter_rounds;
+    omitter_suspected_final = Detector.is_suspected detector 2;
+    final_timeout = Timeout.current timeouts 1;
+  }
+
+let run () =
+  let fixed = run_one Timeout.Fixed ~name:"fixed 50ms" in
+  let expo =
+    run_one (Timeout.Exponential { factor = 2.0; max = ms 5000 }) ~name:"exponential backoff"
+  in
+  let additive =
+    run_one (Timeout.Additive { step = ms 50; max = ms 5000 }) ~name:"additive +50ms"
+  in
+  let t =
+    Table.create ~title:"E7: failure-detector completeness and accuracy around GST"
+      ~columns:
+        [
+          ("timeout strategy", Table.Left);
+          ("false susp. pre-GST", Table.Right);
+          ("false susp. post-GST", Table.Right);
+          ("omitter suspected (rounds)", Table.Right);
+          ("omitter suspected at end", Table.Left);
+          ("final timeout (correct peer)", Table.Right);
+        ]
+  in
+  let add r =
+    Table.add_row t
+      [
+        r.strategy;
+        string_of_int r.false_pre_gst;
+        string_of_int r.false_post_gst;
+        string_of_int r.omitter_suspected_rounds;
+        (if r.omitter_suspected_final then "yes" else "NO");
+        Format.asprintf "%a" Stime.pp r.final_timeout;
+      ]
+  in
+  add fixed;
+  add expo;
+  add additive;
+  let verdicts =
+    [
+      Verdict.make "completeness: omitter permanently suspected (all strategies)"
+        (fixed.omitter_suspected_final && expo.omitter_suspected_final
+        && additive.omitter_suspected_final);
+      Verdict.make "ablation: fixed timeout keeps false-suspecting after GST"
+        (fixed.false_post_gst > 0);
+      Verdict.make "accuracy: exponential backoff stops false suspicions after GST"
+        (expo.false_post_gst = 0);
+      Verdict.make "accuracy: additive adaptation stops false suspicions after GST"
+        (additive.false_post_gst = 0);
+      Verdict.make "pre-GST false suspicions actually occurred (asynchrony was real)"
+        (expo.false_pre_gst > 0 || fixed.false_pre_gst > 0);
+    ]
+  in
+  (t, verdicts)

@@ -1,0 +1,27 @@
+(** Experiment E7: failure-detector completeness and accuracy
+    (Sections II and IV-B).
+
+    A three-process workload in an eventually-synchronous network: an
+    observer expects one message per round from a correct peer (whose
+    messages are arbitrarily delayed before GST and bounded after) and from
+    an omitter (who never sends — a repeated omission failure).
+
+    Checks:
+    - {e expectation completeness}: the omitter is suspected, every round;
+    - {e eventual strong accuracy}: with adaptive timeouts, false suspicions
+      of the correct peer stop after GST; with a fixed timeout below the
+      post-GST bound they never do (the ablation motivating adaptive
+      timeouts). *)
+
+type result = {
+  strategy : string;
+  false_pre_gst : int;  (** false suspicions of the correct peer before GST *)
+  false_post_gst : int;  (** … after GST (+ one timeout of slack) *)
+  omitter_suspected_rounds : int;  (** rounds in which the omitter was suspected *)
+  omitter_suspected_final : bool;
+  final_timeout : Qs_sim.Stime.t;  (** adapted timeout for the correct peer *)
+}
+
+val run_one : Qs_fd.Timeout.strategy -> name:string -> result
+
+val run : unit -> Qs_stdx.Table.t * Verdict.t list

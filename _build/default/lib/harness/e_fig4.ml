@@ -1,0 +1,62 @@
+module Table = Qs_stdx.Table
+module Matrix = Qs_core.Suspicion_matrix
+module Indep = Qs_graph.Indep
+module Pid = Qs_core.Pid
+
+(* Suspicions consistent with the Fig. 4 caption (0-based ids): the (p3,p4)
+   edge was raised in epoch 2, the rest in epoch 3. *)
+let suspicions =
+  [
+    (* suspector, suspect, epoch *)
+    (2, 3, 2); (* the stale edge removed at epoch 3 *)
+    (0, 1, 3);
+    (0, 4, 3);
+    (1, 2, 3);
+    (1, 3, 3);
+    (1, 4, 3);
+  ]
+
+let matrix () =
+  let m = Matrix.create 5 in
+  List.iter (fun (l, k, e) -> Matrix.record m ~suspector:l ~suspect:k ~epoch:e) suspicions;
+  m
+
+let run () =
+  let m = matrix () in
+  let q = 3 in
+  let quorum_at epoch =
+    Indep.lex_first_independent_set (Matrix.suspect_graph m ~epoch) q
+  in
+  let t =
+    Table.create ~title:"E1 (Fig. 4): suspect graph, epoch aging, quorum choice"
+      ~columns:
+        [ ("epoch", Table.Right); ("edges", Table.Left); ("independent sets of size 3", Table.Left);
+          ("chosen quorum", Table.Left) ]
+  in
+  let describe epoch =
+    let g = Matrix.suspect_graph m ~epoch in
+    let edges =
+      String.concat " "
+        (List.map (fun (i, j) -> Printf.sprintf "%s-%s" (Pid.to_string i) (Pid.to_string j))
+           (Qs_graph.Graph.edges g))
+    in
+    let sets =
+      List.filter (fun s -> Indep.is_independent g s) (Qs_stdx.Combin.subsets 5 q)
+    in
+    let sets_str =
+      if sets = [] then "(none)" else String.concat " " (List.map Pid.set_to_string sets)
+    in
+    let chosen = match quorum_at epoch with Some s -> Pid.set_to_string s | None -> "(none)" in
+    Table.add_row t [ string_of_int epoch; edges; sets_str; chosen ]
+  in
+  describe 2;
+  describe 3;
+  let verdicts =
+    [
+      Verdict.make "epoch 2: no independent set of size 3" (quorum_at 2 = None);
+      Verdict.make "epoch 3: {p1,p3,p4} chosen (lex-first)" (quorum_at 3 = Some [ 0; 2; 3 ]);
+      Verdict.make "epoch 3: {p3,p4,p5} also independent"
+        (Indep.is_independent (Matrix.suspect_graph m ~epoch:3) [ 2; 3; 4 ]);
+    ]
+  in
+  (t, verdicts)

@@ -1,0 +1,11 @@
+(** Experiment E1: the worked example of Fig. 4 (Section VI-B).
+
+    Reconstructs the suspect graph whose caption the paper gives: in epoch 2
+    no independent set of size 3 exists; raising the epoch to 3 removes the
+    (p3, p4) edge and exactly {p1,p3,p4} and {p3,p4,p5} become independent
+    sets, of which Algorithm 1 picks the lexicographically first. *)
+
+val run : unit -> Qs_stdx.Table.t * Verdict.t list
+
+val matrix : unit -> Qs_core.Suspicion_matrix.t
+(** The reconstructed suspicion matrix (exposed for tests). *)

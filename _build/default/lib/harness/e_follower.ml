@@ -1,0 +1,96 @@
+module Table = Qs_stdx.Table
+module Graph = Qs_graph.Graph
+module Line = Qs_graph.Line_subgraph
+module Pid = Qs_core.Pid
+
+let run ?(fs = [ 1; 2; 3; 4 ]) () =
+  let t =
+    Table.create ~title:"E4 (Theorem 9 / Corollary 10): Follower Selection under leader attack"
+      ~columns:
+        [
+          ("f", Table.Right);
+          ("n = 3f+1", Table.Right);
+          ("suspicions", Table.Right);
+          ("max quorums/epoch", Table.Right);
+          ("bound 3f+1", Table.Right);
+          ("total quorums", Table.Right);
+          ("bound 6f+2", Table.Right);
+          ("epochs", Table.Right);
+        ]
+  in
+  let verdicts = ref [] in
+  List.iter
+    (fun f ->
+      let n = (3 * f) + 1 in
+      let r = Leader_attack.run ~n ~f in
+      Table.add_row t
+        [
+          string_of_int f;
+          string_of_int n;
+          string_of_int r.Leader_attack.injections;
+          string_of_int r.Leader_attack.max_per_epoch;
+          string_of_int ((3 * f) + 1);
+          string_of_int r.Leader_attack.total_issued;
+          string_of_int ((6 * f) + 2);
+          string_of_int r.Leader_attack.epochs;
+        ];
+      verdicts :=
+        Verdict.make (Printf.sprintf "f=%d: per-epoch quorums <= 3f+1" f)
+          (r.Leader_attack.max_per_epoch <= (3 * f) + 1)
+        :: Verdict.make (Printf.sprintf "f=%d: total quorums <= 6f+2" f)
+             (r.Leader_attack.total_issued <= (6 * f) + 2)
+        :: !verdicts)
+    fs;
+  (t, List.rev !verdicts)
+
+let examples () =
+  let t =
+    Table.create ~title:"E4b (Examples 1-2): maximal line subgraphs and possible followers"
+      ~columns:
+        [
+          ("case", Table.Left);
+          ("suspect graph", Table.Left);
+          ("leader", Table.Left);
+          ("excluded followers", Table.Left);
+        ]
+  in
+  let show label g =
+    let l = Line.maximal g in
+    let leader = Line.leader g in
+    let excluded =
+      List.filter (fun v -> not (Line.is_possible_follower l v)) (Graph.vertices l)
+    in
+    let edges =
+      String.concat " "
+        (List.map (fun (i, j) -> Printf.sprintf "%s-%s" (Pid.to_string i) (Pid.to_string j))
+           (Graph.edges g))
+    in
+    Table.add_row t
+      [
+        label;
+        (if edges = "" then "(empty)" else edges);
+        Pid.to_string leader;
+        (if excluded = [] then "(none)" else Pid.set_to_string excluded);
+      ];
+    (leader, excluded)
+  in
+  (* Example 1: a 3-path on 7 nodes; p2 sits between two degree-1 nodes. *)
+  let g1 = Graph.of_edges 7 [ (0, 1); (1, 2) ] in
+  let leader1, excl1 = show "Example 1" g1 in
+  (* Example 1 note: adding (p2,p5) does not change the leader. *)
+  let g1b = Graph.of_edges 7 [ (0, 1); (1, 2); (1, 4) ] in
+  let leader1b, _ = show "Example 1 + (p2,p5)" g1b in
+  (* Example 2 flavor: one more suspicion moves the leader. *)
+  let g2 = Graph.of_edges 6 [ (0, 1); (2, 3) ] in
+  let leader2, _ = show "Example 2 (before)" g2 in
+  let g2b = Graph.of_edges 6 [ (0, 1); (2, 3); (3, 4) ] in
+  let leader2b, _ = show "Example 2 (after new edge)" g2b in
+  let verdicts =
+    [
+      Verdict.make "example 1: leader is p4" (leader1 = 3);
+      Verdict.make "example 1: p2 not a possible follower" (excl1 = [ 1 ]);
+      Verdict.make "example 1: extra follower-side edge keeps the leader" (leader1b = leader1);
+      Verdict.make "example 2: new suspicion moves the leader" (leader2b > leader2);
+    ]
+  in
+  (t, verdicts)

@@ -1,0 +1,13 @@
+(** Experiment E4: Follower Selection bounds (Theorem 9, Corollary 10) and
+    the line-subgraph examples of Section VIII.
+
+    Runs the leader-attack adversary against Algorithm 2 for a range of [f]
+    with [n = 3f + 1] and checks: at most [3f + 1] quorums per epoch, at
+    most [6f + 2] in total after stabilization. *)
+
+val run : ?fs:int list -> unit -> Qs_stdx.Table.t * Verdict.t list
+(** Default [fs = [1; 2; 3]]. *)
+
+val examples : unit -> Qs_stdx.Table.t * Verdict.t list
+(** Examples 1 and 2: maximal line subgraphs, leaders and possible
+    followers on the hand-constructed graphs. *)

@@ -1,0 +1,166 @@
+module Table = Qs_stdx.Table
+module Stime = Qs_sim.Stime
+module Timeout = Qs_fd.Timeout
+
+let ms = Stime.of_ms
+
+type row = {
+  protocol : string;
+  happy_latency : Stime.t;
+  recovery_latency : Stime.t option;
+}
+
+(* Every scenario follows the same script: warm up with one request, mute an
+   active non-leader member at 200ms, submit the probe at 300ms, report the
+   probe's commit latency. Timeouts are 25ms with exponential backoff, links
+   are 1ms. *)
+let timeout = ms 25
+
+let probe_at = ms 300
+
+let strategy = Timeout.Exponential { factor = 2.0; max = ms 2000 }
+
+(* Each runner returns (happy latency, recovery latency option). *)
+
+let xpaxos_qs () =
+  let config =
+    {
+      Qs_xpaxos.Replica.n = 5;
+      f = 2;
+      mode = Qs_xpaxos.Replica.Quorum_selection;
+      initial_timeout = timeout;
+      timeout_strategy = strategy;
+    }
+  in
+  let c = Qs_xpaxos.Xcluster.create config in
+  let warm = Qs_xpaxos.Xcluster.submit c "warm" in
+  Qs_xpaxos.Xcluster.run ~until:(ms 200) c;
+  let happy = Option.get (Qs_xpaxos.Xcluster.commit_latency c warm) in
+  Qs_xpaxos.Xcluster.set_fault c 1 Qs_xpaxos.Replica.Mute;
+  Qs_sim.Sim.schedule_at (Qs_xpaxos.Xcluster.sim c) ~at:probe_at (fun () -> ());
+  Qs_xpaxos.Xcluster.run ~until:probe_at c;
+  let probe = Qs_xpaxos.Xcluster.submit c ~resubmit_every:(ms 100) "probe" in
+  Qs_xpaxos.Xcluster.run ~until:(ms 20_000) c;
+  (happy, Qs_xpaxos.Xcluster.commit_latency c probe)
+
+let pbft_selected () =
+  let config =
+    {
+      Qs_pbft.Preplica.n = 7;
+      f = 2;
+      participation = Qs_pbft.Preplica.Selected;
+      initial_timeout = timeout;
+      timeout_strategy = strategy;
+    }
+  in
+  let c = Qs_pbft.Pcluster.create config in
+  let warm = Qs_pbft.Pcluster.submit c "warm" in
+  Qs_pbft.Pcluster.run ~until:(ms 200) c;
+  let happy = Option.get (Qs_pbft.Pcluster.commit_latency c warm) in
+  Qs_pbft.Pcluster.set_fault c 1 Qs_pbft.Preplica.Mute;
+  Qs_pbft.Pcluster.run ~until:probe_at c;
+  let probe = Qs_pbft.Pcluster.submit c ~resubmit_every:(ms 100) "probe" in
+  Qs_pbft.Pcluster.run ~until:(ms 20_000) c;
+  (happy, Qs_pbft.Pcluster.commit_latency c probe)
+
+let minbft_selected () =
+  let config =
+    {
+      Qs_minbft.Mreplica.n = 5;
+      f = 2;
+      participation = Qs_minbft.Mreplica.Selected;
+      initial_timeout = timeout;
+      timeout_strategy = strategy;
+    }
+  in
+  let c = Qs_minbft.Mcluster.create config in
+  let warm = Qs_minbft.Mcluster.submit c "warm" in
+  Qs_minbft.Mcluster.run ~until:(ms 200) c;
+  let happy = Option.get (Qs_minbft.Mcluster.commit_latency c warm) in
+  Qs_minbft.Mcluster.set_fault c 1 Qs_minbft.Mreplica.Mute;
+  Qs_minbft.Mcluster.run ~until:probe_at c;
+  let probe = Qs_minbft.Mcluster.submit c ~resubmit_every:(ms 100) "probe" in
+  Qs_minbft.Mcluster.run ~until:(ms 20_000) c;
+  (happy, Qs_minbft.Mcluster.commit_latency c probe)
+
+let chain () =
+  let config =
+    {
+      Qs_bchain.Chain_node.n = 7;
+      f = 2;
+      initial_timeout = timeout;
+      timeout_strategy = strategy;
+    }
+  in
+  let c = Qs_bchain.Chain_cluster.create config in
+  let warm = Qs_bchain.Chain_cluster.submit c "warm" in
+  Qs_bchain.Chain_cluster.run ~until:(ms 200) c;
+  let happy = Option.get (Qs_bchain.Chain_cluster.commit_latency c warm) in
+  Qs_bchain.Chain_cluster.set_fault c 2 Qs_bchain.Chain_node.Mute;
+  Qs_bchain.Chain_cluster.run ~until:probe_at c;
+  let probe = Qs_bchain.Chain_cluster.submit c ~resubmit_every:(ms 100) "probe" in
+  Qs_bchain.Chain_cluster.run ~until:(ms 20_000) c;
+  (happy, Qs_bchain.Chain_cluster.commit_latency c probe)
+
+let star () =
+  let config =
+    {
+      Qs_star.Star_node.n = 7;
+      f = 2;
+      initial_timeout = timeout;
+      timeout_strategy = strategy;
+    }
+  in
+  let c = Qs_star.Star_cluster.create config in
+  let warm = Qs_star.Star_cluster.submit c "warm" in
+  Qs_star.Star_cluster.run ~until:(ms 200) c;
+  let happy = Option.get (Qs_star.Star_cluster.commit_latency c warm) in
+  Qs_star.Star_cluster.set_fault c 2 Qs_star.Star_node.Mute;
+  Qs_star.Star_cluster.run ~until:probe_at c;
+  let probe = Qs_star.Star_cluster.submit c ~resubmit_every:(ms 100) "probe" in
+  Qs_star.Star_cluster.run ~until:(ms 20_000) c;
+  (happy, Qs_star.Star_cluster.commit_latency c probe)
+
+let run () =
+  let rows =
+    [
+      ("XPaxos + quorum selection", xpaxos_qs ());
+      ("PBFT selected", pbft_selected ());
+      ("MinBFT selected (trusted comp.)", minbft_selected ());
+      ("Chain (BChain-style)", chain ());
+      ("Star + follower selection", star ());
+    ]
+  in
+  let t =
+    Table.create
+      ~title:"E12 (extension): the price of reacting - recovery latency per integration"
+      ~columns:
+        [
+          ("protocol", Table.Left);
+          ("happy-path commit", Table.Right);
+          ("commit after member crash", Table.Right);
+          ("reaction premium", Table.Right);
+        ]
+  in
+  let verdicts = ref [] in
+  List.iter
+    (fun (name, (happy, recovery)) ->
+      (match recovery with
+       | Some r ->
+         Table.add_row t
+           [
+             name;
+             Format.asprintf "%a" Stime.pp happy;
+             Format.asprintf "%a" Stime.pp r;
+             Format.asprintf "%a" Stime.pp (Stime.( - ) r happy);
+           ]
+       | None ->
+         Table.add_row t [ name; Format.asprintf "%a" Stime.pp happy; "NO RECOVERY"; "-" ]);
+      verdicts :=
+        Verdict.make (name ^ ": recovered") (recovery <> None)
+        :: Verdict.make
+             (name ^ ": recovery within ~20 timeouts")
+             (match recovery with Some r -> r <= 20 * timeout | None -> false)
+        :: !verdicts)
+    rows;
+  (t, List.rev !verdicts)

@@ -1,0 +1,23 @@
+(** Experiment E12 (extension): reacting, measured — recovery latency across
+    every protocol integration.
+
+    The paper's pitch is that selecting a quorum of well-functioning
+    processes lets a system {e react} to failures instead of paying to mask
+    them. This experiment quantifies the price of reacting: an active quorum
+    member goes mute mid-run, a fresh request is submitted, and we measure
+    the time until it commits — detection (one expectation timeout) plus
+    selection (gossip) plus the protocol's own reconfiguration.
+
+    One row per integration: XPaxos (quorum selection), PBFT selected
+    (quorum selection), MinBFT selected (quorum selection, trusted
+    component), chain (quorum selection, BChain-style) and star (follower
+    selection). Happy-path latency is reported next to it, so the
+    reaction premium is visible. *)
+
+type row = {
+  protocol : string;
+  happy_latency : Qs_sim.Stime.t;
+  recovery_latency : Qs_sim.Stime.t option;  (** None = did not recover *)
+}
+
+val run : unit -> Qs_stdx.Table.t * Verdict.t list

@@ -1,0 +1,15 @@
+(** Experiment E10 (extension): the full Fig.-1 stack end to end.
+
+    E10a — crash convergence: [f] processes crash mid-run; heartbeat
+    expectations raise the suspicions, Algorithm 1 converges every correct
+    process onto the same quorum of live processes. Reports detection +
+    selection latency and the number of quorum changes (which must respect
+    Theorem 3's per-epoch bound, since all suspicions here are accurate).
+
+    E10b — the Section VI-C equivocation claim: a faulty process sending
+    {e different} suspicion rows to different peers does not hurt —
+    correct processes still converge to one quorum, with the equivocator's
+    claims merged by the max-CRDT ("such behavior will only cause Quorum
+    Selection to terminate faster"). *)
+
+val run : unit -> Qs_stdx.Table.t * Verdict.t list

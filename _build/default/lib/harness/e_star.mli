@@ -1,0 +1,11 @@
+(** Experiment E11 (extension): Follower Selection live, in its habitat.
+
+    Section VIII motivates Follower Selection with leader-centric message
+    patterns. Here Algorithm 2 runs end-to-end — expectations, FOLLOWERS
+    messages, detection — inside a star-topology state machine
+    (LEAD/ACK/APPLY, [3(q−1)] messages per request) over the asynchronous
+    network, and the live reconfiguration counts are checked against
+    Corollary 10's [6f + 2]. *)
+
+val run : ?fs:int list -> unit -> Qs_stdx.Table.t * Verdict.t list
+(** Default [fs = [1; 2; 3]]; [n = 3f + 1]. *)

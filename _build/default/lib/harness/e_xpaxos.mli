@@ -1,0 +1,23 @@
+(** Experiments E5, E6 and E8: the XPaxos-level claims.
+
+    E5 — view changes until a working quorum: the XPaxos enumeration
+    baseline walks the [C(n,f)] quorum list (Section V-B), Quorum Selection
+    needs [O(f²)] changes, Follower Selection [O(f)] (Section I).
+
+    E6 — message reduction from running only an active quorum: dropping the
+    [f] passive replicas shrinks every broadcast from [n−1] to [q−1]
+    recipients, ≈ 1/3 fewer messages for [n = 3f+1] systems and ≈ 1/2 for
+    [n = 2f+1] (Section I, citing Distler et al. [6]).
+
+    E8 — the normal-case message flows of Figs. 2 and 3, captured from the
+    simulator's trace. *)
+
+val e5_viewchanges : ?fs:int list -> unit -> Qs_stdx.Table.t * Verdict.t list
+(** Default [fs = [1; 2; 3]]. Mute faulty replicas occupy the low ids — the
+    worst case for the lexicographic enumeration. *)
+
+val e6_messages : unit -> Qs_stdx.Table.t * Verdict.t list
+
+val e8_flows : unit -> string * Verdict.t list
+(** Returns the rendered message traces (happy case and delayed-PREPARE
+    case) plus verdicts on their shape. *)

@@ -1,0 +1,71 @@
+type outcome = { id : string; rendered : string; verdicts : Verdict.t list }
+
+let of_table id (table, verdicts) =
+  { id; rendered = Qs_stdx.Table.render table; verdicts }
+
+let e1 () = of_table "E1" (E_fig4.run ())
+
+let e2 ?fs () = of_table "E2" (E_bounds.e2_upper_bound ?fs ())
+
+let e3 ?fs () = of_table "E3" (E_bounds.e3_lower_bound ?fs ())
+
+let e4 ?fs () =
+  let t1, v1 = E_follower.run ?fs () in
+  let t2, v2 = E_follower.examples () in
+  {
+    id = "E4";
+    rendered = Qs_stdx.Table.render t1 ^ "\n\n" ^ Qs_stdx.Table.render t2;
+    verdicts = v1 @ v2;
+  }
+
+let e5 ?fs () = of_table "E5" (E_xpaxos.e5_viewchanges ?fs ())
+
+let e6 () = of_table "E6" (E_xpaxos.e6_messages ())
+
+let e7 () = of_table "E7" (E_detector.run ())
+
+let e8 () =
+  let rendered, verdicts = E_xpaxos.e8_flows () in
+  { id = "E8"; rendered; verdicts }
+
+let e9 () = of_table "E9" (E_chain.run ())
+
+let e10 () = of_table "E10" (E_stack.run ())
+
+let e11 () = of_table "E11" (E_star.run ())
+
+let e12 () = of_table "E12" (E_recovery.run ())
+
+let all ?(quick = false) () =
+  let fs_bounds = if quick then [ 1; 2 ] else [ 1; 2; 3; 4 ] in
+  let fs_fol = if quick then [ 1; 2 ] else [ 1; 2; 3 ] in
+  let fs_vc = if quick then [ 1; 2 ] else [ 1; 2; 3 ] in
+  [
+    e1 ();
+    e2 ~fs:fs_bounds ();
+    e3 ~fs:fs_bounds ();
+    e4 ~fs:fs_fol ();
+    e5 ~fs:fs_vc ();
+    e6 ();
+    e7 ();
+    e8 ();
+    e9 ();
+    e10 ();
+    e11 ();
+    e12 ();
+  ]
+
+let print o =
+  print_endline o.rendered;
+  print_newline ();
+  Verdict.print_all o.verdicts
+
+let run_and_print_all ?quick () =
+  let outcomes = all ?quick () in
+  List.iter print outcomes;
+  let ok = List.for_all (fun o -> Verdict.all_ok o.verdicts) outcomes in
+  Printf.printf "=== %s: %d/%d experiments fully reproduced ===\n"
+    (if ok then "OK" else "ATTENTION")
+    (List.length (List.filter (fun o -> Verdict.all_ok o.verdicts) outcomes))
+    (List.length outcomes);
+  ok

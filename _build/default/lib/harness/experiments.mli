@@ -1,0 +1,29 @@
+(** One entry point per reproduced paper artifact (see DESIGN.md §4) and an
+    all-in-one runner used by [bench/main.exe]. *)
+
+type outcome = {
+  id : string;
+  rendered : string;  (** the table or trace, ready to print *)
+  verdicts : Verdict.t list;
+}
+
+val e1 : unit -> outcome
+val e2 : ?fs:int list -> unit -> outcome
+val e3 : ?fs:int list -> unit -> outcome
+val e4 : ?fs:int list -> unit -> outcome
+val e5 : ?fs:int list -> unit -> outcome
+val e6 : unit -> outcome
+val e7 : unit -> outcome
+val e8 : unit -> outcome
+val e9 : unit -> outcome
+val e10 : unit -> outcome
+val e11 : unit -> outcome
+val e12 : unit -> outcome
+
+val all : ?quick:bool -> unit -> outcome list
+(** [quick] trims the sweeps for test runs (default false). *)
+
+val print : outcome -> unit
+
+val run_and_print_all : ?quick:bool -> unit -> bool
+(** Print every experiment and its verdicts; [true] iff everything passed. *)

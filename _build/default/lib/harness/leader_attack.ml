@@ -1,0 +1,77 @@
+module Fcluster = Qs_follower.Fcluster
+module Follower_select = Qs_follower.Follower_select
+module QS = Qs_core.Quorum_select
+
+type result = {
+  total_issued : int;
+  max_per_epoch : int;
+  epochs : int;
+  injections : int;
+}
+
+let run ~n ~f =
+  if n <= 3 * f then invalid_arg "Leader_attack.run: requires n > 3f";
+  let config = { QS.n; f } in
+  let cluster = Fcluster.create config in
+  let faulty = List.init f (fun i -> i) in
+  let correct = List.filter (fun p -> not (List.mem p faulty)) (List.init n Fun.id) in
+  let is_faulty p = List.mem p faulty in
+  let used = Hashtbl.create 32 in
+  let observer = Fcluster.node cluster (List.hd correct) in
+  (* Track per-epoch issue counts at the observer. *)
+  let issues_by_epoch = Hashtbl.create 8 in
+  let note_issues () =
+    let e = Follower_select.epoch observer in
+    let issued = Follower_select.quorums_issued observer in
+    Hashtbl.replace issues_by_epoch e issued
+  in
+  let drain () =
+    Fcluster.run_until_quiet cluster;
+    (* A changed leader leaves FOLLOWERS expectations open only if the new
+       leader is crashed; nobody is crashed here, so drain is enough. *)
+    note_issues ()
+  in
+  let injections = ref 0 in
+  let continue = ref true in
+  while !continue do
+    drain ();
+    match Fcluster.agreed cluster ~correct with
+    | None -> continue := false (* waiting on an expectation: stop *)
+    | Some (leader, quorum) ->
+      (* Find an unused leader-member pair with a faulty endpoint. *)
+      let members = List.filter (fun p -> p <> leader) quorum in
+      let pick =
+        List.find_opt
+          (fun m ->
+            let key = (min m leader, max m leader) in
+            (is_faulty m || is_faulty leader) && not (Hashtbl.mem used key))
+          members
+      in
+      (match pick with
+       | None -> continue := false
+       | Some m ->
+         let key = (min m leader, max m leader) in
+         Hashtbl.replace used key ();
+         incr injections;
+         (* A faulty member m falsely suspects a correct leader, or a correct
+            member m suspects a faulty leader: either way the suspicion
+            appears at m's failure detector. *)
+         Fcluster.fd_suspect cluster ~at:m [ leader ];
+         Fcluster.fd_suspect cluster ~at:m [])
+  done;
+  drain ();
+  (* Per-epoch deltas from the cumulative samples. *)
+  let samples =
+    List.sort compare (Hashtbl.fold (fun e c acc -> (e, c) :: acc) issues_by_epoch [])
+  in
+  let max_per_epoch, _ =
+    List.fold_left
+      (fun (best, prev) (_, cumulative) -> (max best (cumulative - prev), cumulative))
+      (0, 0) samples
+  in
+  {
+    total_issued = Fcluster.max_issued cluster ~correct;
+    max_per_epoch;
+    epochs = Follower_select.epochs_entered observer;
+    injections = !injections;
+  }

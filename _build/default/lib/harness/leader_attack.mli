@@ -1,0 +1,19 @@
+(** Adversarial driver for Follower Selection (experiment E4).
+
+    The strongest model-respecting attack on Algorithm 2: a set of faulty
+    processes keeps suspicions flowing between the current leader and a
+    quorum member (a faulty member falsely suspects a correct leader; a
+    correct member "earns" a suspicion of a faulty leader). Theorem 9 bounds
+    the quorums issued per epoch by [3f + 1]; Corollary 10 bounds the total
+    after stabilization by [6f + 2]. *)
+
+type result = {
+  total_issued : int;  (** max over correct processes *)
+  max_per_epoch : int;  (** max quorums issued within one epoch *)
+  epochs : int;  (** epochs entered at the observer *)
+  injections : int;
+}
+
+val run : n:int -> f:int -> result
+(** Faulty = [{0 .. f-1}]. Requires [n > 3f]. The attack stops when no
+    unused leader–member suspicion with a faulty endpoint remains. *)

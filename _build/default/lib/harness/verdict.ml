@@ -1,0 +1,11 @@
+type t = { label : string; ok : bool }
+
+let make label ok = { label; ok }
+
+let all_ok vs = List.for_all (fun v -> v.ok) vs
+
+let pp ppf v = Format.fprintf ppf "  [%s] %s" (if v.ok then "ok" else "FAIL") v.label
+
+let print_all vs =
+  List.iter (fun v -> Format.printf "%a@." pp v) vs;
+  Format.printf "@."

@@ -1,0 +1,11 @@
+(** Pass/fail records attached to each reproduced paper artifact. *)
+
+type t = { label : string; ok : bool }
+
+val make : string -> bool -> t
+
+val all_ok : t list -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val print_all : t list -> unit

@@ -1,0 +1,1 @@
+lib/minbft/mcluster.ml: Array Hashtbl List Mmsg Mreplica Qs_core Qs_crypto Qs_sim Usig

@@ -1,0 +1,1 @@
+lib/minbft/mcluster.mli: Mmsg Mreplica Qs_core Qs_sim

@@ -1,0 +1,1 @@
+lib/minbft/mmsg.ml: Printf Qs_core Qs_crypto Usig

@@ -1,0 +1,1 @@
+lib/minbft/mmsg.mli: Qs_core Qs_crypto Usig

@@ -1,0 +1,1 @@
+lib/minbft/mreplica.ml: Array Fun Hashtbl List Mmsg Option Qs_core Qs_crypto Qs_fd Qs_sim Usig

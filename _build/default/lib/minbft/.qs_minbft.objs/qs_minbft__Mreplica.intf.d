@@ -1,0 +1,1 @@
+lib/minbft/mreplica.mli: Mmsg Qs_core Qs_crypto Qs_fd Qs_sim Usig

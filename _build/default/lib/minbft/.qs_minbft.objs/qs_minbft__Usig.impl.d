@@ -1,0 +1,1 @@
+lib/minbft/usig.ml: Array Printf Qs_core Qs_crypto

@@ -1,0 +1,1 @@
+lib/minbft/usig.mli: Qs_core Qs_crypto

@@ -1,0 +1,318 @@
+module Sim = Qs_sim.Sim
+module Detector = Qs_fd.Detector
+module Timeout = Qs_fd.Timeout
+module QS = Qs_core.Quorum_select
+module Pid = Qs_core.Pid
+module Auth = Qs_crypto.Auth
+
+type participation = Full | Selected
+
+type config = {
+  n : int;
+  f : int;
+  participation : participation;
+  initial_timeout : Qs_sim.Stime.t;
+  timeout_strategy : Timeout.strategy;
+}
+
+type fault = Honest | Mute | Omit_to of Pid.t list
+
+type slot_state = {
+  mutable prepare : Mmsg.prepare option;
+  mutable committers : Pid.t list;  (** distinct commit-certificate senders *)
+  mutable executed : bool;
+}
+
+type t = {
+  config : config;
+  me : Pid.t;
+  auth : Auth.t;
+  usig : Usig.t;
+  monitor : Usig.monitor;
+  monitor_directory : Usig.directory;
+  resync_pending : bool array;
+  sim : Sim.t;
+  net_send : dst:Pid.t -> Mmsg.t -> unit;
+  on_execute : Mmsg.request -> unit;
+  mutable fd : Mmsg.t Detector.t option;
+  mutable qsel : QS.t option;
+  mutable active : Pid.t list;
+  mutable cepoch : int;
+  slots : (int * int, slot_state) Hashtbl.t; (* (cepoch, slot) *)
+  mutable next_slot : int;
+  proposed : (int * int, unit) Hashtbl.t;
+  awaiting_prepare : (int * int, unit) Hashtbl.t;
+  executed_ids : (int * int, unit) Hashtbl.t;
+  mutable executed : Mmsg.request list; (* reversed *)
+  mutable fault : fault;
+  mutable gaps : int;
+}
+
+let me t = t.me
+
+let fd t = Option.get t.fd
+
+let detector = fd
+
+let set_fault t fault = t.fault <- fault
+
+let active t = t.active
+
+let primary t = match t.active with p :: _ -> p | [] -> assert false
+
+let is_primary t = primary t = t.me
+
+let in_active t = List.mem t.me t.active
+
+let config_epoch t = t.cepoch
+
+let executed t = List.rev t.executed
+
+let usig_gaps t = t.gaps
+
+let fault_allows t dst =
+  match t.fault with
+  | Honest -> true
+  | Mute -> false
+  | Omit_to victims -> not (List.mem dst victims)
+
+let send t ~dst body =
+  if dst = t.me || fault_allows t dst then
+    t.net_send ~dst (Mmsg.seal t.auth ~sender:t.me body)
+
+let send_active t body = List.iter (fun dst -> if dst <> t.me then send t ~dst body) t.active
+
+let send_all_including_self t body =
+  for dst = 0 to t.config.n - 1 do
+    send t ~dst body
+  done
+
+let slot_state t key =
+  match Hashtbl.find_opt t.slots key with
+  | Some s -> s
+  | None ->
+    let s = { prepare = None; committers = []; executed = false } in
+    Hashtbl.replace t.slots key s;
+    s
+
+let execute t (request : Mmsg.request) =
+  let key = (request.Mmsg.client, request.Mmsg.rid) in
+  if not (Hashtbl.mem t.executed_ids key) then begin
+    Hashtbl.replace t.executed_ids key ();
+    t.executed <- request :: t.executed;
+    t.on_execute request
+  end
+
+(* Counter acceptance with post-reconfiguration resync. *)
+let accept_ui t ~digest (ui : Usig.ui) =
+  match Usig.accept t.monitor ~digest ui with
+  | `Ok -> true
+  | `Gap when t.resync_pending.(ui.Usig.origin) ->
+    t.resync_pending.(ui.Usig.origin) <- false;
+    Usig.resync t.monitor ui.Usig.origin ui.Usig.counter;
+    Usig.accept t.monitor ~digest ui = `Ok
+  | `Gap ->
+    t.gaps <- t.gaps + 1;
+    false
+  | `Replay | `Bad_signature -> false
+
+(* ------------------------------------------------------------------ *)
+(* Expectations (Selected mode) *)
+
+let selected t = t.config.participation = Selected
+
+let expect_commit t ~from ~slot =
+  let epoch = t.cepoch in
+  Detector.expect (fd t) ~from ~tag:"commit" (fun m ->
+      match m.Mmsg.body with
+      | Mmsg.Commit { cprepare; _ } ->
+        cprepare.Mmsg.pview = epoch && cprepare.Mmsg.pslot = slot
+      | _ -> false)
+
+let expect_prepare_request t ~from request =
+  let epoch = t.cepoch in
+  Detector.expect (fd t) ~from ~tag:"prepare" (fun m ->
+      match m.Mmsg.body with
+      | Mmsg.Prepare p -> p.Mmsg.pview >= epoch && p.Mmsg.prequest = request
+      | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Commit pipeline: committed on f+1 distinct contributors (the primary's
+   PREPARE counts as its contribution). In Selected mode the active set has
+   exactly f+1 members, so this means everyone. *)
+
+let check_commit t (s : slot_state) =
+  match s.prepare with
+  | Some p when not s.executed ->
+    let contributors = List.sort_uniq compare (p.Mmsg.pui.Usig.origin :: s.committers) in
+    if List.length contributors >= t.config.f + 1 then begin
+      s.executed <- true;
+      execute t p.Mmsg.prequest
+    end
+  | _ -> ()
+
+let adopt_prepare t (p : Mmsg.prepare) =
+  let s = slot_state t (p.Mmsg.pview, p.Mmsg.pslot) in
+  if s.prepare = None then begin
+    s.prepare <- Some p;
+    if not (is_primary t) then begin
+      let cui = Usig.certify t.usig ~digest:(Mmsg.commit_digest p ~committer:t.me) in
+      send_active t (Mmsg.Commit { cprepare = p; cui });
+      if not (List.mem t.me s.committers) then s.committers <- t.me :: s.committers;
+      if selected t then
+        List.iter
+          (fun k -> if k <> t.me && k <> primary t then expect_commit t ~from:k ~slot:p.Mmsg.pslot)
+          t.active
+    end;
+    check_commit t s
+  end
+
+let handle_prepare t ~src (p : Mmsg.prepare) =
+  if
+    in_active t && src = primary t && p.Mmsg.pview = t.cepoch
+    && p.Mmsg.pui.Usig.origin = src
+    && accept_ui t ~digest:(Mmsg.digest_of ~view:p.Mmsg.pview ~slot:p.Mmsg.pslot p.Mmsg.prequest)
+         p.Mmsg.pui
+  then adopt_prepare t p
+
+let handle_commit t ~src (cprepare, cui) =
+  if in_active t && List.mem src t.active && cprepare.Mmsg.pview = t.cepoch then begin
+    (* Verify the embedded primary certificate statelessly (its counter
+       order is tracked on the direct PREPARE stream) and the committer's
+       certificate in counter order. *)
+    let embedded_ok =
+      cprepare.Mmsg.pui.Usig.origin = primary t
+      && Usig.verify t.monitor_directory
+           ~digest:
+             (Mmsg.digest_of ~view:cprepare.Mmsg.pview ~slot:cprepare.Mmsg.pslot
+                cprepare.Mmsg.prequest)
+           cprepare.Mmsg.pui
+    in
+    if
+      embedded_ok && cui.Usig.origin = src
+      && accept_ui t ~digest:(Mmsg.commit_digest cprepare ~committer:src) cui
+    then begin
+      let s = slot_state t (cprepare.Mmsg.pview, cprepare.Mmsg.pslot) in
+      if s.prepare = None then adopt_prepare t cprepare;
+      if not (List.mem src s.committers) then s.committers <- src :: s.committers;
+      check_commit t s
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Proposals *)
+
+let propose t request =
+  let key = (request.Mmsg.client, request.Mmsg.rid) in
+  Hashtbl.replace t.proposed key ();
+  let slot = t.next_slot in
+  t.next_slot <- slot + 1;
+  let digest = Mmsg.digest_of ~view:t.cepoch ~slot request in
+  let p =
+    {
+      Mmsg.pview = t.cepoch;
+      pslot = slot;
+      prequest = request;
+      pui = Usig.certify t.usig ~digest;
+    }
+  in
+  let s = slot_state t (t.cepoch, slot) in
+  s.prepare <- Some p;
+  send_active t (Mmsg.Prepare p);
+  if selected t then
+    List.iter (fun k -> if k <> t.me then expect_commit t ~from:k ~slot) t.active;
+  check_commit t s
+
+(* Note: no early return on local execution — the cluster-wide commit may
+   still need this replica's proposal or expectation (a primary that
+   executed in an earlier configuration must re-propose for peers that did
+   not). Exactly-once execution is enforced at [execute]. *)
+let submit t request =
+  let key = (request.Mmsg.client, request.Mmsg.rid) in
+  if in_active t then begin
+    if is_primary t then begin
+      if not (Hashtbl.mem t.proposed key) then propose t request
+    end
+    else if selected t && not (Hashtbl.mem t.awaiting_prepare key) then begin
+      Hashtbl.replace t.awaiting_prepare key ();
+      expect_prepare_request t ~from:(primary t) request
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+
+let on_quorum t quorum =
+  if quorum <> t.active then begin
+    t.cepoch <- t.cepoch + 1;
+    t.active <- quorum;
+    Detector.cancel_all (fd t);
+    Hashtbl.reset t.proposed;
+    Hashtbl.reset t.awaiting_prepare;
+    Array.fill t.resync_pending 0 t.config.n true
+  end
+
+let process t ~src msg =
+  match msg.Mmsg.body with
+  | Mmsg.Prepare p -> handle_prepare t ~src p
+  | Mmsg.Commit { cprepare; cui } -> handle_commit t ~src (cprepare, cui)
+  | Mmsg.Qsel update -> (
+    match t.qsel with Some qsel -> QS.handle_update qsel update | None -> ())
+
+let receive t ~src msg =
+  if Mmsg.verify t.auth msg && msg.Mmsg.sender = src then Detector.receive (fd t) ~src msg
+
+let create config ~me ~auth ~usig ~usig_directory ~sim ~net_send
+    ?(on_execute = fun _ -> ()) () =
+  if config.n <> (2 * config.f) + 1 then invalid_arg "Mreplica.create: need n = 2f+1";
+  if me < 0 || me >= config.n then invalid_arg "Mreplica.create: me out of range";
+  let t =
+    {
+      config;
+      me;
+      auth;
+      usig;
+      monitor = Usig.monitor usig_directory ~n:config.n;
+      monitor_directory = usig_directory;
+      resync_pending = Array.make config.n false;
+      sim;
+      net_send;
+      on_execute;
+      fd = None;
+      qsel = None;
+      active =
+        (match config.participation with
+         | Full -> List.init config.n Fun.id
+         | Selected -> List.init (config.n - config.f) Fun.id);
+      cepoch = 0;
+      slots = Hashtbl.create 64;
+      next_slot = 0;
+      proposed = Hashtbl.create 64;
+      awaiting_prepare = Hashtbl.create 64;
+      executed_ids = Hashtbl.create 64;
+      executed = [];
+      fault = Honest;
+      gaps = 0;
+    }
+  in
+  let timeouts =
+    Timeout.create ~n:config.n ~initial:config.initial_timeout config.timeout_strategy
+  in
+  t.fd <-
+    Some
+      (Detector.create ~sim ~me ~n:config.n ~timeouts
+         ~deliver:(fun ~src m -> process t ~src m)
+         ~on_suspected:(fun s ->
+           match t.qsel with Some qsel -> QS.handle_suspected qsel s | None -> ())
+         ());
+  (match config.participation with
+   | Full -> ()
+   | Selected ->
+     t.qsel <-
+       Some
+         (QS.create
+            { QS.n = config.n; f = config.f }
+            ~me ~auth
+            ~send:(fun update -> send_all_including_self t (Mmsg.Qsel update))
+            ~on_quorum:(fun quorum -> on_quorum t quorum)
+            ()));
+  t

@@ -1,0 +1,64 @@
+(** Simulated trusted monotonic counter (USIG).
+
+    The paper's introduction cites BFT systems that "use trusted components
+    or similar assumptions to reduce the total number of replicas to
+    n = 2f+1" [4, 5]. The component in question (MinBFT's USIG — Unique
+    Sequential Identifier Generator) is a piece of trusted hardware we do
+    not have, so per the substitution rule (DESIGN.md §2) we simulate it: a
+    tamper-proof per-replica counter that signs ⟨replica, counter, digest⟩
+    tuples with a key the (possibly Byzantine) replica itself cannot touch.
+
+    The two properties everything rests on:
+    - {e uniqueness}: one counter value is bound to at most one digest (the
+      counter increments on every certification — even a Byzantine replica
+      cannot get two messages certified with the same value);
+    - {e monotonicity}: verifiers accept a replica's certificates only in
+      strict counter order, so omission or reordering is evident.
+
+    [create] hands out the only handle able to advance a replica's counter;
+    the simulation's Byzantine behaviors never touch other replicas'
+    handles, which models the hardware boundary. *)
+
+type ui = {
+  origin : Qs_core.Pid.t;
+  counter : int;  (** starts at 1, strictly sequential *)
+  usig_sig : Qs_crypto.Auth.signature;
+}
+(** A unique sequential identifier certifying a message digest. *)
+
+type directory
+(** Verification keys of all replicas' trusted components. *)
+
+type t
+(** One replica's trusted component (the only way to advance its counter). *)
+
+val setup : n:int -> directory * t array
+(** Provision [n] trusted components and the shared verification
+    directory. *)
+
+val certify : t -> digest:string -> ui
+(** Bind the next counter value to [digest]. *)
+
+val counter : t -> int
+(** Last value issued (0 initially). *)
+
+val verify : directory -> digest:string -> ui -> bool
+(** Signature check only (stateless). *)
+
+type monitor
+(** Per-verifier monotonicity tracking: accept each origin's certificates
+    in strict order. *)
+
+val monitor : directory -> n:int -> monitor
+
+val accept : monitor -> digest:string -> ui -> [ `Ok | `Gap | `Replay | `Bad_signature ]
+(** [`Ok] advances the expected counter for [ui.origin]; [`Gap] means a
+    certificate was skipped (an omission upstream), [`Replay] a reused or
+    stale counter. *)
+
+val expected_next : monitor -> Qs_core.Pid.t -> int
+
+val resync : monitor -> Qs_core.Pid.t -> int -> unit
+(** Reset the expected counter for one origin (used after a configuration
+    change, when certificates sent to other receivers were legitimately
+    never seen here). Gap evidence across the resync is forfeited. *)

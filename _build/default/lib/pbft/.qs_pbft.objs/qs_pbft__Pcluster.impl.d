@@ -1,0 +1,1 @@
+lib/pbft/pcluster.ml: Array Hashtbl List Pmsg Preplica Qs_core Qs_crypto Qs_sim

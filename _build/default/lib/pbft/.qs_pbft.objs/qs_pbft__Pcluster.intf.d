@@ -1,0 +1,1 @@
+lib/pbft/pcluster.mli: Pmsg Preplica Qs_core Qs_sim

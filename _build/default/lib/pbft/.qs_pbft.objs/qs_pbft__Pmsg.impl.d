@@ -1,0 +1,1 @@
+lib/pbft/pmsg.ml: List Printf Qs_core Qs_crypto String

@@ -1,0 +1,1 @@
+lib/pbft/pmsg.mli: Qs_core Qs_crypto

@@ -1,0 +1,1 @@
+lib/pbft/preplica.ml: Fun Hashtbl List Option Pmsg Qs_core Qs_crypto Qs_fd Qs_sim Qs_stdx

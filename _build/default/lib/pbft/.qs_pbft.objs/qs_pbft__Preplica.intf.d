@@ -1,0 +1,1 @@
+lib/pbft/preplica.mli: Pmsg Qs_core Qs_crypto Qs_fd Qs_sim

@@ -1,0 +1,1 @@
+lib/sim/network.ml: Array List Qs_stdx Sim Stdlib Stime

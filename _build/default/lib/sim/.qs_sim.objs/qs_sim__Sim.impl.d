@@ -1,0 +1,1 @@
+lib/sim/sim.ml: Qs_stdx Stdlib Stime

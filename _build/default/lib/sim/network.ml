@@ -1,0 +1,142 @@
+module Prng = Qs_stdx.Prng
+
+type delay_model =
+  | Fixed of Stime.t
+  | Uniform of { lo : Stime.t; hi : Stime.t }
+  | Eventually_synchronous of {
+      gst : Stime.t;
+      pre_lo : Stime.t;
+      pre_hi : Stime.t;
+      post_lo : Stime.t;
+      post_hi : Stime.t;
+    }
+
+type action = Deliver | Drop | Delay of Stime.t
+
+type trace_kind = Send | Delivered | Dropped
+
+type 'm t = {
+  sim : Sim.t;
+  n : int;
+  delay : delay_model;
+  fifo : bool;
+  rng : Prng.t;
+  handlers : (src:int -> 'm -> unit) option array;
+  mutable filter : (now:Stime.t -> src:int -> dst:int -> 'm -> action) option;
+  mutable tracer :
+    (kind:trace_kind -> now:Stime.t -> src:int -> dst:int -> 'm -> unit) option;
+  last_arrival : Stime.t array array; (* per-link FIFO watermark *)
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  link_counts : int array array;
+}
+
+let create ~sim ~n ~delay ?(fifo = false) () =
+  if n <= 0 then invalid_arg "Network.create: need at least one endpoint";
+  {
+    sim;
+    n;
+    delay;
+    fifo;
+    rng = Prng.split (Sim.prng sim);
+    handlers = Array.make n None;
+    filter = None;
+    tracer = None;
+    last_arrival = Array.make_matrix n n Stime.zero;
+    sent = 0;
+    delivered = 0;
+    dropped = 0;
+    link_counts = Array.make_matrix n n 0;
+  }
+
+let n t = t.n
+
+let sim t = t.sim
+
+let check t i = if i < 0 || i >= t.n then invalid_arg "Network: endpoint out of range"
+
+let set_handler t i h =
+  check t i;
+  t.handlers.(i) <- Some h
+
+let set_filter t f = t.filter <- Some f
+
+let clear_filter t = t.filter <- None
+
+let set_tracer t f = t.tracer <- Some f
+
+let trace t kind ~src ~dst m =
+  match t.tracer with
+  | None -> ()
+  | Some f -> f ~kind ~now:(Sim.now t.sim) ~src ~dst m
+
+let base_delay t =
+  match t.delay with
+  | Fixed d -> d
+  | Uniform { lo; hi } -> Prng.int_in t.rng lo hi
+  | Eventually_synchronous { gst; pre_lo; pre_hi; post_lo; post_hi } ->
+    if Stime.compare (Sim.now t.sim) gst < 0 then Prng.int_in t.rng pre_lo pre_hi
+    else Prng.int_in t.rng post_lo post_hi
+
+let deliver t ~src ~dst m =
+  t.delivered <- t.delivered + 1;
+  trace t Delivered ~src ~dst m;
+  match t.handlers.(dst) with
+  | None -> ()
+  | Some h -> h ~src m
+
+let send t ~src ~dst m =
+  check t src;
+  check t dst;
+  if src <> dst then begin
+    t.sent <- t.sent + 1;
+    t.link_counts.(src).(dst) <- t.link_counts.(src).(dst) + 1
+  end;
+  trace t Send ~src ~dst m;
+  let action =
+    if src = dst then Deliver
+    else
+      match t.filter with
+      | None -> Deliver
+      | Some f -> f ~now:(Sim.now t.sim) ~src ~dst m
+  in
+  match action with
+  | Drop ->
+    t.dropped <- t.dropped + 1;
+    trace t Dropped ~src ~dst m
+  | Deliver | Delay _ ->
+    let extra = match action with Delay d -> Stdlib.max 0 d | _ -> 0 in
+    let latency = if src = dst then 1 else Stime.(base_delay t + extra) in
+    let arrival = Stime.(Sim.now t.sim + Stdlib.max 1 latency) in
+    let arrival =
+      if t.fifo && Stime.compare arrival t.last_arrival.(src).(dst) <= 0 then
+        Stime.(t.last_arrival.(src).(dst) + 1)
+      else arrival
+    in
+    t.last_arrival.(src).(dst) <- arrival;
+    Sim.schedule_at t.sim ~at:arrival (fun () -> deliver t ~src ~dst m)
+
+let broadcast t ~src ?(include_self = true) m =
+  for dst = 0 to t.n - 1 do
+    if dst <> src || include_self then send t ~src ~dst m
+  done
+
+let send_to t ~src ~dsts m = List.iter (fun dst -> send t ~src ~dst m) dsts
+
+let sent_count t = t.sent
+
+let delivered_count t = t.delivered
+
+let dropped_count t = t.dropped
+
+let link_sent t ~src ~dst =
+  check t src;
+  check t dst;
+  t.link_counts.(src).(dst)
+
+let reset_counters t =
+  t.sent <- 0;
+  t.delivered <- 0;
+  t.dropped <- 0;
+  Array.iter (fun row -> Array.fill row 0 t.n 0) t.link_counts

@@ -1,0 +1,87 @@
+(** Simulated message-passing network.
+
+    Reliable, asynchronous channels between [n] endpoints (paper, Section
+    IV), with three extras the experiments need:
+
+    - an {e eventually synchronous} delay model: before GST delays are drawn
+      from a wide range, after GST from a narrow bounded one;
+    - optional per-link FIFO delivery (the Follower Selection assumption,
+      Section VIII);
+    - a {e link filter}: a hook that may drop or further delay any message,
+      used to implement Byzantine omission and timing failures on individual
+      links. Correct-process links never get a filter, preserving
+      reliability.
+
+    All delivery is scheduled on the simulation queue; ties resolve in
+    scheduling order, so runs are deterministic. *)
+
+type delay_model =
+  | Fixed of Stime.t
+      (** Every message takes exactly this long. *)
+  | Uniform of { lo : Stime.t; hi : Stime.t }
+      (** Uniform in [lo, hi]. *)
+  | Eventually_synchronous of {
+      gst : Stime.t;
+      pre_lo : Stime.t;
+      pre_hi : Stime.t;
+      post_lo : Stime.t;
+      post_hi : Stime.t;
+    }
+      (** Before [gst], uniform in [pre_lo, pre_hi]; at or after, uniform in
+          [post_lo, post_hi]. [post_hi] is the synchrony bound Δ. *)
+
+type action =
+  | Deliver  (** Let the message through. *)
+  | Drop  (** Omit it (omission failure on this link). *)
+  | Delay of Stime.t  (** Add extra latency (timing failure). *)
+
+type trace_kind = Send | Delivered | Dropped
+
+type 'm t
+
+val create :
+  sim:Sim.t -> n:int -> delay:delay_model -> ?fifo:bool -> unit -> 'm t
+(** [fifo] defaults to [false]. The network draws randomness from
+    [Sim.prng]. *)
+
+val n : _ t -> int
+
+val sim : _ t -> Sim.t
+
+val set_handler : 'm t -> int -> (src:int -> 'm -> unit) -> unit
+(** Install the receive handler of endpoint [i]. Messages to an endpoint with
+    no handler are counted as delivered but discarded. *)
+
+val set_filter :
+  'm t -> (now:Stime.t -> src:int -> dst:int -> 'm -> action) -> unit
+(** Install the (single) link filter. The adversary uses this; install once
+    per scenario. *)
+
+val clear_filter : 'm t -> unit
+
+val set_tracer :
+  'm t -> (kind:trace_kind -> now:Stime.t -> src:int -> dst:int -> 'm -> unit) -> unit
+(** Observe traffic (for the message-flow experiment E8 and debugging). *)
+
+val send : 'm t -> src:int -> dst:int -> 'm -> unit
+(** Transmit. [src = dst] is allowed ("to all including self", Algorithm 1)
+    and delivered after the minimum one-tick step. *)
+
+val broadcast : 'm t -> src:int -> ?include_self:bool -> 'm -> unit
+(** Send to every endpoint; [include_self] defaults to [true]. *)
+
+val send_to : 'm t -> src:int -> dsts:int list -> 'm -> unit
+
+(** {2 Accounting} — message-complexity experiment E6. *)
+
+val sent_count : _ t -> int
+(** Messages submitted to the network (including later-dropped ones),
+    excluding self-deliveries. *)
+
+val delivered_count : _ t -> int
+
+val dropped_count : _ t -> int
+
+val link_sent : _ t -> src:int -> dst:int -> int
+
+val reset_counters : _ t -> unit

@@ -1,0 +1,58 @@
+module Heap = Qs_stdx.Heap
+module Prng = Qs_stdx.Prng
+
+type event = { at : Stime.t; run : unit -> unit }
+
+type t = {
+  mutable clock : Stime.t;
+  queue : event Heap.t;
+  rng : Prng.t;
+  mutable executed : int;
+}
+
+exception Event_budget_exhausted
+
+let create ?(seed = 1L) () =
+  {
+    clock = Stime.zero;
+    queue = Heap.create ~cmp:(fun a b -> Stime.compare a.at b.at);
+    rng = Prng.create seed;
+    executed = 0;
+  }
+
+let now t = t.clock
+
+let prng t = t.rng
+
+let schedule_at t ~at run =
+  let at = Stime.max at t.clock in
+  Heap.add t.queue { at; run }
+
+let schedule t ~delay run =
+  schedule_at t ~at:Stime.(t.clock + Stdlib.max 0 delay) run
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some e ->
+    t.clock <- e.at;
+    t.executed <- t.executed + 1;
+    e.run ();
+    true
+
+let run ?until ?(max_events = 10_000_000) t =
+  let budget = ref max_events in
+  let continue = ref true in
+  while !continue do
+    match Heap.peek t.queue with
+    | None -> continue := false
+    | Some e ->
+      (match until with
+       | Some limit when Stime.compare e.at limit > 0 -> continue := false
+       | _ ->
+         if !budget = 0 then raise Event_budget_exhausted;
+         decr budget;
+         ignore (step t))
+  done
+
+let events_executed t = t.executed

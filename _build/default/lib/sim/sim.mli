@@ -1,0 +1,39 @@
+(** Discrete-event simulation core.
+
+    A single virtual clock and an event queue. Events at equal timestamps run
+    in scheduling order (the queue is FIFO among ties), so a run is a pure
+    function of the seed — the determinism every bound-checking experiment
+    relies on.
+
+    The paper's assumption that "events between different modules at one
+    process are processed in the order they were produced" (Section IV) holds
+    because each handler runs to completion at its timestamp. *)
+
+type t
+
+val create : ?seed:int64 -> unit -> t
+(** Fresh simulation at time 0. [seed] drives all randomness (default 1). *)
+
+val now : t -> Stime.t
+
+val prng : t -> Qs_stdx.Prng.t
+(** The simulation's root generator; [Prng.split] it for sub-components. *)
+
+val schedule : t -> delay:Stime.t -> (unit -> unit) -> unit
+(** Run a callback [delay] ticks from now. Negative delays are clamped
+    to 0. *)
+
+val schedule_at : t -> at:Stime.t -> (unit -> unit) -> unit
+(** Run a callback at an absolute time (clamped to now). *)
+
+val step : t -> bool
+(** Execute the next event. [false] when the queue is empty. *)
+
+val run : ?until:Stime.t -> ?max_events:int -> t -> unit
+(** Drain the queue, stopping when empty, when the clock would pass [until],
+    or after [max_events] (default 10 million — a runaway-loop backstop
+    raising [Event_budget_exhausted]). *)
+
+exception Event_budget_exhausted
+
+val events_executed : t -> int

@@ -1,0 +1,17 @@
+type t = int
+
+let zero = 0
+
+let of_ms ms = ms * 1000
+
+let to_ms t = float_of_int t /. 1000.0
+
+let ( + ) = Stdlib.( + )
+
+let ( - ) = Stdlib.( - )
+
+let compare = Stdlib.compare
+
+let max = Stdlib.max
+
+let pp ppf t = Format.fprintf ppf "%.3fms" (to_ms t)

@@ -1,0 +1,24 @@
+(** Virtual time for the discrete-event simulator.
+
+    Time is an integer tick count (think microseconds). Integer time keeps
+    event ordering exact and runs reproducible across platforms. *)
+
+type t = int
+
+val zero : t
+
+val of_ms : int -> t
+(** Milliseconds to ticks (1 ms = 1000 ticks). *)
+
+val to_ms : t -> float
+
+val ( + ) : t -> t -> t
+
+val ( - ) : t -> t -> t
+
+val compare : t -> t -> int
+
+val max : t -> t -> t
+
+val pp : Format.formatter -> t -> unit
+(** Prints as milliseconds with three decimals. *)

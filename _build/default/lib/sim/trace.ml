@@ -1,0 +1,35 @@
+type entry = {
+  at : Stime.t;
+  kind : Network.trace_kind;
+  src : int;
+  dst : int;
+  label : string;
+}
+
+type t = { mutable entries : entry list (* reversed *) }
+
+let create () = { entries = [] }
+
+let attach t ~label net =
+  Network.set_tracer net (fun ~kind ~now ~src ~dst m ->
+      t.entries <- { at = now; kind; src; dst; label = label m } :: t.entries)
+
+let entries t = List.rev t.entries
+
+let deliveries t =
+  List.filter (fun e -> e.kind = Network.Delivered) (entries t)
+
+let clear t = t.entries <- []
+
+let kind_tag = function
+  | Network.Send -> "send"
+  | Network.Delivered -> "recv"
+  | Network.Dropped -> "DROP"
+
+let pp_entry ppf e =
+  Format.fprintf ppf "%a  p%d -> p%d  %-22s [%s]" Stime.pp e.at (e.src + 1)
+    (e.dst + 1) e.label (kind_tag e.kind)
+
+let render t =
+  String.concat "\n"
+    (List.map (fun e -> Format.asprintf "%a" pp_entry e) (entries t))

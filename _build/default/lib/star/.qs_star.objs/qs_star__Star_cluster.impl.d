@@ -1,0 +1,1 @@
+lib/star/star_cluster.ml: Array Hashtbl List Qs_core Qs_crypto Qs_sim Star_msg Star_node

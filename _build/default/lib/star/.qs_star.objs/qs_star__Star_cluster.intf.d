@@ -1,0 +1,1 @@
+lib/star/star_cluster.mli: Qs_core Qs_sim Star_msg Star_node

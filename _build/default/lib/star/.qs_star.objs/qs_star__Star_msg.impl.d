@@ -1,0 +1,1 @@
+lib/star/star_msg.ml: Printf Qs_core Qs_crypto Qs_follower

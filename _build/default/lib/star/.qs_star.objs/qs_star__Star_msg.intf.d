@@ -1,0 +1,1 @@
+lib/star/star_msg.mli: Qs_core Qs_crypto Qs_follower

@@ -1,0 +1,1 @@
+lib/star/star_node.ml: Fun Hashtbl List Option Qs_core Qs_crypto Qs_fd Qs_follower Qs_sim Star_msg

@@ -1,0 +1,1 @@
+lib/stdx/debug.ml: List Logs

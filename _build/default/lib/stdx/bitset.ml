@@ -1,0 +1,84 @@
+type t = { n : int; words : int array }
+
+let words_for n = (n + 62) / 63
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create";
+  { n; words = Array.make (max 1 (words_for n)) 0 }
+
+let capacity t = t.n
+
+let copy t = { n = t.n; words = Array.copy t.words }
+
+let check t i =
+  if i < 0 || i >= t.n then invalid_arg "Bitset: index out of range"
+
+let mem t i =
+  check t i;
+  t.words.(i / 63) land (1 lsl (i mod 63)) <> 0
+
+let add t i =
+  check t i;
+  t.words.(i / 63) <- t.words.(i / 63) lor (1 lsl (i mod 63))
+
+let remove t i =
+  check t i;
+  t.words.(i / 63) <- t.words.(i / 63) land lnot (1 lsl (i mod 63))
+
+let popcount x =
+  let rec loop x acc = if x = 0 then acc else loop (x land (x - 1)) (acc + 1) in
+  loop x 0
+
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+
+let clear t = Array.fill t.words 0 (Array.length t.words) 0
+
+let same_cap a b = if a.n <> b.n then invalid_arg "Bitset: capacity mismatch"
+
+let union_into dst src =
+  same_cap dst src;
+  Array.iteri (fun i w -> dst.words.(i) <- dst.words.(i) lor w) src.words
+
+let diff_into dst src =
+  same_cap dst src;
+  Array.iteri (fun i w -> dst.words.(i) <- dst.words.(i) land lnot w) src.words
+
+let inter_into dst src =
+  same_cap dst src;
+  Array.iteri (fun i w -> dst.words.(i) <- dst.words.(i) land w) src.words
+
+let iter f t =
+  for i = 0 to t.n - 1 do
+    if t.words.(i / 63) land (1 lsl (i mod 63)) <> 0 then f i
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let elements t = List.rev (fold (fun i acc -> i :: acc) t [])
+
+let of_list n l =
+  let t = create n in
+  List.iter (add t) l;
+  t
+
+let equal a b = a.n = b.n && a.words = b.words
+
+let first t =
+  let rec loop i =
+    if i >= t.n then None
+    else if mem t i then Some i
+    else loop (i + 1)
+  in
+  loop 0
+
+let pp ppf t =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Format.pp_print_int)
+    (elements t)

@@ -1,0 +1,51 @@
+(** Fixed-capacity mutable bitset over process indices.
+
+    Used for adjacency rows and candidate sets in the graph algorithms, where
+    [n] is at most a few hundred. *)
+
+type t
+
+val create : int -> t
+(** [create n] is an empty set over universe [\[0, n)]. *)
+
+val capacity : t -> int
+
+val copy : t -> t
+
+val mem : t -> int -> bool
+
+val add : t -> int -> unit
+
+val remove : t -> int -> unit
+
+val cardinal : t -> int
+
+val is_empty : t -> bool
+
+val clear : t -> unit
+
+val union_into : t -> t -> unit
+(** [union_into dst src] sets [dst := dst ∪ src]. Capacities must match. *)
+
+val diff_into : t -> t -> unit
+(** [dst := dst \ src]. *)
+
+val inter_into : t -> t -> unit
+(** [dst := dst ∩ src]. *)
+
+val iter : (int -> unit) -> t -> unit
+(** Iterate members in increasing order. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val elements : t -> int list
+(** Members in increasing order. *)
+
+val of_list : int -> int list -> t
+
+val equal : t -> t -> bool
+
+val first : t -> int option
+(** Smallest member. *)
+
+val pp : Format.formatter -> t -> unit

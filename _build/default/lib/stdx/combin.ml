@@ -1,0 +1,80 @@
+exception Overflow
+
+let choose n k =
+  if k < 0 || k > n then 0
+  else begin
+    let k = min k (n - k) in
+    (* Multiply/divide interleaved keeps intermediates exact. *)
+    let acc = ref 1 in
+    for i = 1 to k do
+      let next = !acc * (n - k + i) in
+      if next < 0 || next / (n - k + i) <> !acc then raise Overflow;
+      acc := next / i
+    done;
+    !acc
+  end
+
+let first_subset k = List.init k (fun i -> i)
+
+let next_subset n s =
+  let a = Array.of_list s in
+  let k = Array.length a in
+  (* Find rightmost element that can be incremented. *)
+  let rec find i =
+    if i < 0 then None
+    else if a.(i) < n - k + i then Some i
+    else find (i - 1)
+  in
+  match find (k - 1) with
+  | None -> None
+  | Some i ->
+    a.(i) <- a.(i) + 1;
+    for j = i + 1 to k - 1 do
+      a.(j) <- a.(j - 1) + 1
+    done;
+    Some (Array.to_list a)
+
+let rank n s =
+  let k = List.length s in
+  (* Count subsets lexicographically smaller: standard combinatorial number
+     system over increasing sequences. *)
+  let rec loop prev i r = function
+    | [] -> r
+    | x :: rest ->
+      let r = ref r in
+      for v = prev + 1 to x - 1 do
+        r := !r + choose (n - v - 1) (k - i - 1)
+      done;
+      loop x (i + 1) !r rest
+  in
+  loop (-1) 0 0 s
+
+let unrank n k r =
+  let rec loop prev i r acc =
+    if i = k then List.rev acc
+    else begin
+      let v = ref (prev + 1) in
+      let r = ref r in
+      let continue = ref true in
+      while !continue do
+        let c = choose (n - !v - 1) (k - i - 1) in
+        if !r < c then continue := false
+        else begin
+          r := !r - c;
+          incr v
+        end
+      done;
+      loop !v (i + 1) !r (!v :: acc)
+    end
+  in
+  if r < 0 || r >= choose n k then invalid_arg "Combin.unrank: rank out of range";
+  loop (-1) 0 r []
+
+let subsets n k =
+  let rec loop s acc =
+    match next_subset n s with
+    | None -> List.rev (s :: acc)
+    | Some s' -> loop s' (s :: acc)
+  in
+  if k > n then []
+  else loop (first_subset k) []

@@ -1,0 +1,9 @@
+let fd = Logs.Src.create "qsel.fd" ~doc:"failure detector events"
+
+let quorum = Logs.Src.create "qsel.quorum" ~doc:"quorum selection events"
+
+let xpaxos = Logs.Src.create "qsel.xpaxos" ~doc:"xpaxos replica events"
+
+let enable () =
+  Logs.set_reporter (Logs.format_reporter ());
+  List.iter (fun src -> Logs.Src.set_level src (Some Logs.Debug)) [ fd; quorum; xpaxos ]

@@ -1,0 +1,13 @@
+(** Debug logging for the protocol stacks.
+
+    Each subsystem logs under its own {!Logs} source ([qsel.fd],
+    [qsel.quorum], [qsel.xpaxos], …). Logging is off unless a reporter is
+    installed; [enable ()] installs a stderr reporter at [Debug] level for
+    the qsel sources — what `qsel simulate --verbose` uses. *)
+
+val fd : Logs.src
+val quorum : Logs.src
+val xpaxos : Logs.src
+
+val enable : unit -> unit
+(** Install a stderr reporter and set all qsel sources to [Debug]. *)

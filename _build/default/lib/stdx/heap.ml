@@ -1,0 +1,85 @@
+(* Binary min-heap over a growable array. Each entry carries a sequence
+   number so that equal keys pop in insertion order: the simulator relies on
+   this for deterministic schedules. *)
+
+type 'a entry = { value : 'a; seq : int }
+
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  mutable data : 'a entry array;
+  mutable len : int;
+  mutable next_seq : int;
+}
+
+let create ~cmp = { cmp; data = [||]; len = 0; next_seq = 0 }
+
+let size h = h.len
+
+let is_empty h = h.len = 0
+
+let entry_cmp h a b =
+  let c = h.cmp a.value b.value in
+  if c <> 0 then c else compare a.seq b.seq
+
+let grow h =
+  let cap = Array.length h.data in
+  if h.len = cap then begin
+    let ncap = if cap = 0 then 16 else cap * 2 in
+    let nd = Array.make ncap h.data.(0) in
+    Array.blit h.data 0 nd 0 h.len;
+    h.data <- nd
+  end
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if entry_cmp h h.data.(i) h.data.(parent) < 0 then begin
+      let tmp = h.data.(i) in
+      h.data.(i) <- h.data.(parent);
+      h.data.(parent) <- tmp;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.len && entry_cmp h h.data.(l) h.data.(!smallest) < 0 then smallest := l;
+  if r < h.len && entry_cmp h h.data.(r) h.data.(!smallest) < 0 then smallest := r;
+  if !smallest <> i then begin
+    let tmp = h.data.(i) in
+    h.data.(i) <- h.data.(!smallest);
+    h.data.(!smallest) <- tmp;
+    sift_down h !smallest
+  end
+
+let add h x =
+  let e = { value = x; seq = h.next_seq } in
+  h.next_seq <- h.next_seq + 1;
+  if h.len = 0 && Array.length h.data = 0 then h.data <- Array.make 16 e;
+  grow h;
+  h.data.(h.len) <- e;
+  h.len <- h.len + 1;
+  sift_up h (h.len - 1)
+
+let peek h = if h.len = 0 then None else Some h.data.(0).value
+
+let pop h =
+  if h.len = 0 then None
+  else begin
+    let top = h.data.(0).value in
+    h.len <- h.len - 1;
+    if h.len > 0 then begin
+      h.data.(0) <- h.data.(h.len);
+      sift_down h 0
+    end;
+    Some top
+  end
+
+let clear h =
+  h.len <- 0;
+  h.data <- [||]
+
+let to_list h =
+  let rec loop i acc = if i < 0 then acc else loop (i - 1) (h.data.(i).value :: acc) in
+  loop (h.len - 1) []

@@ -1,0 +1,29 @@
+(** Mutable binary min-heap, used as the simulator's event queue.
+
+    Ties are broken by insertion order (FIFO among equal keys), which gives
+    the simulator a deterministic schedule. *)
+
+type 'a t
+(** Heap of elements of type ['a]. *)
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** [create ~cmp] is an empty heap ordered by [cmp] (smallest first). *)
+
+val size : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val add : 'a t -> 'a -> unit
+(** Insert an element. Amortized O(log n). *)
+
+val peek : 'a t -> 'a option
+(** Smallest element, if any, without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the smallest element. Among elements comparing equal,
+    the earliest inserted is returned first. *)
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> 'a list
+(** Remaining elements in arbitrary order (for inspection in tests). *)

@@ -1,0 +1,75 @@
+(* SplitMix64: fast, high-quality 64-bit generator with trivial seeding.
+   Reference: Steele, Lea, Flood, "Fast splittable pseudorandom number
+   generators", OOPSLA 2014. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+
+let of_int seed = create (Int64.of_int seed)
+
+let copy g = { state = g.state }
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_int64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix g.state
+
+let split g = create (next_int64 g)
+
+(* Non-negative 62-bit int from the high bits. *)
+let next_nonneg g = Int64.to_int (Int64.shift_right_logical (next_int64 g) 2)
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Rejection sampling to avoid modulo bias. *)
+  let max = (0x3FFFFFFFFFFFFFFF / bound) * bound in
+  let rec loop () =
+    let r = next_nonneg g in
+    if r < max then r mod bound else loop ()
+  in
+  loop ()
+
+let int_in g lo hi =
+  if lo > hi then invalid_arg "Prng.int_in: lo > hi";
+  lo + int g (hi - lo + 1)
+
+let float g x =
+  let r = Int64.to_float (Int64.shift_right_logical (next_int64 g) 11) in
+  x *. (r /. 9007199254740992.0 (* 2^53 *))
+
+let bool g = Int64.logand (next_int64 g) 1L = 1L
+
+let chance g p =
+  if p <= 0.0 then false
+  else if p >= 1.0 then true
+  else float g 1.0 < p
+
+let pick g a =
+  if Array.length a = 0 then invalid_arg "Prng.pick: empty array";
+  a.(int g (Array.length a))
+
+let pick_list g l =
+  match l with
+  | [] -> invalid_arg "Prng.pick_list: empty list"
+  | _ -> List.nth l (int g (List.length l))
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let sample g k xs =
+  let a = Array.of_list xs in
+  shuffle g a;
+  let k = min k (Array.length a) in
+  Array.to_list (Array.sub a 0 k)

@@ -1,0 +1,54 @@
+(** Deterministic pseudo-random number generator (SplitMix64).
+
+    Every randomized component in this repository takes an explicit [Prng.t]
+    instead of using the global [Random] state, so that simulations are fully
+    reproducible from a seed. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] returns a fresh generator. Equal seeds give equal
+    streams. *)
+
+val of_int : int -> t
+(** [of_int seed] is [create (Int64.of_int seed)]. *)
+
+val copy : t -> t
+(** [copy g] is an independent generator with the same current state. *)
+
+val split : t -> t
+(** [split g] advances [g] and returns a new generator seeded from it, for
+    handing a decorrelated stream to a sub-component. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int g bound] is uniform in [\[0, bound)]. Requires [bound > 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in g lo hi] is uniform in [\[lo, hi\]] (inclusive). Requires
+    [lo <= hi]. *)
+
+val float : t -> float -> float
+(** [float g x] is uniform in [\[0, x)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val chance : t -> float -> bool
+(** [chance g p] is [true] with probability [p] (clamped to [\[0,1\]]). *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val pick_list : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val sample : t -> int -> 'a list -> 'a list
+(** [sample g k xs] draws [min k (length xs)] distinct elements of [xs],
+    preserving no particular order. *)

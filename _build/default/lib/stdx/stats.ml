@@ -1,0 +1,57 @@
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+  p95 : float;
+}
+
+let mean xs =
+  match xs with
+  | [] -> invalid_arg "Stats.mean: empty"
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let percentile p xs =
+  match xs with
+  | [] -> invalid_arg "Stats.percentile: empty"
+  | _ ->
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    let n = Array.length a in
+    if p <= 0.0 then a.(0)
+    else if p >= 1.0 then a.(n - 1)
+    else begin
+      (* Nearest-rank: smallest value with at least p*n values <= it. *)
+      let rank = int_of_float (ceil (p *. float_of_int n)) in
+      a.(max 0 (min (n - 1) (rank - 1)))
+    end
+
+let summarize xs =
+  match xs with
+  | [] -> invalid_arg "Stats.summarize: empty"
+  | _ ->
+    let n = List.length xs in
+    let m = mean xs in
+    let var =
+      if n < 2 then 0.0
+      else
+        List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs
+        /. float_of_int (n - 1)
+    in
+    {
+      count = n;
+      mean = m;
+      stddev = sqrt var;
+      min = List.fold_left min infinity xs;
+      max = List.fold_left max neg_infinity xs;
+      median = percentile 0.5 xs;
+      p95 = percentile 0.95 xs;
+    }
+
+let summarize_ints xs = summarize (List.map float_of_int xs)
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d mean=%.2f sd=%.2f min=%.0f med=%.0f p95=%.0f max=%.0f"
+    s.count s.mean s.stddev s.min s.median s.p95 s.max

@@ -1,0 +1,23 @@
+(** Small descriptive-statistics kit for the experiment harness. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;  (** sample standard deviation; 0 for fewer than 2 points *)
+  min : float;
+  max : float;
+  median : float;
+  p95 : float;  (** 95th percentile (nearest-rank) *)
+}
+
+val summarize : float list -> summary
+(** Raises [Invalid_argument] on an empty list. *)
+
+val summarize_ints : int list -> summary
+
+val mean : float list -> float
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [\[0,1\]], nearest-rank method. *)
+
+val pp_summary : Format.formatter -> summary -> unit

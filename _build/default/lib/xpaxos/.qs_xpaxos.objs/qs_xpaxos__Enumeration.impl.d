@@ -1,0 +1,1 @@
+lib/xpaxos/enumeration.ml: List Qs_stdx

@@ -1,0 +1,1 @@
+lib/xpaxos/enumeration.mli:

@@ -1,0 +1,1 @@
+lib/xpaxos/replica.ml: Enumeration Hashtbl List Logs Option Qs_core Qs_crypto Qs_fd Qs_sim Qs_stdx Xlog Xmsg

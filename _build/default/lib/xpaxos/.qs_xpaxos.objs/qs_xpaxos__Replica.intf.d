@@ -1,0 +1,1 @@
+lib/xpaxos/replica.mli: Qs_core Qs_crypto Qs_fd Qs_sim Xmsg

@@ -1,0 +1,1 @@
+lib/xpaxos/xcluster.ml: Array Hashtbl List Qs_core Qs_crypto Qs_sim Replica Xmsg

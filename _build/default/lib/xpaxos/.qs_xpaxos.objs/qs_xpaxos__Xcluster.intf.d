@@ -1,0 +1,1 @@
+lib/xpaxos/xcluster.mli: Qs_core Qs_sim Replica Xmsg

@@ -1,0 +1,1 @@
+lib/xpaxos/xlog.ml: Hashtbl List Qs_core Xmsg

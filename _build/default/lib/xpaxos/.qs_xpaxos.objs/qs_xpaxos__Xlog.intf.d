@@ -1,0 +1,1 @@
+lib/xpaxos/xlog.mli: Qs_core Xmsg

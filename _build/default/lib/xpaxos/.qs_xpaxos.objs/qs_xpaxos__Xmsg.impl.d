@@ -1,0 +1,1 @@
+lib/xpaxos/xmsg.ml: Format List Printf Qs_core Qs_crypto String

@@ -1,0 +1,1 @@
+lib/xpaxos/xmsg.mli: Format Qs_core Qs_crypto

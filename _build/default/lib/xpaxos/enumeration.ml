@@ -1,0 +1,21 @@
+module Combin = Qs_stdx.Combin
+
+let count ~n ~q = Combin.choose n q
+
+let group ~n ~q ~view =
+  if view < 0 then invalid_arg "Enumeration.group: negative view";
+  Combin.unrank n q (view mod count ~n ~q)
+
+let leader ~n ~q ~view =
+  match group ~n ~q ~view with
+  | [] -> invalid_arg "Enumeration.leader: empty group"
+  | l :: _ -> l
+
+let view_for ~n ~q ~at_least ~group:target =
+  if List.length target <> q || List.sort_uniq compare target <> target then
+    invalid_arg "Enumeration.view_for: not a sorted q-subset";
+  let rank = Combin.rank n target in
+  let total = count ~n ~q in
+  let base = at_least / total * total in
+  let candidate = base + rank in
+  if candidate >= at_least then candidate else candidate + total

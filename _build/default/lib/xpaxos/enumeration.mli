@@ -1,0 +1,21 @@
+(** View-to-synchronous-group mapping.
+
+    XPaxos enumerates all [choose n f] possible quorums (synchronous groups)
+    of size [q = n − f] and walks them round-robin as views change (paper,
+    Section V-B). View [v] uses the group of rank [v mod choose n q] in
+    lexicographic order. *)
+
+val count : n:int -> q:int -> int
+(** Number of distinct groups. *)
+
+val group : n:int -> q:int -> view:int -> int list
+(** The synchronous group of a view (sorted). View numbers start at 0. *)
+
+val leader : n:int -> q:int -> view:int -> int
+(** Lowest id in the group (paper, Section V-A step 1). *)
+
+val view_for : n:int -> q:int -> at_least:int -> group:int list -> int
+(** The smallest view [v ≥ at_least] with [group ~view:v = group] — how the
+    quorum-selection output maps back onto XPaxos views (Section V-B:
+    "i suspects all quorums ordered before Q"). Raises [Invalid_argument] if
+    [group] is not a valid sorted q-subset. *)

@@ -1,0 +1,499 @@
+module Sim = Qs_sim.Sim
+module Detector = Qs_fd.Detector
+module Timeout = Qs_fd.Timeout
+module QS = Qs_core.Quorum_select
+module Pid = Qs_core.Pid
+module Auth = Qs_crypto.Auth
+
+type mode = Enumeration | Quorum_selection
+
+type config = {
+  n : int;
+  f : int;
+  mode : mode;
+  initial_timeout : Qs_sim.Stime.t;
+  timeout_strategy : Timeout.strategy;
+}
+
+let quorum_size c = c.n - c.f
+
+type fault = Honest | Mute | Omit_to of Pid.t list | Equivocate of Pid.t
+
+type phase =
+  | Normal
+  | Leading_collect of (Pid.t, Xmsg.entry list) Hashtbl.t
+  | Awaiting_new_view
+  | Passive
+
+type t = {
+  config : config;
+  me : Pid.t;
+  auth : Auth.t;
+  sim : Sim.t;
+  net_send : dst:Pid.t -> Xmsg.t -> unit;
+  on_execute : slot:int -> Xmsg.request -> unit;
+  on_view_change : view:int -> group:Pid.t list -> unit;
+  mutable fd : Xmsg.t Detector.t option; (* set right after creation *)
+  mutable qsel : QS.t option;
+  log : Xlog.t;
+  mutable view : int;
+  mutable grp : Pid.t list;
+  mutable phase : phase;
+  mutable fault : fault;
+  mutable view_changes : int;
+  mutable detections : Pid.t list;
+  proposed : (int * int, int) Hashtbl.t; (* (client, rid) -> slot *)
+  awaiting_prepare : (int * int, unit) Hashtbl.t; (* expectation dedupe *)
+  mutable exec_cursor : int;
+}
+
+let me t = t.me
+
+let fd t = Option.get t.fd
+
+let set_fault t fault = t.fault <- fault
+
+let view t = t.view
+
+let group t = t.grp
+
+let leader t = match t.grp with l :: _ -> l | [] -> assert false
+
+let is_leader t = leader t = t.me
+
+let in_group t = List.mem t.me t.grp
+
+let q t = quorum_size t.config
+
+(* ------------------------------------------------------------------ *)
+(* Sending *)
+
+let fault_allows t dst =
+  match t.fault with
+  | Honest | Equivocate _ -> true
+  | Mute -> false
+  | Omit_to victims -> not (List.mem dst victims)
+
+let send t ~dst body =
+  if dst = t.me || fault_allows t dst then
+    t.net_send ~dst (Xmsg.seal t.auth ~sender:t.me body)
+
+let send_group t body = List.iter (fun dst -> if dst <> t.me then send t ~dst body) t.grp
+
+let send_all_including_self t body =
+  for dst = 0 to t.config.n - 1 do
+    send t ~dst body
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Expectations (Section V-A) *)
+
+let expect_commit t ~from ~view ~slot =
+  Detector.expect (fd t) ~from ~tag:"commit" (fun m ->
+      match m.Xmsg.body with
+      | Xmsg.Commit { cview; cslot; _ } -> cview = view && cslot = slot
+      | _ -> false)
+
+let expect_prepare_slot t ~view ~slot =
+  Detector.expect (fd t) ~from:(leader t) ~tag:"prepare-slot" (fun m ->
+      match m.Xmsg.body with
+      | Xmsg.Prepare sp -> sp.Xmsg.prepare.Xmsg.view = view && sp.Xmsg.prepare.Xmsg.slot = slot
+      | _ -> false)
+
+(* Expectations whose fulfilment depends on third parties get longer
+   deadlines, ordered so that blame lands where the dependency chain
+   actually broke (the same principle as the chain substrate's
+   position-scaled timeouts):
+   - a COMMIT or a specific PREPARE depends only on its sender: 1x;
+   - a VIEW-CHANGE depends on the member's own quorum-selection output
+     converging first: 3x;
+   - a PREPARE for a fresh request and the NEW-VIEW depend on the whole
+     view-change round trip: 4-5x.
+   Without this, transient selection skew makes correct processes suspect
+   correct leaders, each suspicion feeds more churn, and — because
+   cancel-on-view-change removes the expectation before the late message
+   can fulfil it — the timeouts never adapt and the churn self-sustains. *)
+
+let expect_prepare_request t ~view ~request =
+  Detector.expect (fd t) ~from:(leader t) ~tag:"prepare-req"
+    ~timeout:(4 * t.config.initial_timeout)
+    (fun m ->
+      match m.Xmsg.body with
+      | Xmsg.Prepare sp ->
+        sp.Xmsg.prepare.Xmsg.view >= view && sp.Xmsg.prepare.Xmsg.request = request
+      | _ -> false)
+
+let expect_view_change t ~from ~view =
+  Detector.expect (fd t) ~from ~tag:"view-change" ~timeout:(3 * t.config.initial_timeout)
+    (fun m ->
+      match m.Xmsg.body with Xmsg.View_change { vview; _ } -> vview = view | _ -> false)
+
+let expect_new_view t ~from ~view =
+  Detector.expect (fd t) ~from ~tag:"new-view" ~timeout:(5 * t.config.initial_timeout)
+    (fun m ->
+      match m.Xmsg.body with Xmsg.New_view { nview; _ } -> nview = view | _ -> false)
+
+let detect t culprit =
+  t.detections <- culprit :: t.detections;
+  Detector.detected (fd t) culprit
+
+(* ------------------------------------------------------------------ *)
+(* Commit and execution *)
+
+let try_execute t =
+  let continue = ref true in
+  while !continue do
+    match Xlog.find t.log t.exec_cursor with
+    | Some ({ committed = true; executed = false; sp = Some sp; _ } : Xlog.entry) ->
+      let e = Xlog.entry t.log t.exec_cursor in
+      e.Xlog.executed <- true;
+      t.on_execute ~slot:t.exec_cursor sp.Xmsg.prepare.Xmsg.request;
+      t.exec_cursor <- t.exec_cursor + 1
+    | _ -> continue := false
+  done
+
+let check_commit t (e : Xlog.entry) =
+  if (not e.Xlog.committed) && e.Xlog.sp <> None then
+    if List.for_all (fun k -> List.mem k e.Xlog.votes) t.grp then begin
+      e.Xlog.committed <- true;
+      try_execute t
+    end
+
+(* Adopt a prepare (from the leader directly, or embedded in a COMMIT):
+   send our own COMMIT to the group and expect everyone else's. [except]
+   lists processes whose COMMIT already arrived — the paper's first
+   subtlety: "a COMMIT message from process k may arrive before the PREPARE
+   … in this case, no expectation should be issued for process k". *)
+let adopt_prepare ?(except = []) t (e : Xlog.entry) sp =
+  e.Xlog.sp <- Some sp;
+  Xlog.record_vote e t.me;
+  let slot = sp.Xmsg.prepare.Xmsg.slot in
+  send_group t (Xmsg.Commit { cview = t.view; cslot = slot; csp = sp });
+  List.iter
+    (fun k ->
+      if k <> t.me && not (List.mem k except) then
+        expect_commit t ~from:k ~view:t.view ~slot)
+    t.grp;
+  check_commit t e
+
+(* ------------------------------------------------------------------ *)
+(* Normal case handlers *)
+
+let handle_prepare t ~src sp =
+  let p = sp.Xmsg.prepare in
+  if
+    in_group t && src = leader t && p.Xmsg.view = t.view
+    && Xmsg.verify_prepare t.auth ~leader:src sp
+  then begin
+    let e = Xlog.entry t.log p.Xmsg.slot in
+    match e.Xlog.sp with
+    | None -> adopt_prepare t e sp
+    | Some stored ->
+      let sp' = stored.Xmsg.prepare in
+      if sp'.Xmsg.view = p.Xmsg.view && sp'.Xmsg.request <> p.Xmsg.request then
+        (* Two validly signed PREPAREs for one view/slot: equivocation. *)
+        detect t src
+      else if sp'.Xmsg.view < p.Xmsg.view then begin
+        (* Re-prepare at a newer view (after view change). *)
+        e.Xlog.votes <- [];
+        adopt_prepare t e sp
+      end
+  end
+
+let handle_commit t ~src (cview, cslot, csp) =
+  if in_group t && List.mem src t.grp && cview = t.view then begin
+    let p = csp.Xmsg.prepare in
+    if
+      (not (Xmsg.verify_prepare t.auth ~leader:(leader t) csp))
+      || p.Xmsg.view <> cview || p.Xmsg.slot <> cslot
+    then detect t src (* malformed COMMIT (Section V-A, second subtlety) *)
+    else begin
+      let e = Xlog.entry t.log cslot in
+      (match e.Xlog.sp with
+       | None ->
+         (* COMMIT before PREPARE (Fig. 3): adopt the embedded prepare,
+            commit ourselves (without expecting the sender's COMMIT again —
+            first subtlety), and expect the PREPARE from the leader (third
+            subtlety). *)
+         adopt_prepare ~except:[ src ] t e csp;
+         if src <> leader t then expect_prepare_slot t ~view:cview ~slot:cslot
+       | Some stored ->
+         let sp' = stored.Xmsg.prepare in
+         if sp'.Xmsg.view = p.Xmsg.view && sp'.Xmsg.request <> p.Xmsg.request then
+           (* The embedded prepare conflicts with ours: the leader signed
+              both, so the leader equivocated. *)
+           detect t (leader t));
+      (match e.Xlog.sp with
+       | Some stored when stored.Xmsg.prepare.Xmsg.request = p.Xmsg.request ->
+         Xlog.record_vote e src;
+         check_commit t e
+       | _ -> ())
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Proposals *)
+
+let propose_at t ~slot request =
+  Hashtbl.replace t.proposed (request.Xmsg.client, request.Xmsg.rid) slot;
+  let prepare = { Xmsg.view = t.view; slot; request } in
+  let sp = Xmsg.sign_prepare t.auth ~leader:t.me prepare in
+  let e = Xlog.entry t.log slot in
+  e.Xlog.sp <- Some sp;
+  e.Xlog.votes <- [];
+  Xlog.record_vote e t.me;
+  List.iter
+    (fun dst ->
+      if dst <> t.me then begin
+        let body =
+          match t.fault with
+          | Equivocate victim when dst = victim ->
+            let evil = { request with Xmsg.op = "EVIL:" ^ request.Xmsg.op } in
+            Xmsg.Prepare (Xmsg.sign_prepare t.auth ~leader:t.me { prepare with Xmsg.request = evil })
+          | _ -> Xmsg.Prepare sp
+        in
+        send t ~dst body;
+        send t ~dst (Xmsg.Commit { cview = t.view; cslot = slot; csp = sp })
+      end)
+    t.grp;
+  List.iter (fun k -> if k <> t.me then expect_commit t ~from:k ~view:t.view ~slot) t.grp;
+  check_commit t e
+
+let submit t request =
+  if in_group t then begin
+    let key = (request.Xmsg.client, request.Xmsg.rid) in
+    match Hashtbl.find_opt t.proposed key with
+    | Some slot when is_leader t -> begin
+      (* Known request: re-propose at the same slot if it went stale. *)
+      match Xlog.find t.log slot with
+      | Some ({ committed = false; sp = Some sp; _ } : Xlog.entry)
+        when sp.Xmsg.prepare.Xmsg.view < t.view ->
+        propose_at t ~slot request
+      | _ -> ()
+    end
+    | Some _ -> ()
+    | None ->
+      if is_leader t then propose_at t ~slot:(Xlog.next_slot t.log) request
+      else if not (Hashtbl.mem t.awaiting_prepare key) then begin
+        Hashtbl.replace t.awaiting_prepare key ();
+        expect_prepare_request t ~view:t.view ~request
+      end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* View change *)
+
+let entry_provenance_ok t (e : Xmsg.entry) =
+  let lead = Enumeration.leader ~n:t.config.n ~q:(q t) ~view:e.Xmsg.eview in
+  Xmsg.verify_prepare t.auth ~leader:lead
+    {
+      Xmsg.prepare = { Xmsg.view = e.Xmsg.eview; slot = e.Xmsg.eslot; request = e.Xmsg.erequest };
+      psig = e.Xmsg.epsig;
+    }
+
+let merge_logs lists =
+  let best : (int, Xmsg.entry) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun entries ->
+      List.iter
+        (fun (e : Xmsg.entry) ->
+          match Hashtbl.find_opt best e.Xmsg.eslot with
+          | None -> Hashtbl.replace best e.Xmsg.eslot e
+          | Some cur ->
+            let better =
+              (* committed entries win; then highest view *)
+              (e.Xmsg.ecommitted && not cur.Xmsg.ecommitted)
+              || (e.Xmsg.ecommitted = cur.Xmsg.ecommitted && e.Xmsg.eview > cur.Xmsg.eview)
+            in
+            if better then Hashtbl.replace best e.Xmsg.eslot e)
+        entries)
+    lists;
+  let merged = Hashtbl.fold (fun _ e acc -> e :: acc) best [] in
+  List.sort (fun a b -> compare a.Xmsg.eslot b.Xmsg.eslot) merged
+
+let install_committed t (e : Xmsg.entry) =
+  let sp =
+    {
+      Xmsg.prepare = { Xmsg.view = e.Xmsg.eview; slot = e.Xmsg.eslot; request = e.Xmsg.erequest };
+      psig = e.Xmsg.epsig;
+    }
+  in
+  Xlog.adopt t.log e ~view:t.view ~sp;
+  Hashtbl.replace t.proposed (e.Xmsg.erequest.Xmsg.client, e.Xmsg.erequest.Xmsg.rid)
+    e.Xmsg.eslot
+
+let finish_collect t tbl =
+  if List.for_all (fun k -> Hashtbl.mem tbl k) t.grp then begin
+    let merged = merge_logs (Hashtbl.fold (fun _ es acc -> es :: acc) tbl []) in
+    send_group t (Xmsg.New_view { nview = t.view; nlog = merged });
+    t.phase <- Normal;
+    List.iter
+      (fun (e : Xmsg.entry) ->
+        if e.Xmsg.ecommitted then install_committed t e
+        else propose_at t ~slot:e.Xmsg.eslot e.Xmsg.erequest)
+      merged;
+    try_execute t
+  end
+
+let rec move_to_view t v =
+  if v > t.view then begin
+    t.view <- v;
+    t.grp <- Enumeration.group ~n:t.config.n ~q:(q t) ~view:v;
+    t.view_changes <- t.view_changes + 1;
+    Hashtbl.reset t.awaiting_prepare;
+    Detector.cancel_all (fd t); (* Section V-B: expectations no longer valid *)
+    Logs.debug ~src:Qs_stdx.Debug.xpaxos (fun m ->
+        m "p%d VIEW %d group %s" (t.me + 1) v (Pid.set_to_string t.grp));
+    t.on_view_change ~view:v ~group:t.grp;
+    (match t.config.mode with
+     | Enumeration ->
+       (* Gossip the move: re-broadcasting the SUSPECT that justifies view v
+          keeps correct processes' views synchronized even when the message
+          that moved us came over a faulty process's selective links. *)
+       send_all_including_self t (Xmsg.Suspect { sview = v - 1 });
+       (* Permanent detections survive cancel_all but produce no fresh
+          ⟨SUSPECTED⟩ event; if the new group contains one, skip it directly
+          (enumeration mode's equivalent of "suspect all quorums ordered
+          before a clean one"). Scheduled to keep the view-skip iterative. *)
+       if List.exists (fun s -> List.mem s t.grp) (Detector.suspected (fd t)) then
+         Sim.schedule t.sim ~delay:0 (fun () ->
+             if t.view = v then move_to_view t (v + 1))
+     | Quorum_selection -> ());
+    if not (in_group t) then t.phase <- Passive
+    else begin
+      let entries = Xlog.to_entries t.log in
+      if is_leader t then begin
+        let tbl = Hashtbl.create 8 in
+        Hashtbl.replace tbl t.me entries;
+        t.phase <- Leading_collect tbl;
+        List.iter (fun k -> if k <> t.me then expect_view_change t ~from:k ~view:v) t.grp;
+        finish_collect t tbl (* singleton group commits immediately *)
+      end
+      else begin
+        t.phase <- Awaiting_new_view;
+        send t ~dst:(leader t) (Xmsg.View_change { vview = v; vlog = entries });
+        expect_new_view t ~from:(leader t) ~view:v
+      end
+    end
+  end
+
+let handle_view_change t ~src (vview, vlog) =
+  if vview > t.view then move_to_view t vview;
+  if vview = t.view && is_leader t then
+    match t.phase with
+    | Leading_collect tbl when List.mem src t.grp && not (Hashtbl.mem tbl src) ->
+      if List.for_all (entry_provenance_ok t) vlog then begin
+        Hashtbl.replace tbl src vlog;
+        finish_collect t tbl
+      end
+      else detect t src
+    | _ -> ()
+
+let handle_new_view t ~src (nview, nlog) =
+  if nview > t.view then move_to_view t nview;
+  if nview = t.view && src = leader t && in_group t && not (is_leader t) then begin
+    if List.for_all (entry_provenance_ok t) nlog then begin
+      List.iter (fun (e : Xmsg.entry) -> if e.Xmsg.ecommitted then install_committed t e) nlog;
+      t.phase <- Normal;
+      try_execute t
+    end
+    else detect t src
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Suspicion plumbing *)
+
+let on_suspected t suspects =
+  match t.config.mode with
+  | Quorum_selection -> QS.handle_suspected (Option.get t.qsel) suspects
+  | Enumeration ->
+    (* move_to_view broadcasts the justifying SUSPECT itself. *)
+    if List.exists (fun s -> List.mem s t.grp) suspects then move_to_view t (t.view + 1)
+
+let on_qs_quorum t quorum =
+  let target =
+    Enumeration.view_for ~n:t.config.n ~q:(q t) ~at_least:t.view ~group:quorum
+  in
+  if target > t.view then move_to_view t target
+
+(* ------------------------------------------------------------------ *)
+(* Receive path *)
+
+let process t ~src msg =
+  match msg.Xmsg.body with
+  | Xmsg.Prepare sp -> handle_prepare t ~src sp
+  | Xmsg.Commit { cview; cslot; csp } -> handle_commit t ~src (cview, cslot, csp)
+  | Xmsg.Suspect { sview } ->
+    if t.config.mode = Enumeration && sview >= t.view then move_to_view t (sview + 1)
+  | Xmsg.View_change { vview; vlog } -> handle_view_change t ~src (vview, vlog)
+  | Xmsg.New_view { nview; nlog } -> handle_new_view t ~src (nview, nlog)
+  | Xmsg.Qsel update -> (
+    match t.qsel with
+    | Some qsel -> QS.handle_update qsel update
+    | None -> ())
+
+let receive t ~src msg =
+  if Xmsg.verify t.auth msg && msg.Xmsg.sender = src then
+    Detector.receive (fd t) ~src msg
+
+(* ------------------------------------------------------------------ *)
+
+let create config ~me ~auth ~sim ~net_send ?(on_execute = fun ~slot:_ _ -> ())
+    ?(on_view_change = fun ~view:_ ~group:_ -> ()) () =
+  if config.n <= 0 || config.f < 0 || config.n - config.f <= config.f then
+    invalid_arg "Replica.create: need n - f > f";
+  if me < 0 || me >= config.n then invalid_arg "Replica.create: me out of range";
+  let t =
+    {
+      config;
+      me;
+      auth;
+      sim;
+      net_send;
+      on_execute;
+      on_view_change;
+      fd = None;
+      qsel = None;
+      log = Xlog.create ();
+      view = 0;
+      grp = Enumeration.group ~n:config.n ~q:(quorum_size config) ~view:0;
+      phase = Normal;
+      fault = Honest;
+      view_changes = 0;
+      detections = [];
+      proposed = Hashtbl.create 64;
+      awaiting_prepare = Hashtbl.create 64;
+      exec_cursor = 0;
+    }
+  in
+  let timeouts = Timeout.create ~n:config.n ~initial:config.initial_timeout config.timeout_strategy in
+  t.fd <-
+    Some
+      (Detector.create ~sim ~me ~n:config.n ~timeouts
+         ~deliver:(fun ~src m -> process t ~src m)
+         ~on_suspected:(fun s -> on_suspected t s)
+         ());
+  (match config.mode with
+   | Enumeration -> ()
+   | Quorum_selection ->
+     t.qsel <-
+       Some
+         (QS.create
+            { QS.n = config.n; f = config.f }
+            ~me ~auth
+            ~send:(fun update -> send_all_including_self t (Xmsg.Qsel update))
+            ~on_quorum:(fun quorum -> on_qs_quorum t quorum)
+            ()));
+  t
+
+let executed t = Xlog.executed_prefix t.log
+
+let committed_count t = Xlog.committed_count t.log
+
+let view_changes t = t.view_changes
+
+let detector t = fd t
+
+let detections t = t.detections
+
+let quorum_selector t = t.qsel

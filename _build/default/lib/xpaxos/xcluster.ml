@@ -1,0 +1,149 @@
+module Sim = Qs_sim.Sim
+module Network = Qs_sim.Network
+module Stime = Qs_sim.Stime
+module Pid = Qs_core.Pid
+
+type t = {
+  sim : Sim.t;
+  net : Xmsg.t Network.t;
+  replicas : Replica.t array;
+  config : Replica.config;
+  mutable next_rid : int;
+  (* (client, rid) -> replicas that executed it *)
+  executions : (int * int, Pid.t list ref) Hashtbl.t;
+  submit_times : (int * int, Stime.t) Hashtbl.t;
+  commit_times : (int * int, Stime.t) Hashtbl.t;
+  omitted : (Pid.t * Pid.t, unit) Hashtbl.t;
+  delayed : (Pid.t * Pid.t, Stime.t) Hashtbl.t;
+}
+
+let create ?(seed = 1L) ?(delay = Network.Fixed (Stime.of_ms 1)) ?(fifo = true) config =
+  let sim = Sim.create ~seed () in
+  let net = Network.create ~sim ~n:config.Replica.n ~delay ~fifo () in
+  let auth = Qs_crypto.Auth.create config.Replica.n in
+  let executions = Hashtbl.create 64 in
+  let commit_times = Hashtbl.create 64 in
+  let threshold = config.Replica.n - config.Replica.f in
+  let replicas =
+    Array.init config.Replica.n (fun me ->
+        Replica.create config ~me ~auth ~sim
+          ~net_send:(fun ~dst msg -> Network.send net ~src:me ~dst msg)
+          ~on_execute:(fun ~slot:_ request ->
+            let key = (request.Xmsg.client, request.Xmsg.rid) in
+            let cell =
+              match Hashtbl.find_opt executions key with
+              | Some c -> c
+              | None ->
+                let c = ref [] in
+                Hashtbl.replace executions key c;
+                c
+            in
+            if not (List.mem me !cell) then begin
+              cell := me :: !cell;
+              if List.length !cell = threshold && not (Hashtbl.mem commit_times key) then
+                Hashtbl.replace commit_times key (Sim.now sim)
+            end)
+          ())
+  in
+  Array.iteri
+    (fun i replica ->
+      Network.set_handler net i (fun ~src msg -> Replica.receive replica ~src msg))
+    replicas;
+  let t =
+    {
+      sim;
+      net;
+      replicas;
+      config;
+      next_rid = 0;
+      executions;
+      submit_times = Hashtbl.create 64;
+      commit_times;
+      omitted = Hashtbl.create 16;
+      delayed = Hashtbl.create 16;
+    }
+  in
+  Network.set_filter net (fun ~now:_ ~src ~dst _ ->
+      if Hashtbl.mem t.omitted (src, dst) then Network.Drop
+      else
+        match Hashtbl.find_opt t.delayed (src, dst) with
+        | Some d -> Network.Delay d
+        | None -> Network.Deliver);
+  t
+
+let sim t = t.sim
+
+let net t = t.net
+
+let replica t i = t.replicas.(i)
+
+let config t = t.config
+
+let set_fault t i fault = Replica.set_fault t.replicas.(i) fault
+
+let omit_link t ~src ~dst = Hashtbl.replace t.omitted (src, dst) ()
+
+let delay_link t ~src ~dst ~by = Hashtbl.replace t.delayed (src, dst) by
+
+let heal_link t ~src ~dst =
+  Hashtbl.remove t.omitted (src, dst);
+  Hashtbl.remove t.delayed (src, dst)
+
+let heal_all t =
+  Hashtbl.reset t.omitted;
+  Hashtbl.reset t.delayed
+
+let executed_by t request =
+  match Hashtbl.find_opt t.executions (request.Xmsg.client, request.Xmsg.rid) with
+  | Some cell -> List.sort compare !cell
+  | None -> []
+
+let is_globally_committed t request =
+  List.length (executed_by t request)
+  >= t.config.Replica.n - t.config.Replica.f
+
+let submit t ?(client = 0) ?resubmit_every op =
+  let rid = t.next_rid in
+  t.next_rid <- t.next_rid + 1;
+  let request = { Xmsg.client; rid; op } in
+  Hashtbl.replace t.submit_times (client, rid) (Sim.now t.sim);
+  let deliver () = Array.iter (fun r -> Replica.submit r request) t.replicas in
+  Sim.schedule t.sim ~delay:0 deliver;
+  (match resubmit_every with
+   | None -> ()
+   | Some period ->
+     let rec again () =
+       if not (is_globally_committed t request) then begin
+         deliver ();
+         Sim.schedule t.sim ~delay:period again
+       end
+     in
+     Sim.schedule t.sim ~delay:period again);
+  request
+
+let run ?until ?max_events t = Sim.run ?until ?max_events t.sim
+
+let rec is_prefix a b =
+  match (a, b) with
+  | [], _ -> true
+  | _, [] -> false
+  | x :: a', y :: b' -> x = y && is_prefix a' b'
+
+let consistent t ~correct =
+  let histories = List.map (fun p -> Replica.executed t.replicas.(p)) correct in
+  List.for_all
+    (fun h1 -> List.for_all (fun h2 -> is_prefix h1 h2 || is_prefix h2 h1) histories)
+    histories
+
+let total_view_changes t =
+  Array.fold_left (fun acc r -> acc + Replica.view_changes r) 0 t.replicas
+
+let max_view t = Array.fold_left (fun acc r -> max acc (Replica.view r)) 0 t.replicas
+
+let message_count t = Network.sent_count t.net
+
+let commit_latency t (request : Xmsg.request) =
+  let key = (request.Xmsg.client, request.Xmsg.rid) in
+  match (Hashtbl.find_opt t.submit_times key, Hashtbl.find_opt t.commit_times key) with
+  | Some s, Some c -> Some (Stime.( - ) c s)
+  | _ -> None

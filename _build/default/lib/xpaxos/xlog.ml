@@ -1,0 +1,65 @@
+type entry = {
+  slot : int;
+  mutable sp : Xmsg.signed_prepare option;
+  mutable votes : Qs_core.Pid.t list;
+  mutable committed : bool;
+  mutable executed : bool;
+}
+
+type t = { slots : (int, entry) Hashtbl.t; mutable max_slot : int }
+
+let create () = { slots = Hashtbl.create 64; max_slot = -1 }
+
+let entry t slot =
+  match Hashtbl.find_opt t.slots slot with
+  | Some e -> e
+  | None ->
+    let e = { slot; sp = None; votes = []; committed = false; executed = false } in
+    Hashtbl.replace t.slots slot e;
+    if slot > t.max_slot then t.max_slot <- slot;
+    e
+
+let find t slot = Hashtbl.find_opt t.slots slot
+
+let max_slot t = t.max_slot
+
+let next_slot t = t.max_slot + 1
+
+let record_vote e voter = if not (List.mem voter e.votes) then e.votes <- voter :: e.votes
+
+let executed_prefix t =
+  let rec loop slot acc =
+    match Hashtbl.find_opt t.slots slot with
+    | Some ({ executed = true; sp = Some sp; _ } : entry) ->
+      loop (slot + 1) (sp.Xmsg.prepare.Xmsg.request :: acc)
+    | _ -> List.rev acc
+  in
+  loop 0 []
+
+let committed_count t =
+  Hashtbl.fold (fun _ e acc -> if e.committed then acc + 1 else acc) t.slots 0
+
+let to_entries t =
+  let all =
+    Hashtbl.fold
+      (fun slot e acc ->
+        match e.sp with
+        | None -> acc
+        | Some sp ->
+          {
+            Xmsg.eview = sp.Xmsg.prepare.Xmsg.view;
+            eslot = slot;
+            erequest = sp.Xmsg.prepare.Xmsg.request;
+            ecommitted = e.committed;
+            epsig = sp.Xmsg.psig;
+          }
+          :: acc)
+      t.slots []
+  in
+  List.sort (fun a b -> compare a.Xmsg.eslot b.Xmsg.eslot) all
+
+let adopt t entry_msg ~view:_ ~sp =
+  let e = entry t entry_msg.Xmsg.eslot in
+  e.sp <- Some sp;
+  e.votes <- [];
+  if entry_msg.Xmsg.ecommitted then e.committed <- true

@@ -1,0 +1,43 @@
+(** Replica log: one entry per slot, committed prefix executed in order.
+
+    A slot commits when the replica holds a valid PREPARE and matching
+    COMMITs from {e every} other member of the synchronous group (paper,
+    Section V-A, step 3) — the PREPARE counts as the leader's vote. *)
+
+type entry = {
+  slot : int;
+  mutable sp : Xmsg.signed_prepare option;  (** adopted prepare *)
+  mutable votes : Qs_core.Pid.t list;  (** COMMIT senders (matching hash) *)
+  mutable committed : bool;
+  mutable executed : bool;
+}
+
+type t
+
+val create : unit -> t
+
+val entry : t -> int -> entry
+(** Get-or-create the entry for a slot. *)
+
+val find : t -> int -> entry option
+
+val max_slot : t -> int
+(** Highest touched slot; -1 when empty. *)
+
+val next_slot : t -> int
+(** [max_slot + 1] — the leader's allocation counter. *)
+
+val record_vote : entry -> Qs_core.Pid.t -> unit
+(** Idempotent. *)
+
+val executed_prefix : t -> Xmsg.request list
+(** Requests of executed slots 0,1,2,… in order (stops at the first gap). *)
+
+val committed_count : t -> int
+
+val to_entries : t -> Xmsg.entry list
+(** Snapshot for VIEW-CHANGE messages: every slot with an adopted prepare. *)
+
+val adopt : t -> Xmsg.entry -> view:int -> sp:Xmsg.signed_prepare -> unit
+(** Install an entry from a NEW-VIEW: overwrite the slot's prepare with the
+    re-signed one, preserving committed status if already committed. *)

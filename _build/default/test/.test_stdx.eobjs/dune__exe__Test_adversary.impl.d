@@ -1,0 +1,1 @@
+test/test_adversary.ml: Alcotest Attack List QCheck QCheck_alcotest Qs_adversary Qs_core Qs_fd Qs_sim Qs_xpaxos String Theorem4

@@ -1,0 +1,1 @@
+test/test_bchain.ml: Alcotest Chain_cluster Chain_msg Chain_node Int64 List Printf QCheck QCheck_alcotest Qs_bchain Qs_crypto Qs_fd Qs_sim

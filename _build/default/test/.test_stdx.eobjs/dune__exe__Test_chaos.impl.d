@@ -1,0 +1,1 @@
+test/test_chaos.ml: Alcotest Fun Int64 List Printf QCheck QCheck_alcotest Qs_bchain Qs_fd Qs_harness Qs_minbft Qs_pbft Qs_sim Qs_star Qs_stdx Qs_xpaxos

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Cluster List Msg QCheck QCheck_alcotest Qs_core Qs_crypto Qs_graph Qs_stdx Queue Quorum_select Spec Suspicion_matrix

@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Auth Char Hmac List Printf QCheck QCheck_alcotest Qs_crypto Sha256 String

@@ -1,0 +1,1 @@
+test/test_fd.ml: Alcotest List QCheck QCheck_alcotest Qs_fd Qs_sim String

@@ -1,0 +1,1 @@
+test/test_follower.ml: Alcotest Fcluster Fmsg Follower_select List QCheck QCheck_alcotest Qs_core Qs_crypto Qs_follower Qs_graph Qs_stdx

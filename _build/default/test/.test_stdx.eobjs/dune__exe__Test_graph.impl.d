@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Format Graph Indep Line_subgraph List Printf QCheck QCheck_alcotest Qs_graph Qs_stdx

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest List Printf Qs_fd Qs_harness Qs_sim String

@@ -1,0 +1,1 @@
+test/test_minbft.ml: Alcotest Array Int64 List Mcluster Mmsg Mreplica Printf QCheck QCheck_alcotest Qs_crypto Qs_fd Qs_minbft Qs_sim Usig

@@ -1,0 +1,1 @@
+test/test_pbft.ml: Alcotest Int64 List Pcluster Pmsg Preplica Printf QCheck QCheck_alcotest Qs_core Qs_crypto Qs_fd Qs_pbft Qs_sim

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Int64 List Network QCheck QCheck_alcotest Qs_sim Qs_stdx Sim String Trace

@@ -1,0 +1,1 @@
+test/test_star.ml: Alcotest Int64 List Printf QCheck QCheck_alcotest Qs_crypto Qs_fd Qs_follower Qs_sim Qs_star Star_cluster Star_msg Star_node

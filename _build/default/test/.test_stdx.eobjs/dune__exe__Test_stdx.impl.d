@@ -1,0 +1,1 @@
+test/test_stdx.ml: Alcotest Array Bitset Combin Heap List Option Printf Prng QCheck QCheck_alcotest Qs_stdx Stats String Table

@@ -1,0 +1,1 @@
+test/test_xpaxos.ml: Alcotest Enumeration Int64 List Printf QCheck QCheck_alcotest Qs_core Qs_crypto Qs_fd Qs_sim Qs_xpaxos Replica Xcluster Xlog Xmsg

@@ -1,0 +1,277 @@
+(* Chaos tests: randomized fault combinations across every protocol stack,
+   checked against the invariants that must survive anything the model
+   allows — prefix consistency of replicated logs, exactly-once execution,
+   eventual commitment, and quorum-selection agreement. *)
+
+module Stime = Qs_sim.Stime
+module Timeout = Qs_fd.Timeout
+module Prng = Qs_stdx.Prng
+
+let ms = Stime.of_ms
+
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Fault plans: up to f mute processes plus random link omissions and
+   delays originating at those faulty processes (keeping the model's
+   promise that correct-correct links stay reliable and timely). *)
+
+type plan = {
+  mute : int list;
+  omit : (int * int) list; (* src faulty *)
+  delay : (int * int) list;
+}
+
+let gen_plan rng ~n ~f =
+  let faulty = Prng.sample rng (Prng.int_in rng 0 f) (List.init n Fun.id) in
+  let mute = List.filter (fun _ -> Prng.bool rng) faulty in
+  let links kind =
+    List.concat_map
+      (fun src ->
+        if List.mem src mute then []
+        else
+          List.filter_map
+            (fun dst -> if dst <> src && Prng.chance rng kind then Some (src, dst) else None)
+            (List.init n Fun.id))
+      faulty
+  in
+  { mute; omit = links 0.3; delay = links 0.2 }
+
+let correct_of ~n plan =
+  let faulty = plan.mute @ List.map fst plan.omit @ List.map fst plan.delay in
+  List.filter (fun p -> not (List.mem p faulty)) (List.init n Fun.id)
+
+(* ------------------------------------------------------------------ *)
+(* XPaxos under chaos *)
+
+let xpaxos_chaos ~seed ~mode =
+  let n = 5 and f = 2 in
+  let rng = Prng.of_int seed in
+  let plan = gen_plan rng ~n ~f in
+  let config =
+    {
+      Qs_xpaxos.Replica.n;
+      f;
+      mode;
+      initial_timeout = ms 25;
+      timeout_strategy = Timeout.Exponential { factor = 2.0; max = ms 2000 };
+    }
+  in
+  let c = Qs_xpaxos.Xcluster.create ~seed:(Int64.of_int seed) config in
+  List.iter (fun p -> Qs_xpaxos.Xcluster.set_fault c p Qs_xpaxos.Replica.Mute) plan.mute;
+  List.iter (fun (s, d) -> Qs_xpaxos.Xcluster.omit_link c ~src:s ~dst:d) plan.omit;
+  List.iter (fun (s, d) -> Qs_xpaxos.Xcluster.delay_link c ~src:s ~dst:d ~by:(ms 120)) plan.delay;
+  let requests =
+    List.init 4 (fun i ->
+        Qs_xpaxos.Xcluster.submit c ~resubmit_every:(ms 150) (Printf.sprintf "op%d" i))
+  in
+  Qs_xpaxos.Xcluster.run ~until:(ms 10_000) c;
+  let correct = correct_of ~n plan in
+  let consistent = Qs_xpaxos.Xcluster.consistent c ~correct in
+  let all_committed =
+    List.for_all (Qs_xpaxos.Xcluster.is_globally_committed c) requests
+  in
+  (consistent, all_committed)
+
+let prop_xpaxos_enum_chaos =
+  QCheck.Test.make ~name:"xpaxos/enumeration: consistency + liveness under chaos" ~count:20
+    QCheck.(int_range 1 100000)
+    (fun seed ->
+      let consistent, committed = xpaxos_chaos ~seed ~mode:Qs_xpaxos.Replica.Enumeration in
+      consistent && committed)
+
+let prop_xpaxos_qs_chaos =
+  QCheck.Test.make ~name:"xpaxos/quorum-selection: consistency + liveness under chaos"
+    ~count:20
+    QCheck.(int_range 1 100000)
+    (fun seed ->
+      let consistent, committed = xpaxos_chaos ~seed ~mode:Qs_xpaxos.Replica.Quorum_selection in
+      consistent && committed)
+
+(* ------------------------------------------------------------------ *)
+(* PBFT under chaos *)
+
+let prop_pbft_selected_chaos =
+  QCheck.Test.make ~name:"pbft/selected: consistency + liveness under chaos" ~count:15
+    QCheck.(int_range 1 100000)
+    (fun seed ->
+      let n = 7 and f = 2 in
+      let rng = Prng.of_int seed in
+      let plan = gen_plan rng ~n ~f in
+      let config =
+        {
+          Qs_pbft.Preplica.n;
+          f;
+          participation = Qs_pbft.Preplica.Selected;
+          initial_timeout = ms 25;
+          timeout_strategy = Timeout.Exponential { factor = 2.0; max = ms 2000 };
+        }
+      in
+      let c = Qs_pbft.Pcluster.create ~seed:(Int64.of_int seed) config in
+      List.iter (fun p -> Qs_pbft.Pcluster.set_fault c p Qs_pbft.Preplica.Mute) plan.mute;
+      List.iter
+        (fun (s, d) -> Qs_pbft.Pcluster.set_fault c s (Qs_pbft.Preplica.Omit_to [ d ]))
+        plan.omit;
+      let requests =
+        List.init 3 (fun i ->
+            Qs_pbft.Pcluster.submit c ~resubmit_every:(ms 150) (Printf.sprintf "op%d" i))
+      in
+      Qs_pbft.Pcluster.run ~until:(ms 12_000) c;
+      let correct = correct_of ~n { plan with delay = [] } in
+      Qs_pbft.Pcluster.consistent c ~correct
+      && List.for_all (Qs_pbft.Pcluster.is_globally_committed c) requests)
+
+(* ------------------------------------------------------------------ *)
+(* Chain and star: exactly-once + recovery *)
+
+let prop_chain_chaos =
+  QCheck.Test.make ~name:"chain: exactly-once + recovery under chaos" ~count:15
+    QCheck.(int_range 1 100000)
+    (fun seed ->
+      let n = 7 and f = 2 in
+      let rng = Prng.of_int seed in
+      let plan = gen_plan rng ~n ~f in
+      let config =
+        {
+          Qs_bchain.Chain_node.n;
+          f;
+          initial_timeout = ms 25;
+          timeout_strategy = Timeout.Exponential { factor = 2.0; max = ms 2000 };
+        }
+      in
+      let c = Qs_bchain.Chain_cluster.create ~seed:(Int64.of_int seed) config in
+      List.iter
+        (fun p -> Qs_bchain.Chain_cluster.set_fault c p Qs_bchain.Chain_node.Mute)
+        plan.mute;
+      List.iter
+        (fun (s, d) ->
+          Qs_bchain.Chain_cluster.set_fault c s (Qs_bchain.Chain_node.Omit_to [ d ]))
+        plan.omit;
+      let requests =
+        List.init 3 (fun i ->
+            Qs_bchain.Chain_cluster.submit c ~resubmit_every:(ms 120) (Printf.sprintf "op%d" i))
+      in
+      Qs_bchain.Chain_cluster.run ~until:(ms 12_000) c;
+      let committed = List.for_all (Qs_bchain.Chain_cluster.is_committed c) requests in
+      let exactly_once =
+        List.for_all
+          (fun p ->
+            let ids =
+              List.map
+                (fun r -> (r.Qs_bchain.Chain_msg.client, r.Qs_bchain.Chain_msg.rid))
+                (Qs_bchain.Chain_node.executed (Qs_bchain.Chain_cluster.node c p))
+            in
+            List.length ids = List.length (List.sort_uniq compare ids))
+          (List.init n Fun.id)
+      in
+      committed && exactly_once)
+
+let prop_star_chaos =
+  QCheck.Test.make ~name:"star: exactly-once + recovery under chaos" ~count:15
+    QCheck.(int_range 1 100000)
+    (fun seed ->
+      let n = 7 and f = 2 in
+      let rng = Prng.of_int seed in
+      let plan = gen_plan rng ~n ~f in
+      let config =
+        {
+          Qs_star.Star_node.n;
+          f;
+          initial_timeout = ms 25;
+          timeout_strategy = Timeout.Exponential { factor = 2.0; max = ms 2000 };
+        }
+      in
+      let c = Qs_star.Star_cluster.create ~seed:(Int64.of_int seed) config in
+      List.iter (fun p -> Qs_star.Star_cluster.set_fault c p Qs_star.Star_node.Mute) plan.mute;
+      List.iter
+        (fun (s, d) -> Qs_star.Star_cluster.set_fault c s (Qs_star.Star_node.Omit_to [ d ]))
+        plan.omit;
+      let requests =
+        List.init 3 (fun i ->
+            Qs_star.Star_cluster.submit c ~resubmit_every:(ms 120) (Printf.sprintf "op%d" i))
+      in
+      Qs_star.Star_cluster.run ~until:(ms 12_000) c;
+      List.for_all (Qs_star.Star_cluster.is_committed c) requests)
+
+let prop_minbft_chaos =
+  QCheck.Test.make ~name:"minbft/selected: liveness under chaos" ~count:15
+    QCheck.(int_range 1 100000)
+    (fun seed ->
+      let f = 2 in
+      let n = (2 * f) + 1 in
+      let rng = Prng.of_int seed in
+      let plan = gen_plan rng ~n ~f in
+      let config =
+        {
+          Qs_minbft.Mreplica.n;
+          f;
+          participation = Qs_minbft.Mreplica.Selected;
+          initial_timeout = ms 25;
+          timeout_strategy = Timeout.Exponential { factor = 2.0; max = ms 2000 };
+        }
+      in
+      let c = Qs_minbft.Mcluster.create ~seed:(Int64.of_int seed) config in
+      List.iter (fun p -> Qs_minbft.Mcluster.set_fault c p Qs_minbft.Mreplica.Mute) plan.mute;
+      List.iter
+        (fun (s, d) -> Qs_minbft.Mcluster.set_fault c s (Qs_minbft.Mreplica.Omit_to [ d ]))
+        plan.omit;
+      let requests =
+        List.init 3 (fun i ->
+            Qs_minbft.Mcluster.submit c ~resubmit_every:(ms 120) (Printf.sprintf "op%d" i))
+      in
+      Qs_minbft.Mcluster.run ~until:(ms 12_000) c;
+      List.for_all (Qs_minbft.Mcluster.is_committed c) requests)
+
+(* ------------------------------------------------------------------ *)
+(* Heartbeat stack: agreement whatever the (bounded) fault mix *)
+
+let prop_heartbeat_chaos =
+  QCheck.Test.make ~name:"heartbeat stack: agreement under chaos" ~count:15
+    QCheck.(int_range 1 100000)
+    (fun seed ->
+      let n = 7 and f = 2 in
+      let rng = Prng.of_int seed in
+      let plan = gen_plan rng ~n ~f in
+      let t =
+        Qs_harness.Heartbeat.create ~seed:(Int64.of_int seed)
+          {
+            Qs_harness.Heartbeat.n;
+            f;
+            heartbeat_period = ms 50;
+            initial_timeout = ms 120;
+            timeout_strategy = Timeout.Exponential { factor = 2.0; max = ms 2000 };
+          }
+      in
+      List.iter (fun p -> Qs_harness.Heartbeat.crash t p (ms 300)) plan.mute;
+      List.iter
+        (fun (s, d) -> Qs_harness.Heartbeat.omit_link t ~src:s ~dst:d ~from:(ms 300))
+        plan.omit;
+      Qs_harness.Heartbeat.run ~until:(ms 6000) t;
+      let correct = correct_of ~n { plan with delay = [] } in
+      Qs_harness.Heartbeat.agreed_quorum t ~correct <> None
+      && Qs_harness.Heartbeat.matrices_agree t ~correct)
+
+(* One deterministic smoke case so failures reproduce trivially. *)
+let test_known_mixed_scenario () =
+  let consistent, committed = xpaxos_chaos ~seed:4242 ~mode:Qs_xpaxos.Replica.Quorum_selection in
+  check_bool "consistent" true consistent;
+  check_bool "committed" true committed
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_xpaxos_enum_chaos;
+      prop_xpaxos_qs_chaos;
+      prop_pbft_selected_chaos;
+      prop_chain_chaos;
+      prop_star_chaos;
+      prop_minbft_chaos;
+      prop_heartbeat_chaos;
+    ]
+
+let () =
+  Alcotest.run "chaos"
+    [
+      ("smoke", [ Alcotest.test_case "known mixed scenario" `Quick test_known_mixed_scenario ]);
+      ("properties", qsuite);
+    ]

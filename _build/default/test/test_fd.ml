@@ -1,0 +1,364 @@
+(* Failure-detector tests: the Section IV-B event interface and the
+   completeness/accuracy properties. *)
+
+module Sim = Qs_sim.Sim
+module Timeout = Qs_fd.Timeout
+module Detector = Qs_fd.Detector
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_ilist = Alcotest.(check (list int))
+
+type harness = {
+  sim : Sim.t;
+  fd : string Detector.t;
+  delivered : (int * string) list ref;
+  published : int list list ref;  (* every SUSPECTED set, in order *)
+}
+
+let make ?(n = 4) ?(initial = 100) ?(strategy = Timeout.Fixed) ?authenticate () =
+  let sim = Sim.create () in
+  let delivered = ref [] in
+  let published = ref [] in
+  let timeouts = Timeout.create ~n ~initial strategy in
+  let fd =
+    Detector.create ~sim ~me:0 ~n ?authenticate ~timeouts
+      ~deliver:(fun ~src m -> delivered := (src, m) :: !delivered)
+      ~on_suspected:(fun s -> published := s :: !published)
+      ()
+  in
+  { sim; fd; delivered; published }
+
+let last_suspects h = match !(h.published) with [] -> [] | s :: _ -> s
+
+(* ------------------------------------------------------------------ *)
+
+let test_timely_message_no_suspicion () =
+  let h = make () in
+  Detector.expect h.fd ~from:1 (fun m -> m = "commit");
+  Sim.schedule h.sim ~delay:50 (fun () -> Detector.receive h.fd ~src:1 "commit");
+  Sim.run h.sim;
+  check_ilist "no suspicion" [] (Detector.suspected h.fd);
+  check_int "no events published" 0 (List.length !(h.published));
+  check_int "delivered" 1 (List.length !(h.delivered))
+
+let test_missed_expectation_suspected () =
+  let h = make () in
+  Detector.expect h.fd ~from:2 (fun _ -> true);
+  Sim.run h.sim;
+  check_ilist "suspected at deadline" [ 2 ] (Detector.suspected h.fd);
+  check_ilist "published set" [ 2 ] (last_suspects h);
+  check_int "raised once" 1 (Detector.raised_total h.fd)
+
+let test_late_message_cancels_suspicion () =
+  let h = make () in
+  Detector.expect h.fd ~from:1 (fun m -> m = "m");
+  (* Arrives at 150, deadline at 100. *)
+  Sim.schedule h.sim ~delay:150 (fun () -> Detector.receive h.fd ~src:1 "m");
+  Sim.run h.sim;
+  check_ilist "suspicion cancelled" [] (Detector.suspected h.fd);
+  Alcotest.(check (list (list int))) "raise then cancel" [ []; [ 1 ] ] !(h.published);
+  check_int "false suspicion counted" 1 (Detector.false_suspicions h.fd);
+  check_int "still delivered" 1 (List.length !(h.delivered))
+
+let test_wrong_predicate_does_not_fulfill () =
+  let h = make () in
+  Detector.expect h.fd ~from:1 (fun m -> m = "expected");
+  Sim.schedule h.sim ~delay:10 (fun () -> Detector.receive h.fd ~src:1 "other");
+  Sim.run h.sim;
+  check_ilist "still suspected" [ 1 ] (Detector.suspected h.fd);
+  check_int "other message still delivered" 1 (List.length !(h.delivered))
+
+let test_wrong_sender_does_not_fulfill () =
+  let h = make () in
+  Detector.expect h.fd ~from:1 (fun _ -> true);
+  Sim.schedule h.sim ~delay:10 (fun () -> Detector.receive h.fd ~src:2 "m");
+  Sim.run h.sim;
+  check_ilist "sender mismatch" [ 1 ] (Detector.suspected h.fd)
+
+let test_detected_is_permanent () =
+  let h = make () in
+  Detector.detected h.fd 3;
+  check_bool "suspected" true (Detector.is_suspected h.fd 3);
+  check_bool "detected" true (Detector.is_detected h.fd 3);
+  (* A matching message must NOT clear a detection. *)
+  Detector.receive h.fd ~src:3 "anything";
+  Detector.cancel_all h.fd;
+  Sim.run h.sim;
+  check_bool "still suspected after cancel" true (Detector.is_suspected h.fd 3)
+
+let test_detected_idempotent () =
+  let h = make () in
+  Detector.detected h.fd 2;
+  Detector.detected h.fd 2;
+  check_int "published once" 1 (List.length !(h.published));
+  check_int "raised once" 1 (Detector.raised_total h.fd)
+
+let test_cancel_clears_expectations_and_suspicions () =
+  let h = make () in
+  Detector.expect h.fd ~from:1 (fun _ -> true);
+  Detector.expect h.fd ~from:2 (fun _ -> true);
+  Sim.run h.sim;
+  check_ilist "both suspected" [ 1; 2 ] (Detector.suspected h.fd);
+  Detector.cancel_all h.fd;
+  check_ilist "cleared" [] (Detector.suspected h.fd);
+  check_int "no open expectations" 0 (Detector.open_expectations h.fd)
+
+let test_cancel_before_deadline_prevents_suspicion () =
+  let h = make () in
+  Detector.expect h.fd ~from:1 (fun _ -> true);
+  Sim.schedule h.sim ~delay:50 (fun () -> Detector.cancel_all h.fd);
+  Sim.run h.sim;
+  check_ilist "never suspected" [] (Detector.suspected h.fd);
+  check_int "nothing published" 0 (List.length !(h.published))
+
+let test_multiple_overdue_expectations_single_suspect () =
+  let h = make () in
+  Detector.expect h.fd ~from:1 (fun m -> m = "a");
+  Detector.expect h.fd ~from:1 (fun m -> m = "b");
+  Sim.run h.sim;
+  check_ilist "one suspect entry" [ 1 ] (Detector.suspected h.fd);
+  (* Fulfilling only one of the two keeps the suspicion alive. *)
+  Detector.receive h.fd ~src:1 "a";
+  check_ilist "still suspected (b missing)" [ 1 ] (Detector.suspected h.fd);
+  Detector.receive h.fd ~src:1 "b";
+  check_ilist "cleared when all fulfilled" [] (Detector.suspected h.fd)
+
+let test_one_message_fulfills_all_matching () =
+  let h = make () in
+  Detector.expect h.fd ~from:1 (fun _ -> true);
+  Detector.expect h.fd ~from:1 (fun m -> String.length m = 1) ~tag:"short";
+  Detector.receive h.fd ~src:1 "x";
+  check_int "both closed" 0 (Detector.open_expectations h.fd)
+
+let test_authentication_rejects () =
+  let h = make ~authenticate:(fun ~src _ -> src <> 2) () in
+  Detector.receive h.fd ~src:2 "forged";
+  Detector.receive h.fd ~src:1 "fine";
+  check_int "rejected count" 1 (Detector.rejected_messages h.fd);
+  Alcotest.(check (list (pair int string))) "only authentic delivered" [ (1, "fine") ] !(h.delivered)
+
+let test_unauthenticated_does_not_fulfill () =
+  let h = make ~authenticate:(fun ~src:_ m -> m <> "forged") () in
+  Detector.expect h.fd ~from:1 (fun _ -> true);
+  Sim.schedule h.sim ~delay:10 (fun () -> Detector.receive h.fd ~src:1 "forged");
+  Sim.run h.sim;
+  check_ilist "forgery cannot clear expectation" [ 1 ] (Detector.suspected h.fd)
+
+let test_published_sets_are_sorted_and_deduped () =
+  let h = make () in
+  Detector.expect h.fd ~from:3 (fun _ -> true);
+  Detector.expect h.fd ~from:1 (fun _ -> true);
+  Sim.run h.sim;
+  check_ilist "sorted" [ 1; 3 ] (last_suspects h);
+  (* Publishing happens only on change. *)
+  let before = List.length !(h.published) in
+  Detector.receive h.fd ~src:2 "unrelated";
+  check_int "no spurious publish" before (List.length !(h.published))
+
+let test_timeout_override () =
+  (* A per-expectation deadline overrides the peer's adaptive timeout
+     (chain protocols scale deadlines with topology distance). *)
+  let h = make ~initial:100 () in
+  Detector.expect h.fd ~from:1 ~timeout:300 (fun _ -> true);
+  Detector.expect h.fd ~from:2 (fun _ -> true);
+  (* At t=150 only the default-deadline expectation (100) has fired. *)
+  Sim.run ~until:150 h.sim;
+  check_ilist "only peer 2 suspected yet" [ 2 ] (Detector.suspected h.fd);
+  Sim.run h.sim;
+  check_ilist "override fired later" [ 1; 2 ] (Detector.suspected h.fd)
+
+let test_per_peer_timeouts_independent () =
+  (* Adaptation for one peer must not slow detection of another. *)
+  let sim = Sim.create () in
+  let timeouts = Timeout.create ~n:3 ~initial:50 (Timeout.Exponential { factor = 4.0; max = 1000 }) in
+  let fd =
+    Detector.create ~sim ~me:0 ~n:3 ~timeouts
+      ~deliver:(fun ~src:_ _ -> ())
+      ~on_suspected:(fun _ -> ())
+      ()
+  in
+  (* Peer 1 is slow once: timeout for peer 1 quadruples. *)
+  Detector.expect fd ~from:1 (fun m -> m = "a");
+  Sim.schedule sim ~delay:80 (fun () -> Detector.receive fd ~src:1 "a");
+  Sim.run sim;
+  Alcotest.(check int) "peer 1 timeout adapted" 200 (Timeout.current timeouts 1);
+  Alcotest.(check int) "peer 2 untouched" 50 (Timeout.current timeouts 2)
+
+let test_false_suspicion_counter_not_inflated_by_cancel () =
+  let h = make () in
+  Detector.expect h.fd ~from:1 (fun _ -> true);
+  Sim.run h.sim;
+  (* Overdue, then cancelled (not fulfilled): no false suspicion—the message
+     never arrived, so the suspicion was never contradicted. *)
+  Detector.cancel_all h.fd;
+  check_int "no false suspicion recorded" 0 (Detector.false_suspicions h.fd)
+
+(* ------------------------------------------------------------------ *)
+(* Eventual strong accuracy with adaptive timeouts *)
+
+(* A peer that always answers after [delay]; we expect a message every round.
+   Count suspicions raised over many rounds. *)
+let accuracy_run strategy ~rounds ~delay ~initial =
+  let sim = Sim.create () in
+  let timeouts = Timeout.create ~n:2 ~initial strategy in
+  let raised_after_warmup = ref 0 in
+  let warmup = rounds / 2 in
+  let round = ref 0 in
+  let fd =
+    Detector.create ~sim ~me:0 ~n:2 ~timeouts
+      ~deliver:(fun ~src:_ _ -> ())
+      ~on_suspected:(fun s -> if s <> [] && !round > warmup then incr raised_after_warmup)
+      ()
+  in
+  for r = 1 to rounds do
+    Sim.schedule_at sim ~at:(r * 1000) (fun () ->
+        round := r;
+        Detector.expect fd ~from:1 (fun m -> m = r);
+        Sim.schedule sim ~delay (fun () -> Detector.receive fd ~src:1 r))
+  done;
+  Sim.run sim;
+  !raised_after_warmup
+
+let test_accuracy_exponential_backoff_converges () =
+  let raised =
+    accuracy_run
+      (Timeout.Exponential { factor = 2.0; max = 1_000_000 })
+      ~rounds:40 ~delay:400 ~initial:50
+  in
+  check_int "no false suspicions after convergence" 0 raised
+
+let test_accuracy_fixed_timeout_never_converges () =
+  let raised = accuracy_run Timeout.Fixed ~rounds:40 ~delay:400 ~initial:50 in
+  check_bool "fixed timeout keeps suspecting (ablation)" true (raised > 0)
+
+let test_accuracy_additive_converges () =
+  let raised =
+    accuracy_run
+      (Timeout.Additive { step = 100; max = 1_000_000 })
+      ~rounds:40 ~delay:400 ~initial:50
+  in
+  check_int "additive converges too" 0 raised
+
+(* ------------------------------------------------------------------ *)
+(* Timeout module *)
+
+let test_timeout_fixed () =
+  let t = Timeout.create ~n:2 ~initial:100 Timeout.Fixed in
+  Timeout.on_false_suspicion t 0;
+  check_int "unchanged" 100 (Timeout.current t 0);
+  check_int "no increases recorded" 0 (Timeout.increases t)
+
+let test_timeout_exponential () =
+  let t = Timeout.create ~n:2 ~initial:100 (Timeout.Exponential { factor = 2.0; max = 350 }) in
+  Timeout.on_false_suspicion t 0;
+  check_int "doubled" 200 (Timeout.current t 0);
+  check_int "peer isolated" 100 (Timeout.current t 1);
+  Timeout.on_false_suspicion t 0;
+  Timeout.on_false_suspicion t 0;
+  check_int "capped" 350 (Timeout.current t 0);
+  check_int "increases" 3 (Timeout.increases t)
+
+let test_timeout_additive () =
+  let t = Timeout.create ~n:1 ~initial:100 (Timeout.Additive { step = 50; max = 175 }) in
+  Timeout.on_false_suspicion t 0;
+  check_int "stepped" 150 (Timeout.current t 0);
+  Timeout.on_false_suspicion t 0;
+  check_int "capped" 175 (Timeout.current t 0)
+
+let test_timeout_validation () =
+  Alcotest.check_raises "zero initial" (Invalid_argument "Timeout.create: initial must be positive")
+    (fun () -> ignore (Timeout.create ~n:1 ~initial:0 Timeout.Fixed))
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let prop_completeness =
+  (* Whatever subset of expected messages actually arrives (on time), the
+     suspect set is exactly the peers with a missing message. *)
+  QCheck.Test.make ~name:"expectation completeness" ~count:200
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 6) bool)
+    (fun answers ->
+      let n = List.length answers + 1 in
+      let sim = Sim.create () in
+      let timeouts = Timeout.create ~n ~initial:100 Timeout.Fixed in
+      let fd =
+        Detector.create ~sim ~me:0 ~n ~timeouts
+          ~deliver:(fun ~src:_ _ -> ())
+          ~on_suspected:(fun _ -> ())
+          ()
+      in
+      List.iteri
+        (fun i answers_p ->
+          let peer = i + 1 in
+          Detector.expect fd ~from:peer (fun _ -> true);
+          if answers_p then
+            Sim.schedule sim ~delay:10 (fun () -> Detector.receive fd ~src:peer "ok"))
+        answers;
+      Sim.run sim;
+      let expected =
+        List.filteri (fun i _ -> not (List.nth answers i)) (List.init (n - 1) (fun i -> i + 1))
+      in
+      Detector.suspected fd = expected)
+
+let prop_detection_dominates =
+  QCheck.Test.make ~name:"detections survive any message pattern" ~count:100
+    QCheck.(pair (int_range 1 5) (list (int_range 1 5)))
+    (fun (culprit, senders) ->
+      let sim = Sim.create () in
+      let timeouts = Timeout.create ~n:6 ~initial:100 Timeout.Fixed in
+      let fd =
+        Detector.create ~sim ~me:0 ~n:6 ~timeouts
+          ~deliver:(fun ~src:_ _ -> ())
+          ~on_suspected:(fun _ -> ())
+          ()
+      in
+      Detector.detected fd culprit;
+      List.iter (fun s -> Detector.receive fd ~src:s "m") senders;
+      Detector.cancel_all fd;
+      Sim.run sim;
+      Detector.is_suspected fd culprit)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_completeness; prop_detection_dominates ]
+
+let () =
+  Alcotest.run "fd"
+    [
+      ( "detector",
+        [
+          Alcotest.test_case "timely message, no suspicion" `Quick test_timely_message_no_suspicion;
+          Alcotest.test_case "missed expectation suspected" `Quick test_missed_expectation_suspected;
+          Alcotest.test_case "late message cancels" `Quick test_late_message_cancels_suspicion;
+          Alcotest.test_case "predicate mismatch" `Quick test_wrong_predicate_does_not_fulfill;
+          Alcotest.test_case "sender mismatch" `Quick test_wrong_sender_does_not_fulfill;
+          Alcotest.test_case "detected permanent" `Quick test_detected_is_permanent;
+          Alcotest.test_case "detected idempotent" `Quick test_detected_idempotent;
+          Alcotest.test_case "cancel clears" `Quick test_cancel_clears_expectations_and_suspicions;
+          Alcotest.test_case "cancel prevents" `Quick test_cancel_before_deadline_prevents_suspicion;
+          Alcotest.test_case "multiple expectations one peer" `Quick
+            test_multiple_overdue_expectations_single_suspect;
+          Alcotest.test_case "one message fulfills all" `Quick test_one_message_fulfills_all_matching;
+          Alcotest.test_case "authentication rejects" `Quick test_authentication_rejects;
+          Alcotest.test_case "forgery cannot fulfill" `Quick test_unauthenticated_does_not_fulfill;
+          Alcotest.test_case "published sets sorted" `Quick test_published_sets_are_sorted_and_deduped;
+          Alcotest.test_case "timeout override" `Quick test_timeout_override;
+          Alcotest.test_case "per-peer timeout isolation" `Quick test_per_peer_timeouts_independent;
+          Alcotest.test_case "cancel does not inflate false count" `Quick
+            test_false_suspicion_counter_not_inflated_by_cancel;
+        ] );
+      ( "accuracy",
+        [
+          Alcotest.test_case "exponential converges" `Quick test_accuracy_exponential_backoff_converges;
+          Alcotest.test_case "fixed never converges (ablation)" `Quick
+            test_accuracy_fixed_timeout_never_converges;
+          Alcotest.test_case "additive converges" `Quick test_accuracy_additive_converges;
+        ] );
+      ( "timeout",
+        [
+          Alcotest.test_case "fixed" `Quick test_timeout_fixed;
+          Alcotest.test_case "exponential" `Quick test_timeout_exponential;
+          Alcotest.test_case "additive" `Quick test_timeout_additive;
+          Alcotest.test_case "validation" `Quick test_timeout_validation;
+        ] );
+      ("properties", qsuite);
+    ]

@@ -1,0 +1,414 @@
+(* Follower Selection (Algorithm 2) tests: leader determination, FOLLOWERS
+   flow, Definition 3 enforcement, detection of omitting/equivocating
+   leaders, and the key liveness property behind Theorem 9. *)
+
+open Qs_follower
+module Pid = Qs_core.Pid
+module QS = Qs_core.Quorum_select
+module Graph = Qs_graph.Graph
+module Indep = Qs_graph.Indep
+module Line = Qs_graph.Line_subgraph
+module Prng = Qs_stdx.Prng
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_ilist = Alcotest.(check (list int))
+
+let cfg4 = { QS.n = 4; f = 1 }
+let cfg7 = { QS.n = 7; f = 2 }
+
+(* ------------------------------------------------------------------ *)
+(* Fmsg *)
+
+let test_fmsg_update_roundtrip () =
+  let auth = Qs_crypto.Auth.create 4 in
+  let m = Fmsg.seal auth (Fmsg.Update { Qs_core.Msg.owner = 2; row = [| 0; 1; 0; 0 |] }) in
+  check_bool "verifies" true (Fmsg.verify auth m)
+
+let test_fmsg_followers_roundtrip () =
+  let auth = Qs_crypto.Auth.create 4 in
+  let f = { Fmsg.leader = 3; epoch = 2; followers = [ 0; 2 ]; line = [ (0, 1) ] } in
+  let m = Fmsg.seal auth (Fmsg.Followers f) in
+  check_bool "verifies" true (Fmsg.verify auth m);
+  let tampered =
+    { m with Fmsg.payload = Fmsg.Followers { f with Fmsg.followers = [ 0; 1 ] } }
+  in
+  check_bool "tamper rejected" false (Fmsg.verify auth tampered)
+
+let test_fmsg_signer () =
+  check_int "update signer" 2
+    (Fmsg.signer (Fmsg.Update { Qs_core.Msg.owner = 2; row = [||] }));
+  check_int "followers signer" 3
+    (Fmsg.signer (Fmsg.Followers { Fmsg.leader = 3; epoch = 1; followers = []; line = [] }))
+
+(* ------------------------------------------------------------------ *)
+(* Basic protocol flow *)
+
+let test_initial_state () =
+  let c = Fcluster.create cfg4 in
+  let node = Fcluster.node c 0 in
+  check_int "leader p1" 0 (Follower_select.leader node);
+  check_ilist "default quorum" [ 0; 1; 2 ] (Follower_select.last_quorum node);
+  check_bool "stable" true (Follower_select.stable node)
+
+let test_follower_suspicion_no_change () =
+  (* The defining difference from Algorithm 1: a suspicion between followers
+     does not change the quorum. *)
+  let c = Fcluster.create cfg4 in
+  Fcluster.fd_suspect c ~at:1 [ 2 ];
+  Fcluster.run_until_quiet c;
+  (match Fcluster.agreed c ~correct:[ 0; 1; 2; 3 ] with
+   | Some (leader, quorum) ->
+     check_int "leader unchanged" 0 leader;
+     check_ilist "quorum unchanged" [ 0; 1; 2 ] quorum
+   | None -> Alcotest.fail "no agreement");
+  check_int "nothing issued" 0 (Fcluster.max_issued c ~correct:[ 0; 1; 2; 3 ])
+
+let test_leader_suspicion_changes_leader () =
+  let c = Fcluster.create cfg4 in
+  Fcluster.fd_suspect c ~at:1 [ 0 ];
+  Fcluster.run_until_quiet c;
+  (match Fcluster.agreed c ~correct:[ 0; 1; 2; 3 ] with
+   | Some (leader, quorum) ->
+     (* Edge (0,1): the maximal line subgraph covers p1,p2, leader p3. *)
+     check_int "leader p3" 2 leader;
+     check_ilist "quorum from FOLLOWERS" [ 0; 1; 2 ] quorum;
+     check_bool "leader in quorum" true (List.mem leader quorum)
+   | None -> Alcotest.fail "no agreement");
+  check_int "one quorum issued" 1 (Fcluster.max_issued c ~correct:[ 0; 1; 2; 3 ])
+
+let test_omitting_leader_detected_by_timeout () =
+  (* p3 becomes leader but has crashed: FOLLOWERS never arrives, timeouts
+     fire, p3 earns suspicions, a fresh leader takes over. *)
+  let c = Fcluster.create cfg4 in
+  Fcluster.crash c 2;
+  Fcluster.fd_suspect c ~at:1 [ 0 ];
+  Fcluster.run_until_quiet c;
+  (* Correct processes are now waiting for FOLLOWERS from p3. *)
+  List.iter
+    (fun p ->
+      match Fcluster.open_expectation c ~at:p with
+      | Some (leader, _) -> check_int "expecting p3" 2 leader
+      | None -> Alcotest.failf "no expectation at p%d" (p + 1))
+    [ 0; 1; 3 ];
+  (* p2's false suspicion of p1 is cancelled; then the timeouts fire. *)
+  Fcluster.fd_suspect c ~at:1 [];
+  List.iter (fun p -> Fcluster.fire_timeout c ~at:p) [ 0; 1; 3 ];
+  Fcluster.run_until_quiet c;
+  (match Fcluster.agreed c ~correct:[ 0; 1; 3 ] with
+   | Some (leader, quorum) ->
+     check_int "new leader p4" 3 leader;
+     check_ilist "quorum excludes crashed p3" [ 0; 1; 3 ] quorum
+   | None -> Alcotest.fail "no agreement after omission");
+  let epochs = Follower_select.epochs_entered (Fcluster.node c 0) in
+  check_bool "aged out the false suspicion via an epoch bump" true (epochs >= 1)
+
+let test_equivocating_leader_detected () =
+  let c = Fcluster.create cfg4 in
+  Fcluster.fd_suspect c ~at:1 [ 0 ];
+  Fcluster.run_until_quiet c;
+  (* Everyone is stable with leader p3, quorum {0,1,2}. Now p3 "equivocates":
+     a second, different but well-formed FOLLOWERS for the same epoch. *)
+  let node0 = Fcluster.node c 0 in
+  let epoch = Follower_select.epoch node0 in
+  let alt =
+    Fmsg.seal (Fcluster.auth c)
+      (Fmsg.Followers { Fmsg.leader = 2; epoch; followers = [ 1; 3 ]; line = [ (0, 1) ] })
+  in
+  Fcluster.deliver c ~to_:0 alt;
+  Fcluster.run_until_quiet c;
+  check_bool "equivocation detected" true
+    (List.mem (0, 2) (Fcluster.detected_log c))
+
+let test_malformed_followers_detected () =
+  let c = Fcluster.create cfg4 in
+  Fcluster.fd_suspect c ~at:1 [ 0 ];
+  Fcluster.run_until_quiet c;
+  let epoch = Follower_select.epoch (Fcluster.node c 0) in
+  (* Wrong follower count (q-1 = 2 required). *)
+  let bad =
+    Fmsg.seal (Fcluster.auth c)
+      (Fmsg.Followers { Fmsg.leader = 2; epoch; followers = [ 1 ]; line = [ (0, 1) ] })
+  in
+  Fcluster.deliver c ~to_:1 bad;
+  Fcluster.run_until_quiet c;
+  check_bool "malformed detected" true (List.mem (1, 2) (Fcluster.detected_log c))
+
+let test_followers_with_foreign_line_rejected () =
+  (* Definition 3b: the carried line subgraph must be a subgraph of the
+     receiver's suspect graph. An invented edge is proof of misbehavior. *)
+  let c = Fcluster.create cfg4 in
+  Fcluster.fd_suspect c ~at:1 [ 0 ];
+  Fcluster.run_until_quiet c;
+  (* The transient false suspicion is cancelled before p3 misbehaves, so that
+     only one process (p3) is suspect afterwards — within the f=1 model. *)
+  Fcluster.fd_suspect c ~at:1 [];
+  let epoch = Follower_select.epoch (Fcluster.node c 0) in
+  let bad =
+    Fmsg.seal (Fcluster.auth c)
+      (Fmsg.Followers { Fmsg.leader = 2; epoch; followers = [ 0; 1 ]; line = [ (0, 3) ] })
+  in
+  Fcluster.deliver c ~to_:3 bad;
+  Fcluster.run_until_quiet c;
+  check_bool "foreign edge detected" true (List.mem (3, 2) (Fcluster.detected_log c))
+
+let test_stale_epoch_followers_ignored () =
+  let c = Fcluster.create cfg4 in
+  Fcluster.fd_suspect c ~at:1 [ 0 ];
+  Fcluster.run_until_quiet c;
+  let stale =
+    Fmsg.seal (Fcluster.auth c)
+      (Fmsg.Followers { Fmsg.leader = 2; epoch = 99; followers = [ 1; 3 ]; line = [ (0, 1) ] })
+  in
+  Fcluster.deliver c ~to_:0 stale;
+  Fcluster.run_until_quiet c;
+  check_bool "wrong-epoch message has no effect" false
+    (List.mem (0, 2) (Fcluster.detected_log c));
+  check_ilist "quorum unchanged" [ 0; 1; 2 ]
+    (Follower_select.last_quorum (Fcluster.node c 0))
+
+let test_non_leader_followers_ignored () =
+  let c = Fcluster.create cfg4 in
+  (* p2 is not the leader; its FOLLOWERS must be ignored outright. *)
+  let msg =
+    Fmsg.seal (Fcluster.auth c)
+      (Fmsg.Followers { Fmsg.leader = 1; epoch = 1; followers = [ 2; 3 ]; line = [] })
+  in
+  Fcluster.deliver c ~to_:0 msg;
+  Fcluster.run_until_quiet c;
+  check_ilist "quorum unchanged" [ 0; 1; 2 ]
+    (Follower_select.last_quorum (Fcluster.node c 0));
+  check_bool "no detection either" true (Fcluster.detected_log c = [])
+
+let test_unsigned_followers_rejected () =
+  let c = Fcluster.create cfg4 in
+  let forged =
+    {
+      Fmsg.payload =
+        Fmsg.Followers { Fmsg.leader = 0; epoch = 1; followers = [ 1; 2 ]; line = [] };
+      signature = "bogus";
+    }
+  in
+  Fcluster.deliver c ~to_:1 forged;
+  Fcluster.run_until_quiet c;
+  check_int "rejected" 1 (Follower_select.rejected_msgs (Fcluster.node c 1))
+
+let test_larger_system_n7 () =
+  let c = Fcluster.create cfg7 in
+  let all = [ 0; 1; 2; 3; 4; 5; 6 ] in
+  Fcluster.fd_suspect c ~at:3 [ 0 ];
+  Fcluster.run_until_quiet c;
+  (match Fcluster.agreed c ~correct:all with
+   | Some (leader, quorum) ->
+     (* Edge (0,3): line subgraph covers p1..?: cover {0} via (0,3):
+        leader = p2 (vertex 1). *)
+     check_int "leader p2" 1 leader;
+     check_int "quorum size 5" 5 (List.length quorum);
+     check_bool "leader included" true (List.mem 1 quorum)
+   | None -> Alcotest.fail "no agreement")
+
+let test_epoch_bump_resets_to_default () =
+  (* Contradictory persistent suspicions with f=1 on 4 nodes: inconsistent,
+     epoch bumps and the default quorum comes back once they are cancelled. *)
+  let c = Fcluster.create cfg4 in
+  Fcluster.fd_suspect c ~at:0 [ 1 ];
+  Fcluster.fd_suspect c ~at:0 [];
+  Fcluster.fd_suspect c ~at:1 [ 2 ];
+  Fcluster.fd_suspect c ~at:1 [];
+  Fcluster.fd_suspect c ~at:2 [ 0 ];
+  Fcluster.fd_suspect c ~at:2 [];
+  Fcluster.run_until_quiet c;
+  (match Fcluster.agreed c ~correct:[ 0; 1; 2; 3 ] with
+   | Some (leader, quorum) ->
+     check_int "default leader" 0 leader;
+     check_ilist "default quorum" [ 0; 1; 2 ] quorum
+   | None -> Alcotest.fail "no agreement");
+  check_bool "epoch advanced" true (Follower_select.epoch (Fcluster.node c 3) >= 2)
+
+(* ------------------------------------------------------------------ *)
+(* select_followers / well_formed unit tests *)
+
+let test_select_followers_basic () =
+  let l = Graph.of_edges 4 [ (0, 1); (1, 2) ] in
+  (* Leader 3; p2 (vertex 1) is excluded: between two degree-1 nodes. *)
+  check_ilist "smallest possible followers" [ 0; 2 ]
+    (Follower_select.select_followers l ~leader:3 ~q:3)
+
+let test_select_followers_prefers_small_ids () =
+  let l = Graph.create 6 in
+  check_ilist "prefix chosen" [ 0; 1; 2 ] (Follower_select.select_followers l ~leader:5 ~q:4)
+
+let test_select_followers_not_enough () =
+  let l = Graph.of_edges 3 [ (0, 1); (1, 2) ] in
+  Alcotest.check_raises "too few"
+    (Invalid_argument "Follower_select.select_followers: not enough possible followers")
+    (fun () -> ignore (Follower_select.select_followers l ~leader:0 ~q:3))
+
+let test_well_formed_accepts_honest () =
+  let g = Graph.of_edges 4 [ (0, 1) ] in
+  let f = { Fmsg.leader = 2; epoch = 1; followers = [ 0; 1 ]; line = [ (0, 1) ] } in
+  check_bool "honest accepted" true
+    (Follower_select.well_formed ~n:4 ~q:3 ~suspect_graph:g f)
+
+let test_well_formed_rejections () =
+  let g = Graph.of_edges 4 [ (0, 1) ] in
+  let wf f = Follower_select.well_formed ~n:4 ~q:3 ~suspect_graph:g f in
+  (* a) leader in Fw *)
+  check_bool "leader among followers" false
+    (wf { Fmsg.leader = 2; epoch = 1; followers = [ 2; 0 ]; line = [ (0, 1) ] });
+  (* a) wrong size *)
+  check_bool "wrong size" false
+    (wf { Fmsg.leader = 2; epoch = 1; followers = [ 0 ]; line = [ (0, 1) ] });
+  (* duplicates *)
+  check_bool "duplicate followers" false
+    (wf { Fmsg.leader = 2; epoch = 1; followers = [ 0; 0 ]; line = [ (0, 1) ] });
+  (* b) foreign edge *)
+  check_bool "not a subgraph" false
+    (wf { Fmsg.leader = 2; epoch = 1; followers = [ 0; 1 ]; line = [ (2, 3) ] });
+  (* b) not a line subgraph: would need a triangle in g; use degree-3 star
+     via a richer graph *)
+  let g3 = Graph.of_edges 5 [ (0, 4); (1, 4); (2, 4) ] in
+  check_bool "degree-3 line rejected" false
+    (Follower_select.well_formed ~n:5 ~q:4 ~suspect_graph:g3
+       { Fmsg.leader = 3; epoch = 1; followers = [ 0; 1; 2 ]; line = [ (0, 4); (1, 4); (2, 4) ] });
+  (* c) wrong designated leader *)
+  check_bool "leader mismatch" false
+    (wf { Fmsg.leader = 3; epoch = 1; followers = [ 0; 1 ]; line = [ (0, 1) ] });
+  (* d) impossible follower *)
+  let g2 = Graph.of_edges 5 [ (0, 1); (1, 2) ] in
+  check_bool "impossible follower" false
+    (Follower_select.well_formed ~n:5 ~q:4 ~suspect_graph:g2
+       { Fmsg.leader = 3; epoch = 1; followers = [ 0; 1; 2 ]; line = [ (0, 1); (1, 2) ] });
+  (* out-of-range vertices *)
+  check_bool "line vertex out of range" false
+    (wf { Fmsg.leader = 2; epoch = 1; followers = [ 0; 1 ]; line = [ (0, 9) ] });
+  check_bool "follower out of range" false
+    (wf { Fmsg.leader = 2; epoch = 1; followers = [ 0; 9 ]; line = [ (0, 1) ] })
+
+let test_config_validation () =
+  Alcotest.check_raises "n = 3f rejected" (Invalid_argument "Follower_select: requires n > 3f")
+    (fun () ->
+      ignore
+        (Follower_select.create { QS.n = 6; f = 2 } ~me:0 ~auth:(Qs_crypto.Auth.create 6)
+           ~send:(fun _ -> ())
+           ~on_quorum:(fun ~leader:_ _ -> ())
+           ()))
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let prop_follower_edge_never_changes_quorum =
+  QCheck.Test.make ~name:"suspicions among followers never change the quorum" ~count:150
+    QCheck.(pair (int_range 1 6) (int_range 1 6))
+    (fun (a, b) ->
+      QCheck.assume (a <> b);
+      let c = Fcluster.create cfg7 in
+      Fcluster.fd_suspect c ~at:a [ b ];
+      Fcluster.run_until_quiet c;
+      Fcluster.max_issued c ~correct:[ 0; 1; 2; 3; 4; 5; 6 ] = 0
+      && Follower_select.leader (Fcluster.node c 0) = 0)
+
+let prop_leader_follower_edge_reacts =
+  (* The liveness heart of Theorem 9: if the quorum's leader gains a
+     suspicion edge to a possible follower, either the maximal-line-subgraph
+     leader changes or no independent set of size q remains (epoch bump). *)
+  QCheck.Test.make ~name:"leader-follower suspicion always reacts" ~count:300
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let rng = Prng.of_int seed in
+      let n = Prng.int_in rng 4 8 in
+      let f = (n - 1) / 3 in
+      let q = n - f in
+      let g = Graph.create n in
+      for _ = 1 to Prng.int_in rng 0 (2 * f) do
+        let i = Prng.int rng n and j = Prng.int rng n in
+        if i <> j then Graph.add_edge g i j
+      done;
+      if not (Indep.exists_independent_set g q) then true
+      else begin
+        let l = Line.maximal g in
+        let leader = Line.leader g in
+        let followers =
+          List.filter (fun v -> v <> leader) (Line.possible_followers l)
+        in
+        List.for_all
+          (fun fw ->
+            if Graph.has_edge g leader fw then true
+            else begin
+              let g' = Graph.copy g in
+              Graph.add_edge g' leader fw;
+              Line.leader g' <> leader || not (Indep.exists_independent_set g' q)
+            end)
+          followers
+      end)
+
+let prop_agreement_random_transients =
+  (* Suspicions here are always transient (cancelled immediately), so the
+     emulated detector never over-constrains the f-bound; after draining, all
+     correct processes must share leader and quorum. *)
+  QCheck.Test.make ~name:"agreement after random transient suspicions" ~count:80
+    QCheck.(int_range 0 10000)
+    (fun seed ->
+      let rng = Prng.of_int seed in
+      let c = Fcluster.create cfg7 in
+      for _ = 1 to Prng.int_in rng 1 6 do
+        let a = Prng.int rng 7 and b = Prng.int rng 7 in
+        if a <> b then begin
+          Fcluster.fd_suspect c ~at:a [ b ];
+          Fcluster.fd_suspect c ~at:a []
+        end;
+        if Prng.bool rng then Fcluster.run_until_quiet c
+      done;
+      Fcluster.run_until_quiet c;
+      match Fcluster.agreed c ~correct:[ 0; 1; 2; 3; 4; 5; 6 ] with
+      | Some _ -> true
+      | None ->
+        (* The only legitimate reason for disagreement at quiescence is an
+           unanswered FOLLOWERS expectation (the new leader's message is what
+           installs the quorum); there must then be one open somewhere. *)
+        List.exists (fun p -> Fcluster.open_expectation c ~at:p <> None)
+          [ 0; 1; 2; 3; 4; 5; 6 ])
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_follower_edge_never_changes_quorum;
+      prop_leader_follower_edge_reacts;
+      prop_agreement_random_transients;
+    ]
+
+let () =
+  Alcotest.run "follower"
+    [
+      ( "fmsg",
+        [
+          Alcotest.test_case "update roundtrip" `Quick test_fmsg_update_roundtrip;
+          Alcotest.test_case "followers roundtrip" `Quick test_fmsg_followers_roundtrip;
+          Alcotest.test_case "signer" `Quick test_fmsg_signer;
+        ] );
+      ( "algorithm2",
+        [
+          Alcotest.test_case "initial state" `Quick test_initial_state;
+          Alcotest.test_case "follower suspicion ignored" `Quick test_follower_suspicion_no_change;
+          Alcotest.test_case "leader suspicion reacts" `Quick test_leader_suspicion_changes_leader;
+          Alcotest.test_case "omitting leader (timeout)" `Quick test_omitting_leader_detected_by_timeout;
+          Alcotest.test_case "equivocating leader detected" `Quick test_equivocating_leader_detected;
+          Alcotest.test_case "malformed FOLLOWERS detected" `Quick test_malformed_followers_detected;
+          Alcotest.test_case "foreign line edge detected" `Quick test_followers_with_foreign_line_rejected;
+          Alcotest.test_case "stale epoch ignored" `Quick test_stale_epoch_followers_ignored;
+          Alcotest.test_case "non-leader ignored" `Quick test_non_leader_followers_ignored;
+          Alcotest.test_case "unsigned rejected" `Quick test_unsigned_followers_rejected;
+          Alcotest.test_case "n=7 flow" `Quick test_larger_system_n7;
+          Alcotest.test_case "epoch bump to default" `Quick test_epoch_bump_resets_to_default;
+        ] );
+      ( "definitions",
+        [
+          Alcotest.test_case "select followers" `Quick test_select_followers_basic;
+          Alcotest.test_case "select prefers small ids" `Quick test_select_followers_prefers_small_ids;
+          Alcotest.test_case "select not enough" `Quick test_select_followers_not_enough;
+          Alcotest.test_case "well-formed honest" `Quick test_well_formed_accepts_honest;
+          Alcotest.test_case "well-formed rejections" `Quick test_well_formed_rejections;
+          Alcotest.test_case "config validation" `Quick test_config_validation;
+        ] );
+      ("properties", qsuite);
+    ]

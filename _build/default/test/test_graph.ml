@@ -1,0 +1,494 @@
+(* Graph-algorithm tests: independent sets (Algorithm 1's quorum search) and
+   line subgraphs (Follower Selection, Definitions 1-2), cross-checked against
+   brute force on small random instances. *)
+
+open Qs_graph
+module Combin = Qs_stdx.Combin
+module Prng = Qs_stdx.Prng
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_ilist = Alcotest.(check (list int))
+let check_iolist = Alcotest.(check (option (list int)))
+
+(* ------------------------------------------------------------------ *)
+(* Graph basics *)
+
+let test_graph_edges () =
+  let g = Graph.of_edges 5 [ (0, 1); (3, 1); (2, 4) ] in
+  check_bool "has 0-1" true (Graph.has_edge g 0 1);
+  check_bool "symmetric" true (Graph.has_edge g 1 0);
+  check_bool "no 0-2" false (Graph.has_edge g 0 2);
+  Alcotest.(check (list (pair int int))) "edges sorted" [ (0, 1); (1, 3); (2, 4) ] (Graph.edges g);
+  check_int "edge count" 3 (Graph.edge_count g)
+
+let test_graph_degree () =
+  let g = Graph.of_edges 4 [ (0, 1); (0, 2); (0, 3) ] in
+  check_int "center degree" 3 (Graph.degree g 0);
+  check_int "leaf degree" 1 (Graph.degree g 2);
+  check_int "max degree" 3 (Graph.max_degree g);
+  check_ilist "neighbors" [ 1; 2; 3 ] (Graph.neighbors g 0)
+
+let test_graph_remove () =
+  let g = Graph.of_edges 3 [ (0, 1); (1, 2) ] in
+  Graph.remove_edge g 0 1;
+  check_bool "removed" false (Graph.has_edge g 0 1);
+  check_bool "other intact" true (Graph.has_edge g 1 2)
+
+let test_graph_self_loop_rejected () =
+  let g = Graph.create 3 in
+  Alcotest.check_raises "self loop" (Invalid_argument "Graph.add_edge: self-loop") (fun () ->
+      Graph.add_edge g 1 1)
+
+let test_graph_isolated () =
+  let g = Graph.of_edges 5 [ (1, 2) ] in
+  check_ilist "non-isolated" [ 1; 2 ] (Graph.non_isolated g);
+  check_ilist "isolated" [ 0; 3; 4 ] (Graph.isolated g)
+
+let test_graph_copy_independent () =
+  let g = Graph.of_edges 3 [ (0, 1) ] in
+  let h = Graph.copy g in
+  Graph.add_edge h 1 2;
+  check_bool "copy diverged" false (Graph.has_edge g 1 2);
+  check_bool "equal detects difference" false (Graph.equal g h)
+
+let test_graph_subgraph () =
+  let super = Graph.of_edges 4 [ (0, 1); (1, 2); (2, 3) ] in
+  let sub = Graph.of_edges 4 [ (1, 2) ] in
+  check_bool "subgraph" true (Graph.is_subgraph ~sub ~super);
+  check_bool "not subgraph" false
+    (Graph.is_subgraph ~sub:(Graph.of_edges 4 [ (0, 3) ]) ~super)
+
+let test_graph_union () =
+  let a = Graph.of_edges 4 [ (0, 1) ] and b = Graph.of_edges 4 [ (2, 3) ] in
+  let u = Graph.union a b in
+  check_bool "has both" true (Graph.has_edge u 0 1 && Graph.has_edge u 2 3)
+
+let test_graph_cycle_detection () =
+  check_bool "triangle has cycle" true
+    (Graph.induced_has_cycle (Graph.of_edges 3 [ (0, 1); (1, 2); (0, 2) ]));
+  check_bool "path has none" false
+    (Graph.induced_has_cycle (Graph.of_edges 4 [ (0, 1); (1, 2); (2, 3) ]));
+  check_bool "disconnected cycle found" true
+    (Graph.induced_has_cycle (Graph.of_edges 7 [ (0, 1); (3, 4); (4, 5); (3, 5) ]));
+  check_bool "empty graph" false (Graph.induced_has_cycle (Graph.create 4))
+
+(* ------------------------------------------------------------------ *)
+(* Independent sets: known instances *)
+
+let test_indep_empty_graph () =
+  let g = Graph.create 5 in
+  check_int "all vertices independent" 5 (Indep.max_independent_set_size g);
+  check_iolist "lex first is prefix" (Some [ 0; 1; 2 ]) (Indep.lex_first_independent_set g 3)
+
+let test_indep_complete_graph () =
+  let g = Graph.create 4 in
+  List.iter (fun (i, j) -> Graph.add_edge g i j) (List.concat_map (fun i -> List.filter_map (fun j -> if i < j then Some (i, j) else None) [ 0; 1; 2; 3 ]) [ 0; 1; 2; 3 ]);
+  check_int "K4 max IS" 1 (Indep.max_independent_set_size g);
+  check_iolist "no IS of 2 in K4" None (Indep.lex_first_independent_set g 2);
+  check_iolist "singleton" (Some [ 0 ]) (Indep.lex_first_independent_set g 1)
+
+let test_indep_path () =
+  (* Path 0-1-2-3-4: max IS {0,2,4}. *)
+  let g = Graph.of_edges 5 [ (0, 1); (1, 2); (2, 3); (3, 4) ] in
+  check_int "path MIS" 3 (Indep.max_independent_set_size g);
+  check_iolist "lex first" (Some [ 0; 2; 4 ]) (Indep.lex_first_independent_set g 3)
+
+let test_indep_cycle () =
+  (* C5: max IS = 2. *)
+  let g = Graph.of_edges 5 [ (0, 1); (1, 2); (2, 3); (3, 4); (0, 4) ] in
+  check_int "C5 MIS" 2 (Indep.max_independent_set_size g);
+  check_iolist "lex first" (Some [ 0; 2 ]) (Indep.lex_first_independent_set g 2)
+
+let test_indep_star () =
+  let g = Graph.of_edges 6 [ (0, 1); (0, 2); (0, 3); (0, 4); (0, 5) ] in
+  check_int "star MIS = leaves" 5 (Indep.max_independent_set_size g);
+  check_iolist "leaves win over center" (Some [ 1; 2; 3; 4; 5 ])
+    (Indep.lex_first_independent_set g 5)
+
+let test_indep_is_independent () =
+  let g = Graph.of_edges 4 [ (0, 1) ] in
+  check_bool "independent" true (Indep.is_independent g [ 0; 2; 3 ]);
+  check_bool "not independent" false (Indep.is_independent g [ 0; 1 ]);
+  check_bool "empty set" true (Indep.is_independent g [])
+
+let test_indep_vertex_cover_duality () =
+  let g = Graph.of_edges 5 [ (0, 1); (1, 2); (2, 3); (3, 4) ] in
+  check_int "VC = n - MIS" 2 (Indep.min_vertex_cover_size g)
+
+let test_indep_lex_skips_greedy_trap () =
+  (* Vertex 0 is compatible only with a tiny completion; lexicographic-first
+     must still include 0 when feasible, and skip it when infeasible. *)
+  let g = Graph.of_edges 5 [ (0, 2); (0, 3); (0, 4) ] in
+  (* IS of size 3 containing 0 would need 2 more from {1}: infeasible. *)
+  check_iolist "skips 0" (Some [ 1; 2; 3 ]) (Indep.lex_first_independent_set g 3);
+  check_iolist "includes 0 when enough" (Some [ 0; 1 ]) (Indep.lex_first_independent_set g 2)
+
+let test_indep_exact_size_even_if_larger_exists () =
+  let g = Graph.create 4 in
+  check_iolist "size exactly 2" (Some [ 0; 1 ]) (Indep.lex_first_independent_set g 2)
+
+let test_indep_zero_size () =
+  let g = Graph.of_edges 2 [ (0, 1) ] in
+  check_iolist "empty set always exists" (Some []) (Indep.lex_first_independent_set g 0)
+
+let test_indep_too_large () =
+  check_iolist "q > n impossible" None (Indep.lex_first_independent_set (Graph.create 3) 4)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 4 reconstruction (caption-consistent; see DESIGN.md E1) *)
+
+(* Epoch-3 suspect graph: exactly {p1,p3,p4} and {p3,p4,p5} are independent
+   sets of size 3 (paper Fig. 4 caption). Epoch-2 graph adds the p3-p4 edge
+   whose suspicion is labeled epoch 2, killing both. 0-based ids. *)
+let fig4_epoch3 () = Graph.of_edges 5 [ (0, 1); (0, 4); (1, 2); (1, 3); (1, 4) ]
+
+let fig4_epoch2 () =
+  let g = fig4_epoch3 () in
+  Graph.add_edge g 2 3;
+  g
+
+let test_fig4_epoch2_no_quorum () =
+  check_bool "no IS of size 3 in epoch 2" false
+    (Indep.exists_independent_set (fig4_epoch2 ()) 3)
+
+let test_fig4_epoch3_quorums () =
+  let g = fig4_epoch3 () in
+  check_bool "{p1,p3,p4} independent" true (Indep.is_independent g [ 0; 2; 3 ]);
+  check_bool "{p3,p4,p5} independent" true (Indep.is_independent g [ 2; 3; 4 ]);
+  (* These are the only two IS of size 3. *)
+  let all_is =
+    List.filter (fun s -> Indep.is_independent g s) (Combin.subsets 5 3)
+  in
+  Alcotest.(check (list (list int))) "exactly two" [ [ 0; 2; 3 ]; [ 2; 3; 4 ] ] all_is;
+  check_iolist "lex-first chosen" (Some [ 0; 2; 3 ]) (Indep.lex_first_independent_set g 3)
+
+(* ------------------------------------------------------------------ *)
+(* Brute-force cross-checks *)
+
+let random_graph rng n p =
+  let g = Graph.create n in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Prng.chance rng p then Graph.add_edge g i j
+    done
+  done;
+  g
+
+let brute_max_is g =
+  let n = Graph.n g in
+  let best = ref 0 in
+  for mask = 0 to (1 lsl n) - 1 do
+    let vs = List.filter (fun i -> mask land (1 lsl i) <> 0) (List.init n (fun i -> i)) in
+    if Indep.is_independent g vs then best := max !best (List.length vs)
+  done;
+  !best
+
+let brute_lex_first g q =
+  List.find_opt (fun s -> Indep.is_independent g s) (Combin.subsets (Graph.n g) q)
+
+let test_mis_matches_brute_force () =
+  let rng = Prng.of_int 2024 in
+  for _ = 1 to 60 do
+    let n = Prng.int_in rng 1 8 in
+    let g = random_graph rng n (Prng.float rng 0.8) in
+    check_int "MIS exact" (brute_max_is g) (Indep.max_independent_set_size g)
+  done
+
+let test_lex_first_matches_brute_force () =
+  let rng = Prng.of_int 777 in
+  for _ = 1 to 60 do
+    let n = Prng.int_in rng 2 8 in
+    let g = random_graph rng n (Prng.float rng 0.7) in
+    let q = Prng.int_in rng 1 n in
+    check_iolist "lex-first exact" (brute_lex_first g q) (Indep.lex_first_independent_set g q)
+  done
+
+let test_mis_large_sparse_fast () =
+  (* Realistic regime: 40 processes, suspicions touch few of them. *)
+  let g = Graph.of_edges 40 [ (0, 1); (1, 2); (2, 3); (5, 6); (10, 11) ] in
+  (* 32 isolated + 2 from the 4-path + 1 from each of the two lone edges. *)
+  check_int "large sparse" 36 (Indep.max_independent_set_size g)
+
+(* ------------------------------------------------------------------ *)
+(* Line subgraphs: definitions *)
+
+let test_line_subgraph_recognition () =
+  check_bool "path is line" true
+    (Line_subgraph.is_line_subgraph (Graph.of_edges 4 [ (0, 1); (1, 2) ]));
+  check_bool "two disjoint paths" true
+    (Line_subgraph.is_line_subgraph (Graph.of_edges 6 [ (0, 1); (3, 4); (4, 5) ]));
+  check_bool "triangle is not (cycle)" false
+    (Line_subgraph.is_line_subgraph (Graph.of_edges 3 [ (0, 1); (1, 2); (0, 2) ]));
+  check_bool "star is not (degree 3)" false
+    (Line_subgraph.is_line_subgraph (Graph.of_edges 4 [ (0, 1); (0, 2); (0, 3) ]));
+  check_bool "empty is line" true (Line_subgraph.is_line_subgraph (Graph.create 3))
+
+let test_leader_of () =
+  let l = Graph.of_edges 5 [ (0, 1) ] in
+  check_bool "first degree-0 vertex" true (Line_subgraph.leader_of l = Some 2);
+  check_bool "empty line subgraph leader 0" true
+    (Line_subgraph.leader_of (Graph.create 3) = Some 0)
+
+let test_maximal_example1 () =
+  (* Example 1 shape: G = p1-p2-p3 path on 7 nodes. The maximal line subgraph
+     covers p1,p2,p3, so the leader is p4; p2 sits between two degree-1
+     nodes, hence is not a possible follower. *)
+  let g = Graph.of_edges 7 [ (0, 1); (1, 2) ] in
+  let l = Line_subgraph.maximal g in
+  check_bool "line subgraph" true (Line_subgraph.is_line_subgraph l);
+  check_bool "subgraph of G" true (Graph.is_subgraph ~sub:l ~super:g);
+  check_int "leader p4" 3 (Line_subgraph.leader g);
+  check_bool "p2 not possible follower" false (Line_subgraph.is_possible_follower l 1);
+  check_bool "p1 possible" true (Line_subgraph.is_possible_follower l 0);
+  check_bool "p3 possible" true (Line_subgraph.is_possible_follower l 2);
+  check_bool "isolated p6 possible" true (Line_subgraph.is_possible_follower l 5)
+
+let test_maximal_example1_extension () =
+  (* Adding edge (p2,p5) must not change the leader (Example 1 note). *)
+  let g = Graph.of_edges 7 [ (0, 1); (1, 2); (1, 4) ] in
+  check_int "leader still p4" 3 (Line_subgraph.leader g)
+
+let test_maximal_star () =
+  (* Star centered at p4 (0-based 3): 0,1,2 all hang off 3, but 3 can carry
+     only two path edges, so only two of them can be covered: leader p3. *)
+  let g = Graph.of_edges 5 [ (0, 3); (1, 3); (2, 3) ] in
+  check_int "leader p3" 2 (Line_subgraph.leader g)
+
+let test_maximal_leader_changes_with_edge () =
+  (* Example 2 flavor: adding one edge changes the leader. *)
+  let g = Graph.of_edges 6 [ (0, 1); (2, 3) ] in
+  check_int "before" 4 (Line_subgraph.leader g);
+  (* Covering 0..4 becomes possible once p5 connects to p4's component. *)
+  Graph.add_edge g 4 3;
+  check_int "after edge (p4,p5)... leader moves" 5 (Line_subgraph.leader g)
+
+let test_maximal_empty_graph () =
+  let g = Graph.create 4 in
+  check_int "leader p1 on empty graph" 0 (Line_subgraph.leader g);
+  check_bool "empty L" true (Graph.is_empty (Line_subgraph.maximal g))
+
+let test_covers_prefix_blocked_by_isolated () =
+  let g = Graph.of_edges 4 [ (1, 2) ] in
+  (* Vertex 0 is isolated: nothing can cover it, so leader stays 0. *)
+  check_bool "blocked" true (Line_subgraph.covers_prefix_avoiding g 2 = None);
+  check_int "leader 0" 0 (Line_subgraph.leader g)
+
+let test_possible_followers_long_path () =
+  (* Path 0-1-2-3-4: interior vertex 2 has neighbors of degree 2, so it IS a
+     possible follower; 1 and 3 are adjacent to one degree-1 endpoint each. *)
+  let l = Graph.of_edges 5 [ (0, 1); (1, 2); (2, 3); (3, 4) ] in
+  check_ilist "all possible" [ 0; 1; 2; 3; 4 ] (Line_subgraph.possible_followers l)
+
+let test_possible_followers_three_path () =
+  let l = Graph.of_edges 3 [ (0, 1); (1, 2) ] in
+  check_ilist "middle excluded" [ 0; 2 ] (Line_subgraph.possible_followers l)
+
+let test_covers_prefix_direct () =
+  let g = Graph.of_edges 5 [ (0, 1); (1, 2); (2, 3) ] in
+  (* Cover {0,1,2} while keeping vertex 3 untouched. *)
+  (match Line_subgraph.covers_prefix_avoiding g 3 with
+   | Some l ->
+     check_bool "line subgraph" true (Line_subgraph.is_line_subgraph l);
+     check_int "vertex 3 untouched" 0 (Graph.degree l 3);
+     List.iter
+       (fun v -> check_bool (Printf.sprintf "v%d covered" v) true (Graph.degree l v >= 1))
+       [ 0; 1; 2 ]
+   | None -> Alcotest.fail "cover should exist");
+  (* Covering everything below 4 requires touching 3's only useful edge;
+     still feasible. *)
+  check_bool "cover up to 4" true (Line_subgraph.covers_prefix_avoiding g 4 <> None)
+
+let test_covers_prefix_infeasible () =
+  (* Star: the center can carry only two edges, three leaves below j. *)
+  let g = Graph.of_edges 5 [ (0, 4); (1, 4); (2, 4) ] in
+  check_bool "three leaves not coverable avoiding 3" true
+    (Line_subgraph.covers_prefix_avoiding g 3 = None)
+
+let test_maximal_on_cycle () =
+  (* C4: opening the cycle still covers everyone below the leader. *)
+  let g = Graph.of_edges 4 [ (0, 1); (1, 2); (2, 3); (0, 3) ] in
+  check_int "leader p4" 3 (Line_subgraph.leader g);
+  let l = Line_subgraph.maximal g in
+  check_bool "acyclic" false (Graph.induced_has_cycle l)
+
+let test_exists_is_thresholds () =
+  let g = Graph.of_edges 5 [ (0, 1); (1, 2); (2, 3); (3, 4) ] in
+  (* Max IS on the 5-path is 3. *)
+  List.iter
+    (fun q -> check_bool (Printf.sprintf "IS of %d" q) true (Indep.exists_independent_set g q))
+    [ 0; 1; 2; 3 ];
+  List.iter
+    (fun q -> check_bool (Printf.sprintf "no IS of %d" q) false (Indep.exists_independent_set g q))
+    [ 4; 5 ]
+
+(* Brute force: enumerate all edge subsets, keep line subgraphs, maximize
+   leader. *)
+let brute_max_leader g =
+  let edges = Array.of_list (Graph.edges g) in
+  let m = Array.length edges in
+  let best = ref (-1) in
+  for mask = 0 to (1 lsl m) - 1 do
+    let l = Graph.create (Graph.n g) in
+    Array.iteri (fun k (i, j) -> if mask land (1 lsl k) <> 0 then Graph.add_edge l i j) edges;
+    if Line_subgraph.is_line_subgraph l then
+      match Line_subgraph.leader_of l with
+      | Some ld -> best := max !best ld
+      | None -> ()
+  done;
+  !best
+
+let test_maximal_matches_brute_force () =
+  let rng = Prng.of_int 31337 in
+  for _ = 1 to 50 do
+    let n = Prng.int_in rng 2 6 in
+    let g = random_graph rng n (Prng.float rng 0.8) in
+    if Graph.edge_count g <= 12 then begin
+      let expected = brute_max_leader g in
+      let l = Line_subgraph.maximal g in
+      check_bool "is line subgraph" true (Line_subgraph.is_line_subgraph l);
+      check_bool "is subgraph" true (Graph.is_subgraph ~sub:l ~super:g);
+      check_int "maximal leader" expected (Line_subgraph.leader g)
+    end
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Lemma 8 checks *)
+
+let test_lemma8_b () =
+  (* f=1, n=4, q=3. A line subgraph containing 3f+1 = 4 nodes means no IS of
+     size q. Build: path 0-1-2-3 covers 4 nodes. *)
+  let g = Graph.of_edges 4 [ (0, 1); (1, 2); (2, 3) ] in
+  let l = Line_subgraph.maximal g in
+  let covered = List.length (Graph.non_isolated l) in
+  if covered >= 4 then
+    check_bool "no IS of size q" false (Indep.exists_independent_set g 3)
+
+let test_lemma8_a () =
+  (* f=1, n=4, q=3: a line subgraph containing exactly 3f=3 nodes. Graph:
+     path 0-1-2 (3 covered nodes). The unique IS of size 3 must contain the
+     leader and all possible followers. *)
+  let g = Graph.of_edges 4 [ (0, 1); (1, 2) ] in
+  let iss = List.filter (fun s -> Indep.is_independent g s) (Combin.subsets 4 3) in
+  check_int "unique IS" 1 (List.length iss);
+  let l = Line_subgraph.maximal g in
+  let leader = Line_subgraph.leader g in
+  let followers = List.filter (fun v -> v <> leader) (Line_subgraph.possible_followers l) in
+  check_ilist "IS = leader + possible followers"
+    (List.sort compare (leader :: followers))
+    (List.hd iss)
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let graph_gen =
+  QCheck.make
+    ~print:(fun (n, edges) -> Format.asprintf "n=%d edges=%d" n (List.length edges))
+    QCheck.Gen.(
+      int_range 2 7 >>= fun n ->
+      list_size (int_bound 10)
+        (pair (int_bound (n - 1)) (int_bound (n - 1)))
+      >|= fun edges -> (n, List.filter (fun (i, j) -> i <> j) edges))
+
+let build (n, edges) = Graph.of_edges n edges
+
+let prop_lex_first_is_independent =
+  QCheck.Test.make ~name:"lex-first IS is independent and right-sized" ~count:300 graph_gen
+    (fun spec ->
+      let g = build spec in
+      let q = 1 + (Graph.n g / 2) in
+      match Indep.lex_first_independent_set g q with
+      | None -> not (Indep.exists_independent_set g q)
+      | Some s -> List.length s = q && Indep.is_independent g s)
+
+let prop_maximal_line_subgraph_valid =
+  QCheck.Test.make ~name:"maximal line subgraph is a valid line subgraph of G" ~count:300
+    graph_gen
+    (fun spec ->
+      let g = build spec in
+      let l = Line_subgraph.maximal g in
+      Line_subgraph.is_line_subgraph l && Graph.is_subgraph ~sub:l ~super:g)
+
+let prop_leader_dominates_any_line_subgraph =
+  QCheck.Test.make ~name:"no line subgraph has a larger leader" ~count:100 graph_gen
+    (fun spec ->
+      let g = build spec in
+      if Graph.edge_count g > 10 then true
+      else brute_max_leader g = Line_subgraph.leader g)
+
+let prop_mis_complement_cover =
+  QCheck.Test.make ~name:"MIS + min VC = n" ~count:200 graph_gen (fun spec ->
+      let g = build spec in
+      Indep.max_independent_set_size g + Indep.min_vertex_cover_size g = Graph.n g)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_lex_first_is_independent;
+      prop_maximal_line_subgraph_valid;
+      prop_leader_dominates_any_line_subgraph;
+      prop_mis_complement_cover;
+    ]
+
+let () =
+  Alcotest.run "graph"
+    [
+      ( "graph",
+        [
+          Alcotest.test_case "edges" `Quick test_graph_edges;
+          Alcotest.test_case "degree" `Quick test_graph_degree;
+          Alcotest.test_case "remove edge" `Quick test_graph_remove;
+          Alcotest.test_case "self-loop rejected" `Quick test_graph_self_loop_rejected;
+          Alcotest.test_case "isolated split" `Quick test_graph_isolated;
+          Alcotest.test_case "copy independence" `Quick test_graph_copy_independent;
+          Alcotest.test_case "subgraph check" `Quick test_graph_subgraph;
+          Alcotest.test_case "union" `Quick test_graph_union;
+          Alcotest.test_case "cycle detection" `Quick test_graph_cycle_detection;
+        ] );
+      ( "indep",
+        [
+          Alcotest.test_case "empty graph" `Quick test_indep_empty_graph;
+          Alcotest.test_case "complete graph" `Quick test_indep_complete_graph;
+          Alcotest.test_case "path" `Quick test_indep_path;
+          Alcotest.test_case "cycle" `Quick test_indep_cycle;
+          Alcotest.test_case "star" `Quick test_indep_star;
+          Alcotest.test_case "is_independent" `Quick test_indep_is_independent;
+          Alcotest.test_case "cover duality" `Quick test_indep_vertex_cover_duality;
+          Alcotest.test_case "lex-first feasibility pruning" `Quick test_indep_lex_skips_greedy_trap;
+          Alcotest.test_case "exact size" `Quick test_indep_exact_size_even_if_larger_exists;
+          Alcotest.test_case "zero size" `Quick test_indep_zero_size;
+          Alcotest.test_case "q > n" `Quick test_indep_too_large;
+          Alcotest.test_case "MIS vs brute force" `Quick test_mis_matches_brute_force;
+          Alcotest.test_case "lex-first vs brute force" `Quick test_lex_first_matches_brute_force;
+          Alcotest.test_case "large sparse core" `Quick test_mis_large_sparse_fast;
+        ] );
+      ( "fig4",
+        [
+          Alcotest.test_case "epoch 2: no quorum" `Quick test_fig4_epoch2_no_quorum;
+          Alcotest.test_case "epoch 3: two quorums, lex-first" `Quick test_fig4_epoch3_quorums;
+        ] );
+      ( "line_subgraph",
+        [
+          Alcotest.test_case "recognition" `Quick test_line_subgraph_recognition;
+          Alcotest.test_case "leader_of" `Quick test_leader_of;
+          Alcotest.test_case "example 1" `Quick test_maximal_example1;
+          Alcotest.test_case "example 1 extension" `Quick test_maximal_example1_extension;
+          Alcotest.test_case "star capacity" `Quick test_maximal_star;
+          Alcotest.test_case "edge changes leader" `Quick test_maximal_leader_changes_with_edge;
+          Alcotest.test_case "empty graph" `Quick test_maximal_empty_graph;
+          Alcotest.test_case "isolated blocks coverage" `Quick test_covers_prefix_blocked_by_isolated;
+          Alcotest.test_case "followers on long path" `Quick test_possible_followers_long_path;
+          Alcotest.test_case "followers on 3-path" `Quick test_possible_followers_three_path;
+          Alcotest.test_case "covers_prefix direct" `Quick test_covers_prefix_direct;
+          Alcotest.test_case "covers_prefix infeasible" `Quick test_covers_prefix_infeasible;
+          Alcotest.test_case "maximal on cycle" `Quick test_maximal_on_cycle;
+          Alcotest.test_case "exists_is thresholds" `Quick test_exists_is_thresholds;
+          Alcotest.test_case "maximal vs brute force" `Quick test_maximal_matches_brute_force;
+        ] );
+      ( "lemma8",
+        [
+          Alcotest.test_case "b: 3f+1 covered kills IS" `Quick test_lemma8_b;
+          Alcotest.test_case "a: unique IS structure" `Quick test_lemma8_a;
+        ] );
+      ("properties", qsuite);
+    ]

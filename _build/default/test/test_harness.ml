@@ -1,0 +1,260 @@
+(* Harness tests: every experiment must reproduce its paper claim (all
+   verdicts ok), and the attack drivers must respect the proven bounds. *)
+
+module Experiments = Qs_harness.Experiments
+module Leader_attack = Qs_harness.Leader_attack
+module Verdict = Qs_harness.Verdict
+module E_detector = Qs_harness.E_detector
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let assert_all_ok (o : Experiments.outcome) =
+  List.iter
+    (fun v ->
+      check_bool (o.Experiments.id ^ ": " ^ v.Verdict.label) true v.Verdict.ok)
+    o.Experiments.verdicts;
+  check_bool (o.Experiments.id ^ " rendered something") true
+    (String.length o.Experiments.rendered > 0)
+
+let test_e1 () = assert_all_ok (Experiments.e1 ())
+
+let test_e2_quick () = assert_all_ok (Experiments.e2 ~fs:[ 1; 2; 3 ] ())
+
+let test_e3_quick () = assert_all_ok (Experiments.e3 ~fs:[ 1; 2; 3 ] ())
+
+let test_e4_quick () = assert_all_ok (Experiments.e4 ~fs:[ 1; 2 ] ())
+
+let test_e5_quick () = assert_all_ok (Experiments.e5 ~fs:[ 1; 2 ] ())
+
+let test_e6 () = assert_all_ok (Experiments.e6 ())
+
+let test_e7 () = assert_all_ok (Experiments.e7 ())
+
+let test_e8 () = assert_all_ok (Experiments.e8 ())
+
+let test_e9 () = assert_all_ok (Experiments.e9 ())
+
+let test_e10 () = assert_all_ok (Experiments.e10 ())
+
+let test_e11 () = assert_all_ok (Experiments.e11 ())
+
+let test_e12 () = assert_all_ok (Experiments.e12 ())
+
+(* ------------------------------------------------------------------ *)
+(* Heartbeat stack *)
+
+module Heartbeat = Qs_harness.Heartbeat
+
+let hb_config ~n ~f =
+  {
+    Heartbeat.n;
+    f;
+    heartbeat_period = Qs_sim.Stime.of_ms 50;
+    initial_timeout = Qs_sim.Stime.of_ms 120;
+    timeout_strategy = Qs_fd.Timeout.Exponential { factor = 2.0; max = Qs_sim.Stime.of_ms 2000 };
+  }
+
+let test_heartbeat_no_faults_stable () =
+  let t = Heartbeat.create (hb_config ~n:5 ~f:2) in
+  Heartbeat.run ~until:(Qs_sim.Stime.of_ms 2000) t;
+  let all = [ 0; 1; 2; 3; 4 ] in
+  check_int "no quorum changes without faults" 0 (Heartbeat.quorum_changes t ~correct:all);
+  check_bool "default quorum everywhere" true
+    (Heartbeat.agreed_quorum t ~correct:all = Some [ 0; 1; 2 ]);
+  check_int "no false suspicions" 0 (Heartbeat.false_suspicion_total t ~correct:all)
+
+let test_heartbeat_crash_detected_and_excluded () =
+  let t = Heartbeat.create (hb_config ~n:5 ~f:2) in
+  Heartbeat.crash t 1 (Qs_sim.Stime.of_ms 300);
+  Heartbeat.run ~until:(Qs_sim.Stime.of_ms 3000) t;
+  let correct = [ 0; 2; 3; 4 ] in
+  (match Heartbeat.agreed_quorum t ~correct with
+   | Some quorum -> check_bool "crashed excluded" false (List.mem 1 quorum)
+   | None -> Alcotest.fail "no agreement");
+  check_bool "converged" true
+    (Heartbeat.convergence_time t ~correct ~expect_excluded:[ 1 ] <> None)
+
+let test_heartbeat_link_omission_separates_pair () =
+  let t = Heartbeat.create (hb_config ~n:5 ~f:2) in
+  Heartbeat.omit_link t ~src:1 ~dst:0 ~from:(Qs_sim.Stime.of_ms 300);
+  Heartbeat.run ~until:(Qs_sim.Stime.of_ms 3000) t;
+  let all = [ 0; 1; 2; 3; 4 ] in
+  match Heartbeat.agreed_quorum t ~correct:all with
+  | Some quorum ->
+    check_bool "suspicious pair separated" false (List.mem 0 quorum && List.mem 1 quorum)
+  | None -> Alcotest.fail "no agreement"
+
+let test_heartbeat_lemma1_propagation_timing () =
+  (* Lemma 1 made operational: a suspicion raised at one correct process is
+     in every correct process's matrix within one communication round. With
+     1ms links, heartbeats every 50ms and a 120ms timeout, the crash at
+     t=300ms is suspected at t=420ms (the round-300 expectation's deadline)
+     and the final quorum is issued by t=422ms: deadline + send + forward. *)
+  let t = Heartbeat.create (hb_config ~n:5 ~f:2) in
+  (* Crash a member of the default quorum so a new quorum must be issued. *)
+  Heartbeat.crash t 1 (Qs_sim.Stime.of_ms 300);
+  Heartbeat.run ~until:(Qs_sim.Stime.of_ms 1000) t;
+  let correct = [ 0; 2; 3; 4 ] in
+  match Heartbeat.convergence_time t ~correct ~expect_excluded:[ 1 ] with
+  | Some at ->
+    check_bool "issued no earlier than the deadline" true (at >= Qs_sim.Stime.of_ms 420);
+    check_bool "within one communication round of the deadline" true
+      (at <= Qs_sim.Stime.of_ms 423)
+  | None -> Alcotest.fail "no convergence"
+
+let test_heartbeat_matrices_converge () =
+  let t = Heartbeat.create (hb_config ~n:5 ~f:2) in
+  Heartbeat.crash t 4 (Qs_sim.Stime.of_ms 200);
+  Heartbeat.run ~until:(Qs_sim.Stime.of_ms 3000) t;
+  check_bool "matrices equal" true (Heartbeat.matrices_agree t ~correct:[ 0; 1; 2; 3 ])
+
+(* ------------------------------------------------------------------ *)
+(* Leader attack driver *)
+
+let test_leader_attack_bounds () =
+  List.iter
+    (fun f ->
+      let r = Leader_attack.run ~n:((3 * f) + 1) ~f in
+      check_bool
+        (Printf.sprintf "f=%d per-epoch within 3f+1" f)
+        true
+        (r.Leader_attack.max_per_epoch <= (3 * f) + 1);
+      check_bool
+        (Printf.sprintf "f=%d total within 6f+2" f)
+        true
+        (r.Leader_attack.total_issued <= (6 * f) + 2);
+      check_bool
+        (Printf.sprintf "f=%d attack actually did something" f)
+        true
+        (r.Leader_attack.injections > 0))
+    [ 1; 2; 3 ]
+
+let test_leader_attack_linear_shape () =
+  (* The O(f) claim: quorum changes grow linearly, not quadratically. *)
+  let r1 = Leader_attack.run ~n:4 ~f:1 in
+  let r3 = Leader_attack.run ~n:10 ~f:3 in
+  let growth =
+    float_of_int r3.Leader_attack.total_issued /. float_of_int (max 1 r1.Leader_attack.total_issued)
+  in
+  check_bool "roughly linear in f (x3 f -> less than x6 changes)" true (growth <= 6.0)
+
+let test_leader_attack_requires_3f1 () =
+  Alcotest.check_raises "n = 3f rejected" (Invalid_argument "Leader_attack.run: requires n > 3f")
+    (fun () -> ignore (Leader_attack.run ~n:6 ~f:2))
+
+(* ------------------------------------------------------------------ *)
+(* Detector experiment internals *)
+
+let test_detector_strategies_ordered () =
+  let fixed = E_detector.run_one Qs_fd.Timeout.Fixed ~name:"fixed" in
+  let expo =
+    E_detector.run_one
+      (Qs_fd.Timeout.Exponential { factor = 2.0; max = Qs_sim.Stime.of_ms 5000 })
+      ~name:"expo"
+  in
+  check_bool "fixed false-suspects more than exponential overall" true
+    (fixed.E_detector.false_post_gst > expo.E_detector.false_post_gst);
+  check_int "exponential: silent after GST" 0 expo.E_detector.false_post_gst;
+  check_bool "omitter suspected in nearly every round" true
+    (expo.E_detector.omitter_suspected_rounds > 90);
+  check_bool "timeout actually adapted" true
+    (expo.E_detector.final_timeout > Qs_sim.Stime.of_ms 50)
+
+(* ------------------------------------------------------------------ *)
+(* Interleaving explorer: bounded model checking of Algorithm 1 *)
+
+module Explore = Qs_harness.Explore
+
+let test_explore_single_suspicion () =
+  let r = Explore.check { Explore.n = 3; f = 1; injections = [ (0, [ 1 ]) ] } in
+  check_int "no agreement violations" 0 r.Explore.agreement_violations;
+  check_int "no convergence violations" 0 r.Explore.convergence_violations;
+  (* Confluence: every interleaving reaches the same single quiescent
+     state. Exact counts are pinned — exploration is deterministic. *)
+  check_int "single quiescent state" 1 r.Explore.quiescent;
+  check_int "states explored" 98 r.Explore.states
+
+let test_explore_n4 () =
+  let r = Explore.check { Explore.n = 4; f = 1; injections = [ (2, [ 3 ]) ] } in
+  check_int "no violations" 0 (r.Explore.agreement_violations + r.Explore.convergence_violations);
+  check_int "confluent" 1 r.Explore.quiescent;
+  check_bool "hundreds of orderings covered" true (r.Explore.states > 500)
+
+let test_explore_crossing_suspicions_slow () =
+  (* Two processes suspecting each other: ~10k distinct interleavings. *)
+  let r = Explore.check { Explore.n = 3; f = 1; injections = [ (0, [ 1 ]); (1, [ 0 ]) ] } in
+  check_int "no violations" 0 (r.Explore.agreement_violations + r.Explore.convergence_violations);
+  check_int "confluent" 1 r.Explore.quiescent
+
+let test_explore_budget_guard () =
+  Alcotest.check_raises "budget" (Failure "Explore.check: state budget exceeded") (fun () ->
+      ignore
+        (Explore.check ~max_states:10 { Explore.n = 3; f = 1; injections = [ (0, [ 1 ]) ] }))
+
+(* ------------------------------------------------------------------ *)
+(* Verdict helper *)
+
+let test_verdict_helpers () =
+  let vs = [ Verdict.make "a" true; Verdict.make "b" true ] in
+  check_bool "all ok" true (Verdict.all_ok vs);
+  check_bool "one fail" false (Verdict.all_ok (Verdict.make "c" false :: vs))
+
+(* Shape check: E2's table mentions all requested f values. *)
+let test_e2_table_shape () =
+  let o = Experiments.e2 ~fs:[ 1; 2 ] () in
+  let lines = String.split_on_char '\n' o.Experiments.rendered in
+  let data_rows =
+    List.filter
+      (fun l -> String.length l > 2 && l.[0] = '|' && l.[2] <> 'f' && l.[1] = ' ')
+      lines
+  in
+  check_int "one row per f" 2 (List.length data_rows)
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "experiments",
+        [
+          Alcotest.test_case "E1 fig4 verdicts" `Quick test_e1;
+          Alcotest.test_case "E2 upper bound verdicts" `Quick test_e2_quick;
+          Alcotest.test_case "E3 lower bound verdicts" `Quick test_e3_quick;
+          Alcotest.test_case "E4 follower verdicts" `Quick test_e4_quick;
+          Alcotest.test_case "E5 view changes verdicts" `Quick test_e5_quick;
+          Alcotest.test_case "E6 messages verdicts" `Quick test_e6;
+          Alcotest.test_case "E7 detector verdicts" `Quick test_e7;
+          Alcotest.test_case "E8 flows verdicts" `Quick test_e8;
+          Alcotest.test_case "E9 chain verdicts" `Quick test_e9;
+          Alcotest.test_case "E10 stack verdicts" `Quick test_e10;
+          Alcotest.test_case "E11 star verdicts" `Quick test_e11;
+          Alcotest.test_case "E12 recovery verdicts" `Quick test_e12;
+          Alcotest.test_case "E2 table shape" `Quick test_e2_table_shape;
+        ] );
+      ( "heartbeat",
+        [
+          Alcotest.test_case "stable without faults" `Quick test_heartbeat_no_faults_stable;
+          Alcotest.test_case "crash excluded" `Quick test_heartbeat_crash_detected_and_excluded;
+          Alcotest.test_case "link omission separates pair" `Quick
+            test_heartbeat_link_omission_separates_pair;
+          Alcotest.test_case "lemma 1 propagation timing" `Quick
+            test_heartbeat_lemma1_propagation_timing;
+          Alcotest.test_case "matrices converge" `Quick test_heartbeat_matrices_converge;
+        ] );
+      ( "leader-attack",
+        [
+          Alcotest.test_case "bounds" `Quick test_leader_attack_bounds;
+          Alcotest.test_case "linear shape" `Quick test_leader_attack_linear_shape;
+          Alcotest.test_case "model guard" `Quick test_leader_attack_requires_3f1;
+        ] );
+      ( "detector-experiment",
+        [ Alcotest.test_case "strategy comparison" `Quick test_detector_strategies_ordered ] );
+      ( "explore",
+        [
+          Alcotest.test_case "single suspicion, all orders" `Quick test_explore_single_suspicion;
+          Alcotest.test_case "n=4, all orders" `Quick test_explore_n4;
+          Alcotest.test_case "crossing suspicions, all orders" `Slow
+            test_explore_crossing_suspicions_slow;
+          Alcotest.test_case "budget guard" `Quick test_explore_budget_guard;
+        ] );
+      ("verdict", [ Alcotest.test_case "helpers" `Quick test_verdict_helpers ]);
+    ]
