@@ -15,7 +15,11 @@
      dune exec bench/main.exe                 # tables + benchmarks
      dune exec bench/main.exe -- --tables     # tables only
      dune exec bench/main.exe -- --micro      # benchmarks only
-     dune exec bench/main.exe -- --quick      # trimmed sweeps (CI) *)
+     dune exec bench/main.exe -- --quick      # trimmed sweeps + short quota (CI)
+     dune exec bench/main.exe -- --json[=F]   # also write a machine-readable
+                                              # summary (default BENCH_qsel.json)
+                                              # so the perf trajectory across
+                                              # PRs has data points *)
 
 open Bechamel
 open Toolkit
@@ -172,10 +176,13 @@ let experiment_group =
 (* ------------------------------------------------------------------ *)
 (* Runner *)
 
-let run_benchmarks () =
+let run_benchmarks ~quick () =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
   let instance = Instance.monotonic_clock in
-  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
+  let cfg =
+    if quick then Benchmark.cfg ~limit:50 ~quota:(Time.second 0.05) ~kde:None ()
+    else Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None ()
+  in
   let run_group group =
     let raw = Benchmark.all cfg [ instance ] group in
     let results = Analyze.all ols instance raw in
@@ -190,6 +197,7 @@ let run_benchmarks () =
           (name, ns) :: acc)
         results []
     in
+    let rows = List.sort compare rows in
     List.iter
       (fun (name, ns) ->
         let pretty =
@@ -200,17 +208,55 @@ let run_benchmarks () =
           else Printf.sprintf "%8.0f ns" ns
         in
         Printf.printf "  %-42s %s/run\n" name pretty)
-      (List.sort compare rows)
+      rows;
+    rows
   in
   print_endline "== Bechamel: building blocks ==";
-  run_group micro_group;
+  let micro = run_group micro_group in
   print_newline ();
   print_endline "== Bechamel: quorum-search scaling (Section VI-C) ==";
-  run_group scaling_group;
+  let scaling = run_group scaling_group in
   print_newline ();
   print_endline "== Bechamel: full experiment regeneration ==";
-  run_group experiment_group;
-  print_newline ()
+  let experiments = run_group experiment_group in
+  print_newline ();
+  [ ("micro", micro); ("scaling", scaling); ("experiments", experiments) ]
+
+(* A BENCH_*.json summary: per-benchmark ns/run, the experiment verdict
+   tally, and the metrics the protocol layers recorded while the tables were
+   regenerated. One file per run; diff it across commits to track the perf
+   trajectory. *)
+let write_json_summary ~path ~quick ~experiments_ok ~bench_rows =
+  let module Json = Qs_obs.Json in
+  let result_json group (name, ns) =
+    Json.Obj
+      [
+        ("group", Json.String group);
+        ("name", Json.String name);
+        ("ns_per_run", if Float.is_nan ns then Json.Null else Json.Float ns);
+      ]
+  in
+  let results =
+    List.concat_map
+      (fun (group, rows) -> List.map (result_json group) rows)
+      bench_rows
+  in
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.String "qsel-bench/1");
+        ("quick", Json.Bool quick);
+        ( "experiments_ok",
+          match experiments_ok with None -> Json.Null | Some ok -> Json.Bool ok );
+        ("results", Json.List results);
+        ("metrics", Qs_obs.Metrics.to_json (Qs_obs.Metrics.snapshot ()));
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Json.render_pretty doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n" path
 
 let () =
   let args = Array.to_list Sys.argv in
@@ -218,7 +264,21 @@ let () =
   let quick = flag "--quick" in
   let tables_only = flag "--tables" in
   let micro_only = flag "--micro" in
-  let ok = ref true in
-  if not micro_only then ok := Experiments.run_and_print_all ~quick ();
-  if not tables_only then run_benchmarks ();
-  if not !ok then exit 1
+  let json_path =
+    List.find_map
+      (fun a ->
+        if a = "--json" then Some "BENCH_qsel.json"
+        else if String.length a > 7 && String.sub a 0 7 = "--json=" then
+          Some (String.sub a 7 (String.length a - 7))
+        else None)
+      args
+  in
+  Qs_obs.Metrics.reset ();
+  let experiments_ok =
+    if micro_only then None else Some (Experiments.run_and_print_all ~quick ())
+  in
+  let bench_rows = if tables_only then [] else run_benchmarks ~quick () in
+  (match json_path with
+   | None -> ()
+   | Some path -> write_json_summary ~path ~quick ~experiments_ok ~bench_rows);
+  if experiments_ok = Some false then exit 1

@@ -2,6 +2,32 @@
    building blocks (Theorem-4 games, follower-selection attacks). *)
 
 open Cmdliner
+module Metrics = Qs_obs.Metrics
+
+(* Every subcommand accepts [--metrics[=text|json]]: reset the default
+   registry before the workload, run it, then print a deterministic snapshot
+   of everything the protocol layers recorded. *)
+
+let metrics_arg =
+  let fmt = Arg.enum [ ("text", `Text); ("json", `Json) ] in
+  Arg.(
+    value
+    & opt ~vopt:(Some `Text) (some fmt) None
+    & info [ "metrics" ] ~docv:"FMT"
+        ~doc:
+          "Print a metrics snapshot (counters, gauges, histograms) after the \
+           command. $(docv) is $(b,text) (default) or $(b,json).")
+
+let with_metrics fmt f =
+  Metrics.reset ();
+  let result = f () in
+  (match fmt with
+   | None -> ()
+   | Some `Text ->
+     print_endline "== metrics ==";
+     print_endline (Metrics.render_text (Metrics.snapshot ()))
+   | Some `Json -> print_endline (Metrics.render_json (Metrics.snapshot ())));
+  result
 
 let experiment_of_id id =
   match String.lowercase_ascii id with
@@ -29,61 +55,90 @@ let experiment_cmd =
   let quick =
     Arg.(value & flag & info [ "quick" ] ~doc:"Trim parameter sweeps (used by CI).")
   in
-  let run id quick =
-    if String.lowercase_ascii id = "all" then
-      if Qs_harness.Experiments.run_and_print_all ~quick () then `Ok ()
-      else `Error (false, "some experiment verdicts failed")
-    else
-      match experiment_of_id id with
-      | Some f ->
-        Qs_harness.Experiments.print (f ());
-        `Ok ()
-      | None -> `Error (true, Printf.sprintf "unknown experiment %S" id)
+  let run id quick metrics =
+    with_metrics metrics (fun () ->
+        if String.lowercase_ascii id = "all" then
+          if Qs_harness.Experiments.run_and_print_all ~quick () then `Ok ()
+          else `Error (false, "some experiment verdicts failed")
+        else
+          match experiment_of_id id with
+          | Some f ->
+            Qs_harness.Experiments.print (f ());
+            `Ok ()
+          | None -> `Error (true, Printf.sprintf "unknown experiment %S" id))
   in
   let doc = "Regenerate a paper table/figure (see DESIGN.md section 4)." in
-  Cmd.v (Cmd.info "experiment" ~doc) Term.(ret (const run $ id $ quick))
+  Cmd.v (Cmd.info "experiment" ~doc) Term.(ret (const run $ id $ quick $ metrics_arg))
 
 let attack_cmd =
   let f = Arg.(value & opt int 2 & info [ "f" ] ~doc:"Number of faulty processes.") in
   let n = Arg.(value & opt (some int) None & info [ "n" ] ~doc:"Processes (default 2f+2).") in
-  let run f n =
-    let n = Option.value n ~default:((2 * f) + 2) in
-    let setup = Qs_adversary.Theorem4.default_setup ~n ~f in
-    let game = Qs_adversary.Theorem4.exhaustive setup in
-    Printf.printf "Theorem-4 adversary, n=%d f=%d, target C(f+2,2)=%d quorums\n\n" n f
-      (Qs_adversary.Theorem4.target ~f);
-    List.iteri
-      (fun i ((suspector, suspect), quorum) ->
-        Printf.printf "%2d. %s suspects %s -> quorum %s\n" (i + 1)
-          (Qs_core.Pid.to_string suspector)
-          (Qs_core.Pid.to_string suspect)
-          (Qs_core.Pid.set_to_string quorum))
-      (List.combine game.Qs_adversary.Theorem4.injections game.Qs_adversary.Theorem4.quorums);
-    let live = Qs_adversary.Theorem4.replay setup game in
-    Printf.printf "\nLive cluster issued %d quorums (+1 initial default = %d).\n" live (live + 1)
+  let run f n metrics =
+    with_metrics metrics (fun () ->
+        let n = Option.value n ~default:((2 * f) + 2) in
+        let setup = Qs_adversary.Theorem4.default_setup ~n ~f in
+        let game = Qs_adversary.Theorem4.exhaustive setup in
+        Printf.printf "Theorem-4 adversary, n=%d f=%d, target C(f+2,2)=%d quorums\n\n" n f
+          (Qs_adversary.Theorem4.target ~f);
+        List.iteri
+          (fun i ((suspector, suspect), quorum) ->
+            Printf.printf "%2d. %s suspects %s -> quorum %s\n" (i + 1)
+              (Qs_core.Pid.to_string suspector)
+              (Qs_core.Pid.to_string suspect)
+              (Qs_core.Pid.set_to_string quorum))
+          (List.combine game.Qs_adversary.Theorem4.injections game.Qs_adversary.Theorem4.quorums);
+        let live = Qs_adversary.Theorem4.replay setup game in
+        Printf.printf "\nLive cluster issued %d quorums (+1 initial default = %d).\n" live (live + 1))
   in
   let doc = "Play the Theorem-4 lower-bound adversary against Algorithm 1." in
-  Cmd.v (Cmd.info "attack" ~doc) Term.(const run $ f $ n)
+  Cmd.v (Cmd.info "attack" ~doc) Term.(const run $ f $ n $ metrics_arg)
 
 let follower_cmd =
   let f = Arg.(value & opt int 2 & info [ "f" ] ~doc:"Number of faulty processes.") in
-  let run f =
-    let n = (3 * f) + 1 in
-    let r = Qs_harness.Leader_attack.run ~n ~f in
-    Printf.printf
-      "Follower Selection under leader attack: n=%d f=%d\n\
-      \  suspicions injected : %d\n\
-      \  quorums issued      : %d (bound 6f+2 = %d)\n\
-      \  max per epoch       : %d (bound 3f+1 = %d)\n\
-      \  epochs entered      : %d\n"
-      n f r.Qs_harness.Leader_attack.injections r.Qs_harness.Leader_attack.total_issued
-      ((6 * f) + 2)
-      r.Qs_harness.Leader_attack.max_per_epoch
-      ((3 * f) + 1)
-      r.Qs_harness.Leader_attack.epochs
+  let run f metrics =
+    with_metrics metrics (fun () ->
+        let n = (3 * f) + 1 in
+        let r = Qs_harness.Leader_attack.run ~n ~f in
+        Printf.printf
+          "Follower Selection under leader attack: n=%d f=%d\n\
+          \  suspicions injected : %d\n\
+          \  quorums issued      : %d (bound 6f+2 = %d)\n\
+          \  max per epoch       : %d (bound 3f+1 = %d)\n\
+          \  epochs entered      : %d\n"
+          n f r.Qs_harness.Leader_attack.injections r.Qs_harness.Leader_attack.total_issued
+          ((6 * f) + 2)
+          r.Qs_harness.Leader_attack.max_per_epoch
+          ((3 * f) + 1)
+          r.Qs_harness.Leader_attack.epochs)
   in
   let doc = "Attack Follower Selection (Algorithm 2) and report the bounds." in
-  Cmd.v (Cmd.info "follower-attack" ~doc) Term.(const run $ f)
+  Cmd.v (Cmd.info "follower-attack" ~doc) Term.(const run $ f $ metrics_arg)
+
+(* ------------------------------------------------------------------ *)
+(* bounds: the Theorem 3/4 quorum-count bounds, with live counters *)
+
+let bounds_cmd =
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Trim the f sweep (used by CI).")
+  in
+  let run quick metrics =
+    with_metrics metrics (fun () ->
+        let fs = if quick then [ 1; 2 ] else [ 1; 2; 3; 4 ] in
+        let upper = Qs_harness.Experiments.e2 ~fs () in
+        let lower = Qs_harness.Experiments.e3 ~fs () in
+        Qs_harness.Experiments.print upper;
+        print_newline ();
+        Qs_harness.Experiments.print lower;
+        let ok o = Qs_harness.Verdict.all_ok o.Qs_harness.Experiments.verdicts in
+        if ok upper && ok lower then `Ok ()
+        else `Error (false, "bound verdicts failed"))
+  in
+  let doc =
+    "Check the per-epoch quorum-count bounds (Theorems 3 and 4) against the \
+     adversary; with --metrics the snapshot carries the live per-epoch \
+     counters next to the proven bounds."
+  in
+  Cmd.v (Cmd.info "bounds" ~doc) Term.(ret (const run $ quick $ metrics_arg))
 
 (* ------------------------------------------------------------------ *)
 (* simulate: run one protocol integration under a fault scenario *)
@@ -117,7 +172,8 @@ let simulate_cmd =
   let verbose =
     Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Log protocol events to stderr.")
   in
-  let run protocol f mute requests until seed verbose =
+  let run protocol f mute requests until seed verbose metrics =
+    with_metrics metrics @@ fun () ->
     if verbose then Qs_stdx.Debug.enable ();
     let ms = Qs_sim.Stime.of_ms in
     let seed64 = Int64.of_int seed in
@@ -232,9 +288,12 @@ let simulate_cmd =
   in
   let doc = "Run one protocol integration under a fault scenario in the simulator." in
   Cmd.v (Cmd.info "simulate" ~doc)
-    Term.(const run $ protocol $ f $ mute $ requests $ until $ seed $ verbose)
+    Term.(const run $ protocol $ f $ mute $ requests $ until $ seed $ verbose $ metrics_arg)
 
 let () =
   let doc = "Quorum Selection for Byzantine Fault Tolerance - reproduction toolkit" in
   let info = Cmd.info "qsel" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ experiment_cmd; attack_cmd; follower_cmd; simulate_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ experiment_cmd; attack_cmd; follower_cmd; bounds_cmd; simulate_cmd ]))

@@ -1,5 +1,7 @@
 module Graph = Qs_graph.Graph
 module Indep = Qs_graph.Indep
+module Metrics = Qs_obs.Metrics
+module Journal = Qs_obs.Journal
 
 type config = { n : int; f : int }
 
@@ -23,6 +25,16 @@ type t = {
   mutable history : Pid.t list list; (* reversed *)
   mutable epochs_entered : int;
   mutable rejected : int;
+  mutable issued_in_epoch : int;
+  mutable max_issued_in_epoch : int;
+  m_updates_sent : Metrics.counter;
+  m_updates_merged : Metrics.counter;
+  m_rejected : Metrics.counter;
+  m_quorums : Metrics.counter;
+  m_epochs : Metrics.counter;
+  g_epoch : Metrics.gauge;
+  g_this_epoch : Metrics.gauge;
+  g_epoch_max : Metrics.gauge;
 }
 
 let create config ~me ~auth ~send ~on_quorum ?(on_epoch = fun _ -> ()) () =
@@ -30,6 +42,14 @@ let create config ~me ~auth ~send ~on_quorum ?(on_epoch = fun _ -> ()) () =
   if me < 0 || me >= config.n then invalid_arg "Quorum_select.create: me out of range";
   if Qs_crypto.Auth.universe auth < config.n then
     invalid_arg "Quorum_select.create: auth universe too small";
+  let labels = [ ("p", string_of_int me) ] in
+  (* The Theorem-3 proven bound and the conjectured maximum (Section VI-B),
+     published so a snapshot carries the limits next to the live counts. *)
+  let flabel = [ ("f", string_of_int config.f) ] in
+  Metrics.set_g ~labels:flabel "qs_bound_theorem3"
+    (float_of_int (config.f * (config.f + 1)));
+  Metrics.set_g ~labels:flabel "qs_bound_conjecture"
+    (float_of_int ((config.f + 2) * (config.f + 1) / 2));
   {
     config;
     me;
@@ -44,6 +64,16 @@ let create config ~me ~auth ~send ~on_quorum ?(on_epoch = fun _ -> ()) () =
     history = [];
     epochs_entered = 0;
     rejected = 0;
+    issued_in_epoch = 0;
+    max_issued_in_epoch = 0;
+    m_updates_sent = Metrics.counter ~labels "qs_updates_sent_total";
+    m_updates_merged = Metrics.counter ~labels "qs_updates_merged_total";
+    m_rejected = Metrics.counter ~labels "qs_rejected_total";
+    m_quorums = Metrics.counter ~labels "qs_quorums_issued_total";
+    m_epochs = Metrics.counter ~labels "qs_epochs_entered_total";
+    g_epoch = Metrics.gauge ~labels "qs_epoch";
+    g_this_epoch = Metrics.gauge ~labels "qs_quorums_this_epoch";
+    g_epoch_max = Metrics.gauge ~labels "qs_quorums_per_epoch_max";
   }
 
 let me t = t.me
@@ -66,6 +96,9 @@ let update_suspicions t s =
         changed := true
       end)
     t.suspecting;
+  Metrics.inc t.m_updates_sent;
+  if Journal.live () then
+    Journal.record (Journal.Update_sent { owner = t.me; epoch = t.epoch });
   t.send (Msg.seal t.auth { Msg.owner = t.me; row });
   !changed
 
@@ -84,25 +117,47 @@ let rec update_quorum t =
     (* Suspicions in the current epoch are inconsistent: age them out. *)
     t.epoch <- t.epoch + 1;
     t.epochs_entered <- t.epochs_entered + 1;
+    t.issued_in_epoch <- 0;
+    Metrics.inc t.m_epochs;
+    Metrics.set t.g_epoch (float_of_int t.epoch);
+    Metrics.set t.g_this_epoch 0.0;
+    if Journal.live () then
+      Journal.record (Journal.Epoch_advanced { who = t.me; epoch = t.epoch });
     t.on_epoch t.epoch;
     if not (update_suspicions t t.suspecting) then update_quorum t
   | Some quorum ->
     if quorum <> t.last_quorum then begin
       t.last_quorum <- quorum;
       t.history <- quorum :: t.history;
+      t.issued_in_epoch <- t.issued_in_epoch + 1;
+      if t.issued_in_epoch > t.max_issued_in_epoch then
+        t.max_issued_in_epoch <- t.issued_in_epoch;
+      Metrics.inc t.m_quorums;
+      Metrics.set t.g_this_epoch (float_of_int t.issued_in_epoch);
+      Metrics.set_max t.g_epoch_max (float_of_int t.issued_in_epoch);
+      if Journal.live () then
+        Journal.record
+          (Journal.Quorum_issued { who = t.me; epoch = t.epoch; quorum });
       Logs.debug ~src:Qs_stdx.Debug.quorum (fun m ->
           m "p%d QUORUM %s (epoch %d)" (t.me + 1) (Pid.set_to_string quorum) t.epoch);
       t.on_quorum quorum
     end
 
 let handle_update t msg =
-  if not (Msg.verify t.auth msg) then t.rejected <- t.rejected + 1
+  if not (Msg.verify t.auth msg) then begin
+    t.rejected <- t.rejected + 1;
+    Metrics.inc t.m_rejected
+  end
   else begin
     let changed =
       Suspicion_matrix.merge_row t.matrix ~owner:msg.Msg.update.Msg.owner
         msg.Msg.update.Msg.row
     in
     if changed then begin
+      Metrics.inc t.m_updates_merged;
+      if Journal.live () then
+        Journal.record
+          (Journal.Update_merged { who = t.me; owner = msg.Msg.update.Msg.owner });
       t.send msg; (* forward, so every correct process sees every suspicion *)
       update_quorum t
     end
@@ -117,6 +172,8 @@ let quorums_issued t = List.length t.history
 let quorum_history t = List.rev t.history
 
 let epochs_entered t = t.epochs_entered
+
+let max_issued_per_epoch t = t.max_issued_in_epoch
 
 let matrix t = t.matrix
 

@@ -66,6 +66,12 @@ val quorum_history : t -> Pid.t list list
 val epochs_entered : t -> int
 (** Number of epoch increments. *)
 
+val max_issued_per_epoch : t -> int
+(** Largest number of ⟨QUORUM⟩ events issued within any single epoch — the
+    quantity Theorem 3 bounds by [f·(f+1)] (and Section VI-B conjectures is
+    at most [C(f+2,2)]). Also published live as the
+    [qs_quorums_per_epoch_max] gauge. *)
+
 val matrix : t -> Suspicion_matrix.t
 (** The live matrix — treat as read-only. *)
 

@@ -1,10 +1,13 @@
 module Sim = Qs_sim.Sim
+module Metrics = Qs_obs.Metrics
+module Journal = Qs_obs.Journal
 
 type 'm expectation = {
   id : int;
   from : int;
   pred : 'm -> bool;
   tag : string;
+  opened_at : Qs_sim.Stime.t;
   mutable overdue : bool;  (* deadline passed without a match *)
   mutable closed : bool;   (* fulfilled or cancelled *)
 }
@@ -25,11 +28,19 @@ type 'm t = {
   mutable false_suspicions : int;
   mutable rejected : int;
   mutable last_published : int list;
+  m_expectations : Metrics.counter;
+  m_timeouts : Metrics.counter;
+  m_suspicions : Metrics.counter;
+  m_false : Metrics.counter;
+  m_detections : Metrics.counter;
+  m_rejected : Metrics.counter;
+  m_latency : Metrics.histogram;
 }
 
 let create ~sim ~me ~n ?(authenticate = fun ~src:_ _ -> true) ~timeouts ~deliver
     ~on_suspected () =
   if me < 0 || me >= n then invalid_arg "Detector.create: me out of range";
+  let labels = [ ("p", string_of_int me) ] in
   {
     sim;
     me;
@@ -46,6 +57,13 @@ let create ~sim ~me ~n ?(authenticate = fun ~src:_ _ -> true) ~timeouts ~deliver
     false_suspicions = 0;
     rejected = 0;
     last_published = [];
+    m_expectations = Metrics.counter ~labels "fd_expectations_total";
+    m_timeouts = Metrics.counter ~labels "fd_expectation_timeouts_total";
+    m_suspicions = Metrics.counter ~labels "fd_suspicions_total";
+    m_false = Metrics.counter ~labels "fd_false_suspicions_total";
+    m_detections = Metrics.counter ~labels "fd_detections_total";
+    m_rejected = Metrics.counter ~labels "fd_rejected_total";
+    m_latency = Metrics.histogram ~labels "fd_detection_latency_ms";
   }
 
 let me t = t.me
@@ -58,6 +76,19 @@ let suspect_list t =
 let publish_if_changed t =
   let s = suspect_list t in
   if s <> t.last_published then begin
+    if Journal.live () then begin
+      let old = t.last_published in
+      List.iter
+        (fun i ->
+          if not (List.mem i old) then
+            Journal.record (Journal.Suspicion_raised { who = t.me; suspect = i }))
+        s;
+      List.iter
+        (fun i ->
+          if not (List.mem i s) then
+            Journal.record (Journal.Suspicion_cleared { who = t.me; suspect = i }))
+        old
+    end;
     t.last_published <- s;
     Logs.debug ~src:Qs_stdx.Debug.fd (fun m ->
         m "p%d SUSPECTED {%s}" (t.me + 1)
@@ -76,9 +107,20 @@ let prune t =
 
 let expect t ~from ?(tag = "") ?timeout pred =
   if from < 0 || from >= t.n then invalid_arg "Detector.expect: peer out of range";
-  let e = { id = t.next_id; from; pred; tag; overdue = false; closed = false } in
+  let e =
+    {
+      id = t.next_id;
+      from;
+      pred;
+      tag;
+      opened_at = Sim.now t.sim;
+      overdue = false;
+      closed = false;
+    }
+  in
   t.next_id <- t.next_id + 1;
   t.expectations <- e :: t.expectations;
+  Metrics.inc t.m_expectations;
   let deadline =
     match timeout with Some d -> d | None -> Timeout.current t.timeouts from
   in
@@ -88,6 +130,11 @@ let expect t ~from ?(tag = "") ?timeout pred =
         e.overdue <- true;
         t.overdue_counts.(e.from) <- t.overdue_counts.(e.from) + 1;
         t.raised_total <- t.raised_total + 1;
+        Metrics.inc t.m_timeouts;
+        Metrics.inc t.m_suspicions;
+        (* Detection latency: expectation issued -> suspicion raised. *)
+        Metrics.observe t.m_latency
+          (Qs_sim.Stime.to_ms Qs_sim.Stime.(Sim.now t.sim - e.opened_at));
         publish_if_changed t
       end)
 
@@ -97,11 +144,15 @@ let fulfill t e =
     (* The suspicion was false: the message was late, not omitted. *)
     t.overdue_counts.(e.from) <- t.overdue_counts.(e.from) - 1;
     t.false_suspicions <- t.false_suspicions + 1;
+    Metrics.inc t.m_false;
     Timeout.on_false_suspicion t.timeouts e.from
   end
 
 let receive t ~src m =
-  if not (t.authenticate ~src m) then t.rejected <- t.rejected + 1
+  if not (t.authenticate ~src m) then begin
+    t.rejected <- t.rejected + 1;
+    Metrics.inc t.m_rejected
+  end
   else begin
     let matched = ref false in
     List.iter
@@ -134,6 +185,8 @@ let detected t i =
   if not t.detected_flags.(i) then begin
     t.detected_flags.(i) <- true;
     t.raised_total <- t.raised_total + 1;
+    Metrics.inc t.m_suspicions;
+    Metrics.inc t.m_detections;
     publish_if_changed t
   end
 

@@ -5,6 +5,8 @@ module Pid = Qs_core.Pid
 module Msg = Qs_core.Msg
 module Suspicion_matrix = Qs_core.Suspicion_matrix
 module Quorum_select = Qs_core.Quorum_select
+module Metrics = Qs_obs.Metrics
+module Journal = Qs_obs.Journal
 
 type t = {
   config : Quorum_select.config;
@@ -25,6 +27,16 @@ type t = {
   mutable epochs_entered : int;
   mutable detections : Pid.t list;
   mutable rejected : int;
+  mutable issued_in_epoch : int;
+  mutable max_issued_in_epoch : int;
+  m_updates_sent : Metrics.counter;
+  m_updates_merged : Metrics.counter;
+  m_rejected : Metrics.counter;
+  m_quorums : Metrics.counter;
+  m_epochs : Metrics.counter;
+  m_detections : Metrics.counter;
+  g_this_epoch : Metrics.gauge;
+  g_epoch_max : Metrics.gauge;
 }
 
 let q_of t = Quorum_select.q t.config
@@ -38,6 +50,13 @@ let create config ~me ~auth ~send ~on_quorum ?(fd_expect = fun ~leader:_ ~epoch:
     invalid_arg "Follower_select: requires n > 3f";
   if me < 0 || me >= config.Quorum_select.n then
     invalid_arg "Follower_select.create: me out of range";
+  let labels = [ ("p", string_of_int me) ] in
+  (* Theorem 9's per-epoch bound for Follower Selection, published next to
+     the live counts (mirrors [qs_bound_theorem3] in Quorum_select). *)
+  Metrics.set_g
+    ~labels:[ ("f", string_of_int config.Quorum_select.f) ]
+    "fs_bound_theorem9"
+    (float_of_int ((3 * config.Quorum_select.f) + 1));
   {
     config;
     me;
@@ -57,6 +76,16 @@ let create config ~me ~auth ~send ~on_quorum ?(fd_expect = fun ~leader:_ ~epoch:
     epochs_entered = 0;
     detections = [];
     rejected = 0;
+    issued_in_epoch = 0;
+    max_issued_in_epoch = 0;
+    m_updates_sent = Metrics.counter ~labels "fs_updates_sent_total";
+    m_updates_merged = Metrics.counter ~labels "fs_updates_merged_total";
+    m_rejected = Metrics.counter ~labels "fs_rejected_total";
+    m_quorums = Metrics.counter ~labels "fs_quorums_issued_total";
+    m_epochs = Metrics.counter ~labels "fs_epochs_entered_total";
+    m_detections = Metrics.counter ~labels "fs_detections_total";
+    g_this_epoch = Metrics.gauge ~labels "fs_quorums_this_epoch";
+    g_epoch_max = Metrics.gauge ~labels "fs_quorums_per_epoch_max";
   }
 
 let me t = t.me
@@ -73,6 +102,9 @@ let update_suspicions t s =
         changed := true
       end)
     t.suspecting;
+  Metrics.inc t.m_updates_sent;
+  if Journal.live () then
+    Journal.record (Journal.Update_sent { owner = t.me; epoch = t.epoch });
   t.send (Fmsg.seal t.auth (Fmsg.Update { Msg.owner = t.me; row }));
   !changed
 
@@ -88,6 +120,14 @@ let select_followers l ~leader ~q =
 let issue t ~leader quorum =
   t.qlast <- quorum;
   t.history <- (leader, quorum) :: t.history;
+  t.issued_in_epoch <- t.issued_in_epoch + 1;
+  if t.issued_in_epoch > t.max_issued_in_epoch then
+    t.max_issued_in_epoch <- t.issued_in_epoch;
+  Metrics.inc t.m_quorums;
+  Metrics.set t.g_this_epoch (float_of_int t.issued_in_epoch);
+  Metrics.set_max t.g_epoch_max (float_of_int t.issued_in_epoch);
+  if Journal.live () then
+    Journal.record (Journal.Quorum_issued { who = t.me; epoch = t.epoch; quorum });
   t.on_quorum ~leader quorum
 
 (* updateQuorum (Algorithm 2, lines 7-26). *)
@@ -97,12 +137,15 @@ let rec update_quorum t =
     (* Lines 9-16: inconsistent suspicions — new epoch, default quorum. *)
     t.epoch <- t.epoch + 1;
     t.epochs_entered <- t.epochs_entered + 1;
+    t.issued_in_epoch <- 0;
+    Metrics.inc t.m_epochs;
+    Metrics.set t.g_this_epoch 0.0;
+    if Journal.live () then
+      Journal.record (Journal.Epoch_advanced { who = t.me; epoch = t.epoch });
     t.fd_cancel ();
     t.leader <- 0;
     t.stable <- true;
-    t.qlast <- default_quorum t.config;
-    t.history <- (t.leader, t.qlast) :: t.history;
-    t.on_quorum ~leader:t.leader t.qlast;
+    issue t ~leader:t.leader (default_quorum t.config);
     if not (update_suspicions t t.suspecting) then update_quorum t
   end
   else begin
@@ -160,6 +203,7 @@ let well_formed ~n ~q ~suspect_graph f =
 
 let detect t culprit =
   t.detections <- culprit :: t.detections;
+  Metrics.inc t.m_detections;
   t.fd_detected culprit
 
 let handle_followers t msg f =
@@ -180,12 +224,18 @@ let handle_followers t msg f =
   end
 
 let handle_msg t msg =
-  if not (Fmsg.verify t.auth msg) then t.rejected <- t.rejected + 1
+  if not (Fmsg.verify t.auth msg) then begin
+    t.rejected <- t.rejected + 1;
+    Metrics.inc t.m_rejected
+  end
   else
     match msg.Fmsg.payload with
     | Fmsg.Update u ->
       let changed = Suspicion_matrix.merge_row t.matrix ~owner:u.Msg.owner u.Msg.row in
       if changed then begin
+        Metrics.inc t.m_updates_merged;
+        if Journal.live () then
+          Journal.record (Journal.Update_merged { who = t.me; owner = u.Msg.owner });
         t.send msg;
         update_quorum t
       end
@@ -204,6 +254,8 @@ let quorums_issued t = List.length t.history
 let quorum_history t = List.rev t.history
 
 let epochs_entered t = t.epochs_entered
+
+let max_issued_per_epoch t = t.max_issued_in_epoch
 
 let detections t = t.detections
 

@@ -67,6 +67,11 @@ val quorum_history : t -> (Qs_core.Pid.t * Qs_core.Pid.t list) list
 
 val epochs_entered : t -> int
 
+val max_issued_per_epoch : t -> int
+(** Largest number of quorums issued within any single epoch — the quantity
+    Theorem 9 bounds by [3f+1]. Also published live as the
+    [fs_quorums_per_epoch_max] gauge. *)
+
 val detections : t -> Qs_core.Pid.t list
 (** Processes this node reported via [fd_detected], most recent first. *)
 

@@ -1,0 +1,140 @@
+type event =
+  | Suspicion_raised of { who : int; suspect : int }
+  | Suspicion_cleared of { who : int; suspect : int }
+  | Update_sent of { owner : int; epoch : int }
+  | Update_merged of { who : int; owner : int }
+  | Quorum_issued of { who : int; epoch : int; quorum : int list }
+  | Epoch_advanced of { who : int; epoch : int }
+  | View_change of { who : int; view : int; group : int list }
+  | Commit of { who : int; slot : int }
+  | Net_sent of { src : int; dst : int }
+  | Net_delivered of { src : int; dst : int }
+  | Net_dropped of { src : int; dst : int }
+  | Custom of string
+
+type entry = { seq : int; at : float; event : event }
+
+type t = {
+  capacity : int;
+  q : entry Queue.t;
+  mutable enabled : bool;
+  mutable clock : unit -> float;
+  mutable next_seq : int;
+  mutable dropped : int;
+}
+
+let create ?(capacity = 65536) () =
+  if capacity <= 0 then invalid_arg "Journal.create: capacity must be positive";
+  {
+    capacity;
+    q = Queue.create ();
+    enabled = false;
+    clock = (fun () -> 0.0);
+    next_seq = 0;
+    dropped = 0;
+  }
+
+let default = create ()
+
+let set_enabled ?(j = default) v = j.enabled <- v
+
+let live ?(j = default) () = j.enabled
+
+let set_clock ?(j = default) clock = j.clock <- clock
+
+let record ?(j = default) ?at event =
+  if j.enabled then begin
+    let at = match at with Some a -> a | None -> j.clock () in
+    Queue.push { seq = j.next_seq; at; event } j.q;
+    j.next_seq <- j.next_seq + 1;
+    if Queue.length j.q > j.capacity then begin
+      ignore (Queue.pop j.q);
+      j.dropped <- j.dropped + 1
+    end
+  end
+
+let entries ?(j = default) () = List.rev (Queue.fold (fun acc e -> e :: acc) [] j.q)
+
+let length ?(j = default) () = Queue.length j.q
+
+let dropped ?(j = default) () = j.dropped
+
+let clear ?(j = default) () =
+  Queue.clear j.q;
+  j.next_seq <- 0;
+  j.dropped <- 0
+
+let set_to_string set =
+  "{" ^ String.concat "," (List.map string_of_int set) ^ "}"
+
+let event_to_string = function
+  | Suspicion_raised { who; suspect } ->
+    Printf.sprintf "suspicion-raised p%d suspects p%d" who suspect
+  | Suspicion_cleared { who; suspect } ->
+    Printf.sprintf "suspicion-cleared p%d clears p%d" who suspect
+  | Update_sent { owner; epoch } ->
+    Printf.sprintf "update-sent owner=p%d epoch=%d" owner epoch
+  | Update_merged { who; owner } ->
+    Printf.sprintf "update-merged p%d merged row of p%d" who owner
+  | Quorum_issued { who; epoch; quorum } ->
+    Printf.sprintf "quorum-issued p%d epoch=%d quorum=%s" who epoch
+      (set_to_string quorum)
+  | Epoch_advanced { who; epoch } ->
+    Printf.sprintf "epoch-advanced p%d epoch=%d" who epoch
+  | View_change { who; view; group } ->
+    Printf.sprintf "view-change p%d view=%d group=%s" who view (set_to_string group)
+  | Commit { who; slot } -> Printf.sprintf "commit p%d slot=%d" who slot
+  | Net_sent { src; dst } -> Printf.sprintf "net-sent p%d -> p%d" src dst
+  | Net_delivered { src; dst } -> Printf.sprintf "net-delivered p%d -> p%d" src dst
+  | Net_dropped { src; dst } -> Printf.sprintf "net-dropped p%d -> p%d" src dst
+  | Custom s -> s
+
+let event_to_json event =
+  let obj kind fields = Json.Obj (("event", Json.String kind) :: fields) in
+  let ints name set = (name, Json.List (List.map (fun i -> Json.Int i) set)) in
+  match event with
+  | Suspicion_raised { who; suspect } ->
+    obj "suspicion_raised" [ ("who", Json.Int who); ("suspect", Json.Int suspect) ]
+  | Suspicion_cleared { who; suspect } ->
+    obj "suspicion_cleared" [ ("who", Json.Int who); ("suspect", Json.Int suspect) ]
+  | Update_sent { owner; epoch } ->
+    obj "update_sent" [ ("owner", Json.Int owner); ("epoch", Json.Int epoch) ]
+  | Update_merged { who; owner } ->
+    obj "update_merged" [ ("who", Json.Int who); ("owner", Json.Int owner) ]
+  | Quorum_issued { who; epoch; quorum } ->
+    obj "quorum_issued"
+      [ ("who", Json.Int who); ("epoch", Json.Int epoch); ints "quorum" quorum ]
+  | Epoch_advanced { who; epoch } ->
+    obj "epoch_advanced" [ ("who", Json.Int who); ("epoch", Json.Int epoch) ]
+  | View_change { who; view; group } ->
+    obj "view_change"
+      [ ("who", Json.Int who); ("view", Json.Int view); ints "group" group ]
+  | Commit { who; slot } ->
+    obj "commit" [ ("who", Json.Int who); ("slot", Json.Int slot) ]
+  | Net_sent { src; dst } ->
+    obj "net_sent" [ ("src", Json.Int src); ("dst", Json.Int dst) ]
+  | Net_delivered { src; dst } ->
+    obj "net_delivered" [ ("src", Json.Int src); ("dst", Json.Int dst) ]
+  | Net_dropped { src; dst } ->
+    obj "net_dropped" [ ("src", Json.Int src); ("dst", Json.Int dst) ]
+  | Custom s -> obj "custom" [ ("detail", Json.String s) ]
+
+let entry_to_json e =
+  match event_to_json e.event with
+  | Json.Obj fields ->
+    Json.Obj (("seq", Json.Int e.seq) :: ("at_ms", Json.Float e.at) :: fields)
+  | _ -> assert false
+
+let to_json ?j () =
+  Json.Obj
+    [
+      ("dropped", Json.Int (dropped ?j ()));
+      ("events", Json.List (List.map entry_to_json (entries ?j ())));
+    ]
+
+let render ?j () =
+  String.concat "\n"
+    (List.map
+       (fun e ->
+         Printf.sprintf "%6d %10.3fms  %s" e.seq e.at (event_to_string e.event))
+       (entries ?j ()))

@@ -1,0 +1,78 @@
+(** Structured protocol-event journal.
+
+    Generalizes the ad-hoc [Network.set_tracer] hook into typed events that
+    every instrumented layer can append to: the network (sends, deliveries,
+    drops), the failure detector (suspicions raised and cleared), quorum
+    selection (UPDATEs sent and merged, quorums issued, epoch advances) and
+    XPaxos (view changes, commits).
+
+    Recording is opt-in: a journal starts disabled and {!record} on a
+    disabled journal is a cheap no-op, so the always-on instrumentation in
+    the hot paths costs nothing unless a caller (CLI, test, experiment)
+    turns the journal on. Entries carry a monotonic sequence number and the
+    current virtual time as reported by the registered clock (the simulator
+    wires its clock in at network creation). Capacity is bounded: the
+    journal is a ring that drops its oldest entries, counting the drops. *)
+
+type event =
+  | Suspicion_raised of { who : int; suspect : int }
+      (** [who]'s failure detector raised a suspicion on [suspect]. *)
+  | Suspicion_cleared of { who : int; suspect : int }
+      (** A late message proved the suspicion false. *)
+  | Update_sent of { owner : int; epoch : int }
+      (** [owner] broadcast its stamped suspicion row. *)
+  | Update_merged of { who : int; owner : int }
+      (** [who] merged new information from [owner]'s row. *)
+  | Quorum_issued of { who : int; epoch : int; quorum : int list }
+  | Epoch_advanced of { who : int; epoch : int }
+  | View_change of { who : int; view : int; group : int list }
+  | Commit of { who : int; slot : int }
+  | Net_sent of { src : int; dst : int }
+  | Net_delivered of { src : int; dst : int }
+  | Net_dropped of { src : int; dst : int }
+  | Custom of string  (** Escape hatch for harnesses and examples. *)
+
+type entry = { seq : int; at : float; event : event }
+(** [at] is virtual milliseconds from the registered clock (0 when no clock
+    was registered). *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Disabled until {!set_enabled}. [capacity] defaults to 65536 entries. *)
+
+val default : t
+(** The journal the instrumented protocol layers record into. *)
+
+val set_enabled : ?j:t -> bool -> unit
+
+val live : ?j:t -> unit -> bool
+(** [true] iff enabled — guard for avoiding event construction on hot
+    paths. *)
+
+val set_clock : ?j:t -> (unit -> float) -> unit
+
+val record : ?j:t -> ?at:float -> event -> unit
+(** No-op when disabled. [at] overrides the clock. *)
+
+val entries : ?j:t -> unit -> entry list
+(** Oldest first. *)
+
+val length : ?j:t -> unit -> int
+
+val dropped : ?j:t -> unit -> int
+(** Entries evicted by the capacity ring since the last {!clear}. *)
+
+val clear : ?j:t -> unit -> unit
+(** Drop all entries and reset [seq] and the drop counter; keeps the
+    enabled flag and clock. *)
+
+val event_to_string : event -> string
+
+val entry_to_json : entry -> Json.t
+
+val to_json : ?j:t -> unit -> Json.t
+(** [{"dropped": n, "events": [...]}] — oldest first. *)
+
+val render : ?j:t -> unit -> string
+(** One human-readable line per entry, oldest first. *)

@@ -1,0 +1,281 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* Rendering *)
+
+let escape_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\b' -> Buffer.add_string b "\\b"
+      | '\012' -> Buffer.add_string b "\\f"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+(* Shortest representation that still round-trips; always contains a '.' or
+   an exponent so the parser reads it back as a [Float]. *)
+let float_repr f =
+  if not (Float.is_finite f) then "null"
+  else
+    let shortest = Printf.sprintf "%.12g" f in
+    let s = if float_of_string shortest = f then shortest else Printf.sprintf "%.17g" f in
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'n' (* inf/nan *)) s then s
+    else s ^ ".0"
+
+let rec render_buf ~indent ~level b j =
+  let nl lvl =
+    if indent then begin
+      Buffer.add_char b '\n';
+      Buffer.add_string b (String.make (2 * lvl) ' ')
+    end
+  in
+  match j with
+  | Null -> Buffer.add_string b "null"
+  | Bool v -> Buffer.add_string b (if v then "true" else "false")
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f -> Buffer.add_string b (float_repr f)
+  | String s -> escape_string b s
+  | List [] -> Buffer.add_string b "[]"
+  | List items ->
+    Buffer.add_char b '[';
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_char b ',';
+        nl (level + 1);
+        render_buf ~indent ~level:(level + 1) b item)
+      items;
+    nl level;
+    Buffer.add_char b ']'
+  | Obj [] -> Buffer.add_string b "{}"
+  | Obj fields ->
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        nl (level + 1);
+        escape_string b k;
+        Buffer.add_char b ':';
+        if indent then Buffer.add_char b ' ';
+        render_buf ~indent ~level:(level + 1) b v)
+      fields;
+    nl level;
+    Buffer.add_char b '}'
+
+let render_with ~indent j =
+  let b = Buffer.create 256 in
+  render_buf ~indent ~level:0 b j;
+  Buffer.contents b
+
+let render j = render_with ~indent:false j
+
+let render_pretty j = render_with ~indent:true j
+
+(* ------------------------------------------------------------------ *)
+(* Parsing: plain recursive descent over the byte string *)
+
+exception Parse_error of int * string
+
+let parse_exn s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (!pos, msg)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let utf8_of_code b code =
+    if code < 0x80 then Buffer.add_char b (Char.chr code)
+    else if code < 0x800 then begin
+      Buffer.add_char b (Char.chr (0xc0 lor (code lsr 6)));
+      Buffer.add_char b (Char.chr (0x80 lor (code land 0x3f)))
+    end
+    else begin
+      Buffer.add_char b (Char.chr (0xe0 lor (code lsr 12)));
+      Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
+      Buffer.add_char b (Char.chr (0x80 lor (code land 0x3f)))
+    end
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec loop () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> begin
+        advance ();
+        (match peek () with
+         | Some '"' -> Buffer.add_char b '"'
+         | Some '\\' -> Buffer.add_char b '\\'
+         | Some '/' -> Buffer.add_char b '/'
+         | Some 'n' -> Buffer.add_char b '\n'
+         | Some 't' -> Buffer.add_char b '\t'
+         | Some 'r' -> Buffer.add_char b '\r'
+         | Some 'b' -> Buffer.add_char b '\b'
+         | Some 'f' -> Buffer.add_char b '\012'
+         | Some 'u' ->
+           if !pos + 4 >= n then fail "truncated \\u escape";
+           let hex = String.sub s (!pos + 1) 4 in
+           let code =
+             try int_of_string ("0x" ^ hex) with _ -> fail "bad \\u escape"
+           in
+           pos := !pos + 4;
+           utf8_of_code b code
+         | _ -> fail "bad escape");
+        advance ();
+        loop ()
+      end
+      | Some c ->
+        Buffer.add_char b c;
+        advance ();
+        loop ()
+    in
+    loop ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_float = ref false in
+    let rec loop () =
+      match peek () with
+      | Some ('0' .. '9' | '-' | '+') ->
+        advance ();
+        loop ()
+      | Some ('.' | 'e' | 'E') ->
+        is_float := true;
+        advance ();
+        loop ()
+      | _ -> ()
+    in
+    loop ();
+    let lexeme = String.sub s start (!pos - start) in
+    if !is_float then
+      match float_of_string_opt lexeme with
+      | Some f -> Float f
+      | None -> fail "bad number"
+    else
+      match int_of_string_opt lexeme with
+      | Some i -> Int i
+      | None -> (
+        (* Integer literal too large for [int]: keep it as a float. *)
+        match float_of_string_opt lexeme with
+        | Some f -> Float f
+        | None -> fail "bad number")
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some 'n' -> literal "null" Null
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some '"' -> String (parse_string ())
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        List []
+      end
+      else begin
+        let items = ref [ parse_value () ] in
+        skip_ws ();
+        while peek () = Some ',' do
+          advance ();
+          items := parse_value () :: !items;
+          skip_ws ()
+        done;
+        expect ']';
+        List (List.rev !items)
+      end
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let field () =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          (k, v)
+        in
+        let fields = ref [ field () ] in
+        skip_ws ();
+        while peek () = Some ',' do
+          advance ();
+          fields := field () :: !fields;
+          skip_ws ()
+        done;
+        expect '}';
+        Obj (List.rev !fields)
+      end
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> fail (Printf.sprintf "unexpected %C" c)
+  in
+  match parse_value () with
+  | v ->
+    skip_ws ();
+    if !pos <> n then
+      invalid_arg (Printf.sprintf "Json.parse: trailing garbage at byte %d" !pos)
+    else v
+  | exception Parse_error (at, msg) ->
+    invalid_arg (Printf.sprintf "Json.parse: %s at byte %d" msg at)
+
+let parse s =
+  match parse_exn s with v -> Ok v | exception Invalid_argument msg -> Error msg
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_string_exn = function
+  | String s -> s
+  | _ -> invalid_arg "Json.to_string_exn"
+
+let to_int_exn = function
+  | Int i -> i
+  | _ -> invalid_arg "Json.to_int_exn"
+
+let to_float_exn = function
+  | Float f -> f
+  | Int i -> float_of_int i
+  | _ -> invalid_arg "Json.to_float_exn"

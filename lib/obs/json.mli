@@ -1,0 +1,40 @@
+(** A minimal, dependency-free JSON value type with a renderer and parser.
+
+    Only what the observability layer needs: enough to emit metric
+    snapshots and journal dumps, and to parse them back in tests (the
+    round-trip property keeps the renderer honest). Numbers are split into
+    [Int] and [Float] so counters stay exact; [Float] renders with enough
+    digits to round-trip. Strings are treated as byte sequences: escapes
+    below 0x20 are emitted as [\u00XX], and parsed [\uXXXX] escapes are
+    decoded to UTF-8 bytes. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val render : t -> string
+(** Compact single-line rendering. Non-finite floats render as [null]. *)
+
+val render_pretty : t -> string
+(** Two-space indented rendering, for human eyes. *)
+
+val parse : string -> (t, string) result
+(** Parse a complete JSON document; trailing garbage is an error. The error
+    string carries a byte offset. *)
+
+val parse_exn : string -> t
+(** Raises [Invalid_argument] with the parse error. *)
+
+val member : string -> t -> t option
+(** [member key (Obj _)] looks a field up; [None] for other shapes. *)
+
+val to_string_exn : t -> string
+val to_int_exn : t -> int
+val to_float_exn : t -> float
+(** Shape accessors raising [Invalid_argument] on mismatch; [to_float_exn]
+    accepts both [Int] and [Float]. *)

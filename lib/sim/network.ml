@@ -1,4 +1,6 @@
 module Prng = Qs_stdx.Prng
+module Metrics = Qs_obs.Metrics
+module Journal = Qs_obs.Journal
 
 type delay_model =
   | Fixed of Stime.t
@@ -30,10 +32,18 @@ type 'm t = {
   mutable delivered : int;
   mutable dropped : int;
   link_counts : int array array;
+  m_sent : Metrics.counter;
+  m_delivered : Metrics.counter;
+  m_dropped : Metrics.counter;
+  m_latency : Metrics.histogram;
 }
 
 let create ~sim ~n ~delay ?(fifo = false) () =
   if n <= 0 then invalid_arg "Network.create: need at least one endpoint";
+  (* Journal entries are stamped with virtual time; the most recently
+     created network wins, which is right for the single-simulation runs the
+     harnesses perform. *)
+  Journal.set_clock (fun () -> Stime.to_ms (Sim.now sim));
   {
     sim;
     n;
@@ -48,6 +58,10 @@ let create ~sim ~n ~delay ?(fifo = false) () =
     delivered = 0;
     dropped = 0;
     link_counts = Array.make_matrix n n 0;
+    m_sent = Metrics.counter "net_sent_total";
+    m_delivered = Metrics.counter "net_delivered_total";
+    m_dropped = Metrics.counter "net_dropped_total";
+    m_latency = Metrics.histogram "net_delivery_latency_ms";
   }
 
 let n t = t.n
@@ -79,8 +93,11 @@ let base_delay t =
     if Stime.compare (Sim.now t.sim) gst < 0 then Prng.int_in t.rng pre_lo pre_hi
     else Prng.int_in t.rng post_lo post_hi
 
-let deliver t ~src ~dst m =
+let deliver t ~src ~dst ~latency m =
   t.delivered <- t.delivered + 1;
+  Metrics.inc t.m_delivered;
+  Metrics.observe t.m_latency (Stime.to_ms latency);
+  if Journal.live () then Journal.record (Journal.Net_delivered { src; dst });
   trace t Delivered ~src ~dst m;
   match t.handlers.(dst) with
   | None -> ()
@@ -93,6 +110,8 @@ let send t ~src ~dst m =
     t.sent <- t.sent + 1;
     t.link_counts.(src).(dst) <- t.link_counts.(src).(dst) + 1
   end;
+  Metrics.inc t.m_sent;
+  if Journal.live () then Journal.record (Journal.Net_sent { src; dst });
   trace t Send ~src ~dst m;
   let action =
     if src = dst then Deliver
@@ -104,6 +123,8 @@ let send t ~src ~dst m =
   match action with
   | Drop ->
     t.dropped <- t.dropped + 1;
+    Metrics.inc t.m_dropped;
+    if Journal.live () then Journal.record (Journal.Net_dropped { src; dst });
     trace t Dropped ~src ~dst m
   | Deliver | Delay _ ->
     let extra = match action with Delay d -> Stdlib.max 0 d | _ -> 0 in
@@ -115,7 +136,8 @@ let send t ~src ~dst m =
       else arrival
     in
     t.last_arrival.(src).(dst) <- arrival;
-    Sim.schedule_at t.sim ~at:arrival (fun () -> deliver t ~src ~dst m)
+    let latency = Stime.(arrival - Sim.now t.sim) in
+    Sim.schedule_at t.sim ~at:arrival (fun () -> deliver t ~src ~dst ~latency m)
 
 let broadcast t ~src ?(include_self = true) m =
   for dst = 0 to t.n - 1 do

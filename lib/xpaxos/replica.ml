@@ -4,6 +4,8 @@ module Timeout = Qs_fd.Timeout
 module QS = Qs_core.Quorum_select
 module Pid = Qs_core.Pid
 module Auth = Qs_crypto.Auth
+module Metrics = Qs_obs.Metrics
+module Journal = Qs_obs.Journal
 
 type mode = Enumeration | Quorum_selection
 
@@ -45,6 +47,11 @@ type t = {
   proposed : (int * int, int) Hashtbl.t; (* (client, rid) -> slot *)
   awaiting_prepare : (int * int, unit) Hashtbl.t; (* expectation dedupe *)
   mutable exec_cursor : int;
+  m_commits : Metrics.counter;
+  m_executed : Metrics.counter;
+  m_view_changes : Metrics.counter;
+  m_detections : Metrics.counter;
+  g_view : Metrics.gauge;
 }
 
 let me t = t.me
@@ -135,6 +142,7 @@ let expect_new_view t ~from ~view =
 
 let detect t culprit =
   t.detections <- culprit :: t.detections;
+  Metrics.inc t.m_detections;
   Detector.detected (fd t) culprit
 
 (* ------------------------------------------------------------------ *)
@@ -147,17 +155,24 @@ let try_execute t =
     | Some ({ committed = true; executed = false; sp = Some sp; _ } : Xlog.entry) ->
       let e = Xlog.entry t.log t.exec_cursor in
       e.Xlog.executed <- true;
+      Metrics.inc t.m_executed;
       t.on_execute ~slot:t.exec_cursor sp.Xmsg.prepare.Xmsg.request;
       t.exec_cursor <- t.exec_cursor + 1
     | _ -> continue := false
   done
 
 let check_commit t (e : Xlog.entry) =
-  if (not e.Xlog.committed) && e.Xlog.sp <> None then
+  match e.Xlog.sp with
+  | Some sp when not e.Xlog.committed ->
     if List.for_all (fun k -> List.mem k e.Xlog.votes) t.grp then begin
       e.Xlog.committed <- true;
+      Metrics.inc t.m_commits;
+      if Journal.live () then
+        Journal.record
+          (Journal.Commit { who = t.me; slot = sp.Xmsg.prepare.Xmsg.slot });
       try_execute t
     end
+  | _ -> ()
 
 (* Adopt a prepare (from the leader directly, or embedded in a COMMIT):
    send our own COMMIT to the group and expect everyone else's. [except]
@@ -340,6 +355,10 @@ let rec move_to_view t v =
     t.view <- v;
     t.grp <- Enumeration.group ~n:t.config.n ~q:(q t) ~view:v;
     t.view_changes <- t.view_changes + 1;
+    Metrics.inc t.m_view_changes;
+    Metrics.set t.g_view (float_of_int v);
+    if Journal.live () then
+      Journal.record (Journal.View_change { who = t.me; view = v; group = t.grp });
     Hashtbl.reset t.awaiting_prepare;
     Detector.cancel_all (fd t); (* Section V-B: expectations no longer valid *)
     Logs.debug ~src:Qs_stdx.Debug.xpaxos (fun m ->
@@ -443,6 +462,7 @@ let create config ~me ~auth ~sim ~net_send ?(on_execute = fun ~slot:_ _ -> ())
   if config.n <= 0 || config.f < 0 || config.n - config.f <= config.f then
     invalid_arg "Replica.create: need n - f > f";
   if me < 0 || me >= config.n then invalid_arg "Replica.create: me out of range";
+  let labels = [ ("p", string_of_int me) ] in
   let t =
     {
       config;
@@ -464,6 +484,11 @@ let create config ~me ~auth ~sim ~net_send ?(on_execute = fun ~slot:_ _ -> ())
       proposed = Hashtbl.create 64;
       awaiting_prepare = Hashtbl.create 64;
       exec_cursor = 0;
+      m_commits = Metrics.counter ~labels "xp_commits_total";
+      m_executed = Metrics.counter ~labels "xp_executed_total";
+      m_view_changes = Metrics.counter ~labels "xp_view_changes_total";
+      m_detections = Metrics.counter ~labels "xp_detections_total";
+      g_view = Metrics.gauge ~labels "xp_view";
     }
   in
   let timeouts = Timeout.create ~n:config.n ~initial:config.initial_timeout config.timeout_strategy in
