@@ -1,6 +1,7 @@
 module Xcluster = Qs_xpaxos.Xcluster
 module Replica = Qs_xpaxos.Replica
-module Sim = Qs_sim.Sim
+module Fault = Qs_faults.Fault
+module Injector = Qs_faults.Injector
 
 type t =
   | Mute_replicas of int list
@@ -14,23 +15,30 @@ type t =
       every : Qs_sim.Stime.t;
     }
 
-let apply cluster = function
-  | Mute_replicas rs -> List.iter (fun r -> Xcluster.set_fault cluster r Replica.Mute) rs
+let default_horizon = Qs_sim.Stime.of_ms 60_000
+
+let to_schedule ?(horizon = default_horizon) = function
+  | Mute_replicas rs -> List.map (fun r -> Fault.at (Fault.Crash r)) rs
   | Omit_links links ->
-    List.iter (fun (src, dst) -> Xcluster.omit_link cluster ~src ~dst) links
+    List.map (fun (src, dst) -> Fault.at (Fault.Omit { src; dst })) links
   | Delay_links links ->
-    List.iter (fun ((src, dst), by) -> Xcluster.delay_link cluster ~src ~dst ~by) links
-  | Equivocate { leader; victim } ->
-    Xcluster.set_fault cluster leader (Replica.Equivocate victim)
+    List.map (fun ((src, dst), by) -> Fault.at (Fault.Delay { src; dst; by })) links
+  | Equivocate _ -> [] (* commission: a replica behavior, not a link fault *)
   | Ramp_delay { src; dst; step; every } ->
-    let sim = Xcluster.sim cluster in
-    let current = ref 0 in
-    let rec ramp () =
-      current := !current + step;
-      Xcluster.delay_link cluster ~src ~dst ~by:!current;
-      Sim.schedule sim ~delay:every ramp
-    in
-    Sim.schedule sim ~delay:every ramp
+    (* Chained [Delay] filters accumulate, so a permanent phase per step
+       yields the ever-growing delay of the "increasing timing failure". *)
+    List.init (horizon / every) (fun k ->
+        Fault.at ~start:((k + 1) * every) (Fault.Delay { src; dst; by = step }))
+
+let apply cluster attack =
+  (match attack with
+   | Equivocate { leader; victim } ->
+     Xcluster.set_fault cluster leader (Replica.Equivocate victim)
+   | _ -> ());
+  let set_mute p m =
+    Xcluster.set_fault cluster p (if m then Replica.Mute else Replica.Honest)
+  in
+  ignore (Injector.install ~net:(Xcluster.net cluster) ~set_mute (to_schedule attack))
 
 let describe = function
   | Mute_replicas rs ->

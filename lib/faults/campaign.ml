@@ -1,0 +1,173 @@
+module Prng = Qs_stdx.Prng
+module Json = Qs_obs.Json
+
+type exec_outcome = {
+  violations : Monitor.violation list;
+  liveness : string list;
+  committed : int;
+  submitted : int;
+  checks : int;
+}
+
+let failed o = o.violations <> [] || o.liveness <> []
+
+type run = {
+  index : int;
+  run_seed : int;
+  schedule : Fault.schedule;
+  model : Fault.model;
+  outcome : exec_outcome;
+}
+
+type report = {
+  seed : int;
+  runs : run list;
+  first_failure : run option;
+  minimal : run option;
+  shrink_steps : int;
+}
+
+let ok report = report.first_failure = None
+
+(* Greedy shrinking: repeatedly try every one-phase-removed variant of the
+   failing schedule, re-executing with the same run seed; keep the first
+   variant that still fails and recurse. The result is locally minimal —
+   removing any single remaining phase makes the failure disappear. *)
+let shrink ~classify ~execute ~run_seed schedule outcome =
+  let steps = ref 0 in
+  let rec go schedule outcome =
+    let next =
+      List.find_map
+        (fun candidate ->
+          incr steps;
+          let model = classify candidate in
+          let o = execute ~seed:run_seed ~model candidate in
+          if failed o then Some (candidate, model, o) else None)
+        (Fault.remove_each schedule)
+    in
+    match next with
+    | Some (candidate, _, o) -> go candidate o
+    | None -> (schedule, outcome)
+  in
+  let minimal, minimal_outcome = go schedule outcome in
+  (minimal, minimal_outcome, !steps)
+
+let run ~seed ~runs ~gen ~classify ~execute () =
+  let rng = Prng.of_int seed in
+  let results = ref [] in
+  let first_failure = ref None in
+  let minimal = ref None in
+  let shrink_steps = ref 0 in
+  (try
+     for index = 0 to runs - 1 do
+       let schedule = gen rng in
+       let run_seed = (seed * 1_000_003) + index in
+       let model = classify schedule in
+       let outcome = execute ~seed:run_seed ~model schedule in
+       let r = { index; run_seed; schedule; model; outcome } in
+       results := r :: !results;
+       if failed outcome && !first_failure = None then begin
+         first_failure := Some r;
+         let m, mo, steps = shrink ~classify ~execute ~run_seed schedule outcome in
+         shrink_steps := steps;
+         minimal :=
+           Some { index; run_seed; schedule = m; model = classify m; outcome = mo };
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  {
+    seed;
+    runs = List.rev !results;
+    first_failure = !first_failure;
+    minimal = !minimal;
+    shrink_steps = !shrink_steps;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Reporting *)
+
+let model_to_string = function
+  | Fault.In_model { faulty } ->
+    Printf.sprintf "in-model (faulty {%s})"
+      (String.concat "," (List.map string_of_int faulty))
+  | Fault.Out_of_model why -> Printf.sprintf "out-of-model (%s)" why
+
+let run_to_string r =
+  let o = r.outcome in
+  let status =
+    if failed o then "FAIL"
+    else "ok  "
+  in
+  Printf.sprintf "  run %2d seed %-10d %s %d/%d committed, %d checks, %s\n    %s"
+    r.index r.run_seed status o.committed o.submitted o.checks
+    (model_to_string r.model)
+    (Fault.to_string r.schedule)
+
+let render report =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "campaign seed %d: %d runs, %s\n" report.seed
+       (List.length report.runs)
+       (if ok report then "all invariants held" else "FAILURES"));
+  List.iter
+    (fun r ->
+      Buffer.add_string b (run_to_string r);
+      Buffer.add_char b '\n')
+    report.runs;
+  (match report.first_failure with
+   | None -> ()
+   | Some r ->
+     Buffer.add_string b
+       (Printf.sprintf "first failure (run %d, seed %d):\n" r.index r.run_seed);
+     List.iter
+       (fun v -> Buffer.add_string b ("  " ^ Monitor.violation_to_string v ^ "\n"))
+       r.outcome.violations;
+     List.iter (fun l -> Buffer.add_string b ("  liveness: " ^ l ^ "\n")) r.outcome.liveness);
+  (match report.minimal with
+   | None -> ()
+   | Some r ->
+     Buffer.add_string b
+       (Printf.sprintf "minimal failing schedule (%d shrink attempts, %d phases):\n  %s\n"
+          report.shrink_steps (List.length r.schedule) (Fault.to_string r.schedule)));
+  Buffer.contents b
+
+let outcome_to_json o =
+  Json.Obj
+    [
+      ("violations", Json.List (List.map Monitor.violation_to_json o.violations));
+      ("liveness_failures", Json.List (List.map (fun l -> Json.String l) o.liveness));
+      ("committed", Json.Int o.committed);
+      ("submitted", Json.Int o.submitted);
+      ("checks", Json.Int o.checks);
+    ]
+
+let run_to_json r =
+  Json.Obj
+    [
+      ("index", Json.Int r.index);
+      ("seed", Json.Int r.run_seed);
+      ( "model",
+        Json.String
+          (match r.model with
+           | Fault.In_model _ -> "in-model"
+           | Fault.Out_of_model _ -> "out-of-model") );
+      ("schedule", Fault.to_json r.schedule);
+      ("outcome", outcome_to_json r.outcome);
+    ]
+
+let to_json report =
+  Json.Obj
+    ([
+       ("seed", Json.Int report.seed);
+       ("ok", Json.Bool (ok report));
+       ("runs", Json.List (List.map run_to_json report.runs));
+     ]
+    @ (match report.first_failure with
+       | None -> []
+       | Some r -> [ ("first_failure", run_to_json r) ])
+    @
+    match report.minimal with
+    | None -> []
+    | Some r ->
+      [ ("minimal", run_to_json r); ("shrink_steps", Json.Int report.shrink_steps) ])

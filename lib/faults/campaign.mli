@@ -1,0 +1,60 @@
+(** Reproducible chaos campaigns.
+
+    A campaign derives [runs] fault schedules from one seed, executes each
+    under the caller's protocol stack, and stops at the first run whose
+    online monitor reported a safety violation (or, for in-model schedules,
+    whose liveness obligations went unmet). The failing schedule is then
+    {e shrunk greedily} — every one-phase-removed variant is replayed with
+    the same run seed until no single removal still fails — yielding a
+    locally-minimal reproduction.
+
+    Everything is deterministic: re-running with the same seed regenerates
+    the same schedules, the same per-run seeds, and therefore the same
+    verdicts, which is what makes [qsel chaos --seed N] a reproduction
+    command rather than a dice roll. *)
+
+type exec_outcome = {
+  violations : Monitor.violation list;  (** Online safety violations. *)
+  liveness : string list;  (** Unmet liveness obligations (in-model only). *)
+  committed : int;
+  submitted : int;
+  checks : int;  (** Monitor checks that actually ran. *)
+}
+
+val failed : exec_outcome -> bool
+
+type run = {
+  index : int;
+  run_seed : int;  (** Seed handed to [execute] — replays deterministically. *)
+  schedule : Fault.schedule;
+  model : Fault.model;
+  outcome : exec_outcome;
+}
+
+type report = {
+  seed : int;
+  runs : run list;  (** In execution order; stops after the first failure. *)
+  first_failure : run option;
+  minimal : run option;  (** Shrunk reproduction of the first failure. *)
+  shrink_steps : int;  (** Re-executions the shrinker spent. *)
+}
+
+val ok : report -> bool
+
+val run :
+  seed:int ->
+  runs:int ->
+  gen:(Qs_stdx.Prng.t -> Fault.schedule) ->
+  classify:(Fault.schedule -> Fault.model) ->
+  execute:(seed:int -> model:Fault.model -> Fault.schedule -> exec_outcome) ->
+  unit ->
+  report
+(** [execute] must be a pure function of [(seed, schedule)] for replay and
+    shrinking to be meaningful. *)
+
+val render : report -> string
+(** Multi-line human-readable report. *)
+
+val to_json : report -> Qs_obs.Json.t
+
+val model_to_string : Fault.model -> string

@@ -1,0 +1,223 @@
+module Stime = Qs_sim.Stime
+module Prng = Qs_stdx.Prng
+module Json = Qs_obs.Json
+
+type kind =
+  | Crash of int
+  | Omit of { src : int; dst : int }
+  | Delay of { src : int; dst : int; by : Stime.t }
+  | Duplicate of { src : int; dst : int; copies : int }
+  | Partition of int list
+
+type phase = { start : Stime.t; stop : Stime.t option; what : kind }
+
+type schedule = phase list
+
+type model = In_model of { faulty : int list } | Out_of_model of string
+
+let at ?stop ?(start = Stime.zero) what = { start; stop; what }
+
+(* ------------------------------------------------------------------ *)
+(* Model classification *)
+
+let sorted_uniq l = List.sort_uniq compare l
+
+(* The minimal blame set: link faults are blamed on their source (an
+   omission/timing/duplication failure the sender commits on an individual
+   link, Section II), partitions on their smaller side — declaring those
+   processes faulty explains every unreliable link while leaving
+   correct<->correct links reliable and timely. *)
+let blamed ~n schedule =
+  let blame = function
+    | Crash p -> [ p ]
+    | Omit { src; _ } | Delay { src; _ } | Duplicate { src; _ } -> [ src ]
+    | Partition group ->
+      let inside = sorted_uniq (List.filter (fun p -> p >= 0 && p < n) group) in
+      let outside =
+        List.filter (fun p -> not (List.mem p inside)) (List.init n Fun.id)
+      in
+      if List.length inside <= List.length outside then inside else outside
+  in
+  sorted_uniq (List.concat_map (fun ph -> blame ph.what) schedule)
+
+let validate_phase ~n phase =
+  let chk p name = if p < 0 || p >= n then invalid_arg ("Fault: " ^ name ^ " out of range") in
+  (match phase.what with
+   | Crash p -> chk p "crash target"
+   | Omit { src; dst } | Delay { src; dst; _ } | Duplicate { src; dst; _ } ->
+     chk src "link src";
+     chk dst "link dst";
+     if src = dst then invalid_arg "Fault: link faults need src <> dst"
+   | Partition group -> List.iter (fun p -> chk p "partition member") group);
+  match phase.stop with
+  | Some stop when Stime.compare stop phase.start < 0 ->
+    invalid_arg "Fault: phase stops before it starts"
+  | _ -> ()
+
+let validate ~n schedule = List.iter (validate_phase ~n) schedule
+
+let classify ~n ~f schedule =
+  validate ~n schedule;
+  let faulty = blamed ~n schedule in
+  if List.length faulty > f then
+    Out_of_model
+      (Printf.sprintf "blames %d processes, budget f=%d" (List.length faulty) f)
+  else In_model { faulty }
+
+(* ------------------------------------------------------------------ *)
+(* Random generation *)
+
+type gen_profile = {
+  horizon : Stime.t;
+  p_crash : float;
+  p_recover : float;
+  p_omit : float;
+  p_delay : float;
+  p_duplicate : float;
+  max_delay : Stime.t;
+}
+
+let default_profile ~horizon =
+  {
+    horizon;
+    p_crash = 0.5;
+    p_recover = 0.4;
+    p_omit = 0.3;
+    p_delay = 0.2;
+    p_duplicate = 0.1;
+    max_delay = Stime.of_ms 200;
+  }
+
+let gen_window rng profile =
+  let start = Prng.int_in rng 0 (profile.horizon / 4) in
+  let stop =
+    if Prng.chance rng profile.p_recover then
+      Some (start + Prng.int_in rng (profile.horizon / 8) (profile.horizon / 2))
+    else None
+  in
+  (start, stop)
+
+(* An in-model schedule: pick at most [f] faulty processes and give each a
+   phased mix of crash (possibly with recovery), per-link omission, extra
+   delay and duplication — always originating at the faulty process, so the
+   blame set never exceeds the budget. *)
+let gen rng ~n ~f ?(profile = default_profile ~horizon:(Stime.of_ms 10_000)) () =
+  let faulty = Prng.sample rng (Prng.int_in rng 0 f) (List.init n Fun.id) in
+  List.concat_map
+    (fun p ->
+      if Prng.chance rng profile.p_crash then begin
+        let start, stop = gen_window rng profile in
+        [ { start; stop; what = Crash p } ]
+      end
+      else
+        List.concat_map
+          (fun dst ->
+            if dst = p then []
+            else if Prng.chance rng profile.p_omit then begin
+              let start, stop = gen_window rng profile in
+              [ { start; stop; what = Omit { src = p; dst } } ]
+            end
+            else if Prng.chance rng profile.p_delay then begin
+              let start, stop = gen_window rng profile in
+              let by = Prng.int_in rng 1 profile.max_delay in
+              [ { start; stop; what = Delay { src = p; dst; by } } ]
+            end
+            else if Prng.chance rng profile.p_duplicate then begin
+              let start, stop = gen_window rng profile in
+              let copies = Prng.int_in rng 2 3 in
+              [ { start; stop; what = Duplicate { src = p; dst; copies } } ]
+            end
+            else [])
+          (List.init n Fun.id))
+    faulty
+
+(* A deliberately out-of-model schedule: an in-model core plus either a
+   partition crossing the budget or more crashed processes than [f]. *)
+let gen_wild rng ~n ~f ?(profile = default_profile ~horizon:(Stime.of_ms 10_000)) () =
+  let core = gen rng ~n ~f ~profile () in
+  let extra =
+    if Prng.bool rng then begin
+      (* A partition whose smaller side exceeds f. *)
+      let side = Stdlib.min (n - 1) (f + 1 + Prng.int_in rng 0 1) in
+      let group = Prng.sample rng side (List.init n Fun.id) in
+      let start, stop = gen_window rng profile in
+      [ { start; stop = (match stop with None -> Some (start + profile.horizon / 3) | s -> s);
+          what = Partition group } ]
+    end
+    else
+      (* Crash f+1 processes: one more than the model admits. *)
+      List.map
+        (fun p ->
+          let start, stop = gen_window rng profile in
+          { start; stop; what = Crash p })
+        (Prng.sample rng (f + 1) (List.init n Fun.id))
+  in
+  core @ extra
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking *)
+
+let remove_each schedule =
+  List.mapi (fun i _ -> List.filteri (fun j _ -> j <> i) schedule) schedule
+
+(* ------------------------------------------------------------------ *)
+(* Rendering *)
+
+let kind_to_string = function
+  | Crash p -> Printf.sprintf "crash p%d" p
+  | Omit { src; dst } -> Printf.sprintf "omit p%d->p%d" src dst
+  | Delay { src; dst; by } ->
+    Format.asprintf "delay p%d->p%d by %a" src dst Stime.pp by
+  | Duplicate { src; dst; copies } ->
+    Printf.sprintf "duplicate p%d->p%d x%d" src dst copies
+  | Partition group ->
+    Printf.sprintf "partition {%s}"
+      (String.concat "," (List.map string_of_int group))
+
+let phase_to_string ph =
+  Format.asprintf "%s @@ %a%s" (kind_to_string ph.what) Stime.pp ph.start
+    (match ph.stop with
+     | None -> ""
+     | Some s -> Format.asprintf " until %a" Stime.pp s)
+
+let to_string schedule =
+  match schedule with
+  | [] -> "(no faults)"
+  | _ -> String.concat "; " (List.map phase_to_string schedule)
+
+let kind_to_json = function
+  | Crash p -> Json.Obj [ ("kind", Json.String "crash"); ("p", Json.Int p) ]
+  | Omit { src; dst } ->
+    Json.Obj [ ("kind", Json.String "omit"); ("src", Json.Int src); ("dst", Json.Int dst) ]
+  | Delay { src; dst; by } ->
+    Json.Obj
+      [
+        ("kind", Json.String "delay");
+        ("src", Json.Int src);
+        ("dst", Json.Int dst);
+        ("by_ms", Json.Float (Stime.to_ms by));
+      ]
+  | Duplicate { src; dst; copies } ->
+    Json.Obj
+      [
+        ("kind", Json.String "duplicate");
+        ("src", Json.Int src);
+        ("dst", Json.Int dst);
+        ("copies", Json.Int copies);
+      ]
+  | Partition group ->
+    Json.Obj
+      [ ("kind", Json.String "partition"); ("group", Json.List (List.map (fun p -> Json.Int p) group)) ]
+
+let phase_to_json ph =
+  let base =
+    [ ("start_ms", Json.Float (Stime.to_ms ph.start)); ("fault", kind_to_json ph.what) ]
+  in
+  let stop =
+    match ph.stop with
+    | None -> []
+    | Some s -> [ ("stop_ms", Json.Float (Stime.to_ms s)) ]
+  in
+  Json.Obj (base @ stop)
+
+let to_json schedule = Json.List (List.map phase_to_json schedule)

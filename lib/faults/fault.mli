@@ -1,0 +1,95 @@
+(** Declarative, composable fault schedules.
+
+    A schedule is a list of {e phases}: each phase activates one fault at a
+    virtual [start] time and (optionally) deactivates it at [stop] — so
+    crash-then-recover, transient link omission, bounded timing glitches,
+    healing partitions and duplication storms are all first-class, and the
+    same vocabulary drives tests, the adversary, experiments and the
+    [qsel chaos] CLI.
+
+    Every schedule is classifiable against the paper's fault model
+    (Section II: at most [f] faulty processes; links between correct
+    processes stay reliable and timely after GST): {!classify} computes the
+    minimal blame set and tags the schedule {!In_model} (the safety {e and}
+    liveness theorems must hold) or {!Out_of_model} (only core safety is
+    asserted). *)
+
+type kind =
+  | Crash of int
+      (** The process stops sending anything (mute). With a phase [stop]
+          this is crash-recovery. *)
+  | Omit of { src : int; dst : int }
+      (** Omission failure on one direction of one link. *)
+  | Delay of { src : int; dst : int; by : Qs_sim.Stime.t }
+      (** Timing failure: extra latency on one link. *)
+  | Duplicate of { src : int; dst : int; copies : int }
+      (** Duplication failure: each message on the link is delivered
+          [copies] times. *)
+  | Partition of int list
+      (** Cut the given group off from the rest, both directions. In-model
+          only when the smaller side fits in the failure budget. *)
+
+type phase = { start : Qs_sim.Stime.t; stop : Qs_sim.Stime.t option; what : kind }
+(** [stop = None] means the fault persists to the end of the run. *)
+
+type schedule = phase list
+
+type model =
+  | In_model of { faulty : int list }
+      (** The minimal blame set; its complement must satisfy every paper
+          guarantee. *)
+  | Out_of_model of string  (** Why the schedule exceeds the model. *)
+
+val at : ?stop:Qs_sim.Stime.t -> ?start:Qs_sim.Stime.t -> kind -> phase
+(** Phase constructor; [start] defaults to time zero. *)
+
+val blamed : n:int -> schedule -> int list
+(** The minimal blame set: crash targets, link-fault sources, and the
+    smaller side of each partition. Sorted, duplicate-free. *)
+
+val validate : n:int -> schedule -> unit
+(** [Invalid_argument] on nonsense: process ids out of range, link faults
+    with [src = dst], or a phase that stops before it starts. *)
+
+val classify : n:int -> f:int -> schedule -> model
+(** Validates process ids and phase windows ([Invalid_argument] on nonsense
+    such as [src = dst] or [stop < start]), then compares {!blamed} against
+    the budget [f]. *)
+
+(** {2 Seeded random generation} *)
+
+type gen_profile = {
+  horizon : Qs_sim.Stime.t;  (** Run length; faults start in the first quarter. *)
+  p_crash : float;  (** Chance a faulty process crashes outright. *)
+  p_recover : float;  (** Chance a phase gets a stop time. *)
+  p_omit : float;  (** Per-link omission chance for non-crashed faulty. *)
+  p_delay : float;
+  p_duplicate : float;
+  max_delay : Qs_sim.Stime.t;
+}
+
+val default_profile : horizon:Qs_sim.Stime.t -> gen_profile
+
+val gen :
+  Qs_stdx.Prng.t -> n:int -> f:int -> ?profile:gen_profile -> unit -> schedule
+(** Always in-model: blame never exceeds [f]. *)
+
+val gen_wild :
+  Qs_stdx.Prng.t -> n:int -> f:int -> ?profile:gen_profile -> unit -> schedule
+(** An in-model core plus a budget-exceeding partition or [f+1] crashes —
+    deliberately out-of-model, for safety-only campaigns. *)
+
+val remove_each : schedule -> schedule list
+(** All one-phase-removed variants, in order — the shrink candidates the
+    campaign runner walks greedily. *)
+
+(** {2 Rendering} *)
+
+val kind_to_string : kind -> string
+
+val phase_to_string : phase -> string
+
+val to_string : schedule -> string
+(** One line, semicolon-separated phases. *)
+
+val to_json : schedule -> Qs_obs.Json.t

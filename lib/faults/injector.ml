@@ -1,0 +1,73 @@
+module Sim = Qs_sim.Sim
+module Network = Qs_sim.Network
+module Stime = Qs_sim.Stime
+module Journal = Qs_obs.Journal
+
+type t = {
+  mutable active : int; (* currently-armed phases *)
+  mutable installed : int; (* phases ever armed *)
+}
+
+let note verb ph =
+  if Journal.live () then
+    Journal.record (Journal.Custom (Printf.sprintf "fault%s %s" verb (Fault.kind_to_string ph.Fault.what)))
+
+(* Arm one fault on the network's filter chain (or through the process-mute
+   hook) and return the disarming thunk. *)
+let arm net ~set_mute what =
+  match (what, set_mute) with
+  | Fault.Crash p, Some mute ->
+    mute p true;
+    fun () -> mute p false
+  | Fault.Crash p, None ->
+    (* No process hook: send-omission on every outgoing link is
+       observationally equivalent for the peers. *)
+    let id = Network.add_filter net (fun ~now:_ ~src ~dst:_ _ ->
+        if src = p then Network.Drop else Network.Deliver)
+    in
+    fun () -> Network.remove_filter net id
+  | Fault.Omit { src; dst }, _ ->
+    let id = Network.add_filter net (fun ~now:_ ~src:s ~dst:d _ ->
+        if s = src && d = dst then Network.Drop else Network.Deliver)
+    in
+    fun () -> Network.remove_filter net id
+  | Fault.Delay { src; dst; by }, _ ->
+    let id = Network.add_filter net (fun ~now:_ ~src:s ~dst:d _ ->
+        if s = src && d = dst then Network.Delay by else Network.Deliver)
+    in
+    fun () -> Network.remove_filter net id
+  | Fault.Duplicate { src; dst; copies }, _ ->
+    let id = Network.add_filter net (fun ~now:_ ~src:s ~dst:d _ ->
+        if s = src && d = dst then Network.Duplicate copies else Network.Deliver)
+    in
+    fun () -> Network.remove_filter net id
+  | Fault.Partition group, _ ->
+    let inside p = List.mem p group in
+    let id = Network.add_filter net (fun ~now:_ ~src ~dst _ ->
+        if inside src <> inside dst then Network.Drop else Network.Deliver)
+    in
+    fun () -> Network.remove_filter net id
+
+let install ~net ?set_mute schedule =
+  let sim = Network.sim net in
+  let t = { active = 0; installed = 0 } in
+  List.iter
+    (fun ph ->
+      Sim.schedule_at sim ~at:ph.Fault.start (fun () ->
+          t.active <- t.active + 1;
+          t.installed <- t.installed + 1;
+          note "+" ph;
+          let disarm = arm net ~set_mute ph.Fault.what in
+          match ph.Fault.stop with
+          | None -> ()
+          | Some stop ->
+            Sim.schedule_at sim ~at:stop (fun () ->
+                t.active <- t.active - 1;
+                note "-" ph;
+                disarm ())))
+    schedule;
+  t
+
+let active t = t.active
+
+let installed t = t.installed

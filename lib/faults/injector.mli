@@ -1,0 +1,31 @@
+(** Compile a {!Fault.schedule} onto a live simulation.
+
+    Each phase is armed at its [start] time and disarmed at its [stop] time
+    on the target network's stackable filter chain
+    ({!Qs_sim.Network.add_filter}), so injected faults compose with each
+    other and with whatever link faults the cluster harness already
+    installed in the single {!Qs_sim.Network.set_filter} slot (e.g. the
+    Theorem-4 adversary's omissions).
+
+    [Crash] phases prefer the [set_mute] process hook (a cluster's
+    [set_fault p Mute] / [Honest]), which also silences timers; without a
+    hook they fall back to dropping every outgoing message at the network,
+    which is observationally equivalent for the peers. Phase transitions are
+    recorded in the {!Qs_obs.Journal} as [Custom "fault+ ..."/"fault- ..."]
+    entries when it is enabled. *)
+
+type t
+
+val install :
+  net:'m Qs_sim.Network.t ->
+  ?set_mute:(int -> bool -> unit) ->
+  Fault.schedule ->
+  t
+(** Schedule every phase; must be called before the simulation runs past the
+    earliest [start]. *)
+
+val active : t -> int
+(** Phases currently armed. *)
+
+val installed : t -> int
+(** Phases ever armed so far. *)

@@ -1,0 +1,188 @@
+module Sim = Qs_sim.Sim
+module Stime = Qs_sim.Stime
+module Journal = Qs_obs.Journal
+module Metrics = Qs_obs.Metrics
+module Json = Qs_obs.Json
+
+type violation = { at : float; check : string; detail : string }
+
+type config = {
+  n : int;
+  f : int;
+  correct : int list;
+  quorum_bound : int option;
+  bound_gauge : string option;
+  settle : Stime.t;
+}
+
+let theorem3 ~f = f * (f + 1)
+
+let theorem9 ~f = (3 * f) + 1
+
+type t = {
+  config : config;
+  journal : Journal.t;
+  mutable subscription : int;
+  (* (who, suspect) -> virtual ms the suspicion was raised *)
+  suspicions : (int * int, float) Hashtbl.t;
+  (* (who, epoch) -> quorums issued *)
+  issued : (int * int, int) Hashtbl.t;
+  seen : (string, unit) Hashtbl.t; (* violation dedup *)
+  mutable violations : violation list; (* reversed *)
+  mutable checks : int;
+  mutable commits : int;
+  mutable quorums : int;
+}
+
+let violate t ~at check detail =
+  let key = check ^ "|" ^ detail in
+  if not (Hashtbl.mem t.seen key) then begin
+    Hashtbl.replace t.seen key ();
+    t.violations <- { at; check; detail } :: t.violations
+  end
+
+let is_correct t p = List.mem p t.config.correct
+
+let on_quorum_issued t ~at ~who ~epoch ~quorum =
+  t.quorums <- t.quorums + 1;
+  t.checks <- t.checks + 1;
+  (match t.config.quorum_bound with
+   | None -> ()
+   | Some bound ->
+     let k = (who, epoch) in
+     let count = 1 + Option.value ~default:0 (Hashtbl.find_opt t.issued k) in
+     Hashtbl.replace t.issued k count;
+     if count > bound then
+       violate t ~at "quorum-bound"
+         (Printf.sprintf "p%d issued %d quorums in epoch %d (bound %d)" who count
+            epoch bound));
+  (* No suspicion: the issued quorum must not contain a pair (i, j) where
+     correct i has suspected j since well before the issue (one settle window
+     absorbs propagation: a fresh suspicion legitimately races the quorum for
+     a round or two). *)
+  List.iter
+    (fun i ->
+      if is_correct t i then
+        List.iter
+          (fun j ->
+            if j <> i then
+              match Hashtbl.find_opt t.suspicions (i, j) with
+              | Some since when at -. since >= Stime.to_ms t.config.settle ->
+                violate t ~at "no-suspicion"
+                  (Printf.sprintf
+                     "p%d's quorum contains p%d and p%d, but p%d has suspected p%d since %.1fms"
+                     who i j i j since)
+              | _ -> ())
+          quorum)
+    quorum
+
+let handle t entry =
+  let at = entry.Journal.at in
+  match entry.Journal.event with
+  | Journal.Suspicion_raised { who; suspect } ->
+    if not (Hashtbl.mem t.suspicions (who, suspect)) then
+      Hashtbl.replace t.suspicions (who, suspect) at
+  | Journal.Suspicion_cleared { who; suspect } ->
+    Hashtbl.remove t.suspicions (who, suspect)
+  | Journal.Quorum_issued { who; epoch; quorum } ->
+    if is_correct t who then on_quorum_issued t ~at ~who ~epoch ~quorum
+  | Journal.Commit { who; _ } -> if is_correct t who then t.commits <- t.commits + 1
+  | _ -> ()
+
+let create ?(journal = Journal.default) config =
+  let t =
+    {
+      config;
+      journal;
+      subscription = -1;
+      suspicions = Hashtbl.create 64;
+      issued = Hashtbl.create 64;
+      seen = Hashtbl.create 16;
+      violations = [];
+      checks = 0;
+      commits = 0;
+      quorums = 0;
+    }
+  in
+  t.subscription <- Journal.subscribe ~j:journal (fun entry -> handle t entry);
+  t
+
+let detach t = Journal.unsubscribe ~j:t.journal t.subscription
+
+(* ------------------------------------------------------------------ *)
+(* Periodic history probe: prefix consistency + exactly-once, checked online
+   so divergence is caught (and timestamped) while the run is in flight. *)
+
+let rec is_prefix a b =
+  match (a, b) with
+  | [], _ -> true
+  | _, [] -> false
+  | x :: a', y :: b' -> x = y && is_prefix a' b'
+
+let check_histories t ~at histories =
+  t.checks <- t.checks + 1;
+  List.iter
+    (fun (p, h) ->
+      let sorted = List.sort_uniq compare h in
+      if List.length sorted <> List.length h then
+        violate t ~at "exactly-once"
+          (Printf.sprintf "p%d executed a request more than once" p))
+    histories;
+  let rec pairs = function
+    | [] -> ()
+    | (p1, h1) :: rest ->
+      List.iter
+        (fun (p2, h2) ->
+          if not (is_prefix h1 h2 || is_prefix h2 h1) then
+            violate t ~at "prefix-consistency"
+              (Printf.sprintf "histories of p%d and p%d diverged" p1 p2))
+        rest;
+      pairs rest
+  in
+  pairs histories
+
+let check_bound_gauges t ~at =
+  match (t.config.quorum_bound, t.config.bound_gauge) with
+  | Some bound, Some gauge ->
+    t.checks <- t.checks + 1;
+    List.iter
+      (fun p ->
+        match
+          Metrics.find_gauge ~labels:[ ("p", string_of_int p) ] gauge
+        with
+        | Some v when v > float_of_int bound ->
+          violate t ~at "quorum-bound-gauge"
+            (Printf.sprintf "%s{p=%d} = %g exceeds bound %d" gauge p v bound)
+        | _ -> ())
+      t.config.correct
+  | _ -> ()
+
+let attach_history_probe t ~sim ~every histories =
+  let rec tick () =
+    let at = Stime.to_ms (Sim.now sim) in
+    check_histories t ~at (histories ());
+    check_bound_gauges t ~at;
+    Sim.schedule sim ~delay:every tick
+  in
+  Sim.schedule sim ~delay:every tick
+
+(* ------------------------------------------------------------------ *)
+
+let violations t = List.rev t.violations
+
+let checks_run t = t.checks
+
+let commits_observed t = t.commits
+
+let quorums_observed t = t.quorums
+
+let violation_to_string v =
+  Printf.sprintf "[%10.3fms] %-18s %s" v.at v.check v.detail
+
+let violation_to_json v =
+  Json.Obj
+    [
+      ("at_ms", Json.Float v.at);
+      ("check", Json.String v.check);
+      ("detail", Json.String v.detail);
+    ]

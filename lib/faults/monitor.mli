@@ -1,0 +1,80 @@
+(** Online invariant monitor.
+
+    Subscribes to the {!Qs_obs.Journal} and checks the paper's guarantees
+    {e while the run executes}, not just at the end:
+
+    - {b quorum-bound} — per (process, epoch) count of [Quorum_issued]
+      events against Theorem 3's [f(f+1)] (Algorithm 1) or Theorem 9's
+      [3f+1] (Follower Selection), flagged the moment the bound is crossed;
+    - {b no-suspicion} — an issued quorum must not contain a pair [(i, j)]
+      where correct [i] has suspected [j] for longer than the settle window
+      (the window absorbs the one or two rounds a fresh suspicion needs to
+      propagate into the issuer's matrix);
+    - {b quorum-bound-gauge} — cross-checks the live
+      [qs_quorums_per_epoch_max] / [fs_quorums_per_epoch_max] metrics
+      gauges against the same bound;
+    - {b prefix-consistency} and {b exactly-once} — a periodic probe
+      ({!attach_history_probe}) compares the correct processes' executed
+      histories pairwise, so divergence gets a virtual timestamp.
+
+    Liveness (Termination, eventual commit) is a campaign-level end-of-run
+    check — only {e in-model} schedules owe it — but the monitor counts
+    [Commit] events as the supporting evidence.
+
+    Only safety violations are recorded; each distinct violation is reported
+    once. *)
+
+type violation = { at : float; check : string; detail : string }
+(** [at] is virtual milliseconds. *)
+
+type config = {
+  n : int;
+  f : int;
+  correct : int list;  (** Processes the schedule does not blame. *)
+  quorum_bound : int option;
+      (** Per-epoch issued-quorum bound to enforce; [None] disables the
+          bound and no-suspicion checks make sense only with it off-model. *)
+  bound_gauge : string option;
+      (** Metrics gauge holding the live per-epoch maximum
+          ([qs_quorums_per_epoch_max] or [fs_quorums_per_epoch_max]). *)
+  settle : Qs_sim.Stime.t;
+      (** Suspicion age before no-suspicion applies; a few network rounds. *)
+}
+
+val theorem3 : f:int -> int
+(** [f * (f+1)] — Algorithm 1's per-epoch bound. *)
+
+val theorem9 : f:int -> int
+(** [3f + 1] — Follower Selection's per-epoch bound. *)
+
+type t
+
+val create : ?journal:Qs_obs.Journal.t -> config -> t
+(** Subscribes to the journal (default: the process-wide one, which must be
+    enabled for events to flow). Call {!detach} when done. *)
+
+val detach : t -> unit
+
+val attach_history_probe :
+  t ->
+  sim:Qs_sim.Sim.t ->
+  every:Qs_sim.Stime.t ->
+  (unit -> (int * (int * int) list) list) ->
+  unit
+(** Check the supplied [(process, executed (client, rid) list)] histories for
+    pairwise prefix consistency and per-history exactly-once every [every]
+    ticks, and cross-check the bound gauges. Call before the run starts. *)
+
+val violations : t -> violation list
+(** Chronological; empty means every online check held. *)
+
+val checks_run : t -> int
+(** Evidence the monitor actually ran (event checks + probe ticks). *)
+
+val commits_observed : t -> int
+
+val quorums_observed : t -> int
+
+val violation_to_string : violation -> string
+
+val violation_to_json : violation -> Qs_obs.Json.t

@@ -21,6 +21,12 @@ type 'm t = {
   deliver : src:int -> 'm -> unit;
   on_suspected : int list -> unit;
   mutable expectations : 'm expectation list;
+  mutable stale : 'm expectation list;
+      (* cancelled while overdue: the suspicion is gone, but if the expected
+         message still arrives it was late, not omitted, and the timeout
+         must adapt — otherwise a view-change storm (suspect, cancel, new
+         view, suspect...) never gives the detector a chance to learn and
+         eventual strong accuracy fails. Newest first, bounded. *)
   mutable next_id : int;
   overdue_counts : int array;    (* per peer: open overdue expectations *)
   detected_flags : bool array;   (* permanent suspicions *)
@@ -50,6 +56,7 @@ let create ~sim ~me ~n ?(authenticate = fun ~src:_ _ -> true) ~timeouts ~deliver
     deliver;
     on_suspected;
     expectations = [];
+    stale = [];
     next_id = 0;
     overdue_counts = Array.make n 0;
     detected_flags = Array.make n false;
@@ -166,10 +173,24 @@ let receive t ~src m =
       prune t;
       publish_if_changed t
     end;
+    t.stale <-
+      List.filter
+        (fun e ->
+          if e.from = src && e.pred m then begin
+            t.false_suspicions <- t.false_suspicions + 1;
+            Metrics.inc t.m_false;
+            Timeout.on_false_suspicion t.timeouts e.from;
+            false
+          end
+          else true)
+        t.stale;
     t.deliver ~src m
   end
 
+let max_stale = 256
+
 let cancel_all t =
+  let overdue = List.filter (fun e -> (not e.closed) && e.overdue) t.expectations in
   List.iter
     (fun e ->
       if not e.closed then begin
@@ -178,6 +199,7 @@ let cancel_all t =
       end)
     t.expectations;
   t.expectations <- [];
+  t.stale <- List.filteri (fun i _ -> i < max_stale) (overdue @ t.stale);
   publish_if_changed t
 
 let detected t i =
@@ -189,6 +211,10 @@ let detected t i =
     Metrics.inc t.m_detections;
     publish_if_changed t
   end
+
+let current_timeout t i =
+  if i < 0 || i >= t.n then invalid_arg "Detector.current_timeout: peer out of range";
+  Timeout.current t.timeouts i
 
 let open_expectations t =
   List.length (List.filter (fun e -> not e.closed) t.expectations)

@@ -57,9 +57,23 @@ val expect : 'm t -> from:int -> ?tag:string -> ?timeout:Qs_sim.Stime.t -> ('m -
     ack whose deadline must scale with the distance to the tail, so that the
     process closest to a failure times out (and is believed) first. *)
 
+val current_timeout : _ t -> int -> Qs_sim.Stime.t
+(** The adapted timeout currently used for expectations on peer [i].
+    Protocols that override [expect]'s deadline for multi-round exchanges
+    should scale this value, not the initial timeout, so that their
+    deadlines benefit from adaptation too. *)
+
 val cancel_all : 'm t -> unit
 (** Drop all open expectations and the suspicions they caused. Permanent
-    detections stay. *)
+    detections stay.
+
+    Expectations cancelled while overdue are remembered (bounded, newest
+    first): if the expected message arrives later anyway, the suspicion was
+    false and the timeout adapts exactly as if the expectation were still
+    open. Without this, a reconfiguration storm — suspect, change view,
+    cancel, suspect again — starves the timeout of the false-suspicion
+    signal it adapts on, and eventual strong accuracy is lost whenever the
+    network is slower than the initial timeout. *)
 
 val detected : 'm t -> int -> unit
 (** Permanently suspect a process (application-level proof of misbehavior). *)

@@ -9,8 +9,21 @@ type t = {
   mutable increases : int;
 }
 
+let validate_strategy ~initial = function
+  | Fixed -> ()
+  | Exponential { factor; max } ->
+    if factor <= 1.0 then
+      invalid_arg "Timeout.create: Exponential factor must exceed 1.0";
+    if max < initial then
+      invalid_arg "Timeout.create: Exponential max must be >= initial"
+  | Additive { step; max } ->
+    if step <= 0 then invalid_arg "Timeout.create: Additive step must be positive";
+    if max < initial then
+      invalid_arg "Timeout.create: Additive max must be >= initial"
+
 let create ~n ~initial strategy =
   if initial <= 0 then invalid_arg "Timeout.create: initial must be positive";
+  validate_strategy ~initial strategy;
   { strategy; timeouts = Array.make n initial; increases = 0 }
 
 let check t i =

@@ -24,7 +24,11 @@ type t
 (** Per-peer timeout state for one observing process. *)
 
 val create : n:int -> initial:Qs_sim.Stime.t -> strategy -> t
-(** One timeout per observed peer, all starting at [initial]. *)
+(** One timeout per observed peer, all starting at [initial]. Raises
+    [Invalid_argument] on parameters that cannot adapt: [initial <= 0], an
+    [Exponential] with [factor <= 1.0], an [Additive] with [step <= 0], or a
+    cap below [initial] (the timeout could then never reach, let alone
+    respect, its own [max]). *)
 
 val current : t -> int -> Qs_sim.Stime.t
 (** Current timeout used for expectations on messages from peer [i]. *)

@@ -1,0 +1,335 @@
+module Stime = Qs_sim.Stime
+module Sim = Qs_sim.Sim
+module Timeout = Qs_fd.Timeout
+module Metrics = Qs_obs.Metrics
+module Journal = Qs_obs.Journal
+module Fault = Qs_faults.Fault
+module Injector = Qs_faults.Injector
+module Monitor = Qs_faults.Monitor
+module Campaign = Qs_faults.Campaign
+
+let ms = Stime.of_ms
+
+type stack = Xpaxos_enum | Xpaxos_qs | Pbft | Minbft | Chain | Star
+
+let all = [ Xpaxos_enum; Xpaxos_qs; Pbft; Minbft; Chain; Star ]
+
+let name = function
+  | Xpaxos_enum -> "xpaxos-enum"
+  | Xpaxos_qs -> "xpaxos-qs"
+  | Pbft -> "pbft"
+  | Minbft -> "minbft"
+  | Chain -> "chain"
+  | Star -> "star"
+
+let of_name s =
+  List.find_opt (fun st -> name st = String.lowercase_ascii s) all
+
+type params = {
+  n : int;
+  f : int;
+  horizon : Stime.t;
+  requests : int;
+  resubmit_every : Stime.t;
+  probe_every : Stime.t;
+}
+
+let default_params stack =
+  let base n =
+    {
+      n;
+      f = 2;
+      horizon = ms 10_000;
+      requests = 3;
+      resubmit_every = ms 150;
+      probe_every = ms 250;
+    }
+  in
+  match stack with
+  | Xpaxos_enum | Xpaxos_qs -> { (base 5) with requests = 4 }
+  | Minbft -> base 5
+  | Pbft | Chain | Star -> base 7
+
+let strategy = Timeout.Exponential { factor = 2.0; max = ms 2000 }
+
+(* What one simulated run must expose to the generic driver: after faults
+   are installed and requests submitted, the monitor needs the executed
+   histories of the unblamed processes, and liveness needs the commit
+   census. *)
+type instance = {
+  sim : Sim.t;
+  set_mute : int -> bool -> unit;
+  install : Fault.schedule -> unit;
+  submit_all : unit -> unit;
+  committed : unit -> int;
+  histories : int list -> (int * (int * int) list) list;
+}
+
+let make_instance stack ~params ~seed =
+  let seed64 = Int64.of_int seed in
+  let n = params.n and f = params.f in
+  let ops = List.init params.requests (fun i -> Printf.sprintf "op%d" i) in
+  match stack with
+  | Xpaxos_enum | Xpaxos_qs ->
+    let mode =
+      if stack = Xpaxos_enum then Qs_xpaxos.Replica.Enumeration
+      else Qs_xpaxos.Replica.Quorum_selection
+    in
+    let c =
+      Qs_xpaxos.Xcluster.create ~seed:seed64
+        { Qs_xpaxos.Replica.n; f; mode; initial_timeout = ms 25; timeout_strategy = strategy }
+    in
+    let requests = ref [] in
+    {
+      sim = Qs_xpaxos.Xcluster.sim c;
+      set_mute =
+        (fun p m ->
+          Qs_xpaxos.Xcluster.set_fault c p
+            (if m then Qs_xpaxos.Replica.Mute else Qs_xpaxos.Replica.Honest));
+      install =
+        (fun schedule ->
+          ignore
+            (Injector.install ~net:(Qs_xpaxos.Xcluster.net c)
+               ~set_mute:(fun p m ->
+                 Qs_xpaxos.Xcluster.set_fault c p
+                   (if m then Qs_xpaxos.Replica.Mute else Qs_xpaxos.Replica.Honest))
+               schedule));
+      submit_all =
+        (fun () ->
+          requests :=
+            List.map
+              (Qs_xpaxos.Xcluster.submit c ~resubmit_every:params.resubmit_every)
+              ops);
+      committed =
+        (fun () ->
+          List.length
+            (List.filter (Qs_xpaxos.Xcluster.is_globally_committed c) !requests));
+      histories =
+        (fun correct ->
+          List.map
+            (fun p ->
+              ( p,
+                List.map
+                  (fun (r : Qs_xpaxos.Xmsg.request) -> (r.client, r.rid))
+                  (Qs_xpaxos.Replica.executed (Qs_xpaxos.Xcluster.replica c p)) ))
+            correct);
+    }
+  | Pbft ->
+    let c =
+      Qs_pbft.Pcluster.create ~seed:seed64
+        {
+          Qs_pbft.Preplica.n;
+          f;
+          participation = Qs_pbft.Preplica.Selected;
+          initial_timeout = ms 25;
+          timeout_strategy = strategy;
+        }
+    in
+    let requests = ref [] in
+    let set_mute p m =
+      Qs_pbft.Pcluster.set_fault c p
+        (if m then Qs_pbft.Preplica.Mute else Qs_pbft.Preplica.Honest)
+    in
+    {
+      sim = Qs_pbft.Pcluster.sim c;
+      set_mute;
+      install =
+        (fun schedule ->
+          ignore (Injector.install ~net:(Qs_pbft.Pcluster.net c) ~set_mute schedule));
+      submit_all =
+        (fun () ->
+          requests :=
+            List.map (Qs_pbft.Pcluster.submit c ~resubmit_every:params.resubmit_every) ops);
+      committed =
+        (fun () ->
+          List.length (List.filter (Qs_pbft.Pcluster.is_globally_committed c) !requests));
+      histories =
+        (fun correct ->
+          List.map
+            (fun p ->
+              ( p,
+                List.map
+                  (fun (r : Qs_pbft.Pmsg.request) -> (r.client, r.rid))
+                  (Qs_pbft.Preplica.executed (Qs_pbft.Pcluster.replica c p)) ))
+            correct);
+    }
+  | Minbft ->
+    let c =
+      Qs_minbft.Mcluster.create ~seed:seed64
+        {
+          Qs_minbft.Mreplica.n;
+          f;
+          participation = Qs_minbft.Mreplica.Selected;
+          initial_timeout = ms 25;
+          timeout_strategy = strategy;
+        }
+    in
+    let requests = ref [] in
+    let set_mute p m =
+      Qs_minbft.Mcluster.set_fault c p
+        (if m then Qs_minbft.Mreplica.Mute else Qs_minbft.Mreplica.Honest)
+    in
+    {
+      sim = Qs_minbft.Mcluster.sim c;
+      set_mute;
+      install =
+        (fun schedule ->
+          ignore (Injector.install ~net:(Qs_minbft.Mcluster.net c) ~set_mute schedule));
+      submit_all =
+        (fun () ->
+          requests :=
+            List.map (Qs_minbft.Mcluster.submit c ~resubmit_every:params.resubmit_every) ops);
+      committed =
+        (fun () -> List.length (List.filter (Qs_minbft.Mcluster.is_committed c) !requests));
+      histories =
+        (fun correct ->
+          List.map
+            (fun p ->
+              ( p,
+                List.map
+                  (fun (r : Qs_minbft.Mmsg.request) -> (r.client, r.rid))
+                  (Qs_minbft.Mreplica.executed (Qs_minbft.Mcluster.replica c p)) ))
+            correct);
+    }
+  | Chain ->
+    let c =
+      Qs_bchain.Chain_cluster.create ~seed:seed64
+        { Qs_bchain.Chain_node.n; f; initial_timeout = ms 25; timeout_strategy = strategy }
+    in
+    let requests = ref [] in
+    let set_mute p m =
+      Qs_bchain.Chain_cluster.set_fault c p
+        (if m then Qs_bchain.Chain_node.Mute else Qs_bchain.Chain_node.Honest)
+    in
+    {
+      sim = Qs_bchain.Chain_cluster.sim c;
+      set_mute;
+      install =
+        (fun schedule ->
+          ignore
+            (Injector.install ~net:(Qs_bchain.Chain_cluster.net c) ~set_mute schedule));
+      submit_all =
+        (fun () ->
+          requests :=
+            List.map
+              (Qs_bchain.Chain_cluster.submit c ~resubmit_every:params.resubmit_every)
+              ops);
+      committed =
+        (fun () ->
+          List.length (List.filter (Qs_bchain.Chain_cluster.is_committed c) !requests));
+      histories =
+        (fun correct ->
+          List.map
+            (fun p ->
+              ( p,
+                List.map
+                  (fun (r : Qs_bchain.Chain_msg.request) -> (r.client, r.rid))
+                  (Qs_bchain.Chain_node.executed (Qs_bchain.Chain_cluster.node c p)) ))
+            correct);
+    }
+  | Star ->
+    let c =
+      Qs_star.Star_cluster.create ~seed:seed64
+        { Qs_star.Star_node.n; f; initial_timeout = ms 25; timeout_strategy = strategy }
+    in
+    let requests = ref [] in
+    let set_mute p m =
+      Qs_star.Star_cluster.set_fault c p
+        (if m then Qs_star.Star_node.Mute else Qs_star.Star_node.Honest)
+    in
+    {
+      sim = Qs_star.Star_cluster.sim c;
+      set_mute;
+      install =
+        (fun schedule ->
+          ignore (Injector.install ~net:(Qs_star.Star_cluster.net c) ~set_mute schedule));
+      submit_all =
+        (fun () ->
+          requests :=
+            List.map (Qs_star.Star_cluster.submit c ~resubmit_every:params.resubmit_every) ops);
+      committed =
+        (fun () ->
+          List.length (List.filter (Qs_star.Star_cluster.is_committed c) !requests));
+      histories =
+        (fun correct ->
+          List.map
+            (fun p ->
+              ( p,
+                List.map
+                  (fun (r : Qs_star.Star_msg.request) -> (r.client, r.rid))
+                  (Qs_star.Star_node.executed (Qs_star.Star_cluster.node c p)) ))
+            correct);
+    }
+
+let bound_for stack ~f =
+  match stack with
+  | Star -> (Monitor.theorem9 ~f, Some "fs_quorums_per_epoch_max")
+  | _ -> (Monitor.theorem3 ~f, Some "qs_quorums_per_epoch_max")
+
+(* Run one schedule on one stack with the online monitor attached. Pure in
+   (seed, schedule): the same pair always yields the same outcome, which the
+   campaign's replay and shrinking rely on. *)
+let execute stack ?(params = default_params stack) ~seed ~model schedule :
+    Campaign.exec_outcome =
+  let n = params.n and f = params.f in
+  let blamed = Fault.blamed ~n schedule in
+  let correct =
+    List.filter (fun p -> not (List.mem p blamed)) (List.init n Fun.id)
+  in
+  let in_model = match model with Fault.In_model _ -> true | Fault.Out_of_model _ -> false in
+  Metrics.reset ();
+  let was_live = Journal.live () in
+  Journal.clear ();
+  Journal.set_enabled true;
+  let inst = make_instance stack ~params ~seed in
+  let bound, gauge = bound_for stack ~f in
+  let monitor =
+    Monitor.create
+      {
+        Monitor.n;
+        f;
+        correct;
+        (* The Theorem-3/9 bounds and the no-suspicion property assume the
+           model's failure budget; out-of-model schedules only owe core
+           SMR safety (prefix consistency, exactly-once). *)
+        quorum_bound = (if in_model then Some bound else None);
+        bound_gauge = (if in_model then gauge else None);
+        settle = ms 50;
+      }
+  in
+  Monitor.attach_history_probe monitor ~sim:inst.sim ~every:params.probe_every
+    (fun () -> inst.histories correct);
+  inst.install schedule;
+  inst.submit_all ();
+  Sim.run ~until:params.horizon inst.sim;
+  let committed = inst.committed () in
+  let liveness =
+    if in_model && committed < params.requests then
+      [
+        Printf.sprintf "termination: only %d/%d requests committed by %s" committed
+          params.requests
+          (Format.asprintf "%a" Stime.pp params.horizon);
+      ]
+    else []
+  in
+  Monitor.detach monitor;
+  Journal.set_enabled was_live;
+  {
+    Campaign.violations = Monitor.violations monitor;
+    liveness;
+    committed;
+    submitted = params.requests;
+    checks = Monitor.checks_run monitor;
+  }
+
+let campaign stack ?(params = default_params stack) ?(out_of_model = false)
+    ?(runs = 20) ~seed () =
+  let profile = Fault.default_profile ~horizon:params.horizon in
+  let gen rng =
+    if out_of_model then Fault.gen_wild rng ~n:params.n ~f:params.f ~profile ()
+    else Fault.gen rng ~n:params.n ~f:params.f ~profile ()
+  in
+  Campaign.run ~seed ~runs ~gen
+    ~classify:(Fault.classify ~n:params.n ~f:params.f)
+    ~execute:(fun ~seed ~model schedule -> execute stack ~params ~seed ~model schedule)
+    ()

@@ -1,0 +1,59 @@
+(** Chaos campaigns over the five protocol stacks.
+
+    Binds {!Qs_faults.Campaign} to concrete clusters: each run builds a
+    fresh cluster from the run seed, compiles the generated fault schedule
+    onto its network through {!Qs_faults.Injector}, attaches the online
+    {!Qs_faults.Monitor} (journal subscription plus a periodic
+    history/metrics probe), submits a workload and renders the verdict.
+
+    Safety (prefix consistency, exactly-once) is checked for every
+    schedule. The paper-specific checks — per-epoch quorum bounds
+    (Theorem 3's [f(f+1)] for quorum selection, Theorem 9's [3f+1] for
+    follower selection) and no-suspicion among correct processes — plus
+    the termination check only apply to in-model schedules, where at most
+    [f] processes are blamed. *)
+
+type stack = Xpaxos_enum | Xpaxos_qs | Pbft | Minbft | Chain | Star
+
+val all : stack list
+
+val name : stack -> string
+
+val of_name : string -> stack option
+(** Case-insensitive lookup of the names printed by {!name}. *)
+
+type params = {
+  n : int;
+  f : int;
+  horizon : Qs_sim.Stime.t;  (** virtual run length per schedule *)
+  requests : int;
+  resubmit_every : Qs_sim.Stime.t;
+  probe_every : Qs_sim.Stime.t;  (** online history/metrics probe period *)
+}
+
+val default_params : stack -> params
+(** n = 5, f = 2 for XPaxos and MinBFT; n = 7, f = 2 for PBFT, chain and
+    star; 10 s horizon. *)
+
+val execute :
+  stack ->
+  ?params:params ->
+  seed:int ->
+  model:Qs_faults.Fault.model ->
+  Qs_faults.Fault.schedule ->
+  Qs_faults.Campaign.exec_outcome
+(** One monitored run of one schedule. Deterministic in [(seed, schedule)]
+    — the replay/shrinking contract of {!Qs_faults.Campaign.run}. Resets
+    the default metrics registry and clears the default journal. *)
+
+val campaign :
+  stack ->
+  ?params:params ->
+  ?out_of_model:bool ->
+  ?runs:int ->
+  seed:int ->
+  unit ->
+  Qs_faults.Campaign.report
+(** Generate-and-execute [runs] schedules from [seed]. [out_of_model]
+    switches the generator to {!Qs_faults.Fault.gen_wild}, which exceeds
+    the failure budget (the monitor then only enforces core SMR safety). *)

@@ -121,6 +121,32 @@ let star () =
   Qs_star.Star_cluster.run ~until:(ms 20_000) c;
   (happy, Qs_star.Star_cluster.commit_latency c probe)
 
+(* Strategy ablation: the same mute-and-probe script on the XPaxos + QS
+   stack, but with configurable link delay and timeout strategy. When links
+   are slower than a timeout that never adapts, every expectation deadline
+   fires a false suspicion, membership churns indefinitely and the probe
+   cannot commit; any adapting strategy grows past the real delay after
+   finitely many false suspicions and then recovers normally. *)
+let xpaxos_recovery ?(delay = Qs_sim.Network.Fixed (ms 1)) ?(initial = timeout)
+    ?(horizon = ms 20_000) strategy =
+  let config =
+    {
+      Qs_xpaxos.Replica.n = 5;
+      f = 2;
+      mode = Qs_xpaxos.Replica.Quorum_selection;
+      initial_timeout = initial;
+      timeout_strategy = strategy;
+    }
+  in
+  let c = Qs_xpaxos.Xcluster.create ~delay config in
+  ignore (Qs_xpaxos.Xcluster.submit c "warm");
+  Qs_xpaxos.Xcluster.run ~until:(ms 400) c;
+  Qs_xpaxos.Xcluster.set_fault c 1 Qs_xpaxos.Replica.Mute;
+  Qs_xpaxos.Xcluster.run ~until:(ms 500) c;
+  let probe = Qs_xpaxos.Xcluster.submit c ~resubmit_every:(ms 100) "probe" in
+  Qs_xpaxos.Xcluster.run ~until:horizon c;
+  Qs_xpaxos.Xcluster.commit_latency c probe
+
 let run () =
   let rows =
     [

@@ -21,3 +21,18 @@ type row = {
 }
 
 val run : unit -> Qs_stdx.Table.t * Verdict.t list
+
+val xpaxos_recovery :
+  ?delay:Qs_sim.Network.delay_model ->
+  ?initial:Qs_sim.Stime.t ->
+  ?horizon:Qs_sim.Stime.t ->
+  Qs_fd.Timeout.strategy ->
+  Qs_sim.Stime.t option
+(** The E12 mute-and-probe script on the XPaxos + quorum-selection stack
+    with a configurable link [delay] (default 1 ms), [initial] timeout
+    (default 25 ms) and timeout strategy; returns the probe's commit
+    latency, [None] if it never committed within [horizon] (default 20 s).
+
+    This is the strategy-ablation hook: with links slower than the initial
+    timeout, [Fixed] false-suspects forever and never recovers, while
+    [Exponential] and [Additive] adapt past the real delay and do. *)

@@ -21,6 +21,8 @@ type t = {
   mutable clock : unit -> float;
   mutable next_seq : int;
   mutable dropped : int;
+  mutable subscribers : (int * (entry -> unit)) list;
+  mutable next_subscriber : int;
 }
 
 let create ?(capacity = 65536) () =
@@ -32,6 +34,8 @@ let create ?(capacity = 65536) () =
     clock = (fun () -> 0.0);
     next_seq = 0;
     dropped = 0;
+    subscribers = [];
+    next_subscriber = 0;
   }
 
 let default = create ()
@@ -42,15 +46,26 @@ let live ?(j = default) () = j.enabled
 
 let set_clock ?(j = default) clock = j.clock <- clock
 
+let subscribe ?(j = default) f =
+  let id = j.next_subscriber in
+  j.next_subscriber <- id + 1;
+  j.subscribers <- j.subscribers @ [ (id, f) ];
+  id
+
+let unsubscribe ?(j = default) id =
+  j.subscribers <- List.filter (fun (id', _) -> id' <> id) j.subscribers
+
 let record ?(j = default) ?at event =
   if j.enabled then begin
     let at = match at with Some a -> a | None -> j.clock () in
-    Queue.push { seq = j.next_seq; at; event } j.q;
+    let entry = { seq = j.next_seq; at; event } in
+    Queue.push entry j.q;
     j.next_seq <- j.next_seq + 1;
     if Queue.length j.q > j.capacity then begin
       ignore (Queue.pop j.q);
       j.dropped <- j.dropped + 1
-    end
+    end;
+    List.iter (fun (_, f) -> f entry) j.subscribers
   end
 
 let entries ?(j = default) () = List.rev (Queue.fold (fun acc e -> e :: acc) [] j.q)

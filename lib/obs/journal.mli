@@ -55,6 +55,15 @@ val set_clock : ?j:t -> (unit -> float) -> unit
 val record : ?j:t -> ?at:float -> event -> unit
 (** No-op when disabled. [at] overrides the clock. *)
 
+val subscribe : ?j:t -> (entry -> unit) -> int
+(** Register an online observer, called synchronously with every recorded
+    entry (only while the journal is enabled). The returned id feeds
+    {!unsubscribe}. The invariant monitor of [Qs_faults] is the main
+    client. *)
+
+val unsubscribe : ?j:t -> int -> unit
+(** Remove a subscriber; unknown ids are ignored. *)
+
 val entries : ?j:t -> unit -> entry list
 (** Oldest first. *)
 

@@ -13,9 +13,13 @@ type delay_model =
       post_hi : Stime.t;
     }
 
-type action = Deliver | Drop | Delay of Stime.t
+type action = Deliver | Drop | Delay of Stime.t | Duplicate of int
 
 type trace_kind = Send | Delivered | Dropped
+
+type 'm filter = now:Stime.t -> src:int -> dst:int -> 'm -> action
+
+type filter_id = int
 
 type 'm t = {
   sim : Sim.t;
@@ -24,7 +28,9 @@ type 'm t = {
   fifo : bool;
   rng : Prng.t;
   handlers : (src:int -> 'm -> unit) option array;
-  mutable filter : (now:Stime.t -> src:int -> dst:int -> 'm -> action) option;
+  mutable filter : 'm filter option;
+  mutable chain : (filter_id * 'm filter) list; (* installation order *)
+  mutable next_filter_id : filter_id;
   mutable tracer :
     (kind:trace_kind -> now:Stime.t -> src:int -> dst:int -> 'm -> unit) option;
   last_arrival : Stime.t array array; (* per-link FIFO watermark *)
@@ -52,6 +58,8 @@ let create ~sim ~n ~delay ?(fifo = false) () =
     rng = Prng.split (Sim.prng sim);
     handlers = Array.make n None;
     filter = None;
+    chain = [];
+    next_filter_id = 0;
     tracer = None;
     last_arrival = Array.make_matrix n n Stime.zero;
     sent = 0;
@@ -77,6 +85,38 @@ let set_handler t i h =
 let set_filter t f = t.filter <- Some f
 
 let clear_filter t = t.filter <- None
+
+let add_filter t f =
+  let id = t.next_filter_id in
+  t.next_filter_id <- id + 1;
+  t.chain <- t.chain @ [ (id, f) ];
+  id
+
+let remove_filter t id = t.chain <- List.filter (fun (id', _) -> id' <> id) t.chain
+
+let filter_count t =
+  List.length t.chain + match t.filter with None -> 0 | Some _ -> 1
+
+(* Resolve the whole chain (single slot first, then installation order) into
+   one verdict: the first [Drop] wins and short-circuits, [Delay]s accumulate,
+   and the largest [Duplicate] count wins. *)
+let resolve t ~src ~dst m =
+  let now = Sim.now t.sim in
+  let rec fold extra copies = function
+    | [] -> `Deliver (extra, copies)
+    | f :: rest -> (
+      match f ~now ~src ~dst m with
+      | Drop -> `Drop
+      | Deliver -> fold extra copies rest
+      | Delay d -> fold Stime.(extra + Stdlib.max 0 d) copies rest
+      | Duplicate k -> fold extra (Stdlib.max copies k) rest)
+  in
+  let fs =
+    match t.filter with
+    | None -> List.map snd t.chain
+    | Some f -> f :: List.map snd t.chain
+  in
+  fold 0 1 fs
 
 let set_tracer t f = t.tracer <- Some f
 
@@ -113,31 +153,31 @@ let send t ~src ~dst m =
   Metrics.inc t.m_sent;
   if Journal.live () then Journal.record (Journal.Net_sent { src; dst });
   trace t Send ~src ~dst m;
-  let action =
-    if src = dst then Deliver
-    else
-      match t.filter with
-      | None -> Deliver
-      | Some f -> f ~now:(Sim.now t.sim) ~src ~dst m
+  let verdict =
+    if src = dst then `Deliver (0, 1) else resolve t ~src ~dst m
   in
-  match action with
-  | Drop ->
+  match verdict with
+  | `Drop ->
     t.dropped <- t.dropped + 1;
     Metrics.inc t.m_dropped;
     if Journal.live () then Journal.record (Journal.Net_dropped { src; dst });
     trace t Dropped ~src ~dst m
-  | Deliver | Delay _ ->
-    let extra = match action with Delay d -> Stdlib.max 0 d | _ -> 0 in
-    let latency = if src = dst then 1 else Stime.(base_delay t + extra) in
-    let arrival = Stime.(Sim.now t.sim + Stdlib.max 1 latency) in
-    let arrival =
-      if t.fifo && Stime.compare arrival t.last_arrival.(src).(dst) <= 0 then
-        Stime.(t.last_arrival.(src).(dst) + 1)
-      else arrival
+  | `Deliver (extra, copies) ->
+    let schedule_one () =
+      let latency = if src = dst then 1 else Stime.(base_delay t + extra) in
+      let arrival = Stime.(Sim.now t.sim + Stdlib.max 1 latency) in
+      let arrival =
+        if t.fifo && Stime.compare arrival t.last_arrival.(src).(dst) <= 0 then
+          Stime.(t.last_arrival.(src).(dst) + 1)
+        else arrival
+      in
+      t.last_arrival.(src).(dst) <- arrival;
+      let latency = Stime.(arrival - Sim.now t.sim) in
+      Sim.schedule_at t.sim ~at:arrival (fun () -> deliver t ~src ~dst ~latency m)
     in
-    t.last_arrival.(src).(dst) <- arrival;
-    let latency = Stime.(arrival - Sim.now t.sim) in
-    Sim.schedule_at t.sim ~at:arrival (fun () -> deliver t ~src ~dst ~latency m)
+    for _ = 1 to Stdlib.max 1 copies do
+      schedule_one ()
+    done
 
 let broadcast t ~src ?(include_self = true) m =
   for dst = 0 to t.n - 1 do

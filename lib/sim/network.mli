@@ -7,10 +7,10 @@
       from a wide range, after GST from a narrow bounded one;
     - optional per-link FIFO delivery (the Follower Selection assumption,
       Section VIII);
-    - a {e link filter}: a hook that may drop or further delay any message,
-      used to implement Byzantine omission and timing failures on individual
-      links. Correct-process links never get a filter, preserving
-      reliability.
+    - a {e link-filter chain}: stackable hooks that may drop, further delay,
+      or duplicate any message, used to implement Byzantine omission, timing
+      and duplication failures on individual links. Correct-process links
+      never get a filter, preserving reliability.
 
     All delivery is scheduled on the simulation queue; ties resolve in
     scheduling order, so runs are deterministic. *)
@@ -34,6 +34,9 @@ type action =
   | Deliver  (** Let the message through. *)
   | Drop  (** Omit it (omission failure on this link). *)
   | Delay of Stime.t  (** Add extra latency (timing failure). *)
+  | Duplicate of int
+      (** Deliver this many independent copies (duplication failure); each
+          copy draws its own base delay. Values below 1 behave as 1. *)
 
 type trace_kind = Send | Delivered | Dropped
 
@@ -52,12 +55,43 @@ val set_handler : 'm t -> int -> (src:int -> 'm -> unit) -> unit
 (** Install the receive handler of endpoint [i]. Messages to an endpoint with
     no handler are counted as delivered but discarded. *)
 
-val set_filter :
-  'm t -> (now:Stime.t -> src:int -> dst:int -> 'm -> action) -> unit
-(** Install the (single) link filter. The adversary uses this; install once
-    per scenario. *)
+type 'm filter = now:Stime.t -> src:int -> dst:int -> 'm -> action
+
+type filter_id
+
+(** {2 Filter chain}
+
+    Filters stack: every send (with [src <> dst]) consults the single
+    {!set_filter} slot first (when occupied) and then every {!add_filter}
+    entry in installation order. The verdicts compose as follows:
+
+    - the {e first} [Drop] wins and stops evaluation (later filters are not
+      consulted for that message);
+    - [Delay]s {e accumulate} — the extra latencies of every consulted filter
+      are summed on top of the base delay-model draw;
+    - for [Duplicate], the {e largest} requested copy count wins;
+    - [Deliver] is neutral.
+
+    Self-sends ([src = dst]) never pass through filters. *)
+
+val add_filter : 'm t -> 'm filter -> filter_id
+(** Append a filter to the chain; the returned id removes exactly this
+    filter. Fault injectors install one filter per active fault phase. *)
+
+val remove_filter : 'm t -> filter_id -> unit
+(** Remove a chained filter; unknown ids are ignored. *)
+
+val filter_count : _ t -> int
+(** Active filters (chain plus the single slot when occupied). *)
+
+val set_filter : 'm t -> 'm filter -> unit
+(** Fill the (single) legacy filter slot, replacing its previous occupant but
+    leaving the {!add_filter} chain untouched. The slot is consulted before
+    the chain. Cluster harnesses use this slot for their built-in link
+    faults; composable injectors should prefer {!add_filter}. *)
 
 val clear_filter : 'm t -> unit
+(** Empty the single slot; the {!add_filter} chain is untouched. *)
 
 val set_tracer :
   'm t -> (kind:trace_kind -> now:Stime.t -> src:int -> dst:int -> 'm -> unit) -> unit

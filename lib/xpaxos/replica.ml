@@ -116,14 +116,17 @@ let expect_prepare_slot t ~view ~slot =
      converging first: 3x;
    - a PREPARE for a fresh request and the NEW-VIEW depend on the whole
      view-change round trip: 4-5x.
-   Without this, transient selection skew makes correct processes suspect
-   correct leaders, each suspicion feeds more churn, and — because
-   cancel-on-view-change removes the expectation before the late message
-   can fulfil it — the timeouts never adapt and the churn self-sustains. *)
+   The multiplier applies to the sender's *adapted* timeout, not the
+   initial one: on a network slower than the initial timeout, adaptation
+   (from late arrivals, including those matching expectations already
+   cancelled by a view change) is what eventually stops the suspect /
+   reconfigure / suspect churn, and a non-adapting multi-round deadline
+   would just restart it. *)
 
 let expect_prepare_request t ~view ~request =
-  Detector.expect (fd t) ~from:(leader t) ~tag:"prepare-req"
-    ~timeout:(4 * t.config.initial_timeout)
+  let from = leader t in
+  Detector.expect (fd t) ~from ~tag:"prepare-req"
+    ~timeout:(4 * Detector.current_timeout (fd t) from)
     (fun m ->
       match m.Xmsg.body with
       | Xmsg.Prepare sp ->
@@ -131,12 +134,14 @@ let expect_prepare_request t ~view ~request =
       | _ -> false)
 
 let expect_view_change t ~from ~view =
-  Detector.expect (fd t) ~from ~tag:"view-change" ~timeout:(3 * t.config.initial_timeout)
+  Detector.expect (fd t) ~from ~tag:"view-change"
+    ~timeout:(3 * Detector.current_timeout (fd t) from)
     (fun m ->
       match m.Xmsg.body with Xmsg.View_change { vview; _ } -> vview = view | _ -> false)
 
 let expect_new_view t ~from ~view =
-  Detector.expect (fd t) ~from ~tag:"new-view" ~timeout:(5 * t.config.initial_timeout)
+  Detector.expect (fd t) ~from ~tag:"new-view"
+    ~timeout:(5 * Detector.current_timeout (fd t) from)
     (fun m ->
       match m.Xmsg.body with Xmsg.New_view { nview; _ } -> nview = view | _ -> false)
 

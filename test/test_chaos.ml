@@ -1,237 +1,224 @@
-(* Chaos tests: randomized fault combinations across every protocol stack,
-   checked against the invariants that must survive anything the model
-   allows — prefix consistency of replicated logs, exactly-once execution,
-   eventual commitment, and quorum-selection agreement. *)
+(* Chaos tests, now on the shared fault vocabulary of [Qs_faults]: schedule
+   generation and model classification, injector semantics on a raw network,
+   the campaign runner's determinism and shrinking, and randomized in-model
+   campaigns across every protocol stack with the online invariant monitor
+   attached. *)
 
 module Stime = Qs_sim.Stime
-module Timeout = Qs_fd.Timeout
+module Sim = Qs_sim.Sim
+module Network = Qs_sim.Network
 module Prng = Qs_stdx.Prng
+module Fault = Qs_faults.Fault
+module Injector = Qs_faults.Injector
+module Monitor = Qs_faults.Monitor
+module Campaign = Qs_faults.Campaign
+module Chaos = Qs_harness.Chaos
 
 let ms = Stime.of_ms
 
 let check_bool = Alcotest.(check bool)
 
+let check_int = Alcotest.(check int)
+
 (* ------------------------------------------------------------------ *)
-(* Fault plans: up to f mute processes plus random link omissions and
-   delays originating at those faulty processes (keeping the model's
-   promise that correct-correct links stay reliable and timely). *)
+(* Fault DSL: blame and model classification *)
 
-type plan = {
-  mute : int list;
-  omit : (int * int) list; (* src faulty *)
-  delay : (int * int) list;
-}
-
-let gen_plan rng ~n ~f =
-  let faulty = Prng.sample rng (Prng.int_in rng 0 f) (List.init n Fun.id) in
-  let mute = List.filter (fun _ -> Prng.bool rng) faulty in
-  let links kind =
-    List.concat_map
-      (fun src ->
-        if List.mem src mute then []
-        else
-          List.filter_map
-            (fun dst -> if dst <> src && Prng.chance rng kind then Some (src, dst) else None)
-            (List.init n Fun.id))
-      faulty
+let test_classify () =
+  let n = 7 and f = 2 in
+  let in_model s =
+    match Fault.classify ~n ~f s with Fault.In_model _ -> true | _ -> false
   in
-  { mute; omit = links 0.3; delay = links 0.2 }
+  check_bool "f crashes fit the budget" true
+    (in_model [ Fault.at (Fault.Crash 0); Fault.at (Fault.Crash 1) ]);
+  check_bool "f+1 crashes exceed it" false
+    (in_model
+       [ Fault.at (Fault.Crash 0); Fault.at (Fault.Crash 1); Fault.at (Fault.Crash 2) ]);
+  check_bool "link faults blame the src only" true
+    (in_model
+       [
+         Fault.at (Fault.Omit { src = 3; dst = 0 });
+         Fault.at (Fault.Delay { src = 3; dst = 1; by = ms 50 });
+         Fault.at (Fault.Duplicate { src = 5; dst = 2; copies = 2 });
+       ]);
+  check_bool "small partition side is blamed" true
+    (in_model [ Fault.at (Fault.Partition [ 0; 1 ]) ]);
+  check_bool "large partition side exceeds the budget" false
+    (in_model [ Fault.at (Fault.Partition [ 0; 1; 2 ]) ]);
+  Alcotest.(check (list int))
+    "blame is the union, deduped" [ 1; 3 ]
+    (Fault.blamed ~n
+       [
+         Fault.at (Fault.Crash 3);
+         Fault.at (Fault.Omit { src = 3; dst = 0 });
+         Fault.at (Fault.Omit { src = 1; dst = 3 });
+       ])
 
-let correct_of ~n plan =
-  let faulty = plan.mute @ List.map fst plan.omit @ List.map fst plan.delay in
-  List.filter (fun p -> not (List.mem p faulty)) (List.init n Fun.id)
+let test_validate () =
+  let bad schedule =
+    match Fault.validate ~n:5 schedule with
+    | exception Invalid_argument _ -> true
+    | () -> false
+  in
+  check_bool "process out of range" true (bad [ Fault.at (Fault.Crash 9) ]);
+  check_bool "self link" true (bad [ Fault.at (Fault.Omit { src = 2; dst = 2 }) ]);
+  check_bool "stop before start" true
+    (bad [ Fault.at ~start:(ms 100) ~stop:(ms 50) (Fault.Crash 0) ]);
+  check_bool "well-formed accepted" false
+    (bad [ Fault.at ~start:(ms 50) ~stop:(ms 100) (Fault.Crash 0) ])
+
+let prop_gen_respects_budget =
+  QCheck.Test.make ~name:"gen stays in-model; gen_wild does not" ~count:200
+    QCheck.(int_range 1 1_000_000)
+    (fun seed ->
+      let n = 7 and f = 2 in
+      let profile = Fault.default_profile ~horizon:(ms 5_000) in
+      let rng = Prng.of_int seed in
+      let s = Fault.gen rng ~n ~f ~profile () in
+      Fault.validate ~n s;
+      let rng = Prng.of_int seed in
+      let w = Fault.gen_wild rng ~n ~f ~profile () in
+      Fault.validate ~n w;
+      (match Fault.classify ~n ~f s with Fault.In_model _ -> true | _ -> false)
+      && match Fault.classify ~n ~f w with Fault.Out_of_model _ -> true | _ -> false)
 
 (* ------------------------------------------------------------------ *)
-(* XPaxos under chaos *)
+(* Injector: phases compile onto the filter chain at their virtual times *)
 
-let xpaxos_chaos ~seed ~mode =
-  let n = 5 and f = 2 in
-  let rng = Prng.of_int seed in
-  let plan = gen_plan rng ~n ~f in
-  let config =
+let test_injector_windows () =
+  let sim = Sim.create () in
+  let net = Network.create ~sim ~n:3 ~delay:(Network.Fixed 1) () in
+  let got = ref [] in
+  Network.set_handler net 1 (fun ~src:_ m -> got := m :: !got);
+  ignore
+    (Injector.install ~net
+       [ Fault.at ~start:50 ~stop:100 (Fault.Omit { src = 0; dst = 1 }) ]);
+  List.iter
+    (fun t -> Sim.schedule_at sim ~at:t (fun () -> Network.send net ~src:0 ~dst:1 t))
+    [ 20; 70; 120 ];
+  Sim.run sim;
+  Alcotest.(check (list int)) "only the in-window send is dropped" [ 20; 120 ]
+    (List.sort compare !got);
+  check_int "filter chain drained after stop" 0 (Network.filter_count net)
+
+let test_injector_crash_without_mute_hook () =
+  (* No [set_mute] hook: a crash degrades to dropping everything the
+     process sends. *)
+  let sim = Sim.create () in
+  let net = Network.create ~sim ~n:3 ~delay:(Network.Fixed 1) () in
+  let got = ref 0 in
+  Network.set_handler net 2 (fun ~src:_ _ -> incr got);
+  ignore (Injector.install ~net [ Fault.at ~start:10 (Fault.Crash 0) ]);
+  Sim.schedule_at sim ~at:20 (fun () -> Network.send net ~src:0 ~dst:2 "dead");
+  Sim.schedule_at sim ~at:20 (fun () -> Network.send net ~src:1 ~dst:2 "alive");
+  Sim.run sim;
+  check_int "only the live process gets through" 1 !got
+
+let test_injector_partition () =
+  let sim = Sim.create () in
+  let net = Network.create ~sim ~n:4 ~delay:(Network.Fixed 1) () in
+  let delivered = ref [] in
+  for p = 0 to 3 do
+    Network.set_handler net p (fun ~src m -> delivered := (src, m) :: !delivered)
+  done;
+  ignore (Injector.install ~net [ Fault.at (Fault.Partition [ 0; 1 ]) ]);
+  Sim.schedule_at sim ~at:10 (fun () ->
+      Network.send net ~src:0 ~dst:1 1;  (* same side: delivered *)
+      Network.send net ~src:0 ~dst:2 2;  (* across: dropped *)
+      Network.send net ~src:3 ~dst:1 3;  (* across: dropped *)
+      Network.send net ~src:2 ~dst:3 4 (* same side: delivered *));
+  Sim.run sim;
+  Alcotest.(check (list int))
+    "only same-side messages cross" [ 1; 4 ]
+    (List.sort compare (List.map snd !delivered))
+
+(* ------------------------------------------------------------------ *)
+(* Campaign: determinism and shrinking *)
+
+let test_campaign_deterministic () =
+  let params = { (Chaos.default_params Chaos.Xpaxos_qs) with Chaos.horizon = ms 3_000 } in
+  let go () = Chaos.campaign Chaos.Xpaxos_qs ~params ~runs:3 ~seed:4242 () in
+  let a = go () and b = go () in
+  check_bool "same seed, same schedules" true
+    (List.map (fun r -> r.Campaign.schedule) a.Campaign.runs
+    = List.map (fun r -> r.Campaign.schedule) b.Campaign.runs);
+  check_bool "same seed, same outcomes" true
+    (List.map (fun r -> r.Campaign.outcome) a.Campaign.runs
+    = List.map (fun r -> r.Campaign.outcome) b.Campaign.runs)
+
+let test_campaign_shrinks_to_marker () =
+  (* Synthetic executor failing iff the schedule crashes p1: the campaign
+     must stop at the first failure and shrink it to just that phase. *)
+  let gen _rng =
+    [ Fault.at (Fault.Crash 0); Fault.at (Fault.Crash 1); Fault.at (Fault.Crash 2) ]
+  in
+  let execute ~seed:_ ~model:_ schedule =
+    let bad = List.exists (fun ph -> ph.Fault.what = Fault.Crash 1) schedule in
     {
-      Qs_xpaxos.Replica.n;
-      f;
-      mode;
-      initial_timeout = ms 25;
-      timeout_strategy = Timeout.Exponential { factor = 2.0; max = ms 2000 };
+      Campaign.violations =
+        (if bad then [ { Monitor.at = 0.; check = "marker"; detail = "crash p1" } ] else []);
+      liveness = [];
+      committed = 0;
+      submitted = 0;
+      checks = 1;
     }
   in
-  let c = Qs_xpaxos.Xcluster.create ~seed:(Int64.of_int seed) config in
-  List.iter (fun p -> Qs_xpaxos.Xcluster.set_fault c p Qs_xpaxos.Replica.Mute) plan.mute;
-  List.iter (fun (s, d) -> Qs_xpaxos.Xcluster.omit_link c ~src:s ~dst:d) plan.omit;
-  List.iter (fun (s, d) -> Qs_xpaxos.Xcluster.delay_link c ~src:s ~dst:d ~by:(ms 120)) plan.delay;
-  let requests =
-    List.init 4 (fun i ->
-        Qs_xpaxos.Xcluster.submit c ~resubmit_every:(ms 150) (Printf.sprintf "op%d" i))
+  let report =
+    Campaign.run ~seed:7 ~runs:5 ~gen ~classify:(Fault.classify ~n:5 ~f:3) ~execute ()
   in
-  Qs_xpaxos.Xcluster.run ~until:(ms 10_000) c;
-  let correct = correct_of ~n plan in
-  let consistent = Qs_xpaxos.Xcluster.consistent c ~correct in
-  let all_committed =
-    List.for_all (Qs_xpaxos.Xcluster.is_globally_committed c) requests
-  in
-  (consistent, all_committed)
-
-let prop_xpaxos_enum_chaos =
-  QCheck.Test.make ~name:"xpaxos/enumeration: consistency + liveness under chaos" ~count:20
-    QCheck.(int_range 1 100000)
-    (fun seed ->
-      let consistent, committed = xpaxos_chaos ~seed ~mode:Qs_xpaxos.Replica.Enumeration in
-      consistent && committed)
-
-let prop_xpaxos_qs_chaos =
-  QCheck.Test.make ~name:"xpaxos/quorum-selection: consistency + liveness under chaos"
-    ~count:20
-    QCheck.(int_range 1 100000)
-    (fun seed ->
-      let consistent, committed = xpaxos_chaos ~seed ~mode:Qs_xpaxos.Replica.Quorum_selection in
-      consistent && committed)
+  check_bool "campaign failed" false (Campaign.ok report);
+  check_int "stopped at the first failure" 1 (List.length report.Campaign.runs);
+  (match report.Campaign.minimal with
+   | None -> Alcotest.fail "no minimal reproduction"
+   | Some m ->
+     check_int "shrunk to a single phase" 1 (List.length m.Campaign.schedule);
+     check_bool "and it is the marker" true
+       (List.exists (fun ph -> ph.Fault.what = Fault.Crash 1) m.Campaign.schedule));
+  check_bool "shrinking re-executed variants" true (report.Campaign.shrink_steps > 0)
 
 (* ------------------------------------------------------------------ *)
-(* PBFT under chaos *)
+(* Protocol stacks under generated in-model schedules, monitored online *)
 
-let prop_pbft_selected_chaos =
-  QCheck.Test.make ~name:"pbft/selected: consistency + liveness under chaos" ~count:15
-    QCheck.(int_range 1 100000)
-    (fun seed ->
-      let n = 7 and f = 2 in
-      let rng = Prng.of_int seed in
-      let plan = gen_plan rng ~n ~f in
-      let config =
-        {
-          Qs_pbft.Preplica.n;
-          f;
-          participation = Qs_pbft.Preplica.Selected;
-          initial_timeout = ms 25;
-          timeout_strategy = Timeout.Exponential { factor = 2.0; max = ms 2000 };
-        }
-      in
-      let c = Qs_pbft.Pcluster.create ~seed:(Int64.of_int seed) config in
-      List.iter (fun p -> Qs_pbft.Pcluster.set_fault c p Qs_pbft.Preplica.Mute) plan.mute;
-      List.iter
-        (fun (s, d) -> Qs_pbft.Pcluster.set_fault c s (Qs_pbft.Preplica.Omit_to [ d ]))
-        plan.omit;
-      let requests =
-        List.init 3 (fun i ->
-            Qs_pbft.Pcluster.submit c ~resubmit_every:(ms 150) (Printf.sprintf "op%d" i))
-      in
-      Qs_pbft.Pcluster.run ~until:(ms 12_000) c;
-      let correct = correct_of ~n { plan with delay = [] } in
-      Qs_pbft.Pcluster.consistent c ~correct
-      && List.for_all (Qs_pbft.Pcluster.is_globally_committed c) requests)
+let exec_ok stack seed =
+  let params = { (Chaos.default_params stack) with Chaos.horizon = ms 4_000 } in
+  let rng = Prng.of_int seed in
+  let profile = Fault.default_profile ~horizon:params.Chaos.horizon in
+  let schedule = Fault.gen rng ~n:params.Chaos.n ~f:params.Chaos.f ~profile () in
+  let model = Fault.classify ~n:params.Chaos.n ~f:params.Chaos.f schedule in
+  let o = Chaos.execute stack ~params ~seed ~model schedule in
+  if Campaign.failed o then begin
+    List.iter
+      (fun v -> Printf.eprintf "violation: %s\n%!" (Monitor.violation_to_string v))
+      o.Campaign.violations;
+    List.iter (fun l -> Printf.eprintf "liveness: %s\n%!" l) o.Campaign.liveness
+  end;
+  (not (Campaign.failed o)) && o.Campaign.checks > 0
+
+let stack_prop stack count =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "%s: monitored in-model chaos" (Chaos.name stack))
+    ~count
+    QCheck.(int_range 1 100_000)
+    (exec_ok stack)
 
 (* ------------------------------------------------------------------ *)
-(* Chain and star: exactly-once + recovery *)
-
-let prop_chain_chaos =
-  QCheck.Test.make ~name:"chain: exactly-once + recovery under chaos" ~count:15
-    QCheck.(int_range 1 100000)
-    (fun seed ->
-      let n = 7 and f = 2 in
-      let rng = Prng.of_int seed in
-      let plan = gen_plan rng ~n ~f in
-      let config =
-        {
-          Qs_bchain.Chain_node.n;
-          f;
-          initial_timeout = ms 25;
-          timeout_strategy = Timeout.Exponential { factor = 2.0; max = ms 2000 };
-        }
-      in
-      let c = Qs_bchain.Chain_cluster.create ~seed:(Int64.of_int seed) config in
-      List.iter
-        (fun p -> Qs_bchain.Chain_cluster.set_fault c p Qs_bchain.Chain_node.Mute)
-        plan.mute;
-      List.iter
-        (fun (s, d) ->
-          Qs_bchain.Chain_cluster.set_fault c s (Qs_bchain.Chain_node.Omit_to [ d ]))
-        plan.omit;
-      let requests =
-        List.init 3 (fun i ->
-            Qs_bchain.Chain_cluster.submit c ~resubmit_every:(ms 120) (Printf.sprintf "op%d" i))
-      in
-      Qs_bchain.Chain_cluster.run ~until:(ms 12_000) c;
-      let committed = List.for_all (Qs_bchain.Chain_cluster.is_committed c) requests in
-      let exactly_once =
-        List.for_all
-          (fun p ->
-            let ids =
-              List.map
-                (fun r -> (r.Qs_bchain.Chain_msg.client, r.Qs_bchain.Chain_msg.rid))
-                (Qs_bchain.Chain_node.executed (Qs_bchain.Chain_cluster.node c p))
-            in
-            List.length ids = List.length (List.sort_uniq compare ids))
-          (List.init n Fun.id)
-      in
-      committed && exactly_once)
-
-let prop_star_chaos =
-  QCheck.Test.make ~name:"star: exactly-once + recovery under chaos" ~count:15
-    QCheck.(int_range 1 100000)
-    (fun seed ->
-      let n = 7 and f = 2 in
-      let rng = Prng.of_int seed in
-      let plan = gen_plan rng ~n ~f in
-      let config =
-        {
-          Qs_star.Star_node.n;
-          f;
-          initial_timeout = ms 25;
-          timeout_strategy = Timeout.Exponential { factor = 2.0; max = ms 2000 };
-        }
-      in
-      let c = Qs_star.Star_cluster.create ~seed:(Int64.of_int seed) config in
-      List.iter (fun p -> Qs_star.Star_cluster.set_fault c p Qs_star.Star_node.Mute) plan.mute;
-      List.iter
-        (fun (s, d) -> Qs_star.Star_cluster.set_fault c s (Qs_star.Star_node.Omit_to [ d ]))
-        plan.omit;
-      let requests =
-        List.init 3 (fun i ->
-            Qs_star.Star_cluster.submit c ~resubmit_every:(ms 120) (Printf.sprintf "op%d" i))
-      in
-      Qs_star.Star_cluster.run ~until:(ms 12_000) c;
-      List.for_all (Qs_star.Star_cluster.is_committed c) requests)
-
-let prop_minbft_chaos =
-  QCheck.Test.make ~name:"minbft/selected: liveness under chaos" ~count:15
-    QCheck.(int_range 1 100000)
-    (fun seed ->
-      let f = 2 in
-      let n = (2 * f) + 1 in
-      let rng = Prng.of_int seed in
-      let plan = gen_plan rng ~n ~f in
-      let config =
-        {
-          Qs_minbft.Mreplica.n;
-          f;
-          participation = Qs_minbft.Mreplica.Selected;
-          initial_timeout = ms 25;
-          timeout_strategy = Timeout.Exponential { factor = 2.0; max = ms 2000 };
-        }
-      in
-      let c = Qs_minbft.Mcluster.create ~seed:(Int64.of_int seed) config in
-      List.iter (fun p -> Qs_minbft.Mcluster.set_fault c p Qs_minbft.Mreplica.Mute) plan.mute;
-      List.iter
-        (fun (s, d) -> Qs_minbft.Mcluster.set_fault c s (Qs_minbft.Mreplica.Omit_to [ d ]))
-        plan.omit;
-      let requests =
-        List.init 3 (fun i ->
-            Qs_minbft.Mcluster.submit c ~resubmit_every:(ms 120) (Printf.sprintf "op%d" i))
-      in
-      Qs_minbft.Mcluster.run ~until:(ms 12_000) c;
-      List.for_all (Qs_minbft.Mcluster.is_committed c) requests)
-
-(* ------------------------------------------------------------------ *)
-(* Heartbeat stack: agreement whatever the (bounded) fault mix *)
+(* Heartbeat stack: agreement whatever the (bounded) fault mix, with the
+   plan drawn from the same schedule generator. *)
 
 let prop_heartbeat_chaos =
   QCheck.Test.make ~name:"heartbeat stack: agreement under chaos" ~count:15
     QCheck.(int_range 1 100000)
     (fun seed ->
       let n = 7 and f = 2 in
-      let rng = Prng.of_int seed in
-      let plan = gen_plan rng ~n ~f in
+      (* The heartbeat harness injects permanent crashes and omissions
+         directly, so draw a schedule without timing faults. *)
+      let profile =
+        { (Fault.default_profile ~horizon:(ms 6_000)) with
+          Fault.p_delay = 0.;
+          p_duplicate = 0.;
+          p_recover = 0.;
+        }
+      in
+      let schedule = Fault.gen (Prng.of_int seed) ~n ~f ~profile () in
       let t =
         Qs_harness.Heartbeat.create ~seed:(Int64.of_int seed)
           {
@@ -239,39 +226,64 @@ let prop_heartbeat_chaos =
             f;
             heartbeat_period = ms 50;
             initial_timeout = ms 120;
-            timeout_strategy = Timeout.Exponential { factor = 2.0; max = ms 2000 };
+            timeout_strategy = Qs_fd.Timeout.Exponential { factor = 2.0; max = ms 2000 };
           }
       in
-      List.iter (fun p -> Qs_harness.Heartbeat.crash t p (ms 300)) plan.mute;
       List.iter
-        (fun (s, d) -> Qs_harness.Heartbeat.omit_link t ~src:s ~dst:d ~from:(ms 300))
-        plan.omit;
+        (fun ph ->
+          let from = Stdlib.max ph.Fault.start (ms 300) in
+          match ph.Fault.what with
+          | Fault.Crash p -> Qs_harness.Heartbeat.crash t p from
+          | Fault.Omit { src; dst } -> Qs_harness.Heartbeat.omit_link t ~src ~dst ~from
+          | _ -> ())
+        schedule;
       Qs_harness.Heartbeat.run ~until:(ms 6000) t;
-      let correct = correct_of ~n { plan with delay = [] } in
+      let blamed = Fault.blamed ~n schedule in
+      let correct = List.filter (fun p -> not (List.mem p blamed)) (List.init n Fun.id) in
       Qs_harness.Heartbeat.agreed_quorum t ~correct <> None
       && Qs_harness.Heartbeat.matrices_agree t ~correct)
 
-(* One deterministic smoke case so failures reproduce trivially. *)
-let test_known_mixed_scenario () =
-  let consistent, committed = xpaxos_chaos ~seed:4242 ~mode:Qs_xpaxos.Replica.Quorum_selection in
-  check_bool "consistent" true consistent;
-  check_bool "committed" true committed
+(* One deterministic smoke case per stack so failures reproduce trivially. *)
+let test_known_seed_all_stacks () =
+  List.iter
+    (fun stack ->
+      check_bool (Chaos.name stack ^ " @ seed 4242") true (exec_ok stack 4242))
+    Chaos.all
 
 let qsuite =
   List.map QCheck_alcotest.to_alcotest
     [
-      prop_xpaxos_enum_chaos;
-      prop_xpaxos_qs_chaos;
-      prop_pbft_selected_chaos;
-      prop_chain_chaos;
-      prop_star_chaos;
-      prop_minbft_chaos;
+      prop_gen_respects_budget;
+      stack_prop Chaos.Xpaxos_enum 15;
+      stack_prop Chaos.Xpaxos_qs 15;
+      stack_prop Chaos.Pbft 10;
+      stack_prop Chaos.Minbft 10;
+      stack_prop Chaos.Chain 10;
+      stack_prop Chaos.Star 10;
       prop_heartbeat_chaos;
     ]
 
 let () =
   Alcotest.run "chaos"
     [
-      ("smoke", [ Alcotest.test_case "known mixed scenario" `Quick test_known_mixed_scenario ]);
+      ( "faults",
+        [
+          Alcotest.test_case "classification" `Quick test_classify;
+          Alcotest.test_case "validation" `Quick test_validate;
+        ] );
+      ( "injector",
+        [
+          Alcotest.test_case "phase windows" `Quick test_injector_windows;
+          Alcotest.test_case "crash without mute hook" `Quick
+            test_injector_crash_without_mute_hook;
+          Alcotest.test_case "partition" `Quick test_injector_partition;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "deterministic replay" `Quick test_campaign_deterministic;
+          Alcotest.test_case "shrinks to marker" `Quick test_campaign_shrinks_to_marker;
+        ] );
+      ( "smoke",
+        [ Alcotest.test_case "known seed, all stacks" `Quick test_known_seed_all_stacks ] );
       ("properties", qsuite);
     ]

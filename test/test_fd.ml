@@ -268,7 +268,42 @@ let test_timeout_additive () =
 
 let test_timeout_validation () =
   Alcotest.check_raises "zero initial" (Invalid_argument "Timeout.create: initial must be positive")
-    (fun () -> ignore (Timeout.create ~n:1 ~initial:0 Timeout.Fixed))
+    (fun () -> ignore (Timeout.create ~n:1 ~initial:0 Timeout.Fixed));
+  Alcotest.check_raises "exponential factor 1.0 cannot adapt"
+    (Invalid_argument "Timeout.create: Exponential factor must exceed 1.0") (fun () ->
+      ignore (Timeout.create ~n:1 ~initial:100 (Timeout.Exponential { factor = 1.0; max = 200 })));
+  Alcotest.check_raises "exponential cap below initial"
+    (Invalid_argument "Timeout.create: Exponential max must be >= initial") (fun () ->
+      ignore (Timeout.create ~n:1 ~initial:100 (Timeout.Exponential { factor = 2.0; max = 50 })));
+  Alcotest.check_raises "additive zero step cannot adapt"
+    (Invalid_argument "Timeout.create: Additive step must be positive") (fun () ->
+      ignore (Timeout.create ~n:1 ~initial:100 (Timeout.Additive { step = 0; max = 200 })));
+  Alcotest.check_raises "additive cap below initial"
+    (Invalid_argument "Timeout.create: Additive max must be >= initial") (fun () ->
+      ignore (Timeout.create ~n:1 ~initial:100 (Timeout.Additive { step = 10; max = 99 })))
+
+(* A late message arriving after its expectation was cancelled (the
+   view-change pattern) must still adapt the timeout: the suspicion it
+   proves false already fed a reconfiguration, and without the adaptation
+   the next view repeats it forever. *)
+let test_stale_cancelled_expectation_still_adapts () =
+  let sim = Sim.create () in
+  let timeouts = Timeout.create ~n:2 ~initial:50 (Timeout.Exponential { factor = 2.0; max = 1000 }) in
+  let fd =
+    Detector.create ~sim ~me:0 ~n:2 ~timeouts
+      ~deliver:(fun ~src:_ _ -> ())
+      ~on_suspected:(fun _ -> ())
+      ()
+  in
+  Detector.expect fd ~from:1 (fun m -> m = "late");
+  (* Deadline passes at 50, the resulting suspicion triggers a cancel (as a
+     view change would), and the expected message arrives at 80. *)
+  Sim.schedule sim ~delay:60 (fun () -> Detector.cancel_all fd);
+  Sim.schedule sim ~delay:80 (fun () -> Detector.receive fd ~src:1 "late");
+  Sim.run sim;
+  check_int "timeout adapted from the stale match" 100 (Timeout.current timeouts 1);
+  check_int "counted as a false suspicion" 1 (Detector.false_suspicions fd);
+  check_bool "suspicion itself stays cleared" false (Detector.is_suspected fd 1)
 
 (* ------------------------------------------------------------------ *)
 (* Properties *)
@@ -345,6 +380,8 @@ let () =
           Alcotest.test_case "per-peer timeout isolation" `Quick test_per_peer_timeouts_independent;
           Alcotest.test_case "cancel does not inflate false count" `Quick
             test_false_suspicion_counter_not_inflated_by_cancel;
+          Alcotest.test_case "stale cancelled expectation adapts" `Quick
+            test_stale_cancelled_expectation_still_adapts;
         ] );
       ( "accuracy",
         [

@@ -41,6 +41,24 @@ let test_e11 () = assert_all_ok (Experiments.e11 ())
 
 let test_e12 () = assert_all_ok (Experiments.e12 ())
 
+(* E12's mute-and-probe script under each timeout strategy, on links slower
+   than the initial timeout. A non-adapting detector false-suspects on every
+   expectation, so the membership never stabilizes and the probe cannot
+   commit; both adaptive strategies grow past the real delay and recover. *)
+let test_e12_strategies () =
+  let ms = Qs_sim.Stime.of_ms in
+  let run strategy =
+    Qs_harness.E_recovery.xpaxos_recovery
+      ~delay:(Qs_sim.Network.Fixed (ms 40))
+      ~initial:(ms 25) strategy
+  in
+  check_bool "Fixed below the link delay never recovers" true
+    (run Qs_fd.Timeout.Fixed = None);
+  check_bool "Exponential recovers" true
+    (run (Qs_fd.Timeout.Exponential { factor = 2.0; max = ms 2000 }) <> None);
+  check_bool "Additive recovers" true
+    (run (Qs_fd.Timeout.Additive { step = ms 5; max = ms 2000 }) <> None)
+
 (* ------------------------------------------------------------------ *)
 (* Heartbeat stack *)
 
@@ -228,6 +246,7 @@ let () =
           Alcotest.test_case "E10 stack verdicts" `Quick test_e10;
           Alcotest.test_case "E11 star verdicts" `Quick test_e11;
           Alcotest.test_case "E12 recovery verdicts" `Quick test_e12;
+          Alcotest.test_case "E12 strategy ablation" `Quick test_e12_strategies;
           Alcotest.test_case "E2 table shape" `Quick test_e2_table_shape;
         ] );
       ( "heartbeat",

@@ -205,6 +205,85 @@ let test_net_clear_filter () =
   Sim.run sim;
   check_int "filter removed" 1 !got
 
+(* ------------------------------------------------------------------ *)
+(* Filter chain (the fault-injection substrate) *)
+
+let test_net_chain_add_remove () =
+  let sim, net = make_net () in
+  let got = ref 0 in
+  Network.set_handler net 1 (fun ~src:_ _ -> incr got);
+  let id = Network.add_filter net (fun ~now:_ ~src:_ ~dst:_ _ -> Network.Drop) in
+  check_int "one chained filter" 1 (Network.filter_count net);
+  Network.send net ~src:0 ~dst:1 "a";
+  Sim.run sim;
+  check_int "dropped by chained filter" 0 !got;
+  Network.remove_filter net id;
+  check_int "chain empty again" 0 (Network.filter_count net);
+  Network.send net ~src:0 ~dst:1 "b";
+  Sim.run sim;
+  check_int "delivers after removal" 1 !got
+
+let test_net_chain_first_drop_wins () =
+  let sim, net = make_net () in
+  let got = ref 0 in
+  let late_consulted = ref false in
+  Network.set_handler net 1 (fun ~src:_ _ -> incr got);
+  ignore (Network.add_filter net (fun ~now:_ ~src:_ ~dst:_ _ -> Network.Drop));
+  ignore
+    (Network.add_filter net (fun ~now:_ ~src:_ ~dst:_ _ ->
+         late_consulted := true;
+         Network.Deliver));
+  Network.send net ~src:0 ~dst:1 "m";
+  Sim.run sim;
+  check_int "dropped" 0 !got;
+  check_bool "drop short-circuits the rest of the chain" false !late_consulted
+
+let test_net_chain_delays_accumulate () =
+  let sim, net = make_net () in
+  let at = ref 0 in
+  Network.set_handler net 1 (fun ~src:_ _ -> at := Sim.now sim);
+  ignore (Network.add_filter net (fun ~now:_ ~src:_ ~dst:_ _ -> Network.Delay 40));
+  ignore (Network.add_filter net (fun ~now:_ ~src:_ ~dst:_ _ -> Network.Delay 25));
+  Network.send net ~src:0 ~dst:1 "slow";
+  Sim.run sim;
+  check_int "base 10 + 40 + 25" 75 !at
+
+let test_net_chain_duplicate () =
+  let sim, net = make_net () in
+  let got = ref 0 in
+  Network.set_handler net 1 (fun ~src:_ _ -> incr got);
+  ignore (Network.add_filter net (fun ~now:_ ~src:_ ~dst:_ _ -> Network.Duplicate 3));
+  ignore (Network.add_filter net (fun ~now:_ ~src:_ ~dst:_ _ -> Network.Duplicate 2));
+  Network.send net ~src:0 ~dst:1 "m";
+  Sim.run sim;
+  check_int "largest duplication wins" 3 !got
+
+let test_net_chain_composes_with_set_filter () =
+  (* The legacy single slot is consulted first and composes with the chain:
+     its Delay adds up with chained Delays, and its Drop wins outright. *)
+  let sim, net = make_net () in
+  let at = ref 0 in
+  Network.set_handler net 1 (fun ~src:_ _ -> at := Sim.now sim);
+  Network.set_filter net (fun ~now:_ ~src:_ ~dst:_ _ -> Network.Delay 30);
+  ignore (Network.add_filter net (fun ~now:_ ~src:_ ~dst:_ _ -> Network.Delay 20));
+  Network.send net ~src:0 ~dst:1 "m";
+  Sim.run sim;
+  check_int "slot and chain delays accumulate" 60 !at;
+  Network.set_filter net (fun ~now:_ ~src:_ ~dst:_ _ -> Network.Drop);
+  at := -1;
+  Network.send net ~src:0 ~dst:1 "m";
+  Sim.run sim;
+  check_int "slot drop beats chain" (-1) !at
+
+let test_net_chain_self_send_bypasses () =
+  let sim, net = make_net () in
+  let got = ref 0 in
+  Network.set_handler net 0 (fun ~src:_ _ -> incr got);
+  ignore (Network.add_filter net (fun ~now:_ ~src:_ ~dst:_ _ -> Network.Drop));
+  Network.send net ~src:0 ~dst:0 "self";
+  Sim.run sim;
+  check_int "self delivery ignores filters" 1 !got
+
 let test_net_eventually_synchronous () =
   let sim = Sim.create ~seed:3L () in
   let net =
@@ -342,6 +421,13 @@ let () =
           Alcotest.test_case "filter drop" `Quick test_net_filter_drop;
           Alcotest.test_case "filter delay" `Quick test_net_filter_delay;
           Alcotest.test_case "clear filter" `Quick test_net_clear_filter;
+          Alcotest.test_case "chain add/remove" `Quick test_net_chain_add_remove;
+          Alcotest.test_case "chain first drop wins" `Quick test_net_chain_first_drop_wins;
+          Alcotest.test_case "chain delays accumulate" `Quick test_net_chain_delays_accumulate;
+          Alcotest.test_case "chain duplicate" `Quick test_net_chain_duplicate;
+          Alcotest.test_case "chain composes with slot" `Quick
+            test_net_chain_composes_with_set_filter;
+          Alcotest.test_case "chain self-send bypass" `Quick test_net_chain_self_send_bypasses;
           Alcotest.test_case "eventual synchrony" `Quick test_net_eventually_synchronous;
           Alcotest.test_case "counters" `Quick test_net_counters;
           Alcotest.test_case "unhandled endpoint" `Quick test_net_unhandled_endpoint_ok;
