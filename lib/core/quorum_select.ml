@@ -7,6 +7,13 @@ type config = { n : int; f : int }
 
 let q c = c.n - c.f
 
+(* Test-only mutation hook: when set, updateQuorum looks for an independent
+   set one vertex short of q, issuing undersized quorums. The model checker's
+   seeded-bug smoke test flips this to prove the |Q| = n - f property can
+   actually fail and be caught, counterexample-shrunk and pinned. Never set
+   outside tests. *)
+let test_buggy_quorum_size = ref false
+
 let validate_config c =
   if c.f < 0 then invalid_arg "Quorum_select: f must be non-negative";
   if c.n - c.f <= c.f then invalid_arg "Quorum_select: need n - f > f (correct majority)"
@@ -112,7 +119,8 @@ let handle_suspected t s = ignore (update_suspicions t s)
    iteration raises the epoch and strictly shrinks the suspect graph. *)
 let rec update_quorum t =
   let g = Suspicion_matrix.suspect_graph t.matrix ~epoch:t.epoch in
-  match Indep.lex_first_independent_set g (q t.config) with
+  let target = q t.config - if !test_buggy_quorum_size then 1 else 0 in
+  match Indep.lex_first_independent_set g target with
   | None ->
     (* Suspicions in the current epoch are inconsistent: age them out. *)
     t.epoch <- t.epoch + 1;
@@ -182,3 +190,52 @@ let suspecting t = t.suspecting
 let rejected_updates t = t.rejected
 
 let suspect_graph t = Suspicion_matrix.suspect_graph t.matrix ~epoch:t.epoch
+
+(* ------------------------------------------------------------------ *)
+(* Model-checker hooks *)
+
+(* Everything the algorithm's future behavior (and the bound property)
+   depends on. The issued-in-epoch counters are included deliberately: two
+   states identical up to them could still diverge on whether a later quorum
+   overshoots Theorem 3, so merging them would be unsound for that check. *)
+let fingerprint t =
+  Format.asprintf "%d|%a|%s|%s|%d|%d" t.epoch Suspicion_matrix.pp t.matrix
+    (String.concat "," (List.map string_of_int t.last_quorum))
+    (String.concat "," (List.map string_of_int t.suspecting))
+    t.issued_in_epoch t.max_issued_in_epoch
+
+type snapshot = {
+  s_matrix : Suspicion_matrix.t;
+  s_epoch : int;
+  s_suspecting : Pid.t list;
+  s_last_quorum : Pid.t list;
+  s_history : Pid.t list list;
+  s_epochs_entered : int;
+  s_rejected : int;
+  s_issued_in_epoch : int;
+  s_max_issued_in_epoch : int;
+}
+
+let snapshot t =
+  {
+    s_matrix = Suspicion_matrix.copy t.matrix;
+    s_epoch = t.epoch;
+    s_suspecting = t.suspecting;
+    s_last_quorum = t.last_quorum;
+    s_history = t.history;
+    s_epochs_entered = t.epochs_entered;
+    s_rejected = t.rejected;
+    s_issued_in_epoch = t.issued_in_epoch;
+    s_max_issued_in_epoch = t.max_issued_in_epoch;
+  }
+
+let restore t s =
+  Suspicion_matrix.blit ~src:s.s_matrix ~dst:t.matrix;
+  t.epoch <- s.s_epoch;
+  t.suspecting <- s.s_suspecting;
+  t.last_quorum <- s.s_last_quorum;
+  t.history <- s.s_history;
+  t.epochs_entered <- s.s_epochs_entered;
+  t.rejected <- s.s_rejected;
+  t.issued_in_epoch <- s.s_issued_in_epoch;
+  t.max_issued_in_epoch <- s.s_max_issued_in_epoch

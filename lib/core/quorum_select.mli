@@ -82,3 +82,26 @@ val rejected_updates : t -> int
 
 val suspect_graph : t -> Qs_graph.Graph.t
 (** The graph [G_i] for the current epoch (for inspection). *)
+
+(** {2 Model-checker hooks} *)
+
+val fingerprint : t -> string
+(** Canonical encoding of the instance's algorithm-visible state — epoch,
+    matrix, last quorum, current suspicions and the per-epoch issue counters
+    (the latter so states differing only in proximity to the Theorem-3 bound
+    are never merged). Callbacks and metrics handles are excluded. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+(** Deep copy of the mutable state; O(n²). *)
+
+val restore : t -> snapshot -> unit
+(** Roll the instance back to a snapshot. The metrics registry is global and
+    is {e not} rolled back — model checkers reset it per run instead. *)
+
+val test_buggy_quorum_size : bool ref
+(** Test-only fault seed: when set, updateQuorum targets an independent set
+    of size [q - 1], issuing undersized quorums. Exists so the model
+    checker's detection pipeline (find → shrink → pin regression) can be
+    exercised against a known bug. Leave [false] outside tests. *)

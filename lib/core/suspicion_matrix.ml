@@ -40,6 +40,12 @@ let merge_row t ~owner incoming =
   done;
   !changed
 
+let blit ~src ~dst =
+  if src.size <> dst.size then invalid_arg "Suspicion_matrix.blit: size mismatch";
+  for l = 0 to src.size - 1 do
+    Array.blit src.cells.(l) 0 dst.cells.(l) 0 src.size
+  done
+
 let merge t other =
   if t.size <> other.size then invalid_arg "Suspicion_matrix.merge: size mismatch";
   let changed = ref false in

@@ -33,6 +33,11 @@ val merge_row : t -> owner:int -> int array -> bool
 val merge : t -> t -> bool
 (** Whole-matrix max-merge; [true] iff the target changed. *)
 
+val blit : src:t -> dst:t -> unit
+(** Overwrite [dst] with [src]'s cells (same size required) — {e not} a
+    merge: cells may go down. Restoring a model-checker snapshot is the one
+    place this is legitimate. *)
+
 val suspect_graph : t -> epoch:int -> Qs_graph.Graph.t
 (** Edge [(l,k)] iff [l] suspected [k] or [k] suspected [l] in [epoch] or
     later (Section VI-B). *)

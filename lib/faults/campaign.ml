@@ -29,28 +29,43 @@ type report = {
 
 let ok report = report.first_failure = None
 
-(* Greedy shrinking: repeatedly try every one-phase-removed variant of the
-   failing schedule, re-executing with the same run seed; keep the first
-   variant that still fails and recurse. The result is locally minimal —
-   removing any single remaining phase makes the failure disappear. *)
-let shrink ~classify ~execute ~run_seed schedule outcome =
+(* Greedy shrinking, generic in the thing being shrunk: repeatedly try each
+   candidate reduction in order, keep the first that still fails, recurse.
+   The result is locally minimal — no single candidate reduction of it still
+   fails. Used below for fault schedules (one-phase-removed variants) and by
+   the model checker for choice schedules (one-choice-removed variants). *)
+let greedy_shrink ~candidates ~still_fails x =
   let steps = ref 0 in
-  let rec go schedule outcome =
-    let next =
+  let rec go x =
+    match
       List.find_map
-        (fun candidate ->
+        (fun c ->
           incr steps;
-          let model = classify candidate in
-          let o = execute ~seed:run_seed ~model candidate in
-          if failed o then Some (candidate, model, o) else None)
-        (Fault.remove_each schedule)
-    in
-    match next with
-    | Some (candidate, _, o) -> go candidate o
-    | None -> (schedule, outcome)
+          if still_fails c then Some c else None)
+        (candidates x)
+    with
+    | Some c -> go c
+    | None -> x
   in
-  let minimal, minimal_outcome = go schedule outcome in
-  (minimal, minimal_outcome, !steps)
+  let minimal = go x in
+  (minimal, !steps)
+
+(* Fault-schedule instantiation: every one-phase-removed variant, re-executed
+   with the same run seed. *)
+let shrink ~classify ~execute ~run_seed schedule outcome =
+  let last = ref outcome in
+  let minimal, steps =
+    greedy_shrink ~candidates:Fault.remove_each
+      ~still_fails:(fun candidate ->
+        let o = execute ~seed:run_seed ~model:(classify candidate) candidate in
+        if failed o then begin
+          last := o;
+          true
+        end
+        else false)
+      schedule
+  in
+  (minimal, !last, steps)
 
 let run ~seed ~runs ~gen ~classify ~execute () =
   let rng = Prng.of_int seed in

@@ -41,6 +41,14 @@ type report = {
 
 val ok : report -> bool
 
+val greedy_shrink :
+  candidates:('a -> 'a list) -> still_fails:('a -> bool) -> 'a -> 'a * int
+(** The campaign's shrinker, generic in the thing being shrunk: repeatedly
+    replace the value with the first candidate reduction that still fails,
+    until none does. Returns the locally-minimal value and the number of
+    [still_fails] evaluations spent. The model checker reuses this with
+    one-choice-removed schedule variants. *)
+
 val run :
   seed:int ->
   runs:int ->

@@ -185,6 +185,107 @@ let to_string schedule =
   | [] -> "(no faults)"
   | _ -> String.concat "; " (List.map phase_to_string schedule)
 
+(* Inverse of [to_string], so pinned regression files can store fault
+   schedules in the exact format the campaign reports print. *)
+let of_string ~n s =
+  let fail fmt = Printf.ksprintf (fun m -> invalid_arg ("Fault.of_string: " ^ m)) fmt in
+  let parse_ms str =
+    let str = String.trim str in
+    let l = String.length str in
+    if l < 3 || String.sub str (l - 2) 2 <> "ms" then fail "bad time %S" str
+    else
+      match float_of_string_opt (String.sub str 0 (l - 2)) with
+      | None -> fail "bad time %S" str
+      | Some ms -> int_of_float ((ms *. 1000.) +. 0.5)
+  in
+  let parse_pid str =
+    if String.length str >= 2 && str.[0] = 'p' then
+      match int_of_string_opt (String.sub str 1 (String.length str - 1)) with
+      | Some p -> p
+      | None -> fail "bad process %S" str
+    else fail "bad process %S" str
+  in
+  let parse_link str =
+    match String.index_opt str '-' with
+    | Some i
+      when i + 1 < String.length str
+           && str.[i + 1] = '>' ->
+      ( parse_pid (String.sub str 0 i),
+        parse_pid (String.sub str (i + 2) (String.length str - i - 2)) )
+    | _ -> fail "bad link %S" str
+  in
+  let parse_kind str =
+    match String.split_on_char ' ' (String.trim str) with
+    | [ "crash"; p ] -> Crash (parse_pid p)
+    | [ "omit"; link ] ->
+      let src, dst = parse_link link in
+      Omit { src; dst }
+    | [ "delay"; link; "by"; time ] ->
+      let src, dst = parse_link link in
+      Delay { src; dst; by = parse_ms time }
+    | [ "duplicate"; link; copies ]
+      when String.length copies > 1 && copies.[0] = 'x' -> (
+      let src, dst = parse_link link in
+      match int_of_string_opt (String.sub copies 1 (String.length copies - 1)) with
+      | Some k -> Duplicate { src; dst; copies = k }
+      | None -> fail "bad copy count %S" copies)
+    | [ "partition"; group ]
+      when String.length group >= 2
+           && group.[0] = '{'
+           && group.[String.length group - 1] = '}' ->
+      let inner = String.sub group 1 (String.length group - 2) in
+      let members =
+        if String.trim inner = "" then []
+        else
+          List.map
+            (fun v ->
+              match int_of_string_opt (String.trim v) with
+              | Some p -> p
+              | None -> fail "bad partition member %S" v)
+            (String.split_on_char ',' inner)
+      in
+      Partition members
+    | _ -> fail "unrecognized fault %S" str
+  in
+  let parse_phase str =
+    let str = String.trim str in
+    (* The kind never contains " @ ", so the first occurrence splits it from
+       the time window. *)
+    let rec find_at i =
+      if i + 2 >= String.length str then fail "missing \" @ \" in %S" str
+      else if str.[i] = ' ' && str.[i + 1] = '@' && str.[i + 2] = ' ' then i
+      else find_at (i + 1)
+    in
+    let at = find_at 0 in
+    let what = parse_kind (String.sub str 0 at) in
+    let times = String.trim (String.sub str (at + 3) (String.length str - at - 3)) in
+    let sep = " until " in
+    let rec find_until i =
+      if i + String.length sep > String.length times then None
+      else if String.sub times i (String.length sep) = sep then Some i
+      else find_until (i + 1)
+    in
+    let start, stop =
+      match find_until 0 with
+      | None -> (parse_ms times, None)
+      | Some i ->
+        ( parse_ms (String.sub times 0 i),
+          Some
+            (parse_ms
+               (String.sub times
+                  (i + String.length sep)
+                  (String.length times - i - String.length sep))) )
+    in
+    { start; stop; what }
+  in
+  let s = String.trim s in
+  let schedule =
+    if s = "" || s = "(no faults)" then []
+    else List.map parse_phase (String.split_on_char ';' s)
+  in
+  validate ~n schedule;
+  schedule
+
 let kind_to_json = function
   | Crash p -> Json.Obj [ ("kind", Json.String "crash"); ("p", Json.Int p) ]
   | Omit { src; dst } ->

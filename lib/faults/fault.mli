@@ -92,4 +92,10 @@ val phase_to_string : phase -> string
 val to_string : schedule -> string
 (** One line, semicolon-separated phases. *)
 
+val of_string : n:int -> string -> schedule
+(** Inverse of {!to_string} (also accepts ["(no faults)"] and the empty
+    string as the empty schedule), validated against universe size [n].
+    [Invalid_argument] on anything unparsable — regression files store
+    schedules in exactly the rendered format. *)
+
 val to_json : schedule -> Qs_obs.Json.t

@@ -109,6 +109,20 @@ let create ?(journal = Journal.default) config =
 
 let detach t = Journal.unsubscribe ~j:t.journal t.subscription
 
+(* Forget everything observed so far (suspicion onsets, per-epoch issue
+   accounting, violations) but stay subscribed. The model checker calls this
+   whenever it rolls the world back to an earlier point — without it, issue
+   counts from abandoned branches would leak into the next branch and
+   fabricate quorum-bound violations. *)
+let reset t =
+  Hashtbl.reset t.suspicions;
+  Hashtbl.reset t.issued;
+  Hashtbl.reset t.seen;
+  t.violations <- [];
+  t.checks <- 0;
+  t.commits <- 0;
+  t.quorums <- 0
+
 (* ------------------------------------------------------------------ *)
 (* Periodic history probe: prefix consistency + exactly-once, checked online
    so divergence is caught (and timestamped) while the run is in flight. *)

@@ -55,6 +55,12 @@ val create : ?journal:Qs_obs.Journal.t -> config -> t
 
 val detach : t -> unit
 
+val reset : t -> unit
+(** Forget all observed state (suspicion onsets, per-epoch issue accounting,
+    recorded violations and counters) while staying subscribed. Model
+    checkers call this on every fork/restore — epoch-bound accounting from
+    an abandoned branch must not leak into the next one. *)
+
 val attach_history_probe :
   t ->
   sim:Qs_sim.Sim.t ->

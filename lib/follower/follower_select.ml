@@ -264,3 +264,59 @@ let matrix t = t.matrix
 let suspect_graph t = Suspicion_matrix.suspect_graph t.matrix ~epoch:t.epoch
 
 let rejected_msgs t = t.rejected
+
+(* ------------------------------------------------------------------ *)
+(* Model-checker hooks — mirrors Quorum_select. *)
+
+let fingerprint t =
+  Format.asprintf "%d|%a|%d|%b|%s|%s|%s|%d|%d" t.epoch Suspicion_matrix.pp t.matrix
+    t.leader t.stable
+    (String.concat "," (List.map string_of_int t.qlast))
+    (String.concat "," (List.map string_of_int t.suspecting))
+    (String.concat "," (List.map string_of_int t.detections))
+    t.issued_in_epoch t.max_issued_in_epoch
+
+type snapshot = {
+  s_matrix : Suspicion_matrix.t;
+  s_epoch : int;
+  s_suspecting : Pid.t list;
+  s_leader : Pid.t;
+  s_stable : bool;
+  s_qlast : Pid.t list;
+  s_history : (Pid.t * Pid.t list) list;
+  s_epochs_entered : int;
+  s_detections : Pid.t list;
+  s_rejected : int;
+  s_issued_in_epoch : int;
+  s_max_issued_in_epoch : int;
+}
+
+let snapshot t =
+  {
+    s_matrix = Suspicion_matrix.copy t.matrix;
+    s_epoch = t.epoch;
+    s_suspecting = t.suspecting;
+    s_leader = t.leader;
+    s_stable = t.stable;
+    s_qlast = t.qlast;
+    s_history = t.history;
+    s_epochs_entered = t.epochs_entered;
+    s_detections = t.detections;
+    s_rejected = t.rejected;
+    s_issued_in_epoch = t.issued_in_epoch;
+    s_max_issued_in_epoch = t.max_issued_in_epoch;
+  }
+
+let restore t s =
+  Suspicion_matrix.blit ~src:s.s_matrix ~dst:t.matrix;
+  t.epoch <- s.s_epoch;
+  t.suspecting <- s.s_suspecting;
+  t.leader <- s.s_leader;
+  t.stable <- s.s_stable;
+  t.qlast <- s.s_qlast;
+  t.history <- s.s_history;
+  t.epochs_entered <- s.s_epochs_entered;
+  t.detections <- s.s_detections;
+  t.rejected <- s.s_rejected;
+  t.issued_in_epoch <- s.s_issued_in_epoch;
+  t.max_issued_in_epoch <- s.s_max_issued_in_epoch

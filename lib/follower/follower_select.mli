@@ -91,3 +91,16 @@ val well_formed :
   n:int -> q:int -> suspect_graph:Qs_graph.Graph.t -> Fmsg.followers -> bool
 (** Definition 3 check against the receiver's current suspect graph.
     Exposed for tests. *)
+
+(** {2 Model-checker hooks} — mirror {!Qs_core.Quorum_select}. *)
+
+val fingerprint : t -> string
+(** Canonical encoding of the algorithm-visible state (epoch, matrix,
+    leader, stability, last quorum, suspicions, detections, per-epoch issue
+    counters). *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+
+val restore : t -> snapshot -> unit

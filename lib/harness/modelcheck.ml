@@ -1,0 +1,822 @@
+module Engine = Qs_mc.Engine
+module Schedule = Qs_mc.Schedule
+module Sim = Qs_sim.Sim
+module Network = Qs_sim.Network
+module Stime = Qs_sim.Stime
+module Pid = Qs_core.Pid
+module QS = Qs_core.Quorum_select
+module FS = Qs_follower.Follower_select
+module Replica = Qs_xpaxos.Replica
+module Xcluster = Qs_xpaxos.Xcluster
+module Monitor = Qs_faults.Monitor
+module Fault = Qs_faults.Fault
+module Metrics = Qs_obs.Metrics
+module Journal = Qs_obs.Journal
+module Indep = Qs_graph.Indep
+
+type protocol = Quorum | Follower | Xpaxos | Xpaxos_enum
+
+let protocol_name = function
+  | Quorum -> "quorum"
+  | Follower -> "follower"
+  | Xpaxos -> "xpaxos"
+  | Xpaxos_enum -> "xpaxos-enum"
+
+let protocol_of_name s =
+  match String.lowercase_ascii s with
+  | "quorum" -> Some Quorum
+  | "follower" -> Some Follower
+  | "xpaxos" | "xpaxos-qs" -> Some Xpaxos
+  | "xpaxos-enum" -> Some Xpaxos_enum
+  | _ -> None
+
+let all = [ Quorum; Follower; Xpaxos; Xpaxos_enum ]
+
+type spec = {
+  protocol : protocol;
+  n : int;
+  f : int;
+  injections : (int * int list) list;
+  crashes : int list;
+  requests : int;
+  seeded_bug : bool;
+}
+
+let default_spec protocol =
+  let base =
+    { protocol; n = 4; f = 1; injections = []; crashes = []; requests = 0; seeded_bug = false }
+  in
+  match protocol with
+  | Quorum -> { base with injections = [ (0, [ 3 ]) ] }
+  | Follower -> { base with injections = [ (1, [ 0 ]) ] }
+  | Xpaxos | Xpaxos_enum -> { base with requests = 1 }
+
+let validate spec =
+  QS.validate_config { QS.n = spec.n; f = spec.f };
+  let pid ctx p =
+    if p < 0 || p >= spec.n then
+      invalid_arg (Printf.sprintf "Modelcheck: %s pid %d out of range [0,%d)" ctx p spec.n)
+  in
+  List.iter (pid "crash") spec.crashes;
+  if List.length (List.sort_uniq compare spec.crashes) > spec.f then
+    invalid_arg "Modelcheck: more than f crashes is out of model";
+  List.iter
+    (fun (p, s) ->
+      pid "inject" p;
+      List.iter (pid "inject suspect") s)
+    spec.injections;
+  if spec.requests < 0 then invalid_arg "Modelcheck: negative requests";
+  if spec.seeded_bug && (spec.protocol = Follower || spec.protocol = Xpaxos_enum) then
+    invalid_arg "Modelcheck: seeded-bug needs an embedded Algorithm-1 instance (quorum or xpaxos)"
+
+let correct_pids spec =
+  List.filter (fun p -> not (List.mem p spec.crashes)) (List.init spec.n Fun.id)
+
+(* Canonical id-free key for a parked message; see Engine.choice_info. *)
+let canon_of encode src dst payload =
+  Printf.sprintf "%d>%d#%s" src dst (Qs_crypto.Sha256.digest_hex (encode payload))
+
+let deliver_choices net encode =
+  List.map
+    (fun (id, src, dst, payload) ->
+      { Engine.choice = Schedule.Deliver id; canon = canon_of encode src dst payload;
+        receiver = Some dst })
+    (Network.deliverable net)
+
+(* The in-flight multiset for fingerprints: sorted canonical keys, so two
+   interleavings that parked the same messages under different ids agree. *)
+let pending_part net encode =
+  Network.pending net
+  |> List.map (fun (_, src, dst, payload) -> canon_of encode src dst payload)
+  |> List.sort compare |> String.concat ","
+
+let drop_crashed_filter crashes = fun ~now:_ ~src ~dst _ ->
+  if List.mem src crashes || List.mem dst crashes then Network.Drop else Network.Deliver
+
+(* Theorem 3/9 presuppose at most [f] suspected processes; a schedule that
+   drives more than [f] distinct processes into suspicion (frozen-time timer
+   fires make false suspicions cheap) is out of model, and the per-epoch
+   bound genuinely need not hold there. Bound checks are therefore gated on
+   the blamed set staying within the budget; size/independence/agreement
+   checks are unconditional. *)
+let within_budget ~f blamed = List.length (List.sort_uniq compare blamed) <= f
+
+(* ---------------------------------------------------------------- quorum *)
+
+let make_quorum spec =
+  let cfg = { QS.n = spec.n; f = spec.f } in
+  let qsize = QS.q cfg in
+  let bound = Monitor.theorem3 ~f:spec.f in
+  let correct = correct_pids spec in
+  (* Static: the only suspicions Algorithm 1 ever sees here are the injected
+     ones, so the in-model gate is decided by the spec. *)
+  let enforce_bound =
+    within_budget ~f:spec.f (spec.crashes @ List.concat_map snd spec.injections)
+  in
+  let encode (m : Qs_core.Msg.t) = Qs_core.Msg.encode m.update in
+  let state = ref None in
+  let nodes () = fst (Option.get !state) in
+  let net () = snd (Option.get !state) in
+  let reset () =
+    Metrics.reset ();
+    QS.test_buggy_quorum_size := spec.seeded_bug;
+    let sim = Sim.create () in
+    let network = Network.create ~sim ~n:spec.n ~delay:(Network.Fixed (Stime.of_ms 1)) () in
+    Network.set_controlled network true;
+    if spec.crashes <> [] then ignore (Network.add_filter network (drop_crashed_filter spec.crashes));
+    let auth = Qs_crypto.Auth.create spec.n in
+    let slots = Array.make spec.n None in
+    for me = 0 to spec.n - 1 do
+      slots.(me) <-
+        Some
+          (QS.create cfg ~me ~auth
+             ~send:(fun m -> Network.broadcast network ~src:me m)
+             ~on_quorum:(fun _ -> ())
+             ())
+    done;
+    let ns = Array.map Option.get slots in
+    Array.iteri
+      (fun p node -> Network.set_handler network p (fun ~src:_ m -> QS.handle_update node m))
+      ns;
+    state := Some (ns, network);
+    List.iter
+      (fun (p, s) -> if not (List.mem p spec.crashes) then QS.handle_suspected ns.(p) s)
+      spec.injections
+  in
+  let violations () =
+    List.concat_map
+      (fun p ->
+        let node = (nodes ()).(p) in
+        let lq = QS.last_quorum node in
+        let out = ref [] in
+        if List.length lq <> qsize then
+          out :=
+            ( "quorum-size",
+              Printf.sprintf "p%d holds |Q| = %d, want n - f = %d" p (List.length lq) qsize )
+            :: !out;
+        if enforce_bound && QS.max_issued_per_epoch node > bound then
+          out :=
+            ( "quorum-bound",
+              Printf.sprintf "p%d issued %d quorums in one epoch > f(f+1) = %d" p
+                (QS.max_issued_per_epoch node) bound )
+            :: !out;
+        if not (Indep.is_independent (QS.suspect_graph node) lq) then
+          out :=
+            ( "no-suspicion",
+              Printf.sprintf "p%d's quorum {%s} is not independent in its suspect graph" p
+                (String.concat "," (List.map string_of_int lq)) )
+            :: !out;
+        List.rev !out)
+      correct
+  in
+  let quiescent_violations () =
+    match correct with
+    | [] -> []
+    | first :: rest ->
+      let node p = (nodes ()).(p) in
+      let q0 = QS.last_quorum (node first) in
+      let m0 = Format.asprintf "%a" Qs_core.Suspicion_matrix.pp (QS.matrix (node first)) in
+      let disagree =
+        List.filter_map
+          (fun p -> if QS.last_quorum (node p) <> q0 then Some p else None)
+          rest
+      in
+      let diverged =
+        List.filter_map
+          (fun p ->
+            if Format.asprintf "%a" Qs_core.Suspicion_matrix.pp (QS.matrix (node p)) <> m0 then
+              Some p
+            else None)
+          rest
+      in
+      (if disagree = [] then []
+       else
+         [ ( "agreement",
+             Printf.sprintf "quiescent but p%s disagree with p%d on the quorum"
+               (String.concat ",p" (List.map string_of_int disagree))
+               first ) ])
+      @
+      if diverged = [] then []
+      else
+        [ ( "convergence",
+            Printf.sprintf "quiescent but p%s's matrix differs from p%d's"
+              (String.concat ",p" (List.map string_of_int diverged))
+              first ) ]
+  in
+  {
+    Engine.reset;
+    enabled = (fun () -> deliver_choices (net ()) encode);
+    apply =
+      (function
+      | Schedule.Deliver id -> Network.deliver_now (net ()) id
+      | Schedule.Step | Schedule.Fire _ -> false);
+    fingerprint =
+      (fun () ->
+        let buf = Buffer.create 256 in
+        Array.iter
+          (fun node ->
+            Buffer.add_string buf (QS.fingerprint node);
+            Buffer.add_char buf '\n')
+          (nodes ());
+        Buffer.add_string buf ("[" ^ pending_part (net ()) encode ^ "]");
+        Buffer.contents buf);
+    violations;
+    quiescent_violations;
+    snapshot =
+      Some
+        (fun () ->
+          let ns = Array.map QS.snapshot (nodes ()) in
+          let net_snap = Network.snapshot (net ()) in
+          fun () ->
+            Array.iteri (fun i s -> QS.restore (nodes ()).(i) s) ns;
+            Network.restore (net ()) net_snap);
+  }
+
+(* -------------------------------------------------------------- follower *)
+
+type fd_state = {
+  mutable transient : Pid.t list;
+  mutable permanent : Pid.t list;
+  mutable expectation : (Pid.t * int) option;
+}
+
+let make_follower spec =
+  let cfg = { QS.n = spec.n; f = spec.f } in
+  let qsize = QS.q cfg in
+  let bound = Monitor.theorem9 ~f:spec.f in
+  let correct = correct_pids spec in
+  let encode (m : Qs_follower.Fmsg.t) = Qs_follower.Fmsg.encode m.payload in
+  let state = ref None in
+  let nodes () = let n, _, _ = Option.get !state in n in
+  let fds () = let _, f, _ = Option.get !state in f in
+  let net () = let _, _, n = Option.get !state in n in
+  let suspicion_set fd = List.sort_uniq compare (fd.transient @ fd.permanent) in
+  let reset () =
+    Metrics.reset ();
+    QS.test_buggy_quorum_size := false;
+    let sim = Sim.create () in
+    let network =
+      Network.create ~sim ~n:spec.n ~delay:(Network.Fixed (Stime.of_ms 1)) ~fifo:true ()
+    in
+    Network.set_controlled network true;
+    if spec.crashes <> [] then ignore (Network.add_filter network (drop_crashed_filter spec.crashes));
+    let auth = Qs_crypto.Auth.create spec.n in
+    let fd_arr =
+      Array.init spec.n (fun _ -> { transient = []; permanent = []; expectation = None })
+    in
+    let slots = Array.make spec.n None in
+    let publish me =
+      match slots.(me) with
+      | None -> ()
+      | Some node -> FS.handle_suspected node (suspicion_set fd_arr.(me))
+    in
+    for me = 0 to spec.n - 1 do
+      slots.(me) <-
+        Some
+          (FS.create cfg ~me ~auth
+             ~send:(fun msg -> Network.broadcast network ~src:me msg)
+             ~on_quorum:(fun ~leader:_ _ -> ())
+             ~fd_expect:(fun ~leader ~epoch -> fd_arr.(me).expectation <- Some (leader, epoch))
+             ~fd_cancel:(fun () -> fd_arr.(me).expectation <- None)
+             ~fd_detected:(fun culprit ->
+               let fd = fd_arr.(me) in
+               if not (List.mem culprit fd.permanent) then begin
+                 fd.permanent <- culprit :: fd.permanent;
+                 publish me
+               end)
+             ())
+    done;
+    let ns = Array.map Option.get slots in
+    Array.iteri
+      (fun p node -> Network.set_handler network p (fun ~src:_ m -> FS.handle_msg node m))
+      ns;
+    state := Some (ns, fd_arr, network);
+    List.iter
+      (fun (p, s) ->
+        if not (List.mem p spec.crashes) then begin
+          fd_arr.(p).transient <- s;
+          publish p
+        end)
+      spec.injections
+  in
+  let fire_choices () =
+    List.filter_map
+      (fun p ->
+        match (fds ()).(p).expectation with
+        | Some _ ->
+          Some
+            { Engine.choice = Schedule.Fire p; canon = "f" ^ string_of_int p; receiver = None }
+        | None -> None)
+      correct
+  in
+  let apply = function
+    | Schedule.Deliver id -> Network.deliver_now (net ()) id
+    | Schedule.Fire p -> (
+      let fd = (fds ()).(p) in
+      match fd.expectation with
+      | None -> false
+      | Some (leader, _) ->
+        fd.expectation <- None;
+        if not (List.mem leader fd.transient) then fd.transient <- leader :: fd.transient;
+        FS.handle_suspected (nodes ()).(p) (suspicion_set fd);
+        true)
+    | Schedule.Step -> false
+  in
+  let violations () =
+    (* fd transient/permanent sets only grow (and snapshots restore them),
+       so this gate is monotone along any path. *)
+    let enforce_bound =
+      within_budget ~f:spec.f
+        (spec.crashes @ List.concat_map (fun p -> suspicion_set (fds ()).(p)) correct)
+    in
+    List.concat_map
+      (fun p ->
+        let node = (nodes ()).(p) in
+        let lq = FS.last_quorum node in
+        let out = ref [] in
+        if List.length lq <> qsize then
+          out :=
+            ( "quorum-size",
+              Printf.sprintf "p%d holds |Q| = %d, want n - f = %d" p (List.length lq) qsize )
+            :: !out;
+        if enforce_bound && FS.max_issued_per_epoch node > bound then
+          out :=
+            ( "quorum-bound",
+              Printf.sprintf "p%d issued %d quorums in one epoch > 3f+1 = %d" p
+                (FS.max_issued_per_epoch node) bound )
+            :: !out;
+        List.rev !out)
+      correct
+  in
+  let quiescent_violations () =
+    match correct with
+    | [] -> []
+    | first :: rest ->
+      let view p = (FS.leader (nodes ()).(p), FS.last_quorum (nodes ()).(p)) in
+      let v0 = view first in
+      let disagree = List.filter (fun p -> view p <> v0) rest in
+      (* Locally computed leader vs. adopted quorum can disagree while a
+         FOLLOWERS message is in flight; once nothing is, they must not. *)
+      let stray =
+        List.filter
+          (fun p ->
+            let node = (nodes ()).(p) in
+            not (List.mem (FS.leader node) (FS.last_quorum node)))
+          correct
+      in
+      (if disagree = [] then []
+       else
+         [ ( "agreement",
+             Printf.sprintf "quiescent but p%s disagree with p%d on (leader, quorum)"
+               (String.concat ",p" (List.map string_of_int disagree))
+               first ) ])
+      @
+      if stray = [] then []
+      else
+        [ ( "leader-member",
+            Printf.sprintf "quiescent but p%s's leader is outside its quorum"
+              (String.concat ",p" (List.map string_of_int stray)) ) ]
+  in
+  let fd_part () =
+    let buf = Buffer.create 64 in
+    Array.iteri
+      (fun p fd ->
+        Buffer.add_string buf
+          (Printf.sprintf "fd%d:t{%s}p{%s}e%s\n" p
+             (String.concat "," (List.map string_of_int (List.sort compare fd.transient)))
+             (String.concat "," (List.map string_of_int (List.sort compare fd.permanent)))
+             (match fd.expectation with
+             | None -> "-"
+             | Some (l, e) -> Printf.sprintf "%d@%d" l e)))
+      (fds ());
+    Buffer.contents buf
+  in
+  {
+    Engine.reset;
+    enabled = (fun () -> deliver_choices (net ()) encode @ fire_choices ());
+    apply;
+    fingerprint =
+      (fun () ->
+        let buf = Buffer.create 256 in
+        Array.iter
+          (fun node ->
+            Buffer.add_string buf (FS.fingerprint node);
+            Buffer.add_char buf '\n')
+          (nodes ());
+        Buffer.add_string buf (fd_part ());
+        Buffer.add_string buf ("[" ^ pending_part (net ()) encode ^ "]");
+        Buffer.contents buf);
+    violations;
+    quiescent_violations;
+    snapshot =
+      Some
+        (fun () ->
+          let ns = Array.map FS.snapshot (nodes ()) in
+          let fd_snap =
+            Array.map
+              (fun fd ->
+                { transient = fd.transient; permanent = fd.permanent; expectation = fd.expectation })
+              (fds ())
+          in
+          let net_snap = Network.snapshot (net ()) in
+          fun () ->
+            Array.iteri (fun i s -> FS.restore (nodes ()).(i) s) ns;
+            Array.iteri
+              (fun i s ->
+                let fd = (fds ()).(i) in
+                fd.transient <- s.transient;
+                fd.permanent <- s.permanent;
+                fd.expectation <- s.expectation)
+              fd_snap;
+            Network.restore (net ()) net_snap);
+  }
+
+(* ---------------------------------------------------------------- xpaxos *)
+
+let make_xpaxos mode spec =
+  let rcfg =
+    {
+      Replica.n = spec.n;
+      f = spec.f;
+      mode;
+      initial_timeout = Stime.of_ms 25;
+      timeout_strategy = Qs_fd.Timeout.Exponential { factor = 2.0; max = Stime.of_ms 2000 };
+    }
+  in
+  let qsize = Replica.quorum_size rcfg in
+  let bound = Monitor.theorem3 ~f:spec.f in
+  let correct = correct_pids spec in
+  let monitor =
+    (* One subscription for the system's lifetime; [reset] clears the
+       journal and the monitor's accumulated state. The settle window is
+       effectively infinite: under frozen virtual time the monitor's aged
+       no-suspicion check is meaningless — the instantaneous independence
+       check below replaces it. *)
+    Monitor.create
+      {
+        Monitor.n = spec.n;
+        f = spec.f;
+        correct;
+        quorum_bound = (match mode with Replica.Quorum_selection -> Some bound | _ -> None);
+        bound_gauge = None;
+        settle = Stime.of_ms 1_000_000_000;
+      }
+  in
+  let requests =
+    List.init spec.requests (fun i -> { Qs_xpaxos.Xmsg.client = 0; rid = i; op = "op" ^ string_of_int i })
+  in
+  let encode (m : Qs_xpaxos.Xmsg.t) =
+    string_of_int m.sender ^ "|" ^ Qs_xpaxos.Xmsg.encode_body m.body
+  in
+  let state = ref None in
+  let cluster () = Option.get !state in
+  (* Processes ever suspected along the current path (plus the crashed set).
+     Detector suspicions can clear, so the union is accumulated here; the
+     instance is replay-only, so path accumulation is sound. *)
+  let blamed = ref spec.crashes in
+  let reset () =
+    Metrics.reset ();
+    Journal.clear ();
+    Journal.set_enabled true;
+    Monitor.reset monitor;
+    blamed := spec.crashes;
+    QS.test_buggy_quorum_size := spec.seeded_bug;
+    let c = Xcluster.create rcfg in
+    Network.set_controlled (Xcluster.net c) true;
+    List.iter (fun p -> Xcluster.set_fault c p Replica.Mute) spec.crashes;
+    if spec.crashes <> [] then
+      ignore (Network.add_filter (Xcluster.net c) (drop_crashed_filter spec.crashes));
+    state := Some c;
+    (* Bypass Xcluster.submit: it schedules a sim event, which would turn
+       request arrival into a Step choice. The mc client hands requests to
+       every replica in the initial state instead. *)
+    List.iter
+      (fun r -> List.iter (fun p -> Replica.submit (Xcluster.replica c p) r) (List.init spec.n Fun.id))
+      requests
+  in
+  let histories () =
+    List.map
+      (fun p ->
+        ( p,
+          List.map
+            (fun (r : Qs_xpaxos.Xmsg.request) -> (r.client, r.rid))
+            (Replica.executed (Xcluster.replica (cluster ()) p)) ))
+      correct
+  in
+  let rec is_prefix a b =
+    match (a, b) with
+    | [], _ -> true
+    | _, [] -> false
+    | x :: a', y :: b' -> x = y && is_prefix a' b'
+  in
+  let history_violations () =
+    let hs = histories () in
+    let dup =
+      List.filter_map
+        (fun (p, h) ->
+          if List.length (List.sort_uniq compare h) <> List.length h then Some p else None)
+        hs
+    in
+    let incons =
+      let rec pairs = function
+        | [] -> []
+        | (p, h) :: rest ->
+          List.filter_map
+            (fun (q, h') ->
+              if is_prefix h h' || is_prefix h' h then None else Some (p, q))
+            rest
+          @ pairs rest
+      in
+      pairs hs
+    in
+    (match dup with
+    | [] -> []
+    | ps ->
+      [ ( "exactly-once",
+          Printf.sprintf "p%s executed a request twice"
+            (String.concat ",p" (List.map string_of_int ps)) ) ])
+    @
+    match incons with
+    | [] -> []
+    | (p, q) :: _ ->
+      [ ( "prefix-consistency",
+          Printf.sprintf "p%d's and p%d's executed histories diverge" p q ) ]
+  in
+  let qsel_violations () =
+    List.concat_map
+      (fun p ->
+        match Replica.quorum_selector (Xcluster.replica (cluster ()) p) with
+        | None -> []
+        | Some qsel ->
+          let lq = QS.last_quorum qsel in
+          let out = ref [] in
+          if List.length lq <> qsize then
+            out :=
+              ( "quorum-size",
+                Printf.sprintf "p%d's selector holds |Q| = %d, want n - f = %d" p
+                  (List.length lq) qsize )
+              :: !out;
+          if within_budget ~f:spec.f !blamed && QS.max_issued_per_epoch qsel > bound then
+            out :=
+              ( "quorum-bound",
+                Printf.sprintf "p%d issued %d quorums in one epoch > f(f+1) = %d" p
+                  (QS.max_issued_per_epoch qsel) bound )
+              :: !out;
+          if not (Indep.is_independent (QS.suspect_graph qsel) lq) then
+            out :=
+              ( "no-suspicion",
+                Printf.sprintf "p%d's quorum {%s} is not independent in its suspect graph" p
+                  (String.concat "," (List.map string_of_int lq)) )
+              :: !out;
+          List.rev !out)
+      correct
+  in
+  {
+    Engine.reset;
+    enabled =
+      (fun () ->
+        deliver_choices (Xcluster.net (cluster ())) encode
+        @
+        if Sim.pending_events (Xcluster.sim (cluster ())) > 0 then
+          [ { Engine.choice = Schedule.Step; canon = "t"; receiver = None } ]
+        else []);
+    apply =
+      (function
+      | Schedule.Deliver id -> Network.deliver_now (Xcluster.net (cluster ())) id
+      | Schedule.Step -> Sim.step (Xcluster.sim (cluster ()))
+      | Schedule.Fire _ -> false);
+    fingerprint =
+      (fun () ->
+        let c = cluster () in
+        let buf = Buffer.create 512 in
+        for p = 0 to spec.n - 1 do
+          Buffer.add_string buf (Replica.fingerprint (Xcluster.replica c p));
+          Buffer.add_char buf '\n'
+        done;
+        Buffer.add_string buf ("[" ^ pending_part (Xcluster.net c) encode ^ "]");
+        (* The simulator queue itself is opaque; virtual time plus the event
+           count is the (weak) proxy — see DESIGN.md for the caveat. *)
+        Buffer.add_string buf
+          (Printf.sprintf "@%.3f/%d" (Stime.to_ms (Sim.now (Xcluster.sim c)))
+             (Sim.pending_events (Xcluster.sim c)));
+        Buffer.contents buf);
+    violations =
+      (fun () ->
+        List.iter
+          (fun p ->
+            let d = Replica.detector (Xcluster.replica (cluster ()) p) in
+            List.iter
+              (fun s -> if not (List.mem s !blamed) then blamed := s :: !blamed)
+              (Qs_fd.Detector.suspected d))
+          correct;
+        let in_model = within_budget ~f:spec.f !blamed in
+        List.filter_map
+          (fun (v : Monitor.violation) ->
+            (* The monitor's per-epoch accounting has no in-model gate of its
+               own; drop its bound findings once the path went out of model. *)
+            if (not in_model) && v.check = "quorum-bound" then None
+            else Some (v.check, v.detail))
+          (Monitor.violations monitor)
+        @ qsel_violations () @ history_violations ());
+    quiescent_violations = (fun () -> []);
+    snapshot = None;
+  }
+
+let make spec =
+  validate spec;
+  match spec.protocol with
+  | Quorum -> make_quorum spec
+  | Follower -> make_follower spec
+  | Xpaxos -> make_xpaxos Replica.Quorum_selection spec
+  | Xpaxos_enum -> make_xpaxos Replica.Enumeration spec
+
+(* ----------------------------------------------------------- regressions *)
+
+let parse_kv text =
+  let lines = String.split_on_char '\n' text in
+  List.filter_map
+    (fun line ->
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then None
+      else
+        match String.index_opt line '=' with
+        | None -> Some (Error (Printf.sprintf "bad line %S (want key=value)" line))
+        | Some i ->
+          Some
+            (Ok
+               ( String.trim (String.sub line 0 i),
+                 String.trim (String.sub line (i + 1) (String.length line - i - 1)) )))
+    lines
+
+type expectation = Expect_ok | Expect_violation of string
+
+let parse_expect v =
+  if v = "ok" then Ok Expect_ok
+  else
+    match String.index_opt v ':' with
+    | Some i when String.sub v 0 i = "violation" ->
+      Ok (Expect_violation (String.sub v (i + 1) (String.length v - i - 1)))
+    | _ -> Error (Printf.sprintf "bad expect %S (want ok or violation:<check>)" v)
+
+let check_expect expectation (violated : (string * string) list) =
+  match expectation with
+  | Expect_ok -> (
+    match violated with
+    | [] -> Ok ()
+    | (check, detail) :: _ ->
+      Error (Printf.sprintf "expected ok but %s was violated: %s" check detail))
+  | Expect_violation name ->
+    if List.exists (fun (check, _) -> check = name) violated then Ok ()
+    else
+      Error
+        (Printf.sprintf "expected a %s violation but the replay %s" name
+           (match violated with
+           | [] -> "was clean"
+           | (check, _) :: _ -> "only violated " ^ check))
+
+let run_mc_regression kvs =
+  let find k = List.assoc_opt k kvs in
+  let find_all k = List.filter_map (fun (k', v) -> if k' = k then Some v else None) kvs in
+  let int_of k default =
+    match find k with
+    | None -> Ok default
+    | Some v -> (
+      match int_of_string_opt v with
+      | Some i -> Ok i
+      | None -> Error (Printf.sprintf "bad %s=%S" k v))
+  in
+  let ( let* ) = Result.bind in
+  let* protocol =
+    match find "protocol" with
+    | None -> Error "missing protocol="
+    | Some v -> (
+      match protocol_of_name v with
+      | Some p -> Ok p
+      | None -> Error (Printf.sprintf "unknown protocol %S" v))
+  in
+  let* n = int_of "n" 4 in
+  let* f = int_of "f" 1 in
+  let* requests = int_of "requests" (match protocol with Xpaxos | Xpaxos_enum -> 1 | _ -> 0) in
+  let* crashes =
+    List.fold_left
+      (fun acc v ->
+        let* acc = acc in
+        match int_of_string_opt v with
+        | Some p -> Ok (p :: acc)
+        | None -> Error (Printf.sprintf "bad crash=%S" v))
+      (Ok []) (find_all "crash")
+  in
+  let* injections =
+    List.fold_left
+      (fun acc v ->
+        let* acc = acc in
+        match String.index_opt v ':' with
+        | None -> Error (Printf.sprintf "bad inject=%S (want p:s1,s2)" v)
+        | Some i -> (
+          let p = String.sub v 0 i and s = String.sub v (i + 1) (String.length v - i - 1) in
+          match
+            ( int_of_string_opt p,
+              List.map int_of_string_opt (String.split_on_char ',' s) )
+          with
+          | Some p, suspects when List.for_all Option.is_some suspects ->
+            Ok ((p, List.map Option.get suspects) :: acc)
+          | _ -> Error (Printf.sprintf "bad inject=%S (want p:s1,s2)" v)))
+      (Ok []) (find_all "inject")
+  in
+  let* seeded_bug =
+    match find "seeded-bug" with
+    | None -> Ok false
+    | Some "quorum-size" -> Ok true
+    | Some v -> Error (Printf.sprintf "unknown seeded-bug=%S" v)
+  in
+  let* schedule =
+    match find "schedule" with
+    | None -> Error "missing schedule="
+    | Some v -> ( try Ok (Schedule.of_string v) with Invalid_argument m -> Error m)
+  in
+  let* expectation =
+    match find "expect" with None -> Error "missing expect=" | Some v -> parse_expect v
+  in
+  let spec =
+    {
+      protocol;
+      n;
+      f;
+      injections = List.rev injections;
+      crashes = List.rev crashes;
+      requests;
+      seeded_bug;
+    }
+  in
+  let* system = try Ok (make spec) with Invalid_argument m -> Error m in
+  check_expect expectation (Engine.replay system schedule)
+
+let run_chaos_regression kvs =
+  let find k = List.assoc_opt k kvs in
+  let ( let* ) = Result.bind in
+  let* stack =
+    match find "stack" with
+    | None -> Error "missing stack="
+    | Some v -> (
+      match Chaos.of_name v with
+      | Some s -> Ok s
+      | None -> Error (Printf.sprintf "unknown stack %S" v))
+  in
+  let defaults = Chaos.default_params stack in
+  let int_of k default =
+    match find k with
+    | None -> Ok default
+    | Some v -> (
+      match int_of_string_opt v with
+      | Some i -> Ok i
+      | None -> Error (Printf.sprintf "bad %s=%S" k v))
+  in
+  let* seed = int_of "seed" 0 in
+  let* n = int_of "n" defaults.Chaos.n in
+  let* f = int_of "f" defaults.Chaos.f in
+  let* horizon_ms = int_of "horizon-ms" (int_of_float (Stime.to_ms defaults.Chaos.horizon)) in
+  let* requests = int_of "requests" defaults.Chaos.requests in
+  let* schedule =
+    match find "faults" with
+    | None -> Ok []
+    | Some v -> ( try Ok (Fault.of_string ~n v) with Invalid_argument m -> Error m)
+  in
+  let* expectation =
+    match find "expect" with None -> Error "missing expect=" | Some v -> parse_expect v
+  in
+  let params = { defaults with Chaos.n; f; horizon = Stime.of_ms horizon_ms; requests } in
+  let model = Fault.classify ~n ~f schedule in
+  let outcome = Chaos.execute stack ~params ~seed ~model schedule in
+  if outcome.Qs_faults.Campaign.checks = 0 then
+    Error "vacuous pin: the monitor ran no checks"
+  else
+    check_expect expectation
+      (List.map
+         (fun (v : Monitor.violation) -> (v.check, v.detail))
+         outcome.Qs_faults.Campaign.violations)
+
+let run_regression ~path =
+  let read () =
+    try
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> Ok (really_input_string ic (in_channel_length ic)))
+    with Sys_error m -> Error m
+  in
+  match read () with
+  | Error m -> Error m
+  | Ok text -> (
+    let kvs = parse_kv text in
+    match List.find_map (function Error m -> Some m | Ok _ -> None) kvs with
+    | Some m -> Error m
+    | None -> (
+      let kvs = List.filter_map Result.to_option kvs in
+      Fun.protect
+        ~finally:(fun () -> QS.test_buggy_quorum_size := false)
+        (fun () ->
+          match List.assoc_opt "kind" kvs with
+          | Some "mc" -> run_mc_regression kvs
+          | Some "chaos" -> run_chaos_regression kvs
+          | Some k -> Error (Printf.sprintf "unknown kind %S" k)
+          | None -> Error "missing kind=")))

@@ -1,0 +1,113 @@
+(** Protocol bindings for the small-scope model checker.
+
+    Builds {!Qs_mc.Engine.system} values for the three simulated stacks the
+    checker knows how to drive:
+
+    - [quorum] — bare Algorithm-1 instances over an unordered controlled
+      network. Suspicions are injected as initial ⟨SUSPECTED⟩ events; every
+      delivery interleaving of the resulting UPDATE gossip is explored.
+      Checks: |Q| = n − f on every issued quorum, Theorem 3's per-epoch
+      bound, instantaneous no-suspicion (the current quorum is independent
+      in the issuer's suspect graph), and — at quiescent states —
+      agreement and matrix convergence. Provides the snapshot fast path.
+    - [follower] — Algorithm-2 instances over a FIFO controlled network
+      with the emulated failure detector of {!Fcluster}: open FOLLOWERS
+      expectations become [Fire p] choices. Checks: |Q| = q, Theorem 9's
+      [3f+1] bound, leader membership, quiescent agreement on
+      (leader, quorum). Snapshot fast path included.
+    - [xpaxos] / [xpaxos-enum] — a full {!Qs_xpaxos.Xcluster} (quorum
+      selection vs. view enumeration) with requests submitted directly to
+      every replica. Timers (detector deadlines) surface as [Step] choices
+      popping the simulator queue. Checks: the PR-2 {!Qs_faults.Monitor}
+      invariants (quorum-bound via the journal; no-suspicion is disabled —
+      under frozen virtual time the settle window is meaningless, so the
+      instantaneous independence check replaces it), prefix-consistency and
+      exactly-once over executed histories, and the embedded Algorithm-1
+      assertions in quorum-selection mode. Replay-only (no snapshot): the
+      simulator queue and the monitor's accumulated state cannot be rolled
+      back in place.
+
+    Also home to the [test/regressions/] corpus format: plain-text
+    [key=value] files replayed either through {!Qs_mc.Engine.replay}
+    ([kind=mc]) or through a monitored {!Chaos.execute} run
+    ([kind=chaos]). *)
+
+type protocol = Quorum | Follower | Xpaxos | Xpaxos_enum
+
+val protocol_name : protocol -> string
+
+val protocol_of_name : string -> protocol option
+(** ["quorum"], ["follower"], ["xpaxos"] (alias ["xpaxos-qs"]),
+    ["xpaxos-enum"]. *)
+
+val all : protocol list
+
+type spec = {
+  protocol : protocol;
+  n : int;
+  f : int;
+  injections : (int * int list) list;
+      (** Initial ⟨SUSPECTED, S⟩ events: [(p, S)] feeds [S] to process [p]'s
+          selection instance before exploration starts. Ignored by the
+          XPaxos instances (suspicions there come from timer [Step]s). *)
+  crashes : int list;
+      (** Processes crashed from the start: sends and deliveries dropped,
+          excluded from every correctness check. At most [f]. *)
+  requests : int;  (** Client requests submitted up front (XPaxos only). *)
+  seeded_bug : bool;
+      (** Arm {!Qs_core.Quorum_select.test_buggy_quorum_size} inside
+          [reset], so the checker hunts a known undersized-quorum bug.
+          Only meaningful for [quorum] and [xpaxos]. *)
+}
+
+val default_spec : protocol -> spec
+(** n = 4, f = 1. [quorum]: process 0 initially suspects 3; [follower]:
+    process 1 initially suspects the default leader 0; XPaxos: one
+    request, no injections. *)
+
+val validate : spec -> unit
+(** Raises [Invalid_argument] on out-of-range pids, more than [f] crashes,
+    or a [seeded_bug] on a protocol that has no embedded Algorithm 1. *)
+
+val make : spec -> Qs_mc.Engine.system
+(** The system is self-contained: [reset] rebuilds the cluster, re-arms
+    crashes, re-injects suspicions and resubmits requests, and clears the
+    process-wide metrics registry and journal (and the test bug flag) so
+    replays are deterministic. *)
+
+(** {2 Regression corpus}
+
+    A [.sched] file is [key=value] lines ([#] comments, blank lines
+    ignored). Two kinds:
+
+    [kind=mc] — replay a model-checker schedule:
+    {v
+    kind=mc
+    protocol=quorum          # quorum|follower|xpaxos|xpaxos-enum
+    n=4                      # optional, default 4
+    f=1                      # optional, default 1
+    inject=0:3               # repeatable, "p:s1,s2"
+    crash=2                  # repeatable
+    requests=1               # optional (xpaxos)
+    seeded-bug=quorum-size   # optional, arms the test bug
+    schedule=d0;d2;t
+    expect=ok                # or violation:<check>
+    v}
+
+    [kind=chaos] — one monitored {!Chaos.execute} run:
+    {v
+    kind=chaos
+    stack=xpaxos-qs
+    seed=7
+    n=5                      # optional, default from Chaos.default_params
+    f=2
+    horizon-ms=400
+    requests=3               # optional
+    faults=delay p0->p2 by 60.000ms @ 0.000ms   # Fault.to_string format
+    expect=ok                # or violation:<check>
+    v} *)
+
+val run_regression : path:string -> (unit, string) result
+(** Parse and replay one corpus file; [Error] explains the first way the
+    file's [expect] line was not met (or a parse problem). Resets the
+    seeded-bug flag on the way out regardless of outcome. *)

@@ -1,0 +1,373 @@
+module Prng = Qs_stdx.Prng
+module Sha256 = Qs_crypto.Sha256
+module Campaign = Qs_faults.Campaign
+module Json = Qs_obs.Json
+
+type choice_info = {
+  choice : Schedule.choice;
+  canon : string;
+  receiver : int option;
+}
+
+type system = {
+  reset : unit -> unit;
+  enabled : unit -> choice_info list;
+  apply : Schedule.choice -> bool;
+  fingerprint : unit -> string;
+  violations : unit -> (string * string) list;
+  quiescent_violations : unit -> (string * string) list;
+  snapshot : (unit -> unit -> unit) option;
+}
+
+type violation = {
+  check : string;
+  detail : string;
+  schedule : Schedule.t;
+  shrink_steps : int;
+}
+
+type mode = Exhaustive of { depth : int } | Random of { seed : int; iters : int }
+
+type report = {
+  mode : mode;
+  visited : int;
+  revisit_pruned : int;
+  sleep_pruned : int;
+  transitions : int;
+  quiescent : int;
+  truncated : int;
+  complete : bool;
+  violations : violation list;
+}
+
+let ok r = r.violations = []
+
+(* Two choices commute iff they are deliveries to distinct processes: the
+   receiving handler only mutates its own process's state (and appends
+   sends, which the id-free fingerprint orders canonically), so either order
+   reaches the same global state. Steps and fires touch shared state (the
+   clock, a detector) and are never treated as independent. *)
+let commutes a b =
+  match (a.receiver, b.receiver) with
+  | Some ra, Some rb -> ra <> rb
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Replay + shrinking *)
+
+let rematerialize (system : system) prefix =
+  system.reset ();
+  List.iter (fun c -> ignore (system.apply c)) prefix
+
+let replay (system : system) schedule =
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  let note vs =
+    List.iter
+      (fun (check, detail) ->
+        let key = check ^ "|" ^ detail in
+        if not (Hashtbl.mem seen key) then begin
+          Hashtbl.replace seen key ();
+          acc := (check, detail) :: !acc
+        end)
+      vs
+  in
+  system.reset ();
+  note (system.violations ());
+  List.iter
+    (fun c ->
+      ignore (system.apply c);
+      note (system.violations ()))
+    schedule;
+  if system.enabled () = [] then note (system.quiescent_violations ());
+  List.rev !acc
+
+let remove_each schedule =
+  List.mapi (fun i _ -> List.filteri (fun j _ -> j <> i) schedule) schedule
+
+let shrink system ~check schedule =
+  Campaign.greedy_shrink ~candidates:remove_each
+    ~still_fails:(fun candidate ->
+      List.exists (fun (c, _) -> c = check) (replay system candidate))
+    schedule
+
+let shrink_violations system ~shrink:do_shrink violations =
+  List.map
+    (fun v ->
+      if not do_shrink then v
+      else
+        let schedule, steps = shrink system ~check:v.check v.schedule in
+        { v with schedule; shrink_steps = steps })
+    violations
+
+(* ------------------------------------------------------------------ *)
+(* Exhaustive exploration *)
+
+type stats = {
+  mutable s_visited : int;
+  mutable s_revisit : int;
+  mutable s_sleep : int;
+  mutable s_transitions : int;
+  mutable s_quiescent : int;
+  mutable s_truncated : int;
+}
+
+(* Fingerprint cache combining budget-aware iterative deepening with sleep
+   sets. A cache entry (b, S) means: this state was explored with [b]
+   remaining choices and sleep set [S] (canonical keys, sorted). A revisit
+   with budget b' and sleep S' is redundant iff some entry has b ≥ b' and
+   S ⊆ S' — the earlier visit went at least as deep and explored at least
+   the transitions the new visit would (sleep sets only remove transitions).
+   Plain fingerprint pruning without the subset condition is unsound when
+   combined with sleep sets; see DESIGN.md. *)
+let rec subset a b =
+  match (a, b) with
+  | [], _ -> true
+  | _, [] -> false
+  | x :: a', y :: b' ->
+    if x = y then subset a' b' else if compare y x < 0 then subset a b' else false
+
+let dominated entries budget sleep =
+  List.exists (fun (b, s) -> b >= budget && subset s sleep) entries
+
+let insert_entry entries budget sleep =
+  (budget, sleep)
+  :: List.filter (fun (b, s) -> not (budget >= b && subset sleep s)) entries
+
+let explore ?(por = true) ?(shrink = true) ~depth (system : system) =
+  if depth < 1 then invalid_arg "Engine.explore: depth must be >= 1";
+  let found : (string, violation) Hashtbl.t = Hashtbl.create 8 in
+  let order = ref [] in
+  let note path vs =
+    List.iter
+      (fun (check, detail) ->
+        if not (Hashtbl.mem found check) then begin
+          Hashtbl.replace found check { check; detail; schedule = path; shrink_steps = 0 };
+          order := check :: !order
+        end)
+      vs
+  in
+  let run_iteration bound =
+    let stats =
+      {
+        s_visited = 0;
+        s_revisit = 0;
+        s_sleep = 0;
+        s_transitions = 0;
+        s_quiescent = 0;
+        s_truncated = 0;
+      }
+    in
+    let visited : (Sha256.digest, (int * string list) list) Hashtbl.t =
+      Hashtbl.create 4096
+    in
+    (* [visit] runs with the state matching [path] materialized; [sleep] is
+       the inherited sleep set (choices whose exploration here would be
+       redundant with a sibling subtree already explored). *)
+    let rec visit path budget sleep =
+      note path (system.violations ());
+      let fp = Sha256.digest_string (system.fingerprint ()) in
+      let sleep_canon = List.sort compare (List.map (fun ci -> ci.canon) sleep) in
+      match Hashtbl.find_opt visited fp with
+      | Some entries when dominated entries budget sleep_canon ->
+        stats.s_revisit <- stats.s_revisit + 1
+      | previous ->
+        (match previous with
+         | None -> stats.s_visited <- stats.s_visited + 1
+         | Some _ -> ());
+        Hashtbl.replace visited fp
+          (insert_entry (Option.value ~default:[] previous) budget sleep_canon);
+        let en = system.enabled () in
+        if en = [] then begin
+          stats.s_quiescent <- stats.s_quiescent + 1;
+          note path (system.quiescent_violations ())
+        end
+        else if budget = 0 then stats.s_truncated <- stats.s_truncated + 1
+        else begin
+          (* Dedupe by canonical key: two pending copies of one message are
+             the same transition. Then explore left to right, letting later
+             siblings sleep on earlier independent ones. *)
+          let slept : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+          List.iter (fun ci -> Hashtbl.replace slept ci.canon ()) sleep;
+          let explored = ref sleep in
+          List.iter
+            (fun ci ->
+              if Hashtbl.mem slept ci.canon then stats.s_sleep <- stats.s_sleep + 1
+              else begin
+                let child_sleep = List.filter (fun b -> commutes b ci) !explored in
+                stats.s_transitions <- stats.s_transitions + 1;
+                (match system.snapshot with
+                 | Some snap ->
+                   let restore = snap () in
+                   ignore (system.apply ci.choice);
+                   visit (path @ [ ci.choice ]) (budget - 1) child_sleep;
+                   restore ()
+                 | None ->
+                   rematerialize system (path @ [ ci.choice ]);
+                   visit (path @ [ ci.choice ]) (budget - 1) child_sleep);
+                Hashtbl.replace slept ci.canon ();
+                if por then explored := !explored @ [ ci ]
+              end)
+            en
+        end
+    in
+    system.reset ();
+    visit [] bound [];
+    stats
+  in
+  (* Iterative deepening: shallow bounds find the shortest counterexamples
+     first; once an iteration runs without truncation the reachable graph is
+     fully explored and deeper bounds cannot add states. *)
+  let rec deepen bound =
+    let stats = run_iteration bound in
+    if stats.s_truncated = 0 || bound = depth then (stats, bound)
+    else deepen (bound + 1)
+  in
+  let stats, _ = deepen 1 in
+  let violations =
+    List.rev_map (fun check -> Hashtbl.find found check) !order
+    |> shrink_violations system ~shrink
+  in
+  {
+    mode = Exhaustive { depth };
+    visited = stats.s_visited;
+    revisit_pruned = stats.s_revisit;
+    sleep_pruned = stats.s_sleep;
+    transitions = stats.s_transitions;
+    quiescent = stats.s_quiescent;
+    truncated = stats.s_truncated;
+    complete = stats.s_truncated = 0;
+    violations;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Randomized walks *)
+
+let random ?(max_steps = 200) ?(shrink = true) ~seed ~iters (system : system) =
+  if max_steps < 1 then invalid_arg "Engine.random: max_steps must be >= 1";
+  let rng = Prng.of_int seed in
+  let fps = Hashtbl.create 1024 in
+  let transitions = ref 0 in
+  let quiescent = ref 0 in
+  let truncated = ref 0 in
+  let found : (string, violation) Hashtbl.t = Hashtbl.create 4 in
+  let order = ref [] in
+  let hit = ref false in
+  let note path vs =
+    List.iter
+      (fun (check, detail) ->
+        hit := true;
+        if not (Hashtbl.mem found check) then begin
+          Hashtbl.replace found check { check; detail; schedule = path; shrink_steps = 0 };
+          order := check :: !order
+        end)
+      vs
+  in
+  let i = ref 0 in
+  while (not !hit) && !i < iters do
+    incr i;
+    system.reset ();
+    let path = ref [] in
+    note !path (system.violations ());
+    let steps = ref 0 in
+    let stop = ref false in
+    while (not !stop) && (not !hit) && !steps < max_steps do
+      let fp = Sha256.digest_string (system.fingerprint ()) in
+      if not (Hashtbl.mem fps fp) then Hashtbl.replace fps fp ();
+      match system.enabled () with
+      | [] ->
+        incr quiescent;
+        note !path (system.quiescent_violations ());
+        stop := true
+      | en ->
+        let ci = Prng.pick_list rng en in
+        ignore (system.apply ci.choice);
+        incr transitions;
+        incr steps;
+        path := !path @ [ ci.choice ];
+        note !path (system.violations ())
+    done;
+    if (not !stop) && not !hit then incr truncated
+  done;
+  let violations =
+    List.rev_map (fun check -> Hashtbl.find found check) !order
+    |> shrink_violations system ~shrink
+  in
+  {
+    mode = Random { seed; iters };
+    visited = Hashtbl.length fps;
+    revisit_pruned = 0;
+    sleep_pruned = 0;
+    transitions = !transitions;
+    quiescent = !quiescent;
+    truncated = !truncated;
+    complete = false;
+    violations;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Rendering *)
+
+let mode_to_string = function
+  | Exhaustive { depth } -> Printf.sprintf "exhaustive to depth %d" depth
+  | Random { seed; iters } -> Printf.sprintf "random (seed %d, %d walks)" seed iters
+
+let report_to_string r =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "%s: %s\n" (mode_to_string r.mode)
+       (match r.mode with
+        | Exhaustive _ when r.complete -> "state space exhausted"
+        | Exhaustive _ -> "bounded (paths truncated at depth limit)"
+        | Random _ -> if r.violations = [] then "no violation found" else "violation found"));
+  Buffer.add_string b (Printf.sprintf "  states visited   : %d\n" r.visited);
+  Buffer.add_string b (Printf.sprintf "  pruned (revisit) : %d\n" r.revisit_pruned);
+  Buffer.add_string b (Printf.sprintf "  pruned (sleep)   : %d\n" r.sleep_pruned);
+  Buffer.add_string b (Printf.sprintf "  transitions      : %d\n" r.transitions);
+  Buffer.add_string b (Printf.sprintf "  quiescent states : %d\n" r.quiescent);
+  Buffer.add_string b (Printf.sprintf "  truncated paths  : %d\n" r.truncated);
+  Buffer.add_string b (Printf.sprintf "  violations       : %d\n" (List.length r.violations));
+  List.iter
+    (fun v ->
+      Buffer.add_string b
+        (Printf.sprintf "  VIOLATION %s: %s\n    schedule: %s (%d shrink attempts)\n"
+           v.check v.detail
+           (let s = Schedule.to_string v.schedule in
+            if s = "" then "(empty)" else s)
+           v.shrink_steps))
+    r.violations;
+  Buffer.contents b
+
+let violation_to_json v =
+  Json.Obj
+    [
+      ("check", Json.String v.check);
+      ("detail", Json.String v.detail);
+      ("schedule", Json.String (Schedule.to_string v.schedule));
+      ("shrink_steps", Json.Int v.shrink_steps);
+    ]
+
+let report_to_json r =
+  Json.Obj
+    [
+      ( "mode",
+        match r.mode with
+        | Exhaustive { depth } ->
+          Json.Obj [ ("kind", Json.String "exhaustive"); ("depth", Json.Int depth) ]
+        | Random { seed; iters } ->
+          Json.Obj
+            [
+              ("kind", Json.String "random");
+              ("seed", Json.Int seed);
+              ("iters", Json.Int iters);
+            ] );
+      ("visited", Json.Int r.visited);
+      ("revisit_pruned", Json.Int r.revisit_pruned);
+      ("sleep_pruned", Json.Int r.sleep_pruned);
+      ("transitions", Json.Int r.transitions);
+      ("quiescent", Json.Int r.quiescent);
+      ("truncated", Json.Int r.truncated);
+      ("complete", Json.Bool r.complete);
+      ("ok", Json.Bool (ok r));
+      ("violations", Json.List (List.map violation_to_json r.violations));
+    ]

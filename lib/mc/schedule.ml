@@ -1,0 +1,32 @@
+type choice = Deliver of int | Step | Fire of int
+
+type t = choice list
+
+let choice_to_string = function
+  | Deliver id -> "d" ^ string_of_int id
+  | Step -> "t"
+  | Fire p -> "f" ^ string_of_int p
+
+let to_string t = String.concat ";" (List.map choice_to_string t)
+
+let choice_of_string s =
+  let fail () = invalid_arg (Printf.sprintf "Schedule.of_string: bad choice %S" s) in
+  let num () =
+    match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+    | Some v when v >= 0 -> v
+    | _ -> fail ()
+  in
+  if s = "t" then Step
+  else if String.length s >= 2 && s.[0] = 'd' then Deliver (num ())
+  else if String.length s >= 2 && s.[0] = 'f' then Fire (num ())
+  else fail ()
+
+let of_string s =
+  let s = String.trim s in
+  if s = "" then []
+  else List.map (fun c -> choice_of_string (String.trim c)) (String.split_on_char ';' s)
+
+let to_json t =
+  Qs_obs.Json.List (List.map (fun c -> Qs_obs.Json.String (choice_to_string c)) t)
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

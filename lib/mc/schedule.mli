@@ -1,0 +1,31 @@
+(** Replayable schedules: the model checker's choice vocabulary.
+
+    A schedule is the sequence of nondeterministic choices that takes a
+    deterministic initial state to the state of interest. Three choice kinds
+    cover every source of nondeterminism the simulated systems have:
+
+    - [Deliver id]: hand the parked network message [id] to its destination
+      ({!Qs_sim.Network.deliver_now});
+    - [Step]: pop the next simulation event — timer deadlines, detector
+      expectations — advancing virtual time;
+    - [Fire p]: force process [p]'s open failure-detector expectation to
+      time out (used by instances whose FD is emulated without timers).
+
+    The textual form ("d3;t;f1") is what [test/regressions/] pins and what
+    violation reports print, so counterexamples replay from plain text. *)
+
+type choice = Deliver of int | Step | Fire of int
+
+type t = choice list
+
+val choice_to_string : choice -> string
+
+val to_string : t -> string
+(** Semicolon-separated, e.g. ["d3;d0;t"]; the empty schedule is [""]. *)
+
+val of_string : string -> t
+(** Inverse of {!to_string}; [Invalid_argument] on malformed input. *)
+
+val to_json : t -> Qs_obs.Json.t
+
+val pp : Format.formatter -> t -> unit

@@ -21,6 +21,10 @@ type 'm filter = now:Stime.t -> src:int -> dst:int -> 'm -> action
 
 type filter_id = int
 
+(* A message held by the controlled-mode pending set. Ids increase
+   monotonically in send order, so per-link FIFO order is the id order. *)
+type 'm held = { id : int; h_src : int; h_dst : int; payload : 'm }
+
 type 'm t = {
   sim : Sim.t;
   n : int;
@@ -38,6 +42,9 @@ type 'm t = {
   mutable delivered : int;
   mutable dropped : int;
   link_counts : int array array;
+  mutable controlled : bool;
+  mutable pending_q : 'm held list; (* oldest first *)
+  mutable next_msg_id : int;
   m_sent : Metrics.counter;
   m_delivered : Metrics.counter;
   m_dropped : Metrics.counter;
@@ -66,6 +73,9 @@ let create ~sim ~n ~delay ?(fifo = false) () =
     delivered = 0;
     dropped = 0;
     link_counts = Array.make_matrix n n 0;
+    controlled = false;
+    pending_q = [];
+    next_msg_id = 0;
     m_sent = Metrics.counter "net_sent_total";
     m_delivered = Metrics.counter "net_delivered_total";
     m_dropped = Metrics.counter "net_dropped_total";
@@ -162,6 +172,17 @@ let send t ~src ~dst m =
     Metrics.inc t.m_dropped;
     if Journal.live () then Journal.record (Journal.Net_dropped { src; dst });
     trace t Dropped ~src ~dst m
+  | `Deliver (_, copies) when t.controlled ->
+    (* Controlled mode: park every surviving copy in the pending set instead
+       of scheduling it; a model checker picks the delivery order explicitly
+       via [deliver_now]. Extra [Delay] latency is meaningless here — time
+       only advances when the checker steps the simulation — so only the
+       Drop/Duplicate verdicts of the filter chain are observable. *)
+    for _ = 1 to Stdlib.max 1 copies do
+      let id = t.next_msg_id in
+      t.next_msg_id <- id + 1;
+      t.pending_q <- t.pending_q @ [ { id; h_src = src; h_dst = dst; payload = m } ]
+    done
   | `Deliver (extra, copies) ->
     let schedule_one () =
       let latency = if src = dst then 1 else Stime.(base_delay t + extra) in
@@ -202,3 +223,96 @@ let reset_counters t =
   t.delivered <- 0;
   t.dropped <- 0;
   Array.iter (fun row -> Array.fill row 0 t.n 0) t.link_counts
+
+(* ------------------------------------------------------------------ *)
+(* Controlled mode: the model checker's choice-point interface *)
+
+let fifo t = t.fifo
+
+let controlled t = t.controlled
+
+let set_controlled t on = t.controlled <- on
+
+let pending t = List.map (fun h -> (h.id, h.h_src, h.h_dst, h.payload)) t.pending_q
+
+let pending_count t = List.length t.pending_q
+
+(* The subset of pending messages a schedule may deliver next: everything
+   when the network is unordered, only the oldest message per (src, dst) link
+   when it is FIFO — delivering a younger one first would violate the
+   ordering the protocols were built on (Follower Selection, Section VIII). *)
+let deliverable t =
+  if not t.fifo then pending t
+  else begin
+    let seen = Hashtbl.create 16 in
+    List.filter_map
+      (fun h ->
+        let link = (h.h_src, h.h_dst) in
+        if Hashtbl.mem seen link then None
+        else begin
+          Hashtbl.replace seen link ();
+          Some (h.id, h.h_src, h.h_dst, h.payload)
+        end)
+      t.pending_q
+  end
+
+let deliver_now t id =
+  match List.find_opt (fun h -> h.id = id) t.pending_q with
+  | None -> false
+  | Some h ->
+    t.pending_q <- List.filter (fun h' -> h'.id <> id) t.pending_q;
+    deliver t ~src:h.h_src ~dst:h.h_dst ~latency:0 h.payload;
+    true
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot / restore.
+
+   Captures everything the network itself mutates: the pending set and id
+   counter, the filter chain and legacy slot, counters and the FIFO
+   watermarks. Deliberately NOT captured: the simulation queue (events hold
+   closures; in controlled mode no delivery events are in flight, which is
+   the only mode a checker forks in), the handlers/tracer (wiring, not
+   state), and the global metrics registry and journal — module-level state
+   the checker must reset separately (see DESIGN.md, "Model checking"). *)
+
+type 'm snapshot = {
+  s_pending : 'm held list;
+  s_next_msg_id : int;
+  s_controlled : bool;
+  s_filter : 'm filter option;
+  s_chain : (filter_id * 'm filter) list;
+  s_next_filter_id : filter_id;
+  s_last_arrival : Stime.t array array;
+  s_sent : int;
+  s_delivered : int;
+  s_dropped : int;
+  s_link_counts : int array array;
+}
+
+let snapshot t =
+  {
+    s_pending = t.pending_q;
+    s_next_msg_id = t.next_msg_id;
+    s_controlled = t.controlled;
+    s_filter = t.filter;
+    s_chain = t.chain;
+    s_next_filter_id = t.next_filter_id;
+    s_last_arrival = Array.map Array.copy t.last_arrival;
+    s_sent = t.sent;
+    s_delivered = t.delivered;
+    s_dropped = t.dropped;
+    s_link_counts = Array.map Array.copy t.link_counts;
+  }
+
+let restore t s =
+  t.pending_q <- s.s_pending;
+  t.next_msg_id <- s.s_next_msg_id;
+  t.controlled <- s.s_controlled;
+  t.filter <- s.s_filter;
+  t.chain <- s.s_chain;
+  t.next_filter_id <- s.s_next_filter_id;
+  Array.iteri (fun i row -> Array.blit row 0 t.last_arrival.(i) 0 t.n) s.s_last_arrival;
+  t.sent <- s.s_sent;
+  t.delivered <- s.s_delivered;
+  t.dropped <- s.s_dropped;
+  Array.iteri (fun i row -> Array.blit row 0 t.link_counts.(i) 0 t.n) s.s_link_counts

@@ -119,3 +119,51 @@ val dropped_count : _ t -> int
 val link_sent : _ t -> src:int -> dst:int -> int
 
 val reset_counters : _ t -> unit
+
+(** {2 Controlled mode} — the model checker's choice-point interface.
+
+    With [set_controlled t true], {!send} still runs the filter chain (so
+    Drop faults and Duplicate copies apply) but every surviving copy is
+    {e parked} in a pending set instead of being scheduled for delivery; the
+    caller then delivers messages one at a time in any order it likes with
+    {!deliver_now}. This turns delivery order into an explicit choice point:
+    [lib/mc] enumerates the pending set to explore all interleavings.
+    [Delay] verdicts are ignored in this mode — virtual time only advances
+    when the caller steps the simulation. *)
+
+val set_controlled : _ t -> bool -> unit
+
+val controlled : _ t -> bool
+
+val fifo : _ t -> bool
+(** Whether the network preserves per-link order (fixed at {!create}). *)
+
+val pending : 'm t -> (int * int * int * 'm) list
+(** All parked messages, oldest first: [(id, src, dst, payload)]. Ids
+    increase in send order and are unique for the life of the network. *)
+
+val pending_count : _ t -> int
+
+val deliverable : 'm t -> (int * int * int * 'm) list
+(** The pending messages a schedule may deliver next: all of them on an
+    unordered network, only the oldest per (src, dst) link on a FIFO one. *)
+
+val deliver_now : 'm t -> int -> bool
+(** Deliver the parked message with this id to its destination handler right
+    now (latency 0). [false] if the id is not pending (already delivered or
+    never parked) — replayed schedules treat that as a skip. *)
+
+(** {2 Snapshot / restore} — fork points for schedule exploration.
+
+    A snapshot captures the network's own mutable state: pending set, id
+    counter, controlled flag, filter chain and legacy slot, FIFO watermarks
+    and counters. It does {e not} capture the simulation event queue (fork
+    only from controlled, delivery-quiescent states), the handlers, or
+    module-level observability state (metrics registry, journal) — callers
+    reset those separately. *)
+
+type 'm snapshot
+
+val snapshot : 'm t -> 'm snapshot
+
+val restore : 'm t -> 'm snapshot -> unit

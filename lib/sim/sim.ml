@@ -56,3 +56,5 @@ let run ?until ?(max_events = 10_000_000) t =
   done
 
 let events_executed t = t.executed
+
+let pending_events t = Heap.size t.queue

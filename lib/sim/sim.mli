@@ -37,3 +37,7 @@ val run : ?until:Stime.t -> ?max_events:int -> t -> unit
 exception Event_budget_exhausted
 
 val events_executed : t -> int
+
+val pending_events : t -> int
+(** Events still queued — the model checker's [Step] choices are enabled
+    exactly when this is positive, and the count feeds state fingerprints. *)

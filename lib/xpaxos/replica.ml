@@ -527,3 +527,53 @@ let detector t = fd t
 let detections t = t.detections
 
 let quorum_selector t = t.qsel
+
+(* Canonical encoding of the replica's protocol-visible state for the model
+   checker's fingerprints. Covers the view/group/phase machine, the log
+   (prepares, votes, commit/execute marks), the execution cursor, permanent
+   detections, the detector's suspect set and open-expectation count, and
+   the quorum-selection instance. Not covered: adapted timeout values and
+   expectation deadlines (pure timing state — two states differing only
+   there can produce different Step-choice orders, a deliberate small-scope
+   approximation documented in DESIGN.md). *)
+let fingerprint t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "v%d|g%s|x%d|" t.view
+       (String.concat "," (List.map string_of_int t.grp))
+       t.exec_cursor);
+  (match t.phase with
+   | Normal -> Buffer.add_string b "N"
+   | Passive -> Buffer.add_string b "P"
+   | Awaiting_new_view -> Buffer.add_string b "A"
+   | Leading_collect tbl ->
+     let members = Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] in
+     Buffer.add_string b
+       ("L" ^ String.concat "," (List.map string_of_int (List.sort compare members))));
+  for slot = 0 to Xlog.max_slot t.log do
+    match Xlog.find t.log slot with
+    | None -> ()
+    | Some e ->
+      let sp =
+        match e.Xlog.sp with
+        | None -> "-"
+        | Some sp ->
+          Printf.sprintf "%d:%d.%d:%s" sp.Xmsg.prepare.Xmsg.view
+            sp.Xmsg.prepare.Xmsg.request.Xmsg.client sp.Xmsg.prepare.Xmsg.request.Xmsg.rid
+            sp.Xmsg.prepare.Xmsg.request.Xmsg.op
+      in
+      Buffer.add_string b
+        (Printf.sprintf "|s%d=%s/%s%s%s" slot sp
+           (String.concat "," (List.map string_of_int (List.sort compare e.Xlog.votes)))
+           (if e.Xlog.committed then "c" else "")
+           (if e.Xlog.executed then "x" else ""))
+  done;
+  Buffer.add_string b
+    (Printf.sprintf "|d%s|su%s|oe%d"
+       (String.concat "," (List.map string_of_int (List.sort_uniq compare t.detections)))
+       (String.concat "," (List.map string_of_int (Detector.suspected (fd t))))
+       (Detector.open_expectations (fd t)));
+  (match t.qsel with
+   | None -> ()
+   | Some qsel -> Buffer.add_string b ("|qs:" ^ QS.fingerprint qsel));
+  Buffer.contents b

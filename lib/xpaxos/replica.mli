@@ -109,3 +109,11 @@ val detections : t -> Qs_core.Pid.t list
 
 val quorum_selector : t -> Qs_core.Quorum_select.t option
 (** The embedded Algorithm-1 instance in [Quorum_selection] mode. *)
+
+val fingerprint : t -> string
+(** Canonical encoding of the replica's protocol-visible state (view, group,
+    phase, log with votes and commit/execute marks, execution cursor,
+    detections, detector suspect set and open-expectation count, embedded
+    quorum selector) for model-checker state hashing. Timeout adaptation
+    state and expectation deadlines are deliberately excluded — see
+    DESIGN.md, "Model checking", for the soundness caveat. *)

@@ -1,0 +1,26 @@
+(* Replays every pinned schedule in test/regressions/ through the
+   Modelcheck corpus runner: model-checker counterexamples ([kind=mc]) and
+   monitored chaos runs ([kind=chaos]) alike. Each .sched file becomes one
+   test case; adding a regression is adding a file. *)
+
+let corpus_dir () =
+  List.find_opt
+    (fun d -> Sys.file_exists d && Sys.is_directory d)
+    [ "regressions"; "test/regressions"; Filename.concat (Filename.dirname Sys.executable_name) "regressions" ]
+
+let cases =
+  match corpus_dir () with
+  | None -> []
+  | Some dir ->
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".sched")
+    |> List.sort compare
+    |> List.map (fun f ->
+           Alcotest.test_case f `Quick (fun () ->
+               match Qs_harness.Modelcheck.run_regression ~path:(Filename.concat dir f) with
+               | Ok () -> ()
+               | Error msg -> Alcotest.failf "%s: %s" f msg))
+
+let () =
+  if cases = [] then failwith "regression corpus not found (expected test/regressions/*.sched)";
+  Alcotest.run "regressions" [ ("corpus", cases) ]

@@ -328,6 +328,128 @@ let test_net_unhandled_endpoint_ok () =
   check_int "counted though discarded" 1 (Network.delivered_count net)
 
 (* ------------------------------------------------------------------ *)
+(* Controlled mode + snapshot/restore (the model checker's choice points) *)
+
+let test_ctrl_parks_messages () =
+  let sim, net = make_net () in
+  let got = ref [] in
+  Network.set_handler net 1 (fun ~src m -> got := (src, m, Sim.now sim) :: !got);
+  Network.set_controlled net true;
+  check_bool "flag" true (Network.controlled net);
+  Network.send net ~src:0 ~dst:1 "a";
+  Network.send net ~src:2 ~dst:1 "b";
+  Sim.run sim;
+  check_int "nothing delivered by the sim" 0 (List.length !got);
+  check_int "both parked" 2 (Network.pending_count net);
+  check_int "unordered net: all deliverable" 2 (List.length (Network.deliverable net));
+  let id_b =
+    match List.find (fun (_, src, _, _) -> src = 2) (Network.pending net) with
+    | id, _, _, _ -> id
+  in
+  check_bool "deliver_now" true (Network.deliver_now net id_b);
+  Alcotest.(check (list (triple int string int)))
+    "synchronous, zero latency" [ (2, "b", 0) ] !got;
+  check_int "removed from pending" 1 (Network.pending_count net);
+  check_bool "unknown id is a no-op" false (Network.deliver_now net id_b)
+
+let test_ctrl_fifo_oldest_per_link () =
+  let sim, net = make_net ~fifo:true () in
+  Network.set_handler net 1 (fun ~src:_ _ -> ());
+  Network.set_controlled net true;
+  Network.send net ~src:0 ~dst:1 "first";
+  Network.send net ~src:0 ~dst:1 "second";
+  Network.send net ~src:2 ~dst:1 "other-link";
+  Sim.run sim;
+  let dlv = Network.deliverable net in
+  check_int "one per link" 2 (List.length dlv);
+  let payloads = List.map (fun (_, _, _, m) -> m) dlv in
+  check_bool "oldest of 0->1 only" true
+    (List.mem "first" payloads && not (List.mem "second" payloads));
+  (match List.find (fun (_, _, _, m) -> m = "first") dlv with
+  | id, _, _, _ -> ignore (Network.deliver_now net id));
+  check_bool "successor becomes deliverable" true
+    (List.exists (fun (_, _, _, m) -> m = "second") (Network.deliverable net))
+
+let test_ctrl_filters_still_apply () =
+  let sim, net = make_net () in
+  Network.set_handler net 1 (fun ~src:_ _ -> ());
+  Network.set_controlled net true;
+  ignore
+    (Network.add_filter net (fun ~now:_ ~src ~dst:_ _ ->
+         if src = 2 then Network.Drop else Network.Duplicate 2));
+  Network.send net ~src:0 ~dst:1 "dup";
+  Network.send net ~src:2 ~dst:1 "dropped";
+  Sim.run sim;
+  check_int "duplicate parks two copies, drop parks none" 2 (Network.pending_count net);
+  check_int "drop counted" 1 (Network.dropped_count net)
+
+let test_ctrl_snapshot_restores_pending () =
+  let sim, net = make_net () in
+  let got = ref 0 in
+  Network.set_handler net 1 (fun ~src:_ _ -> incr got);
+  Network.set_controlled net true;
+  Network.send net ~src:0 ~dst:1 "a";
+  Network.send net ~src:0 ~dst:1 "b";
+  Sim.run sim;
+  let snap = Network.snapshot net in
+  let ids = List.map (fun (id, _, _, _) -> id) (Network.pending net) in
+  List.iter (fun id -> ignore (Network.deliver_now net id)) ids;
+  Network.send net ~src:2 ~dst:1 "c";
+  Sim.run sim;
+  check_int "drained and refilled" 1 (Network.pending_count net);
+  check_int "two delivered" 2 !got;
+  Network.restore net snap;
+  check_int "pending set rolled back" 2 (Network.pending_count net);
+  check_bool "original ids deliverable again" true
+    (List.for_all (fun id -> List.mem id (List.map (fun (i, _, _, _) -> i) (Network.pending net))) ids);
+  check_int "delivered counter rolled back" 0 (Network.delivered_count net);
+  (* The id allocator is rolled back too, so a re-run of the same sends
+     reassigns the same ids — replays stay aligned. *)
+  Network.send net ~src:2 ~dst:1 "c";
+  Sim.run sim;
+  let fresh = List.map (fun (id, _, _, _) -> id) (Network.pending net) in
+  check_bool "allocator rolled back" true (List.length (List.sort_uniq compare fresh) = 3)
+
+let test_ctrl_restore_filter_chain () =
+  (* Satellite: first-Drop-wins must survive a snapshot/restore cycle. *)
+  let sim, net = make_net () in
+  Network.set_handler net 1 (fun ~src:_ _ -> ());
+  Network.set_controlled net true;
+  let drop_id = Network.add_filter net (fun ~now:_ ~src:_ ~dst:_ _ -> Network.Drop) in
+  let snap = Network.snapshot net in
+  Network.remove_filter net drop_id;
+  ignore (Network.add_filter net (fun ~now:_ ~src:_ ~dst:_ _ -> Network.Duplicate 2));
+  Network.send net ~src:0 ~dst:1 "x";
+  Sim.run sim;
+  check_int "without the drop: duplicated" 2 (Network.pending_count net);
+  Network.restore net snap;
+  check_int "chain rolled back with pending" 0 (Network.pending_count net);
+  Network.send net ~src:0 ~dst:1 "x";
+  Sim.run sim;
+  check_int "restored chain: first Drop wins again" 0 (Network.pending_count net);
+  check_int "dropped" 1 (Network.dropped_count net)
+
+let test_restore_delay_accumulation () =
+  (* Satellite: chained Delays keep accumulating after a restore, on a live
+     (uncontrolled) net — the chain snapshot is not limited to mc runs. *)
+  let sim, net = make_net () in
+  let at = ref (-1) in
+  Network.set_handler net 1 (fun ~src:_ _ -> at := Sim.now sim);
+  ignore (Network.add_filter net (fun ~now:_ ~src:_ ~dst:_ _ -> Network.Delay 20));
+  let keep = Network.add_filter net (fun ~now:_ ~src:_ ~dst:_ _ -> Network.Delay 30) in
+  let snap = Network.snapshot net in
+  Network.remove_filter net keep;
+  Network.send net ~src:0 ~dst:1 "m";
+  Sim.run sim;
+  check_int "one delay left" (10 + 20) !at;
+  Network.restore net snap;
+  at := -1;
+  let t0 = Sim.now sim in
+  Network.send net ~src:0 ~dst:1 "m";
+  Sim.run sim;
+  check_int "both delays accumulate after restore" (10 + 20 + 30) (!at - t0)
+
+(* ------------------------------------------------------------------ *)
 (* Trace *)
 
 let test_trace_records_flow () =
@@ -431,6 +553,16 @@ let () =
           Alcotest.test_case "eventual synchrony" `Quick test_net_eventually_synchronous;
           Alcotest.test_case "counters" `Quick test_net_counters;
           Alcotest.test_case "unhandled endpoint" `Quick test_net_unhandled_endpoint_ok;
+        ] );
+      ( "controlled",
+        [
+          Alcotest.test_case "parks and delivers by id" `Quick test_ctrl_parks_messages;
+          Alcotest.test_case "fifo oldest per link" `Quick test_ctrl_fifo_oldest_per_link;
+          Alcotest.test_case "filters still apply" `Quick test_ctrl_filters_still_apply;
+          Alcotest.test_case "snapshot restores pending" `Quick test_ctrl_snapshot_restores_pending;
+          Alcotest.test_case "restore keeps first-drop-wins" `Quick test_ctrl_restore_filter_chain;
+          Alcotest.test_case "restore keeps delay accumulation" `Quick
+            test_restore_delay_accumulation;
         ] );
       ( "trace",
         [
