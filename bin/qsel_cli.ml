@@ -43,6 +43,7 @@ let experiment_of_id id =
   | "e10" -> Some (fun () -> Qs_harness.Experiments.e10 ())
   | "e11" -> Some (fun () -> Qs_harness.Experiments.e11 ())
   | "e12" -> Some (fun () -> Qs_harness.Experiments.e12 ())
+  | "e14" -> Some (fun () -> Qs_harness.Experiments.e14 ())
   | _ -> None
 
 let experiment_cmd =
@@ -326,8 +327,18 @@ let chaos_cmd =
             "Generate schedules exceeding the failure budget (> f blamed \
              processes); only core SMR safety is enforced, liveness is not.")
   in
+  let amnesia =
+    Arg.(
+      value & flag
+      & info [ "amnesia" ]
+          ~doc:
+            "Make half the generated crashes amnesia crashes: volatile state \
+             is wiped at the recovery point and the process restarts from its \
+             durable snapshot, rejoining via CRDT state transfer. The monitor \
+             additionally enforces the recovery invariants.")
+  in
   let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.") in
-  let run protocol seed runs quick out_of_model json metrics =
+  let run protocol seed runs quick out_of_model amnesia json metrics =
     with_metrics metrics @@ fun () ->
     let stacks =
       if String.lowercase_ascii protocol = "all" then Ok Chaos.all
@@ -347,7 +358,7 @@ let chaos_cmd =
       let reports =
         List.map
           (fun st ->
-            (st, Chaos.campaign st ~params:(params st) ~out_of_model ~runs ~seed ()))
+            (st, Chaos.campaign st ~params:(params st) ~out_of_model ~amnesia ~runs ~seed ()))
           stacks
       in
       if json then
@@ -385,7 +396,9 @@ let chaos_cmd =
   in
   Cmd.v (Cmd.info "chaos" ~doc)
     Term.(
-      ret (const run $ protocol $ seed $ runs $ quick $ out_of_model $ json $ metrics_arg))
+      ret
+        (const run $ protocol $ seed $ runs $ quick $ out_of_model $ amnesia $ json
+        $ metrics_arg))
 
 (* ------------------------------------------------------------------ *)
 (* mc: small-scope model checking / schedule exploration *)
@@ -416,8 +429,10 @@ let mc_cmd =
       & info [ "inject" ] ~docv:"P:S1,S2"
           ~doc:
             "Initial ⟨SUSPECTED⟩ event: process $(i,P) starts out suspecting \
-             $(i,S1,S2,...). Repeatable. Defaults to the protocol's canonical \
-             scenario when omitted.")
+             $(i,S1,S2,...). The form $(b,amnesia:P) instead grants process \
+             $(i,P) one amnesia crash, explored at every point of every \
+             schedule (quorum protocol only). Repeatable. Defaults to the \
+             protocol's canonical scenario when omitted.")
   in
   let crash =
     Arg.(
@@ -459,19 +474,24 @@ let mc_cmd =
       (fun acc s ->
         match acc with
         | Error _ -> acc
-        | Ok acc -> (
+        | Ok (inj, amn) -> (
           match String.index_opt s ':' with
-          | None -> Error (Printf.sprintf "bad --inject %S (want P:S1,S2)" s)
+          | None -> Error (Printf.sprintf "bad --inject %S (want P:S1,S2 or amnesia:P)" s)
           | Some i -> (
             let p = String.sub s 0 i
             and rest = String.sub s (i + 1) (String.length s - i - 1) in
-            match
-              (int_of_string_opt p, List.map int_of_string_opt (String.split_on_char ',' rest))
-            with
-            | Some p, suspects when suspects <> [] && List.for_all Option.is_some suspects ->
-              Ok ((p, List.map Option.get suspects) :: acc)
-            | _ -> Error (Printf.sprintf "bad --inject %S (want P:S1,S2)" s))))
-      (Ok []) specs
+            if String.lowercase_ascii p = "amnesia" then
+              match int_of_string_opt rest with
+              | Some p -> Ok (inj, p :: amn)
+              | None -> Error (Printf.sprintf "bad --inject %S (want amnesia:P)" s)
+            else
+              match
+                (int_of_string_opt p, List.map int_of_string_opt (String.split_on_char ',' rest))
+              with
+              | Some p, suspects when suspects <> [] && List.for_all Option.is_some suspects ->
+                Ok ((p, List.map Option.get suspects) :: inj, amn)
+              | _ -> Error (Printf.sprintf "bad --inject %S (want P:S1,S2)" s))))
+      (Ok ([], [])) specs
   in
   let run protocol n f depth inject crash requests seeded_bug random seed iters no_por json
       metrics =
@@ -481,15 +501,18 @@ let mc_cmd =
     | Some proto -> (
       match parse_injections inject with
       | Error msg -> `Error (true, msg)
-      | Ok injections -> (
+      | Ok (injections, amnesia) -> (
         let d = MC.default_spec proto in
         let spec =
           {
             d with
             MC.n;
             f;
-            injections = (if injections = [] && crash = [] then d.MC.injections else List.rev injections);
+            injections =
+              (if injections = [] && amnesia = [] && crash = [] then d.MC.injections
+               else List.rev injections);
             crashes = crash;
+            amnesia = List.rev amnesia;
             requests = (if requests < 0 then d.MC.requests else requests);
             seeded_bug;
           }

@@ -34,6 +34,7 @@ type t = {
   mutable rejected : int;
   mutable issued_in_epoch : int;
   mutable max_issued_in_epoch : int;
+  mutable dormant : bool;
   m_updates_sent : Metrics.counter;
   m_updates_merged : Metrics.counter;
   m_rejected : Metrics.counter;
@@ -73,6 +74,7 @@ let create config ~me ~auth ~send ~on_quorum ?(on_epoch = fun _ -> ()) () =
     rejected = 0;
     issued_in_epoch = 0;
     max_issued_in_epoch = 0;
+    dormant = false;
     m_updates_sent = Metrics.counter ~labels "qs_updates_sent_total";
     m_updates_merged = Metrics.counter ~labels "qs_updates_merged_total";
     m_rejected = Metrics.counter ~labels "qs_rejected_total";
@@ -118,6 +120,7 @@ let handle_suspected t s = ignore (update_suspicions t s)
    continue evaluating locally. Progress is guaranteed because each such
    iteration raises the epoch and strictly shrinks the suspect graph. *)
 let rec update_quorum t =
+  if t.dormant then () else
   let g = Suspicion_matrix.suspect_graph t.matrix ~epoch:t.epoch in
   let target = q t.config - if !test_buggy_quorum_size then 1 else 0 in
   match Indep.lex_first_independent_set g target with
@@ -192,6 +195,48 @@ let rejected_updates t = t.rejected
 let suspect_graph t = Suspicion_matrix.suspect_graph t.matrix ~epoch:t.epoch
 
 (* ------------------------------------------------------------------ *)
+(* Crash-recovery (amnesia) hooks *)
+
+let dormant t = t.dormant
+
+(* An amnesia crash loses everything Algorithm 1 keeps in volatile memory.
+   The instance goes dormant: it keeps merging incoming rows (anti-entropy
+   never hurts, merges are monotone) but must not issue a quorum computed
+   from the wiped — hence stale-looking — matrix until [absorb] delivers a
+   peer's state or a durable snapshot. *)
+let amnesia t =
+  Suspicion_matrix.blit ~src:(Suspicion_matrix.create t.config.n) ~dst:t.matrix;
+  t.epoch <- 1;
+  t.suspecting <- [];
+  t.last_quorum <- List.init (q t.config) (fun i -> i);
+  t.history <- [];
+  t.issued_in_epoch <- 0;
+  t.max_issued_in_epoch <- 0;
+  t.dormant <- true;
+  Metrics.set t.g_epoch 1.0;
+  Metrics.set t.g_this_epoch 0.0
+
+(* CRDT join with a peer's (or a durable snapshot's) state: max-merge the
+   matrix, fast-forward the epoch, wake from dormancy and re-evaluate. Safe
+   to call repeatedly — merges are idempotent and [update_quorum] only
+   fires [on_quorum] when the quorum actually changes. *)
+let absorb t ~matrix ~epoch =
+  ignore (Suspicion_matrix.merge t.matrix matrix);
+  if epoch > t.epoch then begin
+    t.epoch <- epoch;
+    t.epochs_entered <- t.epochs_entered + 1;
+    t.issued_in_epoch <- 0;
+    Metrics.inc t.m_epochs;
+    Metrics.set t.g_epoch (float_of_int t.epoch);
+    Metrics.set t.g_this_epoch 0.0;
+    if Journal.live () then
+      Journal.record (Journal.Epoch_advanced { who = t.me; epoch = t.epoch });
+    t.on_epoch t.epoch
+  end;
+  t.dormant <- false;
+  update_quorum t
+
+(* ------------------------------------------------------------------ *)
 (* Model-checker hooks *)
 
 (* Everything the algorithm's future behavior (and the bound property)
@@ -199,10 +244,10 @@ let suspect_graph t = Suspicion_matrix.suspect_graph t.matrix ~epoch:t.epoch
    states identical up to them could still diverge on whether a later quorum
    overshoots Theorem 3, so merging them would be unsound for that check. *)
 let fingerprint t =
-  Format.asprintf "%d|%a|%s|%s|%d|%d" t.epoch Suspicion_matrix.pp t.matrix
+  Format.asprintf "%d|%a|%s|%s|%d|%d|%b" t.epoch Suspicion_matrix.pp t.matrix
     (String.concat "," (List.map string_of_int t.last_quorum))
     (String.concat "," (List.map string_of_int t.suspecting))
-    t.issued_in_epoch t.max_issued_in_epoch
+    t.issued_in_epoch t.max_issued_in_epoch t.dormant
 
 type snapshot = {
   s_matrix : Suspicion_matrix.t;
@@ -214,6 +259,7 @@ type snapshot = {
   s_rejected : int;
   s_issued_in_epoch : int;
   s_max_issued_in_epoch : int;
+  s_dormant : bool;
 }
 
 let snapshot t =
@@ -227,6 +273,7 @@ let snapshot t =
     s_rejected = t.rejected;
     s_issued_in_epoch = t.issued_in_epoch;
     s_max_issued_in_epoch = t.max_issued_in_epoch;
+    s_dormant = t.dormant;
   }
 
 let restore t s =
@@ -238,4 +285,5 @@ let restore t s =
   t.epochs_entered <- s.s_epochs_entered;
   t.rejected <- s.s_rejected;
   t.issued_in_epoch <- s.s_issued_in_epoch;
-  t.max_issued_in_epoch <- s.s_max_issued_in_epoch
+  t.max_issued_in_epoch <- s.s_max_issued_in_epoch;
+  t.dormant <- s.s_dormant

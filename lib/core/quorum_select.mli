@@ -83,6 +83,25 @@ val rejected_updates : t -> int
 val suspect_graph : t -> Qs_graph.Graph.t
 (** The graph [G_i] for the current epoch (for inspection). *)
 
+(** {2 Crash-recovery (amnesia) hooks} *)
+
+val amnesia : t -> unit
+(** Simulate a crash that loses all volatile state: zero the matrix, reset
+    the epoch to 1 and the quorum to the default, forget suspicions and
+    per-epoch counters, and go {e dormant} — incoming rows still merge
+    (anti-entropy) but no quorum is issued until {!absorb} supplies a
+    recovered state. Implements the "never issue a quorum from pre-crash
+    stale state" recovery invariant. *)
+
+val absorb : t -> matrix:Suspicion_matrix.t -> epoch:int -> unit
+(** CRDT join of a peer's [StateResp] (or a durable snapshot): max-merge
+    [matrix], fast-forward to [epoch] if ahead, clear dormancy and
+    re-evaluate the quorum. Idempotent and commutative across responses —
+    the semilattice property that makes rejoin state transfer safe. *)
+
+val dormant : t -> bool
+(** [true] between {!amnesia} and the first {!absorb}. *)
+
 (** {2 Model-checker hooks} *)
 
 val fingerprint : t -> string

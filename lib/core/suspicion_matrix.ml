@@ -67,6 +67,25 @@ let suspect_graph t ~epoch =
 let max_epoch t =
   Array.fold_left (fun acc r -> Array.fold_left max acc r) 0 t.cells
 
+let to_rows t = Array.map Array.copy t.cells
+
+let of_rows rows =
+  let size = Array.length rows in
+  if size = 0 then invalid_arg "Suspicion_matrix.of_rows: empty";
+  Array.iter
+    (fun r ->
+      if Array.length r <> size then
+        invalid_arg "Suspicion_matrix.of_rows: not square")
+    rows;
+  for l = 0 to size - 1 do
+    for k = 0 to size - 1 do
+      if rows.(l).(k) < 0 then invalid_arg "Suspicion_matrix.of_rows: negative cell";
+      if l = k && rows.(l).(k) <> 0 then
+        invalid_arg "Suspicion_matrix.of_rows: self-suspicion"
+    done
+  done;
+  { size; cells = Array.map Array.copy rows }
+
 let pp ppf t =
   for l = 0 to t.size - 1 do
     Format.fprintf ppf "@[<h>%a: %a@]@."

@@ -45,4 +45,13 @@ val suspect_graph : t -> epoch:int -> Qs_graph.Graph.t
 val max_epoch : t -> int
 (** Largest recorded cell. *)
 
+val to_rows : t -> int array array
+(** Copy of all cells, row-major — the serialization entry point used by
+    {!Qs_recovery}'s codec. *)
+
+val of_rows : int array array -> t
+(** Rebuild a matrix from {!to_rows} output. [Invalid_argument] if the
+    array is empty, not square, has a negative cell or a non-zero
+    diagonal (a self-suspicion can never have been recorded). *)
+
 val pp : Format.formatter -> t -> unit

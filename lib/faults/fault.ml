@@ -4,6 +4,7 @@ module Json = Qs_obs.Json
 
 type kind =
   | Crash of int
+  | CrashAmnesia of int
   | Omit of { src : int; dst : int }
   | Delay of { src : int; dst : int; by : Stime.t }
   | Duplicate of { src : int; dst : int; copies : int }
@@ -29,7 +30,7 @@ let sorted_uniq l = List.sort_uniq compare l
    correct<->correct links reliable and timely. *)
 let blamed ~n schedule =
   let blame = function
-    | Crash p -> [ p ]
+    | Crash p | CrashAmnesia p -> [ p ]
     | Omit { src; _ } | Delay { src; _ } | Duplicate { src; _ } -> [ src ]
     | Partition group ->
       let inside = sorted_uniq (List.filter (fun p -> p >= 0 && p < n) group) in
@@ -43,7 +44,7 @@ let blamed ~n schedule =
 let validate_phase ~n phase =
   let chk p name = if p < 0 || p >= n then invalid_arg ("Fault: " ^ name ^ " out of range") in
   (match phase.what with
-   | Crash p -> chk p "crash target"
+   | Crash p | CrashAmnesia p -> chk p "crash target"
    | Omit { src; dst } | Delay { src; dst; _ } | Duplicate { src; dst; _ } ->
      chk src "link src";
      chk dst "link dst";
@@ -71,6 +72,7 @@ type gen_profile = {
   horizon : Stime.t;
   p_crash : float;
   p_recover : float;
+  p_amnesia : float;
   p_omit : float;
   p_delay : float;
   p_duplicate : float;
@@ -82,6 +84,7 @@ let default_profile ~horizon =
     horizon;
     p_crash = 0.5;
     p_recover = 0.4;
+    p_amnesia = 0.0;
     p_omit = 0.3;
     p_delay = 0.2;
     p_duplicate = 0.1;
@@ -107,7 +110,19 @@ let gen rng ~n ~f ?(profile = default_profile ~horizon:(Stime.of_ms 10_000)) () 
     (fun p ->
       if Prng.chance rng profile.p_crash then begin
         let start, stop = gen_window rng profile in
-        [ { start; stop; what = Crash p } ]
+        (* The [> 0.] guard keeps the random stream — and therefore every
+           pinned seed — byte-identical when amnesia generation is off. *)
+        if profile.p_amnesia > 0. && Prng.chance rng profile.p_amnesia then
+          (* An amnesia phase without recovery is indistinguishable from a
+             plain crash, so force a stop well before the horizon — the
+             rejoin (and the monitor's bounded-retries check) needs room. *)
+          let stop =
+            match stop with
+            | Some _ as s -> s
+            | None -> Some (start + (profile.horizon / 3))
+          in
+          [ { start; stop; what = CrashAmnesia p } ]
+        else [ { start; stop; what = Crash p } ]
       end
       else
         List.concat_map
@@ -165,6 +180,7 @@ let remove_each schedule =
 
 let kind_to_string = function
   | Crash p -> Printf.sprintf "crash p%d" p
+  | CrashAmnesia p -> Printf.sprintf "amnesia p%d" p
   | Omit { src; dst } -> Printf.sprintf "omit p%d->p%d" src dst
   | Delay { src; dst; by } ->
     Format.asprintf "delay p%d->p%d by %a" src dst Stime.pp by
@@ -217,6 +233,7 @@ let of_string ~n s =
   let parse_kind str =
     match String.split_on_char ' ' (String.trim str) with
     | [ "crash"; p ] -> Crash (parse_pid p)
+    | [ "amnesia"; p ] -> CrashAmnesia (parse_pid p)
     | [ "omit"; link ] ->
       let src, dst = parse_link link in
       Omit { src; dst }
@@ -288,6 +305,8 @@ let of_string ~n s =
 
 let kind_to_json = function
   | Crash p -> Json.Obj [ ("kind", Json.String "crash"); ("p", Json.Int p) ]
+  | CrashAmnesia p ->
+    Json.Obj [ ("kind", Json.String "amnesia"); ("p", Json.Int p) ]
   | Omit { src; dst } ->
     Json.Obj [ ("kind", Json.String "omit"); ("src", Json.Int src); ("dst", Json.Int dst) ]
   | Delay { src; dst; by } ->

@@ -17,7 +17,14 @@
 type kind =
   | Crash of int
       (** The process stops sending anything (mute). With a phase [stop]
-          this is crash-recovery. *)
+          this is crash-recovery {e with volatile state intact} — the
+          optimistic model PR 2 shipped with. *)
+  | CrashAmnesia of int
+      (** Crash-recovery that loses volatile state: mute during the window,
+          and at [stop] the injector's amnesia hook wipes the process back
+          to its last durable snapshot and starts the rejoin protocol
+          ({!Qs_recovery.Rejoin}). Without a [stop] it degenerates to
+          {!Crash}. *)
   | Omit of { src : int; dst : int }
       (** Omission failure on one direction of one link. *)
   | Delay of { src : int; dst : int; by : Qs_sim.Stime.t }
@@ -62,6 +69,10 @@ type gen_profile = {
   horizon : Qs_sim.Stime.t;  (** Run length; faults start in the first quarter. *)
   p_crash : float;  (** Chance a faulty process crashes outright. *)
   p_recover : float;  (** Chance a phase gets a stop time. *)
+  p_amnesia : float;
+      (** Chance a generated crash is an amnesia crash (always given a stop
+          time so the rejoin actually runs). 0 in {!default_profile}, which
+          also keeps the random stream identical to pre-amnesia seeds. *)
   p_omit : float;  (** Per-link omission chance for non-crashed faulty. *)
   p_delay : float;
   p_duplicate : float;

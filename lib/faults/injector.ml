@@ -16,10 +16,10 @@ let note verb ph =
    hook) and return the disarming thunk. *)
 let arm net ~set_mute what =
   match (what, set_mute) with
-  | Fault.Crash p, Some mute ->
+  | (Fault.Crash p | Fault.CrashAmnesia p), Some mute ->
     mute p true;
     fun () -> mute p false
-  | Fault.Crash p, None ->
+  | (Fault.Crash p | Fault.CrashAmnesia p), None ->
     (* No process hook: send-omission on every outgoing link is
        observationally equivalent for the peers. *)
     let id = Network.add_filter net (fun ~now:_ ~src ~dst:_ _ ->
@@ -48,7 +48,7 @@ let arm net ~set_mute what =
     in
     fun () -> Network.remove_filter net id
 
-let install ~net ?set_mute schedule =
+let install ~net ?set_mute ?amnesia schedule =
   let sim = Network.sim net in
   let t = { active = 0; installed = 0 } in
   List.iter
@@ -64,7 +64,14 @@ let install ~net ?set_mute schedule =
             Sim.schedule_at sim ~at:stop (fun () ->
                 t.active <- t.active - 1;
                 note "-" ph;
-                disarm ())))
+                disarm ();
+                (* Recovery point of an amnesia crash: unmuted first, then
+                   wiped — the hook typically restores a durable snapshot
+                   and starts the rejoin broadcast, which needs the network
+                   back. *)
+                match (ph.Fault.what, amnesia) with
+                | Fault.CrashAmnesia p, Some wipe -> wipe p
+                | _ -> ())))
     schedule;
   t
 

@@ -19,10 +19,16 @@ type t
 val install :
   net:'m Qs_sim.Network.t ->
   ?set_mute:(int -> bool -> unit) ->
+  ?amnesia:(int -> unit) ->
   Fault.schedule ->
   t
 (** Schedule every phase; must be called before the simulation runs past the
-    earliest [start]. *)
+    earliest [start].
+
+    [amnesia] is invoked at a [CrashAmnesia] phase's [stop] time, after the
+    mute is lifted: the harness wipes the process's volatile state back to
+    its last durable snapshot and starts the rejoin protocol. Without the
+    hook a [CrashAmnesia] behaves exactly like [Crash] (mute window only). *)
 
 val active : t -> int
 (** Phases currently armed. *)

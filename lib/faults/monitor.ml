@@ -13,6 +13,7 @@ type config = {
   quorum_bound : int option;
   bound_gauge : string option;
   settle : Stime.t;
+  rejoin_retry_bound : int option;
 }
 
 let theorem3 ~f = f * (f + 1)
@@ -27,6 +28,10 @@ type t = {
   suspicions : (int * int, float) Hashtbl.t;
   (* (who, epoch) -> quorums issued *)
   issued : (int * int, int) Hashtbl.t;
+  (* who -> virtual ms the rejoin started (removed on completion) *)
+  recovering : (int, float) Hashtbl.t;
+  (* who -> epoch the last completed rejoin fast-forwarded to *)
+  rejoin_epoch : (int, int) Hashtbl.t;
   seen : (string, unit) Hashtbl.t; (* violation dedup *)
   mutable violations : violation list; (* reversed *)
   mutable checks : int;
@@ -46,8 +51,24 @@ let is_correct t p = List.mem p t.config.correct
 let on_quorum_issued t ~at ~who ~epoch ~quorum =
   t.quorums <- t.quorums + 1;
   t.checks <- t.checks + 1;
+  (* Recovery invariant: between Recovery_started and Recovery_completed
+     the process holds only wiped (pre-durable) selection state — issuing a
+     quorum from it would be acting on stale information. *)
+  if Hashtbl.mem t.recovering who then
+    violate t ~at "stale-quorum"
+      (Printf.sprintf "p%d issued a quorum mid-rejoin (epoch %d)" who epoch);
+  (* Per-epoch assertions are gated on the rejoin epoch: epochs below it
+     predate the recovery — the process never observed them with its
+     current (post-amnesia) state, so charging it there double-counts its
+     previous incarnation. *)
+  let pre_rejoin =
+    match Hashtbl.find_opt t.rejoin_epoch who with
+    | Some re -> epoch < re
+    | None -> false
+  in
   (match t.config.quorum_bound with
    | None -> ()
+   | Some _ when pre_rejoin -> ()
    | Some bound ->
      let k = (who, epoch) in
      let count = 1 + Option.value ~default:0 (Hashtbl.find_opt t.issued k) in
@@ -87,6 +108,26 @@ let handle t entry =
   | Journal.Quorum_issued { who; epoch; quorum } ->
     if is_correct t who then on_quorum_issued t ~at ~who ~epoch ~quorum
   | Journal.Commit { who; _ } -> if is_correct t who then t.commits <- t.commits + 1
+  | Journal.Recovery_started { who } ->
+    Hashtbl.replace t.recovering who at;
+    (* The amnesiac forgot its suspicions and its per-epoch issue history
+       dies with its previous incarnation (it was faulty during the crash
+       window; the theorems bound correct processes). *)
+    Hashtbl.iter
+      (fun (i, j) _ -> if i = who then Hashtbl.remove t.suspicions (i, j))
+      (Hashtbl.copy t.suspicions);
+    Hashtbl.iter
+      (fun (i, e) _ -> if i = who then Hashtbl.remove t.issued (i, e))
+      (Hashtbl.copy t.issued)
+  | Journal.Recovery_completed { who; epoch; retries } ->
+    Hashtbl.remove t.recovering who;
+    Hashtbl.replace t.rejoin_epoch who epoch;
+    (match t.config.rejoin_retry_bound with
+     | Some bound when retries > bound ->
+       violate t ~at "rejoin-retries"
+         (Printf.sprintf "p%d needed %d rejoin retries (bound %d)" who retries
+            bound)
+     | _ -> ())
   | _ -> ()
 
 let create ?(journal = Journal.default) config =
@@ -97,6 +138,8 @@ let create ?(journal = Journal.default) config =
       subscription = -1;
       suspicions = Hashtbl.create 64;
       issued = Hashtbl.create 64;
+      recovering = Hashtbl.create 8;
+      rejoin_epoch = Hashtbl.create 8;
       seen = Hashtbl.create 16;
       violations = [];
       checks = 0;
@@ -117,6 +160,8 @@ let detach t = Journal.unsubscribe ~j:t.journal t.subscription
 let reset t =
   Hashtbl.reset t.suspicions;
   Hashtbl.reset t.issued;
+  Hashtbl.reset t.recovering;
+  Hashtbl.reset t.rejoin_epoch;
   Hashtbl.reset t.seen;
   t.violations <- [];
   t.checks <- 0;
@@ -170,6 +215,20 @@ let check_bound_gauges t ~at =
         | _ -> ())
       t.config.correct
   | _ -> ()
+
+(* End-of-run recovery liveness: in-model there is always at least one
+   correct, reachable peer to answer a StateReq, so every rejoin that
+   started must have completed by the horizon (retry/backoff absorbs mute
+   windows). Only meaningful for in-model schedules — call it under the
+   same gating as the liveness check. *)
+let check_recovered t ~at =
+  t.checks <- t.checks + 1;
+  Hashtbl.iter
+    (fun who since ->
+      violate t ~at "rejoin-stuck"
+        (Printf.sprintf "p%d started rejoining at %.1fms and never completed"
+           who since))
+    t.recovering
 
 let attach_history_probe t ~sim ~every histories =
   let rec tick () =

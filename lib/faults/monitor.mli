@@ -15,7 +15,21 @@
       gauges against the same bound;
     - {b prefix-consistency} and {b exactly-once} — a periodic probe
       ({!attach_history_probe}) compares the correct processes' executed
-      histories pairwise, so divergence gets a virtual timestamp.
+      histories pairwise, so divergence gets a virtual timestamp;
+    - {b stale-quorum} — between [Recovery_started] and
+      [Recovery_completed] a process holds only wiped post-amnesia state,
+      so issuing a quorum in that window means acting on pre-crash stale
+      information;
+    - {b rejoin-retries} — a completed rejoin must have stayed within the
+      configured retry bound;
+    - {b rejoin-stuck} — at the end of an in-model run ({!check_recovered})
+      every started rejoin must have completed.
+
+    Per-epoch accounting is recovery-aware: a [Recovery_started] clears the
+    process's suspicion onsets and per-epoch issue counts (its previous
+    incarnation was faulty; the theorems bound correct processes), and
+    quorum-bound assertions are gated on the rejoin epoch — a recovered
+    process is not charged for epochs it never observed.
 
     Liveness (Termination, eventual commit) is a campaign-level end-of-run
     check — only {e in-model} schedules owe it — but the monitor counts
@@ -39,6 +53,10 @@ type config = {
           ([qs_quorums_per_epoch_max] or [fs_quorums_per_epoch_max]). *)
   settle : Qs_sim.Stime.t;
       (** Suspicion age before no-suspicion applies; a few network rounds. *)
+  rejoin_retry_bound : int option;
+      (** Max rebroadcast rounds a completed rejoin may have needed;
+          [None] disables the check (out-of-model schedules can starve a
+          rejoiner arbitrarily long). *)
 }
 
 val theorem3 : f:int -> int
@@ -70,6 +88,12 @@ val attach_history_probe :
 (** Check the supplied [(process, executed (client, rid) list)] histories for
     pairwise prefix consistency and per-history exactly-once every [every]
     ticks, and cross-check the bound gauges. Call before the run starts. *)
+
+val check_recovered : t -> at:float -> unit
+(** Flag every rejoin still in flight as [rejoin-stuck]. Recovery liveness
+    holds only in-model (a correct reachable peer must exist to answer),
+    so call this at end-of-run under the same gating as the liveness
+    check. *)
 
 val violations : t -> violation list
 (** Chronological; empty means every online check held. *)

@@ -212,6 +212,22 @@ let detected t i =
     publish_if_changed t
   end
 
+let amnesia t =
+  List.iter (fun e -> e.closed <- true) t.expectations;
+  t.expectations <- [];
+  t.stale <- [];
+  Array.fill t.overdue_counts 0 t.n 0;
+  Array.fill t.detected_flags 0 t.n false;
+  (* The recovered process forgot whom it suspected; emit the clears so
+     journal subscribers see a consistent stream, but skip [on_suspected] —
+     the consumer's volatile state is wiped by its own amnesia hook, and
+     re-arming decides what to expect next. *)
+  if Journal.live () then
+    List.iter
+      (fun i -> Journal.record (Journal.Suspicion_cleared { who = t.me; suspect = i }))
+      t.last_published;
+  t.last_published <- []
+
 let current_timeout t i =
   if i < 0 || i >= t.n then invalid_arg "Detector.current_timeout: peer out of range";
   Timeout.current t.timeouts i

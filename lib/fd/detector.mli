@@ -78,6 +78,16 @@ val cancel_all : 'm t -> unit
 val detected : 'm t -> int -> unit
 (** Permanently suspect a process (application-level proof of misbehavior). *)
 
+val amnesia : 'm t -> unit
+(** Crash-recovery wipe: close every expectation (their pending deadline
+    timers become no-ops), drop the stale list, forget overdue counts and
+    permanent detections, and reset the published suspect set to empty —
+    emitting the matching [Suspicion_cleared] journal events but {e not}
+    firing [on_suspected] (the consumer is wiped by its own amnesia hook).
+    The adaptive timeouts are left in place: they are the durable part of
+    the detector state (see {!Timeout.export}). After recovery the
+    application re-arms expectations as its protocol dictates. *)
+
 val suspected : _ t -> int list
 (** Current suspect set, sorted. *)
 

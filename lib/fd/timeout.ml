@@ -46,3 +46,13 @@ let on_false_suspicion t i =
     t.timeouts.(i) <- Stdlib.min max (t.timeouts.(i) + step)
 
 let increases t = t.increases
+
+let export t = Array.copy t.timeouts
+
+let import t values =
+  if Array.length values <> Array.length t.timeouts then
+    invalid_arg "Timeout.import: length mismatch";
+  Array.iter
+    (fun v -> if v <= 0 then invalid_arg "Timeout.import: non-positive timeout")
+    values;
+  Array.blit values 0 t.timeouts 0 (Array.length values)

@@ -38,3 +38,12 @@ val on_false_suspicion : t -> int -> unit
 
 val increases : t -> int
 (** Total number of adaptations (all peers) — an accuracy-cost metric. *)
+
+val export : t -> Qs_sim.Stime.t array
+(** Copy of the per-peer timeouts — the durable part of the adaptive state.
+    Persisting it means a recovered process does not re-learn the network
+    bound from scratch (re-suffering the false suspicions that taught it). *)
+
+val import : t -> Qs_sim.Stime.t array -> unit
+(** Restore {!export} output into an existing instance. [Invalid_argument]
+    on a length mismatch or a non-positive timeout. *)

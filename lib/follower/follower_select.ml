@@ -29,6 +29,7 @@ type t = {
   mutable rejected : int;
   mutable issued_in_epoch : int;
   mutable max_issued_in_epoch : int;
+  mutable dormant : bool;
   m_updates_sent : Metrics.counter;
   m_updates_merged : Metrics.counter;
   m_rejected : Metrics.counter;
@@ -78,6 +79,7 @@ let create config ~me ~auth ~send ~on_quorum ?(fd_expect = fun ~leader:_ ~epoch:
     rejected = 0;
     issued_in_epoch = 0;
     max_issued_in_epoch = 0;
+    dormant = false;
     m_updates_sent = Metrics.counter ~labels "fs_updates_sent_total";
     m_updates_merged = Metrics.counter ~labels "fs_updates_merged_total";
     m_rejected = Metrics.counter ~labels "fs_rejected_total";
@@ -132,6 +134,7 @@ let issue t ~leader quorum =
 
 (* updateQuorum (Algorithm 2, lines 7-26). *)
 let rec update_quorum t =
+  if t.dormant then () else
   let g = Suspicion_matrix.suspect_graph t.matrix ~epoch:t.epoch in
   if not (Indep.exists_independent_set g (q_of t)) then begin
     (* Lines 9-16: inconsistent suspicions — new epoch, default quorum. *)
@@ -208,7 +211,10 @@ let detect t culprit =
 
 let handle_followers t msg f =
   let j = f.Fmsg.leader in
-  if j = t.leader && f.Fmsg.epoch = t.epoch then begin
+  (* While dormant the local (leader, epoch, qlast) triple is the wiped
+     default, so both the equivocation and the well-formedness checks would
+     compare against state the process no longer legitimately holds. *)
+  if (not t.dormant) && j = t.leader && f.Fmsg.epoch = t.epoch then begin
     let n = t.config.Quorum_select.n in
     if not (well_formed ~n ~q:(q_of t) ~suspect_graph:(Suspicion_matrix.suspect_graph t.matrix ~epoch:t.epoch) f)
     then detect t j
@@ -266,15 +272,58 @@ let suspect_graph t = Suspicion_matrix.suspect_graph t.matrix ~epoch:t.epoch
 let rejected_msgs t = t.rejected
 
 (* ------------------------------------------------------------------ *)
+(* Crash-recovery (amnesia) hooks — mirrors Quorum_select. *)
+
+let dormant t = t.dormant
+
+let amnesia t =
+  Suspicion_matrix.blit
+    ~src:(Suspicion_matrix.create t.config.Quorum_select.n)
+    ~dst:t.matrix;
+  t.epoch <- 1;
+  t.suspecting <- [];
+  t.leader <- 0;
+  t.stable <- true;
+  t.qlast <- default_quorum t.config;
+  t.history <- [];
+  t.detections <- [];
+  t.issued_in_epoch <- 0;
+  t.max_issued_in_epoch <- 0;
+  t.dormant <- true;
+  Metrics.set t.g_this_epoch 0.0;
+  t.fd_cancel ()
+
+let absorb t ~matrix ~epoch =
+  ignore (Suspicion_matrix.merge t.matrix matrix);
+  if epoch > t.epoch then begin
+    t.epoch <- epoch;
+    t.epochs_entered <- t.epochs_entered + 1;
+    t.issued_in_epoch <- 0;
+    Metrics.inc t.m_epochs;
+    Metrics.set t.g_this_epoch 0.0;
+    if Journal.live () then
+      Journal.record (Journal.Epoch_advanced { who = t.me; epoch = t.epoch });
+    t.fd_cancel ();
+    t.leader <- 0;
+    t.stable <- true;
+    t.qlast <- default_quorum t.config
+  end;
+  t.dormant <- false;
+  (* Re-derive the leader at the absorbed epoch; if it differs from the
+     default the normal FOLLOWERS exchange (with a re-armed expectation)
+     completes the rejoin. *)
+  update_quorum t
+
+(* ------------------------------------------------------------------ *)
 (* Model-checker hooks — mirrors Quorum_select. *)
 
 let fingerprint t =
-  Format.asprintf "%d|%a|%d|%b|%s|%s|%s|%d|%d" t.epoch Suspicion_matrix.pp t.matrix
-    t.leader t.stable
+  Format.asprintf "%d|%a|%d|%b|%s|%s|%s|%d|%d|%b" t.epoch Suspicion_matrix.pp
+    t.matrix t.leader t.stable
     (String.concat "," (List.map string_of_int t.qlast))
     (String.concat "," (List.map string_of_int t.suspecting))
     (String.concat "," (List.map string_of_int t.detections))
-    t.issued_in_epoch t.max_issued_in_epoch
+    t.issued_in_epoch t.max_issued_in_epoch t.dormant
 
 type snapshot = {
   s_matrix : Suspicion_matrix.t;
@@ -289,6 +338,7 @@ type snapshot = {
   s_rejected : int;
   s_issued_in_epoch : int;
   s_max_issued_in_epoch : int;
+  s_dormant : bool;
 }
 
 let snapshot t =
@@ -305,6 +355,7 @@ let snapshot t =
     s_rejected = t.rejected;
     s_issued_in_epoch = t.issued_in_epoch;
     s_max_issued_in_epoch = t.max_issued_in_epoch;
+    s_dormant = t.dormant;
   }
 
 let restore t s =
@@ -319,4 +370,5 @@ let restore t s =
   t.detections <- s.s_detections;
   t.rejected <- s.s_rejected;
   t.issued_in_epoch <- s.s_issued_in_epoch;
-  t.max_issued_in_epoch <- s.s_max_issued_in_epoch
+  t.max_issued_in_epoch <- s.s_max_issued_in_epoch;
+  t.dormant <- s.s_dormant

@@ -92,6 +92,24 @@ val well_formed :
 (** Definition 3 check against the receiver's current suspect graph.
     Exposed for tests. *)
 
+(** {2 Crash-recovery (amnesia) hooks} — mirror {!Qs_core.Quorum_select}. *)
+
+val amnesia : t -> unit
+(** Lose all volatile Algorithm-2 state (matrix, epoch, leader, quorum,
+    detections) and go dormant: incoming UPDATE rows still merge, but no
+    quorum is issued and FOLLOWERS messages are ignored — the wiped
+    (leader, epoch, qlast) triple would make the equivocation check compare
+    against state the process no longer legitimately holds — until
+    {!absorb}. Also cancels the attached detector's expectations. *)
+
+val absorb : t -> matrix:Qs_core.Suspicion_matrix.t -> epoch:int -> unit
+(** CRDT join of a peer's state: max-merge, fast-forward the epoch (the
+    new-epoch path resets leader/quorum to the defaults, as Algorithm 2's
+    own epoch advance does), clear dormancy and re-derive the leader. *)
+
+val dormant : t -> bool
+(** [true] between {!amnesia} and the first {!absorb}. *)
+
 (** {2 Model-checker hooks} — mirror {!Qs_core.Quorum_select}. *)
 
 val fingerprint : t -> string

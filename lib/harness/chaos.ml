@@ -1,12 +1,19 @@
 module Stime = Qs_sim.Stime
 module Sim = Qs_sim.Sim
+module Network = Qs_sim.Network
 module Timeout = Qs_fd.Timeout
+module Detector = Qs_fd.Detector
+module QS = Qs_core.Quorum_select
+module FS = Qs_follower.Follower_select
+module Suspicion_matrix = Qs_core.Suspicion_matrix
 module Metrics = Qs_obs.Metrics
 module Journal = Qs_obs.Journal
 module Fault = Qs_faults.Fault
 module Injector = Qs_faults.Injector
 module Monitor = Qs_faults.Monitor
 module Campaign = Qs_faults.Campaign
+module Codec = Qs_recovery.Codec
+module Rejoin = Qs_recovery.Rejoin
 
 let ms = Stime.of_ms
 
@@ -52,6 +59,75 @@ let default_params stack =
 
 let strategy = Timeout.Exponential { factor = 2.0; max = ms 2000 }
 
+(* ------------------------------------------------------------------ *)
+(* Recovery plane.
+
+   Every stack gets a second network on the same simulation carrying only
+   {!Rejoin} traffic, one engine per process, with low-rate anti-entropy
+   gossip running throughout. Fault schedules are installed on BOTH planes
+   (the rejoin-plane injector first, so at a shared phase-stop tick its
+   filters are already lifted when the amnesia hook broadcasts StateReq) —
+   a crashed process cannot serve state, and partitions cut the recovery
+   plane too. *)
+
+let rejoin_max_retries = (Rejoin.default_config ~n:2).Rejoin.max_retries
+
+let recovery_plane ~sim ~n ~collect ~adopt =
+  let rnet = Network.create ~sim ~n ~delay:(Network.Fixed (ms 1)) ~fifo:true () in
+  let config =
+    { (Rejoin.default_config ~n) with Rejoin.gossip_every = Some (ms 1000) }
+  in
+  let nodes =
+    Array.init n (fun me ->
+        Rejoin.create ~sim config ~me
+          ~collect:(fun () -> collect me)
+          ~adopt:(fun ~matrix ~epoch ~extra -> adopt me ~matrix ~epoch ~extra)
+          ~send:(fun ~dst msg -> Network.send rnet ~src:me ~dst msg)
+          ())
+  in
+  Array.iteri
+    (fun i node ->
+      Network.set_handler rnet i (fun ~src msg -> Rejoin.handle node ~src msg))
+    nodes;
+  Array.iter Rejoin.start_gossip nodes;
+  (rnet, nodes)
+
+(* The injector's CrashAmnesia recovery hook: wipe volatile state (which may
+   return a durable snapshot), drop in-flight messages addressed to the dead
+   incarnation on both planes, and start the rejoin round. The durable
+   payload goes in as a self State_push — buffered with the peers' responses
+   and merged at completion. *)
+let attach_recovery ~sim ~n ~net_drop ~collect ~adopt ~wipe =
+  let rnet, nodes = recovery_plane ~sim ~n ~collect ~adopt in
+  let amnesia p =
+    let durable = wipe p in
+    ignore (net_drop p : int);
+    ignore (Network.drop_pending_to rnet p : int);
+    Rejoin.start nodes.(p);
+    match durable with
+    | Some payload -> Rejoin.handle nodes.(p) ~src:p (Rejoin.State_push { payload })
+    | None -> ()
+  in
+  (rnet, amnesia)
+
+(* Suspicion-plane payloads for the stacks whose durable state is just the
+   selection CRDT (their SMR logs are documented durable-by-default; only
+   XPaxos models deep log durability). *)
+let qs_payload ~n qsel =
+  match qsel with
+  | Some qsel ->
+    { Rejoin.matrix = Codec.encode_matrix (QS.matrix qsel); epoch = QS.epoch qsel; extra = "" }
+  | None ->
+    { Rejoin.matrix = Codec.encode_matrix (Suspicion_matrix.create n); epoch = 1; extra = "" }
+
+let qs_adopt qsel ~matrix ~epoch ~extra:_ =
+  match qsel with Some qsel -> QS.absorb qsel ~matrix ~epoch | None -> ()
+
+let qs_wipe qsel detector =
+  (match qsel with Some qsel -> QS.amnesia qsel | None -> ());
+  Detector.amnesia detector;
+  None
+
 (* What one simulated run must expose to the generic driver: after faults
    are installed and requests submitted, the monitor needs the executed
    histories of the unblamed processes, and liveness needs the commit
@@ -79,6 +155,17 @@ let make_instance stack ~params ~seed =
       Qs_xpaxos.Xcluster.create ~seed:seed64
         { Qs_xpaxos.Replica.n; f; mode; initial_timeout = ms 25; timeout_strategy = strategy }
     in
+    (* Deep durability: view, committed log prefix, selection state and
+       adapted timeouts persist (fsynced at execute) and survive amnesia. *)
+    Qs_xpaxos.Xcluster.attach_durability c;
+    let rnet, amnesia =
+      attach_recovery ~sim:(Qs_xpaxos.Xcluster.sim c) ~n
+        ~net_drop:(Network.drop_pending_to (Qs_xpaxos.Xcluster.net c))
+        ~collect:(Qs_xpaxos.Xcluster.collect_payload c)
+        ~adopt:(fun p ~matrix ~epoch ~extra ->
+          Qs_xpaxos.Xcluster.adopt_payload c p ~matrix ~epoch ~extra)
+        ~wipe:(fun p -> Some (Qs_xpaxos.Xcluster.amnesia c p))
+    in
     let requests = ref [] in
     {
       sim = Qs_xpaxos.Xcluster.sim c;
@@ -88,12 +175,13 @@ let make_instance stack ~params ~seed =
             (if m then Qs_xpaxos.Replica.Mute else Qs_xpaxos.Replica.Honest));
       install =
         (fun schedule ->
+          ignore (Injector.install ~net:rnet schedule);
           ignore
             (Injector.install ~net:(Qs_xpaxos.Xcluster.net c)
                ~set_mute:(fun p m ->
                  Qs_xpaxos.Xcluster.set_fault c p
                    (if m then Qs_xpaxos.Replica.Mute else Qs_xpaxos.Replica.Honest))
-               schedule));
+               ~amnesia schedule));
       submit_all =
         (fun () ->
           requests :=
@@ -126,6 +214,15 @@ let make_instance stack ~params ~seed =
         }
     in
     let requests = ref [] in
+    let sel p = Qs_pbft.Preplica.quorum_selector (Qs_pbft.Pcluster.replica c p) in
+    let rnet, amnesia =
+      attach_recovery ~sim:(Qs_pbft.Pcluster.sim c) ~n
+        ~net_drop:(Network.drop_pending_to (Qs_pbft.Pcluster.net c))
+        ~collect:(fun p -> qs_payload ~n (sel p))
+        ~adopt:(fun p -> qs_adopt (sel p))
+        ~wipe:(fun p ->
+          qs_wipe (sel p) (Qs_pbft.Preplica.detector (Qs_pbft.Pcluster.replica c p)))
+    in
     let set_mute p m =
       Qs_pbft.Pcluster.set_fault c p
         (if m then Qs_pbft.Preplica.Mute else Qs_pbft.Preplica.Honest)
@@ -135,7 +232,10 @@ let make_instance stack ~params ~seed =
       set_mute;
       install =
         (fun schedule ->
-          ignore (Injector.install ~net:(Qs_pbft.Pcluster.net c) ~set_mute schedule));
+          ignore (Injector.install ~net:rnet schedule);
+          ignore
+            (Injector.install ~net:(Qs_pbft.Pcluster.net c) ~set_mute ~amnesia
+               schedule));
       submit_all =
         (fun () ->
           requests :=
@@ -165,6 +265,16 @@ let make_instance stack ~params ~seed =
         }
     in
     let requests = ref [] in
+    let sel p = Qs_minbft.Mreplica.quorum_selector (Qs_minbft.Mcluster.replica c p) in
+    let rnet, amnesia =
+      attach_recovery ~sim:(Qs_minbft.Mcluster.sim c) ~n
+        ~net_drop:(Network.drop_pending_to (Qs_minbft.Mcluster.net c))
+        ~collect:(fun p -> qs_payload ~n (sel p))
+        ~adopt:(fun p -> qs_adopt (sel p))
+        ~wipe:(fun p ->
+          qs_wipe (sel p)
+            (Qs_minbft.Mreplica.detector (Qs_minbft.Mcluster.replica c p)))
+    in
     let set_mute p m =
       Qs_minbft.Mcluster.set_fault c p
         (if m then Qs_minbft.Mreplica.Mute else Qs_minbft.Mreplica.Honest)
@@ -174,7 +284,10 @@ let make_instance stack ~params ~seed =
       set_mute;
       install =
         (fun schedule ->
-          ignore (Injector.install ~net:(Qs_minbft.Mcluster.net c) ~set_mute schedule));
+          ignore (Injector.install ~net:rnet schedule);
+          ignore
+            (Injector.install ~net:(Qs_minbft.Mcluster.net c) ~set_mute ~amnesia
+               schedule));
       submit_all =
         (fun () ->
           requests :=
@@ -197,6 +310,18 @@ let make_instance stack ~params ~seed =
         { Qs_bchain.Chain_node.n; f; initial_timeout = ms 25; timeout_strategy = strategy }
     in
     let requests = ref [] in
+    let sel p =
+      Some (Qs_bchain.Chain_node.quorum_selector (Qs_bchain.Chain_cluster.node c p))
+    in
+    let rnet, amnesia =
+      attach_recovery ~sim:(Qs_bchain.Chain_cluster.sim c) ~n
+        ~net_drop:(Network.drop_pending_to (Qs_bchain.Chain_cluster.net c))
+        ~collect:(fun p -> qs_payload ~n (sel p))
+        ~adopt:(fun p -> qs_adopt (sel p))
+        ~wipe:(fun p ->
+          qs_wipe (sel p)
+            (Qs_bchain.Chain_node.detector (Qs_bchain.Chain_cluster.node c p)))
+    in
     let set_mute p m =
       Qs_bchain.Chain_cluster.set_fault c p
         (if m then Qs_bchain.Chain_node.Mute else Qs_bchain.Chain_node.Honest)
@@ -206,8 +331,10 @@ let make_instance stack ~params ~seed =
       set_mute;
       install =
         (fun schedule ->
+          ignore (Injector.install ~net:rnet schedule);
           ignore
-            (Injector.install ~net:(Qs_bchain.Chain_cluster.net c) ~set_mute schedule));
+            (Injector.install ~net:(Qs_bchain.Chain_cluster.net c) ~set_mute
+               ~amnesia schedule));
       submit_all =
         (fun () ->
           requests :=
@@ -233,6 +360,22 @@ let make_instance stack ~params ~seed =
         { Qs_star.Star_node.n; f; initial_timeout = ms 25; timeout_strategy = strategy }
     in
     let requests = ref [] in
+    let sel p = Qs_star.Star_node.selector (Qs_star.Star_cluster.node c p) in
+    let rnet, amnesia =
+      attach_recovery ~sim:(Qs_star.Star_cluster.sim c) ~n
+        ~net_drop:(Network.drop_pending_to (Qs_star.Star_cluster.net c))
+        ~collect:(fun p ->
+          {
+            Rejoin.matrix = Codec.encode_matrix (FS.matrix (sel p));
+            epoch = FS.epoch (sel p);
+            extra = "";
+          })
+        ~adopt:(fun p ~matrix ~epoch ~extra:_ -> FS.absorb (sel p) ~matrix ~epoch)
+        ~wipe:(fun p ->
+          FS.amnesia (sel p);
+          Detector.amnesia (Qs_star.Star_node.detector (Qs_star.Star_cluster.node c p));
+          None)
+    in
     let set_mute p m =
       Qs_star.Star_cluster.set_fault c p
         (if m then Qs_star.Star_node.Mute else Qs_star.Star_node.Honest)
@@ -242,7 +385,10 @@ let make_instance stack ~params ~seed =
       set_mute;
       install =
         (fun schedule ->
-          ignore (Injector.install ~net:(Qs_star.Star_cluster.net c) ~set_mute schedule));
+          ignore (Injector.install ~net:rnet schedule);
+          ignore
+            (Injector.install ~net:(Qs_star.Star_cluster.net c) ~set_mute ~amnesia
+               schedule));
       submit_all =
         (fun () ->
           requests :=
@@ -295,6 +441,9 @@ let execute stack ?(params = default_params stack) ~seed ~model schedule :
         quorum_bound = (if in_model then Some bound else None);
         bound_gauge = (if in_model then gauge else None);
         settle = ms 50;
+        (* In-model there is always a correct reachable peer, so a rejoin
+           must finish within the engine's own retry budget. *)
+        rejoin_retry_bound = (if in_model then Some rejoin_max_retries else None);
       }
   in
   Monitor.attach_history_probe monitor ~sim:inst.sim ~every:params.probe_every
@@ -302,6 +451,10 @@ let execute stack ?(params = default_params stack) ~seed ~model schedule :
   inst.install schedule;
   inst.submit_all ();
   Sim.run ~until:params.horizon inst.sim;
+  (* Recovery liveness owes completion only in-model (same gating as the
+     termination check below). *)
+  if in_model then
+    Monitor.check_recovered monitor ~at:(Stime.to_ms (Sim.now inst.sim));
   let committed = inst.committed () in
   let liveness =
     if in_model && committed < params.requests then
@@ -323,8 +476,14 @@ let execute stack ?(params = default_params stack) ~seed ~model schedule :
   }
 
 let campaign stack ?(params = default_params stack) ?(out_of_model = false)
-    ?(runs = 20) ~seed () =
-  let profile = Fault.default_profile ~horizon:params.horizon in
+    ?(amnesia = false) ?(runs = 20) ~seed () =
+  let profile =
+    let base = Fault.default_profile ~horizon:params.horizon in
+    (* p_amnesia = 0 keeps the random stream byte-identical to pre-amnesia
+       pinned seeds; with the flag, half the generated crashes lose their
+       volatile state and must rejoin. *)
+    if amnesia then { base with Fault.p_amnesia = 0.5 } else base
+  in
   let gen rng =
     if out_of_model then Fault.gen_wild rng ~n:params.n ~f:params.f ~profile ()
     else Fault.gen rng ~n:params.n ~f:params.f ~profile ()

@@ -11,7 +11,19 @@
     (Theorem 3's [f(f+1)] for quorum selection, Theorem 9's [3f+1] for
     follower selection) and no-suspicion among correct processes — plus
     the termination check only apply to in-model schedules, where at most
-    [f] processes are blamed. *)
+    [f] processes are blamed.
+
+    Every cluster also gets a {e recovery plane}: a parallel network on the
+    same simulation running one {!Qs_recovery.Rejoin} engine per process
+    with low-rate anti-entropy gossip. Fault schedules are installed on
+    both planes, and a [CrashAmnesia] phase's recovery point wipes the
+    process's volatile state (XPaxos restores a deep durable snapshot —
+    view, committed log prefix, selection state, adapted timeouts — via
+    {!Qs_xpaxos.Xcluster.attach_durability}; the other stacks lose their
+    suspicion-plane state and keep their SMR logs, which are documented as
+    durable-by-default) and starts a rejoin round. The monitor additionally
+    enforces the recovery invariants: no quorum from mid-rejoin stale
+    state, bounded retries, and (in-model) rejoin completion. *)
 
 type stack = Xpaxos_enum | Xpaxos_qs | Pbft | Minbft | Chain | Star
 
@@ -35,6 +47,10 @@ val default_params : stack -> params
 (** n = 5, f = 2 for XPaxos and MinBFT; n = 7, f = 2 for PBFT, chain and
     star; 10 s horizon. *)
 
+val rejoin_max_retries : int
+(** The retry budget every cluster's rejoin engines run with — also the
+    monitor's [rejoin_retry_bound] on in-model schedules. *)
+
 val execute :
   stack ->
   ?params:params ->
@@ -50,10 +66,14 @@ val campaign :
   stack ->
   ?params:params ->
   ?out_of_model:bool ->
+  ?amnesia:bool ->
   ?runs:int ->
   seed:int ->
   unit ->
   Qs_faults.Campaign.report
 (** Generate-and-execute [runs] schedules from [seed]. [out_of_model]
     switches the generator to {!Qs_faults.Fault.gen_wild}, which exceeds
-    the failure budget (the monitor then only enforces core SMR safety). *)
+    the failure budget (the monitor then only enforces core SMR safety).
+    [amnesia] makes half the generated crashes amnesia crashes
+    ([p_amnesia = 0.5]); off by default, which keeps pinned campaign seeds
+    byte-identical to their pre-recovery outcomes. *)

@@ -1,0 +1,130 @@
+module Table = Qs_stdx.Table
+module Stime = Qs_sim.Stime
+module Fault = Qs_faults.Fault
+module Journal = Qs_obs.Journal
+module Metrics = Qs_obs.Metrics
+
+let ms = Stime.of_ms
+
+(* Both variants use the same window, placed right on top of the workload
+   (requests go in at t = 0 and resubmit until committed): the victim goes
+   dark at 100ms and the fault lifts at 600ms. A plain [Crash] resumes with
+   its volatile state intact; a [CrashAmnesia] resumes from its durable
+   snapshot and must run the rejoin protocol before it may issue quorums
+   again. *)
+let fault_start = ms 100
+
+let fault_stop = ms 600
+
+let victim stack =
+  match stack with Chaos.Chain | Chaos.Star -> 2 | _ -> 1
+
+type measured = {
+  outcome : Qs_faults.Campaign.exec_outcome;
+  rejoin_latency : Stime.t option;  (** [Recovery_started] → [Recovery_completed]. *)
+  rejoin_retries : int option;
+  quorums_per_epoch_max : float option;
+}
+
+(* The selector gauges are per-process ([{p=<pid>}] label, written by the
+   monitor's bound check); report the worst process. Enumeration-mode
+   stacks have no selector and never set either gauge. *)
+let max_selector_gauge ~n =
+  List.fold_left
+    (fun acc name ->
+      List.fold_left
+        (fun acc p ->
+          match Metrics.find_gauge ~labels:[ ("p", string_of_int p) ] name with
+          | Some v -> Some (max v (Option.value acc ~default:v))
+          | None -> acc)
+        acc (List.init n Fun.id))
+    None
+    [ "qs_quorums_per_epoch_max"; "fs_quorums_per_epoch_max" ]
+
+let run_one stack kind =
+  let params = Chaos.default_params stack in
+  let schedule = [ Fault.at ~start:fault_start ~stop:fault_stop kind ] in
+  let model = Fault.classify ~n:params.n ~f:params.f schedule in
+  let outcome = Chaos.execute stack ~params ~seed:14 ~model schedule in
+  (* [Chaos.execute] leaves the run's journal and metrics in place — scrape
+     the recovery timeline out of them. *)
+  let started = ref None and completed = ref None and retries = ref None in
+  List.iter
+    (fun { Journal.at; event; _ } ->
+      match event with
+      | Journal.Recovery_started _ when !started = None -> started := Some at
+      | Journal.Recovery_completed { retries = r; _ } when !completed = None ->
+        completed := Some at;
+        retries := Some r
+      | _ -> ())
+    (Journal.entries ());
+  let rejoin_latency =
+    match (!started, !completed) with
+    | Some t0, Some t1 -> Some (ms (int_of_float (t1 -. t0)))
+    | _ -> None
+  in
+  {
+    outcome;
+    rejoin_latency;
+    rejoin_retries = !retries;
+    quorums_per_epoch_max = max_selector_gauge ~n:params.n;
+  }
+
+let clean (o : Qs_faults.Campaign.exec_outcome) =
+  o.violations = [] && o.liveness = []
+
+let run () =
+  let stacks = Chaos.all in
+  let rows =
+    List.map
+      (fun stack ->
+        let p = victim stack in
+        let crash = run_one stack (Fault.Crash p) in
+        let amnesia = run_one stack (Fault.CrashAmnesia p) in
+        (stack, crash, amnesia))
+      stacks
+  in
+  let t =
+    Table.create
+      ~title:
+        "E14 (extension): the price of forgetting - mute-crash vs amnesia-crash \
+         recovery (crash window 100-600ms)"
+      ~columns:
+        [
+          ("stack", Table.Left);
+          ("committed (mute)", Table.Right);
+          ("committed (amnesia)", Table.Right);
+          ("rejoin latency", Table.Right);
+          ("rejoin retries", Table.Right);
+          ("max quorums/epoch", Table.Right);
+        ]
+  in
+  let verdicts = ref [] in
+  List.iter
+    (fun (stack, crash, amnesia) ->
+      let name = Chaos.name stack in
+      Table.add_row t
+        [
+          name;
+          string_of_int crash.outcome.Qs_faults.Campaign.committed;
+          string_of_int amnesia.outcome.Qs_faults.Campaign.committed;
+          (match amnesia.rejoin_latency with
+           | Some l -> Format.asprintf "%a" Stime.pp l
+           | None -> "NO REJOIN");
+          (match amnesia.rejoin_retries with Some r -> string_of_int r | None -> "-");
+          (match amnesia.quorums_per_epoch_max with
+           | Some g -> Printf.sprintf "%.0f" g
+           | None -> "-");
+        ];
+      verdicts :=
+        Verdict.make (name ^ ": mute-crash run clean") (clean crash.outcome)
+        :: Verdict.make (name ^ ": amnesia run clean") (clean amnesia.outcome)
+        :: Verdict.make (name ^ ": rejoin completed") (amnesia.rejoin_latency <> None)
+        :: Verdict.make
+             (name ^ ": retries within the engine budget")
+             (match amnesia.rejoin_retries with
+              | Some r -> r <= Chaos.rejoin_max_retries
+              | None -> false)
+        :: !verdicts)
+    rows;
+  (t, List.rev !verdicts)

@@ -1,0 +1,13 @@
+(** E14 (extension): mute-crash vs amnesia-crash recovery.
+
+    For each protocol stack, run the same crash window twice through the
+    monitored chaos harness — once as a plain mute [Crash] (volatile state
+    survives) and once as a [CrashAmnesia] (volatile state is wiped at
+    recovery; the process restores its durable snapshot and runs the
+    {!Qs_recovery.Rejoin} protocol). The table reports committed requests
+    under both variants plus the amnesia run's rejoin latency
+    ([Recovery_started] → [Recovery_completed] from the journal), retry
+    count, and the per-epoch quorum gauge; the verdicts require both runs
+    clean, the rejoin completed, and retries within the engine budget. *)
+
+val run : unit -> Qs_stdx.Table.t * Verdict.t list

@@ -36,6 +36,8 @@ let e11 () = of_table "E11" (E_star.run ())
 
 let e12 () = of_table "E12" (E_recovery.run ())
 
+let e14 () = of_table "E14" (E_amnesia.run ())
+
 let all ?(quick = false) () =
   let fs_bounds = if quick then [ 1; 2 ] else [ 1; 2; 3; 4 ] in
   let fs_fol = if quick then [ 1; 2 ] else [ 1; 2; 3 ] in
@@ -53,6 +55,7 @@ let all ?(quick = false) () =
     e10 ();
     e11 ();
     e12 ();
+    e14 ();
   ]
 
 let print o =

@@ -20,6 +20,10 @@ val e10 : unit -> outcome
 val e11 : unit -> outcome
 val e12 : unit -> outcome
 
+val e14 : unit -> outcome
+(** E13 is the model checker ([qsel mc]), not a table-producing
+    experiment. *)
+
 val all : ?quick:bool -> unit -> outcome list
 (** [quick] trims the sweeps for test runs (default false). *)
 

@@ -10,6 +10,8 @@ module Replica = Qs_xpaxos.Replica
 module Xcluster = Qs_xpaxos.Xcluster
 module Monitor = Qs_faults.Monitor
 module Fault = Qs_faults.Fault
+module Rejoin = Qs_recovery.Rejoin
+module Codec = Qs_recovery.Codec
 module Metrics = Qs_obs.Metrics
 module Journal = Qs_obs.Journal
 module Indep = Qs_graph.Indep
@@ -38,13 +40,23 @@ type spec = {
   f : int;
   injections : (int * int list) list;
   crashes : int list;
+  amnesia : int list;
   requests : int;
   seeded_bug : bool;
 }
 
 let default_spec protocol =
   let base =
-    { protocol; n = 4; f = 1; injections = []; crashes = []; requests = 0; seeded_bug = false }
+    {
+      protocol;
+      n = 4;
+      f = 1;
+      injections = [];
+      crashes = [];
+      amnesia = [];
+      requests = 0;
+      seeded_bug = false;
+    }
   in
   match protocol with
   | Quorum -> { base with injections = [ (0, [ 3 ]) ] }
@@ -60,6 +72,19 @@ let validate spec =
   List.iter (pid "crash") spec.crashes;
   if List.length (List.sort_uniq compare spec.crashes) > spec.f then
     invalid_arg "Modelcheck: more than f crashes is out of model";
+  List.iter (pid "amnesia") spec.amnesia;
+  if spec.amnesia <> [] && spec.protocol <> Quorum then
+    invalid_arg "Modelcheck: amnesia exploration is only wired for the quorum instance";
+  if List.length spec.amnesia <> List.length (List.sort_uniq compare spec.amnesia) then
+    invalid_arg "Modelcheck: duplicate amnesia pid";
+  List.iter
+    (fun p ->
+      if List.mem p spec.crashes then
+        invalid_arg (Printf.sprintf "Modelcheck: p%d is crashed; it cannot also recover" p))
+    spec.amnesia;
+  (* An amnesia crash is a crash: both kinds draw on the same f-budget. *)
+  if List.length (List.sort_uniq compare (spec.crashes @ spec.amnesia)) > spec.f then
+    invalid_arg "Modelcheck: more than f crashes (mute + amnesia) is out of model";
   List.iter
     (fun (p, s) ->
       pid "inject" p;
@@ -103,22 +128,40 @@ let within_budget ~f blamed = List.length (List.sort_uniq compare blamed) <= f
 
 (* ---------------------------------------------------------------- quorum *)
 
+(* The quorum instance's controlled network carries both planes: Algorithm-1
+   UPDATE gossip and the rejoin protocol's State_req/State_resp traffic, so
+   the checker explores every interleaving of recovery against selection. *)
+type qwire = Q_update of Qs_core.Msg.t | Q_rejoin of Rejoin.msg
+
 let make_quorum spec =
   let cfg = { QS.n = spec.n; f = spec.f } in
   let qsize = QS.q cfg in
   let bound = Monitor.theorem3 ~f:spec.f in
   let correct = correct_pids spec in
   (* Static: the only suspicions Algorithm 1 ever sees here are the injected
-     ones, so the in-model gate is decided by the spec. *)
+     ones, so the in-model gate is decided by the spec. Amnesia targets are
+     crashed processes (briefly), so they count against the budget too. *)
   let enforce_bound =
-    within_budget ~f:spec.f (spec.crashes @ List.concat_map snd spec.injections)
+    within_budget ~f:spec.f
+      (spec.crashes @ spec.amnesia @ List.concat_map snd spec.injections)
   in
-  let encode (m : Qs_core.Msg.t) = Qs_core.Msg.encode m.update in
+  let encode = function
+    | Q_update (m : Qs_core.Msg.t) -> "u" ^ Qs_core.Msg.encode m.update
+    | Q_rejoin m -> "r" ^ Rejoin.encode_msg m
+  in
+  let amnesia_done = Array.make spec.n false in
   let state = ref None in
-  let nodes () = fst (Option.get !state) in
-  let net () = snd (Option.get !state) in
+  let nodes () = let n, _, _ = Option.get !state in n in
+  let rejoins () = let _, r, _ = Option.get !state in r in
+  let net () = let _, _, n = Option.get !state in n in
   let reset () =
     Metrics.reset ();
+    (* Rejoin journals Recovery_* events when the journal is live; the
+       quorum instance never reads it, so keep it off — exploration visits
+       far too many states to accumulate an event log. *)
+    Journal.clear ();
+    Journal.set_enabled false;
+    Array.fill amnesia_done 0 spec.n false;
     QS.test_buggy_quorum_size := spec.seeded_bug;
     let sim = Sim.create () in
     let network = Network.create ~sim ~n:spec.n ~delay:(Network.Fixed (Stime.of_ms 1)) () in
@@ -130,18 +173,47 @@ let make_quorum spec =
       slots.(me) <-
         Some
           (QS.create cfg ~me ~auth
-             ~send:(fun m -> Network.broadcast network ~src:me m)
+             ~send:(fun m -> Network.broadcast network ~src:me (Q_update m))
              ~on_quorum:(fun _ -> ())
              ())
     done;
     let ns = Array.map Option.get slots in
+    (* Frozen time: no retry timers (controlled delivery is reliable, so a
+       single round always completes) and no gossip. needed stays 1. *)
+    let rjcfg = { (Rejoin.default_config ~n:spec.n) with Rejoin.retry_every = None } in
+    let rjs =
+      Array.init spec.n (fun me ->
+          Rejoin.create ~sim rjcfg ~me
+            ~collect:(fun () ->
+              { Rejoin.matrix = Codec.encode_matrix (QS.matrix ns.(me));
+                epoch = QS.epoch ns.(me);
+                extra = "" })
+            ~adopt:(fun ~matrix ~epoch ~extra:_ -> QS.absorb ns.(me) ~matrix ~epoch)
+            ~send:(fun ~dst msg -> Network.send network ~src:me ~dst (Q_rejoin msg))
+            ())
+    in
     Array.iteri
-      (fun p node -> Network.set_handler network p (fun ~src:_ m -> QS.handle_update node m))
+      (fun p node ->
+        Network.set_handler network p (fun ~src m ->
+            match m with
+            | Q_update u -> QS.handle_update node u
+            | Q_rejoin r -> Rejoin.handle rjs.(p) ~src r))
       ns;
-    state := Some (ns, network);
+    state := Some (ns, rjs, network);
     List.iter
       (fun (p, s) -> if not (List.mem p spec.crashes) then QS.handle_suspected ns.(p) s)
       spec.injections
+  in
+  let amnesia_choices () =
+    List.filter_map
+      (fun p ->
+        if amnesia_done.(p) then None
+        else
+          Some
+            { Engine.choice = Schedule.Amnesia p;
+              canon = "a" ^ string_of_int p;
+              receiver = None })
+      spec.amnesia
   in
   let violations () =
     List.concat_map
@@ -205,11 +277,21 @@ let make_quorum spec =
   in
   {
     Engine.reset;
-    enabled = (fun () -> deliver_choices (net ()) encode);
+    enabled = (fun () -> deliver_choices (net ()) encode @ amnesia_choices ());
     apply =
       (function
       | Schedule.Deliver id -> Network.deliver_now (net ()) id
-      | Schedule.Step | Schedule.Fire _ -> false);
+      | Schedule.Amnesia p when p >= 0 && p < spec.n && not amnesia_done.(p) ->
+        (* Lose the volatile selection state, kill the crashed incarnation's
+           in-flight messages, and open a rejoin round: the State_req
+           broadcast parks on the controlled network, so every interleaving
+           of recovery traffic against UPDATE gossip is explored. *)
+        amnesia_done.(p) <- true;
+        QS.amnesia (nodes ()).(p);
+        ignore (Network.drop_pending_to (net ()) p : int);
+        Rejoin.start (rejoins ()).(p);
+        true
+      | Schedule.Amnesia _ | Schedule.Step | Schedule.Fire _ -> false);
     fingerprint =
       (fun () ->
         let buf = Buffer.create 256 in
@@ -218,6 +300,13 @@ let make_quorum spec =
             Buffer.add_string buf (QS.fingerprint node);
             Buffer.add_char buf '\n')
           (nodes ());
+        Array.iter
+          (fun rj ->
+            Buffer.add_string buf (Rejoin.fingerprint rj);
+            Buffer.add_char buf '\n')
+          (rejoins ());
+        Buffer.add_string buf "A";
+        Array.iter (fun b -> Buffer.add_char buf (if b then '1' else '0')) amnesia_done;
         Buffer.add_string buf ("[" ^ pending_part (net ()) encode ^ "]");
         Buffer.contents buf);
     violations;
@@ -226,9 +315,13 @@ let make_quorum spec =
       Some
         (fun () ->
           let ns = Array.map QS.snapshot (nodes ()) in
+          let rs = Array.map Rejoin.snapshot (rejoins ()) in
+          let am = Array.copy amnesia_done in
           let net_snap = Network.snapshot (net ()) in
           fun () ->
             Array.iteri (fun i s -> QS.restore (nodes ()).(i) s) ns;
+            Array.iteri (fun i s -> Rejoin.restore (rejoins ()).(i) s) rs;
+            Array.blit am 0 amnesia_done 0 spec.n;
             Network.restore (net ()) net_snap);
   }
 
@@ -320,7 +413,7 @@ let make_follower spec =
         if not (List.mem leader fd.transient) then fd.transient <- leader :: fd.transient;
         FS.handle_suspected (nodes ()).(p) (suspicion_set fd);
         true)
-    | Schedule.Step -> false
+    | Schedule.Step | Schedule.Amnesia _ -> false
   in
   let violations () =
     (* fd transient/permanent sets only grow (and snapshots restore them),
@@ -460,6 +553,7 @@ let make_xpaxos mode spec =
         quorum_bound = (match mode with Replica.Quorum_selection -> Some bound | _ -> None);
         bound_gauge = None;
         settle = Stime.of_ms 1_000_000_000;
+        rejoin_retry_bound = None;
       }
   in
   let requests =
@@ -584,7 +678,7 @@ let make_xpaxos mode spec =
       (function
       | Schedule.Deliver id -> Network.deliver_now (Xcluster.net (cluster ())) id
       | Schedule.Step -> Sim.step (Xcluster.sim (cluster ()))
-      | Schedule.Fire _ -> false);
+      | Schedule.Fire _ | Schedule.Amnesia _ -> false);
     fingerprint =
       (fun () ->
         let c = cluster () in
@@ -706,6 +800,15 @@ let run_mc_regression kvs =
         | None -> Error (Printf.sprintf "bad crash=%S" v))
       (Ok []) (find_all "crash")
   in
+  let* amnesia =
+    List.fold_left
+      (fun acc v ->
+        let* acc = acc in
+        match int_of_string_opt v with
+        | Some p -> Ok (p :: acc)
+        | None -> Error (Printf.sprintf "bad amnesia=%S" v))
+      (Ok []) (find_all "amnesia")
+  in
   let* injections =
     List.fold_left
       (fun acc v ->
@@ -744,6 +847,7 @@ let run_mc_regression kvs =
       f;
       injections = List.rev injections;
       crashes = List.rev crashes;
+      amnesia = List.rev amnesia;
       requests;
       seeded_bug;
     }

@@ -6,10 +6,19 @@
     - [quorum] — bare Algorithm-1 instances over an unordered controlled
       network. Suspicions are injected as initial ⟨SUSPECTED⟩ events; every
       delivery interleaving of the resulting UPDATE gossip is explored.
+      Each process in [amnesia] additionally contributes an [Amnesia p]
+      choice, enabled once at every state until taken: the crash wipes the
+      process's volatile selection state ({!Qs_core.Quorum_select.amnesia}),
+      drops its in-flight messages, and opens a {!Qs_recovery.Rejoin} round
+      whose State_req/State_resp traffic parks on the same controlled
+      network — so recovery interleaves freely with the UPDATE gossip.
       Checks: |Q| = n − f on every issued quorum, Theorem 3's per-epoch
       bound, instantaneous no-suspicion (the current quorum is independent
       in the issuer's suspect graph), and — at quiescent states —
-      agreement and matrix convergence. Provides the snapshot fast path.
+      agreement and matrix convergence. A pending amnesia choice keeps a
+      state non-quiescent, so every terminal state has all declared crashes
+      behind it and the rejoins completed (controlled delivery is reliable
+      and [needed = 1]). Provides the snapshot fast path.
     - [follower] — Algorithm-2 instances over a FIFO controlled network
       with the emulated failure detector of {!Fcluster}: open FOLLOWERS
       expectations become [Fire p] choices. Checks: |Q| = q, Theorem 9's
@@ -53,6 +62,11 @@ type spec = {
   crashes : int list;
       (** Processes crashed from the start: sends and deliveries dropped,
           excluded from every correctness check. At most [f]. *)
+  amnesia : int list;
+      (** Processes that may suffer one amnesia crash each, at any explored
+          point ([quorum] protocol only). They recover via the rejoin
+          protocol and stay subject to every check; mute and amnesia
+          crashes together must stay within [f]. *)
   requests : int;  (** Client requests submitted up front (XPaxos only). *)
   seeded_bug : bool;
       (** Arm {!Qs_core.Quorum_select.test_buggy_quorum_size} inside
@@ -66,8 +80,10 @@ val default_spec : protocol -> spec
     request, no injections. *)
 
 val validate : spec -> unit
-(** Raises [Invalid_argument] on out-of-range pids, more than [f] crashes,
-    or a [seeded_bug] on a protocol that has no embedded Algorithm 1. *)
+(** Raises [Invalid_argument] on out-of-range pids, more than [f] crashes
+    (mute and amnesia combined), amnesia outside the [quorum] protocol or
+    overlapping [crashes], or a [seeded_bug] on a protocol that has no
+    embedded Algorithm 1. *)
 
 val make : spec -> Qs_mc.Engine.system
 (** The system is self-contained: [reset] rebuilds the cluster, re-arms
@@ -88,6 +104,7 @@ val make : spec -> Qs_mc.Engine.system
     f=1                      # optional, default 1
     inject=0:3               # repeatable, "p:s1,s2"
     crash=2                  # repeatable
+    amnesia=1                # repeatable, quorum only
     requests=1               # optional (xpaxos)
     seeded-bug=quorum-size   # optional, arms the test bug
     schedule=d0;d2;t

@@ -9,12 +9,16 @@
     - [Step]: pop the next simulation event — timer deadlines, detector
       expectations — advancing virtual time;
     - [Fire p]: force process [p]'s open failure-detector expectation to
-      time out (used by instances whose FD is emulated without timers).
+      time out (used by instances whose FD is emulated without timers);
+    - [Amnesia p]: crash process [p] losing its volatile state, drop its
+      in-flight messages, and start the rejoin protocol (instances that
+      declare an amnesia budget explore it at every state, once per
+      process).
 
-    The textual form ("d3;t;f1") is what [test/regressions/] pins and what
+    The textual form ("d3;t;a1") is what [test/regressions/] pins and what
     violation reports print, so counterexamples replay from plain text. *)
 
-type choice = Deliver of int | Step | Fire of int
+type choice = Deliver of int | Step | Fire of int | Amnesia of int
 
 type t = choice list
 

@@ -54,6 +54,8 @@ let fd t = Option.get t.fd
 
 let detector = fd
 
+let quorum_selector t = t.qsel
+
 let set_fault t fault = t.fault <- fault
 
 let active t = t.active

@@ -67,6 +67,9 @@ val executed : t -> Mmsg.request list
 
 val detector : t -> Mmsg.t Qs_fd.Detector.t
 
+val quorum_selector : t -> Qs_core.Quorum_select.t option
+(** The embedded Algorithm-1 instance under [Selected] participation. *)
+
 val usig_gaps : t -> int
 (** Certificates this replica refused for arriving out of counter order —
     omission evidence from the trusted component. *)

@@ -10,6 +10,8 @@ type event =
   | Net_sent of { src : int; dst : int }
   | Net_delivered of { src : int; dst : int }
   | Net_dropped of { src : int; dst : int }
+  | Recovery_started of { who : int }
+  | Recovery_completed of { who : int; epoch : int; retries : int }
   | Custom of string
 
 type entry = { seq : int; at : float; event : event }
@@ -102,6 +104,9 @@ let event_to_string = function
   | Net_sent { src; dst } -> Printf.sprintf "net-sent p%d -> p%d" src dst
   | Net_delivered { src; dst } -> Printf.sprintf "net-delivered p%d -> p%d" src dst
   | Net_dropped { src; dst } -> Printf.sprintf "net-dropped p%d -> p%d" src dst
+  | Recovery_started { who } -> Printf.sprintf "recovery-started p%d" who
+  | Recovery_completed { who; epoch; retries } ->
+    Printf.sprintf "recovery-completed p%d epoch=%d retries=%d" who epoch retries
   | Custom s -> s
 
 let event_to_json event =
@@ -132,6 +137,10 @@ let event_to_json event =
     obj "net_delivered" [ ("src", Json.Int src); ("dst", Json.Int dst) ]
   | Net_dropped { src; dst } ->
     obj "net_dropped" [ ("src", Json.Int src); ("dst", Json.Int dst) ]
+  | Recovery_started { who } -> obj "recovery_started" [ ("who", Json.Int who) ]
+  | Recovery_completed { who; epoch; retries } ->
+    obj "recovery_completed"
+      [ ("who", Json.Int who); ("epoch", Json.Int epoch); ("retries", Json.Int retries) ]
   | Custom s -> obj "custom" [ ("detail", Json.String s) ]
 
 let entry_to_json e =

@@ -30,6 +30,13 @@ type event =
   | Net_sent of { src : int; dst : int }
   | Net_delivered of { src : int; dst : int }
   | Net_dropped of { src : int; dst : int }
+  | Recovery_started of { who : int }
+      (** [who] restarted after an amnesia crash and began the rejoin
+          protocol (broadcast its first [StateReq]). *)
+  | Recovery_completed of { who : int; epoch : int; retries : int }
+      (** [who]'s rejoin finished: enough [StateResp]s were max-merged.
+          [epoch] is the fast-forwarded epoch, [retries] counts rebroadcast
+          rounds beyond the first. *)
   | Custom of string  (** Escape hatch for harnesses and examples. *)
 
 type entry = { seq : int; at : float; event : event }

@@ -1,0 +1,162 @@
+module Sha256 = Qs_crypto.Sha256
+module Suspicion_matrix = Qs_core.Suspicion_matrix
+
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+module W = struct
+  type t = Buffer.t
+
+  let create () = Buffer.create 64
+
+  let rec int b n =
+    if n < 0 then invalid_arg "Codec.W.int: negative";
+    if n < 0x80 then Buffer.add_char b (Char.chr n)
+    else begin
+      Buffer.add_char b (Char.chr (0x80 lor (n land 0x7f)));
+      int b (n lsr 7)
+    end
+
+  let bool b v = int b (if v then 1 else 0)
+
+  let str b s =
+    int b (String.length s);
+    Buffer.add_string b s
+
+  let contents = Buffer.contents
+end
+
+module R = struct
+  type t = { s : string; mutable pos : int }
+
+  let of_string s = { s; pos = 0 }
+
+  let byte r =
+    if r.pos >= String.length r.s then corrupt "truncated varint";
+    let c = Char.code r.s.[r.pos] in
+    r.pos <- r.pos + 1;
+    c
+
+  let int r =
+    let rec go shift acc =
+      if shift > 62 then corrupt "varint overflow";
+      let c = byte r in
+      let acc = acc lor ((c land 0x7f) lsl shift) in
+      if c land 0x80 <> 0 then go (shift + 7) acc else acc
+    in
+    go 0 0
+
+  let bool r =
+    match int r with 0 -> false | 1 -> true | n -> corrupt "bad bool %d" n
+
+  let str r =
+    let len = int r in
+    if r.pos + len > String.length r.s then corrupt "truncated string";
+    let s = String.sub r.s r.pos len in
+    r.pos <- r.pos + len;
+    s
+
+  let eof r = r.pos = String.length r.s
+end
+
+(* ------------------------------------------------------------------ *)
+(* Framing: magic, tag, version, length-prefixed payload, truncated
+   SHA-256 checksum. The checksum turns torn or bit-flipped durable state
+   into an explicit [Corrupt] instead of silently absorbed garbage. *)
+
+let magic = "QSRC"
+
+let checksum payload = String.sub (Sha256.digest_string payload) 0 8
+
+let frame ~tag ~version payload =
+  if version < 1 then invalid_arg "Codec.frame: version must be >= 1";
+  let b = W.create () in
+  Buffer.add_string b magic;
+  W.str b tag;
+  W.int b version;
+  W.str b payload;
+  W.str b (checksum payload);
+  W.contents b
+
+let unframe ~tag s =
+  if String.length s < 4 || String.sub s 0 4 <> magic then corrupt "bad magic";
+  let r = R.of_string (String.sub s 4 (String.length s - 4)) in
+  let tag' = R.str r in
+  if tag' <> tag then corrupt "tag mismatch: wanted %S, found %S" tag tag';
+  let version = R.int r in
+  let payload = R.str r in
+  let sum = R.str r in
+  if not (R.eof r) then corrupt "trailing bytes after frame";
+  if sum <> checksum payload then corrupt "checksum mismatch";
+  (version, payload)
+
+(* ------------------------------------------------------------------ *)
+(* Concrete codecs, one version each so far. Decoders accept exactly the
+   versions they know; anything newer is [Corrupt], not a guess. *)
+
+let matrix_version = 1
+
+let encode_matrix m =
+  let rows = Suspicion_matrix.to_rows m in
+  let b = W.create () in
+  W.int b (Array.length rows);
+  Array.iter (fun row -> Array.iter (W.int b) row) rows;
+  frame ~tag:"mtx" ~version:matrix_version (W.contents b)
+
+let decode_matrix s =
+  let version, payload = unframe ~tag:"mtx" s in
+  if version <> matrix_version then corrupt "mtx: unknown version %d" version;
+  let r = R.of_string payload in
+  let n = R.int r in
+  if n <= 0 || n > 4096 then corrupt "mtx: implausible size %d" n;
+  let rows = Array.make_matrix n n 0 in
+  for l = 0 to n - 1 do
+    for k = 0 to n - 1 do
+      rows.(l).(k) <- R.int r
+    done
+  done;
+  if not (R.eof r) then corrupt "mtx: trailing bytes";
+  match Suspicion_matrix.of_rows rows with
+  | m -> m
+  | exception Invalid_argument msg -> corrupt "mtx: %s" msg
+
+let epoch_version = 1
+
+let encode_epoch e =
+  if e < 1 then invalid_arg "Codec.encode_epoch: epochs start at 1";
+  let b = W.create () in
+  W.int b e;
+  frame ~tag:"epo" ~version:epoch_version (W.contents b)
+
+let decode_epoch s =
+  let version, payload = unframe ~tag:"epo" s in
+  if version <> epoch_version then corrupt "epo: unknown version %d" version;
+  let r = R.of_string payload in
+  let e = R.int r in
+  if not (R.eof r) then corrupt "epo: trailing bytes";
+  if e < 1 then corrupt "epo: bad epoch %d" e;
+  e
+
+let timeouts_version = 1
+
+let encode_timeouts ts =
+  let b = W.create () in
+  W.int b (Array.length ts);
+  Array.iter (W.int b) ts;
+  frame ~tag:"tmo" ~version:timeouts_version (W.contents b)
+
+let decode_timeouts s =
+  let version, payload = unframe ~tag:"tmo" s in
+  if version <> timeouts_version then corrupt "tmo: unknown version %d" version;
+  let r = R.of_string payload in
+  let n = R.int r in
+  if n < 0 || n > 65536 then corrupt "tmo: implausible length %d" n;
+  let ts = Array.make (max n 1) 0 in
+  for i = 0 to n - 1 do
+    let v = R.int r in
+    if v <= 0 then corrupt "tmo: non-positive timeout";
+    ts.(i) <- v
+  done;
+  if not (R.eof r) then corrupt "tmo: trailing bytes";
+  Array.sub ts 0 n

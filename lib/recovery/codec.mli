@@ -1,0 +1,75 @@
+(** Versioned binary codecs for durable protocol state.
+
+    Frames are [magic | tag | version | payload | checksum]: little-endian
+    base-128 varints for integers, length-prefixed byte strings, and a
+    truncated SHA-256 of the payload so torn or corrupted durable state is
+    an explicit {!Corrupt} rather than silently-absorbed garbage. Versions
+    let a future layout change coexist with old snapshots; decoders reject
+    versions they do not know.
+
+    The low-level {!W}/{!R} pair is exported so protocol layers (the XPaxos
+    commit-log prefix in {!Qs_xpaxos}) can build their own framed payloads
+    in the same format. *)
+
+exception Corrupt of string
+
+(** {2 Primitive writer / reader} *)
+
+module W : sig
+  type t
+
+  val create : unit -> t
+
+  val int : t -> int -> unit
+  (** Unsigned varint; [Invalid_argument] on negatives. *)
+
+  val bool : t -> bool -> unit
+
+  val str : t -> string -> unit
+  (** Length-prefixed bytes. *)
+
+  val contents : t -> string
+end
+
+module R : sig
+  type t
+
+  val of_string : string -> t
+
+  val int : t -> int
+  (** Raises {!Corrupt} on truncation or overflow. *)
+
+  val bool : t -> bool
+
+  val str : t -> string
+
+  val eof : t -> bool
+end
+
+(** {2 Framing} *)
+
+val frame : tag:string -> version:int -> string -> string
+
+val unframe : tag:string -> string -> int * string
+(** [(version, payload)]; {!Corrupt} on bad magic, wrong tag, checksum
+    mismatch or trailing bytes. Version checking is the caller's (a decoder
+    may understand several). *)
+
+(** {2 Concrete codecs} *)
+
+val encode_matrix : Qs_core.Suspicion_matrix.t -> string
+(** The [suspected] matrix — what [StateResp] carries and what the durable
+    snapshot stores. *)
+
+val decode_matrix : string -> Qs_core.Suspicion_matrix.t
+(** {!Corrupt} also covers semantic violations ([of_rows] rejection: not
+    square, negative cell, self-suspicion). *)
+
+val encode_epoch : int -> string
+
+val decode_epoch : string -> int
+
+val encode_timeouts : Qs_sim.Stime.t array -> string
+(** Adaptive timeout state ({!Qs_fd.Timeout.export} output). *)
+
+val decode_timeouts : string -> Qs_sim.Stime.t array

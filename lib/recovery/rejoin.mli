@@ -1,0 +1,106 @@
+(** Rejoin protocol: CRDT state transfer for recovering processes.
+
+    A process restarting after an amnesia crash broadcasts [StateReq];
+    every peer answers [StateResp] carrying its encoded [suspected] matrix,
+    epoch, and an opaque stack-specific blob (XPaxos ships its committed
+    log prefix there). The rejoiner max-merges each response — the matrix
+    is a join-semilattice, so responses commute and repeat-merges are
+    no-ops — fast-forwards its epoch, and declares recovery complete after
+    [needed] distinct valid responses. Unanswered requests are rebroadcast
+    with exponential backoff up to [max_retries].
+
+    The transport is a callback, so the same engine runs over a plain
+    simulated {!Qs_sim.Network} (chaos campaigns give each stack a parallel
+    recovery plane) and over the model checker's controlled network (where
+    every interleaving of requests and responses is explored).
+
+    A periodic low-rate anti-entropy variant ([State_push], see
+    {!start_gossip}) keeps long-partitioned processes converging even when
+    they never crash: pushes are just unsolicited merges. *)
+
+type payload = { matrix : string; epoch : int; extra : string }
+(** [matrix] is {!Codec.encode_matrix} output — responses cross the wire
+    encoded, so a corrupt or malicious blob is caught by the codec, not
+    absorbed. [extra] is an opaque protocol-specific supplement (empty for
+    bare Algorithm 1/2 stacks). *)
+
+type msg =
+  | State_req of { rid : int }
+  | State_resp of { rid : int; payload : payload }
+  | State_push of { payload : payload }  (** unsolicited anti-entropy *)
+
+type config = {
+  n : int;
+  needed : int;  (** distinct valid responses that complete a rejoin *)
+  retry_every : Qs_sim.Stime.t option;
+      (** initial rebroadcast delay; [None] disables timer-driven retries
+          (the model checker's frozen-time mode) *)
+  backoff : float;  (** retry delay multiplier, >= 1 *)
+  max_retries : int;
+  gossip_every : Qs_sim.Stime.t option;  (** {!start_gossip} period *)
+}
+
+val default_config : n:int -> config
+(** needed = 1, retry every 50 ms doubling, 8 retries, no gossip. *)
+
+type t
+
+val create :
+  sim:Qs_sim.Sim.t ->
+  config ->
+  me:int ->
+  collect:(unit -> payload) ->
+  adopt:
+    (matrix:Qs_core.Suspicion_matrix.t -> epoch:int -> extra:string -> unit) ->
+  send:(dst:int -> msg -> unit) ->
+  unit ->
+  t
+(** [collect] snapshots the local state for answering peers; [adopt] is the
+    CRDT join applied to each valid incoming payload (already decoded);
+    [send] is the transport. *)
+
+val start : t -> unit
+(** Begin a rejoin round: journal [Recovery_started], broadcast
+    [State_req], arm retries. While the round is open, valid payloads are
+    {e buffered}, not adopted; at completion [Recovery_completed] is
+    journaled first and then the whole buffer is adopted (a join, so order
+    is irrelevant) — quorums issued by the re-evaluation land outside the
+    monitor's stale-state window, and a round that never completes leaves
+    the process dormant rather than half-recovered. *)
+
+val handle : t -> src:int -> msg -> unit
+(** Feed a received rejoin-plane message. Requests are answered
+    unconditionally (serving state costs nothing and merges are safe);
+    responses and pushes are decoded, counted as [bad_payloads] and ignored
+    when corrupt, buffered during an open rejoin round, and otherwise
+    adopted immediately — even late ones for an old round: merging extra
+    state is free. *)
+
+val start_gossip : t -> unit
+(** Start the periodic [State_push] broadcast ([Invalid_argument] if the
+    config has no [gossip_every]). *)
+
+val stop_gossip : t -> unit
+
+val rejoining : t -> bool
+
+val retries : t -> int
+(** Rebroadcasts in the current/last round. *)
+
+val completed_rounds : t -> int
+
+val bad_payloads : t -> int
+(** Responses rejected by the codec. *)
+
+(** {2 Model-checker hooks} *)
+
+val encode_msg : msg -> string
+(** Canonical bytes for choice-point fingerprints. *)
+
+val fingerprint : t -> string
+
+type snapshot
+
+val snapshot : t -> snapshot
+
+val restore : t -> snapshot -> unit

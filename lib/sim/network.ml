@@ -264,6 +264,22 @@ let deliver_now t id =
     deliver t ~src:h.h_src ~dst:h.h_dst ~latency:0 h.payload;
     true
 
+(* Channel-state reset for an amnesia crash: messages already in flight to a
+   process that lost its volatile state would be delivered into the reborn
+   incarnation as if nothing happened; a real crash loses them with the
+   socket. Dropping them here is what lets the model checker explore
+   recovery interleavings soundly. *)
+let drop_pending_to t dst =
+  let keep, lost = List.partition (fun h -> h.h_dst <> dst) t.pending_q in
+  t.pending_q <- keep;
+  List.iter
+    (fun h ->
+      t.dropped <- t.dropped + 1;
+      if Journal.live () then
+        Journal.record (Journal.Net_dropped { src = h.h_src; dst = h.h_dst }))
+    lost;
+  List.length lost
+
 (* ------------------------------------------------------------------ *)
 (* Snapshot / restore.
 

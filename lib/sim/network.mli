@@ -153,6 +153,12 @@ val deliver_now : 'm t -> int -> bool
     now (latency 0). [false] if the id is not pending (already delivered or
     never parked) — replayed schedules treat that as a skip. *)
 
+val drop_pending_to : _ t -> int -> int
+(** Drop every pending message addressed to this process and return how many
+    were lost. An amnesia crash resets channel state: in-flight messages die
+    with the crashed incarnation rather than being delivered into the
+    recovered one. Counted as drops (and journaled as [Net_dropped]). *)
+
 (** {2 Snapshot / restore} — fork points for schedule exploration.
 
     A snapshot captures the network's own mutable state: pending set, id

@@ -36,6 +36,7 @@ type t = {
   on_execute : slot:int -> Xmsg.request -> unit;
   on_view_change : view:int -> group:Pid.t list -> unit;
   mutable fd : Xmsg.t Detector.t option; (* set right after creation *)
+  mutable timeouts : Timeout.t option; (* the detector's, kept for durability *)
   mutable qsel : QS.t option;
   log : Xlog.t;
   mutable view : int;
@@ -478,6 +479,7 @@ let create config ~me ~auth ~sim ~net_send ?(on_execute = fun ~slot:_ _ -> ())
       on_execute;
       on_view_change;
       fd = None;
+      timeouts = None;
       qsel = None;
       log = Xlog.create ();
       view = 0;
@@ -497,6 +499,7 @@ let create config ~me ~auth ~sim ~net_send ?(on_execute = fun ~slot:_ _ -> ())
     }
   in
   let timeouts = Timeout.create ~n:config.n ~initial:config.initial_timeout config.timeout_strategy in
+  t.timeouts <- Some timeouts;
   t.fd <-
     Some
       (Detector.create ~sim ~me ~n:config.n ~timeouts
@@ -527,6 +530,47 @@ let detector t = fd t
 let detections t = t.detections
 
 let quorum_selector t = t.qsel
+
+let timeouts t = Option.get t.timeouts
+
+(* ------------------------------------------------------------------ *)
+(* Crash-recovery (amnesia) *)
+
+let export_log_prefix t =
+  List.filter (fun (e : Xmsg.entry) -> e.Xmsg.ecommitted) (Xlog.to_entries t.log)
+
+(* Committed entries only, with the same provenance check a view-change
+   recipient applies: the original leader-of-[eview] signature must verify,
+   so a corrupted durable snapshot or a fabricated StateResp supplement
+   cannot smuggle in an uncommitted request. *)
+let import_log_prefix t entries =
+  List.iter
+    (fun (e : Xmsg.entry) ->
+      if e.Xmsg.ecommitted && entry_provenance_ok t e then install_committed t e)
+    entries;
+  try_execute t
+
+let catch_up_view t ~view = if view > t.view then move_to_view t view
+
+(* Wipe everything volatile and restart at the durable [view]: the log is
+   emptied (the durable committed prefix comes back via
+   [import_log_prefix]), proposals and expectation dedup die with it, the
+   detector forgets suspicions (keeping its adapted timeouts — the durable
+   part) and the embedded selector goes dormant until a rejoin supplies
+   recovered state. *)
+let amnesia_restart t ~view =
+  if view < 0 then invalid_arg "Replica.amnesia_restart: negative view";
+  Xlog.clear t.log;
+  Hashtbl.reset t.proposed;
+  Hashtbl.reset t.awaiting_prepare;
+  t.exec_cursor <- 0;
+  t.detections <- [];
+  t.view <- view;
+  t.grp <- Enumeration.group ~n:t.config.n ~q:(q t) ~view;
+  t.phase <- (if in_group t then Normal else Passive);
+  Metrics.set t.g_view (float_of_int view);
+  Detector.amnesia (fd t);
+  match t.qsel with Some qsel -> QS.amnesia qsel | None -> ()
 
 (* Canonical encoding of the replica's protocol-visible state for the model
    checker's fingerprints. Covers the view/group/phase machine, the log

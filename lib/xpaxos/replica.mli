@@ -110,6 +110,33 @@ val detections : t -> Qs_core.Pid.t list
 val quorum_selector : t -> Qs_core.Quorum_select.t option
 (** The embedded Algorithm-1 instance in [Quorum_selection] mode. *)
 
+(** {2 Crash-recovery (amnesia)} *)
+
+val timeouts : t -> Qs_fd.Timeout.t
+(** The detector's adaptive timeout table — the durable part of the
+    failure-detector state ({!Qs_fd.Timeout.export}/[import]). *)
+
+val export_log_prefix : t -> Xmsg.entry list
+(** The committed entries, slot-ordered — what the durable snapshot and the
+    [StateResp] supplement carry. *)
+
+val import_log_prefix : t -> Xmsg.entry list -> unit
+(** Re-install committed entries (from the durable snapshot or a peer's
+    supplement) and execute the contiguous prefix. Each entry's original
+    leader signature is verified first, so corrupted or fabricated entries
+    are silently skipped rather than executed. Idempotent. *)
+
+val catch_up_view : t -> view:int -> unit
+(** Fast-forward to [view] if it is ahead — the rejoiner's jump to where
+    the cluster moved while it was down. No-op otherwise. *)
+
+val amnesia_restart : t -> view:int -> unit
+(** Crash losing all volatile state and restart at the durable [view]:
+    empties the log (re-import the durable prefix afterwards), forgets
+    proposals and detector suspicions (adapted timeouts survive — they are
+    durable), and puts the embedded selector in its dormant post-amnesia
+    state awaiting a {!Qs_core.Quorum_select.absorb}. *)
+
 val fingerprint : t -> string
 (** Canonical encoding of the replica's protocol-visible state (view, group,
     phase, log with votes and commit/execute marks, execution cursor,

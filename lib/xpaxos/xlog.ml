@@ -58,6 +58,10 @@ let to_entries t =
   in
   List.sort (fun a b -> compare a.Xmsg.eslot b.Xmsg.eslot) all
 
+let clear t =
+  Hashtbl.reset t.slots;
+  t.max_slot <- -1
+
 let adopt t entry_msg ~view:_ ~sp =
   let e = entry t entry_msg.Xmsg.eslot in
   e.sp <- Some sp;

@@ -41,3 +41,8 @@ val to_entries : t -> Xmsg.entry list
 val adopt : t -> Xmsg.entry -> view:int -> sp:Xmsg.signed_prepare -> unit
 (** Install an entry from a NEW-VIEW: overwrite the slot's prepare with the
     re-signed one, preserving committed status if already committed. *)
+
+val clear : t -> unit
+(** Forget every slot — the volatile part of an amnesia crash. The durable
+    committed prefix is re-imported separately
+    ({!Replica.import_log_prefix}). *)

@@ -20,8 +20,10 @@ let check_string = Alcotest.(check string)
 (* Schedule text format *)
 
 let test_schedule_roundtrip () =
-  let s = [ Schedule.Deliver 3; Schedule.Step; Schedule.Fire 1; Schedule.Deliver 0 ] in
-  check_string "render" "d3;t;f1;d0" (Schedule.to_string s);
+  let s =
+    [ Schedule.Deliver 3; Schedule.Step; Schedule.Fire 1; Schedule.Amnesia 2; Schedule.Deliver 0 ]
+  in
+  check_string "render" "d3;t;f1;a2;d0" (Schedule.to_string s);
   check_bool "roundtrip" true (Schedule.of_string (Schedule.to_string s) = s);
   check_bool "empty" true (Schedule.of_string "" = []);
   check_bool "spaces tolerated" true (Schedule.of_string " d1 ; t " = [ Schedule.Deliver 1; Schedule.Step ])
@@ -32,7 +34,7 @@ let test_schedule_rejects_garbage () =
       match Schedule.of_string s with
       | exception Invalid_argument _ -> ()
       | _ -> Alcotest.failf "accepted %S" s)
-    [ "x3"; "d"; "d-1"; "dd3"; "t3"; "d1;;d2" ]
+    [ "x3"; "d"; "d-1"; "dd3"; "t3"; "d1;;d2"; "a"; "a-2" ]
 
 (* ------------------------------------------------------------------ *)
 (* Engine on a toy system: 3 commuting deliveries to distinct receivers *)
@@ -173,6 +175,59 @@ let test_xpaxos_bounded_clean () =
   check_bool "bounded" false r.Engine.complete
 
 (* ------------------------------------------------------------------ *)
+(* Amnesia crashes in the quorum instance *)
+
+(* No gossip, just the crash: p1 loses its (empty) state, broadcasts
+   State_req, and every interleaving of the two requests and two responses
+   re-integrates it. Tiny by construction — the space is the rejoin
+   machinery alone — and every terminal state passed the quiescent
+   agreement/convergence checks with the recovered process included. *)
+let amnesia_only_spec =
+  { (MC.default_spec MC.Quorum) with MC.n = 3; injections = []; amnesia = [ 1 ] }
+
+let test_amnesia_only_exhausts () =
+  let r = Engine.explore ~depth:12 (MC.make amnesia_only_spec) in
+  check_bool "complete" true r.Engine.complete;
+  check_int "visited" 11 r.Engine.visited;
+  check_int "quiescent states (req orderings funnel into two)" 2 r.Engine.quiescent;
+  check_int "no violations" 0 (List.length r.Engine.violations);
+  check_int "no truncation" 0 r.Engine.truncated
+
+(* Recovery interleaved with live UPDATE gossip: p0's suspicion of p2 is
+   in flight while p1 may crash at any explored point. Too big to exhaust
+   here; a bounded sweep plus full-depth random walks (each walk runs to
+   quiescence, so rejoins complete) keep it honest. *)
+let amnesia_gossip_spec =
+  { (MC.default_spec MC.Quorum) with MC.n = 3; injections = [ (0, [ 2 ]) ]; amnesia = [ 1 ] }
+
+let test_amnesia_gossip_bounded_clean () =
+  let r = Engine.explore ~depth:6 (MC.make amnesia_gossip_spec) in
+  check_int "visited pinned" 2659 r.Engine.visited;
+  check_bool "bounded, not complete" false r.Engine.complete;
+  check_int "no violations" 0 (List.length r.Engine.violations)
+
+let test_amnesia_gossip_walks_recover () =
+  let r = Engine.random ~seed:4242 ~iters:50 (MC.make amnesia_gossip_spec) in
+  check_int "every walk reaches quiescence" 50 r.Engine.quiescent;
+  check_int "no violations" 0 (List.length r.Engine.violations)
+
+let test_amnesia_spec_validation () =
+  let reject name spec =
+    match MC.make spec with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "accepted %s" name
+  in
+  reject "amnesia outside quorum"
+    { (MC.default_spec MC.Follower) with MC.amnesia = [ 1 ] };
+  reject "amnesia of a crashed process"
+    { (MC.default_spec MC.Quorum) with MC.crashes = [ 2 ]; amnesia = [ 2 ] };
+  reject "crash + amnesia over the f budget"
+    { (MC.default_spec MC.Quorum) with MC.crashes = [ 2 ]; amnesia = [ 1 ] };
+  reject "duplicate amnesia pid"
+    { (MC.default_spec MC.Quorum) with MC.amnesia = [ 1; 1 ] };
+  reject "amnesia pid out of range" { (MC.default_spec MC.Quorum) with MC.amnesia = [ 9 ] }
+
+(* ------------------------------------------------------------------ *)
 (* Seeded bug: find, shrink, replay *)
 
 let seeded_spec = { (MC.default_spec MC.Quorum) with MC.seeded_bug = true }
@@ -227,6 +282,7 @@ let test_monitor_reset () =
         quorum_bound = Some 2;
         bound_gauge = None;
         settle = Qs_sim.Stime.of_ms 50;
+        rejoin_retry_bound = None;
       }
   in
   for _ = 1 to 3 do
@@ -315,6 +371,13 @@ let () =
           Alcotest.test_case "quorum n=4 stable counts" `Quick test_quorum_n4_bounded_stable;
           Alcotest.test_case "follower bounded clean" `Quick test_follower_bounded_clean;
           Alcotest.test_case "xpaxos bounded clean" `Quick test_xpaxos_bounded_clean;
+        ] );
+      ( "amnesia",
+        [
+          Alcotest.test_case "amnesia-only exhausts" `Quick test_amnesia_only_exhausts;
+          Alcotest.test_case "gossip + crash bounded clean" `Quick test_amnesia_gossip_bounded_clean;
+          Alcotest.test_case "walks recover" `Quick test_amnesia_gossip_walks_recover;
+          Alcotest.test_case "spec validation" `Quick test_amnesia_spec_validation;
         ] );
       ( "seeded-bug",
         [
