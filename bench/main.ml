@@ -222,11 +222,49 @@ let run_benchmarks ~quick () =
   print_newline ();
   [ ("micro", micro); ("scaling", scaling); ("experiments", experiments) ]
 
+(* Commission-fault smoke: one seeded Byzantine schedule per stack — an
+   equivocator armed from 1ms, a slander phase, and a transient leader
+   crash at t=0 so suspicion gossip gives the equivocator rows to corrupt.
+   The crash must be transient: a permanent leader crash on the star stack
+   leaves the spokes with divergent quorum views long enough for correct
+   processes to suspect each other. The per-stack conviction counters
+   (equivocation proofs found, forgeries rejected) land in BENCH_qsel.json
+   next to the perf numbers, so the evidence plane's detection trajectory
+   is diffable across commits. xpaxos-enum legitimately convicts nothing:
+   enumeration mode has no suspicion gossip for the equivocator to fork. *)
+let commission_counters ~quick () =
+  let module Chaos = Qs_harness.Chaos in
+  let module Fault = Qs_faults.Fault in
+  let module Campaign = Qs_faults.Campaign in
+  let ms = Qs_sim.Stime.of_ms in
+  List.map
+    (fun stack ->
+      let params =
+        { (Chaos.default_params stack) with
+          Chaos.horizon = ms (if quick then 2_000 else 4_000);
+        }
+      in
+      let schedule =
+        [
+          Fault.at ~start:Qs_sim.Stime.zero ~stop:(ms 40) (Fault.Crash 0);
+          Fault.at ~start:(ms 1) (Fault.Equivocate { src = 1; scope = [ 2; 3 ] });
+          Fault.at ~start:(ms 300) ~stop:(ms 1_500)
+            (Fault.Slander { src = 1; victim = 2 });
+        ]
+      in
+      let model = Fault.classify ~n:params.Chaos.n ~f:params.Chaos.f schedule in
+      let o = Chaos.execute stack ~params ~seed:90210 ~model schedule in
+      ( Chaos.name stack,
+        o.Campaign.proofs,
+        o.Campaign.forgeries,
+        List.length o.Campaign.violations ))
+    Chaos.all
+
 (* A BENCH_*.json summary: per-benchmark ns/run, the experiment verdict
-   tally, and the metrics the protocol layers recorded while the tables were
-   regenerated. One file per run; diff it across commits to track the perf
-   trajectory. *)
-let write_json_summary ~path ~quick ~experiments_ok ~bench_rows =
+   tally, the commission-fault conviction counters, and the metrics the
+   protocol layers recorded while the tables were regenerated. One file per
+   run; diff it across commits to track the perf trajectory. *)
+let write_json_summary ~path ~quick ~experiments_ok ~commission ~bench_rows =
   let module Json = Qs_obs.Json in
   let result_json group (name, ns) =
     Json.Obj
@@ -241,6 +279,18 @@ let write_json_summary ~path ~quick ~experiments_ok ~bench_rows =
       (fun (group, rows) -> List.map (result_json group) rows)
       bench_rows
   in
+  let commission_json =
+    List.map
+      (fun (stack, proofs, forgeries, violations) ->
+        Json.Obj
+          [
+            ("stack", Json.String stack);
+            ("proofs", Json.Int proofs);
+            ("forgeries", Json.Int forgeries);
+            ("violations", Json.Int violations);
+          ])
+      commission
+  in
   let doc =
     Json.Obj
       [
@@ -248,6 +298,7 @@ let write_json_summary ~path ~quick ~experiments_ok ~bench_rows =
         ("quick", Json.Bool quick);
         ( "experiments_ok",
           match experiments_ok with None -> Json.Null | Some ok -> Json.Bool ok );
+        ("commission", Json.List commission_json);
         ("results", Json.List results);
         ("metrics", Qs_obs.Metrics.to_json (Qs_obs.Metrics.snapshot ()));
       ]
@@ -273,6 +324,12 @@ let () =
         else None)
       args
   in
+  (* The commission smoke runs before the reset: Chaos.execute resets the
+     default metrics registry itself, so running it later would clobber the
+     counters the experiments record for the JSON snapshot. *)
+  let commission =
+    match json_path with None -> [] | Some _ -> commission_counters ~quick ()
+  in
   Qs_obs.Metrics.reset ();
   let experiments_ok =
     if micro_only then None else Some (Experiments.run_and_print_all ~quick ())
@@ -280,5 +337,6 @@ let () =
   let bench_rows = if tables_only then [] else run_benchmarks ~quick () in
   (match json_path with
    | None -> ()
-   | Some path -> write_json_summary ~path ~quick ~experiments_ok ~bench_rows);
+   | Some path ->
+     write_json_summary ~path ~quick ~experiments_ok ~commission ~bench_rows);
   if experiments_ok = Some false then exit 1

@@ -337,8 +337,21 @@ let chaos_cmd =
              durable snapshot, rejoining via CRDT state transfer. The monitor \
              additionally enforces the recovery invariants.")
   in
+  let byz =
+    Arg.(
+      value & flag
+      & info [ "byz" ]
+          ~doc:
+            "Arm the commission-fault plane: blamed processes may \
+             equivocate their suspicion rows, slander peers with forged \
+             frames, tamper with link payloads or replay stale ones. \
+             Signed-evidence stores convict provable misbehavers and \
+             permanently exclude them from quorums; the monitor checks \
+             that no correct process is ever proof-excluded and that \
+             proven equivocators leave the quorums for good.")
+  in
   let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.") in
-  let run protocol seed runs quick out_of_model amnesia json metrics =
+  let run protocol seed runs quick out_of_model amnesia byz json metrics =
     with_metrics metrics @@ fun () ->
     let stacks =
       if String.lowercase_ascii protocol = "all" then Ok Chaos.all
@@ -358,7 +371,9 @@ let chaos_cmd =
       let reports =
         List.map
           (fun st ->
-            (st, Chaos.campaign st ~params:(params st) ~out_of_model ~amnesia ~runs ~seed ()))
+            ( st,
+              Chaos.campaign st ~params:(params st) ~out_of_model ~amnesia ~byz
+                ~runs ~seed () ))
           stacks
       in
       if json then
@@ -397,8 +412,8 @@ let chaos_cmd =
   Cmd.v (Cmd.info "chaos" ~doc)
     Term.(
       ret
-        (const run $ protocol $ seed $ runs $ quick $ out_of_model $ amnesia $ json
-        $ metrics_arg))
+        (const run $ protocol $ seed $ runs $ quick $ out_of_model $ amnesia $ byz
+        $ json $ metrics_arg))
 
 (* ------------------------------------------------------------------ *)
 (* mc: small-scope model checking / schedule exploration *)
@@ -430,9 +445,11 @@ let mc_cmd =
           ~doc:
             "Initial ⟨SUSPECTED⟩ event: process $(i,P) starts out suspecting \
              $(i,S1,S2,...). The form $(b,amnesia:P) instead grants process \
-             $(i,P) one amnesia crash, explored at every point of every \
-             schedule (quorum protocol only). Repeatable. Defaults to the \
-             protocol's canonical scenario when omitted.")
+             $(i,P) one amnesia crash, and $(b,equivocate:P) one equivocation \
+             (two conflicting validly-signed rows to two peers), each \
+             explored at every point of every schedule (quorum protocol \
+             only). Repeatable. Defaults to the protocol's canonical \
+             scenario when omitted.")
   in
   let crash =
     Arg.(
@@ -474,24 +491,31 @@ let mc_cmd =
       (fun acc s ->
         match acc with
         | Error _ -> acc
-        | Ok (inj, amn) -> (
+        | Ok (inj, amn, eqv) -> (
           match String.index_opt s ':' with
-          | None -> Error (Printf.sprintf "bad --inject %S (want P:S1,S2 or amnesia:P)" s)
+          | None ->
+            Error
+              (Printf.sprintf "bad --inject %S (want P:S1,S2, amnesia:P or equivocate:P)" s)
           | Some i -> (
             let p = String.sub s 0 i
             and rest = String.sub s (i + 1) (String.length s - i - 1) in
-            if String.lowercase_ascii p = "amnesia" then
+            match String.lowercase_ascii p with
+            | "amnesia" -> (
               match int_of_string_opt rest with
-              | Some p -> Ok (inj, p :: amn)
-              | None -> Error (Printf.sprintf "bad --inject %S (want amnesia:P)" s)
-            else
+              | Some p -> Ok (inj, p :: amn, eqv)
+              | None -> Error (Printf.sprintf "bad --inject %S (want amnesia:P)" s))
+            | "equivocate" -> (
+              match int_of_string_opt rest with
+              | Some p -> Ok (inj, amn, p :: eqv)
+              | None -> Error (Printf.sprintf "bad --inject %S (want equivocate:P)" s))
+            | _ -> (
               match
                 (int_of_string_opt p, List.map int_of_string_opt (String.split_on_char ',' rest))
               with
               | Some p, suspects when suspects <> [] && List.for_all Option.is_some suspects ->
-                Ok ((p, List.map Option.get suspects) :: inj, amn)
-              | _ -> Error (Printf.sprintf "bad --inject %S (want P:S1,S2)" s))))
-      (Ok ([], [])) specs
+                Ok ((p, List.map Option.get suspects) :: inj, amn, eqv)
+              | _ -> Error (Printf.sprintf "bad --inject %S (want P:S1,S2)" s)))))
+      (Ok ([], [], [])) specs
   in
   let run protocol n f depth inject crash requests seeded_bug random seed iters no_por json
       metrics =
@@ -501,7 +525,7 @@ let mc_cmd =
     | Some proto -> (
       match parse_injections inject with
       | Error msg -> `Error (true, msg)
-      | Ok (injections, amnesia) -> (
+      | Ok (injections, amnesia, equivocate) -> (
         let d = MC.default_spec proto in
         let spec =
           {
@@ -509,10 +533,12 @@ let mc_cmd =
             MC.n;
             f;
             injections =
-              (if injections = [] && amnesia = [] && crash = [] then d.MC.injections
+              (if injections = [] && amnesia = [] && equivocate = [] && crash = [] then
+                 d.MC.injections
                else List.rev injections);
             crashes = crash;
             amnesia = List.rev amnesia;
+            equivocate = List.rev equivocate;
             requests = (if requests < 0 then d.MC.requests else requests);
             seeded_bug;
           }

@@ -35,6 +35,7 @@ type t = {
   mutable issued_in_epoch : int;
   mutable max_issued_in_epoch : int;
   mutable dormant : bool;
+  mutable excluded : Pid.t list; (* proven-guilty, conviction order *)
   m_updates_sent : Metrics.counter;
   m_updates_merged : Metrics.counter;
   m_rejected : Metrics.counter;
@@ -75,6 +76,7 @@ let create config ~me ~auth ~send ~on_quorum ?(on_epoch = fun _ -> ()) () =
     issued_in_epoch = 0;
     max_issued_in_epoch = 0;
     dormant = false;
+    excluded = [];
     m_updates_sent = Metrics.counter ~labels "qs_updates_sent_total";
     m_updates_merged = Metrics.counter ~labels "qs_updates_merged_total";
     m_rejected = Metrics.counter ~labels "qs_rejected_total";
@@ -119,9 +121,35 @@ let handle_suspected t s = ignore (update_suspicions t s)
    handler would ever re-evaluate the quorum at the new epoch; we therefore
    continue evaluating locally. Progress is guaranteed because each such
    iteration raises the epoch and strictly shrinks the suspect graph. *)
+(* Permanent exclusion, capped at the model's budget: with at most [f]
+   excluded vertices the non-excluded complement (size >= q) is always an
+   independent set of the star edges, so aging still terminates — whereas
+   letting an out-of-model adversary convict more than [f] processes would
+   make the size-q search unsatisfiable and the epoch-bump loop diverge. *)
+let applied_exclusions t =
+  List.filteri (fun i _ -> i < t.config.f) t.excluded
+
+(* Proven-guilty processes leave every future quorum without consuming
+   suspicion aging: rather than poisoning the (epoch-aged, CRDT-merged)
+   matrix, exclusion covers each convicted vertex with a star of edges at
+   selection time, so no independent set of size >= 2 can contain it. *)
+let selection_graph t =
+  let g = Suspicion_matrix.suspect_graph t.matrix ~epoch:t.epoch in
+  match applied_exclusions t with
+  | [] -> g
+  | ex ->
+    let g = Graph.copy g in
+    List.iter
+      (fun e ->
+        for v = 0 to t.config.n - 1 do
+          if v <> e then Graph.add_edge g e v
+        done)
+      ex;
+    g
+
 let rec update_quorum t =
   if t.dormant then () else
-  let g = Suspicion_matrix.suspect_graph t.matrix ~epoch:t.epoch in
+  let g = selection_graph t in
   let target = q t.config - if !test_buggy_quorum_size then 1 else 0 in
   match Indep.lex_first_independent_set g target with
   | None ->
@@ -195,6 +223,19 @@ let rejected_updates t = t.rejected
 let suspect_graph t = Suspicion_matrix.suspect_graph t.matrix ~epoch:t.epoch
 
 (* ------------------------------------------------------------------ *)
+(* Evidence-driven permanent exclusion *)
+
+let exclude t p =
+  if p < 0 || p >= t.config.n then invalid_arg "Quorum_select.exclude: out of range";
+  if not (List.mem p t.excluded) then begin
+    t.excluded <- t.excluded @ [ p ];
+    (* The star edges may invalidate the standing quorum right away. *)
+    update_quorum t
+  end
+
+let excluded t = List.sort compare t.excluded
+
+(* ------------------------------------------------------------------ *)
 (* Crash-recovery (amnesia) hooks *)
 
 let dormant t = t.dormant
@@ -244,10 +285,11 @@ let absorb t ~matrix ~epoch =
    states identical up to them could still diverge on whether a later quorum
    overshoots Theorem 3, so merging them would be unsound for that check. *)
 let fingerprint t =
-  Format.asprintf "%d|%a|%s|%s|%d|%d|%b" t.epoch Suspicion_matrix.pp t.matrix
+  Format.asprintf "%d|%a|%s|%s|%d|%d|%b|%s" t.epoch Suspicion_matrix.pp t.matrix
     (String.concat "," (List.map string_of_int t.last_quorum))
     (String.concat "," (List.map string_of_int t.suspecting))
     t.issued_in_epoch t.max_issued_in_epoch t.dormant
+    (String.concat "," (List.map string_of_int t.excluded))
 
 type snapshot = {
   s_matrix : Suspicion_matrix.t;
@@ -260,6 +302,7 @@ type snapshot = {
   s_issued_in_epoch : int;
   s_max_issued_in_epoch : int;
   s_dormant : bool;
+  s_excluded : Pid.t list;
 }
 
 let snapshot t =
@@ -274,6 +317,7 @@ let snapshot t =
     s_issued_in_epoch = t.issued_in_epoch;
     s_max_issued_in_epoch = t.max_issued_in_epoch;
     s_dormant = t.dormant;
+    s_excluded = t.excluded;
   }
 
 let restore t s =
@@ -286,4 +330,5 @@ let restore t s =
   t.rejected <- s.s_rejected;
   t.issued_in_epoch <- s.s_issued_in_epoch;
   t.max_issued_in_epoch <- s.s_max_issued_in_epoch;
-  t.dormant <- s.s_dormant
+  t.dormant <- s.s_dormant;
+  t.excluded <- s.s_excluded

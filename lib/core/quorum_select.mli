@@ -81,7 +81,28 @@ val suspecting : t -> Pid.t list
 val rejected_updates : t -> int
 
 val suspect_graph : t -> Qs_graph.Graph.t
-(** The graph [G_i] for the current epoch (for inspection). *)
+(** The graph [G_i] for the current epoch (for inspection), {e without} the
+    exclusion stars — see {!exclude}. *)
+
+(** {2 Evidence-driven permanent exclusion} *)
+
+val exclude : t -> Pid.t -> unit
+(** Permanently bar a {e proven-guilty} process (an admitted
+    {!Qs_evidence.Evidence} proof) from every future quorum. Implemented at
+    selection time: each excluded vertex is covered with a star of edges on
+    a copy of the suspect graph, so no independent set of size ≥ 2 — hence
+    no quorum — can contain it, while the suspicion matrix (and its aging)
+    is left untouched. Re-evaluates the quorum immediately. Idempotent.
+
+    At most [f] exclusions are {e applied} (earliest convictions win):
+    within the model budget the non-excluded complement always admits a
+    size-[q] independent set, so epoch aging still terminates; past the
+    budget the target would become unsatisfiable. Exclusion deliberately
+    survives {!amnesia} — a proof is a permanent fact, not volatile
+    detector state. *)
+
+val excluded : t -> Pid.t list
+(** Processes convicted so far, sorted. *)
 
 (** {2 Crash-recovery (amnesia) hooks} *)
 

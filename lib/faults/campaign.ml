@@ -7,6 +7,8 @@ type exec_outcome = {
   committed : int;
   submitted : int;
   checks : int;
+  proofs : int;
+  forgeries : int;
 }
 
 let failed o = o.violations <> [] || o.liveness <> []
@@ -114,8 +116,12 @@ let run_to_string r =
     if failed o then "FAIL"
     else "ok  "
   in
-  Printf.sprintf "  run %2d seed %-10d %s %d/%d committed, %d checks, %s\n    %s"
-    r.index r.run_seed status o.committed o.submitted o.checks
+  let evidence =
+    if o.proofs = 0 && o.forgeries = 0 then ""
+    else Printf.sprintf ", %d proofs, %d forgeries" o.proofs o.forgeries
+  in
+  Printf.sprintf "  run %2d seed %-10d %s %d/%d committed, %d checks%s, %s\n    %s"
+    r.index r.run_seed status o.committed o.submitted o.checks evidence
     (model_to_string r.model)
     (Fault.to_string r.schedule)
 
@@ -155,6 +161,8 @@ let outcome_to_json o =
       ("committed", Json.Int o.committed);
       ("submitted", Json.Int o.submitted);
       ("checks", Json.Int o.checks);
+      ("proofs", Json.Int o.proofs);
+      ("forgeries", Json.Int o.forgeries);
     ]
 
 let run_to_json r =

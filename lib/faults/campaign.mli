@@ -19,6 +19,10 @@ type exec_outcome = {
   committed : int;
   submitted : int;
   checks : int;  (** Monitor checks that actually ran. *)
+  proofs : int;
+      (** Commission-fault evidence: equivocation proofs found or admitted
+          during the run ([Proof_found] + [Proof_admitted] journal events). *)
+  forgeries : int;  (** Forged frames rejected ([Forgery_rejected] events). *)
 }
 
 val failed : exec_outcome -> bool

@@ -9,6 +9,10 @@ type kind =
   | Delay of { src : int; dst : int; by : Stime.t }
   | Duplicate of { src : int; dst : int; copies : int }
   | Partition of int list
+  | Equivocate of { src : int; scope : int list }
+  | Slander of { src : int; victim : int }
+  | Tamper of { src : int; dst : int }
+  | Replay of { src : int; dst : int }
 
 type phase = { start : Stime.t; stop : Stime.t option; what : kind }
 
@@ -27,11 +31,15 @@ let sorted_uniq l = List.sort_uniq compare l
    omission/timing/duplication failure the sender commits on an individual
    link, Section II), partitions on their smaller side — declaring those
    processes faulty explains every unreliable link while leaving
-   correct<->correct links reliable and timely. *)
+   correct<->correct links reliable and timely. Commission faults are blamed
+   on the misbehaving source alone: a slander victim and an equivocation
+   scope stay correct — authentication confines the damage to the signer. *)
 let blamed ~n schedule =
   let blame = function
     | Crash p | CrashAmnesia p -> [ p ]
     | Omit { src; _ } | Delay { src; _ } | Duplicate { src; _ } -> [ src ]
+    | Equivocate { src; _ } | Slander { src; _ } | Tamper { src; _ } | Replay { src; _ } ->
+      [ src ]
     | Partition group ->
       let inside = sorted_uniq (List.filter (fun p -> p >= 0 && p < n) group) in
       let outside =
@@ -45,11 +53,20 @@ let validate_phase ~n phase =
   let chk p name = if p < 0 || p >= n then invalid_arg ("Fault: " ^ name ^ " out of range") in
   (match phase.what with
    | Crash p | CrashAmnesia p -> chk p "crash target"
-   | Omit { src; dst } | Delay { src; dst; _ } | Duplicate { src; dst; _ } ->
+   | Omit { src; dst } | Delay { src; dst; _ } | Duplicate { src; dst; _ }
+   | Tamper { src; dst } | Replay { src; dst } ->
      chk src "link src";
      chk dst "link dst";
      if src = dst then invalid_arg "Fault: link faults need src <> dst"
-   | Partition group -> List.iter (fun p -> chk p "partition member") group);
+   | Partition group -> List.iter (fun p -> chk p "partition member") group
+   | Equivocate { src; scope } ->
+     chk src "equivocation src";
+     List.iter (fun p -> chk p "equivocation scope member") scope;
+     if List.mem src scope then invalid_arg "Fault: equivocation scope contains src"
+   | Slander { src; victim } ->
+     chk src "slander src";
+     chk victim "slander victim";
+     if src = victim then invalid_arg "Fault: slander needs src <> victim");
   match phase.stop with
   | Some stop when Stime.compare stop phase.start < 0 ->
     invalid_arg "Fault: phase stops before it starts"
@@ -77,6 +94,10 @@ type gen_profile = {
   p_delay : float;
   p_duplicate : float;
   max_delay : Stime.t;
+  p_equivocate : float;
+  p_slander : float;
+  p_tamper : float;
+  p_replay : float;
 }
 
 let default_profile ~horizon =
@@ -89,6 +110,10 @@ let default_profile ~horizon =
     p_delay = 0.2;
     p_duplicate = 0.1;
     max_delay = Stime.of_ms 200;
+    p_equivocate = 0.0;
+    p_slander = 0.0;
+    p_tamper = 0.0;
+    p_replay = 0.0;
   }
 
 let gen_window rng profile =
@@ -124,7 +149,34 @@ let gen rng ~n ~f ?(profile = default_profile ~horizon:(Stime.of_ms 10_000)) () 
           [ { start; stop; what = CrashAmnesia p } ]
         else [ { start; stop; what = Crash p } ]
       end
-      else
+      else begin
+        (* Commission faults, guarded like amnesia so the random stream — and
+           therefore every pinned seed — is byte-identical when the knobs
+           are 0. A commission phase replaces the benign link mix for this
+           process: one active adversary per faulty process keeps generated
+           schedules readable and shrinkable. *)
+        let others = List.filter (fun q -> q <> p) (List.init n Fun.id) in
+        if profile.p_equivocate > 0. && Prng.chance rng profile.p_equivocate then begin
+          let start, stop = gen_window rng profile in
+          let scope = Prng.sample rng (Stdlib.min 2 (List.length others)) others in
+          [ { start; stop; what = Equivocate { src = p; scope } } ]
+        end
+        else if profile.p_slander > 0. && Prng.chance rng profile.p_slander then begin
+          let start, stop = gen_window rng profile in
+          let victim = List.nth others (Prng.int_in rng 0 (List.length others - 1)) in
+          [ { start; stop; what = Slander { src = p; victim } } ]
+        end
+        else if profile.p_tamper > 0. && Prng.chance rng profile.p_tamper then begin
+          let start, stop = gen_window rng profile in
+          let dst = List.nth others (Prng.int_in rng 0 (List.length others - 1)) in
+          [ { start; stop; what = Tamper { src = p; dst } } ]
+        end
+        else if profile.p_replay > 0. && Prng.chance rng profile.p_replay then begin
+          let start, stop = gen_window rng profile in
+          let dst = List.nth others (Prng.int_in rng 0 (List.length others - 1)) in
+          [ { start; stop; what = Replay { src = p; dst } } ]
+        end
+        else
         List.concat_map
           (fun dst ->
             if dst = p then []
@@ -143,7 +195,8 @@ let gen rng ~n ~f ?(profile = default_profile ~horizon:(Stime.of_ms 10_000)) () 
               [ { start; stop; what = Duplicate { src = p; dst; copies } } ]
             end
             else [])
-          (List.init n Fun.id))
+          (List.init n Fun.id)
+      end)
     faulty
 
 (* A deliberately out-of-model schedule: an in-model core plus either a
@@ -189,6 +242,12 @@ let kind_to_string = function
   | Partition group ->
     Printf.sprintf "partition {%s}"
       (String.concat "," (List.map string_of_int group))
+  | Equivocate { src; scope } ->
+    Printf.sprintf "equivocate p%d to {%s}" src
+      (String.concat "," (List.map string_of_int scope))
+  | Slander { src; victim } -> Printf.sprintf "slander p%d->p%d" src victim
+  | Tamper { src; dst } -> Printf.sprintf "tamper p%d->p%d" src dst
+  | Replay { src; dst } -> Printf.sprintf "replay p%d->p%d" src dst
 
 let phase_to_string ph =
   Format.asprintf "%s @@ %a%s" (kind_to_string ph.what) Stime.pp ph.start
@@ -230,6 +289,24 @@ let of_string ~n s =
         parse_pid (String.sub str (i + 2) (String.length str - i - 2)) )
     | _ -> fail "bad link %S" str
   in
+  let parse_group group =
+    if
+      String.length group >= 2
+      && group.[0] = '{'
+      && group.[String.length group - 1] = '}'
+    then begin
+      let inner = String.sub group 1 (String.length group - 2) in
+      if String.trim inner = "" then []
+      else
+        List.map
+          (fun v ->
+            match int_of_string_opt (String.trim v) with
+            | Some p -> p
+            | None -> fail "bad group member %S" v)
+          (String.split_on_char ',' inner)
+    end
+    else fail "bad group %S" group
+  in
   let parse_kind str =
     match String.split_on_char ' ' (String.trim str) with
     | [ "crash"; p ] -> Crash (parse_pid p)
@@ -237,6 +314,17 @@ let of_string ~n s =
     | [ "omit"; link ] ->
       let src, dst = parse_link link in
       Omit { src; dst }
+    | [ "equivocate"; p; "to"; group ] ->
+      Equivocate { src = parse_pid p; scope = parse_group group }
+    | [ "slander"; link ] ->
+      let src, victim = parse_link link in
+      Slander { src; victim }
+    | [ "tamper"; link ] ->
+      let src, dst = parse_link link in
+      Tamper { src; dst }
+    | [ "replay"; link ] ->
+      let src, dst = parse_link link in
+      Replay { src; dst }
     | [ "delay"; link; "by"; time ] ->
       let src, dst = parse_link link in
       Delay { src; dst; by = parse_ms time }
@@ -246,22 +334,7 @@ let of_string ~n s =
       match int_of_string_opt (String.sub copies 1 (String.length copies - 1)) with
       | Some k -> Duplicate { src; dst; copies = k }
       | None -> fail "bad copy count %S" copies)
-    | [ "partition"; group ]
-      when String.length group >= 2
-           && group.[0] = '{'
-           && group.[String.length group - 1] = '}' ->
-      let inner = String.sub group 1 (String.length group - 2) in
-      let members =
-        if String.trim inner = "" then []
-        else
-          List.map
-            (fun v ->
-              match int_of_string_opt (String.trim v) with
-              | Some p -> p
-              | None -> fail "bad partition member %S" v)
-            (String.split_on_char ',' inner)
-      in
-      Partition members
+    | [ "partition"; group ] -> Partition (parse_group group)
     | _ -> fail "unrecognized fault %S" str
   in
   let parse_phase str =
@@ -328,6 +401,22 @@ let kind_to_json = function
   | Partition group ->
     Json.Obj
       [ ("kind", Json.String "partition"); ("group", Json.List (List.map (fun p -> Json.Int p) group)) ]
+  | Equivocate { src; scope } ->
+    Json.Obj
+      [
+        ("kind", Json.String "equivocate");
+        ("src", Json.Int src);
+        ("scope", Json.List (List.map (fun p -> Json.Int p) scope));
+      ]
+  | Slander { src; victim } ->
+    Json.Obj
+      [ ("kind", Json.String "slander"); ("src", Json.Int src); ("victim", Json.Int victim) ]
+  | Tamper { src; dst } ->
+    Json.Obj
+      [ ("kind", Json.String "tamper"); ("src", Json.Int src); ("dst", Json.Int dst) ]
+  | Replay { src; dst } ->
+    Json.Obj
+      [ ("kind", Json.String "replay"); ("src", Json.Int src); ("dst", Json.Int dst) ]
 
 let phase_to_json ph =
   let base =

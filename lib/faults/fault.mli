@@ -35,6 +35,29 @@ type kind =
   | Partition of int list
       (** Cut the given group off from the rest, both directions. In-model
           only when the smaller side fits in the failure budget. *)
+  | Equivocate of { src : int; scope : int list }
+      (** Commission failure: [src] sends {e conflicting, validly-signed}
+          payloads — the honest one to most peers and a re-signed variant to
+          each process in [scope] (empty scope means every peer gets its own
+          variant). Because both frames verify under [src]'s key, two of
+          them form a transferable proof of misbehavior
+          ({!Qs_evidence.Evidence}). Blamed on [src]. *)
+  | Slander of { src : int; victim : int }
+      (** Commission failure: [src] broadcasts forged suspicion rows that
+          claim to be signed by [victim]. [Auth.forge] cannot produce a
+          valid tag, so receivers reject the frame and quarantine the
+          {e channel} it arrived on — the victim is never blamed, and the
+          forgery is not transferable evidence. Blamed on [src]. *)
+  | Tamper of { src : int; dst : int }
+      (** Commission failure on one link: payloads from [src] to [dst] are
+          bit-flipped in flight with the signature left stale, so [dst]'s
+          [Auth.verify] rejects them. Observationally an omission with a
+          forgery-rejection receipt. Blamed on [src]. *)
+  | Replay of { src : int; dst : int }
+      (** Commission failure on one link: old validly-signed frames from
+          [src] are re-delivered to [dst]. Exercises idempotency — CRDT
+          merges and dedup must absorb stale re-deliveries. Blamed on
+          [src]. *)
 
 type phase = { start : Qs_sim.Stime.t; stop : Qs_sim.Stime.t option; what : kind }
 (** [stop = None] means the fault persists to the end of the run. *)
@@ -51,7 +74,8 @@ val at : ?stop:Qs_sim.Stime.t -> ?start:Qs_sim.Stime.t -> kind -> phase
 (** Phase constructor; [start] defaults to time zero. *)
 
 val blamed : n:int -> schedule -> int list
-(** The minimal blame set: crash targets, link-fault sources, and the
+(** The minimal blame set: crash targets, link-fault sources, commission
+    sources (never the slander victim or equivocation scope), and the
     smaller side of each partition. Sorted, duplicate-free. *)
 
 val validate : n:int -> schedule -> unit
@@ -77,6 +101,14 @@ type gen_profile = {
   p_delay : float;
   p_duplicate : float;
   max_delay : Qs_sim.Stime.t;
+  p_equivocate : float;
+      (** Chance a non-crashed faulty process equivocates (conflicting
+          signed rows to a small scope). 0 in {!default_profile}; like
+          [p_amnesia], the zero case keeps the random stream byte-identical
+          to pre-commission seeds. *)
+  p_slander : float;  (** Chance it broadcasts forged rows instead. *)
+  p_tamper : float;  (** Chance one of its links bit-flips payloads. *)
+  p_replay : float;  (** Chance one of its links replays old frames. *)
 }
 
 val default_profile : horizon:Qs_sim.Stime.t -> gen_profile

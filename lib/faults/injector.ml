@@ -12,9 +12,33 @@ let note verb ph =
   if Journal.live () then
     Journal.record (Journal.Custom (Printf.sprintf "fault%s %s" verb (Fault.kind_to_string ph.Fault.what)))
 
+(* Period of the active behaviours (slander broadcasts, replayed frames):
+   frequent enough to land inside any detector window, rare enough not to
+   swamp the run. Each armed phase is also capped so an unbounded phase on a
+   self-rescheduling event cannot keep the simulation alive forever. *)
+let commission_period = Stime.of_ms 40
+
+let commission_cap = 64
+
 (* Arm one fault on the network's filter chain (or through the process-mute
    hook) and return the disarming thunk. *)
-let arm net ~set_mute what =
+let arm net ~set_mute ?equivocate ?slander ?tamper what =
+  (* An active behaviour: fire [body] every [commission_period] while armed
+     (bounded by [commission_cap]); the disarm thunk stops it. *)
+  let periodic body =
+    let sim = Network.sim net in
+    let armed = ref true in
+    let shots = ref 0 in
+    let rec tick () =
+      if !armed && !shots < commission_cap then begin
+        incr shots;
+        body ();
+        Sim.schedule_at sim ~at:Stime.(Sim.now sim + commission_period) tick
+      end
+    in
+    Sim.schedule_at sim ~at:Stime.(Sim.now sim + commission_period) tick;
+    fun () -> armed := false
+  in
   match (what, set_mute) with
   | (Fault.Crash p | Fault.CrashAmnesia p), Some mute ->
     mute p true;
@@ -47,8 +71,70 @@ let arm net ~set_mute what =
         if inside src <> inside dst then Network.Drop else Network.Deliver)
     in
     fun () -> Network.remove_filter net id
+  | Fault.Equivocate { src; scope }, _ -> (
+    (* Conflicting signed payloads need the protocol's own re-signing hook;
+       without one the fault is unrepresentable and arms as a no-op. *)
+    match equivocate with
+    | None -> fun () -> ()
+    | Some hook ->
+      let in_scope d = scope = [] || List.mem d scope in
+      let id = Network.add_filter net (fun ~now:_ ~src:s ~dst:d m ->
+          if s = src && in_scope d then
+            match hook ~src:s ~dst:d m with
+            | Some m' -> Network.Replace m'
+            | None -> Network.Deliver
+          else Network.Deliver)
+      in
+      fun () -> Network.remove_filter net id)
+  | Fault.Slander { src; victim }, _ -> (
+    (* Forged frames claiming the victim's signature, broadcast periodically
+       on the slanderer's own links. [Auth.forge] guarantees the tag never
+       verifies, so receivers reject and quarantine the channel. *)
+    match slander with
+    | None -> fun () -> ()
+    | Some hook ->
+      periodic (fun () ->
+          match hook ~src ~victim with
+          | None -> ()
+          | Some forged ->
+            for dst = 0 to Network.n net - 1 do
+              if dst <> src then Network.send net ~src ~dst forged
+            done))
+  | Fault.Tamper { src; dst }, _ ->
+    (* Bit-flip with a stale signature. Without a payload mutator the drop
+       fallback is observationally equivalent for receivers that verify
+       every frame — the only difference is the missing forgery receipt. *)
+    let id = Network.add_filter net (fun ~now:_ ~src:s ~dst:d m ->
+        if s = src && d = dst then
+          match tamper with
+          | Some flip -> Network.Replace (flip m)
+          | None -> Network.Drop
+        else Network.Deliver)
+    in
+    fun () -> Network.remove_filter net id
+  | Fault.Replay { src; dst }, _ ->
+    (* Record the link's real frames (valid signatures) and re-deliver old
+       ones periodically; receivers must absorb stale re-deliveries. *)
+    let recorded = ref [] in
+    let id = Network.add_filter net (fun ~now:_ ~src:s ~dst:d m ->
+        if s = src && d = dst && List.length !recorded < commission_cap then
+          recorded := !recorded @ [ m ];
+        Network.Deliver)
+    in
+    let stop_replays =
+      periodic (fun () ->
+          match !recorded with
+          | [] -> ()
+          | oldest :: rest ->
+            (* Cycle through the tape, oldest first. *)
+            recorded := rest @ [ oldest ];
+            Network.send net ~src ~dst oldest)
+    in
+    fun () ->
+      Network.remove_filter net id;
+      stop_replays ()
 
-let install ~net ?set_mute ?amnesia schedule =
+let install ~net ?set_mute ?amnesia ?equivocate ?slander ?tamper schedule =
   let sim = Network.sim net in
   let t = { active = 0; installed = 0 } in
   List.iter
@@ -57,7 +143,7 @@ let install ~net ?set_mute ?amnesia schedule =
           t.active <- t.active + 1;
           t.installed <- t.installed + 1;
           note "+" ph;
-          let disarm = arm net ~set_mute ph.Fault.what in
+          let disarm = arm net ~set_mute ?equivocate ?slander ?tamper ph.Fault.what in
           match ph.Fault.stop with
           | None -> ()
           | Some stop ->

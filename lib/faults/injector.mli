@@ -20,6 +20,9 @@ val install :
   net:'m Qs_sim.Network.t ->
   ?set_mute:(int -> bool -> unit) ->
   ?amnesia:(int -> unit) ->
+  ?equivocate:(src:int -> dst:int -> 'm -> 'm option) ->
+  ?slander:(src:int -> victim:int -> 'm option) ->
+  ?tamper:('m -> 'm) ->
   Fault.schedule ->
   t
 (** Schedule every phase; must be called before the simulation runs past the
@@ -28,7 +31,26 @@ val install :
     [amnesia] is invoked at a [CrashAmnesia] phase's [stop] time, after the
     mute is lifted: the harness wipes the process's volatile state back to
     its last durable snapshot and starts the rejoin protocol. Without the
-    hook a [CrashAmnesia] behaves exactly like [Crash] (mute window only). *)
+    hook a [CrashAmnesia] behaves exactly like [Crash] (mute window only).
+
+    The commission hooks let the injector speak each protocol's wire format:
+
+    - [equivocate ~src ~dst m] produces the conflicting {e re-signed}
+      variant [src] sends to [dst] instead of [m] ([None] passes [m]
+      through). Armed as a [Replace] filter on [src]'s in-scope links.
+      Without the hook, [Equivocate] phases arm as no-ops — generic code
+      cannot invent validly-signed protocol payloads.
+    - [slander ~src ~victim] forges one frame that claims [victim] signed
+      it; the injector broadcasts it periodically on [src]'s links while
+      the phase is armed (bounded, so an open-ended phase cannot keep the
+      simulation alive). Without the hook, [Slander] arms as a no-op.
+    - [tamper m] bit-flips a payload leaving the signature stale; armed as
+      a [Replace] filter on the tampered link. Without the hook, the link
+      drops instead — observationally equivalent for receivers that verify
+      every frame.
+
+    [Replay] needs no hook: the injector records the link's own frames and
+    periodically re-delivers old ones verbatim (signatures stay valid). *)
 
 val active : t -> int
 (** Phases currently armed. *)

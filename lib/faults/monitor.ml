@@ -32,11 +32,15 @@ type t = {
   recovering : (int, float) Hashtbl.t;
   (* who -> epoch the last completed rejoin fast-forwarded to *)
   rejoin_epoch : (int, int) Hashtbl.t;
+  (* culprit -> virtual ms of the first proof of misbehavior against it *)
+  proved : (int, float) Hashtbl.t;
   seen : (string, unit) Hashtbl.t; (* violation dedup *)
   mutable violations : violation list; (* reversed *)
   mutable checks : int;
   mutable commits : int;
   mutable quorums : int;
+  mutable proofs : int;
+  mutable forgeries : int;
 }
 
 let violate t ~at check detail =
@@ -95,7 +99,31 @@ let on_quorum_issued t ~at ~who ~epoch ~quorum =
                      who i j i j since)
               | _ -> ())
           quorum)
+    quorum;
+  (* Evidence invariant: once any process held a proof against j, every
+     quorum issued after one settle window (the round the proof needs to
+     gossip) must exclude j — permanently, no aging. *)
+  List.iter
+    (fun j ->
+      match Hashtbl.find_opt t.proved j with
+      | Some since when at -. since >= Stime.to_ms t.config.settle ->
+        violate t ~at "excluded-quorum"
+          (Printf.sprintf
+             "p%d's quorum contains p%d, proven guilty since %.1fms" who j since)
+      | _ -> ())
     quorum
+
+let on_proof t ~at culprit =
+  t.proofs <- t.proofs + 1;
+  t.checks <- t.checks + 1;
+  (* Evidence invariant: proofs are sound — only actual misbehavers can
+     produce two conflicting validly-signed frames, so a correct process
+     must never be convicted (not even by an out-of-model adversary: that
+     would mean a forged signature verified). *)
+  if is_correct t culprit then
+    violate t ~at "correct-excluded"
+      (Printf.sprintf "correct p%d was proof-excluded" culprit);
+  if not (Hashtbl.mem t.proved culprit) then Hashtbl.replace t.proved culprit at
 
 let handle t entry =
   let at = entry.Journal.at in
@@ -128,6 +156,16 @@ let handle t entry =
          (Printf.sprintf "p%d needed %d rejoin retries (bound %d)" who retries
             bound)
      | _ -> ())
+  | Journal.Proof_found { culprit; _ } | Journal.Proof_admitted { culprit; _ } ->
+    on_proof t ~at culprit
+  | Journal.Forgery_rejected { claimed; _ } ->
+    t.forgeries <- t.forgeries + 1;
+    t.checks <- t.checks + 1;
+    (* A forgery is local-only blame: the claimed signer must never end up
+       convicted by it. Nothing to record — if a conviction of a correct
+       process ever follows, [on_proof] flags it. The event still counts as
+       a check: the verify-reject path actually ran. *)
+    ignore claimed
   | _ -> ()
 
 let create ?(journal = Journal.default) config =
@@ -140,11 +178,14 @@ let create ?(journal = Journal.default) config =
       issued = Hashtbl.create 64;
       recovering = Hashtbl.create 8;
       rejoin_epoch = Hashtbl.create 8;
+      proved = Hashtbl.create 8;
       seen = Hashtbl.create 16;
       violations = [];
       checks = 0;
       commits = 0;
       quorums = 0;
+      proofs = 0;
+      forgeries = 0;
     }
   in
   t.subscription <- Journal.subscribe ~j:journal (fun entry -> handle t entry);
@@ -162,11 +203,14 @@ let reset t =
   Hashtbl.reset t.issued;
   Hashtbl.reset t.recovering;
   Hashtbl.reset t.rejoin_epoch;
+  Hashtbl.reset t.proved;
   Hashtbl.reset t.seen;
   t.violations <- [];
   t.checks <- 0;
   t.commits <- 0;
-  t.quorums <- 0
+  t.quorums <- 0;
+  t.proofs <- 0;
+  t.forgeries <- 0
 
 (* ------------------------------------------------------------------ *)
 (* Periodic history probe: prefix consistency + exactly-once, checked online
@@ -248,6 +292,10 @@ let checks_run t = t.checks
 let commits_observed t = t.commits
 
 let quorums_observed t = t.quorums
+
+let proofs_observed t = t.proofs
+
+let forgeries_observed t = t.forgeries
 
 let violation_to_string v =
   Printf.sprintf "[%10.3fms] %-18s %s" v.at v.check v.detail

@@ -23,7 +23,16 @@
     - {b rejoin-retries} — a completed rejoin must have stayed within the
       configured retry bound;
     - {b rejoin-stuck} — at the end of an in-model run ({!check_recovered})
-      every started rejoin must have completed.
+      every started rejoin must have completed;
+    - {b correct-excluded} — evidence proofs are sound, so a correct process
+      (one the schedule does not blame) must never be proof-excluded, in- or
+      out-of-model: a conviction needs two conflicting frames that verify
+      under its own key;
+    - {b excluded-quorum} — once a [Proof_found] / [Proof_admitted] names a
+      culprit, every quorum issued more than one settle window later must
+      exclude it, permanently (the window absorbs the round the proof needs
+      to gossip). The Theorem-3/9 {b quorum-bound} checks stay armed with
+      commission faults in-model — exclusion must not cost extra epochs.
 
     Per-epoch accounting is recovery-aware: a [Recovery_started] clears the
     process's suspicion onsets and per-epoch issue counts (its previous
@@ -104,6 +113,12 @@ val checks_run : t -> int
 val commits_observed : t -> int
 
 val quorums_observed : t -> int
+
+val proofs_observed : t -> int
+(** [Proof_found] + [Proof_admitted] events seen. *)
+
+val forgeries_observed : t -> int
+(** [Forgery_rejected] events seen. *)
 
 val violation_to_string : violation -> string
 

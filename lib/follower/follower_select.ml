@@ -30,6 +30,7 @@ type t = {
   mutable issued_in_epoch : int;
   mutable max_issued_in_epoch : int;
   mutable dormant : bool;
+  mutable excluded : Pid.t list; (* proven-guilty, conviction order *)
   m_updates_sent : Metrics.counter;
   m_updates_merged : Metrics.counter;
   m_rejected : Metrics.counter;
@@ -43,6 +44,39 @@ type t = {
 let q_of t = Quorum_select.q t.config
 
 let default_quorum config = List.init (Quorum_select.q config) (fun i -> i)
+
+(* Exclusion cap mirrors Quorum_select: applying more than [f] convictions
+   would leave fewer than q eligible processes and wedge the defaults. *)
+let applied_exclusions t =
+  List.filteri (fun i _ -> i < t.config.Quorum_select.f) t.excluded
+
+(* The deterministic leader rule with exclusions: the minimum degree-0
+   vertex of the line subgraph that is not proven guilty. With no
+   exclusions this is exactly [Line.leader_of] (Lemma 5's unique leader);
+   with them it is still a deterministic function of (matrix, epoch,
+   admitted proofs), which is all agreement needs. *)
+let leader_with ~n ~excluded l =
+  let rec first v =
+    if v >= n then None
+    else if Graph.degree l v = 0 && not (List.mem v excluded) then Some v
+    else first (v + 1)
+  in
+  first 0
+
+(* The epoch-bump default (line 12's {p1..pq}) skips convicted processes:
+   the first q eligible ids. *)
+let default_quorum_of t =
+  let ex = applied_exclusions t in
+  let rec take k v =
+    if k = 0 then []
+    else if v >= t.config.Quorum_select.n then [] (* unreachable: |ex| <= f leaves >= q eligible *)
+    else if List.mem v ex then take k (v + 1)
+    else v :: take (k - 1) (v + 1)
+  in
+  take (q_of t) 0
+
+let default_leader_of t =
+  match default_quorum_of t with v :: _ -> v | [] -> 0
 
 let create config ~me ~auth ~send ~on_quorum ?(fd_expect = fun ~leader:_ ~epoch:_ -> ())
     ?(fd_cancel = fun () -> ()) ?(fd_detected = fun _ -> ()) () =
@@ -80,6 +114,7 @@ let create config ~me ~auth ~send ~on_quorum ?(fd_expect = fun ~leader:_ ~epoch:
     issued_in_epoch = 0;
     max_issued_in_epoch = 0;
     dormant = false;
+    excluded = [];
     m_updates_sent = Metrics.counter ~labels "fs_updates_sent_total";
     m_updates_merged = Metrics.counter ~labels "fs_updates_merged_total";
     m_rejected = Metrics.counter ~labels "fs_rejected_total";
@@ -110,8 +145,12 @@ let update_suspicions t s =
   t.send (Fmsg.seal t.auth (Fmsg.Update { Msg.owner = t.me; row }));
   !changed
 
-let select_followers l ~leader ~q =
-  let candidates = List.filter (fun v -> v <> leader) (Line.possible_followers l) in
+let select_followers ?(excluded = []) l ~leader ~q =
+  let candidates =
+    List.filter
+      (fun v -> v <> leader && not (List.mem v excluded))
+      (Line.possible_followers l)
+  in
   let rec take k = function
     | _ when k = 0 -> []
     | [] -> invalid_arg "Follower_select.select_followers: not enough possible followers"
@@ -146,17 +185,18 @@ let rec update_quorum t =
     if Journal.live () then
       Journal.record (Journal.Epoch_advanced { who = t.me; epoch = t.epoch });
     t.fd_cancel ();
-    t.leader <- 0;
+    t.leader <- default_leader_of t;
     t.stable <- true;
-    issue t ~leader:t.leader (default_quorum t.config);
+    issue t ~leader:t.leader (default_quorum_of t);
     if not (update_suspicions t t.suspecting) then update_quorum t
   end
   else begin
     let l = Line.maximal g in
-    match Line.leader_of l with
+    match leader_with ~n:t.config.Quorum_select.n ~excluded:(applied_exclusions t) l with
     | None ->
       (* Cannot happen for n > 3f: Lemma 8 b) guarantees an uncovered vertex
-         whenever an independent set of size q exists. *)
+         whenever an independent set of size q exists (and at most f
+         exclusions leave an eligible one). *)
       assert false
     | Some new_leader ->
       if new_leader <> t.leader then begin
@@ -165,7 +205,10 @@ let rec update_quorum t =
         t.fd_cancel ();
         if new_leader <> t.me then t.fd_expect ~leader:new_leader ~epoch:t.epoch
         else begin
-          let fw = select_followers l ~leader:t.me ~q:(q_of t) in
+          let fw =
+            select_followers ~excluded:(applied_exclusions t) l ~leader:t.me
+              ~q:(q_of t)
+          in
           t.send
             (Fmsg.seal t.auth
                (Fmsg.Followers
@@ -181,7 +224,7 @@ let rec update_quorum t =
 
 let handle_suspected t s = ignore (update_suspicions t s)
 
-let well_formed ~n ~q ~suspect_graph f =
+let well_formed ?(excluded = []) ~n ~q ~suspect_graph f =
   let fw = f.Fmsg.followers in
   let distinct = List.length (List.sort_uniq compare fw) = List.length fw in
   let in_range v = v >= 0 && v < n in
@@ -199,10 +242,12 @@ let well_formed ~n ~q ~suspect_graph f =
     (* b) L' ⊆ G_i and L' is a line subgraph *)
     Line.is_line_subgraph l'
     && Graph.is_subgraph ~sub:l' ~super:suspect_graph
-    (* c) l_{L'} = sender *)
-    && Line.leader_of l' = Some f.Fmsg.leader
-    (* d) all followers are possible followers for L' *)
-    && List.for_all (Line.is_possible_follower l') fw
+    (* c) l_{L'} = sender, under the receiver's admitted exclusions *)
+    && leader_with ~n ~excluded l' = Some f.Fmsg.leader
+    (* d) all followers are possible followers for L', none proven guilty *)
+    && List.for_all
+         (fun v -> Line.is_possible_follower l' v && not (List.mem v excluded))
+         fw
 
 let detect t culprit =
   t.detections <- culprit :: t.detections;
@@ -216,7 +261,11 @@ let handle_followers t msg f =
      compare against state the process no longer legitimately holds. *)
   if (not t.dormant) && j = t.leader && f.Fmsg.epoch = t.epoch then begin
     let n = t.config.Quorum_select.n in
-    if not (well_formed ~n ~q:(q_of t) ~suspect_graph:(Suspicion_matrix.suspect_graph t.matrix ~epoch:t.epoch) f)
+    if
+      not
+        (well_formed ~excluded:(applied_exclusions t) ~n ~q:(q_of t)
+           ~suspect_graph:(Suspicion_matrix.suspect_graph t.matrix ~epoch:t.epoch)
+           f)
     then detect t j
     else begin
       let quorum = List.sort compare (j :: f.Fmsg.followers) in
@@ -272,6 +321,28 @@ let suspect_graph t = Suspicion_matrix.suspect_graph t.matrix ~epoch:t.epoch
 let rejected_msgs t = t.rejected
 
 (* ------------------------------------------------------------------ *)
+(* Evidence-driven permanent exclusion — mirrors Quorum_select, except no
+   forced re-issue: Algorithm 2 only changes quorums through leader changes
+   and epoch bumps, and a stable leader re-broadcasting a shrunken
+   FOLLOWERS message would trip its own receivers' equivocation check. The
+   conviction takes effect on every future leader derivation, default
+   quorum and well-formedness check. *)
+
+let exclude t p =
+  if p < 0 || p >= t.config.Quorum_select.n then
+    invalid_arg "Follower_select.exclude: out of range";
+  if not (List.mem p t.excluded) then begin
+    t.excluded <- t.excluded @ [ p ];
+    (* A convicted current leader must be stepped away from now: re-derive
+       (the leader rule skips excluded vertices, so this cannot pick [p]
+       again, and the normal FOLLOWERS exchange issues the next quorum). *)
+    if (not t.dormant) && List.mem p (applied_exclusions t) && t.leader = p then
+      update_quorum t
+  end
+
+let excluded t = List.sort compare t.excluded
+
+(* ------------------------------------------------------------------ *)
 (* Crash-recovery (amnesia) hooks — mirrors Quorum_select. *)
 
 let dormant t = t.dormant
@@ -282,9 +353,9 @@ let amnesia t =
     ~dst:t.matrix;
   t.epoch <- 1;
   t.suspecting <- [];
-  t.leader <- 0;
+  t.leader <- default_leader_of t;
   t.stable <- true;
-  t.qlast <- default_quorum t.config;
+  t.qlast <- default_quorum_of t;
   t.history <- [];
   t.detections <- [];
   t.issued_in_epoch <- 0;
@@ -304,9 +375,9 @@ let absorb t ~matrix ~epoch =
     if Journal.live () then
       Journal.record (Journal.Epoch_advanced { who = t.me; epoch = t.epoch });
     t.fd_cancel ();
-    t.leader <- 0;
+    t.leader <- default_leader_of t;
     t.stable <- true;
-    t.qlast <- default_quorum t.config
+    t.qlast <- default_quorum_of t
   end;
   t.dormant <- false;
   (* Re-derive the leader at the absorbed epoch; if it differs from the
@@ -318,12 +389,13 @@ let absorb t ~matrix ~epoch =
 (* Model-checker hooks — mirrors Quorum_select. *)
 
 let fingerprint t =
-  Format.asprintf "%d|%a|%d|%b|%s|%s|%s|%d|%d|%b" t.epoch Suspicion_matrix.pp
+  Format.asprintf "%d|%a|%d|%b|%s|%s|%s|%d|%d|%b|%s" t.epoch Suspicion_matrix.pp
     t.matrix t.leader t.stable
     (String.concat "," (List.map string_of_int t.qlast))
     (String.concat "," (List.map string_of_int t.suspecting))
     (String.concat "," (List.map string_of_int t.detections))
     t.issued_in_epoch t.max_issued_in_epoch t.dormant
+    (String.concat "," (List.map string_of_int t.excluded))
 
 type snapshot = {
   s_matrix : Suspicion_matrix.t;
@@ -339,6 +411,7 @@ type snapshot = {
   s_issued_in_epoch : int;
   s_max_issued_in_epoch : int;
   s_dormant : bool;
+  s_excluded : Pid.t list;
 }
 
 let snapshot t =
@@ -356,6 +429,7 @@ let snapshot t =
     s_issued_in_epoch = t.issued_in_epoch;
     s_max_issued_in_epoch = t.max_issued_in_epoch;
     s_dormant = t.dormant;
+    s_excluded = t.excluded;
   }
 
 let restore t s =
@@ -371,4 +445,5 @@ let restore t s =
   t.rejected <- s.s_rejected;
   t.issued_in_epoch <- s.s_issued_in_epoch;
   t.max_issued_in_epoch <- s.s_max_issued_in_epoch;
-  t.dormant <- s.s_dormant
+  t.dormant <- s.s_dormant;
+  t.excluded <- s.s_excluded

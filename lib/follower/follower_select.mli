@@ -81,16 +81,42 @@ val suspect_graph : t -> Qs_graph.Graph.t
 
 val rejected_msgs : t -> int
 
-val select_followers : Qs_graph.Graph.t -> leader:Qs_core.Pid.t -> q:int -> Qs_core.Pid.t list
+val select_followers :
+  ?excluded:Qs_core.Pid.t list ->
+  Qs_graph.Graph.t ->
+  leader:Qs_core.Pid.t ->
+  q:int ->
+  Qs_core.Pid.t list
 (** The deterministic follower choice a correct leader makes: the [q − 1]
-    smallest possible followers of the line subgraph, excluding the leader.
-    Exposed for tests. Raises [Invalid_argument] if fewer are available
-    (impossible under the model's [n > 3f]). *)
+    smallest possible followers of the line subgraph, excluding the leader
+    and any proven-guilty process ([excluded] defaults to none). Exposed for
+    tests. Raises [Invalid_argument] if fewer are available (impossible
+    under the model's [n > 3f]). *)
 
 val well_formed :
-  n:int -> q:int -> suspect_graph:Qs_graph.Graph.t -> Fmsg.followers -> bool
-(** Definition 3 check against the receiver's current suspect graph.
+  ?excluded:Qs_core.Pid.t list ->
+  n:int ->
+  q:int ->
+  suspect_graph:Qs_graph.Graph.t ->
+  Fmsg.followers ->
+  bool
+(** Definition 3 check against the receiver's current suspect graph, under
+    its admitted exclusions: the sender must be the minimum {e eligible}
+    degree-0 vertex of its line subgraph and no follower may be excluded.
     Exposed for tests. *)
+
+(** {2 Evidence-driven permanent exclusion} — mirrors
+    {!Qs_core.Quorum_select.exclude}. *)
+
+val exclude : t -> Qs_core.Pid.t -> unit
+(** Permanently bar a proven-guilty process from leadership, followership
+    and the epoch-bump default quorum. At most [f] exclusions apply
+    (earliest convictions win), quorums only change through the normal
+    Algorithm-2 paths — except that a convicted {e current} leader triggers
+    an immediate re-derivation. Survives {!amnesia}. Idempotent. *)
+
+val excluded : t -> Qs_core.Pid.t list
+(** Processes convicted so far, sorted. *)
 
 (** {2 Crash-recovery (amnesia) hooks} — mirror {!Qs_core.Quorum_select}. *)
 

@@ -14,6 +14,10 @@ module Monitor = Qs_faults.Monitor
 module Campaign = Qs_faults.Campaign
 module Codec = Qs_recovery.Codec
 module Rejoin = Qs_recovery.Rejoin
+module Evidence = Qs_evidence.Evidence
+module Msg = Qs_core.Msg
+module Auth = Qs_crypto.Auth
+module Fmsg = Qs_follower.Fmsg
 
 let ms = Stime.of_ms
 
@@ -128,6 +132,149 @@ let qs_wipe qsel detector =
   Detector.amnesia detector;
   None
 
+(* ------------------------------------------------------------------ *)
+(* Commission-fault (evidence) plane.
+
+   Every stack also gets one {!Evidence} store per process, fed from a
+   tracer on the main network: each delivered frame carrying a suspicion
+   row is handed to the receiver's store, which verifies the owner's tag,
+   quarantines forgery channels, and turns two conflicting validly-signed
+   rows from one owner into a transferable proof. Proofs gossip to the
+   other stores on a one-tick side channel (prompt by construction —
+   exclusion promptness is the monitor's [excluded-quorum] settle window,
+   not what is under test), and each store's first conviction of a culprit
+   feeds the process's quorum selector via [exclude].
+
+   The clusters derive their key directories from the fixed default master
+   secret, so [Auth.create n] here yields the same keys — the hooks can
+   sign as the Byzantine source without new cluster accessors. *)
+
+let attach_evidence ~sim ~net ~n ~auth ~extract ~exclude =
+  let stores = Array.init n (fun me -> Evidence.create ~auth ~me ~n) in
+  Array.iteri
+    (fun me store ->
+      Evidence.set_on_exclude store (fun culprit -> exclude me culprit))
+    stores;
+  let gossip ~from proof =
+    for q = 0 to n - 1 do
+      if q <> from then
+        Sim.schedule sim ~delay:(ms 1) (fun () ->
+            ignore (Evidence.admit stores.(q) proof : bool))
+    done
+  in
+  Network.set_tracer net (fun ~kind ~now:_ ~src ~dst m ->
+      match kind with
+      | Network.Delivered -> (
+        match extract m with
+        | Some frame -> (
+          match Evidence.observe stores.(dst) ~src frame with
+          | Evidence.Proof p -> gossip ~from:dst p
+          | Evidence.Ok | Evidence.Forged -> ())
+        | None -> ())
+      | Network.Send | Network.Dropped -> ());
+  stores
+
+(* The three protocol-speaking commission hooks for a stack whose suspicion
+   rows travel as a [Qsel of Msg.t] body inside a sealed
+   (sender, body, signature) envelope. [row_of] projects the signed UPDATE
+   out of a frame, [wrap] seals a fresh envelope around one, [corrupt]
+   invalidates an envelope's own tag. *)
+let qsel_hooks ~n ~auth ~row_of ~wrap ~sender_of ~corrupt =
+  (* Equivocation: replace src's own row with a destination-specific
+     variant re-signed under its own key. Bumping coordinate [dst] makes
+     any two variants for different destinations pointwise incomparable,
+     so a store holding one variant convicts on the first forwarded copy
+     of another. *)
+  let equivocate ~src ~dst m =
+    match row_of m with
+    | Some qm when qm.Msg.update.Msg.owner = src ->
+      let u = qm.Msg.update in
+      let row = Array.copy u.Msg.row in
+      row.(dst) <- row.(dst) + 1;
+      Some (wrap ~sender:src (Msg.seal auth { u with Msg.row = row }))
+    | _ -> None
+  in
+  (* Slander: a frame claiming [victim] signed a row it never produced.
+     The tag cannot be forged (Section IV), so receivers reject it and
+     blame the channel — the victim stays clean. *)
+  let slander ~src ~victim =
+    let u =
+      {
+        Msg.owner = victim;
+        row = Array.init n (fun k -> if k = src then 999 else 0);
+      }
+    in
+    let forged = Auth.forge auth ~claimed:victim (Msg.encode u) in
+    Some (wrap ~sender:src { Msg.update = u; signature = forged.Auth.signature })
+  in
+  (* Tampering: flip a row entry and leave the owner's tag stale —
+     receivers verify and drop, the evidence store quarantines the channel
+     and leaves the claimed owner unblamed. Frames without a row get their
+     envelope tag corrupted instead (rejected wholesale on receipt). *)
+  let tamper m =
+    match row_of m with
+    | Some qm ->
+      let u = qm.Msg.update in
+      let row = Array.copy u.Msg.row in
+      row.(0) <- row.(0) + 1;
+      wrap ~sender:(sender_of m)
+        { qm with Msg.update = { u with Msg.row = row } }
+    | None -> corrupt m
+  in
+  (equivocate, slander, tamper)
+
+(* Star is the odd one out: rows travel as [Fsel (Update _)] sealed at the
+   Fmsg layer, so the hooks speak Fmsg and the extractor transcodes.
+   A row whose Fmsg tag verifies really was vouched for by its owner, so
+   re-sealing it as a [Msg.t] attestation (same key directory, same
+   signer) loses nothing and lets one evidence-store currency serve all
+   five stacks; a row whose Fmsg tag fails is forwarded with a broken
+   [Msg.t] tag so the store's forgery path fires. *)
+let star_extract ~auth (m : Qs_star.Star_msg.t) =
+  match m.Qs_star.Star_msg.body with
+  | Qs_star.Star_msg.Fsel ({ Fmsg.payload = Fmsg.Update u; _ } as fm) ->
+    if Fmsg.verify auth fm then Some (Msg.seal auth u)
+    else Some { Msg.update = u; signature = "" }
+  | _ -> None
+
+let star_hooks ~n ~auth =
+  let wrap ~sender fm =
+    Qs_star.Star_msg.seal auth ~sender (Qs_star.Star_msg.Fsel fm)
+  in
+  let equivocate ~src ~dst (m : Qs_star.Star_msg.t) =
+    match m.Qs_star.Star_msg.body with
+    | Qs_star.Star_msg.Fsel { Fmsg.payload = Fmsg.Update u; _ }
+      when u.Msg.owner = src ->
+      let row = Array.copy u.Msg.row in
+      row.(dst) <- row.(dst) + 1;
+      Some
+        (wrap ~sender:src
+           (Fmsg.seal auth (Fmsg.Update { u with Msg.row = row })))
+    | _ -> None
+  in
+  let slander ~src ~victim =
+    let u =
+      {
+        Msg.owner = victim;
+        row = Array.init n (fun k -> if k = src then 999 else 0);
+      }
+    in
+    let payload = Fmsg.Update u in
+    let forged = Auth.forge auth ~claimed:victim (Fmsg.encode payload) in
+    Some
+      (wrap ~sender:src { Fmsg.payload; signature = forged.Auth.signature })
+  in
+  let tamper (m : Qs_star.Star_msg.t) =
+    match m.Qs_star.Star_msg.body with
+    | Qs_star.Star_msg.Fsel ({ Fmsg.payload = Fmsg.Update u; _ } as fm) ->
+      let row = Array.copy u.Msg.row in
+      row.(0) <- row.(0) + 1;
+      wrap ~sender:m.Qs_star.Star_msg.sender
+        { fm with Fmsg.payload = Fmsg.Update { u with Msg.row = row } }
+    | _ -> { m with Qs_star.Star_msg.signature = "" }
+  in
+  (equivocate, slander, tamper)
+
 (* What one simulated run must expose to the generic driver: after faults
    are installed and requests submitted, the monitor needs the executed
    histories of the unblamed processes, and liveness needs the commit
@@ -139,6 +286,7 @@ type instance = {
   submit_all : unit -> unit;
   committed : unit -> int;
   histories : int list -> (int * (int * int) list) list;
+  evidence : Evidence.t array;
 }
 
 let make_instance stack ~params ~seed =
@@ -166,6 +314,29 @@ let make_instance stack ~params ~seed =
           Qs_xpaxos.Xcluster.adopt_payload c p ~matrix ~epoch ~extra)
         ~wipe:(fun p -> Some (Qs_xpaxos.Xcluster.amnesia c p))
     in
+    let auth = Auth.create n in
+    let row_of (m : Qs_xpaxos.Xmsg.t) =
+      match m.Qs_xpaxos.Xmsg.body with
+      | Qs_xpaxos.Xmsg.Qsel qm -> Some qm
+      | _ -> None
+    in
+    let evidence =
+      attach_evidence ~sim:(Qs_xpaxos.Xcluster.sim c)
+        ~net:(Qs_xpaxos.Xcluster.net c) ~n ~auth ~extract:row_of
+        ~exclude:(fun me culprit ->
+          match
+            Qs_xpaxos.Replica.quorum_selector (Qs_xpaxos.Xcluster.replica c me)
+          with
+          | Some s -> QS.exclude s culprit
+          | None -> ())
+    in
+    let equivocate, slander, tamper =
+      qsel_hooks ~n ~auth ~row_of
+        ~wrap:(fun ~sender qm ->
+          Qs_xpaxos.Xmsg.seal auth ~sender (Qs_xpaxos.Xmsg.Qsel qm))
+        ~sender_of:(fun m -> m.Qs_xpaxos.Xmsg.sender)
+        ~corrupt:(fun m -> { m with Qs_xpaxos.Xmsg.signature = "" })
+    in
     let requests = ref [] in
     {
       sim = Qs_xpaxos.Xcluster.sim c;
@@ -181,7 +352,7 @@ let make_instance stack ~params ~seed =
                ~set_mute:(fun p m ->
                  Qs_xpaxos.Xcluster.set_fault c p
                    (if m then Qs_xpaxos.Replica.Mute else Qs_xpaxos.Replica.Honest))
-               ~amnesia schedule));
+               ~amnesia ~equivocate ~slander ~tamper schedule));
       submit_all =
         (fun () ->
           requests :=
@@ -201,6 +372,7 @@ let make_instance stack ~params ~seed =
                   (fun (r : Qs_xpaxos.Xmsg.request) -> (r.client, r.rid))
                   (Qs_xpaxos.Replica.executed (Qs_xpaxos.Xcluster.replica c p)) ))
             correct);
+      evidence;
     }
   | Pbft ->
     let c =
@@ -227,6 +399,25 @@ let make_instance stack ~params ~seed =
       Qs_pbft.Pcluster.set_fault c p
         (if m then Qs_pbft.Preplica.Mute else Qs_pbft.Preplica.Honest)
     in
+    let auth = Auth.create n in
+    let row_of (m : Qs_pbft.Pmsg.t) =
+      match m.Qs_pbft.Pmsg.body with
+      | Qs_pbft.Pmsg.Qsel qm -> Some qm
+      | _ -> None
+    in
+    let evidence =
+      attach_evidence ~sim:(Qs_pbft.Pcluster.sim c) ~net:(Qs_pbft.Pcluster.net c)
+        ~n ~auth ~extract:row_of
+        ~exclude:(fun me culprit ->
+          match sel me with Some s -> QS.exclude s culprit | None -> ())
+    in
+    let equivocate, slander, tamper =
+      qsel_hooks ~n ~auth ~row_of
+        ~wrap:(fun ~sender qm ->
+          Qs_pbft.Pmsg.seal auth ~sender (Qs_pbft.Pmsg.Qsel qm))
+        ~sender_of:(fun m -> m.Qs_pbft.Pmsg.sender)
+        ~corrupt:(fun m -> { m with Qs_pbft.Pmsg.signature = "" })
+    in
     {
       sim = Qs_pbft.Pcluster.sim c;
       set_mute;
@@ -235,7 +426,7 @@ let make_instance stack ~params ~seed =
           ignore (Injector.install ~net:rnet schedule);
           ignore
             (Injector.install ~net:(Qs_pbft.Pcluster.net c) ~set_mute ~amnesia
-               schedule));
+               ~equivocate ~slander ~tamper schedule));
       submit_all =
         (fun () ->
           requests :=
@@ -252,6 +443,7 @@ let make_instance stack ~params ~seed =
                   (fun (r : Qs_pbft.Pmsg.request) -> (r.client, r.rid))
                   (Qs_pbft.Preplica.executed (Qs_pbft.Pcluster.replica c p)) ))
             correct);
+      evidence;
     }
   | Minbft ->
     let c =
@@ -279,6 +471,25 @@ let make_instance stack ~params ~seed =
       Qs_minbft.Mcluster.set_fault c p
         (if m then Qs_minbft.Mreplica.Mute else Qs_minbft.Mreplica.Honest)
     in
+    let auth = Auth.create n in
+    let row_of (m : Qs_minbft.Mmsg.t) =
+      match m.Qs_minbft.Mmsg.body with
+      | Qs_minbft.Mmsg.Qsel qm -> Some qm
+      | _ -> None
+    in
+    let evidence =
+      attach_evidence ~sim:(Qs_minbft.Mcluster.sim c)
+        ~net:(Qs_minbft.Mcluster.net c) ~n ~auth ~extract:row_of
+        ~exclude:(fun me culprit ->
+          match sel me with Some s -> QS.exclude s culprit | None -> ())
+    in
+    let equivocate, slander, tamper =
+      qsel_hooks ~n ~auth ~row_of
+        ~wrap:(fun ~sender qm ->
+          Qs_minbft.Mmsg.seal auth ~sender (Qs_minbft.Mmsg.Qsel qm))
+        ~sender_of:(fun m -> m.Qs_minbft.Mmsg.sender)
+        ~corrupt:(fun m -> { m with Qs_minbft.Mmsg.signature = "" })
+    in
     {
       sim = Qs_minbft.Mcluster.sim c;
       set_mute;
@@ -287,7 +498,7 @@ let make_instance stack ~params ~seed =
           ignore (Injector.install ~net:rnet schedule);
           ignore
             (Injector.install ~net:(Qs_minbft.Mcluster.net c) ~set_mute ~amnesia
-               schedule));
+               ~equivocate ~slander ~tamper schedule));
       submit_all =
         (fun () ->
           requests :=
@@ -303,6 +514,7 @@ let make_instance stack ~params ~seed =
                   (fun (r : Qs_minbft.Mmsg.request) -> (r.client, r.rid))
                   (Qs_minbft.Mreplica.executed (Qs_minbft.Mcluster.replica c p)) ))
             correct);
+      evidence;
     }
   | Chain ->
     let c =
@@ -326,6 +538,28 @@ let make_instance stack ~params ~seed =
       Qs_bchain.Chain_cluster.set_fault c p
         (if m then Qs_bchain.Chain_node.Mute else Qs_bchain.Chain_node.Honest)
     in
+    let auth = Auth.create n in
+    let row_of (m : Qs_bchain.Chain_msg.t) =
+      match m.Qs_bchain.Chain_msg.body with
+      | Qs_bchain.Chain_msg.Qsel qm -> Some qm
+      | _ -> None
+    in
+    let evidence =
+      attach_evidence ~sim:(Qs_bchain.Chain_cluster.sim c)
+        ~net:(Qs_bchain.Chain_cluster.net c) ~n ~auth ~extract:row_of
+        ~exclude:(fun me culprit ->
+          QS.exclude
+            (Qs_bchain.Chain_node.quorum_selector
+               (Qs_bchain.Chain_cluster.node c me))
+            culprit)
+    in
+    let equivocate, slander, tamper =
+      qsel_hooks ~n ~auth ~row_of
+        ~wrap:(fun ~sender qm ->
+          Qs_bchain.Chain_msg.seal auth ~sender (Qs_bchain.Chain_msg.Qsel qm))
+        ~sender_of:(fun m -> m.Qs_bchain.Chain_msg.sender)
+        ~corrupt:(fun m -> { m with Qs_bchain.Chain_msg.signature = "" })
+    in
     {
       sim = Qs_bchain.Chain_cluster.sim c;
       set_mute;
@@ -334,7 +568,7 @@ let make_instance stack ~params ~seed =
           ignore (Injector.install ~net:rnet schedule);
           ignore
             (Injector.install ~net:(Qs_bchain.Chain_cluster.net c) ~set_mute
-               ~amnesia schedule));
+               ~amnesia ~equivocate ~slander ~tamper schedule));
       submit_all =
         (fun () ->
           requests :=
@@ -353,6 +587,7 @@ let make_instance stack ~params ~seed =
                   (fun (r : Qs_bchain.Chain_msg.request) -> (r.client, r.rid))
                   (Qs_bchain.Chain_node.executed (Qs_bchain.Chain_cluster.node c p)) ))
             correct);
+      evidence;
     }
   | Star ->
     let c =
@@ -380,6 +615,13 @@ let make_instance stack ~params ~seed =
       Qs_star.Star_cluster.set_fault c p
         (if m then Qs_star.Star_node.Mute else Qs_star.Star_node.Honest)
     in
+    let auth = Auth.create n in
+    let evidence =
+      attach_evidence ~sim:(Qs_star.Star_cluster.sim c)
+        ~net:(Qs_star.Star_cluster.net c) ~n ~auth ~extract:(star_extract ~auth)
+        ~exclude:(fun me culprit -> FS.exclude (sel me) culprit)
+    in
+    let equivocate, slander, tamper = star_hooks ~n ~auth in
     {
       sim = Qs_star.Star_cluster.sim c;
       set_mute;
@@ -388,7 +630,7 @@ let make_instance stack ~params ~seed =
           ignore (Injector.install ~net:rnet schedule);
           ignore
             (Injector.install ~net:(Qs_star.Star_cluster.net c) ~set_mute ~amnesia
-               schedule));
+               ~equivocate ~slander ~tamper schedule));
       submit_all =
         (fun () ->
           requests :=
@@ -405,6 +647,7 @@ let make_instance stack ~params ~seed =
                   (fun (r : Qs_star.Star_msg.request) -> (r.client, r.rid))
                   (Qs_star.Star_node.executed (Qs_star.Star_cluster.node c p)) ))
             correct);
+      evidence;
     }
 
 let bound_for stack ~f =
@@ -415,8 +658,8 @@ let bound_for stack ~f =
 (* Run one schedule on one stack with the online monitor attached. Pure in
    (seed, schedule): the same pair always yields the same outcome, which the
    campaign's replay and shrinking rely on. *)
-let execute stack ?(params = default_params stack) ~seed ~model schedule :
-    Campaign.exec_outcome =
+let execute_with_evidence stack ?(params = default_params stack) ~seed ~model
+    schedule : Campaign.exec_outcome * Evidence.t array =
   let n = params.n and f = params.f in
   let blamed = Fault.blamed ~n schedule in
   let correct =
@@ -467,22 +710,40 @@ let execute stack ?(params = default_params stack) ~seed ~model schedule :
   in
   Monitor.detach monitor;
   Journal.set_enabled was_live;
-  {
-    Campaign.violations = Monitor.violations monitor;
-    liveness;
-    committed;
-    submitted = params.requests;
-    checks = Monitor.checks_run monitor;
-  }
+  ( {
+      Campaign.violations = Monitor.violations monitor;
+      liveness;
+      committed;
+      submitted = params.requests;
+      checks = Monitor.checks_run monitor;
+      proofs = Monitor.proofs_observed monitor;
+      forgeries = Monitor.forgeries_observed monitor;
+    },
+    inst.evidence )
+
+let execute stack ?params ~seed ~model schedule =
+  fst (execute_with_evidence stack ?params ~seed ~model schedule)
 
 let campaign stack ?(params = default_params stack) ?(out_of_model = false)
-    ?(amnesia = false) ?(runs = 20) ~seed () =
+    ?(amnesia = false) ?(byz = false) ?(runs = 20) ~seed () =
   let profile =
     let base = Fault.default_profile ~horizon:params.horizon in
     (* p_amnesia = 0 keeps the random stream byte-identical to pre-amnesia
        pinned seeds; with the flag, half the generated crashes lose their
        volatile state and must rejoin. *)
-    if amnesia then { base with Fault.p_amnesia = 0.5 } else base
+    let base = if amnesia then { base with Fault.p_amnesia = 0.5 } else base in
+    (* Same guard for the commission knobs: off by default, and with --byz a
+       faulty process draws one active Byzantine behavior before falling
+       back to the benign link mix. *)
+    if byz then
+      {
+        base with
+        Fault.p_equivocate = 0.35;
+        p_slander = 0.3;
+        p_tamper = 0.25;
+        p_replay = 0.25;
+      }
+    else base
   in
   let gen rng =
     if out_of_model then Fault.gen_wild rng ~n:params.n ~f:params.f ~profile ()

@@ -23,7 +23,17 @@
     suspicion-plane state and keep their SMR logs, which are documented as
     durable-by-default) and starts a rejoin round. The monitor additionally
     enforces the recovery invariants: no quorum from mid-rejoin stale
-    state, bounded retries, and (in-model) rejoin completion. *)
+    state, bounded retries, and (in-model) rejoin completion.
+
+    Commission faults get an {e evidence plane}: one
+    {!Qs_evidence.Evidence} store per process, fed every delivered
+    suspicion row by a network tracer. Stores verify owner tags, turn
+    conflicting validly-signed rows into transferable equivocation proofs
+    (gossiped to the other stores), quarantine forgery channels, and wire
+    convictions into the stacks' quorum selectors as permanent exclusions.
+    The injector's protocol-speaking hooks (equivocate / slander / tamper)
+    are supplied per stack, so [Fault.Equivocate] and friends produce real
+    re-signed wire frames. *)
 
 type stack = Xpaxos_enum | Xpaxos_qs | Pbft | Minbft | Chain | Star
 
@@ -62,11 +72,23 @@ val execute :
     — the replay/shrinking contract of {!Qs_faults.Campaign.run}. Resets
     the default metrics registry and clears the default journal. *)
 
+val execute_with_evidence :
+  stack ->
+  ?params:params ->
+  seed:int ->
+  model:Qs_faults.Fault.model ->
+  Qs_faults.Fault.schedule ->
+  Qs_faults.Campaign.exec_outcome * Qs_evidence.Evidence.t array
+(** {!execute}, additionally returning the per-process evidence stores of
+    the commission plane, so tests can assert who ended up proof-excluded
+    (and that no correct process did). Store [p] belongs to process [p]. *)
+
 val campaign :
   stack ->
   ?params:params ->
   ?out_of_model:bool ->
   ?amnesia:bool ->
+  ?byz:bool ->
   ?runs:int ->
   seed:int ->
   unit ->
@@ -76,4 +98,8 @@ val campaign :
     the failure budget (the monitor then only enforces core SMR safety).
     [amnesia] makes half the generated crashes amnesia crashes
     ([p_amnesia = 0.5]); off by default, which keeps pinned campaign seeds
-    byte-identical to their pre-recovery outcomes. *)
+    byte-identical to their pre-recovery outcomes. [byz] likewise turns on
+    the commission-fault plane (equivocation, slander, tampering, replay)
+    with one active Byzantine behavior per blamed process; the evidence
+    stores then convict and permanently exclude provable misbehavers while
+    the monitor checks no correct process is ever proof-excluded. *)

@@ -66,12 +66,18 @@ let run () =
         :: !verdicts)
     [ 1; 2; 3 ];
   (* E10b: equivocating suspicion rows from INSIDE the quorum (only quorum
-     members can force changes, Section IV-A). p1 equivocates: each peer
-     receives a row inflated with a different fake victim; the max-merge
-     gossip unifies them and everyone converges on the union. *)
+     members can force changes, Section IV-A). p0 equivocates through the
+     fault DSL's [Equivocate] phase: each in-scope peer receives a row
+     inflated with a fake suspicion of itself; the max-merge gossip unifies
+     the variants and everyone converges on the union. *)
   let n = 7 and f = 2 in
   let t_eq = Heartbeat.create (config ~n ~f) in
-  Heartbeat.equivocate_rows t_eq 0 true;
+  Heartbeat.inject t_eq
+    [
+      Qs_faults.Fault.at ~start:(ms 1)
+        (Qs_faults.Fault.Equivocate
+           { src = 0; scope = List.init (n - 1) (fun i -> i + 1) });
+    ];
   (* A real omission gives p1's detector a reason to publish its rows. *)
   Heartbeat.omit_link t_eq ~src:1 ~dst:0 ~from:(ms 300);
   Heartbeat.run ~until:(ms 4000) t_eq;

@@ -38,7 +38,6 @@ type proc = {
   fd : msg Detector.t;
   qsel : QS.t;
   mutable crashed_at : Stime.t option;
-  mutable equivocating : bool;
   mutable quorum_times : (Stime.t * Pid.t list) list; (* reversed *)
 }
 
@@ -76,23 +75,10 @@ let create ?(seed = 1L) ?(delay = Network.Fixed (Stime.of_ms 1)) config =
         ~me ~auth
         ~send:(fun update ->
           let t = Option.get !t_ref in
-          if not (is_crashed t me) then begin
-            let p = Option.get !proc_ref in
+          if not (is_crashed t me) then
             for dst = 0 to config.n - 1 do
-              let update =
-                if p.equivocating && dst <> me then begin
-                  (* Different rows to different peers: inflate a fake
-                     suspicion that depends on the destination. *)
-                  let row = Array.copy update.Qs_core.Msg.update.Qs_core.Msg.row in
-                  let victim = (dst + 1) mod config.n in
-                  if victim <> me then row.(victim) <- max row.(victim) 1;
-                  Qs_core.Msg.seal auth { Qs_core.Msg.owner = me; row }
-                end
-                else update
-              in
               Network.send net ~src:me ~dst (seal auth ~sender:me (Qsel update))
-            done
-          end)
+            done)
         ~on_quorum:(fun quorum ->
           let p = Option.get !proc_ref in
           p.quorum_times <- (Sim.now sim, quorum) :: p.quorum_times)
@@ -109,9 +95,7 @@ let create ?(seed = 1L) ?(delay = Network.Fixed (Stime.of_ms 1)) config =
         ~on_suspected:(fun s -> QS.handle_suspected qsel s)
         ()
     in
-    let proc =
-      { me; fd; qsel; crashed_at = None; equivocating = false; quorum_times = [] }
-    in
+    let proc = { me; fd; qsel; crashed_at = None; quorum_times = [] } in
     proc_ref := Some proc;
     procs.(me) <- Some proc
   done;
@@ -145,7 +129,23 @@ let crash t p at = t.procs.(p).crashed_at <- Some at
 
 let omit_link t ~src ~dst ~from = Hashtbl.replace t.omissions (src, dst) from
 
-let equivocate_rows t p flag = t.procs.(p).equivocating <- flag
+(* Compile a fault schedule onto the heartbeat network. Only the
+   [Equivocate] hook needs protocol knowledge here: the armed process's own
+   suspicion rows are replaced, per destination, by a re-signed variant that
+   inflates a fake suspicion of the recipient. The inflation is capped at 1
+   (not a counter bump) so re-merged variants reach a fixed point and the
+   cluster quiesces — the max-merge absorbs the union of the claims. *)
+let inject t schedule =
+  let equivocate ~src ~dst m =
+    match m.body with
+    | Qsel qm when qm.Qs_core.Msg.update.Qs_core.Msg.owner = src && dst <> src ->
+      let u = qm.Qs_core.Msg.update in
+      let row = Array.copy u.Qs_core.Msg.row in
+      row.(dst) <- max row.(dst) 1;
+      Some (seal t.auth ~sender:src (Qsel (Qs_core.Msg.seal t.auth { u with Qs_core.Msg.row = row })))
+    | _ -> None
+  in
+  ignore (Qs_faults.Injector.install ~net:t.net ~equivocate schedule : Qs_faults.Injector.t)
 
 (* One heartbeat round: everyone alive broadcasts a beat and expects the
    next beat from every peer. *)

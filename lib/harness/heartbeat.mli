@@ -35,10 +35,13 @@ val crash : t -> Qs_core.Pid.t -> Qs_sim.Stime.t -> unit
 val omit_link : t -> src:Qs_core.Pid.t -> dst:Qs_core.Pid.t -> from:Qs_sim.Stime.t -> unit
 (** Schedule a permanent omission failure on one link. *)
 
-val equivocate_rows : t -> Qs_core.Pid.t -> bool -> unit
-(** Make a faulty process send different (inflated) suspicion rows to
-    different peers — the Section VI-C scenario where equivocation "only
-    causes Quorum Selection to terminate faster". *)
+val inject : t -> Qs_faults.Fault.schedule -> unit
+(** Compile a fault schedule onto the heartbeat network through
+    {!Qs_faults.Injector}. The [Equivocate] hook speaks the heartbeat wire
+    format: while armed, the source's own suspicion rows are replaced per
+    destination by a re-signed variant inflating a fake suspicion of the
+    recipient — the Section VI-C scenario where equivocation "only causes
+    Quorum Selection to terminate faster". Call before {!run}. *)
 
 val run : ?until:Qs_sim.Stime.t -> t -> unit
 

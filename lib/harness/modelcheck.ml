@@ -41,6 +41,7 @@ type spec = {
   injections : (int * int list) list;
   crashes : int list;
   amnesia : int list;
+  equivocate : int list;
   requests : int;
   seeded_bug : bool;
 }
@@ -54,6 +55,7 @@ let default_spec protocol =
       injections = [];
       crashes = [];
       amnesia = [];
+      equivocate = [];
       requests = 0;
       seeded_bug = false;
     }
@@ -85,6 +87,22 @@ let validate spec =
   (* An amnesia crash is a crash: both kinds draw on the same f-budget. *)
   if List.length (List.sort_uniq compare (spec.crashes @ spec.amnesia)) > spec.f then
     invalid_arg "Modelcheck: more than f crashes (mute + amnesia) is out of model";
+  List.iter (pid "equivocate") spec.equivocate;
+  if spec.equivocate <> [] && spec.protocol <> Quorum then
+    invalid_arg "Modelcheck: equivocation exploration is only wired for the quorum instance";
+  if List.length spec.equivocate <> List.length (List.sort_uniq compare spec.equivocate) then
+    invalid_arg "Modelcheck: duplicate equivocate pid";
+  List.iter
+    (fun p ->
+      if List.mem p spec.crashes then
+        invalid_arg (Printf.sprintf "Modelcheck: p%d is crashed; it cannot also equivocate" p))
+    spec.equivocate;
+  (* An equivocator is Byzantine-faulty: it shares the f-budget with the
+     crashed (mute and amnesia) processes. *)
+  if
+    List.length (List.sort_uniq compare (spec.crashes @ spec.amnesia @ spec.equivocate))
+    > spec.f
+  then invalid_arg "Modelcheck: more than f faulty processes (crashes + equivocators) is out of model";
   List.iter
     (fun (p, s) ->
       pid "inject" p;
@@ -138,18 +156,37 @@ let make_quorum spec =
   let qsize = QS.q cfg in
   let bound = Monitor.theorem3 ~f:spec.f in
   let correct = correct_pids spec in
+  (* The two peers an [Equivocate p] choice sends its conflicting row
+     variants to — fixed, so the choice is deterministic and replayable. *)
+  let equivocation_peers p =
+    match List.filter (fun q -> q <> p) (List.init spec.n Fun.id) with
+    | a :: b :: _ -> Some (a, b)
+    | _ -> None
+  in
   (* Static: the only suspicions Algorithm 1 ever sees here are the injected
-     ones, so the in-model gate is decided by the spec. Amnesia targets are
-     crashed processes (briefly), so they count against the budget too. *)
+     ones (plus an equivocator's fake claims about its two victim peers), so
+     the in-model gate is decided by the spec. Amnesia targets are crashed
+     processes (briefly), so they count against the budget too. *)
   let enforce_bound =
     within_budget ~f:spec.f
-      (spec.crashes @ spec.amnesia @ List.concat_map snd spec.injections)
+      (spec.crashes @ spec.amnesia
+      @ List.concat_map snd spec.injections
+      @ List.concat_map
+          (fun p ->
+            match equivocation_peers p with
+            | Some (a, b) -> [ p; a; b ]
+            | None -> [ p ])
+          spec.equivocate)
   in
   let encode = function
     | Q_update (m : Qs_core.Msg.t) -> "u" ^ Qs_core.Msg.encode m.update
     | Q_rejoin m -> "r" ^ Rejoin.encode_msg m
   in
+  (* Deterministic in n (fixed default master secret), so one directory
+     serves every reset — and lets the Equivocate choice re-sign variants. *)
+  let auth = Qs_crypto.Auth.create spec.n in
   let amnesia_done = Array.make spec.n false in
+  let equivocate_done = Array.make spec.n false in
   let state = ref None in
   let nodes () = let n, _, _ = Option.get !state in n in
   let rejoins () = let _, r, _ = Option.get !state in r in
@@ -162,12 +199,12 @@ let make_quorum spec =
     Journal.clear ();
     Journal.set_enabled false;
     Array.fill amnesia_done 0 spec.n false;
+    Array.fill equivocate_done 0 spec.n false;
     QS.test_buggy_quorum_size := spec.seeded_bug;
     let sim = Sim.create () in
     let network = Network.create ~sim ~n:spec.n ~delay:(Network.Fixed (Stime.of_ms 1)) () in
     Network.set_controlled network true;
     if spec.crashes <> [] then ignore (Network.add_filter network (drop_crashed_filter spec.crashes));
-    let auth = Qs_crypto.Auth.create spec.n in
     let slots = Array.make spec.n None in
     for me = 0 to spec.n - 1 do
       slots.(me) <-
@@ -214,6 +251,17 @@ let make_quorum spec =
               canon = "a" ^ string_of_int p;
               receiver = None })
       spec.amnesia
+  in
+  let equivocate_choices () =
+    List.filter_map
+      (fun p ->
+        if equivocate_done.(p) then None
+        else
+          Some
+            { Engine.choice = Schedule.Equivocate p;
+              canon = "e" ^ string_of_int p;
+              receiver = None })
+      spec.equivocate
   in
   let violations () =
     List.concat_map
@@ -277,7 +325,9 @@ let make_quorum spec =
   in
   {
     Engine.reset;
-    enabled = (fun () -> deliver_choices (net ()) encode @ amnesia_choices ());
+    enabled =
+      (fun () ->
+        deliver_choices (net ()) encode @ amnesia_choices () @ equivocate_choices ());
     apply =
       (function
       | Schedule.Deliver id -> Network.deliver_now (net ()) id
@@ -291,7 +341,27 @@ let make_quorum spec =
         ignore (Network.drop_pending_to (net ()) p : int);
         Rejoin.start (rejoins ()).(p);
         true
-      | Schedule.Amnesia _ | Schedule.Step | Schedule.Fire _ -> false);
+      | Schedule.Equivocate p when p >= 0 && p < spec.n && not equivocate_done.(p) -> (
+        (* One commission fault: two validly-signed variants of p's own row,
+           each inflating a fake suspicion of its recipient, leave for two
+           different peers. The variants are pointwise incomparable, the
+           forward-on-change gossip spreads both, and the max-merge must
+           still drive every correct process to the same union matrix. *)
+        match equivocation_peers p with
+        | None -> false
+        | Some (a, b) ->
+          equivocate_done.(p) <- true;
+          let base = Qs_core.Suspicion_matrix.row (QS.matrix (nodes ()).(p)) p in
+          let variant victim =
+            let row = Array.copy base in
+            row.(victim) <- row.(victim) + 1;
+            Q_update (Qs_core.Msg.seal auth { Qs_core.Msg.owner = p; row })
+          in
+          Network.send (net ()) ~src:p ~dst:a (variant a);
+          Network.send (net ()) ~src:p ~dst:b (variant b);
+          true)
+      | Schedule.Amnesia _ | Schedule.Equivocate _ | Schedule.Step | Schedule.Fire _ ->
+        false);
     fingerprint =
       (fun () ->
         let buf = Buffer.create 256 in
@@ -307,6 +377,8 @@ let make_quorum spec =
           (rejoins ());
         Buffer.add_string buf "A";
         Array.iter (fun b -> Buffer.add_char buf (if b then '1' else '0')) amnesia_done;
+        Buffer.add_string buf "E";
+        Array.iter (fun b -> Buffer.add_char buf (if b then '1' else '0')) equivocate_done;
         Buffer.add_string buf ("[" ^ pending_part (net ()) encode ^ "]");
         Buffer.contents buf);
     violations;
@@ -317,11 +389,13 @@ let make_quorum spec =
           let ns = Array.map QS.snapshot (nodes ()) in
           let rs = Array.map Rejoin.snapshot (rejoins ()) in
           let am = Array.copy amnesia_done in
+          let eq = Array.copy equivocate_done in
           let net_snap = Network.snapshot (net ()) in
           fun () ->
             Array.iteri (fun i s -> QS.restore (nodes ()).(i) s) ns;
             Array.iteri (fun i s -> Rejoin.restore (rejoins ()).(i) s) rs;
             Array.blit am 0 amnesia_done 0 spec.n;
+            Array.blit eq 0 equivocate_done 0 spec.n;
             Network.restore (net ()) net_snap);
   }
 
@@ -413,7 +487,7 @@ let make_follower spec =
         if not (List.mem leader fd.transient) then fd.transient <- leader :: fd.transient;
         FS.handle_suspected (nodes ()).(p) (suspicion_set fd);
         true)
-    | Schedule.Step | Schedule.Amnesia _ -> false
+    | Schedule.Step | Schedule.Amnesia _ | Schedule.Equivocate _ -> false
   in
   let violations () =
     (* fd transient/permanent sets only grow (and snapshots restore them),
@@ -678,7 +752,7 @@ let make_xpaxos mode spec =
       (function
       | Schedule.Deliver id -> Network.deliver_now (Xcluster.net (cluster ())) id
       | Schedule.Step -> Sim.step (Xcluster.sim (cluster ()))
-      | Schedule.Fire _ | Schedule.Amnesia _ -> false);
+      | Schedule.Fire _ | Schedule.Amnesia _ | Schedule.Equivocate _ -> false);
     fingerprint =
       (fun () ->
         let c = cluster () in
@@ -809,6 +883,15 @@ let run_mc_regression kvs =
         | None -> Error (Printf.sprintf "bad amnesia=%S" v))
       (Ok []) (find_all "amnesia")
   in
+  let* equivocate =
+    List.fold_left
+      (fun acc v ->
+        let* acc = acc in
+        match int_of_string_opt v with
+        | Some p -> Ok (p :: acc)
+        | None -> Error (Printf.sprintf "bad equivocate=%S" v))
+      (Ok []) (find_all "equivocate")
+  in
   let* injections =
     List.fold_left
       (fun acc v ->
@@ -848,6 +931,7 @@ let run_mc_regression kvs =
       injections = List.rev injections;
       crashes = List.rev crashes;
       amnesia = List.rev amnesia;
+      equivocate = List.rev equivocate;
       requests;
       seeded_bug;
     }
@@ -885,6 +969,7 @@ let run_chaos_regression kvs =
     | None -> Ok []
     | Some v -> ( try Ok (Fault.of_string ~n v) with Invalid_argument m -> Error m)
   in
+  let* min_proofs = int_of "min-proofs" 0 in
   let* expectation =
     match find "expect" with None -> Error "missing expect=" | Some v -> parse_expect v
   in
@@ -893,6 +978,13 @@ let run_chaos_regression kvs =
   let outcome = Chaos.execute stack ~params ~seed ~model schedule in
   if outcome.Qs_faults.Campaign.checks = 0 then
     Error "vacuous pin: the monitor ran no checks"
+  else if outcome.Qs_faults.Campaign.proofs < min_proofs then
+    (* Guards commission pins against going vacuous: a schedule drift that
+       stops the equivocator from ever being convicted must fail loudly,
+       not pass because nothing happened. *)
+    Error
+      (Printf.sprintf "vacuous pin: %d commission proofs, want at least %d"
+         outcome.Qs_faults.Campaign.proofs min_proofs)
   else
     check_expect expectation
       (List.map

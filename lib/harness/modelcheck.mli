@@ -12,6 +12,10 @@
       drops its in-flight messages, and opens a {!Qs_recovery.Rejoin} round
       whose State_req/State_resp traffic parks on the same controlled
       network — so recovery interleaves freely with the UPDATE gossip.
+      Each process in [equivocate] likewise contributes an [Equivocate p]
+      choice, enabled once at every state: two validly-signed conflicting
+      row variants leave for two different peers, and exploration covers
+      every interleaving of the contradictory gossip.
       Checks: |Q| = n − f on every issued quorum, Theorem 3's per-epoch
       bound, instantaneous no-suspicion (the current quorum is independent
       in the issuer's suspect graph), and — at quiescent states —
@@ -67,6 +71,14 @@ type spec = {
           point ([quorum] protocol only). They recover via the rejoin
           protocol and stay subject to every check; mute and amnesia
           crashes together must stay within [f]. *)
+  equivocate : int list;
+      (** Processes that may commit one equivocation each, at any explored
+          point ([quorum] protocol only): an [Equivocate p] choice sends two
+          validly-signed, pointwise-incomparable variants of [p]'s own
+          suspicion row to its first two peers. Forward-on-change gossip
+          spreads both, so quiescent matrix convergence and agreement are
+          checked against the max-merge union. Equivocators are
+          Byzantine-faulty and share the [f] budget with crashes. *)
   requests : int;  (** Client requests submitted up front (XPaxos only). *)
   seeded_bug : bool;
       (** Arm {!Qs_core.Quorum_select.test_buggy_quorum_size} inside
@@ -80,10 +92,10 @@ val default_spec : protocol -> spec
     request, no injections. *)
 
 val validate : spec -> unit
-(** Raises [Invalid_argument] on out-of-range pids, more than [f] crashes
-    (mute and amnesia combined), amnesia outside the [quorum] protocol or
-    overlapping [crashes], or a [seeded_bug] on a protocol that has no
-    embedded Algorithm 1. *)
+(** Raises [Invalid_argument] on out-of-range pids, more than [f] faulty
+    processes (mute, amnesia and equivocators combined), amnesia or
+    equivocation outside the [quorum] protocol or overlapping [crashes], or
+    a [seeded_bug] on a protocol that has no embedded Algorithm 1. *)
 
 val make : spec -> Qs_mc.Engine.system
 (** The system is self-contained: [reset] rebuilds the cluster, re-arms
@@ -105,6 +117,7 @@ val make : spec -> Qs_mc.Engine.system
     inject=0:3               # repeatable, "p:s1,s2"
     crash=2                  # repeatable
     amnesia=1                # repeatable, quorum only
+    equivocate=0             # repeatable, quorum only
     requests=1               # optional (xpaxos)
     seeded-bug=quorum-size   # optional, arms the test bug
     schedule=d0;d2;t

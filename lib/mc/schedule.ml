@@ -1,4 +1,4 @@
-type choice = Deliver of int | Step | Fire of int | Amnesia of int
+type choice = Deliver of int | Step | Fire of int | Amnesia of int | Equivocate of int
 
 type t = choice list
 
@@ -7,6 +7,7 @@ let choice_to_string = function
   | Step -> "t"
   | Fire p -> "f" ^ string_of_int p
   | Amnesia p -> "a" ^ string_of_int p
+  | Equivocate p -> "e" ^ string_of_int p
 
 let to_string t = String.concat ";" (List.map choice_to_string t)
 
@@ -21,6 +22,7 @@ let choice_of_string s =
   else if String.length s >= 2 && s.[0] = 'd' then Deliver (num ())
   else if String.length s >= 2 && s.[0] = 'f' then Fire (num ())
   else if String.length s >= 2 && s.[0] = 'a' then Amnesia (num ())
+  else if String.length s >= 2 && s.[0] = 'e' then Equivocate (num ())
   else fail ()
 
 let of_string s =

@@ -13,12 +13,17 @@
     - [Amnesia p]: crash process [p] losing its volatile state, drop its
       in-flight messages, and start the rejoin protocol (instances that
       declare an amnesia budget explore it at every state, once per
-      process).
+      process);
+    - [Equivocate p]: process [p] commits one equivocation — two
+      validly-signed, pointwise-incomparable variants of its own suspicion
+      row leave for two different peers (instances that declare an
+      equivocation budget explore it at every state, once per process).
 
-    The textual form ("d3;t;a1") is what [test/regressions/] pins and what
-    violation reports print, so counterexamples replay from plain text. *)
+    The textual form ("d3;t;a1;e0") is what [test/regressions/] pins and
+    what violation reports print, so counterexamples replay from plain
+    text. *)
 
-type choice = Deliver of int | Step | Fire of int | Amnesia of int
+type choice = Deliver of int | Step | Fire of int | Amnesia of int | Equivocate of int
 
 type t = choice list
 

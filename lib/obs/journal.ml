@@ -12,6 +12,9 @@ type event =
   | Net_dropped of { src : int; dst : int }
   | Recovery_started of { who : int }
   | Recovery_completed of { who : int; epoch : int; retries : int }
+  | Proof_found of { by : int; culprit : int }
+  | Proof_admitted of { by : int; culprit : int }
+  | Forgery_rejected of { by : int; channel : int; claimed : int }
   | Custom of string
 
 type entry = { seq : int; at : float; event : event }
@@ -107,6 +110,13 @@ let event_to_string = function
   | Recovery_started { who } -> Printf.sprintf "recovery-started p%d" who
   | Recovery_completed { who; epoch; retries } ->
     Printf.sprintf "recovery-completed p%d epoch=%d retries=%d" who epoch retries
+  | Proof_found { by; culprit } ->
+    Printf.sprintf "proof-found p%d proves p%d equivocated" by culprit
+  | Proof_admitted { by; culprit } ->
+    Printf.sprintf "proof-admitted p%d excludes p%d" by culprit
+  | Forgery_rejected { by; channel; claimed } ->
+    Printf.sprintf "forgery-rejected p%d: bad tag claiming p%d on channel p%d" by
+      claimed channel
   | Custom s -> s
 
 let event_to_json event =
@@ -141,6 +151,13 @@ let event_to_json event =
   | Recovery_completed { who; epoch; retries } ->
     obj "recovery_completed"
       [ ("who", Json.Int who); ("epoch", Json.Int epoch); ("retries", Json.Int retries) ]
+  | Proof_found { by; culprit } ->
+    obj "proof_found" [ ("by", Json.Int by); ("culprit", Json.Int culprit) ]
+  | Proof_admitted { by; culprit } ->
+    obj "proof_admitted" [ ("by", Json.Int by); ("culprit", Json.Int culprit) ]
+  | Forgery_rejected { by; channel; claimed } ->
+    obj "forgery_rejected"
+      [ ("by", Json.Int by); ("channel", Json.Int channel); ("claimed", Json.Int claimed) ]
   | Custom s -> obj "custom" [ ("detail", Json.String s) ]
 
 let entry_to_json e =

@@ -37,6 +37,16 @@ type event =
       (** [who]'s rejoin finished: enough [StateResp]s were max-merged.
           [epoch] is the fast-forwarded epoch, [retries] counts rebroadcast
           rounds beyond the first. *)
+  | Proof_found of { by : int; culprit : int }
+      (** [by]'s evidence store assembled a transferable equivocation proof
+          against [culprit] (two validly-signed conflicting rows). *)
+  | Proof_admitted of { by : int; culprit : int }
+      (** [by] verified a (local or gossiped) proof and permanently excluded
+          [culprit] from its future quorums. *)
+  | Forgery_rejected of { by : int; channel : int; claimed : int }
+      (** [by] received a frame on [channel] whose tag fails to verify under
+          [claimed]'s key — a forgery; local quarantine only, never
+          transferable evidence. *)
   | Custom of string  (** Escape hatch for harnesses and examples. *)
 
 type entry = { seq : int; at : float; event : event }

@@ -13,11 +13,11 @@ type delay_model =
       post_hi : Stime.t;
     }
 
-type action = Deliver | Drop | Delay of Stime.t | Duplicate of int
+type 'm action = Deliver | Drop | Delay of Stime.t | Duplicate of int | Replace of 'm
 
 type trace_kind = Send | Delivered | Dropped
 
-type 'm filter = now:Stime.t -> src:int -> dst:int -> 'm -> action
+type 'm filter = now:Stime.t -> src:int -> dst:int -> 'm -> 'm action
 
 type filter_id = int
 
@@ -109,24 +109,26 @@ let filter_count t =
 
 (* Resolve the whole chain (single slot first, then installation order) into
    one verdict: the first [Drop] wins and short-circuits, [Delay]s accumulate,
-   and the largest [Duplicate] count wins. *)
+   the largest [Duplicate] count wins, and a [Replace] substitutes the payload
+   for every later filter and for delivery (last substitution wins). *)
 let resolve t ~src ~dst m =
   let now = Sim.now t.sim in
-  let rec fold extra copies = function
-    | [] -> `Deliver (extra, copies)
+  let rec fold m extra copies = function
+    | [] -> `Deliver (m, extra, copies)
     | f :: rest -> (
       match f ~now ~src ~dst m with
       | Drop -> `Drop
-      | Deliver -> fold extra copies rest
-      | Delay d -> fold Stime.(extra + Stdlib.max 0 d) copies rest
-      | Duplicate k -> fold extra (Stdlib.max copies k) rest)
+      | Deliver -> fold m extra copies rest
+      | Delay d -> fold m Stime.(extra + Stdlib.max 0 d) copies rest
+      | Duplicate k -> fold m extra (Stdlib.max copies k) rest
+      | Replace m' -> fold m' extra copies rest)
   in
   let fs =
     match t.filter with
     | None -> List.map snd t.chain
     | Some f -> f :: List.map snd t.chain
   in
-  fold 0 1 fs
+  fold m 0 1 fs
 
 let set_tracer t f = t.tracer <- Some f
 
@@ -164,7 +166,7 @@ let send t ~src ~dst m =
   if Journal.live () then Journal.record (Journal.Net_sent { src; dst });
   trace t Send ~src ~dst m;
   let verdict =
-    if src = dst then `Deliver (0, 1) else resolve t ~src ~dst m
+    if src = dst then `Deliver (m, 0, 1) else resolve t ~src ~dst m
   in
   match verdict with
   | `Drop ->
@@ -172,7 +174,7 @@ let send t ~src ~dst m =
     Metrics.inc t.m_dropped;
     if Journal.live () then Journal.record (Journal.Net_dropped { src; dst });
     trace t Dropped ~src ~dst m
-  | `Deliver (_, copies) when t.controlled ->
+  | `Deliver (m, _, copies) when t.controlled ->
     (* Controlled mode: park every surviving copy in the pending set instead
        of scheduling it; a model checker picks the delivery order explicitly
        via [deliver_now]. Extra [Delay] latency is meaningless here — time
@@ -183,7 +185,7 @@ let send t ~src ~dst m =
       t.next_msg_id <- id + 1;
       t.pending_q <- t.pending_q @ [ { id; h_src = src; h_dst = dst; payload = m } ]
     done
-  | `Deliver (extra, copies) ->
+  | `Deliver (m, extra, copies) ->
     let schedule_one () =
       let latency = if src = dst then 1 else Stime.(base_delay t + extra) in
       let arrival = Stime.(Sim.now t.sim + Stdlib.max 1 latency) in

@@ -30,13 +30,17 @@ type delay_model =
       (** Before [gst], uniform in [pre_lo, pre_hi]; at or after, uniform in
           [post_lo, post_hi]. [post_hi] is the synchrony bound Δ. *)
 
-type action =
+type 'm action =
   | Deliver  (** Let the message through. *)
   | Drop  (** Omit it (omission failure on this link). *)
   | Delay of Stime.t  (** Add extra latency (timing failure). *)
   | Duplicate of int
       (** Deliver this many independent copies (duplication failure); each
           copy draws its own base delay. Values below 1 behave as 1. *)
+  | Replace of 'm
+      (** Substitute the payload (commission failure: equivocation variants,
+          in-flight tampering). Later filters in the chain see the substituted
+          payload; the last substitution wins. *)
 
 type trace_kind = Send | Delivered | Dropped
 
@@ -55,7 +59,7 @@ val set_handler : 'm t -> int -> (src:int -> 'm -> unit) -> unit
 (** Install the receive handler of endpoint [i]. Messages to an endpoint with
     no handler are counted as delivered but discarded. *)
 
-type 'm filter = now:Stime.t -> src:int -> dst:int -> 'm -> action
+type 'm filter = now:Stime.t -> src:int -> dst:int -> 'm -> 'm action
 
 type filter_id
 
@@ -70,6 +74,8 @@ type filter_id
     - [Delay]s {e accumulate} — the extra latencies of every consulted filter
       are summed on top of the base delay-model draw;
     - for [Duplicate], the {e largest} requested copy count wins;
+    - [Replace] substitutes the payload for every later filter and for
+      delivery; the {e last} substitution wins;
     - [Deliver] is neutral.
 
     Self-sends ([src = dst]) never pass through filters. *)

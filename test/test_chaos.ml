@@ -160,6 +160,8 @@ let test_campaign_shrinks_to_marker () =
       committed = 0;
       submitted = 0;
       checks = 1;
+      proofs = 0;
+      forgeries = 0;
     }
   in
   let report =

@@ -178,8 +178,52 @@ let prop_sha_avalanche =
       in
       Sha256.digest_string s <> Sha256.digest_string flipped)
 
+(* Satellite: the two properties the evidence plane's soundness rests on.
+   A tag never verifies under any key but its signer's (so a forgery can
+   only ever incriminate the channel, not the claimed owner), and any
+   single-byte mutation of the payload or the tag is rejected (so tampered
+   frames cannot masquerade as the owner's equivocation). *)
+
+let flip_byte s i x =
+  String.mapi (fun j c -> if j = i then Char.chr (Char.code c lxor x) else c) s
+
+let prop_auth_no_cross_signer =
+  QCheck.Test.make ~name:"no cross-signer verification" ~count:200
+    QCheck.(triple (int_range 0 7) (int_range 0 6) string)
+    (fun (i, dj, payload) ->
+      let j = (i + 1 + dj) mod 8 in
+      let dir = Auth.create 8 in
+      not (Auth.verify dir ~signer:j payload (Auth.sign dir ~signer:i payload)))
+
+let prop_auth_payload_mutation =
+  QCheck.Test.make ~name:"single-byte payload mutation rejected" ~count:200
+    QCheck.(quad (int_range 0 7) string (int_bound 1000) (int_range 1 255))
+    (fun (signer, payload, i, x) ->
+      let payload = if payload = "" then "x" else payload in
+      let dir = Auth.create 8 in
+      let s = Auth.seal dir ~signer payload in
+      let mutated = flip_byte payload (i mod String.length payload) x in
+      not (Auth.check dir { s with Auth.payload = mutated }))
+
+let prop_auth_tag_mutation =
+  QCheck.Test.make ~name:"single-byte tag mutation rejected" ~count:200
+    QCheck.(quad (int_range 0 7) string (int_bound 1000) (int_range 1 255))
+    (fun (signer, payload, i, x) ->
+      let dir = Auth.create 8 in
+      let s = Auth.seal dir ~signer payload in
+      let sg = flip_byte s.Auth.signature (i mod String.length s.Auth.signature) x in
+      not (Auth.check dir { s with Auth.signature = sg }))
+
 let qsuite =
-  List.map QCheck_alcotest.to_alcotest [ prop_hmac_roundtrip; prop_auth_roundtrip; prop_sha_avalanche ]
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_hmac_roundtrip;
+      prop_auth_roundtrip;
+      prop_sha_avalanche;
+      prop_auth_no_cross_signer;
+      prop_auth_payload_mutation;
+      prop_auth_tag_mutation;
+    ]
 
 let () =
   Alcotest.run "crypto"

@@ -1,0 +1,243 @@
+(* Commission-fault evidence: the store's proof / forgery / quarantine
+   logic in isolation, permanent exclusion in both selectors, and the
+   end-to-end acceptance scenario — a seeded chaos run in which a proven
+   equivocator is permanently excluded from quorums while no correct
+   process is ever proof-excluded. *)
+
+module Auth = Qs_crypto.Auth
+module Msg = Qs_core.Msg
+module QS = Qs_core.Quorum_select
+module FS = Qs_follower.Follower_select
+module Graph = Qs_graph.Graph
+module Evidence = Qs_evidence.Evidence
+module Fault = Qs_faults.Fault
+module Campaign = Qs_faults.Campaign
+module Chaos = Qs_harness.Chaos
+module Stime = Qs_sim.Stime
+
+let ms = Stime.of_ms
+
+let check_bool = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let row owner cells = { Msg.owner; row = Array.of_list cells }
+
+(* ------------------------------------------------------------------ *)
+(* Incomparability: the conviction criterion *)
+
+let test_incomparable () =
+  check_bool "crossing rows conflict" true
+    (Evidence.incomparable [| 1; 0; 0 |] [| 0; 1; 0 |]);
+  check_bool "dominating rows don't" false
+    (Evidence.incomparable [| 1; 1; 0 |] [| 0; 1; 0 |]);
+  check_bool "equal rows don't" false
+    (Evidence.incomparable [| 2; 2 |] [| 2; 2 |]);
+  check_bool "malformed lengths count as conflicting" true
+    (Evidence.incomparable [| 1 |] [| 1; 0 |])
+
+(* ------------------------------------------------------------------ *)
+(* Store verdicts *)
+
+let test_observe_proof () =
+  let n = 4 in
+  let auth = Auth.create n in
+  let store = Evidence.create ~auth ~me:0 ~n in
+  let a = Msg.seal auth (row 2 [ 0; 0; 1; 0 ]) in
+  let b = Msg.seal auth (row 2 [ 1; 0; 0; 0 ]) in
+  check_bool "first row is fine" true (Evidence.observe store ~src:2 a = Evidence.Ok);
+  (match Evidence.observe store ~src:1 b with
+  | Evidence.Proof p ->
+    check_int "culprit is the owner" 2 p.Evidence.culprit;
+    check_bool "the proof is self-contained" true (Evidence.check_proof auth p);
+    check_bool "a second store admits it" true
+      (let other = Evidence.create ~auth ~me:3 ~n in
+       Evidence.admit other p && Evidence.is_excluded other 2);
+    check_bool "re-admitting is a no-op" false
+      (Evidence.admit store p)
+  | _ -> Alcotest.fail "conflicting rows must yield a transferable proof");
+  check_bool "culprit is excluded locally" true (Evidence.is_excluded store 2);
+  check_bool "later frames from the culprit are absorbed" true
+    (Evidence.observe store ~src:2 (Msg.seal auth (row 2 [ 5; 5; 5; 5 ]))
+    = Evidence.Ok)
+
+let test_monotone_growth_is_innocent () =
+  let n = 3 in
+  let auth = Auth.create n in
+  let store = Evidence.create ~auth ~me:0 ~n in
+  List.iter
+    (fun cells ->
+      check_bool "growing rows never convict" true
+        (Evidence.observe store ~src:1 (Msg.seal auth (row 1 cells))
+        = Evidence.Ok))
+    [ [ 0; 0; 0 ]; [ 1; 0; 0 ]; [ 1; 0; 2 ]; [ 3; 0; 2 ] ];
+  check_int "no exclusions" 0 (List.length (Evidence.excluded store))
+
+let test_forgery_blames_the_channel () =
+  let n = 4 in
+  let auth = Auth.create n in
+  let store = Evidence.create ~auth ~me:0 ~n in
+  let u = row 1 [ 0; 0; 9; 9 ] in
+  let tag = (Auth.forge auth ~claimed:1 (Msg.encode u)).Auth.signature in
+  let forged = { Msg.update = u; signature = tag } in
+  check_bool "bad tag is rejected" true
+    (Evidence.observe store ~src:3 forged = Evidence.Forged);
+  check_bool "the delivering channel is quarantined" true
+    (List.mem 3 (Evidence.quarantined store));
+  check_bool "the claimed signer stays innocent" false (Evidence.is_excluded store 1);
+  check_int "nobody is excluded by a forgery" 0 (List.length (Evidence.excluded store));
+  check_int "forgeries are counted" 1 (Evidence.forgeries store)
+
+let test_admit_rejects_invalid_proofs () =
+  let n = 3 in
+  let auth = Auth.create n in
+  let store = Evidence.create ~auth ~me:0 ~n in
+  let a = Msg.seal auth (row 1 [ 0; 0; 1 ]) in
+  (* comparable frames are no proof *)
+  check_bool "comparable pair rejected" false
+    (Evidence.admit store { Evidence.culprit = 1; first = a; second = a });
+  (* conflicting rows, but the second tag is broken *)
+  let b = { (Msg.seal auth (row 1 [ 1; 0; 0 ])) with Msg.signature = "xx" } in
+  check_bool "unverifiable pair rejected" false
+    (Evidence.admit store { Evidence.culprit = 1; first = a; second = b });
+  check_int "nothing excluded" 0 (List.length (Evidence.excluded store))
+
+(* ------------------------------------------------------------------ *)
+(* Selector exclusion *)
+
+let test_qs_exclusion () =
+  let config = { QS.n = 5; f = 1 } in
+  let auth = Auth.create 5 in
+  let qs =
+    QS.create config ~me:0 ~auth ~send:(fun _ -> ()) ~on_quorum:(fun _ -> ()) ()
+  in
+  check_bool "default quorum holds p3" true (List.mem 3 (QS.last_quorum qs));
+  QS.exclude qs 3;
+  check_bool "convicted p3 leaves the quorum" false (List.mem 3 (QS.last_quorum qs));
+  check_int "quorum size is still q" 4 (List.length (QS.last_quorum qs));
+  QS.exclude qs 3;
+  check_bool "idempotent" true (QS.excluded qs = [ 3 ]);
+  (* beyond the f budget convictions are recorded but not applied *)
+  QS.exclude qs 2;
+  check_bool "second conviction recorded" true (QS.excluded qs = [ 2; 3 ]);
+  check_bool "but only f exclusions apply" true (List.mem 2 (QS.last_quorum qs));
+  (* exclusion survives amnesia: a proof is a permanent fact *)
+  QS.amnesia qs;
+  QS.absorb qs ~matrix:(Qs_core.Suspicion_matrix.create 5) ~epoch:1;
+  check_bool "exclusion survives amnesia" false (List.mem 3 (QS.last_quorum qs))
+
+let test_fs_exclusion () =
+  let g = Graph.create 7 in
+  check_bool "excluded processes are never picked as followers" true
+    (not (List.mem 1 (FS.select_followers ~excluded:[ 1 ] g ~leader:0 ~q:5)));
+  let fw =
+    { Qs_follower.Fmsg.leader = 0; epoch = 1; followers = [ 1; 2; 3; 4 ]; line = [] }
+  in
+  check_bool "well-formed without exclusions" true
+    (FS.well_formed ~n:7 ~q:5 ~suspect_graph:g fw);
+  check_bool "a quorum holding a convict is rejected" false
+    (FS.well_formed ~excluded:[ 2 ] ~n:7 ~q:5 ~suspect_graph:g fw);
+  check_bool "a convicted leader is rejected" false
+    (FS.well_formed ~excluded:[ 0 ] ~n:7 ~q:5 ~suspect_graph:g fw)
+
+(* ------------------------------------------------------------------ *)
+(* Acceptance: equivocation in a live stack convicts and excludes the
+   culprit, and only the culprit. The crash stirs suspicion gossip, so the
+   armed equivocator broadcasts destination-specific row variants; any
+   store holding two of them owns a transferable proof. *)
+
+(* The crash must land while requests are still in flight: PBFT's detector
+   expects prepare/commit messages only from current quorum members, so a
+   crash after the workload quiesces never raises a suspicion and the armed
+   equivocator has no row broadcasts to corrupt (p4 sits in the default
+   quorum {0..4}; the 2ms start beats the ~10ms commit wave). *)
+let acceptance_schedule =
+  [
+    Fault.at ~start:(ms 1) (Fault.Equivocate { src = 0; scope = [ 1; 2 ] });
+    Fault.at ~start:(ms 2) (Fault.Crash 4);
+  ]
+
+let test_equivocator_excluded () =
+  let model = Fault.classify ~n:7 ~f:2 acceptance_schedule in
+  (match model with
+  | Fault.In_model { faulty } ->
+    check_bool "schedule blames exactly the commission source and the crash"
+      true
+      (List.sort compare faulty = [ 0; 4 ])
+  | Fault.Out_of_model _ -> Alcotest.fail "schedule must be in-model");
+  let outcome, stores =
+    Chaos.execute_with_evidence Chaos.Pbft ~seed:90210 ~model acceptance_schedule
+  in
+  check_bool "all monitor invariants hold" true (outcome.Campaign.violations = []);
+  check_bool "liveness holds" true (outcome.Campaign.liveness = []);
+  check_bool "at least one equivocation proof was found" true
+    (outcome.Campaign.proofs > 0);
+  let correct = [ 1; 2; 3; 5; 6 ] in
+  List.iter
+    (fun p ->
+      check_bool
+        (Printf.sprintf "store %d permanently excludes the equivocator" p)
+        true
+        (Evidence.is_excluded stores.(p) 0);
+      List.iter
+        (fun q ->
+          check_bool
+            (Printf.sprintf "correct p%d is not excluded at store %d" q p)
+            false
+            (Evidence.is_excluded stores.(p) q))
+        correct)
+    correct
+
+(* Every stack runs the commission mix clean: an equivocator plus a bounded
+   slander phase stay within the failure budget, all monitor invariants
+   (including the Theorem-3/9 quorum bounds) hold, and the slander forgeries
+   are detected rather than believed. *)
+let test_commission_clean_all_stacks () =
+  List.iter
+    (fun stack ->
+      let params =
+        { (Chaos.default_params stack) with Chaos.horizon = ms 4_000 }
+      in
+      let n = params.Chaos.n in
+      let sched =
+        [
+          Fault.at ~start:(ms 150) (Fault.Equivocate { src = 0; scope = [ 1; 2 ] });
+          Fault.at ~start:(ms 300) ~stop:(ms 2_000)
+            (Fault.Slander { src = n - 1; victim = 1 });
+        ]
+      in
+      let model = Fault.classify ~n ~f:params.Chaos.f sched in
+      let o = Chaos.execute stack ~params ~seed:31337 ~model sched in
+      check_bool (Chaos.name stack ^ ": all invariants hold") true
+        (o.Campaign.violations = []);
+      check_bool (Chaos.name stack ^ ": liveness holds") true
+        (o.Campaign.liveness = []);
+      check_bool (Chaos.name stack ^ ": monitor ran") true (o.Campaign.checks > 0);
+      check_bool (Chaos.name stack ^ ": slander forgeries were rejected") true
+        (o.Campaign.forgeries > 0))
+    Chaos.all
+
+let () =
+  Alcotest.run "evidence"
+    [
+      ( "store",
+        [
+          Alcotest.test_case "incomparable" `Quick test_incomparable;
+          Alcotest.test_case "observe-proof" `Quick test_observe_proof;
+          Alcotest.test_case "monotone-innocent" `Quick
+            test_monotone_growth_is_innocent;
+          Alcotest.test_case "forgery-channel" `Quick test_forgery_blames_the_channel;
+          Alcotest.test_case "admit-invalid" `Quick test_admit_rejects_invalid_proofs;
+        ] );
+      ( "exclusion",
+        [
+          Alcotest.test_case "quorum-select" `Quick test_qs_exclusion;
+          Alcotest.test_case "follower-select" `Quick test_fs_exclusion;
+        ] );
+      ( "acceptance",
+        [
+          Alcotest.test_case "equivocator-excluded" `Slow test_equivocator_excluded;
+          Alcotest.test_case "commission-clean-stacks" `Slow
+            test_commission_clean_all_stacks;
+        ] );
+    ]

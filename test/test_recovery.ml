@@ -133,7 +133,7 @@ let prop_decoded_merge_laws =
       Matrix.equal ab ba)
 
 (* Satellite: the fault DSL renders and re-parses every kind, including
-   amnesia crashes, byte-for-byte. *)
+   amnesia crashes and the four commission kinds, byte-for-byte. *)
 
 let kind_gen n =
   QCheck.Gen.(
@@ -149,6 +149,17 @@ let kind_gen n =
           (fun (src, dst) copies -> Fault.Duplicate { src; dst; copies })
           link (int_range 2 4);
         map (fun k -> Fault.Partition (List.init k Fun.id)) (int_range 1 (n - 1));
+        map2
+          (fun src k ->
+            let scope =
+              List.filteri (fun i _ -> i < k)
+                (List.filter (fun q -> q <> src) (List.init n Fun.id))
+            in
+            Fault.Equivocate { src; scope })
+          pid (int_range 1 (n - 1));
+        map (fun (src, victim) -> Fault.Slander { src; victim }) link;
+        map (fun (src, dst) -> Fault.Tamper { src; dst }) link;
+        map (fun (src, dst) -> Fault.Replay { src; dst }) link;
       ])
 
 let phase_gen n =
