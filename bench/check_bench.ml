@@ -1,0 +1,45 @@
+(* CI bench gate.
+
+   Usage:
+     check_bench BENCH_qsel.json bench/baseline.json
+       Diff the fresh bench summary against the committed baseline; exit 1
+       on any hard regression (see Qs_obs.Bench_gate for what is gated).
+
+     check_bench BENCH_qsel.json bench/baseline.json --update-baseline
+       Rewrite the baseline from the current summary instead of checking —
+       the escape hatch for intentional perf changes. Commit the diff. *)
+
+module Json = Qs_obs.Json
+module Gate = Qs_obs.Bench_gate
+
+let read_json path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  match Json.parse s with
+  | Ok j -> j
+  | Error e -> failwith (Printf.sprintf "%s: %s" path e)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let update = List.mem "--update-baseline" args in
+  match List.filter (fun a -> a <> "--update-baseline") (List.tl args) with
+  | [ current_path; baseline_path ] -> (
+    let current = read_json current_path in
+    if update then begin
+      let baseline = Gate.derive_baseline current in
+      let oc = open_out baseline_path in
+      output_string oc (Json.render_pretty baseline);
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "wrote %s from %s\n" baseline_path current_path
+    end
+    else
+      let baseline = read_json baseline_path in
+      let verdicts = Gate.check ~current ~baseline in
+      print_string (Gate.render verdicts);
+      if not (Gate.passed verdicts) then exit 1)
+  | _ ->
+    prerr_endline "usage: check_bench CURRENT BASELINE [--update-baseline]";
+    exit 2

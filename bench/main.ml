@@ -260,11 +260,39 @@ let commission_counters ~quick () =
         List.length o.Campaign.violations ))
     Chaos.all
 
+(* The E15 scaling sweep (n = 64/256/1024): selection-core throughput,
+   gossip bytes (delta vs full), and per-packet idle allocation. These are
+   the machine-independent-ish numbers the bench gate keys on. *)
+let scaling_points ~quick () = Qs_harness.E_scale.measure ~quick ()
+
+let scaling_json points =
+  let module Json = Qs_obs.Json in
+  Json.List
+    (List.map
+       (fun (p : Qs_harness.E_scale.point) ->
+         Json.Obj
+           [
+             ("n", Json.Int p.n);
+             ("f", Json.Int p.f);
+             ("merge_ops_per_sec", Json.Float p.merge_ops_per_sec);
+             ("select_ops_per_sec", Json.Float p.select_ops_per_sec);
+             ("full_push_bytes", Json.Int p.full_push_bytes);
+             ("delta_sync_bytes", Json.Int p.delta_sync_bytes);
+             ("delta_idle_bytes", Json.Int p.delta_idle_bytes);
+             ("idle_alloc_per_packet", Json.Float p.idle_alloc_per_packet);
+             ("lex_agrees", Json.Bool p.lex_agrees);
+             ("mis_agrees", Json.Bool p.mis_agrees);
+             ("peer_converged", Json.Bool p.peer_converged);
+           ])
+       points)
+
 (* A BENCH_*.json summary: per-benchmark ns/run, the experiment verdict
-   tally, the commission-fault conviction counters, and the metrics the
-   protocol layers recorded while the tables were regenerated. One file per
-   run; diff it across commits to track the perf trajectory. *)
-let write_json_summary ~path ~quick ~experiments_ok ~commission ~bench_rows =
+   tally, the commission-fault conviction counters, the E15 scaling sweep,
+   and the metrics the protocol layers recorded while the tables were
+   regenerated. One file per run; diff it across commits to track the perf
+   trajectory. *)
+let write_json_summary ~path ~quick ~experiments_ok ~commission ~scaling
+    ~bench_rows =
   let module Json = Qs_obs.Json in
   let result_json group (name, ns) =
     Json.Obj
@@ -299,6 +327,7 @@ let write_json_summary ~path ~quick ~experiments_ok ~commission ~bench_rows =
         ( "experiments_ok",
           match experiments_ok with None -> Json.Null | Some ok -> Json.Bool ok );
         ("commission", Json.List commission_json);
+        ("scaling", scaling_json scaling);
         ("results", Json.List results);
         ("metrics", Qs_obs.Metrics.to_json (Qs_obs.Metrics.snapshot ()));
       ]
@@ -330,6 +359,9 @@ let () =
   let commission =
     match json_path with None -> [] | Some _ -> commission_counters ~quick ()
   in
+  let scaling =
+    match json_path with None -> [] | Some _ -> scaling_points ~quick ()
+  in
   Qs_obs.Metrics.reset ();
   let experiments_ok =
     if micro_only then None else Some (Experiments.run_and_print_all ~quick ())
@@ -338,5 +370,6 @@ let () =
   (match json_path with
    | None -> ()
    | Some path ->
-     write_json_summary ~path ~quick ~experiments_ok ~commission ~bench_rows);
+     write_json_summary ~path ~quick ~experiments_ok ~commission ~scaling
+       ~bench_rows);
   if experiments_ok = Some false then exit 1

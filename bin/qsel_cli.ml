@@ -51,16 +51,32 @@ let experiment_cmd =
     Arg.(
       required
       & pos 0 (some string) None
-      & info [] ~docv:"ID" ~doc:"Experiment id: e1-e9, or 'all'.")
+      & info [] ~docv:"ID"
+          ~doc:"Experiment id: e1-e12, e14, e15 (scaling), or 'all'.")
   in
   let quick =
     Arg.(value & flag & info [ "quick" ] ~doc:"Trim parameter sweeps (used by CI).")
   in
-  let run id quick metrics =
+  let sizes =
+    Arg.(
+      value & opt_all int []
+      & info [ "size" ] ~docv:"N"
+          ~doc:
+            "Cluster size for the e15 scaling sweep; repeatable (default 64, \
+             256, 1024). Ignored by other experiments.")
+  in
+  let run id quick sizes metrics =
     with_metrics metrics (fun () ->
         if String.lowercase_ascii id = "all" then
           if Qs_harness.Experiments.run_and_print_all ~quick () then `Ok ()
           else `Error (false, "some experiment verdicts failed")
+        else if String.lowercase_ascii id = "e15" then begin
+          let ns = match sizes with [] -> None | ns -> Some ns in
+          let o = Qs_harness.Experiments.e15 ~quick ?ns () in
+          Qs_harness.Experiments.print o;
+          if Qs_harness.Verdict.all_ok o.Qs_harness.Experiments.verdicts then `Ok ()
+          else `Error (false, "e15 verdicts failed")
+        end
         else
           match experiment_of_id id with
           | Some f ->
@@ -69,7 +85,9 @@ let experiment_cmd =
           | None -> `Error (true, Printf.sprintf "unknown experiment %S" id))
   in
   let doc = "Regenerate a paper table/figure (see DESIGN.md section 4)." in
-  Cmd.v (Cmd.info "experiment" ~doc) Term.(ret (const run $ id $ quick $ metrics_arg))
+  Cmd.v
+    (Cmd.info "experiment" ~doc)
+    Term.(ret (const run $ id $ quick $ sizes $ metrics_arg))
 
 let attack_cmd =
   let f = Arg.(value & opt int 2 & info [ "f" ] ~doc:"Number of faulty processes.") in

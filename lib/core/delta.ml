@@ -1,0 +1,124 @@
+(* Delta-state CRDT gossip for the suspicion matrix.
+
+   Full-state anti-entropy ships the whole n×n matrix every tick — O(n²)
+   bytes per peer regardless of what changed. This engine tracks, per peer,
+   the version of each local row the peer has acknowledged (versions live in
+   the *sender's* version space; receivers just echo them back) and ships
+   only rows whose version is ahead of the ack, as sparse (suspect, epoch)
+   cell lists.
+
+   Tolerance to the network comes from two monotonicity facts: row merges
+   are joins (duplicate or reordered deltas are absorbed idempotently), and
+   acked versions only advance when an Ack arrives (a dropped delta or ack
+   merely means the rows ship again next tick). The one non-local hazard is
+   a peer that acked rows and then lost its matrix to an amnesia crash; its
+   rejoin State_req is the "I lost state" signal, on which the sender must
+   {!reset_peer} so everything re-ships. Periodic full-state pushes remain
+   as the backstop for anything else. *)
+
+type row_delta = { owner : Pid.t; version : int; cells : (int * int) array }
+
+type packet = { src : Pid.t; rows : row_delta list }
+
+type ack = { rows : (Pid.t * int) list }
+
+type t = {
+  me : Pid.t;
+  n : int;
+  matrix : Suspicion_matrix.t;
+  acked : int array array; (* acked.(peer).(row): our row version peer holds *)
+  mutable rows_shipped : int;
+  mutable cells_shipped : int;
+  mutable packets_made : int;
+  mutable packets_applied : int;
+}
+
+let create ~me matrix =
+  let n = Suspicion_matrix.n matrix in
+  if me < 0 || me >= n then invalid_arg "Delta.create: me out of range";
+  {
+    me;
+    n;
+    matrix;
+    acked = Array.make_matrix n n 0;
+    rows_shipped = 0;
+    cells_shipped = 0;
+    packets_made = 0;
+    packets_applied = 0;
+  }
+
+let me t = t.me
+
+let n t = t.n
+
+(* Rows the peer has not acknowledged at their current version. The
+   unchanged-row case is a single integer comparison: no row copy, no
+   allocation — this is the fix for full-row copying on every gossip tick. *)
+let make_packet t ~peer =
+  if peer < 0 || peer >= t.n then invalid_arg "Delta.make_packet: peer out of range";
+  if peer = t.me then invalid_arg "Delta.make_packet: self";
+  let rows = ref [] in
+  for l = t.n - 1 downto 0 do
+    let v = Suspicion_matrix.row_version t.matrix l in
+    if v > t.acked.(peer).(l) then
+      rows := { owner = l; version = v; cells = Suspicion_matrix.sparse_row t.matrix l }
+              :: !rows
+  done;
+  match !rows with
+  | [] -> None
+  | rows ->
+    t.packets_made <- t.packets_made + 1;
+    List.iter
+      (fun r ->
+        t.rows_shipped <- t.rows_shipped + 1;
+        t.cells_shipped <- t.cells_shipped + Array.length r.cells)
+      rows;
+    Some { src = t.me; rows }
+
+(* Join every carried row into the local matrix; the returned ack echoes the
+   sender's row versions (acknowledging content ≥ those versions — the
+   matrix may already have been ahead, which is fine: acks are about what
+   the receiver holds, not what this packet taught it).
+   Raises [Invalid_argument] on out-of-range owners or cells — the caller
+   treats that as a corrupt payload. *)
+let apply t (p : packet) =
+  let changed = ref false in
+  List.iter
+    (fun r ->
+      if r.owner < 0 || r.owner >= t.n then invalid_arg "Delta.apply: owner out of range";
+      if Suspicion_matrix.merge_cells t.matrix ~owner:r.owner r.cells then
+        changed := true)
+    p.rows;
+  t.packets_applied <- t.packets_applied + 1;
+  (!changed, { rows = List.map (fun r -> (r.owner, r.version)) p.rows })
+
+(* Monotone max — a duplicated or reordered ack can never roll a peer's
+   acked versions backwards. Unknown rows are ignored, not an error: an ack
+   from a previous incarnation of this process is stale but harmless. *)
+let apply_ack t ~peer (a : ack) =
+  if peer < 0 || peer >= t.n then invalid_arg "Delta.apply_ack: peer out of range";
+  List.iter
+    (fun (l, v) ->
+      if l >= 0 && l < t.n && v > t.acked.(peer).(l) then t.acked.(peer).(l) <- v)
+    a.rows
+
+let reset_peer t ~peer =
+  if peer < 0 || peer >= t.n then invalid_arg "Delta.reset_peer: peer out of range";
+  Array.fill t.acked.(peer) 0 t.n 0
+
+let acked t ~peer ~row = t.acked.(peer).(row)
+
+type stats = {
+  rows_shipped : int;
+  cells_shipped : int;
+  packets_made : int;
+  packets_applied : int;
+}
+
+let stats (t : t) =
+  {
+    rows_shipped = t.rows_shipped;
+    cells_shipped = t.cells_shipped;
+    packets_made = t.packets_made;
+    packets_applied = t.packets_applied;
+  }

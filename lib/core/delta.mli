@@ -1,0 +1,56 @@
+(** Delta-state CRDT gossip engine for the suspicion matrix.
+
+    Instead of shipping the whole O(n²) matrix every anti-entropy tick, a
+    process tracks per-peer acknowledged row versions (in its own version
+    space) and ships only rows that changed since the peer's last ack, as
+    sparse cell lists. Drop, duplication and reordering are all tolerated:
+    merges are joins and acks advance monotonically, so lost traffic only
+    delays convergence. A peer that lost its matrix (amnesia) announces it
+    with its rejoin [State_req], on which {!reset_peer} re-arms a full
+    re-ship; periodic full-state pushes remain the backstop.
+
+    The engine is transport-agnostic: {!Qs_recovery.Rejoin} drives it over
+    its gossip schedule, and tests drive it directly. *)
+
+type row_delta = { owner : Pid.t; version : int; cells : (int * int) array }
+
+type packet = { src : Pid.t; rows : row_delta list }
+
+type ack = { rows : (Pid.t * int) list }
+
+type t
+
+val create : me:Pid.t -> Suspicion_matrix.t -> t
+(** One engine per process, wrapping that process's live matrix. *)
+
+val me : t -> Pid.t
+
+val n : t -> int
+
+val make_packet : t -> peer:Pid.t -> packet option
+(** Rows [peer] has not acked at their current version, or [None] when the
+    peer is fully caught up (nothing is allocated for unchanged rows — the
+    check is one integer comparison per row). *)
+
+val apply : t -> packet -> bool * ack
+(** Join the packet into the local matrix. Returns whether any cell changed
+    and the ack to send back to [packet.src]. Raises [Invalid_argument] on
+    out-of-range owners/cells (treat as a corrupt payload). *)
+
+val apply_ack : t -> peer:Pid.t -> ack -> unit
+(** Advance [peer]'s acked versions (monotone max). *)
+
+val reset_peer : t -> peer:Pid.t -> unit
+(** Forget everything [peer] acked — called when [peer] signals state loss
+    (its rejoin [State_req]), so its next deltas carry every nonzero row. *)
+
+val acked : t -> peer:Pid.t -> row:Pid.t -> int
+
+type stats = {
+  rows_shipped : int;
+  cells_shipped : int;
+  packets_made : int;
+  packets_applied : int;
+}
+
+val stats : t -> stats

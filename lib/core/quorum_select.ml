@@ -26,6 +26,7 @@ type t = {
   on_quorum : Pid.t list -> unit;
   on_epoch : int -> unit;
   matrix : Suspicion_matrix.t;
+  view : Suspect_view.t;
   mutable epoch : int;
   mutable suspecting : Pid.t list;
   mutable last_quorum : Pid.t list;
@@ -59,6 +60,7 @@ let create config ~me ~auth ~send ~on_quorum ?(on_epoch = fun _ -> ()) () =
     (float_of_int (config.f * (config.f + 1)));
   Metrics.set_g ~labels:flabel "qs_bound_conjecture"
     (float_of_int ((config.f + 2) * (config.f + 1) / 2));
+  let matrix = Suspicion_matrix.create config.n in
   {
     config;
     me;
@@ -66,7 +68,8 @@ let create config ~me ~auth ~send ~on_quorum ?(on_epoch = fun _ -> ()) () =
     send;
     on_quorum;
     on_epoch;
-    matrix = Suspicion_matrix.create config.n;
+    matrix;
+    view = Suspect_view.create matrix ~epoch:1;
     epoch = 1;
     suspecting = [];
     last_quorum = List.init (q config) (fun i -> i);
@@ -148,10 +151,18 @@ let selection_graph t =
     g
 
 let rec update_quorum t =
-  if t.dormant then () else
-  let g = selection_graph t in
+  if t.dormant then () else begin
+  Suspect_view.sync t.view ~epoch:t.epoch;
   let target = q t.config - if !test_buggy_quorum_size then 1 else 0 in
-  match Indep.lex_first_independent_set g target with
+  let result =
+    (* The incremental view models the exclusion-free selection graph; the
+       star-edge construction for convictions stays on the explicit path
+       (convictions are rare — at most f per run). *)
+    match applied_exclusions t with
+    | [] -> Suspect_view.lex_first t.view target
+    | _ :: _ -> Indep.lex_first_independent_set (selection_graph t) target
+  in
+  match result with
   | None ->
     (* Suspicions in the current epoch are inconsistent: age them out. *)
     t.epoch <- t.epoch + 1;
@@ -181,6 +192,7 @@ let rec update_quorum t =
           m "p%d QUORUM %s (epoch %d)" (t.me + 1) (Pid.set_to_string quorum) t.epoch);
       t.on_quorum quorum
     end
+  end
 
 let handle_update t msg =
   if not (Msg.verify t.auth msg) then begin
@@ -188,6 +200,13 @@ let handle_update t msg =
     Metrics.inc t.m_rejected
   end
   else begin
+    (* If the view was in sync before the merge and the merge raised no cell
+       at or above the current epoch (generation unchanged), the selection
+       graph is untouched: re-running the selection would re-derive the
+       standing quorum and do nothing. Skipping it is the difference between
+       O(changed cells) and a full independent-set search per stale UPDATE. *)
+    let in_sync = Suspect_view.in_sync t.view ~epoch:t.epoch in
+    let gen = Suspect_view.generation t.view in
     let changed =
       Suspicion_matrix.merge_row t.matrix ~owner:msg.Msg.update.Msg.owner
         msg.Msg.update.Msg.row
@@ -198,9 +217,16 @@ let handle_update t msg =
         Journal.record
           (Journal.Update_merged { who = t.me; owner = msg.Msg.update.Msg.owner });
       t.send msg; (* forward, so every correct process sees every suspicion *)
-      update_quorum t
+      if not (in_sync && Suspect_view.generation t.view = gen) then
+        update_quorum t
     end
   end
+
+(* Re-run updateQuorum after out-of-band matrix changes (the delta-gossip
+   layer merges cells directly). Dormancy is respected: unlike [absorb], a
+   partial delta is not evidence of a full peer state, so it must never wake
+   a wiped process. *)
+let reevaluate t = update_quorum t
 
 let epoch t = t.epoch
 

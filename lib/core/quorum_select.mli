@@ -75,6 +75,14 @@ val max_issued_per_epoch : t -> int
 val matrix : t -> Suspicion_matrix.t
 (** The live matrix — treat as read-only. *)
 
+val reevaluate : t -> unit
+(** Re-run updateQuorum against the current matrix. For layers that merge
+    into the matrix out-of-band (delta-state gossip): merges are monotone so
+    this is always safe, and unlike {!absorb} it respects dormancy — a
+    partial delta must never wake a wiped process. Cheap when nothing
+    relevant changed (the incremental suspect-graph view is already
+    current). *)
+
 val suspecting : t -> Pid.t list
 (** Current FD suspicions as last reported. *)
 

@@ -1,0 +1,192 @@
+module Graph = Qs_graph.Graph
+module Indep = Qs_graph.Indep
+module Bitset = Qs_stdx.Bitset
+
+(* Within one epoch, matrix cells only grow, so suspect-graph edges only
+   appear — components only merge. We maintain the graph and a union-find
+   of its components under the matrix's cell-raise notifications, cache the
+   exact MIS size per component and recompute only components an edge
+   touched. Epoch advances and blits are the only events that can remove
+   edges; both trigger a full O(n + nonzero) rebuild. *)
+
+type t = {
+  matrix : Suspicion_matrix.t;
+  n : int;
+  mutable epoch : int;
+  mutable g : Graph.t;
+  mutable stale : bool;
+  mutable generation : int;
+  parent : int array;
+  rank : int array;
+  (* Valid at component roots. [None] at a root means the component is the
+     singleton {root} (MIS 1, nothing to compute or store). *)
+  members : Bitset.t option array;
+  mis_cache : int array; (* per root; -1 = needs recomputation *)
+}
+
+let rec find t v =
+  let p = t.parent.(v) in
+  if p = v then v
+  else begin
+    let r = find t p in
+    t.parent.(v) <- r;
+    r
+  end
+
+let members_of t r =
+  match t.members.(r) with
+  | Some m -> m
+  | None ->
+    let m = Bitset.create t.n in
+    Bitset.add m r;
+    t.members.(r) <- Some m;
+    m
+
+let union t a b =
+  let ra = find t a and rb = find t b in
+  if ra = rb then
+    (* New edge inside an existing component: its MIS can only shrink. *)
+    t.mis_cache.(ra) <- -1
+  else begin
+    let w, l = if t.rank.(ra) >= t.rank.(rb) then (ra, rb) else (rb, ra) in
+    if t.rank.(w) = t.rank.(l) then t.rank.(w) <- t.rank.(w) + 1;
+    t.parent.(l) <- w;
+    let mw = members_of t w in
+    (match t.members.(l) with
+    | None -> Bitset.add mw l
+    | Some ml ->
+      Bitset.union_into mw ml;
+      t.members.(l) <- None);
+    t.mis_cache.(w) <- -1
+  end
+
+let rebuild t ~epoch =
+  t.epoch <- epoch;
+  t.g <- Suspicion_matrix.suspect_graph t.matrix ~epoch;
+  for v = 0 to t.n - 1 do
+    t.parent.(v) <- v;
+    t.rank.(v) <- 0;
+    t.members.(v) <- None;
+    t.mis_cache.(v) <- -1
+  done;
+  for v = 0 to t.n - 1 do
+    Bitset.iter (fun u -> if u > v then union t v u) (Graph.neighbor_set t.g v)
+  done;
+  t.stale <- false;
+  t.generation <- t.generation + 1
+
+(* Cell-raise hook: an edge joins the current-epoch graph iff its cell is
+   stamped at or after the view's epoch. Later-epoch stamps qualify too —
+   cells >= e' > e are also >= e. *)
+let on_raise t ~suspector ~suspect ~epoch =
+  if (not t.stale) && epoch >= t.epoch && not (Graph.has_edge t.g suspector suspect)
+  then begin
+    Graph.add_edge t.g suspector suspect;
+    union t suspector suspect;
+    t.generation <- t.generation + 1
+  end
+
+let create matrix ~epoch =
+  let n = Suspicion_matrix.n matrix in
+  let t =
+    {
+      matrix;
+      n;
+      epoch;
+      g = Graph.create n;
+      stale = true;
+      generation = 0;
+      parent = Array.init n (fun v -> v);
+      rank = Array.make n 0;
+      members = Array.make n None;
+      mis_cache = Array.make n (-1);
+    }
+  in
+  Suspicion_matrix.set_watcher matrix
+    ~on_raise:(fun ~suspector ~suspect ~epoch ->
+      on_raise t ~suspector ~suspect ~epoch)
+    ~on_reset:(fun () -> t.stale <- true);
+  rebuild t ~epoch;
+  t
+
+let sync t ~epoch = if t.stale || epoch <> t.epoch then rebuild t ~epoch
+
+let in_sync t ~epoch = (not t.stale) && epoch = t.epoch
+
+let generation t = t.generation
+
+let graph t = t.g
+
+let mis_of_root t r =
+  match t.members.(r) with
+  | None -> 1
+  | Some m ->
+    if t.mis_cache.(r) >= 0 then t.mis_cache.(r)
+    else begin
+      let s = Indep.mis_within t.g m in
+      t.mis_cache.(r) <- s;
+      s
+    end
+
+let mis_total t =
+  let total = ref 0 in
+  for v = 0 to t.n - 1 do
+    if t.parent.(v) = v then total := !total + mis_of_root t v
+  done;
+  !total
+
+let feasible t target = target <= 0 || mis_total t >= target
+
+(* Lexicographically-first independent set of size [target] — same output
+   as [Indep.lex_first_independent_set (graph t) target], but the greedy
+   only does exact MIS work on the non-isolated "core": an isolated vertex
+   is always includable (it extends any independent set of the remaining
+   candidates), so the feasibility check at a core vertex v reduces to
+   #(isolated > v) + MIS(core candidates > v, non-adjacent to v). *)
+let lex_first t target =
+  if target < 0 then invalid_arg "Suspect_view.lex_first: negative size";
+  if target > t.n then None
+  else if not (feasible t target) then None
+  else begin
+    let isolated = Array.make t.n false in
+    for v = 0 to t.n - 1 do
+      isolated.(v) <- Bitset.is_empty (Graph.neighbor_set t.g v)
+    done;
+    (* isolated_after.(v) = #isolated vertices with index > v *)
+    let isolated_after = Array.make (t.n + 1) 0 in
+    for v = t.n - 2 downto 0 do
+      isolated_after.(v) <- isolated_after.(v + 1) + Bool.to_int isolated.(v + 1)
+    done;
+    let allowed_core = Bitset.create t.n in
+    for v = 0 to t.n - 1 do
+      if not isolated.(v) then Bitset.add allowed_core v
+    done;
+    let chosen = ref [] in
+    let need = ref target in
+    let v = ref 0 in
+    while !need > 0 && !v < t.n do
+      if isolated.(!v) then begin
+        (* Always feasible: an isolated candidate is adjacent to nothing, so
+           it joins whatever the remaining candidates can still provide. *)
+        chosen := !v :: !chosen;
+        decr need
+      end
+      else if Bitset.mem allowed_core !v then begin
+        let future = Bitset.copy allowed_core in
+        Bitset.remove_below future (!v + 1);
+        Bitset.diff_into future (Graph.neighbor_set t.g !v);
+        let need' = !need - 1 in
+        if need' <= 0 || isolated_after.(!v) + Indep.mis_within t.g future >= need'
+        then begin
+          chosen := !v :: !chosen;
+          need := need';
+          Bitset.remove allowed_core !v;
+          Bitset.diff_into allowed_core (Graph.neighbor_set t.g !v)
+        end
+        (* else skip: the cursor only moves forward, so leaving !v in
+           [allowed_core] is harmless — future sets are restricted to > cursor. *)
+      end;
+      incr v
+    done;
+    if !need = 0 then Some (List.rev !chosen) else None
+  end

@@ -1,0 +1,54 @@
+(** Incrementally-maintained suspect graph and selection pipeline.
+
+    [Suspicion_matrix.suspect_graph] plus a from-scratch independent-set
+    search per merged UPDATE is the O(n²)-per-message hot path that stops
+    the selectors from scaling past a few dozen processes. This view
+    subscribes to the matrix's cell-raise notifications and maintains, for
+    a fixed epoch:
+
+    - the suspect graph itself (edges only appear within an epoch — cells
+      are monotone, so component structure only coarsens);
+    - a union-find of connected components with a cached exact MIS size
+      per component, recomputed only for the component an edge touched
+      (MIS size is additive across components);
+    - a [generation] counter, so callers can tell whether a merge changed
+      the current-epoch graph at all and skip re-selection when it did not.
+
+    Epoch advances and [blit]s (snapshot restore, amnesia wipe) can remove
+    edges; both mark the view stale and the next {!sync} rebuilds it in
+    O(n + nonzero cells).
+
+    The view installs itself as the matrix's watcher: one view per matrix,
+    owned by the selector instance. *)
+
+type t
+
+val create : Suspicion_matrix.t -> epoch:int -> t
+(** Build the view and install it as the matrix's watcher. *)
+
+val sync : t -> epoch:int -> unit
+(** Make the view current for [epoch]: no-op when already in sync, full
+    rebuild when stale or on an epoch change. Call before reading. *)
+
+val in_sync : t -> epoch:int -> bool
+
+val generation : t -> int
+(** Bumped on every structural change (edge added, rebuild). Equal
+    generations around a merge ⇒ the current-epoch graph is unchanged. *)
+
+val graph : t -> Qs_graph.Graph.t
+(** The suspect graph at the synced epoch. Read-only: do not mutate. *)
+
+val mis_total : t -> int
+(** Exact maximum-independent-set size of {!graph}, from per-component
+    caches — only dirty components pay for recomputation. *)
+
+val feasible : t -> int -> bool
+(** [feasible t q] ⟺ {!graph} has an independent set of size [q]
+    (Algorithm 1 line 27 / Algorithm 2 line 8). *)
+
+val lex_first : t -> int -> Pid.t list option
+(** Same result as [Indep.lex_first_independent_set (graph t) target], but
+    isolated vertices (the overwhelming majority at large n) are included
+    without any MIS computation; exact feasibility checks run only on the
+    non-isolated core. *)

@@ -1,73 +1,190 @@
-type t = { size : int; cells : int array array }
+module Bitset = Qs_stdx.Bitset
+
+(* Row storage: one flat row-major Bigarray of native ints (unboxed, no
+   write barrier, one bounds check per access) plus, per row, a bitset of
+   nonzero columns and a version counter. The bitset makes every whole-row
+   scan (merges, graph construction, max_epoch, serialization) cost
+   O(words + nonzero cells) instead of O(n); the version counter is the
+   delta-gossip layer's change detector — a row whose version a peer has
+   already acked is never re-encoded, re-copied or re-shipped. *)
+
+type ba = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type watcher = {
+  on_raise : suspector:int -> suspect:int -> epoch:int -> unit;
+  on_reset : unit -> unit;
+}
+
+type t = {
+  size : int;
+  cells : ba;
+  nonzero : Bitset.t array;
+  versions : int array;
+  mutable watcher : watcher option;
+}
 
 let create size =
   if size <= 0 then invalid_arg "Suspicion_matrix.create";
-  { size; cells = Array.make_matrix size size 0 }
+  let cells = Bigarray.Array1.create Bigarray.int Bigarray.c_layout (size * size) in
+  Bigarray.Array1.fill cells 0;
+  {
+    size;
+    cells;
+    nonzero = Array.init size (fun _ -> Bitset.create size);
+    versions = Array.make size 0;
+    watcher = None;
+  }
 
 let n t = t.size
 
-let copy t = { size = t.size; cells = Array.map Array.copy t.cells }
+let set_watcher t ~on_raise ~on_reset = t.watcher <- Some { on_raise; on_reset }
 
-let equal a b = a.size = b.size && a.cells = b.cells
+let clear_watcher t = t.watcher <- None
+
+let copy t =
+  let cells = Bigarray.Array1.create Bigarray.int Bigarray.c_layout (t.size * t.size) in
+  Bigarray.Array1.blit t.cells cells;
+  {
+    size = t.size;
+    cells;
+    nonzero = Array.map Bitset.copy t.nonzero;
+    versions = Array.copy t.versions;
+    watcher = None; (* a copy is a snapshot: never fire the original's hooks *)
+  }
 
 let check t i =
   if i < 0 || i >= t.size then invalid_arg "Suspicion_matrix: index out of range"
 
+let cell t l k = t.cells.{(l * t.size) + k}
+
+(* Every state change funnels through here: cells only ever go up (the
+   join-semilattice order), so one code path maintains the nonzero mask,
+   bumps the row version and notifies the watcher (the selectors'
+   incremental suspect-graph view). *)
+let raise_cell t l k v =
+  t.cells.{(l * t.size) + k} <- v;
+  Bitset.add t.nonzero.(l) k;
+  t.versions.(l) <- t.versions.(l) + 1;
+  match t.watcher with
+  | None -> ()
+  | Some w -> w.on_raise ~suspector:l ~suspect:k ~epoch:v
+
 let get t ~suspector ~suspect =
   check t suspector;
   check t suspect;
-  t.cells.(suspector).(suspect)
+  cell t suspector suspect
 
 let record t ~suspector ~suspect ~epoch =
   check t suspector;
   check t suspect;
   if suspector = suspect then invalid_arg "Suspicion_matrix.record: self-suspicion";
-  if epoch > t.cells.(suspector).(suspect) then t.cells.(suspector).(suspect) <- epoch
+  if epoch > cell t suspector suspect then raise_cell t suspector suspect epoch
 
 let row t i =
   check t i;
-  Array.copy t.cells.(i)
+  Array.init t.size (fun k -> cell t i k)
+
+let row_version t i =
+  check t i;
+  t.versions.(i)
+
+let sparse_row t i =
+  check t i;
+  let m = Bitset.cardinal t.nonzero.(i) in
+  let out = Array.make m (0, 0) in
+  let j = ref 0 in
+  Bitset.iter
+    (fun k ->
+      out.(!j) <- (k, cell t i k);
+      incr j)
+    t.nonzero.(i);
+  out
 
 let merge_row t ~owner incoming =
   check t owner;
   if Array.length incoming <> t.size then invalid_arg "Suspicion_matrix.merge_row: bad width";
   let changed = ref false in
   for k = 0 to t.size - 1 do
-    if k <> owner && incoming.(k) > t.cells.(owner).(k) then begin
-      t.cells.(owner).(k) <- incoming.(k);
+    if k <> owner && incoming.(k) > cell t owner k then begin
+      raise_cell t owner k incoming.(k);
       changed := true
     end
   done;
   !changed
 
+let merge_cells t ~owner cells =
+  check t owner;
+  let changed = ref false in
+  Array.iter
+    (fun (k, v) ->
+      check t k;
+      if v < 0 then invalid_arg "Suspicion_matrix.merge_cells: negative cell";
+      if k <> owner && v > cell t owner k then begin
+        raise_cell t owner k v;
+        changed := true
+      end)
+    cells;
+  !changed
+
 let blit ~src ~dst =
   if src.size <> dst.size then invalid_arg "Suspicion_matrix.blit: size mismatch";
+  Bigarray.Array1.blit src.cells dst.cells;
   for l = 0 to src.size - 1 do
-    Array.blit src.cells.(l) 0 dst.cells.(l) 0 src.size
-  done
+    Bitset.clear dst.nonzero.(l);
+    Bitset.union_into dst.nonzero.(l) src.nonzero.(l);
+    (* A blit may lower cells (snapshot restore); versions stay monotone so
+       delta peers re-ship rather than miss the change. *)
+    dst.versions.(l) <- dst.versions.(l) + 1
+  done;
+  match dst.watcher with None -> () | Some w -> w.on_reset ()
 
 let merge t other =
   if t.size <> other.size then invalid_arg "Suspicion_matrix.merge: size mismatch";
   let changed = ref false in
   for l = 0 to t.size - 1 do
-    if merge_row t ~owner:l other.cells.(l) then changed := true
+    Bitset.iter
+      (fun k ->
+        let v = cell other l k in
+        if k <> l && v > cell t l k then begin
+          raise_cell t l k v;
+          changed := true
+        end)
+      other.nonzero.(l)
   done;
   !changed
+
+let equal a b =
+  a.size = b.size
+  && Array.for_all2 Bitset.equal a.nonzero b.nonzero
+  &&
+  let ok = ref true in
+  for l = 0 to a.size - 1 do
+    Bitset.iter (fun k -> if cell a l k <> cell b l k then ok := false) a.nonzero.(l)
+  done;
+  !ok
+
+let iter_nonzero t f =
+  for l = 0 to t.size - 1 do
+    Bitset.iter (fun k -> f ~suspector:l ~suspect:k ~epoch:(cell t l k)) t.nonzero.(l)
+  done
 
 let suspect_graph t ~epoch =
   let g = Qs_graph.Graph.create t.size in
   for l = 0 to t.size - 1 do
-    for k = l + 1 to t.size - 1 do
-      if t.cells.(l).(k) >= epoch || t.cells.(k).(l) >= epoch then
-        Qs_graph.Graph.add_edge g l k
-    done
+    Bitset.iter
+      (fun k -> if cell t l k >= epoch then Qs_graph.Graph.add_edge g l k)
+      t.nonzero.(l)
   done;
   g
 
 let max_epoch t =
-  Array.fold_left (fun acc r -> Array.fold_left max acc r) 0 t.cells
+  let best = ref 0 in
+  for l = 0 to t.size - 1 do
+    Bitset.iter (fun k -> if cell t l k > !best then best := cell t l k) t.nonzero.(l)
+  done;
+  !best
 
-let to_rows t = Array.map Array.copy t.cells
+let to_rows t = Array.init t.size (fun l -> row t l)
 
 let of_rows rows =
   let size = Array.length rows in
@@ -84,7 +201,13 @@ let of_rows rows =
         invalid_arg "Suspicion_matrix.of_rows: self-suspicion"
     done
   done;
-  { size; cells = Array.map Array.copy rows }
+  let t = create size in
+  for l = 0 to size - 1 do
+    for k = 0 to size - 1 do
+      if rows.(l).(k) > 0 then raise_cell t l k rows.(l).(k)
+    done
+  done;
+  t
 
 let pp ppf t =
   for l = 0 to t.size - 1 do
@@ -92,5 +215,5 @@ let pp ppf t =
       Pid.pp l
       (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
          Format.pp_print_int)
-      (Array.to_list t.cells.(l))
+      (Array.to_list (row t l))
   done

@@ -4,7 +4,11 @@
     [k] (0 = never). Rows are merged with pointwise max, making the matrix a
     join-semilattice: merges commute, associate and are idempotent, so
     correct processes converge to the same state regardless of message
-    order — the paper's "eventual consistent shared data structure". *)
+    order — the paper's "eventual consistent shared data structure".
+
+    Rows are backed by a flat Bigarray with per-row nonzero bitsets and
+    monotone version counters, so sparse scans cost O(nonzero) and the
+    delta-gossip layer can detect changed rows without copying them. *)
 
 type t
 
@@ -26,6 +30,23 @@ val record : t -> suspector:int -> suspect:int -> epoch:int -> unit
 val row : t -> int -> int array
 (** Copy of a row — what an UPDATE message carries. *)
 
+val row_version : t -> int -> int
+(** Monotone per-row change counter: bumped on every cell raise in that row
+    (and on {!blit}). Equal versions ⇒ a peer that acked this version has
+    seen every cell of the row; comparing versions is how the delta layer
+    skips unchanged rows without allocating. *)
+
+val sparse_row : t -> int -> (int * int) array
+(** [(suspect, epoch)] pairs for the nonzero cells of a row, in increasing
+    suspect order — what a delta-gossip row carries. O(nonzero). *)
+
+val merge_cells : t -> owner:int -> (int * int) array -> bool
+(** Max-merge individual [(suspect, epoch)] cells into [owner]'s row — the
+    receiving end of {!sparse_row}. Returns [true] iff any cell changed.
+    Same join as {!merge_row}: diagonal cells are ignored, values never
+    decrease. [Invalid_argument] on out-of-range suspect or negative
+    epoch. *)
+
 val merge_row : t -> owner:int -> int array -> bool
 (** Pointwise max of [owner]'s row with the given vector. Returns [true] iff
     any cell changed (Algorithm 1, lines 17–21). *)
@@ -37,6 +58,23 @@ val blit : src:t -> dst:t -> unit
 (** Overwrite [dst] with [src]'s cells (same size required) — {e not} a
     merge: cells may go down. Restoring a model-checker snapshot is the one
     place this is legitimate. *)
+
+val set_watcher :
+  t ->
+  on_raise:(suspector:int -> suspect:int -> epoch:int -> unit) ->
+  on_reset:(unit -> unit) ->
+  unit
+(** Install change hooks: [on_raise] fires after every individual cell
+    increase (through any of [record]/[merge_row]/[merge_cells]/[merge]),
+    [on_reset] after a {!blit} (the one operation that can lower cells, so
+    incremental consumers must rebuild). At most one watcher; {!copy}
+    never inherits it. *)
+
+val clear_watcher : t -> unit
+
+val iter_nonzero :
+  t -> (suspector:int -> suspect:int -> epoch:int -> unit) -> unit
+(** Visit every nonzero cell, row-major. O(words + nonzero). *)
 
 val suspect_graph : t -> epoch:int -> Qs_graph.Graph.t
 (** Edge [(l,k)] iff [l] suspected [k] or [k] suspected [l] in [epoch] or

@@ -18,6 +18,7 @@ type t = {
   fd_cancel : unit -> unit;
   fd_detected : Pid.t -> unit;
   matrix : Suspicion_matrix.t;
+  view : Qs_core.Suspect_view.t;
   mutable epoch : int;
   mutable suspecting : Pid.t list;
   mutable leader : Pid.t;
@@ -92,6 +93,7 @@ let create config ~me ~auth ~send ~on_quorum ?(fd_expect = fun ~leader:_ ~epoch:
     ~labels:[ ("f", string_of_int config.Quorum_select.f) ]
     "fs_bound_theorem9"
     (float_of_int ((3 * config.Quorum_select.f) + 1));
+  let matrix = Suspicion_matrix.create config.Quorum_select.n in
   {
     config;
     me;
@@ -101,7 +103,8 @@ let create config ~me ~auth ~send ~on_quorum ?(fd_expect = fun ~leader:_ ~epoch:
     fd_expect;
     fd_cancel;
     fd_detected;
-    matrix = Suspicion_matrix.create config.Quorum_select.n;
+    matrix;
+    view = Qs_core.Suspect_view.create matrix ~epoch:1;
     epoch = 1;
     suspecting = [];
     leader = 0;
@@ -173,9 +176,10 @@ let issue t ~leader quorum =
 
 (* updateQuorum (Algorithm 2, lines 7-26). *)
 let rec update_quorum t =
-  if t.dormant then () else
-  let g = Suspicion_matrix.suspect_graph t.matrix ~epoch:t.epoch in
-  if not (Indep.exists_independent_set g (q_of t)) then begin
+  if t.dormant then () else begin
+  Qs_core.Suspect_view.sync t.view ~epoch:t.epoch;
+  let g = Qs_core.Suspect_view.graph t.view in
+  if not (Qs_core.Suspect_view.feasible t.view (q_of t)) then begin
     (* Lines 9-16: inconsistent suspicions — new epoch, default quorum. *)
     t.epoch <- t.epoch + 1;
     t.epochs_entered <- t.epochs_entered + 1;
@@ -221,6 +225,7 @@ let rec update_quorum t =
         end
       end
   end
+  end
 
 let handle_suspected t s = ignore (update_suspicions t s)
 
@@ -261,10 +266,11 @@ let handle_followers t msg f =
      compare against state the process no longer legitimately holds. *)
   if (not t.dormant) && j = t.leader && f.Fmsg.epoch = t.epoch then begin
     let n = t.config.Quorum_select.n in
+    Qs_core.Suspect_view.sync t.view ~epoch:t.epoch;
     if
       not
         (well_formed ~excluded:(applied_exclusions t) ~n ~q:(q_of t)
-           ~suspect_graph:(Suspicion_matrix.suspect_graph t.matrix ~epoch:t.epoch)
+           ~suspect_graph:(Qs_core.Suspect_view.graph t.view)
            f)
     then detect t j
     else begin
@@ -286,15 +292,28 @@ let handle_msg t msg =
   else
     match msg.Fmsg.payload with
     | Fmsg.Update u ->
+      (* Skip re-selection when the merge left the current-epoch graph
+         untouched (see Quorum_select.handle_update). Guarded on no
+         exclusions: a conviction changes the leader rule without touching
+         the graph, so the exclusion path re-derives unconditionally. *)
+      let in_sync =
+        t.excluded = [] && Qs_core.Suspect_view.in_sync t.view ~epoch:t.epoch
+      in
+      let gen = Qs_core.Suspect_view.generation t.view in
       let changed = Suspicion_matrix.merge_row t.matrix ~owner:u.Msg.owner u.Msg.row in
       if changed then begin
         Metrics.inc t.m_updates_merged;
         if Journal.live () then
           Journal.record (Journal.Update_merged { who = t.me; owner = u.Msg.owner });
         t.send msg;
-        update_quorum t
+        if not (in_sync && Qs_core.Suspect_view.generation t.view = gen) then
+          update_quorum t
       end
     | Fmsg.Followers f -> handle_followers t msg f
+
+(* Mirrors Quorum_select.reevaluate: dormancy-respecting re-derivation for
+   out-of-band (delta-gossip) matrix merges. *)
+let reevaluate t = update_quorum t
 
 let epoch t = t.epoch
 

@@ -77,6 +77,10 @@ val detections : t -> Qs_core.Pid.t list
 
 val matrix : t -> Qs_core.Suspicion_matrix.t
 
+val reevaluate : t -> unit
+(** Re-derive the leader/quorum after an out-of-band (delta-gossip) matrix
+    merge. Respects dormancy, unlike {!absorb}. *)
+
 val suspect_graph : t -> Qs_graph.Graph.t
 
 val rejected_msgs : t -> int

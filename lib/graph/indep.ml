@@ -62,6 +62,8 @@ let full_active g =
 
 let max_independent_set_size g = mis_size g (full_active g)
 
+let mis_within g active = mis_size g active
+
 let exists_independent_set g q =
   q <= 0 || max_independent_set_size g >= q
 

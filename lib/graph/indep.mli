@@ -13,6 +13,12 @@ val is_independent : Graph.t -> int list -> bool
 val max_independent_set_size : Graph.t -> int
 (** Exact maximum independent set size. *)
 
+val mis_within : Graph.t -> Qs_stdx.Bitset.t -> int
+(** Exact maximum independent set size of the subgraph induced by the given
+    vertex set (not mutated). Lets callers that track connected components
+    pay only for the component that changed — MIS size is additive across
+    components. *)
+
 val exists_independent_set : Graph.t -> int -> bool
 (** [exists_independent_set g q]: does [g] contain an independent set of size
     [q]? (Line 27 of Algorithm 1.) *)

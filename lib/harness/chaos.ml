@@ -76,18 +76,30 @@ let strategy = Timeout.Exponential { factor = 2.0; max = ms 2000 }
 
 let rejoin_max_retries = (Rejoin.default_config ~n:2).Rejoin.max_retries
 
-let recovery_plane ~sim ~n ~collect ~adopt =
+(* With delta gossip attached, one tick in [delta_full_every] still pushes
+   the full matrix — the anti-entropy backstop for anything the version
+   bookkeeping cannot see. *)
+let delta_full_every = 8
+
+let recovery_plane ~sim ~n ?(delta = fun _ -> None) ~collect ~adopt () =
   let rnet = Network.create ~sim ~n ~delay:(Network.Fixed (ms 1)) ~fifo:true () in
   let config =
     { (Rejoin.default_config ~n) with Rejoin.gossip_every = Some (ms 1000) }
   in
   let nodes =
     Array.init n (fun me ->
-        Rejoin.create ~sim config ~me
-          ~collect:(fun () -> collect me)
-          ~adopt:(fun ~matrix ~epoch ~extra -> adopt me ~matrix ~epoch ~extra)
-          ~send:(fun ~dst msg -> Network.send rnet ~src:me ~dst msg)
-          ())
+        let node =
+          Rejoin.create ~sim config ~me
+            ~collect:(fun () -> collect me)
+            ~adopt:(fun ~matrix ~epoch ~extra -> adopt me ~matrix ~epoch ~extra)
+            ~send:(fun ~dst msg -> Network.send rnet ~src:me ~dst msg)
+            ()
+        in
+        (match delta me with
+        | Some (engine, on_merge) ->
+          Rejoin.set_delta node engine ~on_merge ~full_every:delta_full_every
+        | None -> ());
+        node)
   in
   Array.iteri
     (fun i node ->
@@ -101,8 +113,8 @@ let recovery_plane ~sim ~n ~collect ~adopt =
    incarnation on both planes, and start the rejoin round. The durable
    payload goes in as a self State_push — buffered with the peers' responses
    and merged at completion. *)
-let attach_recovery ~sim ~n ~net_drop ~collect ~adopt ~wipe =
-  let rnet, nodes = recovery_plane ~sim ~n ~collect ~adopt in
+let attach_recovery ~sim ~n ~delta ~net_drop ~collect ~adopt ~wipe =
+  let rnet, nodes = recovery_plane ~sim ~n ~delta ~collect ~adopt () in
   let amnesia p =
     let durable = wipe p in
     ignore (net_drop p : int);
@@ -131,6 +143,14 @@ let qs_wipe qsel detector =
   (match qsel with Some qsel -> QS.amnesia qsel | None -> ());
   Detector.amnesia detector;
   None
+
+(* Delta-gossip engines wrap the selector's live matrix directly; the merge
+   callback is the dormancy-respecting re-evaluation, never [absorb]. *)
+let qs_delta qsel p =
+  match qsel with
+  | Some qsel ->
+    Some (Qs_core.Delta.create ~me:p (QS.matrix qsel), fun () -> QS.reevaluate qsel)
+  | None -> None
 
 (* ------------------------------------------------------------------ *)
 (* Commission-fault (evidence) plane.
@@ -308,6 +328,10 @@ let make_instance stack ~params ~seed =
     Qs_xpaxos.Xcluster.attach_durability c;
     let rnet, amnesia =
       attach_recovery ~sim:(Qs_xpaxos.Xcluster.sim c) ~n
+        ~delta:(fun p ->
+          qs_delta
+            (Qs_xpaxos.Replica.quorum_selector (Qs_xpaxos.Xcluster.replica c p))
+            p)
         ~net_drop:(Network.drop_pending_to (Qs_xpaxos.Xcluster.net c))
         ~collect:(Qs_xpaxos.Xcluster.collect_payload c)
         ~adopt:(fun p ~matrix ~epoch ~extra ->
@@ -389,6 +413,7 @@ let make_instance stack ~params ~seed =
     let sel p = Qs_pbft.Preplica.quorum_selector (Qs_pbft.Pcluster.replica c p) in
     let rnet, amnesia =
       attach_recovery ~sim:(Qs_pbft.Pcluster.sim c) ~n
+        ~delta:(fun p -> qs_delta (sel p) p)
         ~net_drop:(Network.drop_pending_to (Qs_pbft.Pcluster.net c))
         ~collect:(fun p -> qs_payload ~n (sel p))
         ~adopt:(fun p -> qs_adopt (sel p))
@@ -460,6 +485,7 @@ let make_instance stack ~params ~seed =
     let sel p = Qs_minbft.Mreplica.quorum_selector (Qs_minbft.Mcluster.replica c p) in
     let rnet, amnesia =
       attach_recovery ~sim:(Qs_minbft.Mcluster.sim c) ~n
+        ~delta:(fun p -> qs_delta (sel p) p)
         ~net_drop:(Network.drop_pending_to (Qs_minbft.Mcluster.net c))
         ~collect:(fun p -> qs_payload ~n (sel p))
         ~adopt:(fun p -> qs_adopt (sel p))
@@ -527,6 +553,7 @@ let make_instance stack ~params ~seed =
     in
     let rnet, amnesia =
       attach_recovery ~sim:(Qs_bchain.Chain_cluster.sim c) ~n
+        ~delta:(fun p -> qs_delta (sel p) p)
         ~net_drop:(Network.drop_pending_to (Qs_bchain.Chain_cluster.net c))
         ~collect:(fun p -> qs_payload ~n (sel p))
         ~adopt:(fun p -> qs_adopt (sel p))
@@ -598,6 +625,10 @@ let make_instance stack ~params ~seed =
     let sel p = Qs_star.Star_node.selector (Qs_star.Star_cluster.node c p) in
     let rnet, amnesia =
       attach_recovery ~sim:(Qs_star.Star_cluster.sim c) ~n
+        ~delta:(fun p ->
+          Some
+            ( Qs_core.Delta.create ~me:p (FS.matrix (sel p)),
+              fun () -> FS.reevaluate (sel p) ))
         ~net_drop:(Network.drop_pending_to (Qs_star.Star_cluster.net c))
         ~collect:(fun p ->
           {

@@ -1,0 +1,42 @@
+(** E15 (extension): scaling the selection core to n = 1024.
+
+    For each cluster size the experiment loads a fixed small suspicion core
+    (every correct core member suspects every faulty one; everything else
+    isolated — the regime the incremental {!Qs_core.Suspect_view} is built
+    for) and measures:
+
+    - steady-state UPDATE absorption throughput (merge + generation-skip
+      re-selection, the selectors' hot path);
+    - full re-selection throughput through the incremental view;
+    - gossip bytes: delta-state sync of a fresh peer vs one full-state
+      push, and the steady-state delta tick (which must ship zero bytes);
+    - allocation per idle delta packet ([Gc.allocated_bytes]) — the claim
+      that unchanged rows cost one integer comparison, not a row copy.
+
+    Verdicts pin the incremental view to the from-scratch pipeline
+    (lex-first set and MIS size bit-identical), require delta sync to beat
+    a full push, the idle tick to be free, and the idle allocation to stay
+    a small constant independent of n. *)
+
+type point = {
+  n : int;
+  f : int;
+  merge_ops_per_sec : float;
+  select_ops_per_sec : float;
+  full_push_bytes : int;  (** one encoded full-state matrix *)
+  delta_sync_bytes : int;  (** delta bytes to converge a fresh peer *)
+  delta_idle_bytes : int;  (** next tick after convergence; expect 0 *)
+  idle_alloc_per_packet : float;  (** bytes allocated per no-change packet *)
+  lex_agrees : bool;
+  mis_agrees : bool;
+  peer_converged : bool;
+}
+
+val default_sizes : int list
+(** [64; 256; 1024] *)
+
+val measure : ?quick:bool -> ?ns:int list -> unit -> point list
+(** Raw measurements — the bench harness serializes these into the
+    [scaling] section of [BENCH_qsel.json]. *)
+
+val run : ?quick:bool -> ?ns:int list -> unit -> Qs_stdx.Table.t * Verdict.t list

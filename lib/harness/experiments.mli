@@ -24,6 +24,11 @@ val e14 : unit -> outcome
 (** E13 is the model checker ([qsel mc]), not a table-producing
     experiment. *)
 
+val e15 : ?quick:bool -> ?ns:int list -> unit -> outcome
+(** The scaling sweep ({!E_scale}); not part of {!all} — its output is
+    wall-clock dependent and it is consumed by the bench harness and the
+    CI smoke instead. *)
+
 val all : ?quick:bool -> unit -> outcome list
 (** [quick] trims the sweeps for test runs (default false). *)
 

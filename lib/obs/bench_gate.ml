@@ -1,0 +1,298 @@
+(* Bench-regression gate: diff a fresh BENCH_qsel.json against a committed
+   baseline.
+
+   The gate keys on metrics that are properties of the *code*, not the
+   runner: bytes shipped by gossip, per-packet allocation, agreement
+   booleans, seeded commission-fault conviction counters, and the
+   cross-size select-throughput ratio (a 2× slowdown at n=1024 doubles the
+   ratio even though both absolute numbers move with the machine).
+   Absolute wall-clock ns/run results are compared too, but report-only:
+   they fail nothing, they just show the drift.
+
+   Improvements pass silently — the gate only stops regressions; ratchet
+   the baseline forward with [derive_baseline] (--update-baseline). *)
+
+exception Malformed of string
+
+let malformed fmt = Printf.ksprintf (fun s -> raise (Malformed s)) fmt
+
+let bench_schema = "qsel-bench/1"
+
+let baseline_schema = "qsel-baseline/1"
+
+type verdict = { name : string; ok : bool; detail : string; hard : bool }
+
+let hard name ok detail = { name; ok; detail; hard = true }
+
+let soft name ok detail = { name; ok; detail; hard = false }
+
+let passed vs = List.for_all (fun v -> v.ok || not v.hard) vs
+
+let render vs =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun v ->
+      Buffer.add_string b
+        (Printf.sprintf "  [%s] %-58s %s\n"
+           (if v.ok then "ok" else if v.hard then "FAIL" else "warn")
+           v.name v.detail))
+    vs;
+  Buffer.add_string b
+    (if passed vs then "bench gate: PASS\n" else "bench gate: FAIL\n");
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* JSON plumbing — missing fields in either file are [Malformed], not
+   silently-passing checks. *)
+
+let field name j =
+  match Json.member name j with
+  | Some v -> v
+  | None -> malformed "missing field %S" name
+
+let list_exn name j =
+  match field name j with
+  | Json.List l -> l
+  | _ -> malformed "field %S is not a list" name
+
+let int_f name j = Json.to_int_exn (field name j)
+
+let float_f name j = Json.to_float_exn (field name j)
+
+let string_f name j = Json.to_string_exn (field name j)
+
+let bool_f name j =
+  match field name j with
+  | Json.Bool v -> v
+  | _ -> malformed "field %S is not a bool" name
+
+(* ------------------------------------------------------------------ *)
+(* Tolerances, stored in the baseline so a deliberate loosening is a
+   reviewed diff. *)
+
+type tolerances = { bytes : float; select_ratio : float; alloc_abs : float }
+
+let default_tolerances = { bytes = 1.25; select_ratio = 1.75; alloc_abs = 128.0 }
+
+let tolerances_of_json j =
+  match Json.member "tolerances" j with
+  | None -> default_tolerances
+  | Some t ->
+    {
+      bytes = float_f "bytes" t;
+      select_ratio = float_f "select_ratio" t;
+      alloc_abs = float_f "alloc_abs" t;
+    }
+
+let tolerances_json t =
+  Json.Obj
+    [
+      ("bytes", Json.Float t.bytes);
+      ("select_ratio", Json.Float t.select_ratio);
+      ("alloc_abs", Json.Float t.alloc_abs);
+    ]
+
+(* The cross-size degradation factor: select throughput at the smallest n
+   over the largest. Machine speed cancels out of the quotient. *)
+let select_ratio scaling =
+  match scaling with
+  | [] | [ _ ] -> None
+  | points ->
+    let by_n = List.map (fun p -> (int_f "n" p, p)) points in
+    let smallest = List.fold_left min max_int (List.map fst by_n) in
+    let largest = List.fold_left max 0 (List.map fst by_n) in
+    let ops n = float_f "select_ops_per_sec" (List.assoc n by_n) in
+    let lo = ops largest in
+    if lo <= 0.0 then None else Some (ops smallest /. lo)
+
+(* ------------------------------------------------------------------ *)
+
+let check_scaling_point ~tol ~current_points base =
+  let n = int_f "n" base in
+  let tag s = Printf.sprintf "scaling n=%d: %s" n s in
+  match
+    List.find_opt (fun p -> int_f "n" p = n) current_points
+  with
+  | None -> [ hard (tag "present in current run") false "point missing" ]
+  | Some cur ->
+    let bytes name =
+      let b = int_f name base and c = int_f name cur in
+      let cap = float_of_int b *. tol.bytes in
+      hard (tag name)
+        (float_of_int c <= cap)
+        (Printf.sprintf "%d vs baseline %d (cap %.0f)" c b cap)
+    in
+    let agrees name =
+      hard (tag name) (bool_f name cur) (if bool_f name cur then "true" else "false")
+    in
+    let idle = int_f "delta_idle_bytes" cur in
+    let alloc = float_f "idle_alloc_per_packet" cur in
+    [
+      bytes "full_push_bytes";
+      bytes "delta_sync_bytes";
+      hard (tag "delta_idle_bytes = 0") (idle = 0) (string_of_int idle);
+      hard
+        (tag "idle_alloc_per_packet within cap")
+        (alloc <= tol.alloc_abs)
+        (Printf.sprintf "%.0f B (cap %.0f)" alloc tol.alloc_abs);
+      agrees "lex_agrees";
+      agrees "mis_agrees";
+      agrees "peer_converged";
+    ]
+
+let check_commission ~current base =
+  let stack = string_f "stack" base in
+  let tag s = Printf.sprintf "commission %s: %s" stack s in
+  match
+    List.find_opt (fun c -> string_f "stack" c = stack) current
+  with
+  | None -> [ hard (tag "present in current run") false "stack missing" ]
+  | Some cur ->
+    let eq name =
+      let b = int_f name base and c = int_f name cur in
+      hard (tag name) (c = b) (Printf.sprintf "%d vs baseline %d" c b)
+    in
+    let violations = int_f "violations" cur in
+    [
+      eq "proofs";
+      eq "forgeries";
+      hard (tag "violations = 0") (violations = 0) (string_of_int violations);
+    ]
+
+(* Wall-clock drift, report-only: flag anything 1.5× slower than baseline
+   but fail nothing — absolute ns are the runner's, not the code's. *)
+let check_results ~current base =
+  let key j = (string_f "group" j, string_f "name" j) in
+  List.filter_map
+    (fun b ->
+      match field "ns_per_run" b with
+      | Json.Null -> None
+      | bns -> (
+        let bns = Json.to_float_exn bns in
+        match List.find_opt (fun c -> key c = key b) current with
+        | None -> None
+        | Some c -> (
+          match field "ns_per_run" c with
+          | Json.Null -> None
+          | cns ->
+            let cns = Json.to_float_exn cns in
+            let g, n = key b in
+            if bns > 0.0 && cns > bns *. 1.5 then
+              Some
+                (soft
+                   (Printf.sprintf "ns %s/%s" g n)
+                   false
+                   (Printf.sprintf "%.0f ns vs baseline %.0f ns (%.1fx)" cns
+                      bns (cns /. bns)))
+            else None)))
+    base
+
+let check ~current ~baseline =
+  let cs = string_f "schema" current in
+  let bs = string_f "schema" baseline in
+  let schema_ok =
+    [
+      hard "current schema" (cs = bench_schema) cs;
+      hard "baseline schema" (bs = baseline_schema) bs;
+    ]
+  in
+  if not (passed schema_ok) then schema_ok
+  else begin
+    let tol = tolerances_of_json baseline in
+    let quick_ok =
+      let bq = bool_f "quick" baseline and cq = bool_f "quick" current in
+      hard "quick flag matches baseline" (bq = cq)
+        (Printf.sprintf "current %b, baseline %b" cq bq)
+    in
+    let experiments_ok =
+      match field "experiments_ok" current with
+      | Json.Null -> soft "experiments_ok" true "not run (micro-only)"
+      | Json.Bool b -> hard "experiments_ok" b (string_of_bool b)
+      | _ -> malformed "experiments_ok is neither null nor bool"
+    in
+    let cur_scaling = list_exn "scaling" current in
+    let scaling_checks =
+      List.concat_map
+        (check_scaling_point ~tol ~current_points:cur_scaling)
+        (list_exn "scaling" baseline)
+    in
+    let ratio_check =
+      match
+        (select_ratio (list_exn "scaling" baseline), select_ratio cur_scaling)
+      with
+      | Some b, Some c ->
+        let cap = b *. tol.select_ratio in
+        [
+          hard "select throughput ratio (smallest n / largest n)"
+            (c <= cap)
+            (Printf.sprintf "%.1f vs baseline %.1f (cap %.1f)" c b cap);
+        ]
+      | Some _, None ->
+        [ hard "select throughput ratio computable" false "missing in current" ]
+      | None, _ -> []
+    in
+    let commission_checks =
+      List.concat_map
+        (check_commission ~current:(list_exn "commission" current))
+        (list_exn "commission" baseline)
+    in
+    let ns_checks =
+      match (Json.member "results" baseline, Json.member "results" current) with
+      | Some (Json.List b), Some (Json.List c) -> check_results ~current:c b
+      | _ -> []
+    in
+    (quick_ok :: experiments_ok :: scaling_checks)
+    @ ratio_check @ commission_checks @ ns_checks
+  end
+
+(* ------------------------------------------------------------------ *)
+
+let derive_baseline bench =
+  if string_f "schema" bench <> bench_schema then
+    malformed "derive_baseline: not a %s file" bench_schema;
+  let scaling =
+    List.map
+      (fun p ->
+        Json.Obj
+          [
+            ("n", Json.Int (int_f "n" p));
+            ("full_push_bytes", Json.Int (int_f "full_push_bytes" p));
+            ("delta_sync_bytes", Json.Int (int_f "delta_sync_bytes" p));
+            ("select_ops_per_sec", Json.Float (float_f "select_ops_per_sec" p));
+          ])
+      (list_exn "scaling" bench)
+  in
+  let commission =
+    List.map
+      (fun c ->
+        Json.Obj
+          [
+            ("stack", Json.String (string_f "stack" c));
+            ("proofs", Json.Int (int_f "proofs" c));
+            ("forgeries", Json.Int (int_f "forgeries" c));
+          ])
+      (list_exn "commission" bench)
+  in
+  let results =
+    match Json.member "results" bench with
+    | Some (Json.List rs) ->
+      List.map
+        (fun r ->
+          Json.Obj
+            [
+              ("group", Json.String (string_f "group" r));
+              ("name", Json.String (string_f "name" r));
+              ("ns_per_run", field "ns_per_run" r);
+            ])
+        rs
+    | _ -> []
+  in
+  Json.Obj
+    [
+      ("schema", Json.String baseline_schema);
+      ("quick", Json.Bool (bool_f "quick" bench));
+      ("tolerances", tolerances_json default_tolerances);
+      ("scaling", Json.List scaling);
+      ("commission", Json.List commission);
+      ("results", Json.List results);
+    ]

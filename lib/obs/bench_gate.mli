@@ -1,0 +1,37 @@
+(** Bench-regression gate: diff a fresh [BENCH_qsel.json] against the
+    committed [bench/baseline.json].
+
+    Hard checks — any failure fails the gate — cover only metrics that are
+    properties of the code, not the runner: gossip bytes (full push and
+    delta sync, within the baseline's [bytes] tolerance), the zero-byte
+    steady-state delta tick, per-packet idle allocation (absolute cap),
+    the incremental-vs-scratch agreement booleans, the seeded
+    commission-fault conviction counters (exact — the simulation is
+    deterministic), and the cross-size select-throughput ratio (machine
+    speed cancels out of the quotient; a 2× slowdown at the largest n
+    doubles it). Absolute wall-clock ns/run rows are compared report-only:
+    a >1.5× drift prints a warning, never a failure.
+
+    Improvements pass silently; ratchet the baseline forward with
+    [derive_baseline] (the CLI's [--update-baseline]). *)
+
+exception Malformed of string
+(** A field the gate needs is missing or mis-typed in either file — never
+    a silent pass. *)
+
+type verdict = { name : string; ok : bool; detail : string; hard : bool }
+
+val check : current:Json.t -> baseline:Json.t -> verdict list
+
+val passed : verdict list -> bool
+(** [true] iff every {e hard} verdict is ok. *)
+
+val render : verdict list -> string
+
+val derive_baseline : Json.t -> Json.t
+(** Extract the gated metrics (plus default tolerances) from a bench file
+    into a fresh baseline document. *)
+
+type tolerances = { bytes : float; select_ratio : float; alloc_abs : float }
+
+val default_tolerances : tolerances

@@ -121,6 +121,53 @@ let decode_matrix s =
   | m -> m
   | exception Invalid_argument msg -> corrupt "mtx: %s" msg
 
+let delta_version = 1
+
+let encode_delta (p : Qs_core.Delta.packet) =
+  let b = W.create () in
+  W.int b p.Qs_core.Delta.src;
+  W.int b (List.length p.Qs_core.Delta.rows);
+  List.iter
+    (fun (r : Qs_core.Delta.row_delta) ->
+      W.int b r.owner;
+      W.int b r.version;
+      W.int b (Array.length r.cells);
+      Array.iter
+        (fun (k, v) ->
+          W.int b k;
+          W.int b v)
+        r.cells)
+    p.Qs_core.Delta.rows;
+  frame ~tag:"dlt" ~version:delta_version (W.contents b)
+
+let decode_delta s =
+  let version, payload = unframe ~tag:"dlt" s in
+  if version <> delta_version then corrupt "dlt: unknown version %d" version;
+  let r = R.of_string payload in
+  let src = R.int r in
+  let nrows = R.int r in
+  if nrows < 0 || nrows > 4096 then corrupt "dlt: implausible row count %d" nrows;
+  (* Explicit loops: the reader is stateful, so field order must be the
+     wire order, not whatever [Array.init] happens to do. *)
+  let rows = ref [] in
+  for _ = 1 to nrows do
+    let owner = R.int r in
+    let version = R.int r in
+    let ncells = R.int r in
+    if ncells < 0 || ncells > 4096 then
+      corrupt "dlt: implausible cell count %d" ncells;
+    let cells = Array.make ncells (0, 0) in
+    for i = 0 to ncells - 1 do
+      let k = R.int r in
+      let v = R.int r in
+      cells.(i) <- (k, v)
+    done;
+    rows := { Qs_core.Delta.owner; version; cells } :: !rows
+  done;
+  let rows = List.rev !rows in
+  if not (R.eof r) then corrupt "dlt: trailing bytes";
+  { Qs_core.Delta.src; rows }
+
 let epoch_version = 1
 
 let encode_epoch e =

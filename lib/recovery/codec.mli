@@ -65,6 +65,14 @@ val decode_matrix : string -> Qs_core.Suspicion_matrix.t
 (** {!Corrupt} also covers semantic violations ([of_rows] rejection: not
     square, negative cell, self-suspicion). *)
 
+val encode_delta : Qs_core.Delta.packet -> string
+(** A delta-gossip packet — what [State_delta] carries on the wire, so
+    corrupt deltas fail the checksum exactly like corrupt full states. *)
+
+val decode_delta : string -> Qs_core.Delta.packet
+(** Structural validation only; range checks against [n] happen in
+    {!Qs_core.Delta.apply}. *)
+
 val encode_epoch : int -> string
 
 val decode_epoch : string -> int

@@ -10,6 +10,8 @@ type msg =
   | State_req of { rid : int }
   | State_resp of { rid : int; payload : payload }
   | State_push of { payload : payload }
+  | State_delta of { delta : string }
+  | Delta_ack of { acks : (int * int) list }
 
 type config = {
   n : int;
@@ -45,6 +47,16 @@ let validate_config c =
     invalid_arg "Rejoin: gossip_every must be positive"
   | _ -> ()
 
+(* Attached delta-gossip engine: when present, gossip ticks ship per-peer
+   deltas, with every [full_every]-th tick broadcasting the usual full
+   [State_push] as the anti-entropy backstop. *)
+type delta_link = {
+  engine : Qs_core.Delta.t;
+  on_merge : unit -> unit;
+  full_every : int;
+  mutable ticks : int;
+}
+
 type t = {
   sim : Sim.t;
   config : config;
@@ -65,6 +77,8 @@ type t = {
   mutable completed : int;
   mutable bad_payloads : int;
   mutable gossip_on : bool;
+  mutable delta : delta_link option;
+  mutable gossip_bytes : int; (* payload bytes shipped by gossip ticks *)
   m_reqs : Metrics.counter;
   m_resps : Metrics.counter;
   m_retries : Metrics.counter;
@@ -91,6 +105,8 @@ let create ~sim config ~me ~collect ~adopt ~send () =
     completed = 0;
     bad_payloads = 0;
     gossip_on = false;
+    delta = None;
+    gossip_bytes = 0;
     m_reqs = Metrics.counter ~labels "rec_state_reqs_total";
     m_resps = Metrics.counter ~labels "rec_state_resps_total";
     m_retries = Metrics.counter ~labels "rec_retries_total";
@@ -184,22 +200,82 @@ let absorb_payload t ~src ~completes payload =
 let handle t ~src msg =
   match msg with
   | State_req { rid } ->
+    (* A request is the "I lost my state" signal: whatever [src] acked
+       before its crash no longer exists over there, so the delta layer must
+       start over for it — otherwise those rows would never re-ship. *)
+    (match t.delta with
+    | Some d -> Qs_core.Delta.reset_peer d.engine ~peer:src
+    | None -> ());
     Metrics.inc t.m_resps;
     t.send ~dst:src (State_resp { rid; payload = t.collect () })
   | State_resp { rid; payload } ->
     absorb_payload t ~src ~completes:(rid = t.rid) payload
   | State_push { payload } -> absorb_payload t ~src ~completes:false payload
+  | State_delta { delta } -> (
+    match t.delta with
+    | None -> () (* no engine attached: deltas are not for this node *)
+    | Some d -> (
+      match Codec.decode_delta delta with
+      | exception Codec.Corrupt _ ->
+        t.bad_payloads <- t.bad_payloads + 1;
+        Metrics.inc t.m_bad
+      | packet -> (
+        match Qs_core.Delta.apply d.engine packet with
+        | exception Invalid_argument _ ->
+          t.bad_payloads <- t.bad_payloads + 1;
+          Metrics.inc t.m_bad
+        | changed, ack ->
+          t.send ~dst:src (Delta_ack { acks = ack.Qs_core.Delta.rows });
+          (* Unlike a full State_push, a partial delta is never buffered or
+             adopted: it cannot wake a dormant process ([on_merge] is the
+             dormancy-respecting re-evaluation), so merging during an open
+             rejoin round is safe anti-entropy. *)
+          if changed then d.on_merge ())))
+  | Delta_ack { acks } -> (
+    match t.delta with
+    | None -> ()
+    | Some d -> Qs_core.Delta.apply_ack d.engine ~peer:src { Qs_core.Delta.rows = acks })
+
+let push_full t =
+  let payload = t.collect () in
+  t.gossip_bytes <- t.gossip_bytes + ((t.config.n - 1) * String.length payload.matrix);
+  broadcast t (State_push { payload })
+
+let push_deltas t d =
+  for dst = 0 to t.config.n - 1 do
+    if dst <> t.me then
+      match Qs_core.Delta.make_packet d.engine ~peer:dst with
+      | None -> () (* peer fully acked: no message, no allocation *)
+      | Some packet ->
+        let s = Codec.encode_delta packet in
+        t.gossip_bytes <- t.gossip_bytes + String.length s;
+        t.send ~dst (State_delta { delta = s })
+  done
 
 (* Low-rate anti-entropy: periodically push our own state to every peer.
    Merges are idempotent, so the only cost is bandwidth; the benefit is
    that processes cut off for longer than any rejoin retry window (a long
-   partition) still converge once connectivity returns. *)
+   partition) still converge once connectivity returns. With a delta engine
+   attached, ticks ship per-peer unacked rows and only every [full_every]-th
+   tick pays for the full matrix. *)
 let rec schedule_gossip t delay =
   Sim.schedule t.sim ~delay (fun () ->
       if t.gossip_on then begin
-        broadcast t (State_push { payload = t.collect () });
+        (match t.delta with
+        | None -> push_full t
+        | Some d ->
+          d.ticks <- d.ticks + 1;
+          if d.ticks mod d.full_every = 0 then push_full t else push_deltas t d);
         schedule_gossip t delay
       end)
+
+let set_delta t engine ~on_merge ~full_every =
+  if full_every < 1 then invalid_arg "Rejoin.set_delta: full_every must be >= 1";
+  if Qs_core.Delta.n engine <> t.config.n || Qs_core.Delta.me engine <> t.me then
+    invalid_arg "Rejoin.set_delta: engine/process mismatch";
+  t.delta <- Some { engine; on_merge; full_every; ticks = 0 }
+
+let gossip_bytes t = t.gossip_bytes
 
 let start_gossip t =
   match t.config.gossip_every with
@@ -233,6 +309,11 @@ let encode_msg = function
   | State_resp { rid; payload } ->
     Printf.sprintf "RESP|%d|%s" rid (encode_payload payload)
   | State_push { payload } -> Printf.sprintf "PUSH|%s" (encode_payload payload)
+  | State_delta { delta } -> Printf.sprintf "DELTA|%d:%s" (String.length delta) delta
+  | Delta_ack { acks } ->
+    Printf.sprintf "ACK|%s"
+      (String.concat ","
+         (List.map (fun (l, v) -> Printf.sprintf "%d=%d" l v) acks))
 
 let fingerprint t =
   Printf.sprintf "%d|%b|%s|%d|%d|%d|%s" t.rid t.rejoining

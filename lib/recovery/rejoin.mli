@@ -28,6 +28,12 @@ type msg =
   | State_req of { rid : int }
   | State_resp of { rid : int; payload : payload }
   | State_push of { payload : payload }  (** unsolicited anti-entropy *)
+  | State_delta of { delta : string }
+      (** {!Codec.encode_delta} output: rows changed since the receiver's
+          last ack (delta-state gossip, see {!set_delta}) *)
+  | Delta_ack of { acks : (int * int) list }
+      (** per-row version acknowledgements, in the {e sender's} version
+          space *)
 
 type config = {
   n : int;
@@ -81,6 +87,22 @@ val start_gossip : t -> unit
     config has no [gossip_every]). *)
 
 val stop_gossip : t -> unit
+
+val set_delta :
+  t -> Qs_core.Delta.t -> on_merge:(unit -> unit) -> full_every:int -> unit
+(** Switch gossip to delta-state mode: each tick ships every peer only the
+    rows it has not acked ([State_delta], answered by [Delta_ack]), and
+    every [full_every]-th tick broadcasts the usual full [State_push] as
+    the anti-entropy backstop. [on_merge] runs after a delta changed the
+    matrix — it must respect dormancy (e.g. [Quorum_select.reevaluate]):
+    deltas, unlike full states, never wake a wiped process. An incoming
+    [State_req] resets the requester's acked versions, so a rejoining
+    amnesiac re-receives everything. *)
+
+val gossip_bytes : t -> int
+(** Payload bytes shipped by gossip ticks so far (full pushes count the
+    encoded matrix once per destination; deltas their encoded size) — the
+    bytes-gossiped metric of the scaling experiment. *)
 
 val rejoining : t -> bool
 

@@ -1,7 +1,9 @@
 (** Fixed-capacity mutable bitset over process indices.
 
-    Used for adjacency rows and candidate sets in the graph algorithms, where
-    [n] is at most a few hundred. *)
+    Used for adjacency rows, candidate sets and nonzero-cell masks in the
+    graph algorithms and the suspicion matrix. Iteration and cardinality are
+    word-skipping, so sparse sets over large universes (n = 1024 and beyond)
+    cost O(words + members), not O(n). *)
 
 type t
 
@@ -24,6 +26,10 @@ val is_empty : t -> bool
 
 val clear : t -> unit
 
+val remove_below : t -> int -> unit
+(** [remove_below t i] removes every member [< i] — whole-word fills, not a
+    per-element loop. *)
+
 val union_into : t -> t -> unit
 (** [union_into dst src] sets [dst := dst ∪ src]. Capacities must match. *)
 
@@ -32,6 +38,14 @@ val diff_into : t -> t -> unit
 
 val inter_into : t -> t -> unit
 (** [dst := dst ∩ src]. *)
+
+val inter_cardinal : t -> t -> int
+(** [inter_cardinal a b] is [cardinal (a ∩ b)] without materializing the
+    intersection — one popcount pass over the word arrays. Capacities must
+    match. *)
+
+val disjoint : t -> t -> bool
+(** [a ∩ b = ∅], short-circuiting on the first overlapping word. *)
 
 val iter : (int -> unit) -> t -> unit
 (** Iterate members in increasing order. *)
