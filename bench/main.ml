@@ -265,6 +265,33 @@ let commission_counters ~quick () =
    the machine-independent-ish numbers the bench gate keys on. *)
 let scaling_points ~quick () = Qs_harness.E_scale.measure ~quick ()
 
+(* The E16 churn sweep (n = 64/256): availability and quorum stability
+   under a deterministic join/leave/eject script against membership-width
+   selectors. Everything but the reconfig throughput is a code property
+   the gate pins exactly. *)
+let churn_points ~quick () = Qs_harness.E_churn.measure ~quick ()
+
+let churn_json points =
+  let module Json = Qs_obs.Json in
+  Json.List
+    (List.map
+       (fun (p : Qs_harness.E_churn.point) ->
+         Json.Obj
+           [
+             ("n", Json.Int p.n);
+             ("f", Json.Int p.f);
+             ("rounds", Json.Int p.rounds);
+             ("joins", Json.Int p.joins);
+             ("leaves", Json.Int p.leaves);
+             ("ejects", Json.Int p.ejects);
+             ("availability", Json.Float p.availability);
+             ("quorum_changes", Json.Int p.quorum_changes);
+             ("reconfig_ops_per_sec", Json.Float p.reconfig_ops_per_sec);
+             ("remap_consistent", Json.Bool p.remap_consistent);
+             ("departed_clean", Json.Bool p.departed_clean);
+           ])
+       points)
+
 let scaling_json points =
   let module Json = Qs_obs.Json in
   Json.List
@@ -292,7 +319,7 @@ let scaling_json points =
    regenerated. One file per run; diff it across commits to track the perf
    trajectory. *)
 let write_json_summary ~path ~quick ~experiments_ok ~commission ~scaling
-    ~bench_rows =
+    ~churn ~bench_rows =
   let module Json = Qs_obs.Json in
   let result_json group (name, ns) =
     Json.Obj
@@ -328,6 +355,7 @@ let write_json_summary ~path ~quick ~experiments_ok ~commission ~scaling
           match experiments_ok with None -> Json.Null | Some ok -> Json.Bool ok );
         ("commission", Json.List commission_json);
         ("scaling", scaling_json scaling);
+        ("churn", churn_json churn);
         ("results", Json.List results);
         ("metrics", Qs_obs.Metrics.to_json (Qs_obs.Metrics.snapshot ()));
       ]
@@ -362,6 +390,9 @@ let () =
   let scaling =
     match json_path with None -> [] | Some _ -> scaling_points ~quick ()
   in
+  let churn =
+    match json_path with None -> [] | Some _ -> churn_points ~quick ()
+  in
   Qs_obs.Metrics.reset ();
   let experiments_ok =
     if micro_only then None else Some (Experiments.run_and_print_all ~quick ())
@@ -371,5 +402,5 @@ let () =
    | None -> ()
    | Some path ->
      write_json_summary ~path ~quick ~experiments_ok ~commission ~scaling
-       ~bench_rows);
+       ~churn ~bench_rows);
   if experiments_ok = Some false then exit 1

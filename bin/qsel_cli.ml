@@ -52,7 +52,7 @@ let experiment_cmd =
       required
       & pos 0 (some string) None
       & info [] ~docv:"ID"
-          ~doc:"Experiment id: e1-e12, e14, e15 (scaling), or 'all'.")
+          ~doc:"Experiment id: e1-e12, e14, e15 (scaling), e16 (churn), or 'all'.")
   in
   let quick =
     Arg.(value & flag & info [ "quick" ] ~doc:"Trim parameter sweeps (used by CI).")
@@ -62,20 +62,26 @@ let experiment_cmd =
       value & opt_all int []
       & info [ "size" ] ~docv:"N"
           ~doc:
-            "Cluster size for the e15 scaling sweep; repeatable (default 64, \
-             256, 1024). Ignored by other experiments.")
+            "Cluster size for the e15 scaling sweep (default 64, 256, 1024) \
+             or the e16 churn sweep (default 64, 256); repeatable. Ignored \
+             by other experiments.")
   in
   let run id quick sizes metrics =
     with_metrics metrics (fun () ->
         if String.lowercase_ascii id = "all" then
           if Qs_harness.Experiments.run_and_print_all ~quick () then `Ok ()
           else `Error (false, "some experiment verdicts failed")
-        else if String.lowercase_ascii id = "e15" then begin
+        else if String.lowercase_ascii id = "e15" || String.lowercase_ascii id = "e16"
+        then begin
+          let id = String.lowercase_ascii id in
           let ns = match sizes with [] -> None | ns -> Some ns in
-          let o = Qs_harness.Experiments.e15 ~quick ?ns () in
+          let o =
+            if id = "e15" then Qs_harness.Experiments.e15 ~quick ?ns ()
+            else Qs_harness.Experiments.e16 ~quick ?ns ()
+          in
           Qs_harness.Experiments.print o;
           if Qs_harness.Verdict.all_ok o.Qs_harness.Experiments.verdicts then `Ok ()
-          else `Error (false, "e15 verdicts failed")
+          else `Error (false, id ^ " verdicts failed")
         end
         else
           match experiment_of_id id with
@@ -368,8 +374,22 @@ let chaos_cmd =
              that no correct process is ever proof-excluded and that \
              proven equivocators leave the quorums for good.")
   in
+  let churn =
+    Arg.(
+      value & flag
+      & info [ "churn" ]
+          ~doc:
+            "Arm the membership plane: the campaign runs one universe size \
+             up with a spare process that may join mid-run (bootstrapping \
+             dormant through the rejoin plane), faulty members may leave \
+             after a graceful anti-entropy handoff, and evidence \
+             convictions propose the config change permanently ejecting \
+             the culprit. Every change bumps the membership epoch on all \
+             member selectors and the monitor enforces the cross-epoch \
+             invariants (stale-config, joiner-quorum, ejected-quorum).")
+  in
   let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.") in
-  let run protocol seed runs quick out_of_model amnesia byz json metrics =
+  let run protocol seed runs quick out_of_model amnesia byz churn json metrics =
     with_metrics metrics @@ fun () ->
     let stacks =
       if String.lowercase_ascii protocol = "all" then Ok Chaos.all
@@ -383,7 +403,7 @@ let chaos_cmd =
     | Ok stacks ->
       let runs = if quick then min runs 4 else runs in
       let params st =
-        let p = Chaos.default_params st in
+        let p = if churn then Chaos.churn_params st else Chaos.default_params st in
         if quick then { p with Chaos.horizon = Qs_sim.Stime.of_ms 4_000 } else p
       in
       let reports =
@@ -391,7 +411,7 @@ let chaos_cmd =
           (fun st ->
             ( st,
               Chaos.campaign st ~params:(params st) ~out_of_model ~amnesia ~byz
-                ~runs ~seed () ))
+                ~churn ~runs ~seed () ))
           stacks
       in
       if json then
@@ -431,7 +451,7 @@ let chaos_cmd =
     Term.(
       ret
         (const run $ protocol $ seed $ runs $ quick $ out_of_model $ amnesia $ byz
-        $ json $ metrics_arg))
+        $ churn $ json $ metrics_arg))
 
 (* ------------------------------------------------------------------ *)
 (* mc: small-scope model checking / schedule exploration *)
@@ -463,11 +483,13 @@ let mc_cmd =
           ~doc:
             "Initial ⟨SUSPECTED⟩ event: process $(i,P) starts out suspecting \
              $(i,S1,S2,...). The form $(b,amnesia:P) instead grants process \
-             $(i,P) one amnesia crash, and $(b,equivocate:P) one equivocation \
-             (two conflicting validly-signed rows to two peers), each \
-             explored at every point of every schedule (quorum protocol \
-             only). Repeatable. Defaults to the protocol's canonical \
-             scenario when omitted.")
+             $(i,P) one amnesia crash, $(b,equivocate:P) one equivocation \
+             (two conflicting validly-signed rows to two peers), and \
+             $(b,churn:P) one atomic leave-and-rejoin membership change \
+             (config-epoch bump on every process, fresh slot for $(i,P)), \
+             each explored at every point of every schedule (quorum \
+             protocol only). Repeatable. Defaults to the protocol's \
+             canonical scenario when omitted.")
   in
   let crash =
     Arg.(
@@ -509,31 +531,36 @@ let mc_cmd =
       (fun acc s ->
         match acc with
         | Error _ -> acc
-        | Ok (inj, amn, eqv) -> (
+        | Ok (inj, amn, eqv, chn) -> (
           match String.index_opt s ':' with
           | None ->
             Error
-              (Printf.sprintf "bad --inject %S (want P:S1,S2, amnesia:P or equivocate:P)" s)
+              (Printf.sprintf
+                 "bad --inject %S (want P:S1,S2, amnesia:P, equivocate:P or churn:P)" s)
           | Some i -> (
             let p = String.sub s 0 i
             and rest = String.sub s (i + 1) (String.length s - i - 1) in
             match String.lowercase_ascii p with
             | "amnesia" -> (
               match int_of_string_opt rest with
-              | Some p -> Ok (inj, p :: amn, eqv)
+              | Some p -> Ok (inj, p :: amn, eqv, chn)
               | None -> Error (Printf.sprintf "bad --inject %S (want amnesia:P)" s))
             | "equivocate" -> (
               match int_of_string_opt rest with
-              | Some p -> Ok (inj, amn, p :: eqv)
+              | Some p -> Ok (inj, amn, p :: eqv, chn)
               | None -> Error (Printf.sprintf "bad --inject %S (want equivocate:P)" s))
+            | "churn" -> (
+              match int_of_string_opt rest with
+              | Some p -> Ok (inj, amn, eqv, p :: chn)
+              | None -> Error (Printf.sprintf "bad --inject %S (want churn:P)" s))
             | _ -> (
               match
                 (int_of_string_opt p, List.map int_of_string_opt (String.split_on_char ',' rest))
               with
               | Some p, suspects when suspects <> [] && List.for_all Option.is_some suspects ->
-                Ok ((p, List.map Option.get suspects) :: inj, amn, eqv)
+                Ok ((p, List.map Option.get suspects) :: inj, amn, eqv, chn)
               | _ -> Error (Printf.sprintf "bad --inject %S (want P:S1,S2)" s)))))
-      (Ok ([], [], [])) specs
+      (Ok ([], [], [], [])) specs
   in
   let run protocol n f depth inject crash requests seeded_bug random seed iters no_por json
       metrics =
@@ -543,7 +570,7 @@ let mc_cmd =
     | Some proto -> (
       match parse_injections inject with
       | Error msg -> `Error (true, msg)
-      | Ok (injections, amnesia, equivocate) -> (
+      | Ok (injections, amnesia, equivocate, churn) -> (
         let d = MC.default_spec proto in
         let spec =
           {
@@ -551,12 +578,15 @@ let mc_cmd =
             MC.n;
             f;
             injections =
-              (if injections = [] && amnesia = [] && equivocate = [] && crash = [] then
-                 d.MC.injections
+              (if
+                 injections = [] && amnesia = [] && equivocate = [] && churn = []
+                 && crash = []
+               then d.MC.injections
                else List.rev injections);
             crashes = crash;
             amnesia = List.rev amnesia;
             equivocate = List.rev equivocate;
+            churn = List.rev churn;
             requests = (if requests < 0 then d.MC.requests else requests);
             seeded_bug;
           }

@@ -19,14 +19,15 @@ let validate_config c =
   if c.n - c.f <= c.f then invalid_arg "Quorum_select: need n - f > f (correct majority)"
 
 type t = {
-  config : config;
-  me : Pid.t;
+  mutable config : config;
+  mutable me : Pid.t;
   auth : Qs_crypto.Auth.t;
   send : Msg.t -> unit;
   on_quorum : Pid.t list -> unit;
   on_epoch : int -> unit;
-  matrix : Suspicion_matrix.t;
-  view : Suspect_view.t;
+  mutable matrix : Suspicion_matrix.t;
+  mutable view : Suspect_view.t;
+  mutable cepoch : int;
   mutable epoch : int;
   mutable suspecting : Pid.t list;
   mutable last_quorum : Pid.t list;
@@ -70,6 +71,7 @@ let create config ~me ~auth ~send ~on_quorum ?(on_epoch = fun _ -> ()) () =
     on_epoch;
     matrix;
     view = Suspect_view.create matrix ~epoch:1;
+    cepoch = 0;
     epoch = 1;
     suspecting = [];
     last_quorum = List.init (q config) (fun i -> i);
@@ -195,7 +197,14 @@ let rec update_quorum t =
   end
 
 let handle_update t msg =
-  if not (Msg.verify t.auth msg) then begin
+  if
+    (not (Msg.verify t.auth msg))
+    (* A row of the wrong width was sealed under a different configuration
+       (in flight across a reconfiguration): its slots name other processes,
+       so merging it would alias suspicions. Dropped like a bad signature. *)
+    || Array.length msg.Msg.update.Msg.row <> t.config.n
+    || msg.Msg.update.Msg.owner >= t.config.n
+  then begin
     t.rejected <- t.rejected + 1;
     Metrics.inc t.m_rejected
   end
@@ -262,6 +271,59 @@ let exclude t p =
 let excluded t = List.sort compare t.excluded
 
 (* ------------------------------------------------------------------ *)
+(* Reconfiguration (open membership) *)
+
+let cepoch t = t.cepoch
+
+(* Carry the algorithm's state into a new configuration. [of_new] maps each
+   new slot to the old slot it inherits (< 0 for a fresh joiner slot); a
+   compacting remap simply never mentions the removed slots, so their
+   suspicions — and any conviction against them — die with the config. The
+   detector epoch is deliberately preserved (suspicion aging continues
+   across reconfigurations), while per-epoch issue counters restart: the
+   Theorem-3 bound is re-anchored per (config epoch, detector epoch), which
+   is exactly how the monitor accounts for it. The standing quorum resets
+   to the new config's default — a reconfiguration is a quorum change, and
+   all correct processes apply it deterministically. *)
+let reconfigure t config' ~me ~cepoch ~of_new =
+  validate_config config';
+  if me < 0 || me >= config'.n then
+    invalid_arg "Quorum_select.reconfigure: me out of range";
+  if Qs_crypto.Auth.universe t.auth < config'.n then
+    invalid_arg "Quorum_select.reconfigure: auth universe too small";
+  if cepoch <= t.cepoch then
+    invalid_arg "Quorum_select.reconfigure: config epoch must advance";
+  let old_n = t.config.n in
+  let inv = Array.make old_n (-1) in
+  for i = 0 to config'.n - 1 do
+    let o = of_new i in
+    if o >= old_n then invalid_arg "Quorum_select.reconfigure: of_new out of range";
+    if o >= 0 then inv.(o) <- i
+  done;
+  let remap_pids ps =
+    List.filter_map
+      (fun p -> if p >= 0 && p < old_n && inv.(p) >= 0 then Some inv.(p) else None)
+      ps
+  in
+  let matrix' = Suspicion_matrix.remap t.matrix ~n:config'.n ~of_new in
+  Suspicion_matrix.clear_watcher t.matrix;
+  t.matrix <- matrix';
+  t.view <- Suspect_view.create matrix' ~epoch:t.epoch;
+  t.config <- config';
+  t.me <- me;
+  t.cepoch <- cepoch;
+  t.suspecting <- List.sort_uniq compare (remap_pids t.suspecting);
+  t.excluded <- remap_pids t.excluded; (* conviction order preserved *)
+  t.last_quorum <- List.init (q config') (fun i -> i);
+  t.history <- [];
+  t.issued_in_epoch <- 0;
+  Metrics.set t.g_this_epoch 0.0;
+  if Journal.live () then
+    Journal.record
+      (Journal.Reconfigured { who = t.me; cepoch; n = config'.n });
+  if not t.dormant then update_quorum t
+
+(* ------------------------------------------------------------------ *)
 (* Crash-recovery (amnesia) hooks *)
 
 let dormant t = t.dormant
@@ -311,13 +373,17 @@ let absorb t ~matrix ~epoch =
    states identical up to them could still diverge on whether a later quorum
    overshoots Theorem 3, so merging them would be unsound for that check. *)
 let fingerprint t =
-  Format.asprintf "%d|%a|%s|%s|%d|%d|%b|%s" t.epoch Suspicion_matrix.pp t.matrix
+  Format.asprintf "%d,%d,%d|%d|%a|%s|%s|%d|%d|%b|%s" t.config.n t.config.f
+    t.cepoch t.epoch Suspicion_matrix.pp t.matrix
     (String.concat "," (List.map string_of_int t.last_quorum))
     (String.concat "," (List.map string_of_int t.suspecting))
     t.issued_in_epoch t.max_issued_in_epoch t.dormant
     (String.concat "," (List.map string_of_int t.excluded))
 
 type snapshot = {
+  s_config : config;
+  s_me : Pid.t;
+  s_cepoch : int;
   s_matrix : Suspicion_matrix.t;
   s_epoch : int;
   s_suspecting : Pid.t list;
@@ -333,6 +399,9 @@ type snapshot = {
 
 let snapshot t =
   {
+    s_config = t.config;
+    s_me = t.me;
+    s_cepoch = t.cepoch;
     s_matrix = Suspicion_matrix.copy t.matrix;
     s_epoch = t.epoch;
     s_suspecting = t.suspecting;
@@ -347,7 +416,18 @@ let snapshot t =
   }
 
 let restore t s =
-  Suspicion_matrix.blit ~src:s.s_matrix ~dst:t.matrix;
+  t.config <- s.s_config;
+  t.me <- s.s_me;
+  t.cepoch <- s.s_cepoch;
+  (* A snapshot taken under a different configuration has a different matrix
+     width: adopt a copy and rebuild the incremental view instead of
+     blitting (blit requires equal sizes). *)
+  if Suspicion_matrix.n t.matrix <> Suspicion_matrix.n s.s_matrix then begin
+    Suspicion_matrix.clear_watcher t.matrix;
+    t.matrix <- Suspicion_matrix.copy s.s_matrix;
+    t.view <- Suspect_view.create t.matrix ~epoch:s.s_epoch
+  end
+  else Suspicion_matrix.blit ~src:s.s_matrix ~dst:t.matrix;
   t.epoch <- s.s_epoch;
   t.suspecting <- s.s_suspecting;
   t.last_quorum <- s.s_last_quorum;

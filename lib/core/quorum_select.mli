@@ -112,6 +112,31 @@ val exclude : t -> Pid.t -> unit
 val excluded : t -> Pid.t list
 (** Processes convicted so far, sorted. *)
 
+(** {2 Reconfiguration (open membership)} *)
+
+val reconfigure :
+  t -> config -> me:Pid.t -> cepoch:int -> of_new:(int -> Pid.t) -> unit
+(** Carry the instance into a new configuration — grow for joins, compacting
+    remap for leaves/ejections. [of_new i] names the old slot that new slot
+    [i] inherits ([< 0] for a fresh joiner slot); removed slots are simply
+    never mentioned, so their suspicions and convictions die with the
+    config. [me] is this process's slot in the new config, [cepoch] the
+    strictly-increasing membership epoch (folded into {!fingerprint} so
+    model-checker pruning never merges states across configs).
+
+    The matrix is {!Suspicion_matrix.remap}ped (the incremental view is
+    rebuilt on the new matrix), suspicions and exclusions are remapped, the
+    detector epoch is preserved, per-epoch issue counters restart (the
+    Theorem-3 bound re-anchors per (config epoch, detector epoch)) and the
+    standing quorum resets to the new config's default. Journals
+    [Reconfigured] and re-evaluates unless dormant. Callers must drop
+    in-flight UPDATEs of the old config (rows of the wrong width are
+    rejected defensively) and reset any delta-gossip peer state. *)
+
+val cepoch : t -> int
+(** Membership epoch of the current configuration (0 until the first
+    {!reconfigure}). *)
+
 (** {2 Crash-recovery (amnesia) hooks} *)
 
 val amnesia : t -> unit

@@ -153,6 +153,31 @@ let merge t other =
   done;
   !changed
 
+(* Reconfiguration: carry the surviving cells into a matrix over the new
+   slot space. New slot [i] inherits old slot [of_new i]'s row/column;
+   fresh slots ([of_new i < 0]) start all-zero, and cells involving a
+   removed process are simply not carried (its suspicions die with it).
+   Versions restart at the carried rows' content — the result is a new
+   matrix identity, so delta peers are reset by the caller, never fooled. *)
+let remap t ~n:size ~of_new =
+  if size <= 0 then invalid_arg "Suspicion_matrix.remap";
+  let r = create size in
+  for i = 0 to size - 1 do
+    let oi = of_new i in
+    if oi >= 0 then begin
+      check t oi;
+      for j = 0 to size - 1 do
+        let oj = of_new j in
+        if j <> i && oj >= 0 then begin
+          check t oj;
+          let v = cell t oi oj in
+          if v > 0 then raise_cell r i j v
+        end
+      done
+    end
+  done;
+  r
+
 let equal a b =
   a.size = b.size
   && Array.for_all2 Bitset.equal a.nonzero b.nonzero

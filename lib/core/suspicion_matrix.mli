@@ -54,6 +54,15 @@ val merge_row : t -> owner:int -> int array -> bool
 val merge : t -> t -> bool
 (** Whole-matrix max-merge; [true] iff the target changed. *)
 
+val remap : t -> n:int -> of_new:(int -> int) -> t
+(** [remap t ~n ~of_new] is a fresh [n × n] matrix where cell [(i, j)]
+    carries old cell [(of_new i, of_new j)]; a slot with [of_new i < 0] is
+    fresh (all-zero row and column), and cells of removed processes are not
+    carried. Grow for joins, compacting remap for leaves/ejections. The
+    result is a new matrix identity: no watcher, fresh version counters —
+    reconfiguring callers must rebuild incremental views and reset delta
+    peers. *)
+
 val blit : src:t -> dst:t -> unit
 (** Overwrite [dst] with [src]'s cells (same size required) — {e not} a
     merge: cells may go down. Restoring a model-checker snapshot is the one

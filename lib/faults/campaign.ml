@@ -9,6 +9,7 @@ type exec_outcome = {
   checks : int;
   proofs : int;
   forgeries : int;
+  reconfigs : int;
 }
 
 let failed o = o.violations <> [] || o.liveness <> []
@@ -163,6 +164,7 @@ let outcome_to_json o =
       ("checks", Json.Int o.checks);
       ("proofs", Json.Int o.proofs);
       ("forgeries", Json.Int o.forgeries);
+      ("reconfigs", Json.Int o.reconfigs);
     ]
 
 let run_to_json r =

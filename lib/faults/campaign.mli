@@ -23,6 +23,9 @@ type exec_outcome = {
       (** Commission-fault evidence: equivocation proofs found or admitted
           during the run ([Proof_found] + [Proof_admitted] journal events). *)
   forgeries : int;  (** Forged frames rejected ([Forgery_rejected] events). *)
+  reconfigs : int;
+      (** Per-process config-change applications ([Reconfigured] events)
+          — nonzero only on churn schedules. *)
 }
 
 val failed : exec_outcome -> bool

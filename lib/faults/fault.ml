@@ -13,6 +13,8 @@ type kind =
   | Slander of { src : int; victim : int }
   | Tamper of { src : int; dst : int }
   | Replay of { src : int; dst : int }
+  | Join of int
+  | Leave of int
 
 type phase = { start : Stime.t; stop : Stime.t option; what : kind }
 
@@ -40,6 +42,11 @@ let blamed ~n schedule =
     | Omit { src; _ } | Delay { src; _ } | Duplicate { src; _ } -> [ src ]
     | Equivocate { src; _ } | Slander { src; _ } | Tamper { src; _ } | Replay { src; _ } ->
       [ src ]
+    (* Churn counts against the budget: a joiner is absent-then-bootstrapping
+       (dormant until its rejoin completes) and a leaver is absent after its
+       drain — either way the process behaves like a crashed one for part of
+       the run, which is exactly what f budgets. *)
+    | Join p | Leave p -> [ p ]
     | Partition group ->
       let inside = sorted_uniq (List.filter (fun p -> p >= 0 && p < n) group) in
       let outside =
@@ -66,7 +73,12 @@ let validate_phase ~n phase =
    | Slander { src; victim } ->
      chk src "slander src";
      chk victim "slander victim";
-     if src = victim then invalid_arg "Fault: slander needs src <> victim");
+     if src = victim then invalid_arg "Fault: slander needs src <> victim"
+   (* Churn targets are universe pids: in churn campaigns [n] is the size
+      of the whole universe (members + spares), so a join of a not-yet-
+      member spare validates. *)
+   | Join p -> chk p "join target"
+   | Leave p -> chk p "leave target");
   match phase.stop with
   | Some stop when Stime.compare stop phase.start < 0 ->
     invalid_arg "Fault: phase stops before it starts"
@@ -98,6 +110,10 @@ type gen_profile = {
   p_slander : float;
   p_tamper : float;
   p_replay : float;
+  p_leave : float;
+  p_join : float;
+  spares : int list;
+      (* universe pids outside the initial membership; join targets *)
 }
 
 let default_profile ~horizon =
@@ -114,6 +130,9 @@ let default_profile ~horizon =
     p_slander = 0.0;
     p_tamper = 0.0;
     p_replay = 0.0;
+    p_leave = 0.0;
+    p_join = 0.0;
+    spares = [];
   }
 
 let gen_window rng profile =
@@ -130,8 +149,15 @@ let gen_window rng profile =
    delay and duplication — always originating at the faulty process, so the
    blame set never exceeds the budget. *)
 let gen rng ~n ~f ?(profile = default_profile ~horizon:(Stime.of_ms 10_000)) () =
-  let faulty = Prng.sample rng (Prng.int_in rng 0 f) (List.init n Fun.id) in
-  List.concat_map
+  (* Spares are not members: they cannot crash, leave or misbehave before
+     their join, so they are excluded from the faulty draw (a no-op — and a
+     stream-identical one — when the spare list is empty). *)
+  let candidates =
+    List.filter (fun p -> not (List.mem p profile.spares)) (List.init n Fun.id)
+  in
+  let faulty = Prng.sample rng (Prng.int_in rng 0 f) candidates in
+  let base =
+    List.concat_map
     (fun p ->
       if Prng.chance rng profile.p_crash then begin
         let start, stop = gen_window rng profile in
@@ -176,6 +202,12 @@ let gen rng ~n ~f ?(profile = default_profile ~horizon:(Stime.of_ms 10_000)) () 
           let dst = List.nth others (Prng.int_in rng 0 (List.length others - 1)) in
           [ { start; stop; what = Replay { src = p; dst } } ]
         end
+        (* Churn, guarded like the commission knobs for stream stability: a
+           faulty process may simply leave — a point event, no stop. *)
+        else if profile.p_leave > 0. && Prng.chance rng profile.p_leave then begin
+          let start, _ = gen_window rng profile in
+          [ { start; stop = None; what = Leave p } ]
+        end
         else
         List.concat_map
           (fun dst ->
@@ -197,7 +229,27 @@ let gen rng ~n ~f ?(profile = default_profile ~horizon:(Stime.of_ms 10_000)) () 
             else [])
           (List.init n Fun.id)
       end)
-    faulty
+      faulty
+  in
+  (* Join streams: spares enter within the remaining blame budget (a
+     bootstrapping joiner counts as faulty until synced). Guarded so the
+     random stream is byte-identical when the knob is 0. *)
+  let joins =
+    if profile.p_join > 0. then begin
+      let budget = ref (Stdlib.max 0 (f - List.length faulty)) in
+      List.concat_map
+        (fun s ->
+          if Prng.chance rng profile.p_join && !budget > 0 then begin
+            decr budget;
+            let start = Prng.int_in rng 0 (profile.horizon / 2) in
+            [ { start; stop = None; what = Join s } ]
+          end
+          else [])
+        profile.spares
+    end
+    else []
+  in
+  base @ joins
 
 (* A deliberately out-of-model schedule: an in-model core plus either a
    partition crossing the budget or more crashed processes than [f]. *)
@@ -248,6 +300,8 @@ let kind_to_string = function
   | Slander { src; victim } -> Printf.sprintf "slander p%d->p%d" src victim
   | Tamper { src; dst } -> Printf.sprintf "tamper p%d->p%d" src dst
   | Replay { src; dst } -> Printf.sprintf "replay p%d->p%d" src dst
+  | Join p -> Printf.sprintf "join p%d" p
+  | Leave p -> Printf.sprintf "leave p%d" p
 
 let phase_to_string ph =
   Format.asprintf "%s @@ %a%s" (kind_to_string ph.what) Stime.pp ph.start
@@ -311,6 +365,8 @@ let of_string ~n s =
     match String.split_on_char ' ' (String.trim str) with
     | [ "crash"; p ] -> Crash (parse_pid p)
     | [ "amnesia"; p ] -> CrashAmnesia (parse_pid p)
+    | [ "join"; p ] -> Join (parse_pid p)
+    | [ "leave"; p ] -> Leave (parse_pid p)
     | [ "omit"; link ] ->
       let src, dst = parse_link link in
       Omit { src; dst }
@@ -417,6 +473,8 @@ let kind_to_json = function
   | Replay { src; dst } ->
     Json.Obj
       [ ("kind", Json.String "replay"); ("src", Json.Int src); ("dst", Json.Int dst) ]
+  | Join p -> Json.Obj [ ("kind", Json.String "join"); ("p", Json.Int p) ]
+  | Leave p -> Json.Obj [ ("kind", Json.String "leave"); ("p", Json.Int p) ]
 
 let phase_to_json ph =
   let base =

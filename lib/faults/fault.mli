@@ -58,6 +58,16 @@ type kind =
           [src] are re-delivered to [dst]. Exercises idempotency — CRDT
           merges and dedup must absorb stale re-deliveries. Blamed on
           [src]. *)
+  | Join of int
+      (** Churn: the given {e universe pid} (a spare outside the current
+          membership) is admitted at [start] and bootstraps through the
+          rejoin plane, dormant until synced. A point event — [stop] is
+          ignored. Blamed on the joiner: until its rejoin completes it
+          behaves like a recovering process, which is what [f] budgets. *)
+  | Leave of int
+      (** Churn: the member with this universe pid drains gracefully
+          (stops heartbeating, ships one anti-entropy handoff push) and is
+          removed at [start]. A point event. Blamed on the leaver. *)
 
 type phase = { start : Qs_sim.Stime.t; stop : Qs_sim.Stime.t option; what : kind }
 (** [stop = None] means the fault persists to the end of the run. *)
@@ -109,6 +119,16 @@ type gen_profile = {
   p_slander : float;  (** Chance it broadcasts forged rows instead. *)
   p_tamper : float;  (** Chance one of its links bit-flips payloads. *)
   p_replay : float;  (** Chance one of its links replays old frames. *)
+  p_leave : float;
+      (** Chance a non-crashed faulty member leaves instead (point event).
+          0 in {!default_profile}; the zero case keeps the random stream
+          byte-identical to pre-churn seeds. *)
+  p_join : float;
+      (** Per-spare chance of a join stream entry, drawn from {!spares}
+          within the remaining blame budget. 0 in {!default_profile}. *)
+  spares : int list;
+      (** Universe pids outside the initial membership — the join
+          candidates. Empty in {!default_profile}. *)
 }
 
 val default_profile : horizon:Qs_sim.Stime.t -> gen_profile

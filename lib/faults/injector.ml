@@ -22,7 +22,7 @@ let commission_cap = 64
 
 (* Arm one fault on the network's filter chain (or through the process-mute
    hook) and return the disarming thunk. *)
-let arm net ~set_mute ?equivocate ?slander ?tamper what =
+let arm net ~set_mute ?equivocate ?slander ?tamper ?join ?leave what =
   (* An active behaviour: fire [body] every [commission_period] while armed
      (bounded by [commission_cap]); the disarm thunk stops it. *)
   let periodic body =
@@ -112,6 +112,16 @@ let arm net ~set_mute ?equivocate ?slander ?tamper what =
         else Network.Deliver)
     in
     fun () -> Network.remove_filter net id
+  | Fault.Join p, _ ->
+    (* Churn is a point event: the harness hook performs the whole
+       admission (config change, fresh remap, dormant rejoin bootstrap)
+       at [start]; there is nothing to disarm. Without a hook the phase
+       arms as a no-op — generic code cannot reconfigure a cluster. *)
+    (match join with None -> () | Some hook -> hook p);
+    fun () -> ()
+  | Fault.Leave p, _ ->
+    (match leave with None -> () | Some hook -> hook p);
+    fun () -> ()
   | Fault.Replay { src; dst }, _ ->
     (* Record the link's real frames (valid signatures) and re-deliver old
        ones periodically; receivers must absorb stale re-deliveries. *)
@@ -134,7 +144,8 @@ let arm net ~set_mute ?equivocate ?slander ?tamper what =
       Network.remove_filter net id;
       stop_replays ()
 
-let install ~net ?set_mute ?amnesia ?equivocate ?slander ?tamper schedule =
+let install ~net ?set_mute ?amnesia ?equivocate ?slander ?tamper ?join ?leave
+    schedule =
   let sim = Network.sim net in
   let t = { active = 0; installed = 0 } in
   List.iter
@@ -143,7 +154,10 @@ let install ~net ?set_mute ?amnesia ?equivocate ?slander ?tamper schedule =
           t.active <- t.active + 1;
           t.installed <- t.installed + 1;
           note "+" ph;
-          let disarm = arm net ~set_mute ?equivocate ?slander ?tamper ph.Fault.what in
+          let disarm =
+            arm net ~set_mute ?equivocate ?slander ?tamper ?join ?leave
+              ph.Fault.what
+          in
           match ph.Fault.stop with
           | None -> ()
           | Some stop ->

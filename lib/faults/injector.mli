@@ -23,6 +23,8 @@ val install :
   ?equivocate:(src:int -> dst:int -> 'm -> 'm option) ->
   ?slander:(src:int -> victim:int -> 'm option) ->
   ?tamper:('m -> 'm) ->
+  ?join:(int -> unit) ->
+  ?leave:(int -> unit) ->
   Fault.schedule ->
   t
 (** Schedule every phase; must be called before the simulation runs past the
@@ -50,7 +52,13 @@ val install :
       every frame.
 
     [Replay] needs no hook: the injector records the link's own frames and
-    periodically re-delivers old ones verbatim (signatures stay valid). *)
+    periodically re-delivers old ones verbatim (signatures stay valid).
+
+    [join]/[leave] are the churn hooks: invoked once at a [Join]/[Leave]
+    phase's [start] with the universe pid — the harness performs the whole
+    config change (membership log entry, selector remap, dormant rejoin
+    bootstrap for joiners, graceful drain for leavers). Point events: [stop]
+    is ignored and without a hook the phases arm as no-ops. *)
 
 val active : t -> int
 (** Phases currently armed. *)

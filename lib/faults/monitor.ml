@@ -26,14 +26,37 @@ type t = {
   mutable subscription : int;
   (* (who, suspect) -> virtual ms the suspicion was raised *)
   suspicions : (int * int, float) Hashtbl.t;
-  (* (who, epoch) -> quorums issued *)
-  issued : (int * int, int) Hashtbl.t;
+  (* (who, cepoch, epoch) -> quorums issued. Keyed on the (config epoch,
+     detector epoch) pair: Theorem-3/9 budgets are re-anchored at every
+     reconfiguration, and a restored snapshot from a different config must
+     never alias the counters of the current one. *)
+  issued : (int * int * int, int) Hashtbl.t;
   (* who -> virtual ms the rejoin started (removed on completion) *)
   recovering : (int, float) Hashtbl.t;
   (* who -> epoch the last completed rejoin fast-forwarded to *)
   rejoin_epoch : (int, int) Hashtbl.t;
   (* culprit -> virtual ms of the first proof of misbehavior against it *)
   proved : (int, float) Hashtbl.t;
+  (* Churn state. [members] is the latest [Config_changed] member list —
+     the slot->pid translation for every event journaled after it ([None]
+     means no reconfiguration ever happened and slots are pids, the static
+     harnesses' identity config). All tables above are keyed on universe
+     pids via this translation. *)
+  mutable members : int array option;
+  (* Selector width from the latest [Reconfigured]. Translation is active
+     only when it equals the member count — membership-width selectors,
+     where slot s is held by members.(s). Width-preserving harnesses (the
+     five SMR stacks keep their protocol quorum space at universe size)
+     reconfigure with n = universe, and there slots already are pids. *)
+  mutable width : int option;
+  mutable cepoch_latest : int;
+  (* pid -> cepoch its selector last [Reconfigured] to *)
+  cepoch_of : (int, int) Hashtbl.t;
+  (* pid -> virtual ms it was admitted (removed when its rejoin completes
+     or it departs again) *)
+  joined : (int, float) Hashtbl.t;
+  (* pid -> virtual ms it was evidence-ejected (permanent) *)
+  ejected : (int, float) Hashtbl.t;
   seen : (string, unit) Hashtbl.t; (* violation dedup *)
   mutable violations : violation list; (* reversed *)
   mutable checks : int;
@@ -41,6 +64,7 @@ type t = {
   mutable quorums : int;
   mutable proofs : int;
   mutable forgeries : int;
+  mutable reconfigs : int;  (** [Reconfigured] events observed *)
 }
 
 let violate t ~at check detail =
@@ -52,9 +76,27 @@ let violate t ~at check detail =
 
 let is_correct t p = List.mem p t.config.correct
 
+(* Translate a journaled slot to the universe pid holding it under the
+   latest config. Identity before the first [Config_changed]; out-of-range
+   slots (a stale-width event racing a reconfiguration) pass through so the
+   stale-config check below still names the sender. *)
+let pid_of t slot =
+  match (t.members, t.width) with
+  | Some m, Some w when w = Array.length m ->
+    if slot >= 0 && slot < Array.length m then m.(slot) else slot
+  | _ -> slot
+
 let on_quorum_issued t ~at ~who ~epoch ~quorum =
   t.quorums <- t.quorums + 1;
   t.checks <- t.checks + 1;
+  (* Cross-epoch invariant: configs are applied synchronously at every
+     correct process, so a quorum from a selector still on an older
+     membership epoch acts on a retired Π. *)
+  let ce = Option.value ~default:0 (Hashtbl.find_opt t.cepoch_of who) in
+  if ce <> t.cepoch_latest then
+    violate t ~at "stale-config"
+      (Printf.sprintf "p%d issued a quorum under cepoch %d (current %d)" who ce
+         t.cepoch_latest);
   (* Recovery invariant: between Recovery_started and Recovery_completed
      the process holds only wiped (pre-durable) selection state — issuing a
      quorum from it would be acting on stale information. *)
@@ -74,13 +116,13 @@ let on_quorum_issued t ~at ~who ~epoch ~quorum =
    | None -> ()
    | Some _ when pre_rejoin -> ()
    | Some bound ->
-     let k = (who, epoch) in
+     let k = (who, ce, epoch) in
      let count = 1 + Option.value ~default:0 (Hashtbl.find_opt t.issued k) in
      Hashtbl.replace t.issued k count;
      if count > bound then
        violate t ~at "quorum-bound"
-         (Printf.sprintf "p%d issued %d quorums in epoch %d (bound %d)" who count
-            epoch bound));
+         (Printf.sprintf "p%d issued %d quorums in epoch %d/c%d (bound %d)" who
+            count epoch ce bound));
   (* No suspicion: the issued quorum must not contain a pair (i, j) where
      correct i has suspected j since well before the issue (one settle window
      absorbs propagation: a fresh suspicion legitimately races the quorum for
@@ -111,6 +153,26 @@ let on_quorum_issued t ~at ~who ~epoch ~quorum =
           (Printf.sprintf
              "p%d's quorum contains p%d, proven guilty since %.1fms" who j since)
       | _ -> ())
+    quorum;
+  (* Churn invariants, windowed like excluded-quorum (the settle window
+     absorbs the rejoin round an in-model joiner needs): a joiner must not
+     appear in quorums before its bootstrap completes, and an ejected pid
+     must never reappear. *)
+  List.iter
+    (fun j ->
+      (match Hashtbl.find_opt t.joined j with
+       | Some since when at -. since >= Stime.to_ms t.config.settle ->
+         violate t ~at "joiner-quorum"
+           (Printf.sprintf
+              "p%d's quorum contains p%d, joined at %.1fms with rejoin still incomplete"
+              who j since)
+       | _ -> ());
+      match Hashtbl.find_opt t.ejected j with
+      | Some since when at -. since >= Stime.to_ms t.config.settle ->
+        violate t ~at "ejected-quorum"
+          (Printf.sprintf "p%d's quorum contains p%d, ejected at %.1fms" who j
+             since)
+      | _ -> ())
     quorum
 
 let on_proof t ~at culprit =
@@ -129,14 +191,18 @@ let handle t entry =
   let at = entry.Journal.at in
   match entry.Journal.event with
   | Journal.Suspicion_raised { who; suspect } ->
+    let who = pid_of t who and suspect = pid_of t suspect in
     if not (Hashtbl.mem t.suspicions (who, suspect)) then
       Hashtbl.replace t.suspicions (who, suspect) at
   | Journal.Suspicion_cleared { who; suspect } ->
-    Hashtbl.remove t.suspicions (who, suspect)
+    Hashtbl.remove t.suspicions (pid_of t who, pid_of t suspect)
   | Journal.Quorum_issued { who; epoch; quorum } ->
+    let who = pid_of t who and quorum = List.map (pid_of t) quorum in
     if is_correct t who then on_quorum_issued t ~at ~who ~epoch ~quorum
-  | Journal.Commit { who; _ } -> if is_correct t who then t.commits <- t.commits + 1
+  | Journal.Commit { who; _ } ->
+    if is_correct t (pid_of t who) then t.commits <- t.commits + 1
   | Journal.Recovery_started { who } ->
+    let who = pid_of t who in
     Hashtbl.replace t.recovering who at;
     (* The amnesiac forgot its suspicions and its per-epoch issue history
        dies with its previous incarnation (it was faulty during the crash
@@ -145,11 +211,15 @@ let handle t entry =
       (fun (i, j) _ -> if i = who then Hashtbl.remove t.suspicions (i, j))
       (Hashtbl.copy t.suspicions);
     Hashtbl.iter
-      (fun (i, e) _ -> if i = who then Hashtbl.remove t.issued (i, e))
+      (fun (i, c, e) _ -> if i = who then Hashtbl.remove t.issued (i, c, e))
       (Hashtbl.copy t.issued)
   | Journal.Recovery_completed { who; epoch; retries } ->
+    let who = pid_of t who in
     Hashtbl.remove t.recovering who;
     Hashtbl.replace t.rejoin_epoch who epoch;
+    (* A completed bootstrap ends the joiner window: from here on it is a
+       full member and may appear in quorums. *)
+    Hashtbl.remove t.joined who;
     (match t.config.rejoin_retry_bound with
      | Some bound when retries > bound ->
        violate t ~at "rejoin-retries"
@@ -157,7 +227,41 @@ let handle t entry =
             bound)
      | _ -> ())
   | Journal.Proof_found { culprit; _ } | Journal.Proof_admitted { culprit; _ } ->
-    on_proof t ~at culprit
+    on_proof t ~at (pid_of t culprit)
+  | Journal.Config_changed { cepoch; members } ->
+    t.cepoch_latest <- cepoch;
+    t.members <- Some (Array.of_list members);
+    t.checks <- t.checks + 1;
+    (* Ejection is permanent: a conviction must never be readmitted by a
+       later config change. *)
+    List.iter
+      (fun p ->
+        match Hashtbl.find_opt t.ejected p with
+        | Some since ->
+          violate t ~at "ejected-readmitted"
+            (Printf.sprintf "p%d, ejected at %.1fms, is in the cepoch-%d config"
+               p since cepoch)
+        | None -> ())
+      members
+  | Journal.Reconfigured { who; cepoch; n } ->
+    (* [who] is the process's slot in the config it just reconfigured to —
+       the coordinating harness announces [Config_changed] before applying
+       the change to the engines, so the latest member list translates it. *)
+    t.reconfigs <- t.reconfigs + 1;
+    t.width <- Some n;
+    Hashtbl.replace t.cepoch_of (pid_of t who) cepoch
+  | Journal.Member_joined { pid; _ } ->
+    (* Universe pid, no translation. Window closes on the joiner's
+       [Recovery_completed]. *)
+    Hashtbl.replace t.joined pid at
+  | Journal.Member_left { pid; _ } -> Hashtbl.remove t.joined pid
+  | Journal.Member_ejected { pid; _ } ->
+    t.checks <- t.checks + 1;
+    Hashtbl.remove t.joined pid;
+    if is_correct t pid then
+      violate t ~at "correct-excluded"
+        (Printf.sprintf "correct p%d was ejected" pid);
+    if not (Hashtbl.mem t.ejected pid) then Hashtbl.replace t.ejected pid at
   | Journal.Forgery_rejected { claimed; _ } ->
     t.forgeries <- t.forgeries + 1;
     t.checks <- t.checks + 1;
@@ -179,6 +283,12 @@ let create ?(journal = Journal.default) config =
       recovering = Hashtbl.create 8;
       rejoin_epoch = Hashtbl.create 8;
       proved = Hashtbl.create 8;
+      members = None;
+      width = None;
+      cepoch_latest = 0;
+      cepoch_of = Hashtbl.create 8;
+      joined = Hashtbl.create 8;
+      ejected = Hashtbl.create 8;
       seen = Hashtbl.create 16;
       violations = [];
       checks = 0;
@@ -186,6 +296,7 @@ let create ?(journal = Journal.default) config =
       quorums = 0;
       proofs = 0;
       forgeries = 0;
+      reconfigs = 0;
     }
   in
   t.subscription <- Journal.subscribe ~j:journal (fun entry -> handle t entry);
@@ -204,13 +315,20 @@ let reset t =
   Hashtbl.reset t.recovering;
   Hashtbl.reset t.rejoin_epoch;
   Hashtbl.reset t.proved;
+  t.members <- None;
+  t.width <- None;
+  t.cepoch_latest <- 0;
+  Hashtbl.reset t.cepoch_of;
+  Hashtbl.reset t.joined;
+  Hashtbl.reset t.ejected;
   Hashtbl.reset t.seen;
   t.violations <- [];
   t.checks <- 0;
   t.commits <- 0;
   t.quorums <- 0;
   t.proofs <- 0;
-  t.forgeries <- 0
+  t.forgeries <- 0;
+  t.reconfigs <- 0
 
 (* ------------------------------------------------------------------ *)
 (* Periodic history probe: prefix consistency + exactly-once, checked online
@@ -296,6 +414,8 @@ let quorums_observed t = t.quorums
 let proofs_observed t = t.proofs
 
 let forgeries_observed t = t.forgeries
+
+let reconfigs_observed t = t.reconfigs
 
 let violation_to_string v =
   Printf.sprintf "[%10.3fms] %-18s %s" v.at v.check v.detail

@@ -32,13 +32,32 @@
       culprit, every quorum issued more than one settle window later must
       exclude it, permanently (the window absorbs the round the proof needs
       to gossip). The Theorem-3/9 {b quorum-bound} checks stay armed with
-      commission faults in-model — exclusion must not cost extra epochs.
+      commission faults in-model — exclusion must not cost extra epochs;
+    - {b stale-config} — configs are applied synchronously at every correct
+      process, so a quorum issued by a selector whose last [Reconfigured]
+      membership epoch is not the latest [Config_changed] one acts on a
+      retired Π;
+    - {b joiner-quorum} — between [Member_joined] and the joiner's
+      [Recovery_completed] it holds nothing but bootstrap state, so no
+      quorum older than the settle window may contain it;
+    - {b ejected-quorum} / {b ejected-readmitted} — an evidence-ejected pid
+      must never reappear, neither in a later quorum nor in a later
+      config's member list. A [Member_ejected] of a correct process is
+      itself flagged ({b correct-excluded}).
 
     Per-epoch accounting is recovery-aware: a [Recovery_started] clears the
     process's suspicion onsets and per-epoch issue counts (its previous
     incarnation was faulty; the theorems bound correct processes), and
     quorum-bound assertions are gated on the rejoin epoch — a recovered
     process is not charged for epochs it never observed.
+
+    Accounting is also churn-aware: issue counters are keyed on the
+    {e (config epoch, detector epoch)} pair — Theorem-3/9 budgets are
+    re-anchored at every reconfiguration, and a model-checker snapshot
+    restored from a different config never aliases the current counters —
+    and every journaled slot is translated to its universe pid through the
+    latest [Config_changed] member list (identity until the first one, which
+    is exactly the static harnesses' pid = slot convention).
 
     Liveness (Termination, eventual commit) is a campaign-level end-of-run
     check — only {e in-model} schedules owe it — but the monitor counts
@@ -119,6 +138,11 @@ val proofs_observed : t -> int
 
 val forgeries_observed : t -> int
 (** [Forgery_rejected] events seen. *)
+
+val reconfigs_observed : t -> int
+(** [Reconfigured] events seen — the per-process config-change
+    applications. Regression pins use it as a vacuity guard: a churn
+    schedule that stops reconfiguring must fail loudly. *)
 
 val violation_to_string : violation -> string
 

@@ -9,16 +9,17 @@ module Metrics = Qs_obs.Metrics
 module Journal = Qs_obs.Journal
 
 type t = {
-  config : Quorum_select.config;
-  me : Pid.t;
+  mutable config : Quorum_select.config;
+  mutable me : Pid.t;
   auth : Qs_crypto.Auth.t;
   send : Fmsg.t -> unit;
   on_quorum : leader:Pid.t -> Pid.t list -> unit;
   fd_expect : leader:Pid.t -> epoch:int -> unit;
   fd_cancel : unit -> unit;
   fd_detected : Pid.t -> unit;
-  matrix : Suspicion_matrix.t;
-  view : Qs_core.Suspect_view.t;
+  mutable matrix : Suspicion_matrix.t;
+  mutable view : Qs_core.Suspect_view.t;
+  mutable cepoch : int;
   mutable epoch : int;
   mutable suspecting : Pid.t list;
   mutable leader : Pid.t;
@@ -105,6 +106,7 @@ let create config ~me ~auth ~send ~on_quorum ?(fd_expect = fun ~leader:_ ~epoch:
     fd_detected;
     matrix;
     view = Qs_core.Suspect_view.create matrix ~epoch:1;
+    cepoch = 0;
     epoch = 1;
     suspecting = [];
     leader = 0;
@@ -291,6 +293,14 @@ let handle_msg t msg =
   end
   else
     match msg.Fmsg.payload with
+    | Fmsg.Update u
+      when Array.length u.Msg.row <> t.config.Quorum_select.n
+           || u.Msg.owner >= t.config.Quorum_select.n ->
+      (* Sealed under a different configuration (in flight across a
+         reconfiguration): its slots name other processes. Drop, like a bad
+         signature. *)
+      t.rejected <- t.rejected + 1;
+      Metrics.inc t.m_rejected
     | Fmsg.Update u ->
       (* Skip re-selection when the merge left the current-epoch graph
          untouched (see Quorum_select.handle_update). Guarded on no
@@ -362,6 +372,60 @@ let exclude t p =
 let excluded t = List.sort compare t.excluded
 
 (* ------------------------------------------------------------------ *)
+(* Reconfiguration — mirrors Quorum_select.reconfigure. The follower
+   variant additionally resets the leader/stability machinery to the new
+   config's defaults and cancels any armed expectation: the old leader may
+   not even be a member any more. *)
+
+let cepoch t = t.cepoch
+
+let reconfigure t config' ~me ~cepoch ~of_new =
+  Quorum_select.validate_config config';
+  if config'.Quorum_select.n <= 3 * config'.Quorum_select.f then
+    invalid_arg "Follower_select.reconfigure: requires n > 3f";
+  if me < 0 || me >= config'.Quorum_select.n then
+    invalid_arg "Follower_select.reconfigure: me out of range";
+  if Qs_crypto.Auth.universe t.auth < config'.Quorum_select.n then
+    invalid_arg "Follower_select.reconfigure: auth universe too small";
+  if cepoch <= t.cepoch then
+    invalid_arg "Follower_select.reconfigure: config epoch must advance";
+  let old_n = t.config.Quorum_select.n in
+  let inv = Array.make old_n (-1) in
+  for i = 0 to config'.Quorum_select.n - 1 do
+    let o = of_new i in
+    if o >= old_n then invalid_arg "Follower_select.reconfigure: of_new out of range";
+    if o >= 0 then inv.(o) <- i
+  done;
+  let remap_pids ps =
+    List.filter_map
+      (fun p -> if p >= 0 && p < old_n && inv.(p) >= 0 then Some inv.(p) else None)
+      ps
+  in
+  let matrix' =
+    Suspicion_matrix.remap t.matrix ~n:config'.Quorum_select.n ~of_new
+  in
+  Suspicion_matrix.clear_watcher t.matrix;
+  t.matrix <- matrix';
+  t.view <- Qs_core.Suspect_view.create matrix' ~epoch:t.epoch;
+  t.config <- config';
+  t.me <- me;
+  t.cepoch <- cepoch;
+  t.suspecting <- List.sort_uniq compare (remap_pids t.suspecting);
+  t.excluded <- remap_pids t.excluded;
+  t.detections <- remap_pids t.detections;
+  t.fd_cancel ();
+  t.leader <- default_leader_of t;
+  t.stable <- true;
+  t.qlast <- default_quorum_of t;
+  t.history <- [];
+  t.issued_in_epoch <- 0;
+  Metrics.set t.g_this_epoch 0.0;
+  if Journal.live () then
+    Journal.record
+      (Journal.Reconfigured { who = t.me; cepoch; n = config'.Quorum_select.n });
+  if not t.dormant then update_quorum t
+
+(* ------------------------------------------------------------------ *)
 (* Crash-recovery (amnesia) hooks — mirrors Quorum_select. *)
 
 let dormant t = t.dormant
@@ -408,8 +472,9 @@ let absorb t ~matrix ~epoch =
 (* Model-checker hooks — mirrors Quorum_select. *)
 
 let fingerprint t =
-  Format.asprintf "%d|%a|%d|%b|%s|%s|%s|%d|%d|%b|%s" t.epoch Suspicion_matrix.pp
-    t.matrix t.leader t.stable
+  Format.asprintf "%d,%d,%d|%d|%a|%d|%b|%s|%s|%s|%d|%d|%b|%s"
+    t.config.Quorum_select.n t.config.Quorum_select.f t.cepoch t.epoch
+    Suspicion_matrix.pp t.matrix t.leader t.stable
     (String.concat "," (List.map string_of_int t.qlast))
     (String.concat "," (List.map string_of_int t.suspecting))
     (String.concat "," (List.map string_of_int t.detections))
@@ -417,6 +482,9 @@ let fingerprint t =
     (String.concat "," (List.map string_of_int t.excluded))
 
 type snapshot = {
+  s_config : Quorum_select.config;
+  s_me : Pid.t;
+  s_cepoch : int;
   s_matrix : Suspicion_matrix.t;
   s_epoch : int;
   s_suspecting : Pid.t list;
@@ -435,6 +503,9 @@ type snapshot = {
 
 let snapshot t =
   {
+    s_config = t.config;
+    s_me = t.me;
+    s_cepoch = t.cepoch;
     s_matrix = Suspicion_matrix.copy t.matrix;
     s_epoch = t.epoch;
     s_suspecting = t.suspecting;
@@ -452,7 +523,17 @@ let snapshot t =
   }
 
 let restore t s =
-  Suspicion_matrix.blit ~src:s.s_matrix ~dst:t.matrix;
+  t.config <- s.s_config;
+  t.me <- s.s_me;
+  t.cepoch <- s.s_cepoch;
+  (* Cross-config restore: widths differ, so adopt a copy and rebuild the
+     view (mirrors Quorum_select.restore). *)
+  if Suspicion_matrix.n t.matrix <> Suspicion_matrix.n s.s_matrix then begin
+    Suspicion_matrix.clear_watcher t.matrix;
+    t.matrix <- Suspicion_matrix.copy s.s_matrix;
+    t.view <- Qs_core.Suspect_view.create t.matrix ~epoch:s.s_epoch
+  end
+  else Suspicion_matrix.blit ~src:s.s_matrix ~dst:t.matrix;
   t.epoch <- s.s_epoch;
   t.suspecting <- s.s_suspecting;
   t.leader <- s.s_leader;

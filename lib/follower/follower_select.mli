@@ -122,6 +122,26 @@ val exclude : t -> Qs_core.Pid.t -> unit
 val excluded : t -> Qs_core.Pid.t list
 (** Processes convicted so far, sorted. *)
 
+(** {2 Reconfiguration (open membership)} — mirrors
+    {!Qs_core.Quorum_select.reconfigure}. *)
+
+val reconfigure :
+  t ->
+  Qs_core.Quorum_select.config ->
+  me:Qs_core.Pid.t ->
+  cepoch:int ->
+  of_new:(int -> Qs_core.Pid.t) ->
+  unit
+(** Remap onto a new configuration (grow for joins, compact for
+    leaves/ejections): matrix/view/suspicions/exclusions/detections carry
+    over through [of_new], the leader/stability machinery resets to the new
+    config's defaults (cancelling any armed expectation — the old leader
+    may no longer be a member), per-epoch issue counters restart and
+    [cepoch] is folded into {!fingerprint}. Requires [n > 3f] in the new
+    config. *)
+
+val cepoch : t -> int
+
 (** {2 Crash-recovery (amnesia) hooks} — mirror {!Qs_core.Quorum_select}. *)
 
 val amnesia : t -> unit

@@ -15,6 +15,8 @@ module Campaign = Qs_faults.Campaign
 module Codec = Qs_recovery.Codec
 module Rejoin = Qs_recovery.Rejoin
 module Evidence = Qs_evidence.Evidence
+module Membership = Qs_membership.Membership
+module Mconfig = Qs_membership.Config
 module Msg = Qs_core.Msg
 module Auth = Qs_crypto.Auth
 module Fmsg = Qs_follower.Fmsg
@@ -43,6 +45,7 @@ type params = {
   requests : int;
   resubmit_every : Stime.t;
   probe_every : Stime.t;
+  spares : int list;
 }
 
 let default_params stack =
@@ -54,12 +57,29 @@ let default_params stack =
       requests = 3;
       resubmit_every = ms 150;
       probe_every = ms 250;
+      spares = [];
     }
   in
   match stack with
   | Xpaxos_enum | Xpaxos_qs -> { (base 5) with requests = 4 }
   | Minbft -> base 5
   | Pbft | Chain | Star -> base 7
+
+(* Churn campaigns run one universe size up with one spare (the top pid,
+   outside the initial membership) and a budget of f = 3 so a join, a leave
+   and a Byzantine-then-ejected process fit in-model together. Each family
+   keeps its resilience inequality: 2f+1 <= n for XPaxos, 3f+1 <= n for
+   PBFT/chain, 3f < n for star's follower selection — and MinBFT's USIG
+   replica count is pinned at exactly n = 2f+1, so its universe grows by
+   bumping f with it. *)
+let churn_params stack =
+  let n, f =
+    match stack with
+    | Xpaxos_enum | Xpaxos_qs -> (8, 3)
+    | Minbft -> (9, 4)
+    | Pbft | Chain | Star -> (10, 3)
+  in
+  { (default_params stack) with n; f; spares = [ n - 1 ] }
 
 let strategy = Timeout.Exponential { factor = 2.0; max = ms 2000 }
 
@@ -124,7 +144,95 @@ let attach_recovery ~sim ~n ~delta ~net_drop ~collect ~adopt ~wipe =
     | Some payload -> Rejoin.handle nodes.(p) ~src:p (Rejoin.State_push { payload })
     | None -> ()
   in
-  (rnet, amnesia)
+  (rnet, nodes, amnesia)
+
+(* ------------------------------------------------------------------ *)
+(* Churn plane.
+
+   The five SMR stacks keep their protocol quorum space at universe size
+   (views are combinatorial ranks over n, commit groups are pid sets), so
+   membership changes are applied {e width-preserving}: the coordinating
+   {!Membership} engine tracks the true Π over universe pids, and every
+   config change reconfigures each member's selector in place — same n,
+   identity slot remap, membership epoch bumped — which re-anchors the
+   Theorem-3/9 budgets and refreshes the fingerprints, while the member
+   set itself is enforced through the mute plane (spares and departed
+   processes are silent, so detectors keep them out of quorums) and the
+   rejoin plane (a joiner bootstraps dormant, exactly like an amnesia
+   recovery). Evidence convictions propose the ejection. Configs are
+   applied synchronously at every process — config agreement rides on the
+   BFT layer above, which is the same stance the mc harness takes. *)
+
+type churn = {
+  cjoin : int -> unit;
+  cleave : int -> unit;
+  ceject : int -> unit;
+}
+
+let no_churn = { cjoin = ignore; cleave = ignore; ceject = ignore }
+
+let attach_churn ~n ~f ~spares ?min_n ~set_mute ~rnodes ~reattach_delta
+    ~reconfigure ~amnesia () =
+  if spares = [] then no_churn
+  else begin
+    let members =
+      List.filter (fun p -> not (List.mem p spares)) (List.init n Fun.id)
+    in
+    let init = Mconfig.bootstrap members in
+    (* Floor: the width-preserving selectors keep issuing quorums of
+       q = n - f slots, so at least that many live members must remain —
+       plus the generic 2f+1 membership quorum unless the stack overrides
+       it (MinBFT's USIG universe is pinned at 2f+1, where that term would
+       equal n and freeze the membership; its hardware counters already
+       stand in for the extra replicas). *)
+    let min_n = Option.value min_n ~default:(max ((2 * f) + 1) (n - f)) in
+    let eng = Membership.create ~me:0 ~f ~min_n init in
+    Membership.announce_bootstrap init;
+    List.iter (fun p -> set_mute p true) spares;
+    let apply change =
+      match Membership.validate eng change with
+      | Error _ -> false
+      | Ok () ->
+        ignore (Membership.handle_change eng change : Membership.action);
+        let fresh = Membership.config eng in
+        (* Announce before reconfiguring: the monitor translates the
+           [Reconfigured] events through the latest member list. *)
+        Membership.announce fresh change;
+        let cepoch = Mconfig.cepoch fresh in
+        List.iter
+          (fun q ->
+            reconfigure q ~cepoch;
+            (* The selector's matrix is a fresh object after the remap;
+               re-wrap the delta-gossip engine around it. *)
+            reattach_delta q)
+          (Mconfig.members fresh);
+        true
+    in
+    let cjoin p =
+      if apply (Mconfig.Join p) then begin
+        set_mute p false;
+        (* Bootstrap exactly like an amnesia recovery: wipe to blank
+           dormant selection state and fetch the cluster's state through
+           the rejoin plane — no quorum until [Recovery_completed]. *)
+        amnesia p
+      end
+    in
+    let cleave p =
+      if Mconfig.mem (Membership.config eng) p then begin
+        (* Graceful drain: one anti-entropy handoff push before the
+           removal, then permanent silence. *)
+        Rejoin.push_now rnodes.(p);
+        if apply (Mconfig.Leave p) then set_mute p true
+      end
+    in
+    let ceject c =
+      (* Fired on every store's conviction; the membership validation
+         dedups — after the first ejection [c] is no longer a member. *)
+      if Mconfig.mem (Membership.config eng) c && apply (Mconfig.Eject c) then
+        set_mute c true
+    in
+    { cjoin; cleave; ceject }
+  end
 
 (* Suspicion-plane payloads for the stacks whose durable state is just the
    selection CRDT (their SMR logs are documented durable-by-default; only
@@ -152,6 +260,24 @@ let qs_delta qsel p =
     Some (Qs_core.Delta.create ~me:p (QS.matrix qsel), fun () -> QS.reevaluate qsel)
   | None -> None
 
+(* Churn controller over quorum-selection stacks: width-preserving
+   reconfigure (same n, identity slot remap, bumped membership epoch) plus
+   a fresh delta-gossip engine around the remapped matrix. *)
+let qs_churn ~n ~f ~spares ?min_n ~set_mute ~rnodes ~sel ~amnesia () =
+  let reattach_delta p =
+    match qs_delta (sel p) p with
+    | Some (engine, on_merge) ->
+      Rejoin.set_delta rnodes.(p) engine ~on_merge ~full_every:delta_full_every
+    | None -> ()
+  in
+  let reconfigure p ~cepoch =
+    match sel p with
+    | Some s -> QS.reconfigure s { QS.n; f } ~me:p ~cepoch ~of_new:Fun.id
+    | None -> ()
+  in
+  attach_churn ~n ~f ~spares ?min_n ~set_mute ~rnodes ~reattach_delta
+    ~reconfigure ~amnesia ()
+
 (* ------------------------------------------------------------------ *)
 (* Commission-fault (evidence) plane.
 
@@ -169,11 +295,16 @@ let qs_delta qsel p =
    secret, so [Auth.create n] here yields the same keys — the hooks can
    sign as the Byzantine source without new cluster accessors. *)
 
-let attach_evidence ~sim ~net ~n ~auth ~extract ~exclude =
+let attach_evidence ~sim ~net ~n ~auth ~extract ~exclude ?(eject = ignore) () =
   let stores = Array.init n (fun me -> Evidence.create ~auth ~me ~n) in
   Array.iteri
     (fun me store ->
-      Evidence.set_on_exclude store (fun culprit -> exclude me culprit))
+      Evidence.set_on_exclude store (fun culprit ->
+          exclude me culprit;
+          (* With churn armed, a conviction also proposes the config change
+             permanently removing the culprit (deduped by the membership
+             validation). *)
+          eject culprit))
     stores;
   let gossip ~from proof =
     for q = 0 to n - 1 do
@@ -326,12 +457,14 @@ let make_instance stack ~params ~seed =
     (* Deep durability: view, committed log prefix, selection state and
        adapted timeouts persist (fsynced at execute) and survive amnesia. *)
     Qs_xpaxos.Xcluster.attach_durability c;
-    let rnet, amnesia =
+    let sel p = Qs_xpaxos.Replica.quorum_selector (Qs_xpaxos.Xcluster.replica c p) in
+    let set_mute p m =
+      Qs_xpaxos.Xcluster.set_fault c p
+        (if m then Qs_xpaxos.Replica.Mute else Qs_xpaxos.Replica.Honest)
+    in
+    let rnet, rnodes, amnesia =
       attach_recovery ~sim:(Qs_xpaxos.Xcluster.sim c) ~n
-        ~delta:(fun p ->
-          qs_delta
-            (Qs_xpaxos.Replica.quorum_selector (Qs_xpaxos.Xcluster.replica c p))
-            p)
+        ~delta:(fun p -> qs_delta (sel p) p)
         ~net_drop:(Network.drop_pending_to (Qs_xpaxos.Xcluster.net c))
         ~collect:(Qs_xpaxos.Xcluster.collect_payload c)
         ~adopt:(fun p ~matrix ~epoch ~extra ->
@@ -344,16 +477,16 @@ let make_instance stack ~params ~seed =
       | Qs_xpaxos.Xmsg.Qsel qm -> Some qm
       | _ -> None
     in
+    let churn = ref no_churn in
     let evidence =
       attach_evidence ~sim:(Qs_xpaxos.Xcluster.sim c)
         ~net:(Qs_xpaxos.Xcluster.net c) ~n ~auth ~extract:row_of
         ~exclude:(fun me culprit ->
-          match
-            Qs_xpaxos.Replica.quorum_selector (Qs_xpaxos.Xcluster.replica c me)
-          with
-          | Some s -> QS.exclude s culprit
-          | None -> ())
+          match sel me with Some s -> QS.exclude s culprit | None -> ())
+        ~eject:(fun culprit -> !churn.ceject culprit) ()
     in
+    churn :=
+      qs_churn ~n ~f ~spares:params.spares ~set_mute ~rnodes ~sel ~amnesia ();
     let equivocate, slander, tamper =
       qsel_hooks ~n ~auth ~row_of
         ~wrap:(fun ~sender qm ->
@@ -364,19 +497,16 @@ let make_instance stack ~params ~seed =
     let requests = ref [] in
     {
       sim = Qs_xpaxos.Xcluster.sim c;
-      set_mute =
-        (fun p m ->
-          Qs_xpaxos.Xcluster.set_fault c p
-            (if m then Qs_xpaxos.Replica.Mute else Qs_xpaxos.Replica.Honest));
+      set_mute;
       install =
         (fun schedule ->
           ignore (Injector.install ~net:rnet schedule);
           ignore
-            (Injector.install ~net:(Qs_xpaxos.Xcluster.net c)
-               ~set_mute:(fun p m ->
-                 Qs_xpaxos.Xcluster.set_fault c p
-                   (if m then Qs_xpaxos.Replica.Mute else Qs_xpaxos.Replica.Honest))
-               ~amnesia ~equivocate ~slander ~tamper schedule));
+            (Injector.install ~net:(Qs_xpaxos.Xcluster.net c) ~set_mute ~amnesia
+               ~equivocate ~slander ~tamper
+               ~join:(fun p -> !churn.cjoin p)
+               ~leave:(fun p -> !churn.cleave p)
+               schedule));
       submit_all =
         (fun () ->
           requests :=
@@ -411,7 +541,7 @@ let make_instance stack ~params ~seed =
     in
     let requests = ref [] in
     let sel p = Qs_pbft.Preplica.quorum_selector (Qs_pbft.Pcluster.replica c p) in
-    let rnet, amnesia =
+    let rnet, rnodes, amnesia =
       attach_recovery ~sim:(Qs_pbft.Pcluster.sim c) ~n
         ~delta:(fun p -> qs_delta (sel p) p)
         ~net_drop:(Network.drop_pending_to (Qs_pbft.Pcluster.net c))
@@ -430,12 +560,16 @@ let make_instance stack ~params ~seed =
       | Qs_pbft.Pmsg.Qsel qm -> Some qm
       | _ -> None
     in
+    let churn = ref no_churn in
     let evidence =
       attach_evidence ~sim:(Qs_pbft.Pcluster.sim c) ~net:(Qs_pbft.Pcluster.net c)
         ~n ~auth ~extract:row_of
         ~exclude:(fun me culprit ->
           match sel me with Some s -> QS.exclude s culprit | None -> ())
+        ~eject:(fun culprit -> !churn.ceject culprit) ()
     in
+    churn :=
+      qs_churn ~n ~f ~spares:params.spares ~set_mute ~rnodes ~sel ~amnesia ();
     let equivocate, slander, tamper =
       qsel_hooks ~n ~auth ~row_of
         ~wrap:(fun ~sender qm ->
@@ -451,7 +585,10 @@ let make_instance stack ~params ~seed =
           ignore (Injector.install ~net:rnet schedule);
           ignore
             (Injector.install ~net:(Qs_pbft.Pcluster.net c) ~set_mute ~amnesia
-               ~equivocate ~slander ~tamper schedule));
+               ~equivocate ~slander ~tamper
+               ~join:(fun p -> !churn.cjoin p)
+               ~leave:(fun p -> !churn.cleave p)
+               schedule));
       submit_all =
         (fun () ->
           requests :=
@@ -483,7 +620,7 @@ let make_instance stack ~params ~seed =
     in
     let requests = ref [] in
     let sel p = Qs_minbft.Mreplica.quorum_selector (Qs_minbft.Mcluster.replica c p) in
-    let rnet, amnesia =
+    let rnet, rnodes, amnesia =
       attach_recovery ~sim:(Qs_minbft.Mcluster.sim c) ~n
         ~delta:(fun p -> qs_delta (sel p) p)
         ~net_drop:(Network.drop_pending_to (Qs_minbft.Mcluster.net c))
@@ -503,12 +640,19 @@ let make_instance stack ~params ~seed =
       | Qs_minbft.Mmsg.Qsel qm -> Some qm
       | _ -> None
     in
+    let churn = ref no_churn in
     let evidence =
       attach_evidence ~sim:(Qs_minbft.Mcluster.sim c)
         ~net:(Qs_minbft.Mcluster.net c) ~n ~auth ~extract:row_of
         ~exclude:(fun me culprit ->
           match sel me with Some s -> QS.exclude s culprit | None -> ())
+        ~eject:(fun culprit -> !churn.ceject culprit) ()
     in
+    (* n = 2f+1 here, so the generic 2f+1 floor would freeze the
+       membership; the binding bound is the slot-filling one. *)
+    churn :=
+      qs_churn ~n ~f ~spares:params.spares ~min_n:(n - f) ~set_mute ~rnodes
+        ~sel ~amnesia ();
     let equivocate, slander, tamper =
       qsel_hooks ~n ~auth ~row_of
         ~wrap:(fun ~sender qm ->
@@ -524,7 +668,10 @@ let make_instance stack ~params ~seed =
           ignore (Injector.install ~net:rnet schedule);
           ignore
             (Injector.install ~net:(Qs_minbft.Mcluster.net c) ~set_mute ~amnesia
-               ~equivocate ~slander ~tamper schedule));
+               ~equivocate ~slander ~tamper
+               ~join:(fun p -> !churn.cjoin p)
+               ~leave:(fun p -> !churn.cleave p)
+               schedule));
       submit_all =
         (fun () ->
           requests :=
@@ -551,7 +698,7 @@ let make_instance stack ~params ~seed =
     let sel p =
       Some (Qs_bchain.Chain_node.quorum_selector (Qs_bchain.Chain_cluster.node c p))
     in
-    let rnet, amnesia =
+    let rnet, rnodes, amnesia =
       attach_recovery ~sim:(Qs_bchain.Chain_cluster.sim c) ~n
         ~delta:(fun p -> qs_delta (sel p) p)
         ~net_drop:(Network.drop_pending_to (Qs_bchain.Chain_cluster.net c))
@@ -571,6 +718,7 @@ let make_instance stack ~params ~seed =
       | Qs_bchain.Chain_msg.Qsel qm -> Some qm
       | _ -> None
     in
+    let churn = ref no_churn in
     let evidence =
       attach_evidence ~sim:(Qs_bchain.Chain_cluster.sim c)
         ~net:(Qs_bchain.Chain_cluster.net c) ~n ~auth ~extract:row_of
@@ -579,7 +727,10 @@ let make_instance stack ~params ~seed =
             (Qs_bchain.Chain_node.quorum_selector
                (Qs_bchain.Chain_cluster.node c me))
             culprit)
+        ~eject:(fun culprit -> !churn.ceject culprit) ()
     in
+    churn :=
+      qs_churn ~n ~f ~spares:params.spares ~set_mute ~rnodes ~sel ~amnesia ();
     let equivocate, slander, tamper =
       qsel_hooks ~n ~auth ~row_of
         ~wrap:(fun ~sender qm ->
@@ -595,7 +746,10 @@ let make_instance stack ~params ~seed =
           ignore (Injector.install ~net:rnet schedule);
           ignore
             (Injector.install ~net:(Qs_bchain.Chain_cluster.net c) ~set_mute
-               ~amnesia ~equivocate ~slander ~tamper schedule));
+               ~amnesia ~equivocate ~slander ~tamper
+               ~join:(fun p -> !churn.cjoin p)
+               ~leave:(fun p -> !churn.cleave p)
+               schedule));
       submit_all =
         (fun () ->
           requests :=
@@ -623,12 +777,13 @@ let make_instance stack ~params ~seed =
     in
     let requests = ref [] in
     let sel p = Qs_star.Star_node.selector (Qs_star.Star_cluster.node c p) in
-    let rnet, amnesia =
-      attach_recovery ~sim:(Qs_star.Star_cluster.sim c) ~n
-        ~delta:(fun p ->
-          Some
-            ( Qs_core.Delta.create ~me:p (FS.matrix (sel p)),
-              fun () -> FS.reevaluate (sel p) ))
+    let fs_delta p =
+      Some
+        ( Qs_core.Delta.create ~me:p (FS.matrix (sel p)),
+          fun () -> FS.reevaluate (sel p) )
+    in
+    let rnet, rnodes, amnesia =
+      attach_recovery ~sim:(Qs_star.Star_cluster.sim c) ~n ~delta:fs_delta
         ~net_drop:(Network.drop_pending_to (Qs_star.Star_cluster.net c))
         ~collect:(fun p ->
           {
@@ -647,11 +802,24 @@ let make_instance stack ~params ~seed =
         (if m then Qs_star.Star_node.Mute else Qs_star.Star_node.Honest)
     in
     let auth = Auth.create n in
+    let churn = ref no_churn in
     let evidence =
       attach_evidence ~sim:(Qs_star.Star_cluster.sim c)
         ~net:(Qs_star.Star_cluster.net c) ~n ~auth ~extract:(star_extract ~auth)
         ~exclude:(fun me culprit -> FS.exclude (sel me) culprit)
+        ~eject:(fun culprit -> !churn.ceject culprit) ()
     in
+    churn :=
+      attach_churn ~n ~f ~spares:params.spares ~set_mute ~rnodes
+        ~reattach_delta:(fun p ->
+          match fs_delta p with
+          | Some (engine, on_merge) ->
+            Rejoin.set_delta rnodes.(p) engine ~on_merge
+              ~full_every:delta_full_every
+          | None -> ())
+        ~reconfigure:(fun p ~cepoch ->
+          FS.reconfigure (sel p) { QS.n; f } ~me:p ~cepoch ~of_new:Fun.id)
+        ~amnesia ();
     let equivocate, slander, tamper = star_hooks ~n ~auth in
     {
       sim = Qs_star.Star_cluster.sim c;
@@ -661,7 +829,10 @@ let make_instance stack ~params ~seed =
           ignore (Injector.install ~net:rnet schedule);
           ignore
             (Injector.install ~net:(Qs_star.Star_cluster.net c) ~set_mute ~amnesia
-               ~equivocate ~slander ~tamper schedule));
+               ~equivocate ~slander ~tamper
+               ~join:(fun p -> !churn.cjoin p)
+               ~leave:(fun p -> !churn.cleave p)
+               schedule));
       submit_all =
         (fun () ->
           requests :=
@@ -749,14 +920,20 @@ let execute_with_evidence stack ?(params = default_params stack) ~seed ~model
       checks = Monitor.checks_run monitor;
       proofs = Monitor.proofs_observed monitor;
       forgeries = Monitor.forgeries_observed monitor;
+      reconfigs = Monitor.reconfigs_observed monitor;
     },
     inst.evidence )
 
 let execute stack ?params ~seed ~model schedule =
   fst (execute_with_evidence stack ?params ~seed ~model schedule)
 
-let campaign stack ?(params = default_params stack) ?(out_of_model = false)
-    ?(amnesia = false) ?(byz = false) ?(runs = 20) ~seed () =
+let campaign stack ?params ?(out_of_model = false) ?(amnesia = false)
+    ?(byz = false) ?(churn = false) ?(runs = 20) ~seed () =
+  let params =
+    match params with
+    | Some p -> p
+    | None -> if churn then churn_params stack else default_params stack
+  in
   let profile =
     let base = Fault.default_profile ~horizon:params.horizon in
     (* p_amnesia = 0 keeps the random stream byte-identical to pre-amnesia
@@ -766,19 +943,41 @@ let campaign stack ?(params = default_params stack) ?(out_of_model = false)
     (* Same guard for the commission knobs: off by default, and with --byz a
        faulty process draws one active Byzantine behavior before falling
        back to the benign link mix. *)
-    if byz then
-      {
-        base with
-        Fault.p_equivocate = 0.35;
-        p_slander = 0.3;
-        p_tamper = 0.25;
-        p_replay = 0.25;
-      }
+    let base =
+      if byz then
+        {
+          base with
+          Fault.p_equivocate = 0.35;
+          p_slander = 0.3;
+          p_tamper = 0.25;
+          p_replay = 0.25;
+        }
+      else base
+    in
+    (* Churn: spares may join (within the blame budget) and faulty members
+       may leave; both zero by default, keeping pinned streams intact. *)
+    if churn then
+      { base with Fault.p_join = 0.7; p_leave = 0.35; spares = params.spares }
     else base
   in
   let gen rng =
-    if out_of_model then Fault.gen_wild rng ~n:params.n ~f:params.f ~profile ()
-    else Fault.gen rng ~n:params.n ~f:params.f ~profile ()
+    let s =
+      if out_of_model then Fault.gen_wild rng ~n:params.n ~f:params.f ~profile ()
+      else Fault.gen rng ~n:params.n ~f:params.f ~profile ()
+    in
+    if not churn then s
+    else begin
+      (* A spare without a join stays muted the whole run — equivalent to a
+         full-run crash, which the classifier must blame or the termination
+         and budget accounting would charge a phantom correct process. *)
+      let joined p =
+        List.exists (fun ph -> ph.Fault.what = Fault.Join p) s
+      in
+      s
+      @ List.filter_map
+          (fun p -> if joined p then None else Some (Fault.at (Fault.Crash p)))
+          params.spares
+    end
   in
   Campaign.run ~seed ~runs ~gen
     ~classify:(Fault.classify ~n:params.n ~f:params.f)

@@ -51,11 +51,21 @@ type params = {
   requests : int;
   resubmit_every : Qs_sim.Stime.t;
   probe_every : Qs_sim.Stime.t;  (** online history/metrics probe period *)
+  spares : int list;
+      (** Universe pids outside the initial membership — muted until a
+          generated [Join] admits them through the churn plane. Empty
+          (static membership) by default. *)
 }
 
 val default_params : stack -> params
 (** n = 5, f = 2 for XPaxos and MinBFT; n = 7, f = 2 for PBFT, chain and
-    star; 10 s horizon. *)
+    star; 10 s horizon; no spares. *)
+
+val churn_params : stack -> params
+(** One universe size up with the top pid as a spare and f = 3, so a join,
+    a leave and a Byzantine-then-ejected process fit in-model together:
+    n = 8 for XPaxos, n = 10 for PBFT/chain/star — and n = 9 with f = 4
+    for MinBFT, whose USIG replica count is pinned at exactly n = 2f+1. *)
 
 val rejoin_max_retries : int
 (** The retry budget every cluster's rejoin engines run with — also the
@@ -89,6 +99,7 @@ val campaign :
   ?out_of_model:bool ->
   ?amnesia:bool ->
   ?byz:bool ->
+  ?churn:bool ->
   ?runs:int ->
   seed:int ->
   unit ->
@@ -102,4 +113,12 @@ val campaign :
     the commission-fault plane (equivocation, slander, tampering, replay)
     with one active Byzantine behavior per blamed process; the evidence
     stores then convict and permanently exclude provable misbehavers while
-    the monitor checks no correct process is ever proof-excluded. *)
+    the monitor checks no correct process is ever proof-excluded. [churn]
+    defaults [params] to {!churn_params} and arms the membership plane:
+    spares join mid-run (bootstrapping dormant through the rejoin plane),
+    faulty members leave after a graceful anti-entropy handoff, and
+    convictions additionally propose the config change ejecting the
+    culprit; every change reconfigures the member selectors
+    width-preserving (membership epoch bump, identity slot remap) and the
+    monitor's cross-epoch invariants (stale-config, joiner-quorum,
+    ejected-quorum/readmitted) arm themselves from the journal. *)

@@ -1,0 +1,229 @@
+module Table = Qs_stdx.Table
+module Matrix = Qs_core.Suspicion_matrix
+module QS = Qs_core.Quorum_select
+module Indep = Qs_graph.Indep
+module Mconfig = Qs_membership.Config
+module Membership = Qs_membership.Membership
+
+type point = {
+  n : int;  (** initial membership size *)
+  f : int;
+  rounds : int;
+  joins : int;
+  leaves : int;
+  ejects : int;
+  availability : float;
+      (** fraction of config changes after which a full independent
+          quorum was immediately available *)
+  quorum_changes : int;
+      (** config changes whose post-change quorum (as universe pids)
+          differs from the previous one *)
+  reconfig_ops_per_sec : float;
+  remap_consistent : bool;
+  departed_clean : bool;
+}
+
+let default_sizes = [ 64; 256 ]
+
+(* The same fixed suspicion core as E15: f stays small while n grows. *)
+let core_f = 4
+
+let ops_per_sec ~min_elapsed f =
+  let rec go iters =
+    let t0 = Sys.time () in
+    for _ = 1 to iters do
+      f ()
+    done;
+    let dt = Sys.time () -. t0 in
+    if dt >= min_elapsed then float_of_int iters /. dt else go (iters * 2)
+  in
+  go 64
+
+(* Universe pids are auth key indices; the membership config maps the
+   sorted member pids onto selector slots. Process 0 hosts the measured
+   selector: its pid sorts first, so its slot is 0 in every config. *)
+let measure_point ~quick n =
+  let f = core_f in
+  let spares = if quick then 4 else 8 in
+  let rounds = if quick then 12 else 32 in
+  let universe = n + spares + 1 in
+  let auth = Qs_crypto.Auth.create universe in
+  let init = Mconfig.bootstrap (List.init n Fun.id) in
+  let mem = Membership.create ~me:0 ~f init in
+  let sel =
+    QS.create { QS.n; f } ~me:0 ~auth ~send:(fun _ -> ())
+      ~on_quorum:(fun _ -> ())
+      ()
+  in
+  (* Process 0 suspects pids 1..f — the suspicion core whose slots every
+     compacting remap must track. *)
+  let suspects = List.init f (fun i -> i + 1) in
+  QS.handle_suspected sel suspects;
+  let reconfigure change =
+    (match Membership.validate mem change with
+    | Ok () -> ()
+    | Error m -> invalid_arg ("E16: " ^ m));
+    match Membership.handle_change mem change with
+    | Membership.Remap { of_new; me } ->
+      let cfg = Membership.config mem in
+      QS.reconfigure sel (Membership.qs_config mem) ~me
+        ~cepoch:(Mconfig.cepoch cfg) ~of_new
+    | Membership.Admit | Membership.Depart | Membership.Observe ->
+      invalid_arg "E16: process 0 must stay a member"
+  in
+  let pid_quorum () =
+    let cfg = Membership.config mem in
+    List.sort compare (List.map (Mconfig.pid_of_slot cfg) (QS.last_quorum sel))
+  in
+  let available () =
+    let lq = QS.last_quorum sel in
+    List.length lq = QS.q (Membership.qs_config mem)
+    && Indep.is_independent (QS.suspect_graph sel) lq
+  in
+  (* Sustained churn: joins drain the spare pool on even rounds, the
+     highest member outside the suspicion core leaves on odd rounds, and
+     one mid-run eviction removes a suspected core member — the
+     evidence-conviction shape. All choices are deterministic, so the
+     per-round counters are code properties the bench gate can pin. *)
+  let joins = ref 0 and leaves = ref 0 and ejects = ref 0 in
+  let ok_rounds = ref 0 and quorum_changes = ref 0 in
+  let departed = ref [] in
+  let departed_clean = ref true in
+  let next_spare = ref n in
+  let prev_q = ref (pid_quorum ()) in
+  for r = 0 to rounds - 1 do
+    let change =
+      if r = rounds / 2 then begin
+        incr ejects;
+        Mconfig.Eject 1
+      end
+      else if r mod 2 = 0 && !next_spare < n + spares then begin
+        incr joins;
+        let s = !next_spare in
+        incr next_spare;
+        Mconfig.Join s
+      end
+      else begin
+        incr leaves;
+        let members = Mconfig.members (Membership.config mem) in
+        let candidate =
+          List.fold_left
+            (fun acc p -> if p > 2 * f && p > acc then p else acc)
+            (-1) members
+        in
+        Mconfig.Leave candidate
+      end
+    in
+    let target = Mconfig.target change in
+    reconfigure change;
+    (match change with
+    | Mconfig.Leave _ | Mconfig.Eject _ -> departed := target :: !departed
+    | Mconfig.Join _ -> ());
+    if available () then incr ok_rounds;
+    let q = pid_quorum () in
+    if q <> !prev_q then incr quorum_changes;
+    prev_q := q;
+    if List.exists (fun p -> List.mem p q) !departed then
+      departed_clean := false
+  done;
+  (* Remapped state must be indistinguishable from a from-scratch rebuild
+     of the final configuration: same matrix, same quorum. *)
+  let remap_consistent =
+    let cfg = Membership.config mem in
+    let surviving =
+      List.filter_map (Mconfig.slot_of_pid cfg) suspects
+    in
+    let fresh =
+      QS.create (Membership.qs_config mem) ~me:0 ~auth ~send:(fun _ -> ())
+        ~on_quorum:(fun _ -> ())
+        ()
+    in
+    QS.handle_suspected fresh surviving;
+    Matrix.equal (QS.matrix sel) (QS.matrix fresh)
+    && QS.last_quorum sel = QS.last_quorum fresh
+  in
+  (* Reconfiguration throughput on the final state: one join + leave pair
+     of the reserved top pid per iteration, each a full-width remap plus
+     re-selection. *)
+  let bench_pid = universe - 1 in
+  let min_elapsed = if quick then 0.02 else 0.2 in
+  let reconfig_ops_per_sec =
+    2.0
+    *. ops_per_sec ~min_elapsed (fun () ->
+           reconfigure (Mconfig.Join bench_pid);
+           reconfigure (Mconfig.Leave bench_pid))
+  in
+  {
+    n;
+    f;
+    rounds;
+    joins = !joins;
+    leaves = !leaves;
+    ejects = !ejects;
+    availability = float_of_int !ok_rounds /. float_of_int rounds;
+    quorum_changes = !quorum_changes;
+    reconfig_ops_per_sec;
+    remap_consistent;
+    departed_clean = !departed_clean;
+  }
+
+let measure ?(quick = false) ?(ns = default_sizes) () =
+  List.map (measure_point ~quick) ns
+
+let human_ops v =
+  if v >= 1e6 then Printf.sprintf "%.1fM" (v /. 1e6)
+  else if v >= 1e3 then Printf.sprintf "%.1fk" (v /. 1e3)
+  else Printf.sprintf "%.0f" v
+
+let run ?quick ?ns () =
+  let points = measure ?quick ?ns () in
+  let t =
+    Table.create
+      ~title:
+        "E16 (extension): availability under churn - joins, leaves and an \
+         eviction against membership-width selectors"
+      ~columns:
+        [
+          ("n", Table.Right);
+          ("f", Table.Right);
+          ("rounds", Table.Right);
+          ("joins", Table.Right);
+          ("leaves", Table.Right);
+          ("ejects", Table.Right);
+          ("avail", Table.Right);
+          ("q changes", Table.Right);
+          ("reconfig ops/s", Table.Right);
+        ]
+  in
+  let verdicts = ref [] in
+  List.iter
+    (fun p ->
+      Table.add_row t
+        [
+          string_of_int p.n;
+          string_of_int p.f;
+          string_of_int p.rounds;
+          string_of_int p.joins;
+          string_of_int p.leaves;
+          string_of_int p.ejects;
+          Printf.sprintf "%.2f" p.availability;
+          string_of_int p.quorum_changes;
+          human_ops p.reconfig_ops_per_sec;
+        ];
+      let tag s = Printf.sprintf "n=%d: %s" p.n s in
+      verdicts :=
+        Verdict.make
+          (tag "a full independent quorum after every config change")
+          (p.availability = 1.0)
+        :: Verdict.make
+             (tag "remapped state matches a from-scratch rebuild")
+             p.remap_consistent
+        :: Verdict.make
+             (tag "no departed process in a later quorum")
+             p.departed_clean
+        :: Verdict.make
+             (tag "quorum changed at most once per config change")
+             (p.quorum_changes <= p.joins + p.leaves + p.ejects)
+        :: !verdicts)
+    points;
+  (t, List.rev !verdicts)

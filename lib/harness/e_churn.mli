@@ -1,0 +1,54 @@
+(** E16 (extension): availability and quorum stability under membership
+    churn.
+
+    For each initial membership size the experiment drives one
+    membership-width {!Qs_core.Quorum_select} instance (process 0, slot 0
+    in every configuration, with the E15 fixed suspicion core) through a
+    deterministic churn script via the {!Qs_membership.Membership}
+    engine: spares join on even rounds, the highest member outside the
+    suspicion core leaves on odd rounds, and one mid-run eviction removes
+    a suspected core member — the evidence-conviction shape. Every change
+    is a genuine width-changing reconfiguration (grow remap on joins,
+    compacting remap on leaves/ejects, membership-epoch bump).
+
+    Measured per size:
+    - availability — the fraction of config changes after which a full
+      independent quorum was immediately available (must be 1.0);
+    - quorum stability — how many changes moved the selected quorum,
+      compared as universe pids across configurations;
+    - reconfiguration throughput — one join+leave pair of a reserved
+      spare per op, full-width remap plus re-selection;
+    - remap-vs-rebuild consistency — the churned selector's matrix and
+      quorum must match a from-scratch rebuild of the final config.
+
+    Verdicts pin availability to 1.0, the remap/rebuild equivalence, that
+    no departed pid reappears in a later quorum, and that the quorum
+    moves at most once per config change. The bench harness serializes
+    {!measure} into the [churn] section of [BENCH_qsel.json]; the
+    deterministic counters (availability, quorum changes, booleans) are
+    gated by [check_bench]. *)
+
+type point = {
+  n : int;  (** initial membership size *)
+  f : int;
+  rounds : int;
+  joins : int;
+  leaves : int;
+  ejects : int;
+  availability : float;
+      (** fraction of config changes followed immediately by a full
+          independent quorum *)
+  quorum_changes : int;
+      (** config changes whose post-change quorum (as universe pids)
+          differs from the previous one *)
+  reconfig_ops_per_sec : float;
+  remap_consistent : bool;  (** churned state = from-scratch rebuild *)
+  departed_clean : bool;  (** no departed pid in any later quorum *)
+}
+
+val default_sizes : int list
+(** [64; 256] *)
+
+val measure : ?quick:bool -> ?ns:int list -> unit -> point list
+
+val run : ?quick:bool -> ?ns:int list -> unit -> Qs_stdx.Table.t * Verdict.t list

@@ -38,10 +38,12 @@ let e12 () = of_table "E12" (E_recovery.run ())
 
 let e14 () = of_table "E14" (E_amnesia.run ())
 
-(* E15 is not part of [all]: it is a perf-scaling run (n up to 1024) with
-   wall-clock-dependent output, consumed by the bench harness and the CI
-   smoke, not by the reproduction sweep. *)
+(* E15 and E16 are not part of [all]: they are perf/robustness-scaling
+   runs with wall-clock-dependent output, consumed by the bench harness
+   and the CI smoke, not by the reproduction sweep. *)
 let e15 ?quick ?ns () = of_table "E15" (E_scale.run ?quick ?ns ())
+
+let e16 ?quick ?ns () = of_table "E16" (E_churn.run ?quick ?ns ())
 
 let all ?(quick = false) () =
   let fs_bounds = if quick then [ 1; 2 ] else [ 1; 2; 3; 4 ] in

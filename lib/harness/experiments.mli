@@ -29,6 +29,10 @@ val e15 : ?quick:bool -> ?ns:int list -> unit -> outcome
     wall-clock dependent and it is consumed by the bench harness and the
     CI smoke instead. *)
 
+val e16 : ?quick:bool -> ?ns:int list -> unit -> outcome
+(** The churn sweep ({!E_churn}): availability and quorum stability under
+    membership churn. Like {!e15}, not part of {!all}. *)
+
 val all : ?quick:bool -> unit -> outcome list
 (** [quick] trims the sweeps for test runs (default false). *)
 

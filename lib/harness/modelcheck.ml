@@ -42,6 +42,7 @@ type spec = {
   crashes : int list;
   amnesia : int list;
   equivocate : int list;
+  churn : int list;
   requests : int;
   seeded_bug : bool;
 }
@@ -56,6 +57,7 @@ let default_spec protocol =
       crashes = [];
       amnesia = [];
       equivocate = [];
+      churn = [];
       requests = 0;
       seeded_bug = false;
     }
@@ -103,6 +105,25 @@ let validate spec =
     List.length (List.sort_uniq compare (spec.crashes @ spec.amnesia @ spec.equivocate))
     > spec.f
   then invalid_arg "Modelcheck: more than f faulty processes (crashes + equivocators) is out of model";
+  List.iter (pid "churn") spec.churn;
+  if spec.churn <> [] && spec.protocol <> Quorum then
+    invalid_arg "Modelcheck: churn exploration is only wired for the quorum instance";
+  if List.length spec.churn <> List.length (List.sort_uniq compare spec.churn) then
+    invalid_arg "Modelcheck: duplicate churn pid";
+  List.iter
+    (fun p ->
+      if List.mem p spec.crashes then
+        invalid_arg (Printf.sprintf "Modelcheck: p%d is crashed; it cannot leave and rejoin" p))
+    spec.churn;
+  (* A churned process is briefly stale mid-rejoin, like an amnesia crash:
+     it draws on the same f-budget. *)
+  if
+    List.length
+      (List.sort_uniq compare (spec.crashes @ spec.amnesia @ spec.equivocate @ spec.churn))
+    > spec.f
+  then
+    invalid_arg
+      "Modelcheck: more than f faulty processes (crashes + equivocators + churn) is out of model";
   List.iter
     (fun (p, s) ->
       pid "inject" p;
@@ -169,7 +190,7 @@ let make_quorum spec =
      processes (briefly), so they count against the budget too. *)
   let enforce_bound =
     within_budget ~f:spec.f
-      (spec.crashes @ spec.amnesia
+      (spec.crashes @ spec.amnesia @ spec.churn
       @ List.concat_map snd spec.injections
       @ List.concat_map
           (fun p ->
@@ -187,6 +208,7 @@ let make_quorum spec =
   let auth = Qs_crypto.Auth.create spec.n in
   let amnesia_done = Array.make spec.n false in
   let equivocate_done = Array.make spec.n false in
+  let churn_done = Array.make spec.n false in
   let state = ref None in
   let nodes () = let n, _, _ = Option.get !state in n in
   let rejoins () = let _, r, _ = Option.get !state in r in
@@ -200,6 +222,7 @@ let make_quorum spec =
     Journal.set_enabled false;
     Array.fill amnesia_done 0 spec.n false;
     Array.fill equivocate_done 0 spec.n false;
+    Array.fill churn_done 0 spec.n false;
     QS.test_buggy_quorum_size := spec.seeded_bug;
     let sim = Sim.create () in
     let network = Network.create ~sim ~n:spec.n ~delay:(Network.Fixed (Stime.of_ms 1)) () in
@@ -262,6 +285,17 @@ let make_quorum spec =
               canon = "e" ^ string_of_int p;
               receiver = None })
       spec.equivocate
+  in
+  let churn_choices () =
+    List.filter_map
+      (fun p ->
+        if churn_done.(p) then None
+        else
+          Some
+            { Engine.choice = Schedule.Churn p;
+              canon = "c" ^ string_of_int p;
+              receiver = None })
+      spec.churn
   in
   let violations () =
     List.concat_map
@@ -327,7 +361,8 @@ let make_quorum spec =
     Engine.reset;
     enabled =
       (fun () ->
-        deliver_choices (net ()) encode @ amnesia_choices () @ equivocate_choices ());
+        deliver_choices (net ()) encode @ amnesia_choices () @ equivocate_choices ()
+        @ churn_choices ());
     apply =
       (function
       | Schedule.Deliver id -> Network.deliver_now (net ()) id
@@ -360,7 +395,24 @@ let make_quorum spec =
           Network.send (net ()) ~src:p ~dst:a (variant a);
           Network.send (net ()) ~src:p ~dst:b (variant b);
           true)
-      | Schedule.Amnesia _ | Schedule.Equivocate _ | Schedule.Step | Schedule.Fire _ ->
+      | Schedule.Churn p when p >= 0 && p < spec.n && not churn_done.(p) ->
+        (* One atomic membership change: p leaves and instantly rejoins
+           under a fresh slot. Every process reconfigures to the same
+           width with p's row and column wiped (of_new p = -1) and the
+           config epoch bumped; the crashed-incarnation's in-flight
+           messages die with it, and p bootstraps its wiped state back
+           through a rejoin round — so the checker explores every
+           interleaving of stale pre-churn gossip, the reconfiguration
+           point, and the recovery traffic. *)
+        churn_done.(p) <- true;
+        let cepoch = QS.cepoch (nodes ()).(0) + 1 in
+        let of_new i = if i = p then -1 else i in
+        Array.iteri (fun me node -> QS.reconfigure node cfg ~me ~cepoch ~of_new) (nodes ());
+        ignore (Network.drop_pending_to (net ()) p : int);
+        Rejoin.start (rejoins ()).(p);
+        true
+      | Schedule.Amnesia _ | Schedule.Equivocate _ | Schedule.Churn _ | Schedule.Step
+      | Schedule.Fire _ ->
         false);
     fingerprint =
       (fun () ->
@@ -379,6 +431,8 @@ let make_quorum spec =
         Array.iter (fun b -> Buffer.add_char buf (if b then '1' else '0')) amnesia_done;
         Buffer.add_string buf "E";
         Array.iter (fun b -> Buffer.add_char buf (if b then '1' else '0')) equivocate_done;
+        Buffer.add_string buf "C";
+        Array.iter (fun b -> Buffer.add_char buf (if b then '1' else '0')) churn_done;
         Buffer.add_string buf ("[" ^ pending_part (net ()) encode ^ "]");
         Buffer.contents buf);
     violations;
@@ -390,12 +444,14 @@ let make_quorum spec =
           let rs = Array.map Rejoin.snapshot (rejoins ()) in
           let am = Array.copy amnesia_done in
           let eq = Array.copy equivocate_done in
+          let ch = Array.copy churn_done in
           let net_snap = Network.snapshot (net ()) in
           fun () ->
             Array.iteri (fun i s -> QS.restore (nodes ()).(i) s) ns;
             Array.iteri (fun i s -> Rejoin.restore (rejoins ()).(i) s) rs;
             Array.blit am 0 amnesia_done 0 spec.n;
             Array.blit eq 0 equivocate_done 0 spec.n;
+            Array.blit ch 0 churn_done 0 spec.n;
             Network.restore (net ()) net_snap);
   }
 
@@ -487,7 +543,7 @@ let make_follower spec =
         if not (List.mem leader fd.transient) then fd.transient <- leader :: fd.transient;
         FS.handle_suspected (nodes ()).(p) (suspicion_set fd);
         true)
-    | Schedule.Step | Schedule.Amnesia _ | Schedule.Equivocate _ -> false
+    | Schedule.Step | Schedule.Amnesia _ | Schedule.Equivocate _ | Schedule.Churn _ -> false
   in
   let violations () =
     (* fd transient/permanent sets only grow (and snapshots restore them),
@@ -752,7 +808,8 @@ let make_xpaxos mode spec =
       (function
       | Schedule.Deliver id -> Network.deliver_now (Xcluster.net (cluster ())) id
       | Schedule.Step -> Sim.step (Xcluster.sim (cluster ()))
-      | Schedule.Fire _ | Schedule.Amnesia _ | Schedule.Equivocate _ -> false);
+      | Schedule.Fire _ | Schedule.Amnesia _ | Schedule.Equivocate _ | Schedule.Churn _ ->
+        false);
     fingerprint =
       (fun () ->
         let c = cluster () in
@@ -892,6 +949,15 @@ let run_mc_regression kvs =
         | None -> Error (Printf.sprintf "bad equivocate=%S" v))
       (Ok []) (find_all "equivocate")
   in
+  let* churn =
+    List.fold_left
+      (fun acc v ->
+        let* acc = acc in
+        match int_of_string_opt v with
+        | Some p -> Ok (p :: acc)
+        | None -> Error (Printf.sprintf "bad churn=%S" v))
+      (Ok []) (find_all "churn")
+  in
   let* injections =
     List.fold_left
       (fun acc v ->
@@ -932,6 +998,7 @@ let run_mc_regression kvs =
       crashes = List.rev crashes;
       amnesia = List.rev amnesia;
       equivocate = List.rev equivocate;
+      churn = List.rev churn;
       requests;
       seeded_bug;
     }
@@ -964,16 +1031,29 @@ let run_chaos_regression kvs =
   let* f = int_of "f" defaults.Chaos.f in
   let* horizon_ms = int_of "horizon-ms" (int_of_float (Stime.to_ms defaults.Chaos.horizon)) in
   let* requests = int_of "requests" defaults.Chaos.requests in
+  let* spares =
+    List.fold_left
+      (fun acc v ->
+        let* acc = acc in
+        match int_of_string_opt v with
+        | Some p -> Ok (acc @ [ p ])
+        | None -> Error (Printf.sprintf "bad spare=%S" v))
+      (Ok [])
+      (List.filter_map (fun (k, v) -> if k = "spare" then Some v else None) kvs)
+  in
   let* schedule =
     match find "faults" with
     | None -> Ok []
     | Some v -> ( try Ok (Fault.of_string ~n v) with Invalid_argument m -> Error m)
   in
   let* min_proofs = int_of "min-proofs" 0 in
+  let* min_reconfigs = int_of "min-reconfigs" 0 in
   let* expectation =
     match find "expect" with None -> Error "missing expect=" | Some v -> parse_expect v
   in
-  let params = { defaults with Chaos.n; f; horizon = Stime.of_ms horizon_ms; requests } in
+  let params =
+    { defaults with Chaos.n; f; horizon = Stime.of_ms horizon_ms; requests; spares }
+  in
   let model = Fault.classify ~n ~f schedule in
   let outcome = Chaos.execute stack ~params ~seed ~model schedule in
   if outcome.Qs_faults.Campaign.checks = 0 then
@@ -985,6 +1065,12 @@ let run_chaos_regression kvs =
     Error
       (Printf.sprintf "vacuous pin: %d commission proofs, want at least %d"
          outcome.Qs_faults.Campaign.proofs min_proofs)
+  else if outcome.Qs_faults.Campaign.reconfigs < min_reconfigs then
+    (* Same guard for churn pins: a drift that stops the joins/leaves from
+       ever reconfiguring the member selectors must not pass silently. *)
+    Error
+      (Printf.sprintf "vacuous pin: %d reconfigurations, want at least %d"
+         outcome.Qs_faults.Campaign.reconfigs min_reconfigs)
   else
     check_expect expectation
       (List.map

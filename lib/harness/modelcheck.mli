@@ -16,6 +16,13 @@
       choice, enabled once at every state: two validly-signed conflicting
       row variants leave for two different peers, and exploration covers
       every interleaving of the contradictory gossip.
+      Each process in [churn] contributes a [Churn p] choice, enabled once
+      at every state: one atomic membership change — [p] leaves and
+      instantly rejoins under a fresh identity slot, every process
+      reconfigures width-preserving with [p]'s row wiped and the config
+      epoch bumped, [p]'s in-flight messages die, and a rejoin round
+      bootstraps its state back — so stale pre-churn gossip interleaves
+      freely with the reconfiguration point and the recovery traffic.
       Checks: |Q| = n − f on every issued quorum, Theorem 3's per-epoch
       bound, instantaneous no-suspicion (the current quorum is independent
       in the issuer's suspect graph), and — at quiescent states —
@@ -79,6 +86,15 @@ type spec = {
           spreads both, so quiescent matrix convergence and agreement are
           checked against the max-merge union. Equivocators are
           Byzantine-faulty and share the [f] budget with crashes. *)
+  churn : int list;
+      (** Processes that may churn once each, at any explored point
+          ([quorum] protocol only): a [Churn p] choice atomically removes
+          [p] and readmits it under a fresh slot — every process runs
+          {!Qs_core.Quorum_select.reconfigure} at the same width with
+          [of_new p = -1] and a bumped config epoch, and [p] rejoins
+          through the recovery protocol. A mid-rejoin churned process is
+          briefly stale, so churn shares the [f] budget with crashes and
+          equivocators. *)
   requests : int;  (** Client requests submitted up front (XPaxos only). *)
   seeded_bug : bool;
       (** Arm {!Qs_core.Quorum_select.test_buggy_quorum_size} inside
@@ -118,6 +134,7 @@ val make : spec -> Qs_mc.Engine.system
     crash=2                  # repeatable
     amnesia=1                # repeatable, quorum only
     equivocate=0             # repeatable, quorum only
+    churn=2                  # repeatable, quorum only
     requests=1               # optional (xpaxos)
     seeded-bug=quorum-size   # optional, arms the test bug
     schedule=d0;d2;t
@@ -133,7 +150,13 @@ val make : spec -> Qs_mc.Engine.system
     f=2
     horizon-ms=400
     requests=3               # optional
+    spare=7                  # repeatable: universe pids outside the
+                             # initial membership (churn pins)
     faults=delay p0->p2 by 60.000ms @ 0.000ms   # Fault.to_string format
+    min-proofs=1             # optional vacuity guard (commission pins)
+    min-reconfigs=6          # optional vacuity guard (churn pins): the
+                             # run must apply at least this many
+                             # per-process reconfigurations
     expect=ok                # or violation:<check>
     v} *)
 

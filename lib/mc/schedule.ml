@@ -1,4 +1,10 @@
-type choice = Deliver of int | Step | Fire of int | Amnesia of int | Equivocate of int
+type choice =
+  | Deliver of int
+  | Step
+  | Fire of int
+  | Amnesia of int
+  | Equivocate of int
+  | Churn of int
 
 type t = choice list
 
@@ -8,6 +14,7 @@ let choice_to_string = function
   | Fire p -> "f" ^ string_of_int p
   | Amnesia p -> "a" ^ string_of_int p
   | Equivocate p -> "e" ^ string_of_int p
+  | Churn p -> "c" ^ string_of_int p
 
 let to_string t = String.concat ";" (List.map choice_to_string t)
 
@@ -23,6 +30,7 @@ let choice_of_string s =
   else if String.length s >= 2 && s.[0] = 'f' then Fire (num ())
   else if String.length s >= 2 && s.[0] = 'a' then Amnesia (num ())
   else if String.length s >= 2 && s.[0] = 'e' then Equivocate (num ())
+  else if String.length s >= 2 && s.[0] = 'c' then Churn (num ())
   else fail ()
 
 let of_string s =

@@ -17,13 +17,25 @@
     - [Equivocate p]: process [p] commits one equivocation — two
       validly-signed, pointwise-incomparable variants of its own suspicion
       row leave for two different peers (instances that declare an
-      equivocation budget explore it at every state, once per process).
+      equivocation budget explore it at every state, once per process);
+    - [Churn p]: one atomic membership change — process [p] leaves and
+      instantly rejoins under a fresh identity slot: every process
+      reconfigures to the same width with [p]'s row wiped
+      ([of_new p = -1]) and the config epoch bumped, then [p] bootstraps
+      its state back through the rejoin protocol (instances that declare
+      a churn budget explore it at every state, once per process).
 
-    The textual form ("d3;t;a1;e0") is what [test/regressions/] pins and
-    what violation reports print, so counterexamples replay from plain
-    text. *)
+    The textual form ("d3;t;a1;e0;c2") is what [test/regressions/] pins
+    and what violation reports print, so counterexamples replay from
+    plain text. *)
 
-type choice = Deliver of int | Step | Fire of int | Amnesia of int | Equivocate of int
+type choice =
+  | Deliver of int
+  | Step
+  | Fire of int
+  | Amnesia of int
+  | Equivocate of int
+  | Churn of int
 
 type t = choice list
 

@@ -1,0 +1,102 @@
+type t = { cepoch : int; members : int array }
+
+type change = Join of int | Leave of int | Eject of int
+
+let bootstrap members =
+  if members = [] then invalid_arg "Config.bootstrap: empty membership";
+  let sorted = List.sort_uniq compare members in
+  if List.length sorted <> List.length members then
+    invalid_arg "Config.bootstrap: duplicate pid";
+  if List.exists (fun p -> p < 0) sorted then
+    invalid_arg "Config.bootstrap: negative pid";
+  { cepoch = 0; members = Array.of_list sorted }
+
+let cepoch t = t.cepoch
+
+let n t = Array.length t.members
+
+let members t = Array.to_list t.members
+
+let pid_of_slot t slot =
+  if slot < 0 || slot >= Array.length t.members then
+    invalid_arg "Config.pid_of_slot";
+  t.members.(slot)
+
+(* Members stay sorted by pid, so slot lookup is a binary search — O(log n)
+   on the reconfiguration path, which remaps every slot once. *)
+let slot_of_pid t pid =
+  let lo = ref 0 and hi = ref (Array.length t.members - 1) and res = ref (-1) in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let v = t.members.(mid) in
+    if v = pid then begin
+      res := mid;
+      lo := !hi + 1
+    end
+    else if v < pid then lo := mid + 1
+    else hi := mid - 1
+  done;
+  if !res < 0 then None else Some !res
+
+let mem t pid = slot_of_pid t pid <> None
+
+let fingerprint t =
+  Printf.sprintf "c%d:{%s}" t.cepoch
+    (String.concat "," (Array.to_list (Array.map string_of_int t.members)))
+
+let target = function Join p | Leave p | Eject p -> p
+
+let change_to_string = function
+  | Join p -> Printf.sprintf "join p%d" p
+  | Leave p -> Printf.sprintf "leave p%d" p
+  | Eject p -> Printf.sprintf "eject p%d" p
+
+let apply t change =
+  let p = target change in
+  if p < 0 then invalid_arg "Config.apply: negative pid";
+  let members =
+    match change with
+    | Join _ ->
+      if mem t p then invalid_arg "Config.apply: join of a current member";
+      let a = Array.make (Array.length t.members + 1) p in
+      let j = ref 0 in
+      Array.iter
+        (fun v ->
+          if v < p then begin
+            a.(!j) <- v;
+            incr j
+          end)
+        t.members;
+      a.(!j) <- p;
+      incr j;
+      Array.iter
+        (fun v ->
+          if v > p then begin
+            a.(!j) <- v;
+            incr j
+          end)
+        t.members;
+      a
+    | Leave _ | Eject _ ->
+      if not (mem t p) then invalid_arg "Config.apply: removal of a non-member";
+      if Array.length t.members <= 1 then
+        invalid_arg "Config.apply: cannot remove the last member";
+      Array.of_list (List.filter (fun v -> v <> p) (Array.to_list t.members))
+  in
+  { cepoch = t.cepoch + 1; members }
+
+(* The slot-remap function selectors consume: new slot -> inherited old
+   slot, or -1 for a slot whose pid was not a member of [old] (a fresh
+   joiner). Removed pids simply have no slot in [fresh]. *)
+let of_new ~old ~fresh =
+  let map =
+    Array.map
+      (fun pid -> match slot_of_pid old pid with Some s -> s | None -> -1)
+      fresh.members
+  in
+  fun i ->
+    if i < 0 || i >= Array.length map then
+      invalid_arg "Config.of_new: slot out of range"
+    else map.(i)
+
+let equal a b = a.cepoch = b.cepoch && a.members = b.members

@@ -1,0 +1,55 @@
+(** A membership configuration: the ordered process set Π at one membership
+    epoch.
+
+    Processes are named by {e universe pids} (stable identities, also the
+    key indices of {!Qs_crypto.Auth}); a configuration assigns each member
+    pid a {e slot} — its index in the sorted member array — which is the
+    process index the selectors, matrix and graphs operate on. A
+    reconfiguration changes the pid⇄slot assignment; {!of_new} is the remap
+    the selector layer consumes ({!Qs_core.Quorum_select.reconfigure}). *)
+
+type t
+
+type change = Join of int | Leave of int | Eject of int
+    (** One config-change log entry, naming a universe pid. [Leave] is a
+        voluntary departure (after a graceful drain), [Eject] an
+        evidence-driven removal — same membership effect, different
+        provenance (and journal event). *)
+
+val bootstrap : int list -> t
+(** The initial configuration (membership epoch 0) over the given pids.
+    [Invalid_argument] on an empty list, duplicates or negative pids. *)
+
+val apply : t -> change -> t
+(** The successor configuration: membership epoch [+1], member set updated.
+    [Invalid_argument] on joining a current member, removing a non-member
+    or removing the last member. *)
+
+val cepoch : t -> int
+
+val n : t -> int
+
+val members : t -> int list
+(** Member pids in slot order (ascending). *)
+
+val mem : t -> int -> bool
+
+val slot_of_pid : t -> int -> int option
+
+val pid_of_slot : t -> int -> int
+(** [Invalid_argument] out of range. *)
+
+val of_new : old:t -> fresh:t -> int -> int
+(** [of_new ~old ~fresh] maps each slot of [fresh] to the slot of [old]
+    holding the same pid, or [-1] for a pid that was not a member of [old]
+    — exactly the [of_new] argument of the selectors' [reconfigure]. *)
+
+val fingerprint : t -> string
+(** Canonical ["c<cepoch>:{pids}"] encoding — folded into harness and
+    model-checker fingerprints. *)
+
+val target : change -> int
+
+val change_to_string : change -> string
+
+val equal : t -> t -> bool

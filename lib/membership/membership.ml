@@ -1,0 +1,124 @@
+module Journal = Qs_obs.Journal
+
+type action =
+  | Remap of { of_new : int -> int; me : int }
+  | Admit
+  | Depart
+  | Observe
+
+type t = {
+  me : int; (* universe pid, not a slot *)
+  f : int;
+  min_n : int;
+  mutable config : Config.t;
+  mutable log : (int * Config.change) list; (* newest first *)
+}
+
+let create ~me ~f ?min_n init =
+  if me < 0 then invalid_arg "Membership.create: negative pid";
+  if f < 0 then invalid_arg "Membership.create: negative f";
+  let min_n = match min_n with Some m -> m | None -> (2 * f) + 1 in
+  if Config.n init < min_n then
+    invalid_arg "Membership.create: initial config below the floor";
+  { me; f; min_n; config = init; log = [] }
+
+let config t = t.config
+
+let f t = t.f
+
+let me t = t.me
+
+let min_n t = t.min_n
+
+let qs_config t = { Qs_core.Quorum_select.n = Config.n t.config; f = t.f }
+
+let active t = Config.mem t.config t.me
+
+let slot t = Config.slot_of_pid t.config t.me
+
+let log t = List.rev t.log
+
+let validate t change =
+  let p = Config.target change in
+  match change with
+  | Config.Join _ ->
+    if p < 0 then Error "negative pid"
+    else if Config.mem t.config p then Error "already a member"
+    else Ok ()
+  | Config.Leave _ | Config.Eject _ ->
+    if not (Config.mem t.config p) then Error "not a member"
+    else if Config.n t.config - 1 < t.min_n then
+      Error "membership would drop below the quorum floor"
+    else Ok ()
+
+(* Apply one config-change log entry to this process's view. Every correct
+   process applies the same log in the same order — agreement on the log
+   itself rides on the BFT layer above (harnesses apply it synchronously;
+   a real deployment would commit each entry through the replicated log) —
+   so the returned action is a deterministic function of (config, me). *)
+let handle_change t change =
+  (match validate t change with
+  | Ok () -> ()
+  | Error e ->
+    invalid_arg
+      (Printf.sprintf "Membership.handle_change: %s: %s"
+         (Config.change_to_string change) e));
+  let old = t.config in
+  let fresh = Config.apply old change in
+  t.config <- fresh;
+  t.log <- (Config.cepoch fresh, change) :: t.log;
+  let was = Config.mem old t.me and now = Config.mem fresh t.me in
+  match (was, now) with
+  | true, true ->
+    let me_slot =
+      match Config.slot_of_pid fresh t.me with Some s -> s | None -> assert false
+    in
+    Remap { of_new = Config.of_new ~old ~fresh; me = me_slot }
+  | true, false -> Depart
+  | false, true ->
+    (* A joiner inherits nothing: whatever its selector held predates its
+       admission (possibly from an older departure or a stale-sized spare
+       instance). It remaps fully fresh, goes dormant and bootstraps
+       through the rejoin plane. *)
+    Admit
+  | false, false -> Observe
+
+(* Journal the change once, from the coordinating harness — per-process
+   engines stay silent (their selectors journal [Reconfigured] themselves),
+   so a change produces one [Config_changed] plus one [Member_*], not n. *)
+let announce fresh change =
+  if Journal.live () then begin
+    let cepoch = Config.cepoch fresh in
+    let p = Config.target change in
+    (match change with
+    | Config.Join _ -> Journal.record (Journal.Member_joined { pid = p; cepoch })
+    | Config.Leave _ -> Journal.record (Journal.Member_left { pid = p; cepoch })
+    | Config.Eject _ ->
+      Journal.record (Journal.Member_ejected { pid = p; cepoch }));
+    Journal.record
+      (Journal.Config_changed { cepoch; members = Config.members fresh })
+  end
+
+(* The initial [Config_changed] (membership epoch 0) — gives the monitor
+   the true member set before the first change, so churn harnesses whose
+   initial membership is a strict subset of the universe start tracked. *)
+let announce_bootstrap config =
+  if Journal.live () then
+    Journal.record
+      (Journal.Config_changed
+         { cepoch = Config.cepoch config; members = Config.members config })
+
+let fingerprint t =
+  Printf.sprintf "%s|%d|%s" (Config.fingerprint t.config) t.f
+    (String.concat ";"
+       (List.map
+          (fun (c, ch) -> Printf.sprintf "%d=%s" c (Config.change_to_string ch))
+          (List.rev t.log)))
+
+type snapshot = { s_config : Config.t; s_log : (int * Config.change) list }
+
+let snapshot t = { s_config = t.config; s_log = t.log }
+
+let restore t s =
+  t.config <- s.s_config;
+  t.log <- s.s_log

@@ -1,0 +1,90 @@
+(** Per-process membership engine: dynamic Π on top of the recovery plane.
+
+    Each process keeps its own {!Config.t} plus the config-change log that
+    produced it. Agreement on the log itself is out of scope — it rides on
+    the BFT layer above (the harnesses apply each entry synchronously at
+    every correct process; a real deployment would commit entries through
+    the replicated log) — so {!handle_change} is deterministic in
+    (config, me) and returns the {e action} the caller must perform on its
+    selector/rejoin wiring:
+
+    - {!Remap}: this process stays a member; reconfigure the selector with
+      the given slot remap ({!Qs_core.Quorum_select.reconfigure}) and reset
+      delta-gossip peers.
+    - {!Admit}: this process is the joiner; reconfigure fully fresh
+      ([of_new ≡ -1]), go dormant, and bootstrap through
+      {!Qs_recovery.Rejoin.start} — it must not issue a quorum until
+      [Recovery_completed].
+    - {!Depart}: this process was removed (voluntary leave after its
+      anti-entropy handoff, or evidence-driven ejection); mute it.
+    - {!Observe}: a non-member tracking the config (a spare before its
+      join, or after its departure).
+
+    Joins bootstrap through the existing [State_req]/[State_resp]/
+    [State_delta] machinery with its bounded retry/backoff and
+    dormant-until-synced guard; voluntary leaves drain gracefully
+    ({!Qs_recovery.Rejoin.push_now} handoff before the [Leave] entry);
+    ejection is proposed by an admitted {!Qs_evidence} conviction. *)
+
+type action =
+  | Remap of { of_new : int -> int; me : int }
+      (** Still a member: remap the selector; [me] is the new own slot. *)
+  | Admit  (** This process is the fresh joiner: bootstrap. *)
+  | Depart  (** This process was removed. *)
+  | Observe  (** Not a member before or after. *)
+
+type t
+
+val create : me:int -> f:int -> ?min_n:int -> Config.t -> t
+(** [me] is this process's universe pid (member or spare). [f] is the fault
+    budget, fixed across reconfigurations; [min_n] (default [2f+1]) is the
+    membership floor below which removals are refused — follower-selection
+    deployments pass [3f+1]. *)
+
+val handle_change : t -> Config.change -> action
+(** Apply one log entry. [Invalid_argument] when {!validate} refuses it —
+    callers proposing changes should validate first. *)
+
+val validate : t -> Config.change -> (unit, string) result
+(** Why a proposed change would be refused: joining a member, removing a
+    non-member, or shrinking below the floor. *)
+
+val announce : Config.t -> Config.change -> unit
+(** Journal [Member_joined]/[Member_left]/[Member_ejected] plus
+    [Config_changed] for an applied change — called {e once} per change by
+    the coordinating harness, not by every engine. Announce {e before}
+    applying the change to the engines: the monitor translates the
+    [Reconfigured] slots that follow through the latest member list. *)
+
+val announce_bootstrap : Config.t -> unit
+(** Journal the initial [Config_changed] (membership epoch 0) — churn
+    harnesses whose initial membership is a strict subset of the universe
+    call this once before the run. *)
+
+val config : t -> Config.t
+
+val qs_config : t -> Qs_core.Quorum_select.config
+(** [{ n = current membership size; f }]. *)
+
+val f : t -> int
+
+val me : t -> int
+
+val min_n : t -> int
+
+val active : t -> bool
+(** [me] is a member of the current config. *)
+
+val slot : t -> int option
+(** [me]'s slot in the current config. *)
+
+val log : t -> (int * Config.change) list
+(** [(cepoch, change)] entries, oldest first. *)
+
+val fingerprint : t -> string
+
+type snapshot
+
+val snapshot : t -> snapshot
+
+val restore : t -> snapshot -> unit

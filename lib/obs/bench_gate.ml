@@ -140,6 +140,34 @@ let check_scaling_point ~tol ~current_points base =
       agrees "peer_converged";
     ]
 
+(* The E16 churn sweep is deterministic apart from the reconfig
+   throughput, so everything else is pinned exactly: the join/leave/eject
+   script counters, quorum-stability count, full availability, and the
+   remap-consistency booleans. *)
+let check_churn_point ~current_points base =
+  let n = int_f "n" base in
+  let tag s = Printf.sprintf "churn n=%d: %s" n s in
+  match List.find_opt (fun p -> int_f "n" p = n) current_points with
+  | None -> [ hard (tag "present in current run") false "point missing" ]
+  | Some cur ->
+    let eq name =
+      let b = int_f name base and c = int_f name cur in
+      hard (tag name) (c = b) (Printf.sprintf "%d vs baseline %d" c b)
+    in
+    let agrees name =
+      hard (tag name) (bool_f name cur) (if bool_f name cur then "true" else "false")
+    in
+    let avail = float_f "availability" cur in
+    [
+      eq "joins";
+      eq "leaves";
+      eq "ejects";
+      eq "quorum_changes";
+      hard (tag "availability = 1.0") (avail = 1.0) (Printf.sprintf "%.2f" avail);
+      agrees "remap_consistent";
+      agrees "departed_clean";
+    ]
+
 let check_commission ~current base =
   let stack = string_f "stack" base in
   let tag s = Printf.sprintf "commission %s: %s" stack s in
@@ -236,13 +264,23 @@ let check ~current ~baseline =
         (check_commission ~current:(list_exn "commission" current))
         (list_exn "commission" baseline)
     in
+    let churn_checks =
+      (* Absent from pre-churn baselines; derive_baseline always emits it,
+         so one --update-baseline turns the section on. *)
+      match Json.member "churn" baseline with
+      | None | Some (Json.List []) -> []
+      | Some (Json.List base_points) ->
+        let current_points = list_exn "churn" current in
+        List.concat_map (check_churn_point ~current_points) base_points
+      | Some _ -> malformed "field \"churn\" is not a list"
+    in
     let ns_checks =
       match (Json.member "results" baseline, Json.member "results" current) with
       | Some (Json.List b), Some (Json.List c) -> check_results ~current:c b
       | _ -> []
     in
     (quick_ok :: experiments_ok :: scaling_checks)
-    @ ratio_check @ commission_checks @ ns_checks
+    @ ratio_check @ commission_checks @ churn_checks @ ns_checks
   end
 
 (* ------------------------------------------------------------------ *)
@@ -273,6 +311,22 @@ let derive_baseline bench =
           ])
       (list_exn "commission" bench)
   in
+  let churn =
+    match Json.member "churn" bench with
+    | Some (Json.List ps) ->
+      List.map
+        (fun p ->
+          Json.Obj
+            [
+              ("n", Json.Int (int_f "n" p));
+              ("joins", Json.Int (int_f "joins" p));
+              ("leaves", Json.Int (int_f "leaves" p));
+              ("ejects", Json.Int (int_f "ejects" p));
+              ("quorum_changes", Json.Int (int_f "quorum_changes" p));
+            ])
+        ps
+    | _ -> []
+  in
   let results =
     match Json.member "results" bench with
     | Some (Json.List rs) ->
@@ -294,5 +348,6 @@ let derive_baseline bench =
       ("tolerances", tolerances_json default_tolerances);
       ("scaling", Json.List scaling);
       ("commission", Json.List commission);
+      ("churn", Json.List churn);
       ("results", Json.List results);
     ]

@@ -7,7 +7,11 @@
     steady-state delta tick, per-packet idle allocation (absolute cap),
     the incremental-vs-scratch agreement booleans, the seeded
     commission-fault conviction counters (exact — the simulation is
-    deterministic), and the cross-size select-throughput ratio (machine
+    deterministic), the E16 churn sweep (exact join/leave/eject and
+    quorum-stability counters, full availability and the
+    remap-consistency booleans; absent from a baseline, the section is
+    skipped until the next [--update-baseline]), and the cross-size
+    select-throughput ratio (machine
     speed cancels out of the quotient; a 2× slowdown at the largest n
     doubles it). Absolute wall-clock ns/run rows are compared report-only:
     a >1.5× drift prints a warning, never a failure.

@@ -12,6 +12,12 @@ type event =
   | Net_dropped of { src : int; dst : int }
   | Recovery_started of { who : int }
   | Recovery_completed of { who : int; epoch : int; retries : int }
+  | Rejoin_gave_up of { who : int; retries : int }
+  | Reconfigured of { who : int; cepoch : int; n : int }
+  | Config_changed of { cepoch : int; members : int list }
+  | Member_joined of { pid : int; cepoch : int }
+  | Member_left of { pid : int; cepoch : int }
+  | Member_ejected of { pid : int; cepoch : int }
   | Proof_found of { by : int; culprit : int }
   | Proof_admitted of { by : int; culprit : int }
   | Forgery_rejected of { by : int; channel : int; claimed : int }
@@ -110,6 +116,19 @@ let event_to_string = function
   | Recovery_started { who } -> Printf.sprintf "recovery-started p%d" who
   | Recovery_completed { who; epoch; retries } ->
     Printf.sprintf "recovery-completed p%d epoch=%d retries=%d" who epoch retries
+  | Rejoin_gave_up { who; retries } ->
+    Printf.sprintf "rejoin-gave-up p%d retries=%d (dormant)" who retries
+  | Reconfigured { who; cepoch; n } ->
+    Printf.sprintf "reconfigured p%d cepoch=%d n=%d" who cepoch n
+  | Config_changed { cepoch; members } ->
+    Printf.sprintf "config-changed cepoch=%d members=%s" cepoch
+      (set_to_string members)
+  | Member_joined { pid; cepoch } ->
+    Printf.sprintf "member-joined p%d cepoch=%d" pid cepoch
+  | Member_left { pid; cepoch } ->
+    Printf.sprintf "member-left p%d cepoch=%d" pid cepoch
+  | Member_ejected { pid; cepoch } ->
+    Printf.sprintf "member-ejected p%d cepoch=%d" pid cepoch
   | Proof_found { by; culprit } ->
     Printf.sprintf "proof-found p%d proves p%d equivocated" by culprit
   | Proof_admitted { by; culprit } ->
@@ -151,6 +170,19 @@ let event_to_json event =
   | Recovery_completed { who; epoch; retries } ->
     obj "recovery_completed"
       [ ("who", Json.Int who); ("epoch", Json.Int epoch); ("retries", Json.Int retries) ]
+  | Rejoin_gave_up { who; retries } ->
+    obj "rejoin_gave_up" [ ("who", Json.Int who); ("retries", Json.Int retries) ]
+  | Reconfigured { who; cepoch; n } ->
+    obj "reconfigured"
+      [ ("who", Json.Int who); ("cepoch", Json.Int cepoch); ("n", Json.Int n) ]
+  | Config_changed { cepoch; members } ->
+    obj "config_changed" [ ("cepoch", Json.Int cepoch); ints "members" members ]
+  | Member_joined { pid; cepoch } ->
+    obj "member_joined" [ ("pid", Json.Int pid); ("cepoch", Json.Int cepoch) ]
+  | Member_left { pid; cepoch } ->
+    obj "member_left" [ ("pid", Json.Int pid); ("cepoch", Json.Int cepoch) ]
+  | Member_ejected { pid; cepoch } ->
+    obj "member_ejected" [ ("pid", Json.Int pid); ("cepoch", Json.Int cepoch) ]
   | Proof_found { by; culprit } ->
     obj "proof_found" [ ("by", Json.Int by); ("culprit", Json.Int culprit) ]
   | Proof_admitted { by; culprit } ->

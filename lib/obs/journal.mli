@@ -37,6 +37,25 @@ type event =
       (** [who]'s rejoin finished: enough [StateResp]s were max-merged.
           [epoch] is the fast-forwarded epoch, [retries] counts rebroadcast
           rounds beyond the first. *)
+  | Rejoin_gave_up of { who : int; retries : int }
+      (** [who]'s rejoin round exhausted its retry bound without [needed]
+          valid responses: the process stays dormant (the safe failure
+          mode) until an unsolicited push or a fresh {!Recovery_started}
+          round revives it. *)
+  | Reconfigured of { who : int; cepoch : int; n : int }
+      (** [who]'s selector remapped its state onto membership epoch
+          [cepoch] ([n] processes). *)
+  | Config_changed of { cepoch : int; members : int list }
+      (** The membership engine applied a config-change log entry:
+          [members] is the new ordered pid set at epoch [cepoch]. *)
+  | Member_joined of { pid : int; cepoch : int }
+      (** [pid] was admitted at [cepoch]; it bootstraps through the rejoin
+          plane and must stay dormant until {!Recovery_completed}. *)
+  | Member_left of { pid : int; cepoch : int }
+      (** [pid] left voluntarily at [cepoch] after a graceful drain. *)
+  | Member_ejected of { pid : int; cepoch : int }
+      (** An admitted evidence proof convicted [pid]; the config change at
+          [cepoch] removes it permanently. *)
   | Proof_found of { by : int; culprit : int }
       (** [by]'s evidence store assembled a transferable equivocation proof
           against [culprit] (two validly-signed conflicting rows). *)

@@ -79,11 +79,14 @@ type t = {
   mutable gossip_on : bool;
   mutable delta : delta_link option;
   mutable gossip_bytes : int; (* payload bytes shipped by gossip ticks *)
+  mutable gave_up : int;
   m_reqs : Metrics.counter;
   m_resps : Metrics.counter;
   m_retries : Metrics.counter;
   m_rejoins : Metrics.counter;
   m_bad : Metrics.counter;
+  m_gave_up : Metrics.counter;
+  g_attempts : Metrics.gauge;
 }
 
 let create ~sim config ~me ~collect ~adopt ~send () =
@@ -107,11 +110,14 @@ let create ~sim config ~me ~collect ~adopt ~send () =
     gossip_on = false;
     delta = None;
     gossip_bytes = 0;
+    gave_up = 0;
     m_reqs = Metrics.counter ~labels "rec_state_reqs_total";
     m_resps = Metrics.counter ~labels "rec_state_resps_total";
     m_retries = Metrics.counter ~labels "rec_retries_total";
     m_rejoins = Metrics.counter ~labels "rec_rejoins_total";
     m_bad = Metrics.counter ~labels "rec_bad_payloads_total";
+    m_gave_up = Metrics.counter ~labels "rec_gave_up_total";
+    g_attempts = Metrics.gauge ~labels "rec_round_attempts";
   }
 
 let broadcast t msg =
@@ -129,14 +135,27 @@ let rec schedule_retry t delay =
   | Some _ ->
     let rid = t.rid in
     Sim.schedule t.sim ~delay (fun () ->
-        if t.rejoining && t.rid = rid && t.retries < t.config.max_retries then begin
-          t.retries <- t.retries + 1;
-          Metrics.inc t.m_retries;
-          request t;
-          schedule_retry t
-            (Stdlib.max 1
-               (int_of_float (float_of_int delay *. t.config.backoff)))
-        end)
+        if t.rejoining && t.rid = rid then
+          if t.retries < t.config.max_retries then begin
+            t.retries <- t.retries + 1;
+            Metrics.inc t.m_retries;
+            Metrics.set t.g_attempts (float_of_int (t.retries + 1));
+            request t;
+            schedule_retry t
+              (Stdlib.max 1
+                 (int_of_float (float_of_int delay *. t.config.backoff)))
+          end
+          else begin
+            (* Retry bound exhausted with the round still open: the process
+               stays dormant (the safe failure mode), but no longer
+               silently — operators see the counter, the monitor sees the
+               event. An unsolicited push or a fresh [start] still heals. *)
+            t.gave_up <- t.gave_up + 1;
+            Metrics.inc t.m_gave_up;
+            if Journal.live () then
+              Journal.record
+                (Journal.Rejoin_gave_up { who = t.me; retries = t.retries })
+          end)
 
 let start t =
   t.rid <- t.rid + 1;
@@ -144,6 +163,7 @@ let start t =
   t.responded <- [];
   t.pending <- [];
   t.retries <- 0;
+  Metrics.set t.g_attempts 1.0;
   if Journal.live () then Journal.record (Journal.Recovery_started { who = t.me });
   request t;
   match t.config.retry_every with
@@ -236,6 +256,9 @@ let handle t ~src msg =
     | None -> ()
     | Some d -> Qs_core.Delta.apply_ack d.engine ~peer:src { Qs_core.Delta.rows = acks })
 
+(* One immediate unsolicited push — the graceful-leave anti-entropy
+   handoff: a departing process ships its whole matrix to every peer so no
+   suspicion it uniquely holds dies with it. *)
 let push_full t =
   let payload = t.collect () in
   t.gossip_bytes <- t.gossip_bytes + ((t.config.n - 1) * String.length payload.matrix);
@@ -275,6 +298,8 @@ let set_delta t engine ~on_merge ~full_every =
     invalid_arg "Rejoin.set_delta: engine/process mismatch";
   t.delta <- Some { engine; on_merge; full_every; ticks = 0 }
 
+let push_now t = push_full t
+
 let gossip_bytes t = t.gossip_bytes
 
 let start_gossip t =
@@ -293,6 +318,8 @@ let rejoining t = t.rejoining
 let retries t = t.retries
 
 let completed_rounds t = t.completed
+
+let gave_up_rounds t = t.gave_up
 
 let bad_payloads t = t.bad_payloads
 
@@ -316,9 +343,9 @@ let encode_msg = function
          (List.map (fun (l, v) -> Printf.sprintf "%d=%d" l v) acks))
 
 let fingerprint t =
-  Printf.sprintf "%d|%b|%s|%d|%d|%d|%s" t.rid t.rejoining
+  Printf.sprintf "%d|%b|%s|%d|%d|%d|%d|%s" t.rid t.rejoining
     (String.concat "," (List.map string_of_int (List.sort compare t.responded)))
-    t.retries t.completed t.bad_payloads
+    t.retries t.completed t.bad_payloads t.gave_up
     (String.concat ";" (List.map encode_payload (List.rev t.pending)))
 
 type snapshot = {
@@ -329,6 +356,7 @@ type snapshot = {
   s_retries : int;
   s_completed : int;
   s_bad : int;
+  s_gave_up : int;
 }
 
 let snapshot t =
@@ -340,6 +368,7 @@ let snapshot t =
     s_retries = t.retries;
     s_completed = t.completed;
     s_bad = t.bad_payloads;
+    s_gave_up = t.gave_up;
   }
 
 let restore t s =
@@ -349,4 +378,5 @@ let restore t s =
   t.pending <- s.s_pending;
   t.retries <- s.s_retries;
   t.completed <- s.s_completed;
-  t.bad_payloads <- s.s_bad
+  t.bad_payloads <- s.s_bad;
+  t.gave_up <- s.s_gave_up

@@ -86,6 +86,12 @@ val start_gossip : t -> unit
 (** Start the periodic [State_push] broadcast ([Invalid_argument] if the
     config has no [gossip_every]). *)
 
+val push_now : t -> unit
+(** Broadcast one unsolicited full [State_push] immediately, independent of
+    the gossip timer — the graceful-leave anti-entropy handoff: a departing
+    process ships its matrix so no suspicion it uniquely holds is lost with
+    its removal. *)
+
 val stop_gossip : t -> unit
 
 val set_delta :
@@ -110,6 +116,13 @@ val retries : t -> int
 (** Rebroadcasts in the current/last round. *)
 
 val completed_rounds : t -> int
+
+val gave_up_rounds : t -> int
+(** Rejoin rounds that exhausted the retry bound without completing: the
+    process went dormant for good unless revived by an unsolicited push or
+    a fresh {!start}. Each such round journals [Rejoin_gave_up] and bumps
+    the [rec_gave_up_total] counter (attempt counts live in
+    [rec_retries_total] and the [rec_round_attempts] gauge). *)
 
 val bad_payloads : t -> int
 (** Responses rejected by the codec. *)

@@ -117,6 +117,19 @@ let of_list n l =
 
 let equal a b = a.n = b.n && a.words = b.words
 
+(* Reconfiguration support: build a set over a new universe where slot [i]
+   inherits membership from old slot [of_new i] (or starts absent for a
+   fresh slot, [of_new i < 0]). Growth with the identity prefix mapping and
+   the matching compaction are exact inverses on the surviving slots. *)
+let remap t ~n ~of_new =
+  if n < 0 then invalid_arg "Bitset.remap";
+  let r = { n; words = Array.make (max 1 (words_for n)) 0 } in
+  for i = 0 to n - 1 do
+    let o = of_new i in
+    if o >= 0 && o < t.n && mem t o then add r i
+  done;
+  r
+
 let first t =
   let rec loop w =
     if w >= Array.length t.words then None

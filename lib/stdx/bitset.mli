@@ -59,6 +59,12 @@ val of_list : int -> int list -> t
 
 val equal : t -> t -> bool
 
+val remap : t -> n:int -> of_new:(int -> int) -> t
+(** [remap t ~n ~of_new] is a fresh set over universe [\[0, n)] where new
+    slot [i] is a member iff [of_new i] names a member of [t]; [of_new i <
+    0] marks a fresh slot (absent). Used by reconfiguration: grow for
+    joins, compacting remap for leaves/ejections. *)
+
 val first : t -> int option
 (** Smallest member. *)
 

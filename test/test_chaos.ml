@@ -162,6 +162,7 @@ let test_campaign_shrinks_to_marker () =
       checks = 1;
       proofs = 0;
       forgeries = 0;
+      reconfigs = 0;
     }
   in
   let report =

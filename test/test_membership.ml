@@ -1,0 +1,301 @@
+(* Membership plane: configs as pid⇄slot assignments, the per-process
+   engine's action protocol, remap-vs-rebuild consistency of reconfigured
+   selectors, and the end-to-end churn demo — a join, a voluntary leave and
+   an evidence-driven ejection on every chaos stack with zero monitor
+   violations. *)
+
+module Stime = Qs_sim.Stime
+module Auth = Qs_crypto.Auth
+module QS = Qs_core.Quorum_select
+module Matrix = Qs_core.Suspicion_matrix
+module Mconfig = Qs_membership.Config
+module Membership = Qs_membership.Membership
+module Fault = Qs_faults.Fault
+module Chaos = Qs_harness.Chaos
+module Prng = Qs_stdx.Prng
+
+let ms = Stime.of_ms
+
+let check_bool = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let check_ints = Alcotest.(check (list int))
+
+(* ------------------------------------------------------------------ *)
+(* Config: ordered member sets and slot remaps *)
+
+let test_config_bootstrap () =
+  let c = Mconfig.bootstrap [ 4; 0; 2 ] in
+  check_int "membership epoch 0" 0 (Mconfig.cepoch c);
+  check_int "n" 3 (Mconfig.n c);
+  check_ints "members sorted into slot order" [ 0; 2; 4 ] (Mconfig.members c);
+  check_int "slot 2 holds pid 4" 4 (Mconfig.pid_of_slot c 2);
+  Alcotest.(check (option int)) "pid 2 sits in slot 1" (Some 1) (Mconfig.slot_of_pid c 2);
+  Alcotest.(check (option int)) "non-member has no slot" None (Mconfig.slot_of_pid c 3);
+  check_bool "rejects duplicates" true
+    (match Mconfig.bootstrap [ 1; 1 ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_config_apply () =
+  let c0 = Mconfig.bootstrap [ 0; 1; 2 ] in
+  let c1 = Mconfig.apply c0 (Mconfig.Join 5) in
+  check_int "join bumps the epoch" 1 (Mconfig.cepoch c1);
+  check_ints "joiner slotted in pid order" [ 0; 1; 2; 5 ] (Mconfig.members c1);
+  let c2 = Mconfig.apply c1 (Mconfig.Leave 1) in
+  check_ints "leave compacts the slots" [ 0; 2; 5 ] (Mconfig.members c2);
+  check_bool "leave and eject agree on the member set" true
+    (Mconfig.equal c2 (Mconfig.apply c1 (Mconfig.Eject 1)));
+  check_bool "fingerprints separate the epochs" true
+    (Mconfig.fingerprint c1 <> Mconfig.fingerprint c2);
+  check_bool "rejects joining a member" true
+    (match Mconfig.apply c0 (Mconfig.Join 1) with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check_bool "rejects removing a non-member" true
+    (match Mconfig.apply c0 (Mconfig.Leave 7) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_config_of_new () =
+  (* Grow: {0,2,4} + 3 → {0,2,3,4}. New slots 0,1,3 carry old 0,1,2; new
+     slot 2 (pid 3) is fresh. *)
+  let old = Mconfig.bootstrap [ 0; 2; 4 ] in
+  let fresh = Mconfig.apply old (Mconfig.Join 3) in
+  check_ints "grow remap" [ 0; 1; -1; 2 ]
+    (List.init 4 (Mconfig.of_new ~old ~fresh));
+  (* Compact: {0,2,3,4} - 2 → {0,3,4}: new slots carry old 0,2,3. *)
+  let old = fresh in
+  let fresh = Mconfig.apply old (Mconfig.Leave 2) in
+  check_ints "compacting remap" [ 0; 2; 3 ]
+    (List.init 3 (Mconfig.of_new ~old ~fresh))
+
+(* ------------------------------------------------------------------ *)
+(* Engine: the action protocol and the floor *)
+
+let test_membership_actions () =
+  let init = Mconfig.bootstrap [ 0; 1; 2; 3; 4 ] in
+  let member = Membership.create ~me:0 ~f:1 init in
+  let joiner = Membership.create ~me:7 ~f:1 init in
+  check_bool "spare starts inactive" false (Membership.active joiner);
+  (match Membership.handle_change joiner (Mconfig.Join 7) with
+  | Membership.Admit -> ()
+  | _ -> Alcotest.fail "joiner must be admitted");
+  check_bool "joiner now active" true (Membership.active joiner);
+  (match Membership.handle_change member (Mconfig.Join 7) with
+  | Membership.Remap { of_new; me } ->
+    check_int "member keeps slot 0" 0 me;
+    check_int "fresh slot for the joiner" (-1) (of_new 5)
+  | _ -> Alcotest.fail "member must remap");
+  (match Membership.handle_change member (Mconfig.Leave 0) with
+  | Membership.Depart -> ()
+  | _ -> Alcotest.fail "leaver must depart");
+  (match Membership.handle_change joiner (Mconfig.Eject 1) with
+  | Membership.Remap { me; _ } ->
+    (* The joiner's view never saw the leave: members {0,2,3,4,7}, so
+       pid 7 still holds the top slot after the compaction. *)
+    check_int "slots compact after the ejection" 4 me
+  | _ -> Alcotest.fail "surviving member must remap");
+  (match Membership.handle_change member (Mconfig.Leave 2) with
+  | Membership.Observe -> ()
+  | _ -> Alcotest.fail "departed process only observes");
+  check_ints "log keeps the change epochs" [ 1; 2; 3 ]
+    (List.map fst (Membership.log member))
+
+let test_membership_floor () =
+  let init = Mconfig.bootstrap [ 0; 1; 2; 3 ] in
+  let m = Membership.create ~me:0 ~f:1 init in
+  check_int "default floor is 2f+1" 3 (Membership.min_n m);
+  check_bool "leave above the floor validates" true
+    (Membership.validate m (Mconfig.Leave 3) = Ok ());
+  ignore (Membership.handle_change m (Mconfig.Leave 3) : Membership.action);
+  check_bool "leave at the floor is refused" true
+    (match Membership.validate m (Mconfig.Leave 2) with Error _ -> true | Ok () -> false);
+  check_bool "join of a member is refused" true
+    (match Membership.validate m (Mconfig.Join 1) with Error _ -> true | Ok () -> false);
+  check_bool "eject of a non-member is refused" true
+    (match Membership.validate m (Mconfig.Eject 9) with Error _ -> true | Ok () -> false)
+
+let test_membership_snapshot () =
+  let init = Mconfig.bootstrap [ 0; 1; 2; 3; 4 ] in
+  let m = Membership.create ~me:0 ~f:1 init in
+  ignore (Membership.handle_change m (Mconfig.Join 6) : Membership.action);
+  let snap = Membership.snapshot m in
+  let fp = Membership.fingerprint m in
+  ignore (Membership.handle_change m (Mconfig.Leave 6) : Membership.action);
+  ignore (Membership.handle_change m (Mconfig.Leave 4) : Membership.action);
+  check_bool "changes move the fingerprint" true (Membership.fingerprint m <> fp);
+  Membership.restore m snap;
+  Alcotest.(check string) "restore rewinds config and log" fp (Membership.fingerprint m)
+
+(* ------------------------------------------------------------------ *)
+(* Remap vs rebuild: a reconfigured selector is indistinguishable from one
+   built from scratch on the same configuration *)
+
+(* Drive one selector (process 0, slot 0 in every config since its pid
+   sorts first) through [changes]; after every reconfiguration, rebuild a
+   fresh selector over the final config, replay the surviving suspicions,
+   and demand the same matrix and the same quorum. *)
+let run_remap_vs_rebuild ~universe ~f ~suspects changes =
+  let auth = Auth.create universe in
+  let n0 = (2 * f) + 3 in
+  let init = Mconfig.bootstrap (List.init n0 Fun.id) in
+  let mem = Membership.create ~me:0 ~f init in
+  let mk cfg =
+    QS.create cfg ~me:0 ~auth ~send:(fun _ -> ()) ~on_quorum:(fun _ -> ()) ()
+  in
+  let sel = mk { QS.n = n0; f } in
+  QS.handle_suspected sel suspects;
+  List.for_all
+    (fun change ->
+      match Membership.validate mem change with
+      | Error _ -> true (* refused changes must leave the state alone *)
+      | Ok () ->
+        (match Membership.handle_change mem change with
+        | Membership.Remap { of_new; me } ->
+          let cfg = Membership.config mem in
+          QS.reconfigure sel (Membership.qs_config mem) ~me
+            ~cepoch:(Mconfig.cepoch cfg) ~of_new
+        | Membership.Admit | Membership.Depart | Membership.Observe ->
+          invalid_arg "process 0 must stay a member");
+        let cfg = Membership.config mem in
+        let surviving = List.filter_map (Mconfig.slot_of_pid cfg) suspects in
+        let fresh = mk (Membership.qs_config mem) in
+        QS.handle_suspected fresh surviving;
+        Matrix.equal (QS.matrix sel) (QS.matrix fresh)
+        && QS.last_quorum sel = QS.last_quorum fresh
+        && QS.cepoch sel = Mconfig.cepoch cfg)
+    changes
+
+let test_remap_vs_rebuild () =
+  (* f=2, Π₀={0..6}; suspects 1,2. Join two spares, lose a suspect to an
+     ejection, lose a bystander to a leave, readmit a departed pid. *)
+  check_bool "deterministic churn sequence stays consistent" true
+    (run_remap_vs_rebuild ~universe:12 ~f:2 ~suspects:[ 1; 2 ]
+       [
+         Mconfig.Join 7;
+         Mconfig.Leave 5;
+         Mconfig.Eject 1;
+         Mconfig.Join 8;
+         Mconfig.Leave 6;
+         Mconfig.Join 5;
+       ])
+
+let prop_remap_vs_rebuild =
+  QCheck.Test.make ~name:"random churn keeps remap = rebuild" ~count:60
+    QCheck.(int_range 1 1_000_000)
+    (fun seed ->
+      let rng = Prng.of_int seed in
+      let universe = 11 in
+      let f = 2 in
+      (* Random walk over the change vocabulary; invalid proposals are
+         refused by [validate] and skipped, which is itself under test. *)
+      let changes =
+        List.init 14 (fun _ ->
+            let p = 1 + Prng.int rng (universe - 1) in
+            match Prng.int rng 3 with
+            | 0 -> Mconfig.Join p
+            | 1 -> Mconfig.Leave p
+            | _ -> Mconfig.Eject p)
+      in
+      run_remap_vs_rebuild ~universe ~f ~suspects:[ 1; 2 ] changes)
+
+(* ------------------------------------------------------------------ *)
+(* The churn demo: join + leave + evidence-driven ejection on every stack *)
+
+(* The [quorum-join-leave.sched] shape at n=10 f=3 (floor 7 admits all
+   three config changes): the spare joins at t=0, the initial leader
+   leaves at t=0 — before its first proposal, so the detectors raise a
+   suspicion wave while requests are pending — and p1 equivocates
+   destination-specific row variants inside that wave, which the evidence
+   stores convict into the ejecting config change. Blamed =
+   {0, 1, spare} ≤ f, in-model: the monitor enforces the full invariant
+   set, cross-epoch checks included. MinBFT runs at its own churn sizing
+   (n = 9, f = 4 — the USIG universe is pinned at n = 2f+1). *)
+let churn_demo_schedule ~spare =
+  [
+    Fault.at (Fault.Join spare);
+    Fault.at ~start:(ms 1) (Fault.Equivocate { src = 1; scope = [ 2; 3 ] });
+    Fault.at (Fault.Leave 0);
+  ]
+
+let run_churn_demo stack =
+  let params =
+    match stack with
+    | Chaos.Minbft -> Chaos.churn_params stack
+    | _ -> { (Chaos.churn_params stack) with Chaos.n = 10; f = 3; spares = [ 9 ] }
+  in
+  let spare = List.hd params.Chaos.spares in
+  let churn_demo_schedule = churn_demo_schedule ~spare in
+  let model = Fault.classify ~n:params.Chaos.n ~f:params.Chaos.f churn_demo_schedule in
+  (match model with
+  | Fault.In_model _ -> ()
+  | Fault.Out_of_model why -> Alcotest.fail ("demo schedule out of model: " ^ why));
+  let outcome, stores =
+    Chaos.execute_with_evidence stack ~params ~seed:13 ~model churn_demo_schedule
+  in
+  let name = Chaos.name stack in
+  check_int (name ^ ": zero monitor violations") 0
+    (List.length outcome.Qs_faults.Campaign.violations);
+  check_bool (name ^ ": liveness obligations met") true
+    (outcome.Qs_faults.Campaign.liveness = []);
+  check_bool (name ^ ": the equivocation was convicted") true
+    (outcome.Qs_faults.Campaign.proofs >= 1);
+  (* Join (10 members) + leave (9) + ejection (8): losing any one config
+     change drops the count below the floor. *)
+  check_bool (name ^ ": all three config changes reconfigured")
+    true
+    (outcome.Qs_faults.Campaign.reconfigs >= 20);
+  (* Only the equivocator may end up proof-excluded anywhere. *)
+  Array.iteri
+    (fun holder store ->
+      List.iter
+        (fun culprit ->
+          check_int
+            (Printf.sprintf "%s: store %d excludes only the equivocator" name holder)
+            1 culprit)
+        (Qs_evidence.Evidence.excluded store))
+    stores
+
+let test_churn_demo_xpaxos () = run_churn_demo Chaos.Xpaxos_qs
+
+let test_churn_demo_pbft () = run_churn_demo Chaos.Pbft
+
+let test_churn_demo_minbft () = run_churn_demo Chaos.Minbft
+
+let test_churn_demo_chain () = run_churn_demo Chaos.Chain
+
+let test_churn_demo_star () = run_churn_demo Chaos.Star
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "membership"
+    [
+      ( "config",
+        [
+          Alcotest.test_case "bootstrap" `Quick test_config_bootstrap;
+          Alcotest.test_case "apply" `Quick test_config_apply;
+          Alcotest.test_case "of_new" `Quick test_config_of_new;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "actions" `Quick test_membership_actions;
+          Alcotest.test_case "floor" `Quick test_membership_floor;
+          Alcotest.test_case "snapshot" `Quick test_membership_snapshot;
+        ] );
+      ( "remap",
+        [
+          Alcotest.test_case "deterministic sequence" `Quick test_remap_vs_rebuild;
+          QCheck_alcotest.to_alcotest prop_remap_vs_rebuild;
+        ] );
+      ( "churn-demo",
+        [
+          Alcotest.test_case "xpaxos-qs" `Slow test_churn_demo_xpaxos;
+          Alcotest.test_case "pbft" `Slow test_churn_demo_pbft;
+          Alcotest.test_case "minbft" `Slow test_churn_demo_minbft;
+          Alcotest.test_case "chain" `Slow test_churn_demo_chain;
+          Alcotest.test_case "star" `Slow test_churn_demo_star;
+        ] );
+    ]

@@ -244,7 +244,23 @@ let point ~n ?(full = 4096) ?(sync = 65) ?(idle = 0) ?(alloc = 0.0)
       ("peer_converged", Json.Bool agrees);
     ]
 
-let bench ?(scaling = []) () =
+let churn_point ?(availability = 1.0) ?(consistent = true) () =
+  Json.Obj
+    [
+      ("n", Json.Int 64);
+      ("f", Json.Int 4);
+      ("rounds", Json.Int 12);
+      ("joins", Json.Int 4);
+      ("leaves", Json.Int 7);
+      ("ejects", Json.Int 1);
+      ("availability", Json.Float availability);
+      ("quorum_changes", Json.Int 12);
+      ("reconfig_ops_per_sec", Json.Float 17_000.0);
+      ("remap_consistent", Json.Bool consistent);
+      ("departed_clean", Json.Bool consistent);
+    ]
+
+let bench ?(scaling = []) ?(churn = [ churn_point () ]) () =
   Json.Obj
     [
       ("schema", Json.String "qsel-bench/1");
@@ -262,14 +278,14 @@ let bench ?(scaling = []) () =
               ];
           ] );
       ("scaling", Json.List scaling);
+      ("churn", Json.List churn);
       ("results", Json.List []);
     ]
 
-let healthy () =
-  bench
-    ~scaling:
-      [ point ~n:64 ~select:400_000.0 (); point ~n:1024 ~select:10_000.0 () ]
-    ()
+let scaling_healthy () =
+  [ point ~n:64 ~select:400_000.0 (); point ~n:1024 ~select:10_000.0 () ]
+
+let healthy () = bench ~scaling:(scaling_healthy ()) ()
 
 let gate current baseline = Gate.passed (Gate.check ~current ~baseline)
 
@@ -347,6 +363,22 @@ let test_gate_fails_disagreement () =
   in
   check_bool "incremental/scratch disagreement fails" false (gate wrong b)
 
+let test_gate_fails_churn_regression () =
+  let b = Gate.derive_baseline (healthy ()) in
+  let unavailable =
+    bench ~scaling:(scaling_healthy ())
+      ~churn:[ churn_point ~availability:0.9 () ]
+      ()
+  in
+  check_bool "quorum unavailability after a change fails" false
+    (gate unavailable b);
+  let inconsistent =
+    bench ~scaling:(scaling_healthy ())
+      ~churn:[ churn_point ~consistent:false () ]
+      ()
+  in
+  check_bool "remap/rebuild divergence fails" false (gate inconsistent b)
+
 let test_gate_update_baseline_ratchet () =
   (* The escape hatch: deriving a fresh baseline from the regressed run
      makes the gate pass again — that is what --update-baseline commits. *)
@@ -411,6 +443,8 @@ let () =
             test_gate_fails_idle_regressions;
           Alcotest.test_case "disagreement fails" `Quick
             test_gate_fails_disagreement;
+          Alcotest.test_case "churn regression fails" `Quick
+            test_gate_fails_churn_regression;
           Alcotest.test_case "update-baseline ratchet" `Quick
             test_gate_update_baseline_ratchet;
           Alcotest.test_case "committed baseline well-formed" `Quick

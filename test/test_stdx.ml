@@ -234,6 +234,57 @@ let prop_bitset_matches_list_set =
       let b = Bitset.of_list 64 xs in
       Bitset.elements b = List.sort_uniq compare xs)
 
+(* The word-skipping paths all branch on the 63-bit word boundary: exercise
+   capacities one below, at and one above it, including the empty and full
+   sets, against list-set semantics. *)
+let prop_bitset_word_boundaries =
+  QCheck.Test.make ~name:"bitset word boundaries (63/64/65, empty, full)"
+    ~count:200
+    QCheck.(pair (int_range 0 2) (list (int_bound 64)))
+    (fun (off, xs) ->
+      let c = 63 + off in
+      let xs = List.filter (fun i -> i < c) xs in
+      let b = Bitset.of_list c xs in
+      let sorted = List.sort_uniq compare xs in
+      let empty = Bitset.create c in
+      let full = Bitset.of_list c (List.init c Fun.id) in
+      let inter = Bitset.copy b in
+      Bitset.inter_into inter full;
+      Bitset.elements b = sorted
+      && Bitset.cardinal b = List.length sorted
+      && List.for_all (fun i -> Bitset.mem b i = List.mem i sorted)
+           (List.init c Fun.id)
+      && Bitset.is_empty empty
+      && Bitset.disjoint b empty
+      && Bitset.cardinal full = c
+      && Bitset.inter_cardinal b full = Bitset.cardinal b
+      && Bitset.equal inter b
+      &&
+      (Bitset.clear full;
+       Bitset.is_empty full))
+
+(* The reconfiguration law: growing a set by one fresh slot at position [s]
+   (a config join) and compacting that slot back out (the matching leave)
+   is the identity — membership rides the remap in both directions. *)
+let prop_bitset_remap_round_trip =
+  QCheck.Test.make ~name:"bitset grow/compact remap round-trips" ~count:200
+    QCheck.(triple (int_range 1 130) (list (int_bound 129)) small_nat)
+    (fun (n, xs, s) ->
+      let s = s mod (n + 1) in
+      let xs = List.filter (fun i -> i < n) xs in
+      let b = Bitset.of_list n xs in
+      let grown =
+        Bitset.remap b ~n:(n + 1) ~of_new:(fun i ->
+            if i < s then i else if i = s then -1 else i - 1)
+      in
+      let back =
+        Bitset.remap grown ~n ~of_new:(fun i -> if i < s then i else i + 1)
+      in
+      Bitset.capacity grown = n + 1
+      && (not (Bitset.mem grown s))
+      && Bitset.cardinal grown = Bitset.cardinal b
+      && Bitset.equal back b)
+
 (* ------------------------------------------------------------------ *)
 (* Stats *)
 
@@ -339,7 +390,15 @@ let prop_rank_unrank =
       let r = r mod total in
       Combin.rank n (Combin.unrank n k r) = r)
 
-let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_heap_sorts; prop_bitset_matches_list_set; prop_rank_unrank ]
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_heap_sorts;
+      prop_bitset_matches_list_set;
+      prop_bitset_word_boundaries;
+      prop_bitset_remap_round_trip;
+      prop_rank_unrank;
+    ]
 
 let () =
   Alcotest.run "stdx"
