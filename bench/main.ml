@@ -292,6 +292,45 @@ let churn_json points =
            ])
        points)
 
+(* The E17 multicore-exploration sweep: domain-sharded fuzzing throughput
+   at 1/2/4/8 workers plus the exhaustive/symmetry agreement bits. The
+   determinism booleans and visited-state pins are code properties the
+   gate enforces; states/s and speedup are the runner's and stay
+   report-only. *)
+let explore_sweep ~quick () = Qs_harness.E_explore.measure ~quick ()
+
+let explore_json (points, check) =
+  let module Json = Qs_obs.Json in
+  let module E = Qs_harness.E_explore in
+  Json.Obj
+    [
+      ( "points",
+        Json.List
+          (List.map
+             (fun (p : E.point) ->
+               Json.Obj
+                 [
+                   ("jobs", Json.Int p.jobs);
+                   ("iters", Json.Int p.iters);
+                   ("visited", Json.Int p.visited);
+                   ("elapsed_s", Json.Float p.elapsed_s);
+                   ("states_per_sec", Json.Float p.states_per_sec);
+                   ("speedup", Json.Float p.speedup);
+                   ("identical_report", Json.Bool p.identical_report);
+                   ("same_states", Json.Bool p.same_states);
+                 ])
+             points) );
+      ( "exhaustive",
+        Json.Obj
+          [
+            ("seq_visited", Json.Int check.E.seq_visited);
+            ("par_visited", Json.Int check.E.par_visited);
+            ("sets_agree", Json.Bool check.E.sets_agree);
+            ("sym_visited", Json.Int check.E.sym_visited);
+            ("sym_collapses", Json.Bool check.E.sym_collapses);
+          ] );
+    ]
+
 let scaling_json points =
   let module Json = Qs_obs.Json in
   Json.List
@@ -319,7 +358,7 @@ let scaling_json points =
    regenerated. One file per run; diff it across commits to track the perf
    trajectory. *)
 let write_json_summary ~path ~quick ~experiments_ok ~commission ~scaling
-    ~churn ~bench_rows =
+    ~churn ~explore ~bench_rows =
   let module Json = Qs_obs.Json in
   let result_json group (name, ns) =
     Json.Obj
@@ -356,6 +395,7 @@ let write_json_summary ~path ~quick ~experiments_ok ~commission ~scaling
         ("commission", Json.List commission_json);
         ("scaling", scaling_json scaling);
         ("churn", churn_json churn);
+        ("explore", explore_json explore);
         ("results", Json.List results);
         ("metrics", Qs_obs.Metrics.to_json (Qs_obs.Metrics.snapshot ()));
       ]
@@ -393,6 +433,19 @@ let () =
   let churn =
     match json_path with None -> [] | Some _ -> churn_points ~quick ()
   in
+  let explore =
+    match json_path with
+    | None ->
+      ( [],
+        {
+          Qs_harness.E_explore.seq_visited = 0;
+          par_visited = 0;
+          sets_agree = true;
+          sym_visited = 0;
+          sym_collapses = true;
+        } )
+    | Some _ -> explore_sweep ~quick ()
+  in
   Qs_obs.Metrics.reset ();
   let experiments_ok =
     if micro_only then None else Some (Experiments.run_and_print_all ~quick ())
@@ -402,5 +455,5 @@ let () =
    | None -> ()
    | Some path ->
      write_json_summary ~path ~quick ~experiments_ok ~commission ~scaling
-       ~churn ~bench_rows);
+       ~churn ~explore ~bench_rows);
   if experiments_ok = Some false then exit 1

@@ -52,7 +52,9 @@ let experiment_cmd =
       required
       & pos 0 (some string) None
       & info [] ~docv:"ID"
-          ~doc:"Experiment id: e1-e12, e14, e15 (scaling), e16 (churn), or 'all'.")
+          ~doc:
+            "Experiment id: e1-e12, e14, e15 (scaling), e16 (churn), e17 \
+             (multicore exploration), or 'all'.")
   in
   let quick =
     Arg.(value & flag & info [ "quick" ] ~doc:"Trim parameter sweeps (used by CI).")
@@ -66,11 +68,26 @@ let experiment_cmd =
              or the e16 churn sweep (default 64, 256); repeatable. Ignored \
              by other experiments.")
   in
-  let run id quick sizes metrics =
+  let jobs =
+    Arg.(
+      value & opt_all int []
+      & info [ "jobs" ] ~docv:"J"
+          ~doc:
+            "Domain count for the e17 exploration sweep (default 1, 2, 4, 8); \
+             repeatable. Ignored by other experiments.")
+  in
+  let run id quick sizes jobs metrics =
     with_metrics metrics (fun () ->
         if String.lowercase_ascii id = "all" then
           if Qs_harness.Experiments.run_and_print_all ~quick () then `Ok ()
           else `Error (false, "some experiment verdicts failed")
+        else if String.lowercase_ascii id = "e17" then begin
+          let jobs = match jobs with [] -> None | js -> Some js in
+          let o = Qs_harness.Experiments.e17 ~quick ?jobs () in
+          Qs_harness.Experiments.print o;
+          if Qs_harness.Verdict.all_ok o.Qs_harness.Experiments.verdicts then `Ok ()
+          else `Error (false, "e17 verdicts failed")
+        end
         else if String.lowercase_ascii id = "e15" || String.lowercase_ascii id = "e16"
         then begin
           let id = String.lowercase_ascii id in
@@ -93,7 +110,7 @@ let experiment_cmd =
   let doc = "Regenerate a paper table/figure (see DESIGN.md section 4)." in
   Cmd.v
     (Cmd.info "experiment" ~doc)
-    Term.(ret (const run $ id $ quick $ sizes $ metrics_arg))
+    Term.(ret (const run $ id $ quick $ sizes $ jobs $ metrics_arg))
 
 let attack_cmd =
   let f = Arg.(value & opt int 2 & info [ "f" ] ~doc:"Number of faulty processes.") in
@@ -389,7 +406,17 @@ let chaos_cmd =
              invariants (stale-config, joiner-quorum, ejected-quorum).")
   in
   let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.") in
-  let run protocol seed runs quick out_of_model amnesia byz churn json metrics =
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs" ] ~docv:"J"
+          ~doc:
+            "Execute the campaign's runs on J domains (sequential fallback \
+             on OCaml 4.14). Reports are byte-identical for every J: \
+             schedules are pre-drawn in index order and the lowest failing \
+             run wins regardless of which worker finishes first.")
+  in
+  let run protocol seed runs quick out_of_model amnesia byz churn json jobs metrics =
     with_metrics metrics @@ fun () ->
     let stacks =
       if String.lowercase_ascii protocol = "all" then Ok Chaos.all
@@ -411,7 +438,7 @@ let chaos_cmd =
           (fun st ->
             ( st,
               Chaos.campaign st ~params:(params st) ~out_of_model ~amnesia ~byz
-                ~churn ~runs ~seed () ))
+                ~churn ~runs ~jobs ~seed () ))
           stacks
       in
       if json then
@@ -451,7 +478,7 @@ let chaos_cmd =
     Term.(
       ret
         (const run $ protocol $ seed $ runs $ quick $ out_of_model $ amnesia $ byz
-        $ churn $ json $ metrics_arg))
+        $ churn $ json $ jobs $ metrics_arg))
 
 (* ------------------------------------------------------------------ *)
 (* mc: small-scope model checking / schedule exploration *)
@@ -526,6 +553,28 @@ let mc_cmd =
           ~doc:"Disable the sleep-set partial-order reduction (for debugging/benchmarks).")
   in
   let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.") in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs" ] ~docv:"J"
+          ~doc:
+            "Shard the exploration across $(docv) domains (sequential \
+             fallback on OCaml 4.14). Random mode is byte-identical across \
+             any $(docv); exhaustive mode agrees with the sequential \
+             explorer on the visited state set and the violations found. \
+             Omitted: the legacy single-domain engine runs.")
+  in
+  let sym =
+    Arg.(
+      value & flag
+      & info [ "sym" ]
+          ~doc:
+            "Prune on the symmetry-canonical fingerprint (quorum protocol \
+             only; exhaustive mode), collapsing states identical up to a \
+             relabeling of the processes no fault or injection \
+             distinguishes.")
+  in
   let parse_injections specs =
     List.fold_left
       (fun acc s ->
@@ -563,7 +612,7 @@ let mc_cmd =
       (Ok ([], [], [], [])) specs
   in
   let run protocol n f depth inject crash requests seeded_bug random seed iters no_por json
-      metrics =
+      jobs sym metrics =
     with_metrics metrics @@ fun () ->
     match MC.protocol_of_name protocol with
     | None -> `Error (true, Printf.sprintf "unknown protocol %S" protocol)
@@ -595,10 +644,27 @@ let mc_cmd =
           try Ok (MC.make spec) with Invalid_argument msg -> Error msg
         with
         | Error msg -> `Error (true, msg)
+        | Ok system when (match jobs with Some j -> j < 1 | None -> false) ->
+          ignore system;
+          `Error (true, "--jobs must be >= 1")
         | Ok system ->
-          let report =
-            if random then Engine.random ~seed ~iters system
-            else Engine.explore ~por:(not no_por) ~depth system
+          let mk () = MC.make spec in
+          let report, shards =
+            match (random, jobs) with
+            | true, None -> (Engine.random ~seed ~iters system, None)
+            | true, Some j ->
+              (* Any --jobs selects the per-walk-seeded sharded fuzzer; its
+                 reports are byte-identical for every J (but differently
+                 seeded than the legacy single-stream walker above). *)
+              let r = Qs_mc.Shard.random ~jobs:j ~seed ~iters mk in
+              Qs_mc.Shard.observe r;
+              (r.Qs_mc.Shard.report, Some r.Qs_mc.Shard.shards)
+            | false, (None | Some 1) ->
+              (Engine.explore ~por:(not no_por) ~sym ~depth system, None)
+            | false, Some j ->
+              let r = Qs_mc.Shard.explore ~jobs:j ~por:(not no_por) ~sym ~depth mk in
+              Qs_mc.Shard.observe r;
+              (r.Qs_mc.Shard.report, Some r.Qs_mc.Shard.shards)
           in
           Qs_core.Quorum_select.test_buggy_quorum_size := false;
           if json then
@@ -616,7 +682,23 @@ let mc_cmd =
                  ^ String.concat "," (List.map string_of_int spec.MC.crashes)
                  ^ "}")
               (if seeded_bug then "  [seeded bug armed]" else "");
-            print_endline (Engine.report_to_string report)
+            print_endline (Engine.report_to_string report);
+            match shards with
+            | None -> ()
+            | Some ss ->
+              List.iter
+                (fun s ->
+                  Printf.printf
+                    "  shard %d: states=%d transitions=%d tasks=%d steals=%d \
+                     stalls=%d elapsed=%.3fs (%.0f states/s)\n"
+                    s.Qs_mc.Shard.shard s.Qs_mc.Shard.states
+                    s.Qs_mc.Shard.transitions s.Qs_mc.Shard.tasks
+                    s.Qs_mc.Shard.steals s.Qs_mc.Shard.stalls
+                    s.Qs_mc.Shard.elapsed_s
+                    (if s.Qs_mc.Shard.elapsed_s > 0. then
+                       float_of_int s.Qs_mc.Shard.states /. s.Qs_mc.Shard.elapsed_s
+                     else 0.))
+                ss
           end;
           if Engine.ok report then `Ok ()
           else `Error (false, "model checker found violations")))
@@ -633,7 +715,7 @@ let mc_cmd =
     Term.(
       ret
         (const run $ protocol $ n $ f $ depth $ inject $ crash $ requests $ seeded_bug $ random
-       $ seed $ iters $ no_por $ json $ metrics_arg))
+       $ seed $ iters $ no_por $ json $ jobs $ sym $ metrics_arg))
 
 let () =
   let doc = "Quorum Selection for Byzantine Fault Tolerance - reproduction toolkit" in

@@ -380,6 +380,30 @@ let fingerprint t =
     t.issued_in_epoch t.max_issued_in_epoch t.dormant
     (String.concat "," (List.map string_of_int t.excluded))
 
+(* [fingerprint] of this node's state as it appears after relabeling every
+   process identity through the bijection [perm] (old pid -> new pid): the
+   matrix is conjugated, [suspecting] mapped and re-sorted (it is maintained
+   sorted), [excluded] mapped in conviction order. [last_quorum] is rendered
+   VERBATIM: it is the lex-first independent set of the suspect graph, and
+   lex-first is not permutation-covariant — its output is a function of the
+   graph, not a label. The model checker only enables symmetry when every
+   suspicion edge endpoint is fixed by the permutation group, so the graph
+   (and hence the lex-first choice) is invariant and the verbatim render is
+   exactly what the relabeled execution would store. *)
+let fingerprint_perm t ~perm =
+  let inv = Array.make t.config.n 0 in
+  for p = 0 to t.config.n - 1 do
+    inv.(perm p) <- p
+  done;
+  let pmap l = List.map perm l in
+  Format.asprintf "%d,%d,%d|%d|%a|%s|%s|%d|%d|%b|%s" t.config.n t.config.f
+    t.cepoch t.epoch Suspicion_matrix.pp
+    (Suspicion_matrix.remap t.matrix ~n:t.config.n ~of_new:(fun i -> inv.(i)))
+    (String.concat "," (List.map string_of_int t.last_quorum))
+    (String.concat "," (List.map string_of_int (List.sort compare (pmap t.suspecting))))
+    t.issued_in_epoch t.max_issued_in_epoch t.dormant
+    (String.concat "," (List.map string_of_int (pmap t.excluded)))
+
 type snapshot = {
   s_config : config;
   s_me : Pid.t;

@@ -164,6 +164,14 @@ val fingerprint : t -> string
     (the latter so states differing only in proximity to the Theorem-3 bound
     are never merged). Callbacks and metrics handles are excluded. *)
 
+val fingerprint_perm : t -> perm:(int -> int) -> string
+(** {!fingerprint} of the state relabeled through the pid bijection [perm]
+    (old pid -> new pid): matrix conjugated, pid lists mapped. [last_quorum]
+    is rendered verbatim — lex-first selection is a function of the suspect
+    graph, not of labels, so the caller (the model checker's symmetry
+    reduction) must only use permutations that fix every pid incident to a
+    suspicion edge. Equal to {!fingerprint} when [perm] is the identity. *)
+
 type snapshot
 
 val snapshot : t -> snapshot

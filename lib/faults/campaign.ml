@@ -70,7 +70,7 @@ let shrink ~classify ~execute ~run_seed schedule outcome =
   in
   (minimal, !last, steps)
 
-let run ~seed ~runs ~gen ~classify ~execute () =
+let run_seq ~seed ~runs ~gen ~classify ~execute =
   let rng = Prng.of_int seed in
   let results = ref [] in
   let first_failure = ref None in
@@ -101,6 +101,86 @@ let run ~seed ~runs ~gen ~classify ~execute () =
     minimal = !minimal;
     shrink_steps = !shrink_steps;
   }
+
+(* Parallel engine. Determinism argument, mirroring Shard.random:
+   - Schedules are pre-drawn from the single generator rng in index order,
+     so run [i]'s schedule and per-run seed are exactly the sequential
+     engine's, independent of worker scheduling.
+   - [best] holds the lowest failing index executed so far; a worker only
+     skips index [i] when some executed failing index sits strictly below
+     it. Hence every index up to the final first-failure index w is
+     executed — a skip of i <= w would need a failing index below w — the
+     truncated run list [0..w] is complete, and runs beyond w, which the
+     sequential engine never executes, are discarded unseen.
+   - The shrink replays on the calling domain from (run_seed, schedule),
+     both partition-independent. *)
+let run_par ~jobs ~seed ~runs ~gen ~classify ~execute =
+  let rng = Prng.of_int seed in
+  let scheds = Array.make runs [] in
+  for i = 0 to runs - 1 do
+    scheds.(i) <- gen rng
+  done;
+  let outcomes = Array.make runs None in
+  let next = Atomic.make 0 in
+  let best = Atomic.make max_int in
+  let rec lower i =
+    let b = Atomic.get best in
+    if i < b && not (Atomic.compare_and_set best b i) then lower i
+  in
+  let worker _k =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < runs then begin
+        if i <= Atomic.get best then begin
+          let schedule = scheds.(i) in
+          let run_seed = (seed * 1_000_003) + i in
+          let model = classify schedule in
+          let outcome = execute ~seed:run_seed ~model schedule in
+          outcomes.(i) <- Some { index = i; run_seed; schedule; model; outcome };
+          if failed outcome then lower i
+        end;
+        loop ()
+      end
+    in
+    loop ()
+  in
+  ignore (Qs_stdx.Domainpool.run ~jobs:(max 1 (min jobs runs)) worker);
+  let first_failure =
+    let rec find i =
+      if i >= runs then None
+      else
+        match outcomes.(i) with
+        | Some r when failed r.outcome -> Some r
+        | _ -> find (i + 1)
+    in
+    find 0
+  in
+  let upto = match first_failure with Some r -> r.index | None -> runs - 1 in
+  let results =
+    List.filter_map (fun i -> outcomes.(i)) (List.init (upto + 1) Fun.id)
+  in
+  let minimal, shrink_steps =
+    match first_failure with
+    | None -> (None, 0)
+    | Some r ->
+      let m, mo, steps =
+        shrink ~classify ~execute ~run_seed:r.run_seed r.schedule r.outcome
+      in
+      ( Some
+          {
+            index = r.index;
+            run_seed = r.run_seed;
+            schedule = m;
+            model = classify m;
+            outcome = mo;
+          },
+        steps )
+  in
+  { seed; runs = results; first_failure; minimal; shrink_steps }
+
+let run ?(jobs = 1) ~seed ~runs ~gen ~classify ~execute () =
+  if jobs <= 1 then run_seq ~seed ~runs ~gen ~classify ~execute
+  else run_par ~jobs ~seed ~runs ~gen ~classify ~execute
 
 (* ------------------------------------------------------------------ *)
 (* Reporting *)

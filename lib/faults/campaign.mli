@@ -57,6 +57,7 @@ val greedy_shrink :
     one-choice-removed schedule variants. *)
 
 val run :
+  ?jobs:int ->
   seed:int ->
   runs:int ->
   gen:(Qs_stdx.Prng.t -> Fault.schedule) ->
@@ -65,7 +66,17 @@ val run :
   unit ->
   report
 (** [execute] must be a pure function of [(seed, schedule)] for replay and
-    shrinking to be meaningful. *)
+    shrinking to be meaningful.
+
+    [jobs] (default 1) executes the runs on that many domains (sequentially
+    on OCaml 4.14 — see {!Qs_stdx.Domainpool}). The report is byte-identical
+    for every [jobs] value: schedules are pre-drawn from the generator in
+    index order, the lowest failing index wins regardless of which worker
+    finishes first, the run list is truncated at that index exactly as the
+    sequential engine leaves it, and the shrink replays on the calling
+    domain. [execute] must then also be safe to call from concurrent
+    domains — true for stacks whose observability state lives in the
+    domain-local default registries. *)
 
 val render : report -> string
 (** Multi-line human-readable report. *)

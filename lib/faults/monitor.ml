@@ -272,7 +272,7 @@ let handle t entry =
     ignore claimed
   | _ -> ()
 
-let create ?(journal = Journal.default) config =
+let create ?(journal = Journal.default ()) config =
   let t =
     {
       config;

@@ -928,7 +928,7 @@ let execute stack ?params ~seed ~model schedule =
   fst (execute_with_evidence stack ?params ~seed ~model schedule)
 
 let campaign stack ?params ?(out_of_model = false) ?(amnesia = false)
-    ?(byz = false) ?(churn = false) ?(runs = 20) ~seed () =
+    ?(byz = false) ?(churn = false) ?(runs = 20) ?(jobs = 1) ~seed () =
   let params =
     match params with
     | Some p -> p
@@ -979,7 +979,7 @@ let campaign stack ?params ?(out_of_model = false) ?(amnesia = false)
           params.spares
     end
   in
-  Campaign.run ~seed ~runs ~gen
+  Campaign.run ~jobs ~seed ~runs ~gen
     ~classify:(Fault.classify ~n:params.n ~f:params.f)
     ~execute:(fun ~seed ~model schedule -> execute stack ~params ~seed ~model schedule)
     ()

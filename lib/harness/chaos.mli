@@ -101,6 +101,7 @@ val campaign :
   ?byz:bool ->
   ?churn:bool ->
   ?runs:int ->
+  ?jobs:int ->
   seed:int ->
   unit ->
   Qs_faults.Campaign.report
@@ -121,4 +122,10 @@ val campaign :
     culprit; every change reconfigures the member selectors
     width-preserving (membership epoch bump, identity slot remap) and the
     monitor's cross-epoch invariants (stale-config, joiner-quorum,
-    ejected-quorum/readmitted) arm themselves from the journal. *)
+    ejected-quorum/readmitted) arm themselves from the journal.
+
+    [jobs] (default 1) executes the runs on that many domains with a
+    byte-identical report for every value — see {!Qs_faults.Campaign.run};
+    each run builds its cluster against the executing domain's own default
+    metrics registry and journal, so concurrent runs never share
+    observability state. *)

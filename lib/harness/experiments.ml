@@ -45,6 +45,8 @@ let e15 ?quick ?ns () = of_table "E15" (E_scale.run ?quick ?ns ())
 
 let e16 ?quick ?ns () = of_table "E16" (E_churn.run ?quick ?ns ())
 
+let e17 ?quick ?jobs () = of_table "E17" (E_explore.run ?quick ?jobs ())
+
 let all ?(quick = false) () =
   let fs_bounds = if quick then [ 1; 2 ] else [ 1; 2; 3; 4 ] in
   let fs_fol = if quick then [ 1; 2 ] else [ 1; 2; 3 ] in

@@ -33,6 +33,11 @@ val e16 : ?quick:bool -> ?ns:int list -> unit -> outcome
 (** The churn sweep ({!E_churn}): availability and quorum stability under
     membership churn. Like {!e15}, not part of {!all}. *)
 
+val e17 : ?quick:bool -> ?jobs:int list -> unit -> outcome
+(** The multicore exploration sweep ({!E_explore}): domain-sharded fuzzing
+    throughput with byte-identical reports. Like {!e15}, not part of
+    {!all}. *)
+
 val all : ?quick:bool -> unit -> outcome list
 (** [quick] trims the sweeps for test runs (default false). *)
 

@@ -357,6 +357,129 @@ let make_quorum spec =
               (String.concat ",p" (List.map string_of_int diverged))
               first ) ]
   in
+  (* ---- symmetry ----------------------------------------------------
+     Free pids are those no fault plane or injection distinguishes. The
+     instance's dynamics never put a free pid at either end of a suspicion
+     edge — suspicions come only from injections and equivocation fakes,
+     whose endpoints are all distinguished below — so relabeling free pids
+     commutes with every transition and every check, and lex-first quorum
+     selection (a function of the invariant suspect graph) picks the same
+     set in the relabeled execution. The canonical fingerprint is the
+     minimum over the induced permutation group of the plain fingerprint's
+     relabeled render: sibling states differing only in which free process
+     played a role collapse into one orbit representative. *)
+  let distinguished =
+    List.sort_uniq compare
+      (spec.crashes @ spec.amnesia @ spec.churn
+      @ List.concat_map
+          (fun p ->
+            match equivocation_peers p with
+            | Some (a, b) -> [ p; a; b ]
+            | None -> [ p ])
+          spec.equivocate
+      @ List.concat_map (fun (p, s) -> p :: s) spec.injections)
+  in
+  let free =
+    List.filter (fun p -> not (List.mem p distinguished)) (List.init spec.n Fun.id)
+  in
+  let rec permutations = function
+    | [] -> [ [] ]
+    | l ->
+      List.concat_map
+        (fun x ->
+          List.map (fun r -> x :: r) (permutations (List.filter (( <> ) x) l)))
+        l
+  in
+  (* new pid = perm.(old pid); identity on distinguished pids. *)
+  let group =
+    List.map
+      (fun image ->
+        let a = Array.init spec.n Fun.id in
+        List.iter2 (fun old img -> a.(old) <- img) free image;
+        a)
+      (permutations free)
+  in
+  let render_perm perm =
+    let inv = Array.make spec.n 0 in
+    Array.iteri (fun old img -> inv.(img) <- old) perm;
+    let pmatrix enc =
+      Codec.encode_matrix
+        (Qs_core.Suspicion_matrix.remap (Codec.decode_matrix enc) ~n:spec.n
+           ~of_new:(fun i -> inv.(i)))
+    in
+    let pencode = function
+      | Q_update (m : Qs_core.Msg.t) ->
+        "u"
+        ^ Qs_core.Msg.encode
+            {
+              Qs_core.Msg.owner = perm.(m.update.owner);
+              row = Array.init spec.n (fun j -> m.update.row.(inv.(j)));
+            }
+      | Q_rejoin rm ->
+        "r"
+        ^ Rejoin.encode_msg
+            (match rm with
+             | Rejoin.State_req _ | Rejoin.State_delta _ | Rejoin.Delta_ack _ ->
+               (* req carries no pids; delta gossip is off in this instance *)
+               rm
+             | Rejoin.State_resp { rid; payload } ->
+               Rejoin.State_resp
+                 { rid;
+                   payload = { payload with Rejoin.matrix = pmatrix payload.Rejoin.matrix } }
+             | Rejoin.State_push { payload } ->
+               Rejoin.State_push
+                 { payload = { payload with Rejoin.matrix = pmatrix payload.Rejoin.matrix } })
+    in
+    (* Mirrors the plain fingerprint layout exactly: line i holds the
+       relabeled render of the node the permutation sends to slot i, so the
+       identity permutation reproduces [fingerprint ()] byte for byte. *)
+    let buf = Buffer.create 256 in
+    for i = 0 to spec.n - 1 do
+      Buffer.add_string buf
+        (QS.fingerprint_perm (nodes ()).(inv.(i)) ~perm:(fun p -> perm.(p)));
+      Buffer.add_char buf '\n'
+    done;
+    for i = 0 to spec.n - 1 do
+      Buffer.add_string buf
+        (Rejoin.fingerprint_perm (rejoins ()).(inv.(i))
+           ~perm:(fun p -> perm.(p))
+           ~matrix:pmatrix);
+      Buffer.add_char buf '\n'
+    done;
+    Buffer.add_string buf "A";
+    for i = 0 to spec.n - 1 do
+      Buffer.add_char buf (if amnesia_done.(inv.(i)) then '1' else '0')
+    done;
+    Buffer.add_string buf "E";
+    for i = 0 to spec.n - 1 do
+      Buffer.add_char buf (if equivocate_done.(inv.(i)) then '1' else '0')
+    done;
+    Buffer.add_string buf "C";
+    for i = 0 to spec.n - 1 do
+      Buffer.add_char buf (if churn_done.(inv.(i)) then '1' else '0')
+    done;
+    let pend =
+      Network.pending (net ())
+      |> List.map (fun (_, src, dst, payload) ->
+             Printf.sprintf "%d>%d#%s" perm.(src) perm.(dst)
+               (Qs_crypto.Sha256.digest_hex (pencode payload)))
+      |> List.sort compare |> String.concat ","
+    in
+    Buffer.add_string buf ("[" ^ pend ^ "]");
+    Buffer.contents buf
+  in
+  let symmetry =
+    if List.compare_length_with free 2 < 0 then None
+    else
+      Some
+        (fun () ->
+          List.fold_left
+            (fun best perm ->
+              let r = render_perm perm in
+              match best with Some b when b <= r -> best | _ -> Some r)
+            None group
+          |> Option.get)
+  in
   {
     Engine.reset;
     enabled =
@@ -453,6 +576,7 @@ let make_quorum spec =
             Array.blit eq 0 equivocate_done 0 spec.n;
             Array.blit ch 0 churn_done 0 spec.n;
             Network.restore (net ()) net_snap);
+    symmetry;
   }
 
 (* -------------------------------------------------------------- follower *)
@@ -652,6 +776,7 @@ let make_follower spec =
                 fd.expectation <- s.expectation)
               fd_snap;
             Network.restore (net ()) net_snap);
+    symmetry = None;
   }
 
 (* ---------------------------------------------------------------- xpaxos *)
@@ -845,6 +970,7 @@ let make_xpaxos mode spec =
         @ qsel_violations () @ history_violations ());
     quiescent_violations = (fun () -> []);
     snapshot = None;
+    symmetry = None;
   }
 
 let make spec =

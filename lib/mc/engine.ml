@@ -17,6 +17,7 @@ type system = {
   violations : unit -> (string * string) list;
   quiescent_violations : unit -> (string * string) list;
   snapshot : (unit -> unit -> unit) option;
+  symmetry : (unit -> string) option;
 }
 
 type violation = {
@@ -85,11 +86,75 @@ let replay (system : system) schedule =
 let remove_each schedule =
   List.mapi (fun i _ -> List.filteri (fun j _ -> j <> i) schedule) schedule
 
-let shrink system ~check schedule =
-  Campaign.greedy_shrink ~candidates:remove_each
-    ~still_fails:(fun candidate ->
-      List.exists (fun (c, _) -> c = check) (replay system candidate))
-    schedule
+(* Greedy shrinking replays one candidate per oracle call, and candidate i
+   of the current value shares its first i choices with the value itself.
+   When the system has a snapshot fast path we memoize (snapshot,
+   violations-so-far) at every prefix reached, so a candidate replay
+   restores the longest cached prefix and only applies its tail instead of
+   resetting and reapplying everything. Restore thunks are treated as
+   single-use (the explorer's discipline), so a cache hit re-arms its entry
+   with a fresh snapshot right after restoring. *)
+let shrink ?(memo = true) system ~check schedule =
+  match (if memo then system.snapshot else None) with
+  | None ->
+    Campaign.greedy_shrink ~candidates:remove_each
+      ~still_fails:(fun candidate ->
+        List.exists (fun (c, _) -> c = check) (replay system candidate))
+      schedule
+  | Some snap ->
+    let cache : (string, (unit -> unit) * (string * string) list) Hashtbl.t =
+      Hashtbl.create 64
+    in
+    let still_fails candidate =
+      let arr = Array.of_list candidate in
+      let n = Array.length arr in
+      let keys = Array.make (n + 1) "" in
+      for i = 1 to n do
+        let c = Schedule.choice_to_string arr.(i - 1) in
+        keys.(i) <- (if i = 1 then c else keys.(i - 1) ^ ";" ^ c)
+      done;
+      let start = ref 0 in
+      (try
+         for i = n downto 1 do
+           if Hashtbl.mem cache keys.(i) then begin
+             start := i;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      let seen = Hashtbl.create 8 in
+      let acc = ref [] in
+      let note vs =
+        List.iter
+          (fun (c, d) ->
+            let key = c ^ "|" ^ d in
+            if not (Hashtbl.mem seen key) then begin
+              Hashtbl.replace seen key ();
+              acc := (c, d) :: !acc
+            end)
+          vs
+      in
+      (match Hashtbl.find_opt cache keys.(!start) with
+       | Some (restore, viols) ->
+         restore ();
+         Hashtbl.replace cache keys.(!start) (snap (), viols);
+         acc := viols;
+         List.iter (fun (c, d) -> Hashtbl.replace seen (c ^ "|" ^ d) ()) viols
+       | None ->
+         (* Only the empty prefix can be uncached here. *)
+         system.reset ();
+         note (system.violations ());
+         Hashtbl.replace cache "" (snap (), !acc));
+      for i = !start to n - 1 do
+        ignore (system.apply arr.(i));
+        note (system.violations ());
+        if Hashtbl.length cache < 512 then
+          Hashtbl.replace cache keys.(i + 1) (snap (), !acc)
+      done;
+      if system.enabled () = [] then note (system.quiescent_violations ());
+      List.exists (fun (c, _) -> c = check) !acc
+    in
+    Campaign.greedy_shrink ~candidates:remove_each ~still_fails schedule
 
 let shrink_violations system ~shrink:do_shrink violations =
   List.map
@@ -102,15 +167,6 @@ let shrink_violations system ~shrink:do_shrink violations =
 
 (* ------------------------------------------------------------------ *)
 (* Exhaustive exploration *)
-
-type stats = {
-  mutable s_visited : int;
-  mutable s_revisit : int;
-  mutable s_sleep : int;
-  mutable s_transitions : int;
-  mutable s_quiescent : int;
-  mutable s_truncated : int;
-}
 
 (* Fingerprint cache combining budget-aware iterative deepening with sleep
    sets. A cache entry (b, S) means: this state was explored with [b]
@@ -134,8 +190,108 @@ let insert_entry entries budget sleep =
   (budget, sleep)
   :: List.filter (fun (b, s) -> not (budget >= b && subset sleep s)) entries
 
-let explore ?(por = true) ?(shrink = true) ~depth (system : system) =
+(* The recursive DFS visit, shared verbatim between the sequential explorer
+   below and the domain-sharded one in {!Shard}: a shard explores a root
+   subtree by calling [visit] with its own stats/tables. [fpf] is the
+   fingerprint in use (plain, or the symmetry-canonical one); [qfps], when
+   given, switches quiescent accounting from per-visit events to distinct
+   fingerprints, which is what makes per-shard quiescent counts mergeable
+   by set union. *)
+module Internal = struct
+  type stats = {
+    mutable s_visited : int;
+    mutable s_revisit : int;
+    mutable s_sleep : int;
+    mutable s_transitions : int;
+    mutable s_quiescent : int;
+    mutable s_truncated : int;
+  }
+
+  let new_stats () =
+    {
+      s_visited = 0;
+      s_revisit = 0;
+      s_sleep = 0;
+      s_transitions = 0;
+      s_quiescent = 0;
+      s_truncated = 0;
+    }
+
+  type table = (Sha256.digest, (int * string list) list) Hashtbl.t
+
+  let fingerprint_for ~sym (system : system) =
+    if not sym then system.fingerprint
+    else
+      match system.symmetry with
+      | Some canon -> canon
+      | None -> system.fingerprint
+
+  (* [visit] runs with the state matching [path] materialized; [sleep] is
+     the inherited sleep set (choices whose exploration here would be
+     redundant with a sibling subtree already explored). *)
+  let rec visit (system : system) ~fpf ~por ~stats ~(visited : table) ~qfps
+      ~note ~path ~budget ~sleep =
+    note path (system.violations ());
+    let fp = Sha256.digest_string (fpf ()) in
+    let sleep_canon = List.sort compare (List.map (fun ci -> ci.canon) sleep) in
+    match Hashtbl.find_opt visited fp with
+    | Some entries when dominated entries budget sleep_canon ->
+      stats.s_revisit <- stats.s_revisit + 1
+    | previous ->
+      (match previous with
+       | None -> stats.s_visited <- stats.s_visited + 1
+       | Some _ -> ());
+      Hashtbl.replace visited fp
+        (insert_entry (Option.value ~default:[] previous) budget sleep_canon);
+      let en = system.enabled () in
+      if en = [] then begin
+        (match qfps with
+         | None -> stats.s_quiescent <- stats.s_quiescent + 1
+         | Some t ->
+           if not (Hashtbl.mem t fp) then begin
+             Hashtbl.replace t fp ();
+             stats.s_quiescent <- stats.s_quiescent + 1
+           end);
+        note path (system.quiescent_violations ())
+      end
+      else if budget = 0 then stats.s_truncated <- stats.s_truncated + 1
+      else begin
+        (* Dedupe by canonical key: two pending copies of one message are
+           the same transition. Then explore left to right, letting later
+           siblings sleep on earlier independent ones. *)
+        let slept : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+        List.iter (fun ci -> Hashtbl.replace slept ci.canon ()) sleep;
+        let explored = ref sleep in
+        List.iter
+          (fun ci ->
+            if Hashtbl.mem slept ci.canon then stats.s_sleep <- stats.s_sleep + 1
+            else begin
+              let child_sleep = List.filter (fun b -> commutes b ci) !explored in
+              stats.s_transitions <- stats.s_transitions + 1;
+              (match system.snapshot with
+               | Some snap ->
+                 let restore = snap () in
+                 ignore (system.apply ci.choice);
+                 visit system ~fpf ~por ~stats ~visited ~qfps ~note
+                   ~path:(path @ [ ci.choice ])
+                   ~budget:(budget - 1) ~sleep:child_sleep;
+                 restore ()
+               | None ->
+                 rematerialize system (path @ [ ci.choice ]);
+                 visit system ~fpf ~por ~stats ~visited ~qfps ~note
+                   ~path:(path @ [ ci.choice ])
+                   ~budget:(budget - 1) ~sleep:child_sleep);
+              Hashtbl.replace slept ci.canon ();
+              if por then explored := !explored @ [ ci ]
+            end)
+          en
+      end
+end
+
+let explore ?(por = true) ?(shrink = true) ?(sym = false) ~depth
+    (system : system) =
   if depth < 1 then invalid_arg "Engine.explore: depth must be >= 1";
+  let fpf = Internal.fingerprint_for ~sym system in
   let found : (string, violation) Hashtbl.t = Hashtbl.create 8 in
   let order = ref [] in
   let note path vs =
@@ -148,71 +304,11 @@ let explore ?(por = true) ?(shrink = true) ~depth (system : system) =
       vs
   in
   let run_iteration bound =
-    let stats =
-      {
-        s_visited = 0;
-        s_revisit = 0;
-        s_sleep = 0;
-        s_transitions = 0;
-        s_quiescent = 0;
-        s_truncated = 0;
-      }
-    in
-    let visited : (Sha256.digest, (int * string list) list) Hashtbl.t =
-      Hashtbl.create 4096
-    in
-    (* [visit] runs with the state matching [path] materialized; [sleep] is
-       the inherited sleep set (choices whose exploration here would be
-       redundant with a sibling subtree already explored). *)
-    let rec visit path budget sleep =
-      note path (system.violations ());
-      let fp = Sha256.digest_string (system.fingerprint ()) in
-      let sleep_canon = List.sort compare (List.map (fun ci -> ci.canon) sleep) in
-      match Hashtbl.find_opt visited fp with
-      | Some entries when dominated entries budget sleep_canon ->
-        stats.s_revisit <- stats.s_revisit + 1
-      | previous ->
-        (match previous with
-         | None -> stats.s_visited <- stats.s_visited + 1
-         | Some _ -> ());
-        Hashtbl.replace visited fp
-          (insert_entry (Option.value ~default:[] previous) budget sleep_canon);
-        let en = system.enabled () in
-        if en = [] then begin
-          stats.s_quiescent <- stats.s_quiescent + 1;
-          note path (system.quiescent_violations ())
-        end
-        else if budget = 0 then stats.s_truncated <- stats.s_truncated + 1
-        else begin
-          (* Dedupe by canonical key: two pending copies of one message are
-             the same transition. Then explore left to right, letting later
-             siblings sleep on earlier independent ones. *)
-          let slept : (string, unit) Hashtbl.t = Hashtbl.create 8 in
-          List.iter (fun ci -> Hashtbl.replace slept ci.canon ()) sleep;
-          let explored = ref sleep in
-          List.iter
-            (fun ci ->
-              if Hashtbl.mem slept ci.canon then stats.s_sleep <- stats.s_sleep + 1
-              else begin
-                let child_sleep = List.filter (fun b -> commutes b ci) !explored in
-                stats.s_transitions <- stats.s_transitions + 1;
-                (match system.snapshot with
-                 | Some snap ->
-                   let restore = snap () in
-                   ignore (system.apply ci.choice);
-                   visit (path @ [ ci.choice ]) (budget - 1) child_sleep;
-                   restore ()
-                 | None ->
-                   rematerialize system (path @ [ ci.choice ]);
-                   visit (path @ [ ci.choice ]) (budget - 1) child_sleep);
-                Hashtbl.replace slept ci.canon ();
-                if por then explored := !explored @ [ ci ]
-              end)
-            en
-        end
-    in
+    let stats = Internal.new_stats () in
+    let visited : Internal.table = Hashtbl.create 4096 in
     system.reset ();
-    visit [] bound [];
+    Internal.visit system ~fpf ~por ~stats ~visited ~qfps:None ~note ~path:[]
+      ~budget:bound ~sleep:[];
     stats
   in
   (* Iterative deepening: shallow bounds find the shortest counterexamples

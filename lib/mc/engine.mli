@@ -51,6 +51,14 @@ type system = {
       (** Optional fork/restore fast path: capture now, get back a restore
           thunk. When [None], the engine re-materializes states by replaying
           the choice prefix from [reset]. *)
+  symmetry : (unit -> string) option;
+      (** Optional symmetry-canonical fingerprint of the current state: the
+          lexicographic minimum of {!system.fingerprint}-equivalent renders
+          over every process-identity permutation that fixes the instance's
+          distinguished pids (fault injection sources/targets). Two states
+          related by such a permutation canonicalize identically, so the
+          explorer prunes whole orbits; [None] where the instance has no
+          usable symmetry. Only consulted under [explore ~sym:true]. *)
 }
 
 type violation = {
@@ -81,11 +89,19 @@ type report = {
 
 val ok : report -> bool
 
-val explore : ?por:bool -> ?shrink:bool -> depth:int -> system -> report
+val commutes : choice_info -> choice_info -> bool
+(** The POR independence relation: two choices commute iff both are
+    deliveries to distinct processes. *)
+
+val explore :
+  ?por:bool -> ?shrink:bool -> ?sym:bool -> depth:int -> system -> report
 (** Iterative-deepening DFS to [depth] choices. [por] (default true) turns
     the sleep-set reduction on; [shrink] (default true) minimizes every
-    counterexample. Stats are those of the deepest iteration run; a
-    violation keeps the shortest schedule that reaches it. *)
+    counterexample; [sym] (default false) prunes on the
+    {!system.symmetry}-canonical fingerprint instead of the plain one,
+    collapsing identity-permuted states into one orbit representative.
+    Stats are those of the deepest iteration run; a violation keeps the
+    shortest schedule that reaches it. *)
 
 val random : ?max_steps:int -> ?shrink:bool -> seed:int -> iters:int -> system -> report
 (** Seeded random walks ([max_steps] each, default 200), stopping at the
@@ -96,10 +112,59 @@ val replay : system -> Schedule.t -> (string * string) list
     detail) violated at any point along the way — the regression-corpus
     runner and the shrinker's oracle. *)
 
-val shrink : system -> check:string -> Schedule.t -> Schedule.t * int
+val shrink :
+  ?memo:bool -> system -> check:string -> Schedule.t -> Schedule.t * int
 (** Greedy one-choice-removed minimization (via
     {!Qs_faults.Campaign.greedy_shrink}) of a schedule that violates
-    [check]; returns the locally-minimal schedule and replays spent. *)
+    [check]; returns the locally-minimal schedule and replays spent. With
+    [memo] (default true) and a snapshotting system, candidate replays
+    fast-forward through memoized shared prefixes instead of resetting and
+    reapplying from scratch — same minimum, same oracle-call count, far
+    fewer [apply]s. *)
+
+val shrink_violations :
+  system -> shrink:bool -> violation list -> violation list
+(** Minimize each violation's schedule in place (no-op when [shrink] is
+    false) — shared by {!explore}, {!random} and {!Shard}. *)
+
+(** Exploration internals shared with {!Shard} (the domain-sharded
+    explorer). Not a stable API: the invariants that make per-shard results
+    mergeable are documented on {!Shard}. *)
+module Internal : sig
+  type stats = {
+    mutable s_visited : int;
+    mutable s_revisit : int;
+    mutable s_sleep : int;
+    mutable s_transitions : int;
+    mutable s_quiescent : int;
+    mutable s_truncated : int;
+  }
+
+  val new_stats : unit -> stats
+
+  type table = (Qs_crypto.Sha256.digest, (int * string list) list) Hashtbl.t
+  (** Fingerprint cache: per fingerprint, the (budget, sorted sleep-canon)
+      pairs it was explored under — see the dominance rule in engine.ml. *)
+
+  val fingerprint_for : sym:bool -> system -> unit -> string
+  (** The fingerprint function [explore ~sym] actually uses. *)
+
+  val visit :
+    system ->
+    fpf:(unit -> string) ->
+    por:bool ->
+    stats:stats ->
+    visited:table ->
+    qfps:(Qs_crypto.Sha256.digest, unit) Hashtbl.t option ->
+    note:(Schedule.t -> (string * string) list -> unit) ->
+    path:Schedule.t ->
+    budget:int ->
+    sleep:choice_info list ->
+    unit
+  (** One DFS visit of the already-materialized state at [path]. [qfps],
+      when given, switches quiescent accounting from per-visit events to
+      distinct fingerprints (mergeable across shards by set union). *)
+end
 
 val report_to_string : report -> string
 

@@ -168,6 +168,62 @@ let check_churn_point ~current_points base =
       agrees "departed_clean";
     ]
 
+(* The E17 multicore-exploration sweep. Determinism is a code property and
+   gated hard: every worker count must produce a byte-identical fuzz report
+   and visited-state set, the sharded IDDFS must visit exactly the
+   sequential explorer's states, and the visited/symmetry state counts are
+   pinned to the baseline. Throughput and speedup belong to the runner —
+   a single-core CI box legitimately reports 1.0x — so the fuzz-scaling
+   expectation is a warn-only check. *)
+let check_explore ~current base =
+  let cur_points = list_exn "points" current in
+  let cur_ex = field "exhaustive" current in
+  let per_jobs =
+    List.concat_map
+      (fun j ->
+        let tag s = Printf.sprintf "explore jobs=%d: %s" j s in
+        match List.find_opt (fun p -> int_f "jobs" p = j) cur_points with
+        | None -> [ hard (tag "present in current run") false "point missing" ]
+        | Some p ->
+          let speedup = float_f "speedup" p in
+          [
+            hard (tag "report identical to jobs=1") (bool_f "identical_report" p)
+              (if bool_f "identical_report" p then "true" else "false");
+            hard (tag "same visited-state set") (bool_f "same_states" p)
+              (if bool_f "same_states" p then "true" else "false");
+          ]
+          @
+          if j >= 4 then
+            [
+              soft (tag "fuzz speedup >= 2.5x")
+                (speedup >= 2.5)
+                (Printf.sprintf "%.2fx (report-only: honest 1.0x on 1 core)"
+                   speedup);
+            ]
+          else [])
+      (match Json.member "jobs" base with
+      | Some (Json.List js) -> List.map Json.to_int_exn js
+      | _ -> malformed "baseline explore has no jobs list")
+  in
+  let eq name =
+    let b = int_f name base and c = int_f name cur_ex in
+    hard
+      (Printf.sprintf "explore exhaustive: %s" name)
+      (c = b)
+      (Printf.sprintf "%d vs baseline %d" c b)
+  in
+  per_jobs
+  @ [
+      hard "explore exhaustive: sharded set matches sequential"
+        (bool_f "sets_agree" cur_ex)
+        (if bool_f "sets_agree" cur_ex then "true" else "false");
+      hard "explore exhaustive: symmetry collapses states"
+        (bool_f "sym_collapses" cur_ex)
+        (if bool_f "sym_collapses" cur_ex then "true" else "false");
+      eq "seq_visited";
+      eq "sym_visited";
+    ]
+
 let check_commission ~current base =
   let stack = string_f "stack" base in
   let tag s = Printf.sprintf "commission %s: %s" stack s in
@@ -274,13 +330,20 @@ let check ~current ~baseline =
         List.concat_map (check_churn_point ~current_points) base_points
       | Some _ -> malformed "field \"churn\" is not a list"
     in
+    let explore_checks =
+      (* Absent from pre-multicore baselines, same opt-in as churn. *)
+      match Json.member "explore" baseline with
+      | None -> []
+      | Some base -> check_explore ~current:(field "explore" current) base
+    in
     let ns_checks =
       match (Json.member "results" baseline, Json.member "results" current) with
       | Some (Json.List b), Some (Json.List c) -> check_results ~current:c b
       | _ -> []
     in
     (quick_ok :: experiments_ok :: scaling_checks)
-    @ ratio_check @ commission_checks @ churn_checks @ ns_checks
+    @ ratio_check @ commission_checks @ churn_checks @ explore_checks
+    @ ns_checks
   end
 
 (* ------------------------------------------------------------------ *)
@@ -327,6 +390,25 @@ let derive_baseline bench =
         ps
     | _ -> []
   in
+  let explore =
+    match Json.member "explore" bench with
+    | Some e ->
+      let ex = field "exhaustive" e in
+      [
+        ( "explore",
+          Json.Obj
+            [
+              ( "jobs",
+                Json.List
+                  (List.map
+                     (fun p -> Json.Int (int_f "jobs" p))
+                     (list_exn "points" e)) );
+              ("seq_visited", Json.Int (int_f "seq_visited" ex));
+              ("sym_visited", Json.Int (int_f "sym_visited" ex));
+            ] );
+      ]
+    | None -> []
+  in
   let results =
     match Json.member "results" bench with
     | Some (Json.List rs) ->
@@ -342,12 +424,13 @@ let derive_baseline bench =
     | _ -> []
   in
   Json.Obj
-    [
-      ("schema", Json.String baseline_schema);
-      ("quick", Json.Bool (bool_f "quick" bench));
-      ("tolerances", tolerances_json default_tolerances);
-      ("scaling", Json.List scaling);
-      ("commission", Json.List commission);
-      ("churn", Json.List churn);
-      ("results", Json.List results);
-    ]
+    ([
+       ("schema", Json.String baseline_schema);
+       ("quick", Json.Bool (bool_f "quick" bench));
+       ("tolerances", tolerances_json default_tolerances);
+       ("scaling", Json.List scaling);
+       ("commission", Json.List commission);
+       ("churn", Json.List churn);
+     ]
+    @ explore
+    @ [ ("results", Json.List results) ])

@@ -49,24 +49,29 @@ let create ?(capacity = 65536) () =
     next_subscriber = 0;
   }
 
-let default = create ()
+(* Domain-local for the same reason as [Metrics.default]: worker domains in
+   the sharded explorer run whole monitored systems, and subscribers (the
+   chaos Monitor) must only ever see their own domain's events. *)
+let default_local = Qs_stdx.Domainpool.local create
 
-let set_enabled ?(j = default) v = j.enabled <- v
+let default () = Qs_stdx.Domainpool.get default_local
 
-let live ?(j = default) () = j.enabled
+let set_enabled ?(j = default ()) v = j.enabled <- v
 
-let set_clock ?(j = default) clock = j.clock <- clock
+let live ?(j = default ()) () = j.enabled
 
-let subscribe ?(j = default) f =
+let set_clock ?(j = default ()) clock = j.clock <- clock
+
+let subscribe ?(j = default ()) f =
   let id = j.next_subscriber in
   j.next_subscriber <- id + 1;
   j.subscribers <- j.subscribers @ [ (id, f) ];
   id
 
-let unsubscribe ?(j = default) id =
+let unsubscribe ?(j = default ()) id =
   j.subscribers <- List.filter (fun (id', _) -> id' <> id) j.subscribers
 
-let record ?(j = default) ?at event =
+let record ?(j = default ()) ?at event =
   if j.enabled then begin
     let at = match at with Some a -> a | None -> j.clock () in
     let entry = { seq = j.next_seq; at; event } in
@@ -79,13 +84,13 @@ let record ?(j = default) ?at event =
     List.iter (fun (_, f) -> f entry) j.subscribers
   end
 
-let entries ?(j = default) () = List.rev (Queue.fold (fun acc e -> e :: acc) [] j.q)
+let entries ?(j = default ()) () = List.rev (Queue.fold (fun acc e -> e :: acc) [] j.q)
 
-let length ?(j = default) () = Queue.length j.q
+let length ?(j = default ()) () = Queue.length j.q
 
-let dropped ?(j = default) () = j.dropped
+let dropped ?(j = default ()) () = j.dropped
 
-let clear ?(j = default) () =
+let clear ?(j = default ()) () =
   Queue.clear j.q;
   j.next_seq <- 0;
   j.dropped <- 0

@@ -77,8 +77,11 @@ type t
 val create : ?capacity:int -> unit -> t
 (** Disabled until {!set_enabled}. [capacity] defaults to 65536 entries. *)
 
-val default : t
-(** The journal the instrumented protocol layers record into. *)
+val default : unit -> t
+(** The calling domain's journal — what the instrumented protocol layers
+    record into when [?j] is omitted. Domain-local like
+    {!Metrics.default}, so a worker domain's subscribers only see their
+    own domain's events. *)
 
 val set_enabled : ?j:t -> bool -> unit
 

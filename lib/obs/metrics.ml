@@ -1,4 +1,5 @@
 module Stats = Qs_stdx.Stats
+module Domainpool = Qs_stdx.Domainpool
 
 type labels = (string * string) list
 
@@ -17,7 +18,13 @@ type t = {
 
 let create () = { cells = Hashtbl.create 64; kinds = Hashtbl.create 64 }
 
-let default = create ()
+(* One registry per domain: worker domains spawned by the sharded explorer
+   build whole instrumented systems, and a shared Hashtbl would be a data
+   race. On OCaml 4.14 (serial Domainpool) this is exactly one registry,
+   same as the old process-global default. *)
+let default_local = Domainpool.local create
+
+let default () = Domainpool.get default_local
 
 let normalize labels =
   let l = List.sort_uniq (fun (a, _) (b, _) -> compare a b) labels in
@@ -48,17 +55,17 @@ let acquire m ~labels name fresh =
     Hashtbl.replace m.cells key cell;
     cell
 
-let counter ?(m = default) ?(labels = []) name =
+let counter ?(m = default ()) ?(labels = []) name =
   match acquire m ~labels name (fun () -> C { c = 0 }) with
   | C c -> c
   | _ -> assert false
 
-let gauge ?(m = default) ?(labels = []) name =
+let gauge ?(m = default ()) ?(labels = []) name =
   match acquire m ~labels name (fun () -> G { g = 0.0 }) with
   | G g -> g
   | _ -> assert false
 
-let histogram ?(m = default) ?(labels = []) name =
+let histogram ?(m = default ()) ?(labels = []) name =
   match acquire m ~labels name (fun () -> H { samples = []; hn = 0 }) with
   | H h -> h
   | _ -> assert false
@@ -91,7 +98,7 @@ let histogram_count h = h.hn
 
 let histogram_samples h = List.rev h.samples
 
-let find ?(m = default) ?(labels = []) name =
+let find ?(m = default ()) ?(labels = []) name =
   Hashtbl.find_opt m.cells (name, normalize labels)
 
 let find_counter ?m ?labels name =
@@ -100,7 +107,7 @@ let find_counter ?m ?labels name =
 let find_gauge ?m ?labels name =
   match find ?m ?labels name with Some (G g) -> Some g.g | _ -> None
 
-let reset ?(m = default) () =
+let reset ?(m = default ()) () =
   Hashtbl.iter
     (fun _ cell ->
       match cell with
@@ -121,7 +128,7 @@ type value =
 
 type point = { name : string; labels : labels; value : value }
 
-let snapshot ?(m = default) () =
+let snapshot ?(m = default ()) () =
   let points =
     Hashtbl.fold
       (fun (name, labels) cell acc ->

@@ -14,9 +14,12 @@
     snapshot is deterministically ordered (by name, then labels) and renders
     to both a human-readable text block and JSON.
 
-    A process-wide {!default} registry is what the instrumented protocol
+    A {!default} registry per domain is what the instrumented protocol
     layers (network, failure detector, quorum selection, XPaxos) write to;
-    every accessor takes [?m] to target a private registry instead. *)
+    every accessor takes [?m] to target a private registry instead. The
+    default is domain-local (one registry on OCaml 4.14, where there is a
+    single domain): systems built inside a worker domain of the sharded
+    explorer get their own registry instead of racing on a shared one. *)
 
 type t
 (** A registry. *)
@@ -29,8 +32,9 @@ type histogram
 
 val create : unit -> t
 
-val default : t
-(** The process-wide registry used by the instrumented protocol layers. *)
+val default : unit -> t
+(** The calling domain's registry — what the instrumented protocol layers
+    write to when [?m] is omitted. *)
 
 (** {1 Instruments} *)
 

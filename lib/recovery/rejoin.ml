@@ -348,6 +348,21 @@ let fingerprint t =
     t.retries t.completed t.bad_payloads t.gave_up
     (String.concat ";" (List.map encode_payload (List.rev t.pending)))
 
+(* [fingerprint] after relabeling process identities through [perm]
+   (old pid -> new pid): responders are mapped (the list is rendered sorted,
+   so the result is canonical), and each buffered payload's encoded matrix
+   is rewritten by the caller-supplied [matrix] transform — the codec lives
+   above this module, so conjugating an encoded matrix does too. Buffer
+   order is preserved: arrival positions are schedule positions, which the
+   relabeled execution shares. *)
+let fingerprint_perm t ~perm ~matrix =
+  let permuted p = { p with matrix = matrix p.matrix } in
+  Printf.sprintf "%d|%b|%s|%d|%d|%d|%d|%s" t.rid t.rejoining
+    (String.concat ","
+       (List.map string_of_int (List.sort compare (List.map perm t.responded))))
+    t.retries t.completed t.bad_payloads t.gave_up
+    (String.concat ";" (List.map (fun p -> encode_payload (permuted p)) (List.rev t.pending)))
+
 type snapshot = {
   s_rid : int;
   s_rejoining : bool;

@@ -134,6 +134,14 @@ val encode_msg : msg -> string
 
 val fingerprint : t -> string
 
+val fingerprint_perm :
+  t -> perm:(int -> int) -> matrix:(string -> string) -> string
+(** {!fingerprint} of the state relabeled through the pid bijection [perm]:
+    responders mapped (rendered sorted, hence canonical), each buffered
+    payload's encoded matrix rewritten by [matrix] (the codec-level
+    conjugation lives with the caller). Supports the model checker's
+    symmetry-canonical fingerprints. *)
+
 type snapshot
 
 val snapshot : t -> snapshot

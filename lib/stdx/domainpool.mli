@@ -1,0 +1,39 @@
+(** Portable fork/join parallelism over OCaml domains.
+
+    On OCaml 5 this wraps [Domain.spawn]/[Domain.join]; on 4.14 the same
+    interface degrades to a sequential loop, so callers can be written once
+    and stay deterministic on both legs of the build matrix. Deterministic
+    results must come from the caller's merge discipline — this module only
+    promises that [run ~jobs f] evaluates [f 0 .. f (jobs-1)] exactly once
+    each and returns the results in index order.
+
+    The module also exposes domain-local storage ({!local}/{!get}/{!set}),
+    backed by [Domain.DLS] on OCaml 5 and a plain mutable cell on 4.14
+    (where there is only one domain). [lib/obs] uses it to give every
+    worker domain its own default metrics registry and journal, so
+    systems built inside a worker never race on shared [Hashtbl]s. *)
+
+val parallel : bool
+(** [true] iff [run] actually spawns domains (OCaml >= 5). *)
+
+val recommended : unit -> int
+(** [Domain.recommended_domain_count ()] on OCaml 5; [1] on 4.14. *)
+
+val run : jobs:int -> (int -> 'a) -> 'a array
+(** [run ~jobs f] evaluates [f k] for every shard index [k] in
+    [0 .. jobs-1] — shard 0 on the calling domain, the rest on fresh
+    domains (sequentially, in order, on 4.14) — and returns the results
+    indexed by shard. Exceptions from any shard are re-raised after all
+    spawned domains have been joined. Requires [jobs >= 1]. *)
+
+type 'a local
+(** A domain-local slot: each domain sees its own value, created on first
+    [get] from the slot's initializer. *)
+
+val local : (unit -> 'a) -> 'a local
+(** [local init] declares a slot; [init] runs once per domain, lazily. *)
+
+val get : 'a local -> 'a
+
+val set : 'a local -> 'a -> unit
+(** Replace the calling domain's value (other domains are unaffected). *)

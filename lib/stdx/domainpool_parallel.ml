@@ -1,0 +1,33 @@
+(* OCaml >= 5 implementation: real domains + Domain.DLS. Selected by a dune
+   rule that copies this file to domainpool.ml when the compiler supports
+   domains; see domainpool_serial.ml for the 4.14 fallback. *)
+
+let parallel = true
+
+let recommended () = Domain.recommended_domain_count ()
+
+let run ~jobs f =
+  if jobs < 1 then invalid_arg "Domainpool.run: jobs must be >= 1";
+  if jobs = 1 then [| f 0 |]
+  else begin
+    let spawned =
+      Array.init (jobs - 1) (fun i -> Domain.spawn (fun () -> f (i + 1)))
+    in
+    (* Shard 0 runs here so the caller's domain contributes instead of
+       blocking in join; its exception must not leak before the spawned
+       domains are joined, or they would outlive the call. *)
+    let first = try Ok (f 0) with e -> Error e in
+    let rest =
+      Array.map (fun d -> try Ok (Domain.join d) with e -> Error e) spawned
+    in
+    let all = Array.append [| first |] rest in
+    Array.map (function Ok v -> v | Error e -> raise e) all
+  end
+
+type 'a local = 'a Domain.DLS.key
+
+let local init = Domain.DLS.new_key init
+
+let get = Domain.DLS.get
+
+let set = Domain.DLS.set

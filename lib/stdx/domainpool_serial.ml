@@ -1,0 +1,29 @@
+(* OCaml 4.14 fallback: one domain, sequential shards, plain cells for
+   "domain-local" storage. Selected by a dune rule that copies this file to
+   domainpool.ml on compilers without domains. *)
+
+let parallel = false
+
+let recommended () = 1
+
+let run ~jobs f =
+  if jobs < 1 then invalid_arg "Domainpool.run: jobs must be >= 1";
+  let results = Array.make jobs None in
+  for k = 0 to jobs - 1 do
+    results.(k) <- Some (f k)
+  done;
+  Array.map Option.get results
+
+type 'a local = { mutable value : 'a option; init : unit -> 'a }
+
+let local init = { value = None; init }
+
+let get l =
+  match l.value with
+  | Some v -> v
+  | None ->
+    let v = l.init () in
+    l.value <- Some v;
+    v
+
+let set l v = l.value <- Some v

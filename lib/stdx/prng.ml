@@ -23,6 +23,15 @@ let next_int64 g =
 
 let split g = create (next_int64 g)
 
+(* Random-access decorrelated stream #i: mix the current state with i+1
+   gamma steps without advancing [g]. Unlike [split], substreams can be
+   drawn in any order (or in parallel from a copied root) and substream i
+   is the same generator regardless of how many others were created —
+   which is what per-walk seeding in the sharded fuzzer needs. *)
+let substream g i =
+  if i < 0 then invalid_arg "Prng.substream: index must be >= 0";
+  create (mix (Int64.add g.state (Int64.mul golden_gamma (Int64.of_int (i + 1)))))
+
 (* Non-negative 62-bit int from the high bits. *)
 let next_nonneg g = Int64.to_int (Int64.shift_right_logical (next_int64 g) 2)
 

@@ -21,6 +21,13 @@ val split : t -> t
 (** [split g] advances [g] and returns a new generator seeded from it, for
     handing a decorrelated stream to a sub-component. *)
 
+val substream : t -> int -> t
+(** [substream g i] is a decorrelated generator for substream [i >= 0]
+    without advancing [g]: the same [i] always yields the same stream, in
+    whatever order substreams are drawn. This is the random-access
+    counterpart of {!split}, used to give every fuzzer walk its own seed
+    independent of which domain runs it. *)
+
 val next_int64 : t -> int64
 (** Next raw 64-bit output. *)
 

@@ -178,6 +178,56 @@ let test_campaign_shrinks_to_marker () =
        (List.exists (fun ph -> ph.Fault.what = Fault.Crash 1) m.Campaign.schedule));
   check_bool "shrinking re-executed variants" true (report.Campaign.shrink_steps > 0)
 
+(* Satellite: the parallel campaign engine is report-identical to the
+   sequential one — schedules pre-drawn in index order, lowest failing
+   index wins, run list truncated exactly where the sequential engine
+   stops, shrink replayed on the calling domain. First on a synthetic
+   executor with a failure in the middle of the run list... *)
+let test_campaign_jobs_identical_synthetic () =
+  let gen rng = [ Fault.at (Fault.Crash (Prng.int rng 4)) ] in
+  let execute ~seed:_ ~model:_ schedule =
+    let bad = List.exists (fun ph -> ph.Fault.what = Fault.Crash 1) schedule in
+    {
+      Campaign.violations =
+        (if bad then [ { Monitor.at = 0.; check = "marker"; detail = "crash p1" } ]
+         else []);
+      liveness = [];
+      committed = 0;
+      submitted = 0;
+      checks = 1;
+      proofs = 0;
+      forgeries = 0;
+      reconfigs = 0;
+    }
+  in
+  let go jobs =
+    Campaign.run ~jobs ~seed:7 ~runs:12 ~gen
+      ~classify:(Fault.classify ~n:5 ~f:3) ~execute ()
+  in
+  let a = go 1 and b = go 3 in
+  check_bool "a campaign that fails mid-list" false (Campaign.ok a);
+  check_bool "same run count" true
+    (List.length a.Campaign.runs = List.length b.Campaign.runs);
+  Alcotest.(check string)
+    "byte-identical report"
+    (Qs_obs.Json.render (Campaign.to_json a))
+    (Qs_obs.Json.render (Campaign.to_json b))
+
+(* ... then on a real stack (all runs pass, so every run executes on both
+   sides and the whole report must still agree byte-for-byte). *)
+let test_campaign_jobs_identical_stack () =
+  let params =
+    { (Chaos.default_params Chaos.Xpaxos_qs) with Chaos.horizon = ms 3_000 }
+  in
+  let go jobs =
+    Chaos.campaign Chaos.Xpaxos_qs ~params ~runs:3 ~jobs ~seed:4242 ()
+  in
+  let a = go 1 and b = go 2 in
+  Alcotest.(check string)
+    "byte-identical report"
+    (Qs_obs.Json.render (Campaign.to_json a))
+    (Qs_obs.Json.render (Campaign.to_json b))
+
 (* ------------------------------------------------------------------ *)
 (* Protocol stacks under generated in-model schedules, monitored online *)
 
@@ -285,6 +335,10 @@ let () =
         [
           Alcotest.test_case "deterministic replay" `Quick test_campaign_deterministic;
           Alcotest.test_case "shrinks to marker" `Quick test_campaign_shrinks_to_marker;
+          Alcotest.test_case "jobs identical (synthetic)" `Quick
+            test_campaign_jobs_identical_synthetic;
+          Alcotest.test_case "jobs identical (stack)" `Quick
+            test_campaign_jobs_identical_stack;
         ] );
       ( "smoke",
         [ Alcotest.test_case "known seed, all stacks" `Quick test_known_seed_all_stacks ] );

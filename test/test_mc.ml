@@ -71,6 +71,7 @@ let toy ?(bug = false) ?(with_snapshot = false) () =
           [ ("pair", "messages 0 and 1 both delivered") ]
         else []);
     quiescent_violations = (fun () -> []);
+    symmetry = None;
     snapshot =
       (if with_snapshot then
          Some
