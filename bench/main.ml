@@ -292,6 +292,50 @@ let churn_json points =
            ])
        points)
 
+(* The E18 policy sweep (n = 9, five regions): per-policy exposure,
+   availability and repair under whole-region loss, plus the cross-policy
+   and sampled n=1024 intersection verdicts. Fully deterministic — every
+   field is a code property the gate can pin exactly. *)
+let policy_sweep () =
+  let module E = Qs_harness.E_policy in
+  (E.measure (), E.cross_verdicts (), E.sampled_verdict ())
+
+let policy_json (points, cross, sampled) =
+  let module Json = Qs_obs.Json in
+  let module I = Qs_core.Quorum_intersection in
+  Json.Obj
+    [
+      ( "points",
+        Json.List
+          (List.map
+             (fun (p : Qs_harness.E_policy.point) ->
+               Json.Obj
+                 [
+                   ("policy", Json.String p.policy);
+                   ( "standing",
+                     Json.List (List.map (fun i -> Json.Int i) p.standing) );
+                   ("max_exposure", Json.Int p.max_exposure);
+                   ("outages", Json.Int p.outages);
+                   ("availability", Json.Float p.availability);
+                   ("quorum_changes", Json.Int p.quorum_changes);
+                   ("repairs_clean", Json.Bool p.repairs_clean);
+                   ("agreement", Json.Bool p.agreement);
+                   ("t3_ok", Json.Bool p.t3_ok);
+                 ])
+             points) );
+      ( "intersection",
+        Json.Obj
+          [
+            ("groups", Json.Int (List.length cross));
+            ( "pairs",
+              Json.Int (List.fold_left (fun a (v : I.verdict) -> a + v.pairs) 0 cross)
+            );
+            ("ok", Json.Bool (List.for_all (fun (v : I.verdict) -> v.ok) cross));
+            ("sampled_pairs", Json.Int sampled.I.pairs);
+            ("sampled_ok", Json.Bool sampled.I.ok);
+          ] );
+    ]
+
 (* The E17 multicore-exploration sweep: domain-sharded fuzzing throughput
    at 1/2/4/8 workers plus the exhaustive/symmetry agreement bits. The
    determinism booleans and visited-state pins are code properties the
@@ -358,7 +402,7 @@ let scaling_json points =
    regenerated. One file per run; diff it across commits to track the perf
    trajectory. *)
 let write_json_summary ~path ~quick ~experiments_ok ~commission ~scaling
-    ~churn ~explore ~bench_rows =
+    ~churn ~explore ~policy ~bench_rows =
   let module Json = Qs_obs.Json in
   let result_json group (name, ns) =
     Json.Obj
@@ -396,6 +440,7 @@ let write_json_summary ~path ~quick ~experiments_ok ~commission ~scaling
         ("scaling", scaling_json scaling);
         ("churn", churn_json churn);
         ("explore", explore_json explore);
+        ("policy", policy_json policy);
         ("results", Json.List results);
         ("metrics", Qs_obs.Metrics.to_json (Qs_obs.Metrics.snapshot ()));
       ]
@@ -446,6 +491,11 @@ let () =
         } )
     | Some _ -> explore_sweep ~quick ()
   in
+  let policy =
+    match json_path with
+    | None -> ([], [], Qs_core.Quorum_intersection.check ~n:1 ~f:0 [])
+    | Some _ -> policy_sweep ()
+  in
   Qs_obs.Metrics.reset ();
   let experiments_ok =
     if micro_only then None else Some (Experiments.run_and_print_all ~quick ())
@@ -455,5 +505,5 @@ let () =
    | None -> ()
    | Some path ->
      write_json_summary ~path ~quick ~experiments_ok ~commission ~scaling
-       ~churn ~explore ~bench_rows);
+       ~churn ~explore ~policy ~bench_rows);
   if experiments_ok = Some false then exit 1

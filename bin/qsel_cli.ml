@@ -44,6 +44,7 @@ let experiment_of_id id =
   | "e11" -> Some (fun () -> Qs_harness.Experiments.e11 ())
   | "e12" -> Some (fun () -> Qs_harness.Experiments.e12 ())
   | "e14" -> Some (fun () -> Qs_harness.Experiments.e14 ())
+  | "e18" -> Some (fun () -> Qs_harness.Experiments.e18 ())
   | _ -> None
 
 let experiment_cmd =
@@ -54,7 +55,8 @@ let experiment_cmd =
       & info [] ~docv:"ID"
           ~doc:
             "Experiment id: e1-e12, e14, e15 (scaling), e16 (churn), e17 \
-             (multicore exploration), or 'all'.")
+             (multicore exploration), e18 (selection policies under region \
+             loss), or 'all'.")
   in
   let quick =
     Arg.(value & flag & info [ "quick" ] ~doc:"Trim parameter sweeps (used by CI).")
@@ -405,6 +407,32 @@ let chaos_cmd =
              member selectors and the monitor enforces the cross-epoch \
              invariants (stale-config, joiner-quorum, ejected-quorum).")
   in
+  let correlated =
+    Arg.(
+      value & flag
+      & info [ "correlated" ]
+          ~doc:
+            "Arm correlated whole-fault-domain failures over the stack's \
+             canonical region topology: region partitions, rack losses and \
+             gray (slow) regions, each blaming the label's entire member \
+             set and emitted only while the schedule's blame set fits the \
+             failure budget. The monitor's quorum-intersection invariant \
+             applies as always.")
+  in
+  let policy =
+    Arg.(
+      value
+      & opt string "lex"
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:
+            "Selection policy installed on every selector: $(b,lex) (the \
+             paper's rule, default), $(b,lottery) or $(b,lottery:SEED) (a \
+             deterministic seeded draw rotating quorum composition per \
+             epoch), $(b,diverse) or $(b,diverse:CAP) (per-region caps over \
+             the stack's canonical topology, bounding any single region's \
+             quorum seats), or a full \
+             $(b,diverse:CAP:LABEL,LABEL,...) spec.")
+  in
   let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.") in
   let jobs =
     Arg.(
@@ -416,7 +444,8 @@ let chaos_cmd =
              schedules are pre-drawn in index order and the lowest failing \
              run wins regardless of which worker finishes first.")
   in
-  let run protocol seed runs quick out_of_model amnesia byz churn json jobs metrics =
+  let run protocol seed runs quick out_of_model amnesia byz churn correlated policy json
+      jobs metrics =
     with_metrics metrics @@ fun () ->
     let stacks =
       if String.lowercase_ascii protocol = "all" then Ok Chaos.all
@@ -429,17 +458,61 @@ let chaos_cmd =
     | Error msg -> `Error (true, msg)
     | Ok stacks ->
       let runs = if quick then min runs 4 else runs in
+      (* [diverse] caps are resolved against each stack's own canonical
+         topology, so one flag value serves every (n, f). *)
+      let policy_for params =
+        let module P = Qs_core.Selection_policy in
+        let q = params.Chaos.n - params.Chaos.f in
+        let validated p =
+          try
+            P.validate p ~n:params.Chaos.n ~q;
+            Ok p
+          with Invalid_argument m -> Error m
+        in
+        (* Omitting the cap picks the smallest one the stack's quorum size
+           can satisfy over its canonical topology. *)
+        let default_cap topo =
+          let k = List.length (Qs_core.Topology.labels topo) in
+          (q + k - 1) / k
+        in
+        match String.split_on_char ':' (String.trim policy) with
+        | [ "lex" ] -> Ok P.Lex_first
+        | [ "lottery" ] -> Ok (P.Seeded_lottery { seed = Int64.of_int seed })
+        | [ "lottery"; s ] -> (
+          match Int64.of_string_opt s with
+          | Some seed -> Ok (P.Seeded_lottery { seed })
+          | None -> Error (Printf.sprintf "bad --policy lottery seed %S" s))
+        | [ "diverse" ] ->
+          let topology = Chaos.topology_for params in
+          validated (P.Diversity_capped { topology; cap = default_cap topology })
+        | [ "diverse"; c ] -> (
+          match int_of_string_opt c with
+          | Some cap when cap > 0 ->
+            validated (P.Diversity_capped { topology = Chaos.topology_for params; cap })
+          | _ -> Error (Printf.sprintf "bad --policy diverse cap %S" c))
+        | _ -> (
+          match P.of_string (String.trim policy) with
+          | Some p -> validated p
+          | None -> Error (Printf.sprintf "unknown --policy %S" policy))
+      in
       let params st =
         let p = if churn then Chaos.churn_params st else Chaos.default_params st in
-        if quick then { p with Chaos.horizon = Qs_sim.Stime.of_ms 4_000 } else p
+        let p =
+          if quick then { p with Chaos.horizon = Qs_sim.Stime.of_ms 4_000 } else p
+        in
+        Result.map (fun policy -> { p with Chaos.policy }) (policy_for p)
       in
+      let resolved = List.map (fun st -> (st, params st)) stacks in
+      (match List.find_map (fun (_, p) -> Result.fold ~ok:(fun _ -> None) ~error:Option.some p) resolved with
+      | Some msg -> `Error (true, msg)
+      | None ->
       let reports =
         List.map
-          (fun st ->
+          (fun (st, params) ->
             ( st,
-              Chaos.campaign st ~params:(params st) ~out_of_model ~amnesia ~byz
-                ~churn ~runs ~jobs ~seed () ))
-          stacks
+              Chaos.campaign st ~params:(Result.get_ok params) ~out_of_model ~amnesia
+                ~byz ~churn ~correlated ~runs ~jobs ~seed () ))
+          resolved
       in
       if json then
         print_endline
@@ -465,7 +538,7 @@ let chaos_cmd =
             Printf.printf "=== %s ===\n%s\n" (Chaos.name st) (Campaign.render r))
           reports;
       if List.for_all (fun (_, r) -> Campaign.ok r) reports then `Ok ()
-      else `Error (false, "chaos campaign found violations")
+      else `Error (false, "chaos campaign found violations"))
   in
   let doc =
     "Run seeded fault-injection campaigns against the protocol stacks, with \
@@ -478,7 +551,7 @@ let chaos_cmd =
     Term.(
       ret
         (const run $ protocol $ seed $ runs $ quick $ out_of_model $ amnesia $ byz
-        $ churn $ json $ jobs $ metrics_arg))
+        $ churn $ correlated $ policy $ json $ jobs $ metrics_arg))
 
 (* ------------------------------------------------------------------ *)
 (* mc: small-scope model checking / schedule exploration *)
@@ -514,9 +587,11 @@ let mc_cmd =
              (two conflicting validly-signed rows to two peers), and \
              $(b,churn:P) one atomic leave-and-rejoin membership change \
              (config-epoch bump on every process, fresh slot for $(i,P)), \
-             each explored at every point of every schedule (quorum \
-             protocol only). Repeatable. Defaults to the protocol's \
-             canonical scenario when omitted.")
+             and $(b,region:M1,M2) one correlated whole-region loss (every \
+             listed member goes mute at once, their inbound in-flight \
+             messages die), each explored at every point of every schedule \
+             (quorum protocol only). Repeatable. Defaults to the \
+             protocol's canonical scenario when omitted.")
   in
   let crash =
     Arg.(
@@ -580,36 +655,43 @@ let mc_cmd =
       (fun acc s ->
         match acc with
         | Error _ -> acc
-        | Ok (inj, amn, eqv, chn) -> (
+        | Ok (inj, amn, eqv, chn, rgn) -> (
           match String.index_opt s ':' with
           | None ->
             Error
               (Printf.sprintf
-                 "bad --inject %S (want P:S1,S2, amnesia:P, equivocate:P or churn:P)" s)
+                 "bad --inject %S (want P:S1,S2, amnesia:P, equivocate:P, churn:P or \
+                  region:M1,M2)"
+                 s)
           | Some i -> (
             let p = String.sub s 0 i
             and rest = String.sub s (i + 1) (String.length s - i - 1) in
             match String.lowercase_ascii p with
             | "amnesia" -> (
               match int_of_string_opt rest with
-              | Some p -> Ok (inj, p :: amn, eqv, chn)
+              | Some p -> Ok (inj, p :: amn, eqv, chn, rgn)
               | None -> Error (Printf.sprintf "bad --inject %S (want amnesia:P)" s))
             | "equivocate" -> (
               match int_of_string_opt rest with
-              | Some p -> Ok (inj, amn, p :: eqv, chn)
+              | Some p -> Ok (inj, amn, p :: eqv, chn, rgn)
               | None -> Error (Printf.sprintf "bad --inject %S (want equivocate:P)" s))
             | "churn" -> (
               match int_of_string_opt rest with
-              | Some p -> Ok (inj, amn, eqv, p :: chn)
+              | Some p -> Ok (inj, amn, eqv, p :: chn, rgn)
               | None -> Error (Printf.sprintf "bad --inject %S (want churn:P)" s))
+            | "region" -> (
+              match List.map int_of_string_opt (String.split_on_char ',' rest) with
+              | members when members <> [] && List.for_all Option.is_some members ->
+                Ok (inj, amn, eqv, chn, List.map Option.get members :: rgn)
+              | _ -> Error (Printf.sprintf "bad --inject %S (want region:M1,M2)" s))
             | _ -> (
               match
                 (int_of_string_opt p, List.map int_of_string_opt (String.split_on_char ',' rest))
               with
               | Some p, suspects when suspects <> [] && List.for_all Option.is_some suspects ->
-                Ok ((p, List.map Option.get suspects) :: inj, amn, eqv, chn)
+                Ok ((p, List.map Option.get suspects) :: inj, amn, eqv, chn, rgn)
               | _ -> Error (Printf.sprintf "bad --inject %S (want P:S1,S2)" s)))))
-      (Ok ([], [], [], [])) specs
+      (Ok ([], [], [], [], [])) specs
   in
   let run protocol n f depth inject crash requests seeded_bug random seed iters no_por json
       jobs sym metrics =
@@ -619,7 +701,7 @@ let mc_cmd =
     | Some proto -> (
       match parse_injections inject with
       | Error msg -> `Error (true, msg)
-      | Ok (injections, amnesia, equivocate, churn) -> (
+      | Ok (injections, amnesia, equivocate, churn, regions) -> (
         let d = MC.default_spec proto in
         let spec =
           {
@@ -629,13 +711,14 @@ let mc_cmd =
             injections =
               (if
                  injections = [] && amnesia = [] && equivocate = [] && churn = []
-                 && crash = []
+                 && regions = [] && crash = []
                then d.MC.injections
                else List.rev injections);
             crashes = crash;
             amnesia = List.rev amnesia;
             equivocate = List.rev equivocate;
             churn = List.rev churn;
+            regions = List.rev regions;
             requests = (if requests < 0 then d.MC.requests else requests);
             seeded_bug;
           }

@@ -1,0 +1,95 @@
+module Prng = Qs_stdx.Prng
+module Json = Qs_obs.Json
+
+type verdict = {
+  quorums : int;
+  pairs : int;
+  threshold : int;
+  min_overlap : int;
+  ok : bool;
+  witness : (int list * int list) option;
+}
+
+let threshold ~n ~f = max 1 (n - (2 * f))
+
+(* Both lists sorted increasing (the selectors' output order). *)
+let overlap a b =
+  let rec go acc a b =
+    match (a, b) with
+    | [], _ | _, [] -> acc
+    | x :: a', y :: b' ->
+      if x = y then go (acc + 1) a' b'
+      else if x < y then go acc a' b
+      else go acc a b'
+  in
+  go 0 a b
+
+let distinct quorums = List.sort_uniq compare quorums
+
+let run ~threshold:thr pairs_of quorums =
+  let qs = Array.of_list (distinct quorums) in
+  let min_overlap = ref max_int in
+  let witness = ref None in
+  let pairs = ref 0 in
+  List.iter
+    (fun (i, j) ->
+      let o = overlap qs.(i) qs.(j) in
+      incr pairs;
+      if o < !min_overlap then begin
+        min_overlap := o;
+        if o < thr then witness := Some (qs.(i), qs.(j))
+      end)
+    (pairs_of (Array.length qs));
+  {
+    quorums = Array.length qs;
+    pairs = !pairs;
+    threshold = thr;
+    min_overlap = !min_overlap;
+    ok = !min_overlap >= thr || !pairs = 0;
+    witness = !witness;
+  }
+
+let all_pairs k =
+  let out = ref [] in
+  for i = k - 1 downto 0 do
+    for j = k - 1 downto i + 1 do
+      out := (i, j) :: !out
+    done
+  done;
+  !out
+
+let check ~n ~f quorums = run ~threshold:(threshold ~n ~f) all_pairs quorums
+
+let check_sampled ~n ~f ~seed ~max_pairs quorums =
+  if max_pairs <= 0 then invalid_arg "Quorum_intersection: max_pairs must be positive";
+  let pairs_of k =
+    let total = k * (k - 1) / 2 in
+    if total <= max_pairs then all_pairs k
+    else begin
+      (* Substream 0 of the caller's seed: pair sampling. Drawing by pair
+         index keeps the sample a pure function of (seed, k). *)
+      let g = Prng.substream (Prng.of_int seed) 0 in
+      List.init max_pairs (fun _ ->
+          let i = Prng.int g k in
+          let j = Prng.int g (k - 1) in
+          let j = if j >= i then j + 1 else j in
+          (min i j, max i j))
+    end
+  in
+  run ~threshold:(threshold ~n ~f) pairs_of quorums
+
+let to_json v =
+  Json.Obj
+    [
+      ("quorums", Json.Int v.quorums);
+      ("pairs", Json.Int v.pairs);
+      ("threshold", Json.Int v.threshold);
+      ("min_overlap", Json.Int (if v.pairs = 0 then -1 else v.min_overlap));
+      ("ok", Json.Bool v.ok);
+    ]
+
+let pp fmt v =
+  Format.fprintf fmt "quorums=%d pairs=%d threshold=%d min=%s %s" v.quorums v.pairs
+    v.threshold
+    (if v.pairs = 0 then "-" else string_of_int v.min_overlap)
+    (if v.ok then "ok" else "VIOLATION")

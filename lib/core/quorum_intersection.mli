@@ -1,0 +1,49 @@
+(** Quorum-intersection checking over issued quorums.
+
+    Size-[q = n - f] quorums intersect by counting: two subsets of an
+    [n]-universe of size [n - f] overlap in at least [n - 2f] elements,
+    and [n - 2f > 0] is exactly the correct-majority precondition the
+    selectors validate. Every issued quorum that respects its size
+    therefore pairwise-intersects every other from the same universe —
+    so a sub-threshold overlap is a {e certificate of an undersized or
+    out-of-universe quorum}, the class of bug the seeded
+    [test_buggy_quorum_size] mutation plants. This is the FBAS
+    intersection question (Gaul et al. 2019; Lachowski 2019)
+    specialized to the paper's symmetric threshold system, where the
+    quantifier over quorum pairs is tractable: exact pairwise checking
+    for small instances and seeded pair sampling at n = 1024.
+
+    Checks run over the quorums issued within one [(cepoch, epoch)]
+    group: across configuration epochs slots are renamed, and the
+    membership plane's own cross-epoch invariants take over. *)
+
+type verdict = {
+  quorums : int;  (** distinct quorums in the group *)
+  pairs : int;  (** pairs actually checked *)
+  threshold : int;  (** required minimum overlap, [max 1 (n - 2f)] *)
+  min_overlap : int;  (** smallest overlap seen; [max_int] when [pairs = 0] *)
+  ok : bool;
+  witness : (int list * int list) option;
+      (** a violating pair, when [not ok] *)
+}
+
+val threshold : n:int -> f:int -> int
+(** [max 1 (n - 2f)]. *)
+
+val overlap : int list -> int list -> int
+(** Intersection cardinality of two sorted pid lists. *)
+
+val check : n:int -> f:int -> int list list -> verdict
+(** Exact all-pairs check over one group of (sorted) quorums. Duplicate
+    quorums are collapsed first. *)
+
+val check_sampled :
+  n:int -> f:int -> seed:int -> max_pairs:int -> int list list -> verdict
+(** Like {!check}, but when the group holds more than [max_pairs]
+    distinct pairs, draw [max_pairs] of them from a
+    {!Qs_stdx.Prng.substream}-seeded generator instead — the large-[n]
+    mode. Deterministic in [(seed, quorums)]. *)
+
+val to_json : verdict -> Qs_obs.Json.t
+
+val pp : Format.formatter -> verdict -> unit

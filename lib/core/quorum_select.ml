@@ -38,9 +38,11 @@ type t = {
   mutable max_issued_in_epoch : int;
   mutable dormant : bool;
   mutable excluded : Pid.t list; (* proven-guilty, conviction order *)
+  mutable policy : Selection_policy.t;
   m_updates_sent : Metrics.counter;
   m_updates_merged : Metrics.counter;
   m_rejected : Metrics.counter;
+  m_policy_fallbacks : Metrics.counter;
   m_quorums : Metrics.counter;
   m_epochs : Metrics.counter;
   g_epoch : Metrics.gauge;
@@ -82,9 +84,11 @@ let create config ~me ~auth ~send ~on_quorum ?(on_epoch = fun _ -> ()) () =
     max_issued_in_epoch = 0;
     dormant = false;
     excluded = [];
+    policy = Selection_policy.default;
     m_updates_sent = Metrics.counter ~labels "qs_updates_sent_total";
     m_updates_merged = Metrics.counter ~labels "qs_updates_merged_total";
     m_rejected = Metrics.counter ~labels "qs_rejected_total";
+    m_policy_fallbacks = Metrics.counter ~labels "qs_policy_fallback_total";
     m_quorums = Metrics.counter ~labels "qs_quorums_issued_total";
     m_epochs = Metrics.counter ~labels "qs_epochs_entered_total";
     g_epoch = Metrics.gauge ~labels "qs_epoch";
@@ -152,17 +156,66 @@ let selection_graph t =
       ex;
     g
 
+(* The aging endpoint of [selection_graph]: what epoch advances converge
+   to — every suspicion edge aged out, only the conviction stars left.
+   A policy that cannot select even here will never be unblocked by
+   aging, so the selector must not keep bumping the epoch for it. *)
+let exclusion_graph t =
+  let g = Graph.create t.config.n in
+  List.iter
+    (fun e ->
+      for v = 0 to t.config.n - 1 do
+        if v <> e then Graph.add_edge g e v
+      done)
+    (applied_exclusions t);
+  g
+
+(* Per-vertex bias for the lottery policy: how many processes ever
+   suspected the vertex (O(nonzero cells), not O(n²)), plus a dominating
+   penalty for a standing conviction — so a seeded lottery drifts away
+   from historically suspected processes and convicts rank last. *)
+let suspicion_weights t =
+  let n = t.config.n in
+  let w = Array.make n 0 in
+  Suspicion_matrix.iter_nonzero t.matrix (fun ~suspector:_ ~suspect ~epoch:_ ->
+      w.(suspect) <- w.(suspect) + 1);
+  List.iter (fun e -> if e >= 0 && e < n then w.(e) <- w.(e) + n) t.excluded;
+  fun v -> w.(v)
+
 let rec update_quorum t =
   if t.dormant then () else begin
   Suspect_view.sync t.view ~epoch:t.epoch;
   let target = q t.config - if !test_buggy_quorum_size then 1 else 0 in
   let result =
-    (* The incremental view models the exclusion-free selection graph; the
-       star-edge construction for convictions stays on the explicit path
-       (convictions are rare — at most f per run). *)
-    match applied_exclusions t with
-    | [] -> Suspect_view.lex_first t.view target
-    | _ :: _ -> Indep.lex_first_independent_set (selection_graph t) target
+    match t.policy with
+    | Selection_policy.Lex_first -> (
+      (* The incremental view models the exclusion-free selection graph; the
+         star-edge construction for convictions stays on the explicit path
+         (convictions are rare — at most f per run). *)
+      match applied_exclusions t with
+      | [] -> Suspect_view.lex_first t.view target
+      | _ :: _ -> Indep.lex_first_independent_set (selection_graph t) target)
+    | policy -> (
+      let graph = selection_graph t in
+      let weight = suspicion_weights t in
+      match
+        Selection_policy.select policy ~graph ~q:target ~weight ~cepoch:t.cepoch
+          ~epoch:t.epoch
+      with
+      | Some _ as r -> r
+      | None
+        when Selection_policy.diversity_feasible policy ~graph:(exclusion_graph t)
+               ~q:target ->
+        (* Exact infeasibility that aging can cure (for the lottery this is
+           plain lex-first infeasibility): fall through to the epoch bump. *)
+        None
+      | None ->
+        (* The caps are unsatisfiable even at the aging endpoint (convictions
+           crowded a label out). Epoch bumps would diverge, so the policy
+           degrades to the pinned default for this selection — counted, so
+           campaigns can see a policy under conviction pressure. *)
+        Metrics.inc t.m_policy_fallbacks;
+        Indep.lex_first_independent_set graph target)
   in
   match result with
   | None ->
@@ -271,6 +324,21 @@ let exclude t p =
 let excluded t = List.sort compare t.excluded
 
 (* ------------------------------------------------------------------ *)
+(* Selection policy *)
+
+let policy t = t.policy
+
+(* A policy is static configuration: every correct process must install
+   the same one (Agreement is carried by deterministic selection over
+   converged state). Installing re-validates against the current width
+   and re-runs the selection — the standing quorum may change shape
+   immediately. *)
+let set_policy t p =
+  Selection_policy.validate p ~n:t.config.n ~q:(q t.config);
+  t.policy <- p;
+  if not t.dormant then update_quorum t
+
+(* ------------------------------------------------------------------ *)
 (* Reconfiguration (open membership) *)
 
 let cepoch t = t.cepoch
@@ -314,6 +382,7 @@ let reconfigure t config' ~me ~cepoch ~of_new =
   t.cepoch <- cepoch;
   t.suspecting <- List.sort_uniq compare (remap_pids t.suspecting);
   t.excluded <- remap_pids t.excluded; (* conviction order preserved *)
+  t.policy <- Selection_policy.remap t.policy ~n:config'.n ~of_new;
   t.last_quorum <- List.init (q config') (fun i -> i);
   t.history <- [];
   t.issued_in_epoch <- 0;
@@ -372,13 +441,22 @@ let absorb t ~matrix ~epoch =
    depends on. The issued-in-epoch counters are included deliberately: two
    states identical up to them could still diverge on whether a later quorum
    overshoots Theorem 3, so merging them would be unsound for that check. *)
+(* The policy tag is appended only when a non-default policy is armed:
+   the model checker's pinned state counts hash default-policy
+   fingerprints, and Lex_first must keep producing the exact bytes it
+   always did. *)
+let policy_tag t =
+  if Selection_policy.is_default t.policy then ""
+  else "|" ^ Selection_policy.to_string t.policy
+
 let fingerprint t =
-  Format.asprintf "%d,%d,%d|%d|%a|%s|%s|%d|%d|%b|%s" t.config.n t.config.f
+  Format.asprintf "%d,%d,%d|%d|%a|%s|%s|%d|%d|%b|%s%s" t.config.n t.config.f
     t.cepoch t.epoch Suspicion_matrix.pp t.matrix
     (String.concat "," (List.map string_of_int t.last_quorum))
     (String.concat "," (List.map string_of_int t.suspecting))
     t.issued_in_epoch t.max_issued_in_epoch t.dormant
     (String.concat "," (List.map string_of_int t.excluded))
+    (policy_tag t)
 
 (* [fingerprint] of this node's state as it appears after relabeling every
    process identity through the bijection [perm] (old pid -> new pid): the
@@ -396,13 +474,17 @@ let fingerprint_perm t ~perm =
     inv.(perm p) <- p
   done;
   let pmap l = List.map perm l in
-  Format.asprintf "%d,%d,%d|%d|%a|%s|%s|%d|%d|%b|%s" t.config.n t.config.f
+  (* The policy tag is rendered verbatim: symmetry reduction is only ever
+     enabled under the default policy (the checker's permutation groups
+     are not topology- or seed-aware). *)
+  Format.asprintf "%d,%d,%d|%d|%a|%s|%s|%d|%d|%b|%s%s" t.config.n t.config.f
     t.cepoch t.epoch Suspicion_matrix.pp
     (Suspicion_matrix.remap t.matrix ~n:t.config.n ~of_new:(fun i -> inv.(i)))
     (String.concat "," (List.map string_of_int t.last_quorum))
     (String.concat "," (List.map string_of_int (List.sort compare (pmap t.suspecting))))
     t.issued_in_epoch t.max_issued_in_epoch t.dormant
     (String.concat "," (List.map string_of_int (pmap t.excluded)))
+    (policy_tag t)
 
 type snapshot = {
   s_config : config;
@@ -419,6 +501,7 @@ type snapshot = {
   s_max_issued_in_epoch : int;
   s_dormant : bool;
   s_excluded : Pid.t list;
+  s_policy : Selection_policy.t;
 }
 
 let snapshot t =
@@ -437,6 +520,7 @@ let snapshot t =
     s_max_issued_in_epoch = t.max_issued_in_epoch;
     s_dormant = t.dormant;
     s_excluded = t.excluded;
+    s_policy = t.policy;
   }
 
 let restore t s =
@@ -461,4 +545,5 @@ let restore t s =
   t.issued_in_epoch <- s.s_issued_in_epoch;
   t.max_issued_in_epoch <- s.s_max_issued_in_epoch;
   t.dormant <- s.s_dormant;
-  t.excluded <- s.s_excluded
+  t.excluded <- s.s_excluded;
+  t.policy <- s.s_policy

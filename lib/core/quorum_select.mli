@@ -112,6 +112,31 @@ val exclude : t -> Pid.t -> unit
 val excluded : t -> Pid.t list
 (** Processes convicted so far, sorted. *)
 
+(** {2 Selection policy} *)
+
+val policy : t -> Selection_policy.t
+(** The installed policy ({!Selection_policy.Lex_first} initially). *)
+
+val set_policy : t -> Selection_policy.t -> unit
+(** Install a selection policy. Policies are static configuration, not
+    protocol state: every correct process must install the same one (the
+    Agreement property is carried by deterministic selection over the
+    converged matrix), and a policy survives {!amnesia} like the rest of
+    the config. Validates against the current width
+    ({!Selection_policy.validate}) and re-evaluates the standing quorum
+    immediately.
+
+    {!Selection_policy.Lex_first} keeps the incremental fast path and the
+    historical byte-exact {!fingerprint}; a non-default policy appends its
+    tag to the fingerprint and selects through
+    {!Selection_policy.select} over the exclusion-starred selection
+    graph. A {!Selection_policy.Diversity_capped} policy whose caps
+    become unsatisfiable even at the aging endpoint (convictions crowding
+    a label out) degrades to lex-first for the affected selections rather
+    than diverging in the epoch-bump loop; the [qs_policy_fallback_total]
+    counter records every such degradation. {!reconfigure} carries the
+    policy across configs via {!Selection_policy.remap}. *)
+
 (** {2 Reconfiguration (open membership)} *)
 
 val reconfigure :

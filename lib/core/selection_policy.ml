@@ -1,0 +1,214 @@
+module Graph = Qs_graph.Graph
+module Indep = Qs_graph.Indep
+module Bitset = Qs_stdx.Bitset
+module Prng = Qs_stdx.Prng
+
+type t =
+  | Lex_first
+  | Seeded_lottery of { seed : int64 }
+  | Diversity_capped of { topology : Topology.t; cap : int }
+
+let default = Lex_first
+
+let is_default = function Lex_first -> true | _ -> false
+
+let validate t ~n ~q =
+  match t with
+  | Lex_first | Seeded_lottery _ -> ()
+  | Diversity_capped { topology; cap } ->
+    if Topology.n topology <> n then
+      invalid_arg "Selection_policy: topology width does not match the configuration";
+    if cap <= 0 then invalid_arg "Selection_policy: cap must be positive";
+    let reach =
+      List.fold_left (fun acc (_, c) -> acc + min cap c) 0 (Topology.counts topology)
+    in
+    if reach < q then
+      invalid_arg
+        (Printf.sprintf
+           "Selection_policy: caps cover at most %d of the %d quorum slots" reach q)
+
+let remap t ~n ~of_new =
+  match t with
+  | Lex_first | Seeded_lottery _ -> t
+  | Diversity_capped { topology; cap } ->
+    Diversity_capped { topology = Topology.remap topology ~n ~of_new; cap }
+
+(* ------------------------------------------------------------------ *)
+(* Generic greedy construction in an arbitrary vertex order, with the
+   same exact feasibility checks as [Indep.lex_first_independent_set]:
+   include the next vertex of [order] whenever the candidates behind it
+   can still complete an independent set of the target size. Given the
+   up-front existence check, the greedy loop always completes — so
+   [None] means exactly "no independent set of size q exists". *)
+
+let first_in_order g q order =
+  let n = Graph.n g in
+  if q < 0 then invalid_arg "Selection_policy: negative quorum size";
+  if q = 0 then Some []
+  else if q > n then None
+  else if not (Indep.exists_independent_set g q) then None
+  else begin
+    let allowed = Bitset.of_list n (Graph.vertices g) in
+    let remaining = Bitset.of_list n order in
+    let chosen = ref [] and count = ref 0 in
+    List.iter
+      (fun v ->
+        Bitset.remove remaining v;
+        if !count < q && Bitset.mem allowed v then begin
+          let future = Bitset.copy remaining in
+          Bitset.inter_into future allowed;
+          Bitset.diff_into future (Graph.neighbor_set g v);
+          let need = q - !count - 1 in
+          if need <= 0 || Indep.mis_within g future >= need then begin
+            chosen := v :: !chosen;
+            incr count;
+            Bitset.remove allowed v;
+            Bitset.diff_into allowed (Graph.neighbor_set g v)
+          end
+        end)
+      order;
+    if !count = q then Some (List.sort compare !chosen) else None
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Seeded lottery: ticket t(v) = (1 + weight v) · u(v) with u(v) drawn
+   from the substream chain seed → cepoch → epoch → v, sorted ascending
+   (ties by pid). Random access into the substreams makes the order a
+   pure function of (seed, cepoch, epoch, weights) — independent of
+   domain count, evaluation order and prior draws. *)
+
+let lottery_order ~seed ~cepoch ~epoch ~weight n =
+  let epoch_stream =
+    Prng.substream (Prng.substream (Prng.create seed) cepoch) epoch
+  in
+  let keyed =
+    List.init n (fun v ->
+        let u = Prng.float (Prng.substream epoch_stream v) 1.0 in
+        (float_of_int (1 + max 0 (weight v)) *. u, v))
+  in
+  List.map snd (List.sort compare keyed)
+
+(* ------------------------------------------------------------------ *)
+(* Diversity caps: exact backtracking over the lex order. Two pruning
+   bounds at every node — the per-label cap reach of the remaining
+   candidates, and the exact MIS size of the remaining candidate set —
+   are each necessary, and full backtracking restores sufficiency, so
+   [None] means no cap-respecting independent set of size [q] exists. *)
+
+let diversity_select topology cap g q =
+  let n = Graph.n g in
+  if q < 0 then invalid_arg "Selection_policy: negative quorum size";
+  if q = 0 then Some []
+  else if q > n || Topology.n topology <> n then None
+  else begin
+    let labels = Array.of_list (Topology.labels topology) in
+    let k = Array.length labels in
+    let label_id = Array.make n 0 in
+    for v = 0 to n - 1 do
+      let l = Topology.label_of topology v in
+      let rec find i = if labels.(i) = l then i else find (i + 1) in
+      label_id.(v) <- find 0
+    done;
+    let used = Array.make k 0 in
+    let scratch = Array.make k 0 in
+    let feasible v allowed need =
+      (* Remaining candidates: allowed vertices at or after the cursor. *)
+      let rest = Bitset.copy allowed in
+      Bitset.remove_below rest v;
+      Array.fill scratch 0 k 0;
+      Bitset.iter (fun u -> scratch.(label_id.(u)) <- scratch.(label_id.(u)) + 1) rest;
+      let reach = ref 0 in
+      for l = 0 to k - 1 do
+        reach := !reach + min (cap - used.(l)) scratch.(l)
+      done;
+      !reach >= need && Indep.mis_within g rest >= need
+    in
+    let rec dfs v allowed count chosen =
+      if count = q then Some (List.rev chosen)
+      else if v >= n || not (feasible v allowed (q - count)) then None
+      else if not (Bitset.mem allowed v) || used.(label_id.(v)) >= cap then
+        dfs (v + 1) allowed count chosen
+      else begin
+        let l = label_id.(v) in
+        let with_v = Bitset.copy allowed in
+        Bitset.remove with_v v;
+        Bitset.diff_into with_v (Graph.neighbor_set g v);
+        used.(l) <- used.(l) + 1;
+        match dfs (v + 1) with_v (count + 1) (v :: chosen) with
+        | Some _ as r -> r
+        | None ->
+          used.(l) <- used.(l) - 1;
+          let without = Bitset.copy allowed in
+          Bitset.remove without v;
+          dfs (v + 1) without count chosen
+      end
+    in
+    dfs 0 (Bitset.of_list n (Graph.vertices g)) 0 []
+  end
+
+let select t ~graph ~q ~weight ~cepoch ~epoch =
+  match t with
+  | Lex_first -> Indep.lex_first_independent_set graph q
+  | Seeded_lottery { seed } ->
+    first_in_order graph q (lottery_order ~seed ~cepoch ~epoch ~weight (Graph.n graph))
+  | Diversity_capped { topology; cap } -> diversity_select topology cap graph q
+
+let diversity_feasible t ~graph ~q =
+  match t with
+  | Lex_first | Seeded_lottery _ -> true
+  | Diversity_capped { topology; cap } ->
+    diversity_select topology cap graph q <> None
+
+let order t ~candidates ~weight ~cepoch ~epoch =
+  match t with
+  | Lex_first -> candidates
+  | Seeded_lottery { seed } ->
+    let epoch_stream =
+      Prng.substream (Prng.substream (Prng.create seed) cepoch) epoch
+    in
+    let keyed =
+      List.map
+        (fun v ->
+          let u = Prng.float (Prng.substream epoch_stream v) 1.0 in
+          (float_of_int (1 + max 0 (weight v)) *. u, v))
+        candidates
+    in
+    List.map snd (List.sort compare keyed)
+  | Diversity_capped { topology; cap } ->
+    let n = Topology.n topology in
+    let counts = Hashtbl.create 7 in
+    let under, over =
+      List.partition
+        (fun v ->
+          if v < 0 || v >= n then true
+          else begin
+            let l = Topology.label_of topology v in
+            let c = Option.value ~default:0 (Hashtbl.find_opt counts l) in
+            if c < cap then begin
+              Hashtbl.replace counts l (c + 1);
+              true
+            end
+            else false
+          end)
+        candidates
+    in
+    under @ over
+
+let to_string = function
+  | Lex_first -> "lex"
+  | Seeded_lottery { seed } -> Printf.sprintf "lottery:%Ld" seed
+  | Diversity_capped { topology; cap } ->
+    Printf.sprintf "diverse:%d:%s" cap (Topology.to_string topology)
+
+let of_string s =
+  match String.split_on_char ':' s with
+  | [ "lex" ] -> Some Lex_first
+  | [ "lottery"; seed ] ->
+    Option.map (fun seed -> Seeded_lottery { seed }) (Int64.of_string_opt seed)
+  | [ "diverse"; cap; topo ] -> (
+    match (int_of_string_opt cap, try Some (Topology.of_string topo) with Invalid_argument _ -> None) with
+    | Some cap, Some topology when cap > 0 -> Some (Diversity_capped { topology; cap })
+    | _ -> None)
+  | _ -> None
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,104 @@
+type t = { slots : string array }
+
+let check_label l =
+  if l = "" then invalid_arg "Topology: empty label";
+  String.iter
+    (fun c ->
+      if c = ',' || c = ';' then invalid_arg "Topology: label contains a reserved character")
+    l
+
+let of_array slots =
+  if Array.length slots = 0 then invalid_arg "Topology.of_array: empty";
+  Array.iter check_label slots;
+  { slots = Array.copy slots }
+
+let of_list slots = of_array (Array.of_list slots)
+
+let round_robin ~n labels =
+  if n <= 0 then invalid_arg "Topology.round_robin: n must be positive";
+  let ls = Array.of_list labels in
+  let k = Array.length ls in
+  if k = 0 then invalid_arg "Topology.round_robin: no labels";
+  Array.iter check_label ls;
+  { slots = Array.init n (fun i -> ls.(i mod k)) }
+
+let blocks ~n labels =
+  if n <= 0 then invalid_arg "Topology.blocks: n must be positive";
+  let ls = Array.of_list labels in
+  let k = Array.length ls in
+  if k = 0 then invalid_arg "Topology.blocks: no labels";
+  Array.iter check_label ls;
+  let base = n / k and extra = n mod k in
+  let slots = Array.make n ls.(0) in
+  let i = ref 0 in
+  Array.iteri
+    (fun j l ->
+      let width = base + if j < extra then 1 else 0 in
+      for _ = 1 to width do
+        if !i < n then begin
+          slots.(!i) <- l;
+          incr i
+        end
+      done)
+    ls;
+  { slots }
+
+let n t = Array.length t.slots
+
+let label_of t i =
+  if i < 0 || i >= Array.length t.slots then invalid_arg "Topology.label_of: out of range";
+  t.slots.(i)
+
+let labels t =
+  Array.fold_left (fun acc l -> if List.mem l acc then acc else l :: acc) [] t.slots
+  |> List.rev
+
+let members t l =
+  let out = ref [] in
+  Array.iteri (fun i l' -> if l' = l then out := i :: !out) t.slots;
+  List.rev !out
+
+let counts t = List.map (fun l -> (l, List.length (members t l))) (labels t)
+
+let remap t ~n:n' ~of_new =
+  if n' <= 0 then invalid_arg "Topology.remap: n must be positive";
+  let old_n = Array.length t.slots in
+  let slots = Array.make n' "" in
+  let fresh = ref [] in
+  for i = 0 to n' - 1 do
+    let o = of_new i in
+    if o >= old_n then invalid_arg "Topology.remap: of_new out of range";
+    if o >= 0 then slots.(i) <- t.slots.(o) else fresh := i :: !fresh
+  done;
+  (* Fresh slots go to the least-populated label so far: the same
+     deterministic placement on every process keeps topologies in
+     agreement across a reconfiguration. *)
+  let order = labels t in
+  List.iter
+    (fun i ->
+      let count l = Array.fold_left (fun a l' -> if l' = l then a + 1 else a) 0 slots in
+      let best =
+        List.fold_left
+          (fun acc l ->
+            match acc with
+            | None -> Some (l, count l)
+            | Some (_, c) when count l < c -> Some (l, count l)
+            | some -> some)
+          None order
+      in
+      match best with
+      | Some (l, _) -> slots.(i) <- l
+      | None -> invalid_arg "Topology.remap: no labels"
+    )
+    (List.rev !fresh);
+  { slots }
+
+let equal a b = a.slots = b.slots
+
+let to_string t = String.concat "," (Array.to_list t.slots)
+
+let of_string s =
+  if s = "" then invalid_arg "Topology.of_string: empty";
+  of_list (String.split_on_char ',' s)
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -10,6 +10,8 @@ type exec_outcome = {
   proofs : int;
   forgeries : int;
   reconfigs : int;
+  isect_pairs : int;
+  isect_min_overlap : int option;
 }
 
 let failed o = o.violations <> [] || o.liveness <> []
@@ -236,7 +238,7 @@ let render report =
 
 let outcome_to_json o =
   Json.Obj
-    [
+    ([
       ("violations", Json.List (List.map Monitor.violation_to_json o.violations));
       ("liveness_failures", Json.List (List.map (fun l -> Json.String l) o.liveness));
       ("committed", Json.Int o.committed);
@@ -245,7 +247,12 @@ let outcome_to_json o =
       ("proofs", Json.Int o.proofs);
       ("forgeries", Json.Int o.forgeries);
       ("reconfigs", Json.Int o.reconfigs);
+      ("isect_pairs", Json.Int o.isect_pairs);
     ]
+    @
+    match o.isect_min_overlap with
+    | None -> []
+    | Some m -> [ ("isect_min_overlap", Json.Int m) ])
 
 let run_to_json r =
   Json.Obj

@@ -26,6 +26,13 @@ type exec_outcome = {
   reconfigs : int;
       (** Per-process config-change applications ([Reconfigured] events)
           — nonzero only on churn schedules. *)
+  isect_pairs : int;
+      (** Quorum pairs the monitor's intersection invariant actually
+          compared — the vacuity signal for {b quorum-intersection}
+          ([0] means every epoch group held a single distinct quorum). *)
+  isect_min_overlap : int option;
+      (** Smallest overlap seen across those pairs; [None] when no pair
+          was compared. *)
 }
 
 val failed : exec_outcome -> bool

@@ -15,6 +15,9 @@ type kind =
   | Replay of { src : int; dst : int }
   | Join of int
   | Leave of int
+  | RegionPartition of { label : string; members : int list }
+  | RackLoss of { label : string; members : int list }
+  | GrayRegion of { label : string; members : int list; by : Stime.t }
 
 type phase = { start : Stime.t; stop : Stime.t option; what : kind }
 
@@ -47,12 +50,19 @@ let blamed ~n schedule =
        drain — either way the process behaves like a crashed one for part of
        the run, which is exactly what f budgets. *)
     | Join p | Leave p -> [ p ]
-    | Partition group ->
+    (* Correlated kinds inherit the existing rules: a region partition is a
+       partition (smaller side of the cut), a rack loss is a simultaneous
+       crash of every member, a gray region is a timing failure originating
+       at every member. The final [sorted_uniq] guarantees each member
+       counts against the budget exactly once, however many correlated
+       phases name it. *)
+    | Partition group | RegionPartition { members = group; _ } ->
       let inside = sorted_uniq (List.filter (fun p -> p >= 0 && p < n) group) in
       let outside =
         List.filter (fun p -> not (List.mem p inside)) (List.init n Fun.id)
       in
       if List.length inside <= List.length outside then inside else outside
+    | RackLoss { members; _ } | GrayRegion { members; _ } -> members
   in
   sorted_uniq (List.concat_map (fun ph -> blame ph.what) schedule)
 
@@ -78,7 +88,14 @@ let validate_phase ~n phase =
       of the whole universe (members + spares), so a join of a not-yet-
       member spare validates. *)
    | Join p -> chk p "join target"
-   | Leave p -> chk p "leave target");
+   | Leave p -> chk p "leave target"
+   | RegionPartition { label; members }
+   | RackLoss { label; members }
+   | GrayRegion { label; members; _ } ->
+     if label = "" || String.exists (fun c -> c = ' ' || c = ',' || c = ';' || c = '{' || c = '}') label
+     then invalid_arg "Fault: correlated fault label must be non-empty without ' ,;{}'";
+     if members = [] then invalid_arg "Fault: correlated fault needs members";
+     List.iter (fun p -> chk p "correlated fault member") members);
   match phase.stop with
   | Some stop when Stime.compare stop phase.start < 0 ->
     invalid_arg "Fault: phase stops before it starts"
@@ -114,6 +131,11 @@ type gen_profile = {
   p_join : float;
   spares : int list;
       (* universe pids outside the initial membership; join targets *)
+  p_region : float;
+  p_rack : float;
+  p_gray_region : float;
+  regions : (string * int list) list;
+      (* correlated fault domains: label -> member pids *)
 }
 
 let default_profile ~horizon =
@@ -133,6 +155,10 @@ let default_profile ~horizon =
     p_leave = 0.0;
     p_join = 0.0;
     spares = [];
+    p_region = 0.0;
+    p_rack = 0.0;
+    p_gray_region = 0.0;
+    regions = [];
   }
 
 let gen_window rng profile =
@@ -249,7 +275,58 @@ let gen rng ~n ~f ?(profile = default_profile ~horizon:(Stime.of_ms 10_000)) () 
     end
     else []
   in
-  base @ joins
+  (* Correlated faults: whole fault domains fail together, admitted only
+     while the schedule's exact blame set (union, each member once) stays
+     within budget. Guarded like every other knob so the random stream is
+     byte-identical when correlated generation is off. *)
+  let correlated =
+    if
+      profile.regions <> []
+      && (profile.p_region > 0. || profile.p_rack > 0. || profile.p_gray_region > 0.)
+    then begin
+      let fits acc ph = List.length (blamed ~n (ph :: acc)) <= f in
+      let phases = ref (base @ joins) in
+      let out = ref [] in
+      List.iter
+        (fun (label, members) ->
+          let members = sorted_uniq (List.filter (fun p -> p >= 0 && p < n) members) in
+          if members <> [] then begin
+            let candidate =
+              if profile.p_region > 0. && Prng.chance rng profile.p_region then begin
+                let start, stop = gen_window rng profile in
+                (* Heal partitions before the horizon so liveness has room. *)
+                let stop =
+                  match stop with
+                  | Some _ as s -> s
+                  | None -> Some (start + (profile.horizon / 3))
+                in
+                Some { start; stop; what = RegionPartition { label; members } }
+              end
+              else if profile.p_rack > 0. && Prng.chance rng profile.p_rack then begin
+                let start, stop = gen_window rng profile in
+                Some { start; stop; what = RackLoss { label; members } }
+              end
+              else if
+                profile.p_gray_region > 0. && Prng.chance rng profile.p_gray_region
+              then begin
+                let start, stop = gen_window rng profile in
+                let by = Prng.int_in rng 1 profile.max_delay in
+                Some { start; stop; what = GrayRegion { label; members; by } }
+              end
+              else None
+            in
+            match candidate with
+            | Some ph when fits !phases ph ->
+              phases := ph :: !phases;
+              out := ph :: !out
+            | _ -> ()
+          end)
+        profile.regions;
+      List.rev !out
+    end
+    else []
+  in
+  base @ joins @ correlated
 
 (* A deliberately out-of-model schedule: an in-model core plus either a
    partition crossing the budget or more crashed processes than [f]. *)
@@ -302,6 +379,16 @@ let kind_to_string = function
   | Replay { src; dst } -> Printf.sprintf "replay p%d->p%d" src dst
   | Join p -> Printf.sprintf "join p%d" p
   | Leave p -> Printf.sprintf "leave p%d" p
+  | RegionPartition { label; members } ->
+    Printf.sprintf "region-partition %s {%s}" label
+      (String.concat "," (List.map string_of_int members))
+  | RackLoss { label; members } ->
+    Printf.sprintf "rack-loss %s {%s}" label
+      (String.concat "," (List.map string_of_int members))
+  | GrayRegion { label; members; by } ->
+    Format.asprintf "gray-region %s {%s} by %a" label
+      (String.concat "," (List.map string_of_int members))
+      Stime.pp by
 
 let phase_to_string ph =
   Format.asprintf "%s @@ %a%s" (kind_to_string ph.what) Stime.pp ph.start
@@ -391,6 +478,11 @@ let of_string ~n s =
       | Some k -> Duplicate { src; dst; copies = k }
       | None -> fail "bad copy count %S" copies)
     | [ "partition"; group ] -> Partition (parse_group group)
+    | [ "region-partition"; label; group ] ->
+      RegionPartition { label; members = parse_group group }
+    | [ "rack-loss"; label; group ] -> RackLoss { label; members = parse_group group }
+    | [ "gray-region"; label; group; "by"; time ] ->
+      GrayRegion { label; members = parse_group group; by = parse_ms time }
     | _ -> fail "unrecognized fault %S" str
   in
   let parse_phase str =
@@ -475,6 +567,28 @@ let kind_to_json = function
       [ ("kind", Json.String "replay"); ("src", Json.Int src); ("dst", Json.Int dst) ]
   | Join p -> Json.Obj [ ("kind", Json.String "join"); ("p", Json.Int p) ]
   | Leave p -> Json.Obj [ ("kind", Json.String "leave"); ("p", Json.Int p) ]
+  | RegionPartition { label; members } ->
+    Json.Obj
+      [
+        ("kind", Json.String "region-partition");
+        ("label", Json.String label);
+        ("members", Json.List (List.map (fun p -> Json.Int p) members));
+      ]
+  | RackLoss { label; members } ->
+    Json.Obj
+      [
+        ("kind", Json.String "rack-loss");
+        ("label", Json.String label);
+        ("members", Json.List (List.map (fun p -> Json.Int p) members));
+      ]
+  | GrayRegion { label; members; by } ->
+    Json.Obj
+      [
+        ("kind", Json.String "gray-region");
+        ("label", Json.String label);
+        ("members", Json.List (List.map (fun p -> Json.Int p) members));
+        ("by_ms", Json.Float (Stime.to_ms by));
+      ]
 
 let phase_to_json ph =
   let base =

@@ -68,6 +68,22 @@ type kind =
       (** Churn: the member with this universe pid drains gracefully
           (stops heartbeating, ships one anti-entropy handoff push) and is
           removed at [start]. A point event. Blamed on the leaver. *)
+  | RegionPartition of { label : string; members : int list }
+      (** Correlated fault: the whole fault domain [label] (its [members])
+          is cut off from the rest, both directions — a {!Partition} whose
+          group is a topology label's member set. Blamed like a partition:
+          the smaller side of the cut, each member counted once. *)
+  | RackLoss of { label : string; members : int list }
+      (** Correlated fault: every member of the domain goes mute
+          simultaneously (a correlated {!Crash} of the whole rack); with a
+          phase [stop] the rack powers back on with volatile state intact.
+          Blamed on the members. *)
+  | GrayRegion of { label : string; members : int list; by : Qs_sim.Stime.t }
+      (** Correlated gray failure: every link {e out of} the domain's
+          members carries [by] extra latency — the region is up but slow,
+          the hardest case for timeout-based detectors. A correlated
+          {!Delay}; blamed on the members (timing failures originate at
+          their source). *)
 
 type phase = { start : Qs_sim.Stime.t; stop : Qs_sim.Stime.t option; what : kind }
 (** [stop = None] means the fault persists to the end of the run. *)
@@ -86,7 +102,12 @@ val at : ?stop:Qs_sim.Stime.t -> ?start:Qs_sim.Stime.t -> kind -> phase
 val blamed : n:int -> schedule -> int list
 (** The minimal blame set: crash targets, link-fault sources, commission
     sources (never the slander victim or equivocation scope), and the
-    smaller side of each partition. Sorted, duplicate-free. *)
+    smaller side of each partition. Correlated kinds inherit these rules
+    over their member sets ({!RegionPartition} like {!Partition},
+    {!RackLoss} like a crash of every member, {!GrayRegion} like a delay
+    sourced at every member); the result is sorted and duplicate-free, so
+    each member counts against the budget exactly once however many phases
+    name it. *)
 
 val validate : n:int -> schedule -> unit
 (** [Invalid_argument] on nonsense: process ids out of range, link faults
@@ -129,6 +150,17 @@ type gen_profile = {
   spares : int list;
       (** Universe pids outside the initial membership — the join
           candidates. Empty in {!default_profile}. *)
+  p_region : float;
+      (** Per-domain chance of a {!RegionPartition} phase (healed before
+          the horizon). 0 in {!default_profile}; the zero case keeps the
+          random stream byte-identical to pre-correlated seeds. *)
+  p_rack : float;  (** Per-domain chance of a {!RackLoss} phase. *)
+  p_gray_region : float;  (** Per-domain chance of a {!GrayRegion} phase. *)
+  regions : (string * int list) list;
+      (** Correlated fault domains (label, members) — typically a
+          {!Qs_core.Topology}'s label/member pairs. Empty in
+          {!default_profile}. A correlated phase is only emitted while the
+          schedule's exact blame set stays within the [f] budget. *)
 }
 
 val default_profile : horizon:Qs_sim.Stime.t -> gen_profile

@@ -65,10 +65,26 @@ let arm net ~set_mute ?equivocate ?slander ?tamper ?join ?leave what =
         if s = src && d = dst then Network.Duplicate copies else Network.Deliver)
     in
     fun () -> Network.remove_filter net id
-  | Fault.Partition group, _ ->
+  | (Fault.Partition group | Fault.RegionPartition { members = group; _ }), _ ->
     let inside p = List.mem p group in
     let id = Network.add_filter net (fun ~now:_ ~src ~dst _ ->
         if inside src <> inside dst then Network.Drop else Network.Deliver)
+    in
+    fun () -> Network.remove_filter net id
+  | Fault.RackLoss { members; _ }, Some mute ->
+    (* The whole domain powers off together; the stop hook powers it back
+       on with volatile state intact (a correlated Crash, not amnesia). *)
+    List.iter (fun p -> mute p true) members;
+    fun () -> List.iter (fun p -> mute p false) members
+  | Fault.RackLoss { members; _ }, None ->
+    let id = Network.add_filter net (fun ~now:_ ~src ~dst:_ _ ->
+        if List.mem src members then Network.Drop else Network.Deliver)
+    in
+    fun () -> Network.remove_filter net id
+  | Fault.GrayRegion { members; by; _ }, _ ->
+    (* Gray failure: every link out of the region is slow, not dead. *)
+    let id = Network.add_filter net (fun ~now:_ ~src ~dst:_ _ ->
+        if List.mem src members then Network.Delay by else Network.Deliver)
     in
     fun () -> Network.remove_filter net id
   | Fault.Equivocate { src; scope }, _ -> (

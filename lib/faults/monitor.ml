@@ -3,6 +3,7 @@ module Stime = Qs_sim.Stime
 module Journal = Qs_obs.Journal
 module Metrics = Qs_obs.Metrics
 module Json = Qs_obs.Json
+module Quorum_intersection = Qs_core.Quorum_intersection
 
 type violation = { at : float; check : string; detail : string }
 
@@ -57,8 +58,17 @@ type t = {
   joined : (int, float) Hashtbl.t;
   (* pid -> virtual ms it was evidence-ejected (permanent) *)
   ejected : (int, float) Hashtbl.t;
-  seen : (string, unit) Hashtbl.t; (* violation dedup *)
+  (* (cepoch, epoch) -> distinct quorums issued by correct processes, for
+     the pairwise intersection invariant. Within one (config, detector)
+     epoch all correct processes must agree on the quorum, so any two
+     issued quorums should overlap in >= n - 2f processes — a sub-threshold
+     pair certifies either disagreement or an undersized quorum. Checked
+     incrementally as each quorum arrives. *)
+  isect : (int * int, int list list) Hashtbl.t;
+  mutable isect_pairs : int;
+  mutable isect_min : int; (* max_int until the first pair *)
   mutable violations : violation list; (* reversed *)
+  seen : (string, unit) Hashtbl.t; (* violation dedup *)
   mutable checks : int;
   mutable commits : int;
   mutable quorums : int;
@@ -173,7 +183,32 @@ let on_quorum_issued t ~at ~who ~epoch ~quorum =
           (Printf.sprintf "p%d's quorum contains p%d, ejected at %.1fms" who j
              since)
       | _ -> ())
-    quorum
+    quorum;
+  (* Quorum intersection: any two quorums issued under the same
+     (config epoch, detector epoch) must overlap in at least n - 2f
+     processes. Checked incrementally against the epoch's distinct quorums
+     so a violation is timestamped at the issue that created it. *)
+  let sorted_q = List.sort_uniq compare quorum in
+  let key = (ce, epoch) in
+  let bucket = Option.value ~default:[] (Hashtbl.find_opt t.isect key) in
+  if not (List.mem sorted_q bucket) then begin
+    let width = Option.value ~default:t.config.n t.width in
+    let thr = Quorum_intersection.threshold ~n:width ~f:t.config.f in
+    List.iter
+      (fun other ->
+        let o = Quorum_intersection.overlap sorted_q other in
+        t.isect_pairs <- t.isect_pairs + 1;
+        if o < t.isect_min then t.isect_min <- o;
+        if o < thr then
+          violate t ~at "quorum-intersection"
+            (Printf.sprintf
+               "quorums {%s} and {%s} in epoch %d/c%d overlap in %d < %d"
+               (String.concat "," (List.map string_of_int sorted_q))
+               (String.concat "," (List.map string_of_int other))
+               epoch ce o thr))
+      bucket;
+    Hashtbl.replace t.isect key (sorted_q :: bucket)
+  end
 
 let on_proof t ~at culprit =
   t.proofs <- t.proofs + 1;
@@ -289,6 +324,9 @@ let create ?(journal = Journal.default ()) config =
       cepoch_of = Hashtbl.create 8;
       joined = Hashtbl.create 8;
       ejected = Hashtbl.create 8;
+      isect = Hashtbl.create 16;
+      isect_pairs = 0;
+      isect_min = max_int;
       seen = Hashtbl.create 16;
       violations = [];
       checks = 0;
@@ -321,6 +359,9 @@ let reset t =
   Hashtbl.reset t.cepoch_of;
   Hashtbl.reset t.joined;
   Hashtbl.reset t.ejected;
+  Hashtbl.reset t.isect;
+  t.isect_pairs <- 0;
+  t.isect_min <- max_int;
   Hashtbl.reset t.seen;
   t.violations <- [];
   t.checks <- 0;
@@ -416,6 +457,11 @@ let proofs_observed t = t.proofs
 let forgeries_observed t = t.forgeries
 
 let reconfigs_observed t = t.reconfigs
+
+let intersection_pairs t = t.isect_pairs
+
+let intersection_min_overlap t =
+  if t.isect_pairs = 0 then None else Some t.isect_min
 
 let violation_to_string v =
   Printf.sprintf "[%10.3fms] %-18s %s" v.at v.check v.detail

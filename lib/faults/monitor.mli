@@ -43,7 +43,14 @@
     - {b ejected-quorum} / {b ejected-readmitted} — an evidence-ejected pid
       must never reappear, neither in a later quorum nor in a later
       config's member list. A [Member_ejected] of a correct process is
-      itself flagged ({b correct-excluded}).
+      itself flagged ({b correct-excluded});
+    - {b quorum-intersection} — any two distinct quorums issued by correct
+      processes under the same (config epoch, detector epoch) must overlap
+      in at least [n − 2f] processes
+      ({!Qs_core.Quorum_intersection.threshold}); a sub-threshold pair
+      certifies an undersized or out-of-universe quorum. Checked
+      incrementally per issue, so the violation carries the timestamp of
+      the quorum that created the bad pair.
 
     Per-epoch accounting is recovery-aware: a [Recovery_started] clears the
     process's suspicion onsets and per-epoch issue counts (its previous
@@ -143,6 +150,14 @@ val reconfigs_observed : t -> int
 (** [Reconfigured] events seen — the per-process config-change
     applications. Regression pins use it as a vacuity guard: a churn
     schedule that stops reconfiguring must fail loudly. *)
+
+val intersection_pairs : t -> int
+(** Quorum pairs the intersection invariant actually compared — the
+    vacuity guard for {b quorum-intersection} (0 means every epoch group
+    held at most one distinct quorum). *)
+
+val intersection_min_overlap : t -> int option
+(** Smallest pairwise overlap observed, [None] until the first pair. *)
 
 val violation_to_string : violation -> string
 

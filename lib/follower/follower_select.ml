@@ -33,6 +33,7 @@ type t = {
   mutable max_issued_in_epoch : int;
   mutable dormant : bool;
   mutable excluded : Pid.t list; (* proven-guilty, conviction order *)
+  mutable policy : Qs_core.Selection_policy.t;
   m_updates_sent : Metrics.counter;
   m_updates_merged : Metrics.counter;
   m_rejected : Metrics.counter;
@@ -120,6 +121,7 @@ let create config ~me ~auth ~send ~on_quorum ?(fd_expect = fun ~leader:_ ~epoch:
     max_issued_in_epoch = 0;
     dormant = false;
     excluded = [];
+    policy = Qs_core.Selection_policy.default;
     m_updates_sent = Metrics.counter ~labels "fs_updates_sent_total";
     m_updates_merged = Metrics.counter ~labels "fs_updates_merged_total";
     m_rejected = Metrics.counter ~labels "fs_rejected_total";
@@ -150,11 +152,12 @@ let update_suspicions t s =
   t.send (Fmsg.seal t.auth (Fmsg.Update { Msg.owner = t.me; row }));
   !changed
 
-let select_followers ?(excluded = []) l ~leader ~q =
+let select_followers ?(excluded = []) ?(reorder = fun c -> c) l ~leader ~q =
   let candidates =
-    List.filter
-      (fun v -> v <> leader && not (List.mem v excluded))
-      (Line.possible_followers l)
+    reorder
+      (List.filter
+         (fun v -> v <> leader && not (List.mem v excluded))
+         (Line.possible_followers l))
   in
   let rec take k = function
     | _ when k = 0 -> []
@@ -162,6 +165,24 @@ let select_followers ?(excluded = []) l ~leader ~q =
     | v :: rest -> v :: take (k - 1) rest
   in
   take (q - 1) candidates
+
+(* The lottery bias — mirrors Quorum_select.suspicion_weights: suspicion
+   history plus a dominating conviction penalty. *)
+let suspicion_weights t =
+  let n = t.config.Quorum_select.n in
+  let w = Array.make n 0 in
+  Suspicion_matrix.iter_nonzero t.matrix (fun ~suspector:_ ~suspect ~epoch:_ ->
+      w.(suspect) <- w.(suspect) + 1);
+  List.iter (fun e -> if e >= 0 && e < n then w.(e) <- w.(e) + n) t.excluded;
+  fun v -> w.(v)
+
+(* Policies reorder the leader's follower candidates; well-formedness
+   (check d) admits any subset of possible followers, so receivers need no
+   policy agreement to validate — but every correct process still installs
+   the same policy so a leader handoff keeps quorum shapes consistent. *)
+let policy_reorder t candidates =
+  Qs_core.Selection_policy.order t.policy ~candidates
+    ~weight:(suspicion_weights t) ~cepoch:t.cepoch ~epoch:t.epoch
 
 let issue t ~leader quorum =
   t.qlast <- quorum;
@@ -212,8 +233,8 @@ let rec update_quorum t =
         if new_leader <> t.me then t.fd_expect ~leader:new_leader ~epoch:t.epoch
         else begin
           let fw =
-            select_followers ~excluded:(applied_exclusions t) l ~leader:t.me
-              ~q:(q_of t)
+            select_followers ~excluded:(applied_exclusions t)
+              ~reorder:(policy_reorder t) l ~leader:t.me ~q:(q_of t)
           in
           t.send
             (Fmsg.seal t.auth
@@ -372,6 +393,18 @@ let exclude t p =
 let excluded t = List.sort compare t.excluded
 
 (* ------------------------------------------------------------------ *)
+(* Selection policy — static configuration, like Quorum_select. No forced
+   re-issue on install (same reasoning as [exclude]: a stable leader
+   re-broadcasting a reshaped FOLLOWERS message would trip equivocation);
+   the policy shapes every future FOLLOWERS selection by this leader. *)
+
+let policy t = t.policy
+
+let set_policy t p =
+  Qs_core.Selection_policy.validate p ~n:t.config.Quorum_select.n ~q:(q_of t);
+  t.policy <- p
+
+(* ------------------------------------------------------------------ *)
 (* Reconfiguration — mirrors Quorum_select.reconfigure. The follower
    variant additionally resets the leader/stability machinery to the new
    config's defaults and cancels any armed expectation: the old leader may
@@ -413,6 +446,8 @@ let reconfigure t config' ~me ~cepoch ~of_new =
   t.suspecting <- List.sort_uniq compare (remap_pids t.suspecting);
   t.excluded <- remap_pids t.excluded;
   t.detections <- remap_pids t.detections;
+  t.policy <-
+    Qs_core.Selection_policy.remap t.policy ~n:config'.Quorum_select.n ~of_new;
   t.fd_cancel ();
   t.leader <- default_leader_of t;
   t.stable <- true;
@@ -471,8 +506,14 @@ let absorb t ~matrix ~epoch =
 (* ------------------------------------------------------------------ *)
 (* Model-checker hooks — mirrors Quorum_select. *)
 
+(* Appended only when non-default, so historical fingerprints (and pinned
+   mc state counts) stay byte-identical under the default policy. *)
+let policy_tag t =
+  if Qs_core.Selection_policy.is_default t.policy then ""
+  else "|" ^ Qs_core.Selection_policy.to_string t.policy
+
 let fingerprint t =
-  Format.asprintf "%d,%d,%d|%d|%a|%d|%b|%s|%s|%s|%d|%d|%b|%s"
+  Format.asprintf "%d,%d,%d|%d|%a|%d|%b|%s|%s|%s|%d|%d|%b|%s%s"
     t.config.Quorum_select.n t.config.Quorum_select.f t.cepoch t.epoch
     Suspicion_matrix.pp t.matrix t.leader t.stable
     (String.concat "," (List.map string_of_int t.qlast))
@@ -480,6 +521,7 @@ let fingerprint t =
     (String.concat "," (List.map string_of_int t.detections))
     t.issued_in_epoch t.max_issued_in_epoch t.dormant
     (String.concat "," (List.map string_of_int t.excluded))
+    (policy_tag t)
 
 type snapshot = {
   s_config : Quorum_select.config;
@@ -499,6 +541,7 @@ type snapshot = {
   s_max_issued_in_epoch : int;
   s_dormant : bool;
   s_excluded : Pid.t list;
+  s_policy : Qs_core.Selection_policy.t;
 }
 
 let snapshot t =
@@ -520,6 +563,7 @@ let snapshot t =
     s_max_issued_in_epoch = t.max_issued_in_epoch;
     s_dormant = t.dormant;
     s_excluded = t.excluded;
+    s_policy = t.policy;
   }
 
 let restore t s =
@@ -546,4 +590,5 @@ let restore t s =
   t.issued_in_epoch <- s.s_issued_in_epoch;
   t.max_issued_in_epoch <- s.s_max_issued_in_epoch;
   t.dormant <- s.s_dormant;
-  t.excluded <- s.s_excluded
+  t.excluded <- s.s_excluded;
+  t.policy <- s.s_policy

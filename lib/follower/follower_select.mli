@@ -87,15 +87,18 @@ val rejected_msgs : t -> int
 
 val select_followers :
   ?excluded:Qs_core.Pid.t list ->
+  ?reorder:(Qs_core.Pid.t list -> Qs_core.Pid.t list) ->
   Qs_graph.Graph.t ->
   leader:Qs_core.Pid.t ->
   q:int ->
   Qs_core.Pid.t list
 (** The deterministic follower choice a correct leader makes: the [q − 1]
-    smallest possible followers of the line subgraph, excluding the leader
-    and any proven-guilty process ([excluded] defaults to none). Exposed for
-    tests. Raises [Invalid_argument] if fewer are available (impossible
-    under the model's [n > 3f]). *)
+    first possible followers of the line subgraph, excluding the leader
+    and any proven-guilty process ([excluded] defaults to none). [reorder]
+    (default: identity, i.e. smallest-first) is the selection-policy hook —
+    it receives the filtered candidates and must return a permutation of
+    them. Exposed for tests. Raises [Invalid_argument] if fewer are
+    available (impossible under the model's [n > 3f]). *)
 
 val well_formed :
   ?excluded:Qs_core.Pid.t list ->
@@ -121,6 +124,24 @@ val exclude : t -> Qs_core.Pid.t -> unit
 
 val excluded : t -> Qs_core.Pid.t list
 (** Processes convicted so far, sorted. *)
+
+(** {2 Selection policy} — mirrors {!Qs_core.Quorum_select.set_policy}. *)
+
+val policy : t -> Qs_core.Selection_policy.t
+(** The installed policy ({!Qs_core.Selection_policy.Lex_first} initially). *)
+
+val set_policy : t -> Qs_core.Selection_policy.t -> unit
+(** Install a selection policy: when this process leads, the follower
+    candidates are reordered through {!Qs_core.Selection_policy.order}
+    before the first [q − 1] are taken. Static configuration — every
+    correct process installs the same one so a leader handoff keeps quorum
+    shapes consistent, though receivers validate any subset of possible
+    followers (Definition 3 does not constrain the order). No forced
+    re-issue on install (same reasoning as {!exclude}: a stable leader
+    re-broadcasting a reshaped FOLLOWERS message would trip its receivers'
+    equivocation check). Validates against the current width; carried
+    across {!reconfigure} via {!Qs_core.Selection_policy.remap}; survives
+    {!amnesia}. The fingerprint gains a policy tag only when non-default. *)
 
 (** {2 Reconfiguration (open membership)} — mirrors
     {!Qs_core.Quorum_select.reconfigure}. *)

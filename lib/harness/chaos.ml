@@ -46,6 +46,7 @@ type params = {
   resubmit_every : Stime.t;
   probe_every : Stime.t;
   spares : int list;
+  policy : Qs_core.Selection_policy.t;
 }
 
 let default_params stack =
@@ -58,6 +59,7 @@ let default_params stack =
       resubmit_every = ms 150;
       probe_every = ms 250;
       spares = [];
+      policy = Qs_core.Selection_policy.default;
     }
   in
   match stack with
@@ -80,6 +82,22 @@ let churn_params stack =
     | Pbft | Chain | Star -> (10, 3)
   in
   { (default_params stack) with n; f; spares = [ n - 1 ] }
+
+(* The correlated-fault (and DiversityCapped) topology of a parameter set:
+   enough balanced contiguous regions that no region exceeds the failure
+   budget — so a whole-region loss can stay in-model. Derived, not stored:
+   every caller of [campaign ~correlated] and every [--policy diverse] run
+   sees the same labels for the same (n, f). *)
+let topology_for params =
+  let k = max 2 ((params.n + params.f - 1) / max 1 params.f) in
+  Qs_core.Topology.blocks ~n:params.n
+    (List.init k (Printf.sprintf "r%d"))
+
+let regions_for params =
+  let topo = topology_for params in
+  List.map
+    (fun l -> (l, Qs_core.Topology.members topo l))
+    (Qs_core.Topology.labels topo)
 
 let strategy = Timeout.Exponential { factor = 2.0; max = ms 2000 }
 
@@ -433,12 +451,21 @@ let star_hooks ~n ~auth =
 type instance = {
   sim : Sim.t;
   set_mute : int -> bool -> unit;
+  set_policy : Qs_core.Selection_policy.t -> unit;
   install : Fault.schedule -> unit;
   submit_all : unit -> unit;
   committed : unit -> int;
   histories : int list -> (int * (int * int) list) list;
   evidence : Evidence.t array;
 }
+
+(* Install the same policy at every selector — policies are static config,
+   and Agreement relies on all correct processes selecting through the same
+   function. *)
+let qs_set_policy ~n sel pol =
+  for p = 0 to n - 1 do
+    match sel p with Some s -> QS.set_policy s pol | None -> ()
+  done
 
 let make_instance stack ~params ~seed =
   let seed64 = Int64.of_int seed in
@@ -498,6 +525,7 @@ let make_instance stack ~params ~seed =
     {
       sim = Qs_xpaxos.Xcluster.sim c;
       set_mute;
+      set_policy = qs_set_policy ~n sel;
       install =
         (fun schedule ->
           ignore (Injector.install ~net:rnet schedule);
@@ -580,6 +608,7 @@ let make_instance stack ~params ~seed =
     {
       sim = Qs_pbft.Pcluster.sim c;
       set_mute;
+      set_policy = qs_set_policy ~n sel;
       install =
         (fun schedule ->
           ignore (Injector.install ~net:rnet schedule);
@@ -663,6 +692,7 @@ let make_instance stack ~params ~seed =
     {
       sim = Qs_minbft.Mcluster.sim c;
       set_mute;
+      set_policy = qs_set_policy ~n sel;
       install =
         (fun schedule ->
           ignore (Injector.install ~net:rnet schedule);
@@ -741,6 +771,7 @@ let make_instance stack ~params ~seed =
     {
       sim = Qs_bchain.Chain_cluster.sim c;
       set_mute;
+      set_policy = qs_set_policy ~n sel;
       install =
         (fun schedule ->
           ignore (Injector.install ~net:rnet schedule);
@@ -824,6 +855,11 @@ let make_instance stack ~params ~seed =
     {
       sim = Qs_star.Star_cluster.sim c;
       set_mute;
+      set_policy =
+        (fun pol ->
+          for p = 0 to n - 1 do
+            FS.set_policy (sel p) pol
+          done);
       install =
         (fun schedule ->
           ignore (Injector.install ~net:rnet schedule);
@@ -873,6 +909,10 @@ let execute_with_evidence stack ?(params = default_params stack) ~seed ~model
   Journal.clear ();
   Journal.set_enabled true;
   let inst = make_instance stack ~params ~seed in
+  (* Non-default policies install on every selector before any fault or
+     request fires; the default keeps the historical byte-exact path. *)
+  if not (Qs_core.Selection_policy.is_default params.policy) then
+    inst.set_policy params.policy;
   let bound, gauge = bound_for stack ~f in
   let monitor =
     Monitor.create
@@ -921,6 +961,8 @@ let execute_with_evidence stack ?(params = default_params stack) ~seed ~model
       proofs = Monitor.proofs_observed monitor;
       forgeries = Monitor.forgeries_observed monitor;
       reconfigs = Monitor.reconfigs_observed monitor;
+      isect_pairs = Monitor.intersection_pairs monitor;
+      isect_min_overlap = Monitor.intersection_min_overlap monitor;
     },
     inst.evidence )
 
@@ -928,7 +970,8 @@ let execute stack ?params ~seed ~model schedule =
   fst (execute_with_evidence stack ?params ~seed ~model schedule)
 
 let campaign stack ?params ?(out_of_model = false) ?(amnesia = false)
-    ?(byz = false) ?(churn = false) ?(runs = 20) ?(jobs = 1) ~seed () =
+    ?(byz = false) ?(churn = false) ?(correlated = false) ?(runs = 20)
+    ?(jobs = 1) ~seed () =
   let params =
     match params with
     | Some p -> p
@@ -956,8 +999,24 @@ let campaign stack ?params ?(out_of_model = false) ?(amnesia = false)
     in
     (* Churn: spares may join (within the blame budget) and faulty members
        may leave; both zero by default, keeping pinned streams intact. *)
-    if churn then
-      { base with Fault.p_join = 0.7; p_leave = 0.35; spares = params.spares }
+    let base =
+      if churn then
+        { base with Fault.p_join = 0.7; p_leave = 0.35; spares = params.spares }
+      else base
+    in
+    (* Correlated faults: whole fault domains (derived from the same
+       topology [--policy diverse] uses) partition, power off or go gray
+       together — emitted only while the schedule's exact blame set fits
+       the budget, and guarded so pinned streams stay byte-identical when
+       off. *)
+    if correlated then
+      {
+        base with
+        Fault.p_region = 0.4;
+        p_rack = 0.3;
+        p_gray_region = 0.3;
+        regions = regions_for params;
+      }
     else base
   in
   let gen rng =

@@ -55,6 +55,11 @@ type params = {
       (** Universe pids outside the initial membership — muted until a
           generated [Join] admits them through the churn plane. Empty
           (static membership) by default. *)
+  policy : Qs_core.Selection_policy.t;
+      (** Selection policy installed on every process's selector before the
+          run starts ({!Qs_core.Selection_policy.Lex_first} by default,
+          which keeps the historical byte-exact execution path). Static
+          configuration: every process gets the same one. *)
 }
 
 val default_params : stack -> params
@@ -66,6 +71,17 @@ val churn_params : stack -> params
     a leave and a Byzantine-then-ejected process fit in-model together:
     n = 8 for XPaxos, n = 10 for PBFT/chain/star — and n = 9 with f = 4
     for MinBFT, whose USIG replica count is pinned at exactly n = 2f+1. *)
+
+val topology_for : params -> Qs_core.Topology.t
+(** The canonical region topology of a parameter set: contiguous balanced
+    blocks labeled [r0, r1, …], with enough regions that none exceeds the
+    [f] budget (so a whole-region loss can stay in-model). The same
+    topology backs [--correlated] fault domains and [--policy diverse]
+    caps, so the two compose coherently. *)
+
+val regions_for : params -> (string * int list) list
+(** {!topology_for} flattened to (label, members) fault domains — the
+    [regions] field of a correlated {!Qs_faults.Fault.gen_profile}. *)
 
 val rejoin_max_retries : int
 (** The retry budget every cluster's rejoin engines run with — also the
@@ -100,6 +116,7 @@ val campaign :
   ?amnesia:bool ->
   ?byz:bool ->
   ?churn:bool ->
+  ?correlated:bool ->
   ?runs:int ->
   ?jobs:int ->
   seed:int ->
@@ -123,6 +140,10 @@ val campaign :
     width-preserving (membership epoch bump, identity slot remap) and the
     monitor's cross-epoch invariants (stale-config, joiner-quorum,
     ejected-quorum/readmitted) arm themselves from the journal.
+    [correlated] arms whole-fault-domain failures over {!regions_for}'s
+    topology (region partitions, rack losses, gray regions), emitted only
+    while the schedule's blame set fits the budget; like the other knobs it
+    is stream-stable when off.
 
     [jobs] (default 1) executes the runs on that many domains with a
     byte-identical report for every value — see {!Qs_faults.Campaign.run};

@@ -1,0 +1,212 @@
+module Table = Qs_stdx.Table
+module QS = Qs_core.Quorum_select
+module Policy = Qs_core.Selection_policy
+module Topology = Qs_core.Topology
+module Intersection = Qs_core.Quorum_intersection
+module Graph = Qs_graph.Graph
+module Indep = Qs_graph.Indep
+
+(* Five regions over nine processes (blocks of 2,2,2,2,1) with f = 4, so
+   q = n - f = 5: a diversity cap of 1 forces exactly one quorum seat per
+   region, while lex-first concentrates the quorum on the low-pid prefix
+   and stacks two seats into each of the first two regions. One whole
+   region is small enough (<= 2 <= f) that its loss stays in-model. *)
+let n = 9
+
+let f = 4
+
+let cap = 1
+
+let topology () = Topology.blocks ~n [ "r0"; "r1"; "r2"; "r3"; "r4" ]
+
+(* A standing quorum masks the loss of a single member: the next suspicion
+   event repairs it with one Theorem-3 quorum change. Losing two or more
+   members to the same correlated failure is an outage — no single-change
+   repair covers it. *)
+let outage_exposure = 2
+
+type point = {
+  policy : string;
+  standing : int list;  (** the pre-loss standing quorum *)
+  max_exposure : int;
+      (** worst [|standing ∩ region|] over all single-region losses *)
+  outages : int;  (** regions whose loss takes [>= outage_exposure] seats *)
+  availability : float;  (** fraction of region losses below the outage bar *)
+  quorum_changes : int;  (** losses whose repaired quorum differs *)
+  repairs_clean : bool;
+      (** every repaired quorum has size [q], is independent, and excludes
+          the lost region *)
+  agreement : bool;  (** lockstep replicas agreed at every step *)
+  t3_ok : bool;
+  intersections : Intersection.verdict list;
+      (** cross-policy groups this policy's quorums took part in (filled
+          by [measure]) *)
+}
+
+(* One region-loss scenario: two survivor replicas run the policy in
+   lockstep on identical evidence — determinism is what carries Agreement,
+   so their quorums must match at every step. The loss is repaired through
+   the conviction path (correlated blame covers the label's whole member
+   set), which permanently excludes the lost members: exclusion stars are
+   part of the aging endpoint, so a Diversity_capped policy whose caps the
+   shrunken universe can no longer satisfy falls back to lex-first instead
+   of chasing the epoch-aging loop. *)
+let scenario ~auth pol members =
+  let cfg = { QS.n; f } in
+  let mk me =
+    let s = QS.create cfg ~me ~auth ~send:(fun _ -> ()) ~on_quorum:(fun _ -> ()) () in
+    QS.set_policy s pol;
+    s
+  in
+  let survivors = List.filter (fun p -> not (List.mem p members)) (List.init n Fun.id) in
+  let a = mk (List.nth survivors 0) in
+  let b = mk (List.nth survivors 1) in
+  let q0 = QS.last_quorum a in
+  let agree0 = QS.last_quorum b = q0 in
+  let exposure = List.length (List.filter (fun p -> List.mem p members) q0) in
+  List.iter
+    (fun p ->
+      QS.exclude a p;
+      QS.exclude b p)
+    members;
+  let q1 = QS.last_quorum a in
+  let agree1 = QS.last_quorum b = q1 in
+  let valid =
+    List.length q1 = QS.q cfg
+    && Indep.is_independent (QS.suspect_graph a) q1
+    && not (List.exists (fun p -> List.mem p members) q1)
+  in
+  (q0, q1, exposure, agree0 && agree1, valid, QS.max_issued_per_epoch a)
+
+let measure_policy (name, pol) =
+  let auth = Qs_crypto.Auth.create n in
+  let topo = topology () in
+  let regions = List.map (Topology.members topo) (Topology.labels topo) in
+  let runs = List.map (scenario ~auth pol) regions in
+  let standing =
+    match runs with (q0, _, _, _, _, _) :: _ -> q0 | [] -> []
+  in
+  let bound = f * (f + 1) in
+  {
+    policy = name;
+    standing;
+    max_exposure = List.fold_left (fun m (_, _, e, _, _, _) -> max m e) 0 runs;
+    outages =
+      List.length (List.filter (fun (_, _, e, _, _, _) -> e >= outage_exposure) runs);
+    availability =
+      float_of_int
+        (List.length (List.filter (fun (_, _, e, _, _, _) -> e < outage_exposure) runs))
+      /. float_of_int (List.length runs);
+    quorum_changes = List.length (List.filter (fun (q0, q1, _, _, _, _) -> q1 <> q0) runs);
+    repairs_clean = List.for_all (fun (_, _, _, _, v, _) -> v) runs;
+    agreement = List.for_all (fun (_, _, _, a, _, _) -> a) runs;
+    t3_ok = List.for_all (fun (_, _, _, _, _, issued) -> issued <= bound) runs;
+    intersections = [];
+  }
+
+let policies () =
+  [
+    ("lex", Policy.Lex_first);
+    ("lottery", Policy.Seeded_lottery { seed = 0x9E18L });
+    ("diverse", Policy.Diversity_capped { topology = topology (); cap });
+  ]
+
+(* Intersection by counting is policy-agnostic: any two size-q quorums of
+   the same universe overlap in >= n - 2f, however they were selected. The
+   cross-policy groups are the interesting ones — heterogeneous standing
+   and repaired quorums — and give the checker non-vacuous pairs. *)
+let cross_verdicts () =
+  let auth = Qs_crypto.Auth.create n in
+  let topo = topology () in
+  let regions = List.map (Topology.members topo) (Topology.labels topo) in
+  let per_policy =
+    List.map (fun (_, pol) -> List.map (scenario ~auth pol) regions) (policies ())
+  in
+  let standing = List.map (function (q0, _, _, _, _, _) :: _ -> q0 | [] -> []) per_policy in
+  let repaired i = List.map (fun runs -> let _, q1, _, _, _, _ = List.nth runs i in q1) per_policy in
+  Intersection.check ~n ~f standing
+  :: List.mapi (fun i _ -> Intersection.check ~n ~f (repaired i)) regions
+
+(* The large-n mode: n = 1024 selectors are bitset-backed, so generate the
+   group straight from the policy layer — lex-first plus a fan of lottery
+   draws over an edgeless graph — and sample pairs instead of checking all
+   of them. *)
+let sampled_verdict () =
+  let big_n = 1024 and big_f = 341 in
+  let q = big_n - big_f in
+  let g = Graph.create big_n in
+  let quorums =
+    List.filter_map
+      (fun pol -> Policy.select pol ~graph:g ~q ~weight:(fun _ -> 0) ~cepoch:0 ~epoch:0)
+      (Policy.Lex_first
+      :: List.init 5 (fun i -> Policy.Seeded_lottery { seed = Int64.of_int (i + 1) }))
+  in
+  Intersection.check_sampled ~n:big_n ~f:big_f ~seed:18 ~max_pairs:10 quorums
+
+let measure () = List.map measure_policy (policies ())
+
+let run () =
+  let points = measure () in
+  let cross = cross_verdicts () in
+  let sampled = sampled_verdict () in
+  let t =
+    Table.create
+      ~title:
+        "E18 (extension): selection policies under whole-region loss - \
+         exposure, availability and repair, n=9 f=4, five regions, cap 1"
+      ~columns:
+        [
+          ("policy", Table.Left);
+          ("standing quorum", Table.Left);
+          ("max exposure", Table.Right);
+          ("outages", Table.Right);
+          ("avail", Table.Right);
+          ("q changes", Table.Right);
+          ("t3", Table.Right);
+        ]
+  in
+  List.iter
+    (fun p ->
+      Table.add_row t
+        [
+          p.policy;
+          "{" ^ String.concat "," (List.map string_of_int p.standing) ^ "}";
+          string_of_int p.max_exposure;
+          string_of_int p.outages;
+          Printf.sprintf "%.2f" p.availability;
+          string_of_int p.quorum_changes;
+          (if p.t3_ok then "ok" else "FAIL");
+        ])
+    points;
+  let find name = List.find (fun p -> p.policy = name) points in
+  let lex = find "lex" and diverse = find "diverse" in
+  let lottery_deterministic =
+    measure_policy (List.nth (policies ()) 1) = find "lottery"
+  in
+  let verdicts =
+    [
+      Verdict.make
+        "lex-first: some whole-region loss takes >= 2 standing-quorum seats (quorum lost)"
+        (lex.max_exposure >= outage_exposure && lex.outages > 0);
+      Verdict.make
+        "diverse cap=1: every region loss costs at most one seat (availability kept)"
+        (diverse.max_exposure <= cap && diverse.availability = 1.0);
+      Verdict.make "diverse availability strictly above lex-first"
+        (diverse.availability > lex.availability);
+      Verdict.make "every policy: lockstep replicas agree on every quorum"
+        (List.for_all (fun p -> p.agreement) points);
+      Verdict.make "every policy: repaired quorums valid and region-free"
+        (List.for_all (fun p -> p.repairs_clean) points);
+      Verdict.make "every policy: Theorem-3 f(f+1) bound respected"
+        (List.for_all (fun p -> p.t3_ok) points);
+      Verdict.make "cross-policy quorum intersection >= n - 2f on every group"
+        (List.for_all (fun (v : Intersection.verdict) -> v.ok) cross);
+      Verdict.make "cross-policy intersection groups are non-vacuous"
+        (List.exists (fun (v : Intersection.verdict) -> v.pairs > 0) cross);
+      Verdict.make "n=1024 sampled intersection ok (lex + lottery fan)"
+        (sampled.Intersection.ok && sampled.Intersection.pairs > 0);
+      Verdict.make "lottery: deterministic replay (same campaign, same metrics)"
+        lottery_deterministic;
+    ]
+  in
+  (t, verdicts)

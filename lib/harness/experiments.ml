@@ -47,6 +47,8 @@ let e16 ?quick ?ns () = of_table "E16" (E_churn.run ?quick ?ns ())
 
 let e17 ?quick ?jobs () = of_table "E17" (E_explore.run ?quick ?jobs ())
 
+let e18 () = of_table "E18" (E_policy.run ())
+
 let all ?(quick = false) () =
   let fs_bounds = if quick then [ 1; 2 ] else [ 1; 2; 3; 4 ] in
   let fs_fol = if quick then [ 1; 2 ] else [ 1; 2; 3 ] in
@@ -65,6 +67,7 @@ let all ?(quick = false) () =
     e11 ();
     e12 ();
     e14 ();
+    e18 ();
   ]
 
 let print o =

@@ -38,6 +38,12 @@ val e17 : ?quick:bool -> ?jobs:int list -> unit -> outcome
     throughput with byte-identical reports. Like {!e15}, not part of
     {!all}. *)
 
+val e18 : unit -> outcome
+(** Selection policies under correlated whole-region loss ({!E_policy}):
+    exposure, availability and repair for lex-first vs. the seeded
+    lottery vs. diversity-capped selection. Deterministic, so part of
+    {!all}. *)
+
 val all : ?quick:bool -> unit -> outcome list
 (** [quick] trims the sweeps for test runs (default false). *)
 

@@ -43,6 +43,7 @@ type spec = {
   amnesia : int list;
   equivocate : int list;
   churn : int list;
+  regions : int list list;
   requests : int;
   seeded_bug : bool;
 }
@@ -58,6 +59,7 @@ let default_spec protocol =
       amnesia = [];
       equivocate = [];
       churn = [];
+      regions = [];
       requests = 0;
       seeded_bug = false;
     }
@@ -124,6 +126,32 @@ let validate spec =
   then
     invalid_arg
       "Modelcheck: more than f faulty processes (crashes + equivocators + churn) is out of model";
+  List.iteri
+    (fun i members ->
+      if members = [] then
+        invalid_arg (Printf.sprintf "Modelcheck: region %d has no members" i);
+      List.iter (pid "region") members;
+      if List.length members <> List.length (List.sort_uniq compare members) then
+        invalid_arg (Printf.sprintf "Modelcheck: region %d has a duplicate member" i);
+      List.iter
+        (fun p ->
+          if List.mem p spec.crashes then
+            invalid_arg
+              (Printf.sprintf "Modelcheck: p%d is crashed; it cannot also be lost with region %d" p i))
+        members)
+    spec.regions;
+  if spec.regions <> [] && spec.protocol <> Quorum then
+    invalid_arg "Modelcheck: region-loss exploration is only wired for the quorum instance";
+  (* A region loss mutes every member at once: the whole domain draws on
+     the same f-budget as individual crashes. *)
+  if
+    List.length
+      (List.sort_uniq compare
+         (spec.crashes @ spec.amnesia @ spec.equivocate @ spec.churn @ List.concat spec.regions))
+    > spec.f
+  then
+    invalid_arg
+      "Modelcheck: more than f faulty processes (crashes + equivocators + churn + region members) is out of model";
   List.iter
     (fun (p, s) ->
       pid "inject" p;
@@ -190,7 +218,7 @@ let make_quorum spec =
      processes (briefly), so they count against the budget too. *)
   let enforce_bound =
     within_budget ~f:spec.f
-      (spec.crashes @ spec.amnesia @ spec.churn
+      (spec.crashes @ spec.amnesia @ spec.churn @ List.concat spec.regions
       @ List.concat_map snd spec.injections
       @ List.concat_map
           (fun p ->
@@ -209,6 +237,10 @@ let make_quorum spec =
   let amnesia_done = Array.make spec.n false in
   let equivocate_done = Array.make spec.n false in
   let churn_done = Array.make spec.n false in
+  let region_done = Array.make (List.length spec.regions) false in
+  (* Members of already-lost regions: mute both directions from the loss
+     point on (the filter below reads this live). *)
+  let muted = Array.make spec.n false in
   let state = ref None in
   let nodes () = let n, _, _ = Option.get !state in n in
   let rejoins () = let _, r, _ = Option.get !state in r in
@@ -223,11 +255,17 @@ let make_quorum spec =
     Array.fill amnesia_done 0 spec.n false;
     Array.fill equivocate_done 0 spec.n false;
     Array.fill churn_done 0 spec.n false;
+    Array.fill region_done 0 (Array.length region_done) false;
+    Array.fill muted 0 spec.n false;
     QS.test_buggy_quorum_size := spec.seeded_bug;
     let sim = Sim.create () in
     let network = Network.create ~sim ~n:spec.n ~delay:(Network.Fixed (Stime.of_ms 1)) () in
     Network.set_controlled network true;
     if spec.crashes <> [] then ignore (Network.add_filter network (drop_crashed_filter spec.crashes));
+    if spec.regions <> [] then
+      ignore
+        (Network.add_filter network (fun ~now:_ ~src ~dst _ ->
+             if muted.(src) || muted.(dst) then Network.Drop else Network.Deliver));
     let slots = Array.make spec.n None in
     for me = 0 to spec.n - 1 do
       slots.(me) <-
@@ -297,6 +335,54 @@ let make_quorum spec =
               receiver = None })
       spec.churn
   in
+  let region_choices () =
+    List.filteri (fun i _ -> not region_done.(i)) (List.mapi (fun i _ -> i) spec.regions)
+    |> List.map (fun i ->
+           { Engine.choice = Schedule.Region i;
+             canon = "r" ^ string_of_int i;
+             receiver = None })
+  in
+  (* Members of a lost region are faulty from that point on: stale by
+     construction, so every correctness check ranges over the survivors. *)
+  let live_correct () = List.filter (fun p -> not muted.(p)) correct in
+  (* Standing quorums: two correct survivors at the same (config epoch,
+     detector epoch) must hold quorums overlapping in at least n - 2f
+     processes. Appended after the per-process checks so a schedule that
+     also undersizes a quorum keeps reporting quorum-size first. *)
+  let intersection_violations () =
+    let threshold = Qs_core.Quorum_intersection.threshold ~n:spec.n ~f:spec.f in
+    let groups = ref [] in
+    List.iter
+      (fun p ->
+        let node = (nodes ()).(p) in
+        let q = List.sort_uniq compare (QS.last_quorum node) in
+        let key = (QS.cepoch node, QS.epoch node) in
+        let qs = Option.value ~default:[] (List.assoc_opt key !groups) in
+        if not (List.mem q qs) then groups := (key, q :: qs) :: List.remove_assoc key !groups)
+      (live_correct ());
+    List.concat_map
+      (fun ((ce, e), qs) ->
+        let rec pairs = function
+          | [] -> []
+          | q :: rest ->
+            List.filter_map
+              (fun q' ->
+                let o = Qs_core.Quorum_intersection.overlap q q' in
+                if o < threshold then
+                  Some
+                    ( "quorum-intersection",
+                      Printf.sprintf
+                        "quorums {%s} and {%s} at cepoch %d epoch %d overlap in %d < n - 2f = %d"
+                        (String.concat "," (List.map string_of_int q))
+                        (String.concat "," (List.map string_of_int q'))
+                        ce e o threshold )
+                else None)
+              rest
+            @ pairs rest
+        in
+        pairs qs)
+      (List.rev !groups)
+  in
   let violations () =
     List.concat_map
       (fun p ->
@@ -321,10 +407,11 @@ let make_quorum spec =
                 (String.concat "," (List.map string_of_int lq)) )
             :: !out;
         List.rev !out)
-      correct
+      (live_correct ())
+    @ intersection_violations ()
   in
   let quiescent_violations () =
-    match correct with
+    match live_correct () with
     | [] -> []
     | first :: rest ->
       let node p = (nodes ()).(p) in
@@ -370,7 +457,7 @@ let make_quorum spec =
      played a role collapse into one orbit representative. *)
   let distinguished =
     List.sort_uniq compare
-      (spec.crashes @ spec.amnesia @ spec.churn
+      (spec.crashes @ spec.amnesia @ spec.churn @ List.concat spec.regions
       @ List.concat_map
           (fun p ->
             match equivocation_peers p with
@@ -458,6 +545,10 @@ let make_quorum spec =
     for i = 0 to spec.n - 1 do
       Buffer.add_char buf (if churn_done.(inv.(i)) then '1' else '0')
     done;
+    (* Region ids are not pids: the permutation is the identity on every
+       member (all distinguished), so the bits copy over unpermuted. *)
+    Buffer.add_string buf "R";
+    Array.iter (fun b -> Buffer.add_char buf (if b then '1' else '0')) region_done;
     let pend =
       Network.pending (net ())
       |> List.map (fun (_, src, dst, payload) ->
@@ -485,7 +576,7 @@ let make_quorum spec =
     enabled =
       (fun () ->
         deliver_choices (net ()) encode @ amnesia_choices () @ equivocate_choices ()
-        @ churn_choices ());
+        @ churn_choices () @ region_choices ());
     apply =
       (function
       | Schedule.Deliver id -> Network.deliver_now (net ()) id
@@ -534,8 +625,21 @@ let make_quorum spec =
         ignore (Network.drop_pending_to (net ()) p : int);
         Rejoin.start (rejoins ()).(p);
         true
-      | Schedule.Amnesia _ | Schedule.Equivocate _ | Schedule.Churn _ | Schedule.Step
-      | Schedule.Fire _ ->
+      | Schedule.Region i when i >= 0 && i < Array.length region_done && not region_done.(i) ->
+        (* One correlated whole-domain loss: every member of region i goes
+           mute at once. Messages already addressed to a member die with it;
+           a member's own pre-loss gossip stays in flight (parked sends
+           survive), so exploration covers stale late-arriving traffic from
+           the lost domain. *)
+        region_done.(i) <- true;
+        List.iter
+          (fun p ->
+            muted.(p) <- true;
+            ignore (Network.drop_pending_to (net ()) p : int))
+          (List.nth spec.regions i);
+        true
+      | Schedule.Amnesia _ | Schedule.Equivocate _ | Schedule.Churn _ | Schedule.Region _
+      | Schedule.Step | Schedule.Fire _ ->
         false);
     fingerprint =
       (fun () ->
@@ -556,6 +660,8 @@ let make_quorum spec =
         Array.iter (fun b -> Buffer.add_char buf (if b then '1' else '0')) equivocate_done;
         Buffer.add_string buf "C";
         Array.iter (fun b -> Buffer.add_char buf (if b then '1' else '0')) churn_done;
+        Buffer.add_string buf "R";
+        Array.iter (fun b -> Buffer.add_char buf (if b then '1' else '0')) region_done;
         Buffer.add_string buf ("[" ^ pending_part (net ()) encode ^ "]");
         Buffer.contents buf);
     violations;
@@ -568,6 +674,8 @@ let make_quorum spec =
           let am = Array.copy amnesia_done in
           let eq = Array.copy equivocate_done in
           let ch = Array.copy churn_done in
+          let rg = Array.copy region_done in
+          let mu = Array.copy muted in
           let net_snap = Network.snapshot (net ()) in
           fun () ->
             Array.iteri (fun i s -> QS.restore (nodes ()).(i) s) ns;
@@ -575,6 +683,8 @@ let make_quorum spec =
             Array.blit am 0 amnesia_done 0 spec.n;
             Array.blit eq 0 equivocate_done 0 spec.n;
             Array.blit ch 0 churn_done 0 spec.n;
+            Array.blit rg 0 region_done 0 (Array.length region_done);
+            Array.blit mu 0 muted 0 spec.n;
             Network.restore (net ()) net_snap);
     symmetry;
   }
@@ -667,7 +777,9 @@ let make_follower spec =
         if not (List.mem leader fd.transient) then fd.transient <- leader :: fd.transient;
         FS.handle_suspected (nodes ()).(p) (suspicion_set fd);
         true)
-    | Schedule.Step | Schedule.Amnesia _ | Schedule.Equivocate _ | Schedule.Churn _ -> false
+    | Schedule.Step | Schedule.Amnesia _ | Schedule.Equivocate _ | Schedule.Churn _
+    | Schedule.Region _ ->
+      false
   in
   let violations () =
     (* fd transient/permanent sets only grow (and snapshots restore them),
@@ -933,7 +1045,8 @@ let make_xpaxos mode spec =
       (function
       | Schedule.Deliver id -> Network.deliver_now (Xcluster.net (cluster ())) id
       | Schedule.Step -> Sim.step (Xcluster.sim (cluster ()))
-      | Schedule.Fire _ | Schedule.Amnesia _ | Schedule.Equivocate _ | Schedule.Churn _ ->
+      | Schedule.Fire _ | Schedule.Amnesia _ | Schedule.Equivocate _ | Schedule.Churn _
+      | Schedule.Region _ ->
         false);
     fingerprint =
       (fun () ->
@@ -1084,6 +1197,16 @@ let run_mc_regression kvs =
         | None -> Error (Printf.sprintf "bad churn=%S" v))
       (Ok []) (find_all "churn")
   in
+  let* regions =
+    List.fold_left
+      (fun acc v ->
+        let* acc = acc in
+        match List.map int_of_string_opt (String.split_on_char ',' v) with
+        | members when members <> [] && List.for_all Option.is_some members ->
+          Ok (List.map Option.get members :: acc)
+        | _ -> Error (Printf.sprintf "bad region=%S (want m1,m2)" v))
+      (Ok []) (find_all "region")
+  in
   let* injections =
     List.fold_left
       (fun acc v ->
@@ -1125,6 +1248,7 @@ let run_mc_regression kvs =
       amnesia = List.rev amnesia;
       equivocate = List.rev equivocate;
       churn = List.rev churn;
+      regions = List.rev regions;
       requests;
       seeded_bug;
     }
@@ -1174,11 +1298,28 @@ let run_chaos_regression kvs =
   in
   let* min_proofs = int_of "min-proofs" 0 in
   let* min_reconfigs = int_of "min-reconfigs" 0 in
+  let* min_isect_pairs = int_of "min-intersection-pairs" 0 in
+  let* policy =
+    match find "policy" with
+    | None -> Ok defaults.Chaos.policy
+    | Some v -> (
+      match Qs_core.Selection_policy.of_string v with
+      | Some p -> Ok p
+      | None -> Error (Printf.sprintf "bad policy=%S" v))
+  in
   let* expectation =
     match find "expect" with None -> Error "missing expect=" | Some v -> parse_expect v
   in
   let params =
-    { defaults with Chaos.n; f; horizon = Stime.of_ms horizon_ms; requests; spares }
+    {
+      defaults with
+      Chaos.n;
+      f;
+      horizon = Stime.of_ms horizon_ms;
+      requests;
+      spares;
+      policy;
+    }
   in
   let model = Fault.classify ~n ~f schedule in
   let outcome = Chaos.execute stack ~params ~seed ~model schedule in
@@ -1197,6 +1338,14 @@ let run_chaos_regression kvs =
     Error
       (Printf.sprintf "vacuous pin: %d reconfigurations, want at least %d"
          outcome.Qs_faults.Campaign.reconfigs min_reconfigs)
+  else if outcome.Qs_faults.Campaign.isect_pairs < min_isect_pairs then
+    (* And for correlated-loss pins: the run must actually have compared
+       distinct quorums under the intersection invariant — a drift that
+       stops the region loss from ever forcing a quorum change would
+       otherwise pass with the invariant never exercised. *)
+    Error
+      (Printf.sprintf "vacuous pin: %d intersection pairs compared, want at least %d"
+         outcome.Qs_faults.Campaign.isect_pairs min_isect_pairs)
   else
     check_expect expectation
       (List.map

@@ -23,13 +23,21 @@
       epoch bumped, [p]'s in-flight messages die, and a rejoin round
       bootstraps its state back — so stale pre-churn gossip interleaves
       freely with the reconfiguration point and the recovery traffic.
+      Each declared fault domain in [regions] contributes a [Region i]
+      choice, enabled once at every state: every member goes mute at once
+      (messages addressed to members die, their own pre-loss gossip stays
+      in flight), modeling a correlated whole-region loss; from then on
+      every check ranges over the survivors.
       Checks: |Q| = n − f on every issued quorum, Theorem 3's per-epoch
       bound, instantaneous no-suspicion (the current quorum is independent
-      in the issuer's suspect graph), and — at quiescent states —
-      agreement and matrix convergence. A pending amnesia choice keeps a
-      state non-quiescent, so every terminal state has all declared crashes
-      behind it and the rejoins completed (controlled delivery is reliable
-      and [needed = 1]). Provides the snapshot fast path.
+      in the issuer's suspect graph), pairwise quorum intersection — two
+      live correct processes at the same (config epoch, detector epoch)
+      must hold standing quorums overlapping in at least [n − 2f]
+      ({!Qs_core.Quorum_intersection.threshold}) — and, at quiescent
+      states, agreement and matrix convergence. A pending amnesia choice
+      keeps a state non-quiescent, so every terminal state has all declared
+      crashes behind it and the rejoins completed (controlled delivery is
+      reliable and [needed = 1]). Provides the snapshot fast path.
     - [follower] — Algorithm-2 instances over a FIFO controlled network
       with the emulated failure detector of {!Fcluster}: open FOLLOWERS
       expectations become [Fire p] choices. Checks: |Q| = q, Theorem 9's
@@ -95,6 +103,13 @@ type spec = {
           through the recovery protocol. A mid-rejoin churned process is
           briefly stale, so churn shares the [f] budget with crashes and
           equivocators. *)
+  regions : int list list;
+      (** Correlated fault domains ([quorum] protocol only): domain [i]'s
+          member list backs a [Region i] choice, enabled once at every
+          explored point, that mutes every member at once and drops their
+          inbound in-flight messages. Lost members are faulty — excluded
+          from checks from the loss on — and every member draws on the
+          same [f] budget as a crash. *)
   requests : int;  (** Client requests submitted up front (XPaxos only). *)
   seeded_bug : bool;
       (** Arm {!Qs_core.Quorum_select.test_buggy_quorum_size} inside
@@ -109,9 +124,11 @@ val default_spec : protocol -> spec
 
 val validate : spec -> unit
 (** Raises [Invalid_argument] on out-of-range pids, more than [f] faulty
-    processes (mute, amnesia and equivocators combined), amnesia or
-    equivocation outside the [quorum] protocol or overlapping [crashes], or
-    a [seeded_bug] on a protocol that has no embedded Algorithm 1. *)
+    processes (mute, amnesia, equivocators, churn and region members
+    combined), amnesia / equivocation / churn / regions outside the
+    [quorum] protocol or overlapping [crashes], an empty or duplicate-member
+    region, or a [seeded_bug] on a protocol that has no embedded
+    Algorithm 1. *)
 
 val make : spec -> Qs_mc.Engine.system
 (** The system is self-contained: [reset] rebuilds the cluster, re-arms
@@ -135,6 +152,8 @@ val make : spec -> Qs_mc.Engine.system
     amnesia=1                # repeatable, quorum only
     equivocate=0             # repeatable, quorum only
     churn=2                  # repeatable, quorum only
+    region=4,5               # repeatable, quorum only: one fault domain's
+                             # members per line, in region-id order
     requests=1               # optional (xpaxos)
     seeded-bug=quorum-size   # optional, arms the test bug
     schedule=d0;d2;t
@@ -153,10 +172,14 @@ val make : spec -> Qs_mc.Engine.system
     spare=7                  # repeatable: universe pids outside the
                              # initial membership (churn pins)
     faults=delay p0->p2 by 60.000ms @ 0.000ms   # Fault.to_string format
+    policy=diverse:2:r0,r0,r1,r1,r2   # optional Selection_policy.of_string
     min-proofs=1             # optional vacuity guard (commission pins)
     min-reconfigs=6          # optional vacuity guard (churn pins): the
                              # run must apply at least this many
                              # per-process reconfigurations
+    min-intersection-pairs=1 # optional vacuity guard (correlated pins):
+                             # the monitor must compare at least this
+                             # many distinct quorum pairs
     expect=ok                # or violation:<check>
     v} *)
 

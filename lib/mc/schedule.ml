@@ -5,6 +5,7 @@ type choice =
   | Amnesia of int
   | Equivocate of int
   | Churn of int
+  | Region of int
 
 type t = choice list
 
@@ -15,6 +16,7 @@ let choice_to_string = function
   | Amnesia p -> "a" ^ string_of_int p
   | Equivocate p -> "e" ^ string_of_int p
   | Churn p -> "c" ^ string_of_int p
+  | Region i -> "r" ^ string_of_int i
 
 let to_string t = String.concat ";" (List.map choice_to_string t)
 
@@ -31,6 +33,7 @@ let choice_of_string s =
   else if String.length s >= 2 && s.[0] = 'a' then Amnesia (num ())
   else if String.length s >= 2 && s.[0] = 'e' then Equivocate (num ())
   else if String.length s >= 2 && s.[0] = 'c' then Churn (num ())
+  else if String.length s >= 2 && s.[0] = 'r' then Region (num ())
   else fail ()
 
 let of_string s =

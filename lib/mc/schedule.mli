@@ -23,9 +23,14 @@
       reconfigures to the same width with [p]'s row wiped
       ([of_new p = -1]) and the config epoch bumped, then [p] bootstraps
       its state back through the rejoin protocol (instances that declare
-      a churn budget explore it at every state, once per process).
+      a churn budget explore it at every state, once per process);
+    - [Region i]: one correlated whole-region loss — every member of the
+      instance's declared fault-domain [i] goes mute at once, their
+      in-flight messages die with them (instances that declare a region
+      explore it at every state, once per region; the members draw on the
+      same [f]-budget as crashes).
 
-    The textual form ("d3;t;a1;e0;c2") is what [test/regressions/] pins
+    The textual form ("d3;t;a1;e0;c2;r0") is what [test/regressions/] pins
     and what violation reports print, so counterexamples replay from
     plain text. *)
 
@@ -36,6 +41,7 @@ type choice =
   | Amnesia of int
   | Equivocate of int
   | Churn of int
+  | Region of int
 
 type t = choice list
 

@@ -168,6 +168,62 @@ let check_churn_point ~current_points base =
       agrees "departed_clean";
     ]
 
+(* The E18 policy sweep is fully deterministic — exposure, outage and
+   quorum-change counts, availability, and the repair/agreement/Theorem-3
+   booleans are code properties pinned exactly against the baseline. The
+   intersection verdicts are gated from the current run alone: every
+   cross-policy group must pass, non-vacuously, and so must the sampled
+   n=1024 point. *)
+let check_policy_point ~current_points base =
+  let name = string_f "policy" base in
+  let tag s = Printf.sprintf "policy %s: %s" name s in
+  match List.find_opt (fun p -> string_f "policy" p = name) current_points with
+  | None -> [ hard (tag "present in current run") false "point missing" ]
+  | Some cur ->
+    let eq fname =
+      let b = int_f fname base and c = int_f fname cur in
+      hard (tag fname) (c = b) (Printf.sprintf "%d vs baseline %d" c b)
+    in
+    let agrees fname =
+      hard (tag fname) (bool_f fname cur)
+        (if bool_f fname cur then "true" else "false")
+    in
+    let avail = float_f "availability" cur
+    and bavail = float_f "availability" base in
+    [
+      eq "max_exposure";
+      eq "outages";
+      eq "quorum_changes";
+      hard (tag "availability matches")
+        (avail = bavail)
+        (Printf.sprintf "%.2f vs baseline %.2f" avail bavail);
+      agrees "repairs_clean";
+      agrees "agreement";
+      agrees "t3_ok";
+    ]
+
+let check_policy ~current base =
+  let cur_points = list_exn "points" current in
+  let isect = field "intersection" current in
+  let point_checks =
+    List.concat_map
+      (check_policy_point ~current_points:cur_points)
+      (list_exn "points" base)
+  in
+  let pairs = int_f "pairs" isect and sampled_pairs = int_f "sampled_pairs" isect in
+  point_checks
+  @ [
+      hard "policy intersection: every cross-policy group ok"
+        (bool_f "ok" isect)
+        (if bool_f "ok" isect then "true" else "false");
+      hard "policy intersection: groups non-vacuous" (pairs > 0)
+        (Printf.sprintf "%d pairs" pairs);
+      hard "policy intersection: sampled n=1024 ok"
+        (bool_f "sampled_ok" isect && sampled_pairs > 0)
+        (Printf.sprintf "ok=%b over %d pairs" (bool_f "sampled_ok" isect)
+           sampled_pairs);
+    ]
+
 (* The E17 multicore-exploration sweep. Determinism is a code property and
    gated hard: every worker count must produce a byte-identical fuzz report
    and visited-state set, the sharded IDDFS must visit exactly the
@@ -336,6 +392,12 @@ let check ~current ~baseline =
       | None -> []
       | Some base -> check_explore ~current:(field "explore" current) base
     in
+    let policy_checks =
+      (* Absent from pre-policy baselines, same opt-in as churn/explore. *)
+      match Json.member "policy" baseline with
+      | None -> []
+      | Some base -> check_policy ~current:(field "policy" current) base
+    in
     let ns_checks =
       match (Json.member "results" baseline, Json.member "results" current) with
       | Some (Json.List b), Some (Json.List c) -> check_results ~current:c b
@@ -343,7 +405,7 @@ let check ~current ~baseline =
     in
     (quick_ok :: experiments_ok :: scaling_checks)
     @ ratio_check @ commission_checks @ churn_checks @ explore_checks
-    @ ns_checks
+    @ policy_checks @ ns_checks
   end
 
 (* ------------------------------------------------------------------ *)
@@ -409,6 +471,32 @@ let derive_baseline bench =
       ]
     | None -> []
   in
+  let policy =
+    match Json.member "policy" bench with
+    | Some p ->
+      [
+        ( "policy",
+          Json.Obj
+            [
+              ( "points",
+                Json.List
+                  (List.map
+                     (fun pt ->
+                       Json.Obj
+                         [
+                           ("policy", Json.String (string_f "policy" pt));
+                           ("max_exposure", Json.Int (int_f "max_exposure" pt));
+                           ("outages", Json.Int (int_f "outages" pt));
+                           ( "availability",
+                             Json.Float (float_f "availability" pt) );
+                           ( "quorum_changes",
+                             Json.Int (int_f "quorum_changes" pt) );
+                         ])
+                     (list_exn "points" p)) );
+            ] );
+      ]
+    | None -> []
+  in
   let results =
     match Json.member "results" bench with
     | Some (Json.List rs) ->
@@ -432,5 +520,5 @@ let derive_baseline bench =
        ("commission", Json.List commission);
        ("churn", Json.List churn);
      ]
-    @ explore
+    @ explore @ policy
     @ [ ("results", Json.List results) ])

@@ -25,8 +25,19 @@ val substream : t -> int -> t
 (** [substream g i] is a decorrelated generator for substream [i >= 0]
     without advancing [g]: the same [i] always yields the same stream, in
     whatever order substreams are drawn. This is the random-access
-    counterpart of {!split}, used to give every fuzzer walk its own seed
-    independent of which domain runs it. *)
+    counterpart of {!split}, used wherever a draw must be a pure function
+    of its coordinates rather than of evaluation order.
+
+    Substream index allocation (to keep independent consumers off each
+    other's streams, document new uses here):
+    - {e fuzzer shard walks}: substream [i] of the run seed is walk [i],
+      independent of which domain executes it ([--jobs] byte-identity);
+    - {e intersection sampling}: {!Qs_core.Quorum_intersection.check_sampled}
+      draws pairs from substream [0] of its own caller-provided seed;
+    - {e lottery tickets}: {!Qs_core.Selection_policy.Seeded_lottery} chains
+      [seed → cepoch → epoch → vertex] — one nesting level per coordinate,
+      so every (config epoch, detector epoch, process) triple owns a
+      disjoint stream and the ticket is independent of prior draws. *)
 
 val next_int64 : t -> int64
 (** Next raw 64-bit output. *)

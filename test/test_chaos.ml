@@ -163,6 +163,8 @@ let test_campaign_shrinks_to_marker () =
       proofs = 0;
       forgeries = 0;
       reconfigs = 0;
+      isect_pairs = 0;
+      isect_min_overlap = None;
     }
   in
   let report =
@@ -198,6 +200,8 @@ let test_campaign_jobs_identical_synthetic () =
       proofs = 0;
       forgeries = 0;
       reconfigs = 0;
+      isect_pairs = 0;
+      isect_min_overlap = None;
     }
   in
   let go jobs =

@@ -1,0 +1,421 @@
+(* Selection policies, failure-correlation topologies, quorum-intersection
+   checking and the correlated fault kinds (PR 9): unit pins for the
+   documented shapes plus QCheck properties for the contracts the design
+   leans on — policy determinism (which carries Agreement), the
+   DiversityCapped per-label caps, blame-once budgeting, and the fault
+   DSL's render/parse inverse. *)
+
+open Qs_core
+module Policy = Selection_policy
+module Intersection = Quorum_intersection
+module Graph = Qs_graph.Graph
+module Indep = Qs_graph.Indep
+module Fault = Qs_faults.Fault
+module Prng = Qs_stdx.Prng
+module Stime = Qs_sim.Stime
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_ilist = Alcotest.(check (list int))
+let check_slist = Alcotest.(check (list string))
+
+let ms = Stime.of_ms
+
+(* ------------------------------------------------------------------ *)
+(* Topology *)
+
+let test_topology_blocks () =
+  let t = Topology.blocks ~n:9 [ "r0"; "r1"; "r2"; "r3"; "r4" ] in
+  check_slist "labels in order" [ "r0"; "r1"; "r2"; "r3"; "r4" ] (Topology.labels t);
+  check_ilist "first block" [ 0; 1 ] (Topology.members t "r0");
+  check_ilist "last (short) block" [ 8 ] (Topology.members t "r4");
+  Alcotest.(check (list (pair string int)))
+    "counts 2,2,2,2,1"
+    [ ("r0", 2); ("r1", 2); ("r2", 2); ("r3", 2); ("r4", 1) ]
+    (Topology.counts t)
+
+let test_topology_round_robin () =
+  let t = Topology.round_robin ~n:5 [ "a"; "b" ] in
+  check_ilist "interleaved a" [ 0; 2; 4 ] (Topology.members t "a");
+  check_ilist "interleaved b" [ 1; 3 ] (Topology.members t "b")
+
+let test_topology_string_roundtrip () =
+  let t = Topology.blocks ~n:7 [ "zone-a"; "zone-b"; "zone-c" ] in
+  check_bool "of_string inverts to_string" true
+    (Topology.equal t (Topology.of_string (Topology.to_string t)))
+
+let test_topology_remap_fresh_slot () =
+  (* Identity remap is a fixpoint; a fresh slot lands in the
+     least-populated label (deterministic successor rule). *)
+  let t = Topology.of_list [ "a"; "a"; "b" ] in
+  check_bool "identity remap" true
+    (Topology.equal t (Topology.remap t ~n:3 ~of_new:Fun.id));
+  let grown =
+    Topology.remap t ~n:4 ~of_new:(fun i -> if i < 3 then i else -1)
+  in
+  Alcotest.(check string) "fresh slot balances" "b" (Topology.label_of grown 3)
+
+(* ------------------------------------------------------------------ *)
+(* Selection policies *)
+
+let n9 = 9
+
+let q9 = 5 (* q = n - f with f = 4 *)
+
+let topo9 () = Topology.blocks ~n:n9 [ "r0"; "r1"; "r2"; "r3"; "r4" ]
+
+let no_weight _ = 0
+
+let select pol g =
+  Policy.select pol ~graph:g ~q:q9 ~weight:no_weight ~cepoch:0 ~epoch:0
+
+let test_lex_is_prefix_on_edgeless () =
+  check_ilist "lex takes the low-pid prefix" [ 0; 1; 2; 3; 4 ]
+    (Option.get (select Policy.Lex_first (Graph.create n9)))
+
+let test_diverse_spreads_on_edgeless () =
+  let pol = Policy.Diversity_capped { topology = topo9 (); cap = 1 } in
+  check_ilist "one seat per region" [ 0; 2; 4; 6; 8 ]
+    (Option.get (select pol (Graph.create n9)))
+
+let test_diverse_validate_rejects_nonsense () =
+  let narrow = Topology.blocks ~n:4 [ "a"; "b" ] in
+  Alcotest.check_raises "wrong width"
+    (Invalid_argument
+       "Selection_policy: topology width does not match the configuration")
+    (fun () ->
+      Policy.validate
+        (Policy.Diversity_capped { topology = narrow; cap = 1 })
+        ~n:n9 ~q:q9);
+  let two = Topology.blocks ~n:n9 [ "a"; "b" ] in
+  Alcotest.check_raises "caps cannot cover q"
+    (Invalid_argument "Selection_policy: caps cover at most 2 of the 5 quorum slots")
+    (fun () ->
+      Policy.validate (Policy.Diversity_capped { topology = two; cap = 1 })
+        ~n:n9 ~q:q9)
+
+let test_policy_string_roundtrip () =
+  List.iter
+    (fun pol ->
+      check_bool (Policy.to_string pol) true
+        (Policy.of_string (Policy.to_string pol) = Some pol))
+    [
+      Policy.Lex_first;
+      Policy.Seeded_lottery { seed = 0x9E18L };
+      Policy.Diversity_capped { topology = topo9 (); cap = 2 };
+    ]
+
+let random_graph rng =
+  let g = Graph.create n9 in
+  for _ = 1 to Prng.int_in rng 0 8 do
+    let a = Prng.int rng n9 and b = Prng.int rng n9 in
+    if a <> b then Graph.add_edge g a b
+  done;
+  g
+
+let policies =
+  lazy
+    [
+      Policy.Lex_first;
+      Policy.Seeded_lottery { seed = 7L };
+      Policy.Diversity_capped { topology = topo9 (); cap = 2 };
+    ]
+
+(* Determinism is what carries Agreement: the same inputs must produce the
+   same quorum, for every policy, on arbitrary suspicion graphs. *)
+let prop_policies_deterministic_and_valid =
+  QCheck.Test.make ~name:"every policy: deterministic, size-q, independent"
+    ~count:200
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      List.for_all
+        (fun pol ->
+          let g = random_graph (Prng.of_int seed) in
+          let a = select pol g and b = select pol g in
+          a = b
+          &&
+          match a with
+          | None -> true
+          | Some quorum ->
+            List.length quorum = q9
+            && Indep.is_independent g quorum
+            && List.sort compare quorum = quorum)
+        (Lazy.force policies))
+
+let prop_diverse_never_violates_caps =
+  QCheck.Test.make ~name:"DiversityCapped: per-label counts never exceed cap"
+    ~count:200
+    QCheck.(pair (int_range 0 100_000) (int_range 1 2))
+    (fun (seed, cap) ->
+      let topo = topo9 () in
+      let g = random_graph (Prng.of_int seed) in
+      match select (Policy.Diversity_capped { topology = topo; cap }) g with
+      | None -> true
+      | Some quorum ->
+        List.for_all
+          (fun label ->
+            let members = Topology.members topo label in
+            List.length (List.filter (fun p -> List.mem p members) quorum)
+            <= cap)
+          (Topology.labels topo))
+
+(* The lottery runs the same feasibility checks as lex-first, so one finds
+   a quorum exactly when the other does. *)
+let prop_lottery_feasible_iff_lex =
+  QCheck.Test.make ~name:"SeededLottery: quorum exists iff lex-first's does"
+    ~count:200
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let g = random_graph (Prng.of_int seed) in
+      Option.is_some (select (Policy.Seeded_lottery { seed = 3L }) g)
+      = Option.is_some (select Policy.Lex_first g))
+
+let prop_diverse_order_is_permutation =
+  QCheck.Test.make ~name:"DiversityCapped order: permutes, never drops"
+    ~count:200
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Prng.of_int seed in
+      let candidates =
+        List.filter (fun _ -> Prng.bool rng) (List.init n9 Fun.id)
+      in
+      let pol = Policy.Diversity_capped { topology = topo9 (); cap = 1 } in
+      let ordered =
+        Policy.order pol ~candidates ~weight:no_weight ~cepoch:0 ~epoch:0
+      in
+      List.sort compare ordered = List.sort compare candidates)
+
+(* ------------------------------------------------------------------ *)
+(* Quorum intersection *)
+
+let test_intersection_threshold () =
+  check_int "n=9 f=4" 1 (Intersection.threshold ~n:9 ~f:4);
+  check_int "n=4 f=1" 2 (Intersection.threshold ~n:4 ~f:1);
+  check_int "overlap" 2 (Intersection.overlap [ 0; 1; 2 ] [ 1; 2; 3 ])
+
+let test_intersection_ok_on_sized_quorums () =
+  let v = Intersection.check ~n:4 ~f:1 [ [ 0; 1; 2 ]; [ 1; 2; 3 ] ] in
+  check_bool "ok" true v.Intersection.ok;
+  check_int "pairs" 1 v.Intersection.pairs;
+  check_int "min overlap" 2 v.Intersection.min_overlap
+
+let test_intersection_certifies_undersized () =
+  (* The seeded quorum-size mutation's signature: two disjoint undersized
+     "quorums" in one epoch group. Counting intersection catches it. *)
+  let v = Intersection.check ~n:4 ~f:1 [ [ 0; 1 ]; [ 2; 3 ] ] in
+  check_bool "violation" false v.Intersection.ok;
+  check_bool "witness present" true (v.Intersection.witness <> None)
+
+let test_intersection_collapses_duplicates () =
+  let v = Intersection.check ~n:4 ~f:1 [ [ 0; 1; 2 ]; [ 0; 1; 2 ] ] in
+  check_int "one distinct quorum" 1 v.Intersection.quorums;
+  check_int "no pairs" 0 v.Intersection.pairs;
+  check_bool "vacuously ok" true v.Intersection.ok
+
+let test_intersection_sampled_deterministic () =
+  let g = Graph.create 64 in
+  let quorums =
+    List.filter_map
+      (fun s ->
+        Policy.select
+          (Policy.Seeded_lottery { seed = Int64.of_int s })
+          ~graph:g ~q:43 ~weight:no_weight ~cepoch:0 ~epoch:0)
+      [ 1; 2; 3; 4; 5; 6 ]
+  in
+  let v1 = Intersection.check_sampled ~n:64 ~f:21 ~seed:9 ~max_pairs:5 quorums in
+  let v2 = Intersection.check_sampled ~n:64 ~f:21 ~seed:9 ~max_pairs:5 quorums in
+  check_bool "same verdict on replay" true (v1 = v2);
+  check_int "sampled down to max_pairs" 5 v1.Intersection.pairs;
+  check_bool "ok" true v1.Intersection.ok
+
+(* ------------------------------------------------------------------ *)
+(* Correlated fault kinds *)
+
+let region ~label ~members = Fault.RegionPartition { label; members }
+
+let test_blame_counts_each_member_once () =
+  (* Three correlated phases plus a crash all naming p0/p1: the budget is
+     charged once per member, not once per phase. *)
+  let sched =
+    [
+      Fault.at (region ~label:"r0" ~members:[ 0; 1 ]);
+      Fault.at (Fault.RackLoss { label = "r0"; members = [ 0; 1 ] });
+      Fault.at
+        (Fault.GrayRegion { label = "r0"; members = [ 0; 1 ]; by = ms 40 });
+      Fault.at (Fault.Crash 0);
+    ]
+  in
+  check_ilist "blamed once each" [ 0; 1 ] (Fault.blamed ~n:5 sched);
+  match Fault.classify ~n:5 ~f:2 sched with
+  | Fault.In_model { faulty } -> check_ilist "in-model" [ 0; 1 ] faulty
+  | Fault.Out_of_model why -> Alcotest.failf "unexpectedly out-of-model: %s" why
+
+let test_region_partition_blames_smaller_side () =
+  let sched = [ Fault.at (region ~label:"big" ~members:[ 0; 1; 2 ]) ] in
+  check_ilist "complement is the smaller side" [ 3; 4 ] (Fault.blamed ~n:5 sched)
+
+let test_rack_loss_budget_exceeded () =
+  let sched =
+    [ Fault.at (Fault.RackLoss { label = "r"; members = [ 0; 1; 2 ] }) ]
+  in
+  match Fault.classify ~n:7 ~f:2 sched with
+  | Fault.Out_of_model _ -> ()
+  | Fault.In_model _ -> Alcotest.fail "3 rack members must exceed f = 2"
+
+let test_correlated_string_roundtrip () =
+  let sched =
+    [
+      Fault.at ~start:(ms 100) ~stop:(ms 900)
+        (region ~label:"r0" ~members:[ 0; 1 ]);
+      Fault.at ~start:(ms 50) (Fault.RackLoss { label = "r1"; members = [ 2 ] });
+      Fault.at ~start:(ms 10) ~stop:(ms 400)
+        (Fault.GrayRegion { label = "r2"; members = [ 3; 4 ]; by = ms 60 });
+    ]
+  in
+  check_bool "of_string inverts to_string" true
+    (Fault.of_string ~n:5 (Fault.to_string sched) = sched)
+
+let prop_correlated_roundtrip =
+  QCheck.Test.make
+    ~name:"correlated kinds: render/parse round-trip, any schedule" ~count:200
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Prng.of_int seed in
+      let members () =
+        List.sort_uniq compare
+          (List.init (Prng.int_in rng 1 3) (fun _ -> Prng.int rng 5))
+      in
+      let kind () =
+        let label = Printf.sprintf "r%d" (Prng.int rng 3) in
+        match Prng.int rng 3 with
+        | 0 -> region ~label ~members:(members ())
+        | 1 -> Fault.RackLoss { label; members = members () }
+        | _ ->
+          Fault.GrayRegion
+            { label; members = members (); by = ms (Prng.int_in rng 1 500) }
+      in
+      let phase () =
+        let start = ms (Prng.int_in rng 0 1000) in
+        let stop =
+          if Prng.bool rng then Some (start + ms (Prng.int_in rng 1 1000))
+          else None
+        in
+        match stop with
+        | Some stop -> Fault.at ~start ~stop (kind ())
+        | None -> Fault.at ~start (kind ())
+      in
+      let sched = List.init (Prng.int_in rng 1 4) (fun _ -> phase ()) in
+      Fault.of_string ~n:5 (Fault.to_string sched) = sched)
+
+let test_correlated_json_kinds () =
+  let sched =
+    [
+      Fault.at (region ~label:"r0" ~members:[ 0; 1 ]);
+      Fault.at (Fault.RackLoss { label = "r1"; members = [ 2 ] });
+      Fault.at
+        (Fault.GrayRegion { label = "r2"; members = [ 3 ]; by = ms 40 });
+    ]
+  in
+  match Fault.to_json sched with
+  | Qs_obs.Json.List phases ->
+    check_int "three phases" 3 (List.length phases);
+    let kinds =
+      List.map
+        (fun p ->
+          match Option.bind (Qs_obs.Json.member "fault" p) (Qs_obs.Json.member "kind") with
+          | Some (Qs_obs.Json.String s) -> s
+          | _ -> Alcotest.fail "phase without a fault kind field")
+        phases
+    in
+    check_slist "kind tags" [ "region-partition"; "rack-loss"; "gray-region" ] kinds
+  | _ -> Alcotest.fail "schedule json is not a list"
+
+(* ------------------------------------------------------------------ *)
+(* Campaign integration: correlated campaigns with non-default policies
+   keep the --jobs byte-identity contract, and E18 reproduces. *)
+
+let test_correlated_campaign_jobs_identical () =
+  let module Chaos = Qs_harness.Chaos in
+  let module Campaign = Qs_faults.Campaign in
+  List.iter
+    (fun policy ->
+      let params = { (Chaos.default_params Chaos.Xpaxos_qs) with policy } in
+      let go jobs =
+        Chaos.campaign Chaos.Xpaxos_qs ~params ~correlated:true ~runs:3 ~jobs
+          ~seed:9 ()
+      in
+      let a = go 1 and b = go 2 in
+      check_bool
+        (Policy.to_string policy ^ ": clean campaign")
+        true (Campaign.ok a);
+      check_bool
+        (Policy.to_string policy ^ ": jobs=2 report byte-identical")
+        true
+        (Campaign.render a = Campaign.render b))
+    [
+      Policy.Seeded_lottery { seed = 11L };
+      Policy.Diversity_capped
+        {
+          topology =
+            Chaos.topology_for (Chaos.default_params Chaos.Xpaxos_qs);
+          cap = 1;
+        };
+    ]
+
+let test_e18_reproduces () =
+  let o = Qs_harness.Experiments.e18 () in
+  check_bool "all E18 verdicts ok" true (Qs_harness.Verdict.all_ok o.verdicts)
+
+(* ------------------------------------------------------------------ *)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_policies_deterministic_and_valid;
+      prop_diverse_never_violates_caps;
+      prop_lottery_feasible_iff_lex;
+      prop_diverse_order_is_permutation;
+      prop_correlated_roundtrip;
+    ]
+
+let () =
+  Alcotest.run "policy"
+    [
+      ( "topology",
+        [
+          Alcotest.test_case "blocks" `Quick test_topology_blocks;
+          Alcotest.test_case "round robin" `Quick test_topology_round_robin;
+          Alcotest.test_case "string roundtrip" `Quick test_topology_string_roundtrip;
+          Alcotest.test_case "remap fresh slot" `Quick test_topology_remap_fresh_slot;
+        ] );
+      ( "selection",
+        [
+          Alcotest.test_case "lex prefix" `Quick test_lex_is_prefix_on_edgeless;
+          Alcotest.test_case "diverse spreads" `Quick test_diverse_spreads_on_edgeless;
+          Alcotest.test_case "validate rejects" `Quick test_diverse_validate_rejects_nonsense;
+          Alcotest.test_case "policy string roundtrip" `Quick test_policy_string_roundtrip;
+        ] );
+      ( "intersection",
+        [
+          Alcotest.test_case "threshold and overlap" `Quick test_intersection_threshold;
+          Alcotest.test_case "ok on sized quorums" `Quick test_intersection_ok_on_sized_quorums;
+          Alcotest.test_case "certifies undersized" `Quick test_intersection_certifies_undersized;
+          Alcotest.test_case "collapses duplicates" `Quick test_intersection_collapses_duplicates;
+          Alcotest.test_case "sampled deterministic" `Quick test_intersection_sampled_deterministic;
+        ] );
+      ( "correlated",
+        [
+          Alcotest.test_case "blame once" `Quick test_blame_counts_each_member_once;
+          Alcotest.test_case "smaller side" `Quick test_region_partition_blames_smaller_side;
+          Alcotest.test_case "budget exceeded" `Quick test_rack_loss_budget_exceeded;
+          Alcotest.test_case "string roundtrip" `Quick test_correlated_string_roundtrip;
+          Alcotest.test_case "json kinds" `Quick test_correlated_json_kinds;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "jobs identity with policies" `Quick
+            test_correlated_campaign_jobs_identical;
+          Alcotest.test_case "E18 reproduces" `Quick test_e18_reproduces;
+        ] );
+      ("properties", qsuite);
+    ]

@@ -260,27 +260,73 @@ let churn_point ?(availability = 1.0) ?(consistent = true) () =
       ("departed_clean", Json.Bool consistent);
     ]
 
-let bench ?(scaling = []) ?(churn = [ churn_point () ]) () =
+let policy_point ~policy ?(max_exposure = 1) ?(outages = 0)
+    ?(availability = 1.0) ?(quorum_changes = 5) ?(clean = true) () =
   Json.Obj
     [
-      ("schema", Json.String "qsel-bench/1");
-      ("quick", Json.Bool true);
-      ("experiments_ok", Json.Bool true);
-      ( "commission",
-        Json.List
-          [
-            Json.Obj
-              [
-                ("stack", Json.String "pbft");
-                ("proofs", Json.Int 7);
-                ("forgeries", Json.Int 174);
-                ("violations", Json.Int 0);
-              ];
-          ] );
-      ("scaling", Json.List scaling);
-      ("churn", Json.List churn);
-      ("results", Json.List []);
+      ("policy", Json.String policy);
+      ("standing", Json.String "{0,2,4,6,8}");
+      ("max_exposure", Json.Int max_exposure);
+      ("outages", Json.Int outages);
+      ("availability", Json.Float availability);
+      ("quorum_changes", Json.Int quorum_changes);
+      ("repairs_clean", Json.Bool clean);
+      ("agreement", Json.Bool clean);
+      ("t3_ok", Json.Bool clean);
     ]
+
+(* Mirrors the E18 shape: lex loses quorums to region loss, the cap-1
+   policy never does. *)
+let policy_points ?(diverse_availability = 1.0) ?(diverse_changes = 5)
+    ?(clean = true) () =
+  [
+    policy_point ~policy:"lex" ~max_exposure:2 ~outages:2 ~availability:0.6
+      ~quorum_changes:3 ~clean ();
+    policy_point ~policy:"lottery" ~max_exposure:2 ~outages:1 ~availability:0.8
+      ~quorum_changes:4 ~clean ();
+    policy_point ~policy:"diverse" ~availability:diverse_availability
+      ~quorum_changes:diverse_changes ~clean ();
+  ]
+
+let policy_section ?points ?(ok = true) ?(pairs = 8) ?(sampled_ok = true)
+    ?(sampled_pairs = 10) () =
+  let points = match points with Some p -> p | None -> policy_points () in
+  Json.Obj
+    [
+      ("points", Json.List points);
+      ( "intersection",
+        Json.Obj
+          [
+            ("groups", Json.Int 6);
+            ("pairs", Json.Int pairs);
+            ("ok", Json.Bool ok);
+            ("sampled_pairs", Json.Int sampled_pairs);
+            ("sampled_ok", Json.Bool sampled_ok);
+          ] );
+    ]
+
+let bench ?(scaling = []) ?(churn = [ churn_point () ]) ?policy () =
+  Json.Obj
+    ([
+       ("schema", Json.String "qsel-bench/1");
+       ("quick", Json.Bool true);
+       ("experiments_ok", Json.Bool true);
+       ( "commission",
+         Json.List
+           [
+             Json.Obj
+               [
+                 ("stack", Json.String "pbft");
+                 ("proofs", Json.Int 7);
+                 ("forgeries", Json.Int 174);
+                 ("violations", Json.Int 0);
+               ];
+           ] );
+       ("scaling", Json.List scaling);
+       ("churn", Json.List churn);
+     ]
+    @ (match policy with None -> [] | Some p -> [ ("policy", p) ])
+    @ [ ("results", Json.List []) ])
 
 let scaling_healthy () =
   [ point ~n:64 ~select:400_000.0 (); point ~n:1024 ~select:10_000.0 () ]
@@ -379,6 +425,74 @@ let test_gate_fails_churn_regression () =
   in
   check_bool "remap/rebuild divergence fails" false (gate inconsistent b)
 
+let test_gate_policy_opt_in () =
+  (* A pre-policy baseline gates nothing about the section; a baseline
+     derived from a run carrying one round-trips and passes. *)
+  let with_policy =
+    bench ~scaling:(scaling_healthy ()) ~policy:(policy_section ()) ()
+  in
+  check_bool "pre-policy baseline still passes" true
+    (gate with_policy (Gate.derive_baseline (healthy ())));
+  check_bool "derived policy baseline passes" true
+    (gate with_policy (Gate.derive_baseline with_policy))
+
+let test_gate_fails_policy_drift () =
+  let with_policy =
+    bench ~scaling:(scaling_healthy ()) ~policy:(policy_section ()) ()
+  in
+  let b = Gate.derive_baseline with_policy in
+  let degraded =
+    bench ~scaling:(scaling_healthy ())
+      ~policy:
+        (policy_section ~points:(policy_points ~diverse_availability:0.8 ()) ())
+      ()
+  in
+  check_bool "diverse availability drop fails" false (gate degraded b);
+  let churny =
+    bench ~scaling:(scaling_healthy ())
+      ~policy:(policy_section ~points:(policy_points ~diverse_changes:9 ()) ())
+      ()
+  in
+  check_bool "quorum-change count drift fails" false (gate churny b);
+  let dirty =
+    bench ~scaling:(scaling_healthy ())
+      ~policy:(policy_section ~points:(policy_points ~clean:false ()) ())
+      ()
+  in
+  check_bool "repair/agreement/t3 flags fail" false (gate dirty b);
+  let missing =
+    bench ~scaling:(scaling_healthy ())
+      ~policy:
+        (policy_section ~points:[ policy_point ~policy:"lex" ~max_exposure:2
+                                    ~outages:2 ~availability:0.6
+                                    ~quorum_changes:3 () ] ())
+      ()
+  in
+  check_bool "missing policy point fails" false (gate missing b)
+
+let test_gate_fails_policy_intersection () =
+  let with_policy =
+    bench ~scaling:(scaling_healthy ()) ~policy:(policy_section ()) ()
+  in
+  let b = Gate.derive_baseline with_policy in
+  (* The intersection verdicts gate from the current run alone: a failed
+     group, a vacuous sweep, or a broken sampled point all reject even
+     though none of them is pinned in the baseline. *)
+  let broken =
+    bench ~scaling:(scaling_healthy ()) ~policy:(policy_section ~ok:false ()) ()
+  in
+  check_bool "failed cross-policy group fails" false (gate broken b);
+  let vacuous =
+    bench ~scaling:(scaling_healthy ()) ~policy:(policy_section ~pairs:0 ()) ()
+  in
+  check_bool "zero compared pairs fails" false (gate vacuous b);
+  let sampled =
+    bench ~scaling:(scaling_healthy ())
+      ~policy:(policy_section ~sampled_ok:false ())
+      ()
+  in
+  check_bool "sampled n=1024 failure fails" false (gate sampled b)
+
 let test_gate_update_baseline_ratchet () =
   (* The escape hatch: deriving a fresh baseline from the regressed run
      makes the gate pass again — that is what --update-baseline commits. *)
@@ -445,6 +559,12 @@ let () =
             test_gate_fails_disagreement;
           Alcotest.test_case "churn regression fails" `Quick
             test_gate_fails_churn_regression;
+          Alcotest.test_case "policy section opt-in" `Quick
+            test_gate_policy_opt_in;
+          Alcotest.test_case "policy drift fails" `Quick
+            test_gate_fails_policy_drift;
+          Alcotest.test_case "policy intersection fails" `Quick
+            test_gate_fails_policy_intersection;
           Alcotest.test_case "update-baseline ratchet" `Quick
             test_gate_update_baseline_ratchet;
           Alcotest.test_case "committed baseline well-formed" `Quick
