@@ -336,6 +336,137 @@ let policy_json (points, cross, sampled) =
           ] );
     ]
 
+(* Real-runtime section: scripted component counters plus one live
+   loopback-TCP cluster under nemesis loss+latency.
+
+   The component script is fully deterministic — a fixed push sequence
+   against a bounded mailbox, a fixed crafted-frame sequence against a TCP
+   endpoint's dedup and corruption rejection — so the gate pins those
+   counters exactly. The cluster run's safety verdicts (zero monitor
+   violations, committed-prefix agreement, full workload committed) are
+   code properties gated from the current run; its commit latencies are
+   wall-clock and report-only. *)
+module Runtime_wire = struct
+  type msg = string
+
+  let encode s = s
+
+  let decode s = s
+end
+
+module Runtime_tcp = Qs_runtime.Tcp.Make (Runtime_wire)
+
+let runtime_component_counters () =
+  let mb = Qs_runtime.Mailbox.create ~capacity:3 in
+  for i = 1 to 8 do
+    ignore (Qs_runtime.Mailbox.push mb i : bool)
+  done;
+  let mailbox_shed = Qs_runtime.Mailbox.shed mb in
+  (* One endpoint, one raw forger socket: a fixed frame sequence with two
+     duplicate sequence numbers and one flipped byte. *)
+  let addrs = Qs_runtime.Cluster.loopback_addrs ~n:2 () in
+  let fabric = Runtime_tcp.create ~addrs () in
+  Runtime_tcp.start fabric ~me:0;
+  Runtime_tcp.set_handler fabric 0 (fun ~src:_ _ -> ());
+  let peer = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect peer addrs.(0);
+  let frame ?(kind = Qs_runtime.Frame.Data) ~seq payload =
+    { Qs_runtime.Frame.kind; src = 1; incarnation = 7; seq; payload }
+  in
+  Qs_runtime.Frame.write peer (frame ~kind:Qs_runtime.Frame.Hello ~seq:0 "");
+  List.iter
+    (fun (seq, payload) -> Qs_runtime.Frame.write peer (frame ~seq payload))
+    [ (1, "a"); (2, "b"); (2, "b"); (1, "a"); (3, "c") ];
+  let corrupt =
+    let good = Qs_runtime.Frame.encode (frame ~seq:4 "dddd") in
+    let b = Bytes.of_string good in
+    Bytes.set b
+      (Bytes.length b - 1)
+      (Char.chr (Char.code (Bytes.get b (Bytes.length b - 1)) lxor 0x55));
+    Bytes.to_string b
+  in
+  ignore (Unix.write peer (Bytes.of_string corrupt) 0 (String.length corrupt) : int);
+  let rec wait tries pred =
+    if pred () || tries = 0 then ()
+    else begin
+      Thread.delay 0.005;
+      wait (tries - 1) pred
+    end
+  in
+  wait 400 (fun () ->
+      let s = Runtime_tcp.stats fabric ~me:0 in
+      s.Qs_runtime.Tcp.dup_dropped = 2 && s.Qs_runtime.Tcp.corrupt_rejected = 1);
+  (* Reconnect: bring up the real peer, let its link connect, kill every
+     socket from the outside, then force traffic across the healed link. *)
+  (* The forged frames above already delivered 3 messages; wait for the
+     4th so the kill strikes an actually-established connection. *)
+  Runtime_tcp.start fabric ~me:1;
+  Runtime_tcp.send fabric ~src:1 ~dst:0 "warm";
+  wait 400 (fun () -> (Runtime_tcp.stats fabric ~me:0).Qs_runtime.Tcp.delivered >= 4);
+  Runtime_tcp.kill_links fabric ~me:1;
+  Runtime_tcp.send fabric ~src:1 ~dst:0 "after-kill";
+  wait 400 (fun () -> (Runtime_tcp.stats fabric ~me:1).Qs_runtime.Tcp.reconnects >= 1);
+  let s0 = Runtime_tcp.stats fabric ~me:0 in
+  let s1 = Runtime_tcp.stats fabric ~me:1 in
+  (try Unix.close peer with Unix.Unix_error _ -> ());
+  Runtime_tcp.stop fabric ~me:0;
+  Runtime_tcp.stop fabric ~me:1;
+  ( mailbox_shed,
+    s0.Qs_runtime.Tcp.dup_dropped,
+    s0.Qs_runtime.Tcp.corrupt_rejected,
+    s1.Qs_runtime.Tcp.reconnects >= 1 )
+
+let runtime_section ~quick () =
+  let module Json = Qs_obs.Json in
+  let module Cluster = Qs_runtime.Cluster in
+  let module Fault = Qs_faults.Fault in
+  let ms = Qs_sim.Stime.of_ms in
+  let mailbox_shed, dedup_dropped, corrupt_rejected, reconnected =
+    runtime_component_counters ()
+  in
+  let requests = if quick then 3 else 5 in
+  let schedule =
+    [
+      Fault.at ~start:(ms 0) ~stop:(ms 8_000) (Fault.Omit { src = 3; dst = 0 });
+      Fault.at ~start:(ms 0) ~stop:(ms 8_000)
+        (Fault.Delay { src = 3; dst = 1; by = ms 20 });
+    ]
+  in
+  let report = Cluster.run ~seed:42L ~requests ~schedule ~n:4 ~f:1 () in
+  let latencies = List.sort compare report.Cluster.commit_latency_ns in
+  let percentile p =
+    match latencies with
+    | [] -> Json.Null
+    | l ->
+      let k = min (List.length l - 1) (p * List.length l / 100) in
+      Json.Int (List.nth l k)
+  in
+  Json.Obj
+    [
+      ( "component",
+        Json.Obj
+          [
+            ("mailbox_shed", Json.Int mailbox_shed);
+            ("dedup_dropped", Json.Int dedup_dropped);
+            ("corrupt_rejected", Json.Int corrupt_rejected);
+            ("reconnected", Json.Bool reconnected);
+          ] );
+      ( "cluster",
+        Json.Obj
+          [
+            ("n", Json.Int report.Cluster.n);
+            ("f", Json.Int report.Cluster.f);
+            ("requests", Json.Int report.Cluster.requests_submitted);
+            ("committed", Json.Int report.Cluster.committed);
+            ("prefix_agreement", Json.Bool report.Cluster.prefix_agreement);
+            ("violations", Json.Int (List.length report.Cluster.violations));
+            ("monitor_checks", Json.Int report.Cluster.monitor_checks);
+            ("nemesis_unsupported", Json.Int report.Cluster.nemesis_unsupported);
+            ("commit_latency_ns_p50", percentile 50);
+            ("commit_latency_ns_max", percentile 100);
+          ] );
+    ]
+
 (* The E17 multicore-exploration sweep: domain-sharded fuzzing throughput
    at 1/2/4/8 workers plus the exhaustive/symmetry agreement bits. The
    determinism booleans and visited-state pins are code properties the
@@ -402,7 +533,7 @@ let scaling_json points =
    regenerated. One file per run; diff it across commits to track the perf
    trajectory. *)
 let write_json_summary ~path ~quick ~experiments_ok ~commission ~scaling
-    ~churn ~explore ~policy ~bench_rows =
+    ~churn ~explore ~policy ~runtime ~bench_rows =
   let module Json = Qs_obs.Json in
   let result_json group (name, ns) =
     Json.Obj
@@ -441,6 +572,7 @@ let write_json_summary ~path ~quick ~experiments_ok ~commission ~scaling
         ("churn", churn_json churn);
         ("explore", explore_json explore);
         ("policy", policy_json policy);
+        ("runtime", runtime);
         ("results", Json.List results);
         ("metrics", Qs_obs.Metrics.to_json (Qs_obs.Metrics.snapshot ()));
       ]
@@ -496,6 +628,11 @@ let () =
     | None -> ([], [], Qs_core.Quorum_intersection.check ~n:1 ~f:0 [])
     | Some _ -> policy_sweep ()
   in
+  let runtime =
+    match json_path with
+    | None -> Qs_obs.Json.Null
+    | Some _ -> runtime_section ~quick ()
+  in
   Qs_obs.Metrics.reset ();
   let experiments_ok =
     if micro_only then None else Some (Experiments.run_and_print_all ~quick ())
@@ -505,5 +642,5 @@ let () =
    | None -> ()
    | Some path ->
      write_json_summary ~path ~quick ~experiments_ok ~commission ~scaling
-       ~churn ~explore ~policy ~bench_rows);
+       ~churn ~explore ~policy ~runtime ~bench_rows);
   if experiments_ok = Some false then exit 1

@@ -554,6 +554,287 @@ let chaos_cmd =
         $ churn $ correlated $ policy $ json $ jobs $ metrics_arg))
 
 (* ------------------------------------------------------------------ *)
+(* runtime-chaos / serve: the real TCP runtime *)
+
+let runtime_chaos_cmd =
+  let module Cluster = Qs_runtime.Cluster in
+  let module Fault = Qs_faults.Fault in
+  let n_arg =
+    Arg.(value & opt int 4 & info [ "n" ] ~doc:"Universe size (replica count).")
+  in
+  let f_arg = Arg.(value & opt int 1 & info [ "f" ] ~doc:"Failure budget.") in
+  let requests =
+    Arg.(
+      value & opt int 5
+      & info [ "requests" ] ~doc:"Sequential client requests to commit.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ]
+          ~doc:
+            "Seed for the transport jitter/loss streams and random schedule \
+             generation. Frame loss is a seeded per-link fraction, so the \
+             counters are reproducible in distribution, not byte-identical.")
+  in
+  let base_port =
+    Arg.(
+      value & opt (some int) None
+      & info [ "base-port" ] ~docv:"PORT"
+          ~doc:
+            "First loopback port; replica $(b,i) listens on PORT+i. Default: \
+             fresh ephemeral ports.")
+  in
+  let mode =
+    Arg.(
+      value
+      & opt (enum [ ("enum", `Enum); ("qs", `Qs) ]) `Qs
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:
+            "Group formation: $(b,qs) (quorum selection, default) or \
+             $(b,enum) (view enumeration).")
+  in
+  let schedule_arg =
+    Arg.(
+      value & opt string ""
+      & info [ "schedule" ] ~docv:"SCHED"
+          ~doc:
+            "Fault schedule in the DSL's rendered syntax (same format the \
+             chaos regression files use), played against the live sockets \
+             by the nemesis. Commission and churn kinds are unsupported on \
+             the real transport and counted, not silently dropped.")
+  in
+  let random_faults =
+    Arg.(
+      value & flag
+      & info [ "random-faults" ]
+          ~doc:
+            "Generate an in-model schedule from --seed instead of \
+             --schedule (crashes, omissions, delays over a short horizon).")
+  in
+  let duration_ms =
+    Arg.(
+      value & opt int 0
+      & info [ "duration-ms" ]
+          ~doc:"Keep the cluster running at least this long (0: workload-bound).")
+  in
+  let request_timeout_ms =
+    Arg.(
+      value & opt int 4000
+      & info [ "request-timeout-ms" ] ~doc:"Per-request commit deadline.")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.") in
+  let run n f requests seed base_port mode schedule random_faults duration_ms
+      request_timeout_ms json metrics =
+    with_metrics metrics @@ fun () ->
+    if n <= 2 * f then `Error (true, "need n > 2f")
+    else
+      let schedule =
+        if random_faults then
+          Fault.gen
+            (Qs_stdx.Prng.create (Int64.of_int seed))
+            ~n ~f
+            ~profile:(Fault.default_profile ~horizon:(Qs_sim.Stime.of_ms 3_000))
+            ()
+        else
+          try Fault.of_string ~n schedule
+          with Invalid_argument msg -> raise (Failure msg)
+      in
+      match
+        Cluster.run ~seed:(Int64.of_int seed) ?base_port
+          ~mode:
+            (match mode with
+             | `Enum -> Qs_xpaxos.Replica.Enumeration
+             | `Qs -> Qs_xpaxos.Replica.Quorum_selection)
+          ~requests ~request_timeout_ms ~duration_ms ~schedule ~n ~f ()
+      with
+      | exception Failure msg -> `Error (true, msg)
+      | report ->
+        if json then
+          print_endline (Qs_obs.Json.render_pretty (Cluster.report_to_json report))
+        else begin
+          Printf.printf "schedule: %s\n" (Fault.to_string schedule);
+          Printf.printf
+            "committed %d/%d requests; prefix agreement: %b; violations: %d \
+             (%d checks, %d commits observed, %d recoveries)\n"
+            report.Cluster.committed report.Cluster.requests_submitted
+            report.Cluster.prefix_agreement
+            (List.length report.Cluster.violations)
+            report.Cluster.monitor_checks report.Cluster.commits_observed
+            report.Cluster.recoveries_completed;
+          List.iter
+            (fun v ->
+              print_endline
+                (Qs_obs.Json.render (Qs_faults.Monitor.violation_to_json v)))
+            report.Cluster.violations;
+          Array.iteri
+            (fun i (s : Qs_runtime.Tcp.stats) ->
+              Printf.printf
+                "  replica %d: sent=%d delivered=%d shed=%d dup=%d corrupt=%d \
+                 nemesis_dropped=%d reconnects=%d\n"
+                i s.Qs_runtime.Tcp.sent s.Qs_runtime.Tcp.delivered
+                s.Qs_runtime.Tcp.shed s.Qs_runtime.Tcp.dup_dropped
+                s.Qs_runtime.Tcp.corrupt_rejected s.Qs_runtime.Tcp.nemesis_dropped
+                s.Qs_runtime.Tcp.reconnects)
+            report.Cluster.stats
+        end;
+        if
+          report.Cluster.violations = []
+          && report.Cluster.prefix_agreement
+          && report.Cluster.committed = report.Cluster.requests_submitted
+        then `Ok ()
+        else `Error (false, "runtime campaign failed its verdicts")
+  in
+  let doc =
+    "Run the XPaxos/quorum-selection stack over real loopback TCP — the same \
+     protocol cores the simulator drives, behind the runtime's resilient \
+     transport (reconnect with backoff, bounded queues, dedup, keepalives) — \
+     with a live nemesis playing a fault schedule against the sockets and \
+     the online invariant monitor verdicting the run's journal."
+  in
+  Cmd.v
+    (Cmd.info "runtime-chaos" ~doc)
+    Term.(
+      ret
+        (const run $ n_arg $ f_arg $ requests $ seed $ base_port $ mode
+       $ schedule_arg $ random_faults $ duration_ms $ request_timeout_ms $ json
+       $ metrics_arg))
+
+let serve_cmd =
+  let module Cluster = Qs_runtime.Cluster in
+  let me_arg =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "me" ] ~docv:"I" ~doc:"This replica's process id.")
+  in
+  let peers =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "peers" ] ~docv:"HOST:PORT,..."
+          ~doc:
+            "Comma-separated listen addresses of $(b,all) replicas, in pid \
+             order (including this one's).")
+  in
+  let f_arg = Arg.(value & opt int 1 & info [ "f" ] ~doc:"Failure budget.") in
+  let mode =
+    Arg.(
+      value
+      & opt (enum [ ("enum", `Enum); ("qs", `Qs) ]) `Qs
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:"Group formation: $(b,qs) (default) or $(b,enum).")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Transport jitter seed.")
+  in
+  let duration_ms =
+    Arg.(
+      value & opt int 0
+      & info [ "duration-ms" ] ~doc:"Exit after this long (0: run until killed).")
+  in
+  let parse_addr spec =
+    match String.rindex_opt spec ':' with
+    | None -> Error (Printf.sprintf "bad address %S (want HOST:PORT)" spec)
+    | Some i -> (
+      let host = String.sub spec 0 i in
+      let port = String.sub spec (i + 1) (String.length spec - i - 1) in
+      match int_of_string_opt port with
+      | None -> Error (Printf.sprintf "bad port in %S" spec)
+      | Some port -> (
+        match Unix.inet_addr_of_string host with
+        | addr -> Ok (Unix.ADDR_INET (addr, port))
+        | exception Failure _ -> (
+          match Unix.gethostbyname host with
+          | { Unix.h_addr_list = [||]; _ } | (exception Not_found) ->
+            Error (Printf.sprintf "cannot resolve %S" host)
+          | { Unix.h_addr_list; _ } -> Ok (Unix.ADDR_INET (h_addr_list.(0), port)))))
+  in
+  let run me peers f mode seed duration_ms metrics =
+    with_metrics metrics @@ fun () ->
+    let specs = String.split_on_char ',' peers in
+    let addrs =
+      List.fold_left
+        (fun acc spec ->
+          match (acc, parse_addr (String.trim spec)) with
+          | Error _, _ -> acc
+          | Ok _, Error msg -> Error msg
+          | Ok l, Ok a -> Ok (a :: l))
+        (Ok []) specs
+    in
+    match addrs with
+    | Error msg -> `Error (true, msg)
+    | Ok rev ->
+      let addrs = Array.of_list (List.rev rev) in
+      let n = Array.length addrs in
+      if n <= 2 * f then `Error (true, "need n > 2f")
+      else if me < 0 || me >= n then `Error (true, "--me out of range")
+      else begin
+        let fabric = Cluster.T.create ~addrs ~seed:(Int64.of_int seed) () in
+        Cluster.T.start fabric ~me;
+        let auth = Qs_crypto.Auth.create n in
+        let config =
+          {
+            Qs_xpaxos.Replica.n;
+            f;
+            mode =
+              (match mode with
+               | `Enum -> Qs_xpaxos.Replica.Enumeration
+               | `Qs -> Qs_xpaxos.Replica.Quorum_selection);
+            initial_timeout = Qs_sim.Stime.of_ms 150;
+            timeout_strategy =
+              Qs_fd.Timeout.Exponential { factor = 2.0; max = Qs_sim.Stime.of_ms 2000 };
+          }
+        in
+        let node =
+          Cluster.N.create ~config ~me ~auth ~transport:fabric
+            ~store:(Qs_recovery.Store.create ()) ()
+        in
+        Cluster.N.start_gossip node;
+        Printf.printf "replica %d/%d listening; peers: %s\n%!" me n peers;
+        let started = Unix.gettimeofday () in
+        let deadline =
+          if duration_ms > 0 then Some (started +. (float_of_int duration_ms /. 1000.))
+          else None
+        in
+        let rec loop last_report =
+          let now = Unix.gettimeofday () in
+          if match deadline with Some d -> now >= d | None -> false then ()
+          else begin
+            Thread.delay 0.2;
+            let last_report =
+              if now -. last_report >= 5.0 then begin
+                let r = Cluster.N.replica node in
+                let s = Cluster.T.stats fabric ~me in
+                Printf.printf
+                  "view=%d executed=%d sent=%d delivered=%d reconnects=%d\n%!"
+                  (Qs_xpaxos.Replica.view r)
+                  (List.length (Qs_xpaxos.Replica.executed r))
+                  s.Qs_runtime.Tcp.sent s.Qs_runtime.Tcp.delivered
+                  s.Qs_runtime.Tcp.reconnects;
+                now
+              end
+              else last_report
+            in
+            loop last_report
+          end
+        in
+        loop started;
+        Cluster.T.stop fabric ~me;
+        `Ok ()
+      end
+  in
+  let doc =
+    "Run one live replica process over real TCP: the same XPaxos/quorum-\
+     selection core the simulator drives, served behind the runtime \
+     transport. Point $(b,--peers) at all replicas' addresses (pid order) \
+     and start one $(b,serve) per pid — on one host or several."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      ret (const run $ me_arg $ peers $ f_arg $ mode $ seed $ duration_ms $ metrics_arg))
+
+(* ------------------------------------------------------------------ *)
 (* mc: small-scope model checking / schedule exploration *)
 
 let mc_cmd =
@@ -806,4 +1087,14 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ experiment_cmd; attack_cmd; follower_cmd; bounds_cmd; simulate_cmd; chaos_cmd; mc_cmd ]))
+          [
+            experiment_cmd;
+            attack_cmd;
+            follower_cmd;
+            bounds_cmd;
+            simulate_cmd;
+            chaos_cmd;
+            mc_cmd;
+            runtime_chaos_cmd;
+            serve_cmd;
+          ]))

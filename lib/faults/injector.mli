@@ -3,9 +3,10 @@
     Each phase is armed at its [start] time and disarmed at its [stop] time
     on the target network's stackable filter chain
     ({!Qs_sim.Network.add_filter}), so injected faults compose with each
-    other and with whatever link faults the cluster harness already
-    installed in the single {!Qs_sim.Network.set_filter} slot (e.g. the
-    Theorem-4 adversary's omissions).
+    other and with whatever link-fault filters the cluster harness already
+    chained (e.g. the Theorem-4 adversary's omissions — since PR 10 every
+    installer goes through the chain; the legacy single [set_filter] slot
+    is gone).
 
     [Crash] phases prefer the [set_mute] process hook (a cluster's
     [set_fault p Mute] / [Honest]), which also silences timers; without a

@@ -47,6 +47,64 @@ let on_false_suspicion t i =
 
 let increases t = t.increases
 
+(* Reusable retry-delay engine over the same strategies. The failure
+   detector grows a per-peer table on false suspicions; a connection
+   supervisor grows a single delay on consecutive connect failures. Both
+   adaptations are the same curve, so the runtime reuses the strategy
+   vocabulary (and its validation) instead of inventing a second one. *)
+module Backoff = struct
+  type b = {
+    strategy : strategy;
+    floor : Qs_sim.Stime.t;
+    jitter : float;
+    mutable current : Qs_sim.Stime.t;
+    mutable failures : int;
+  }
+
+  type nonrec t = b
+
+  let create ~initial ?(jitter = 0.0) strategy =
+    if initial <= 0 then invalid_arg "Backoff.create: initial must be positive";
+    if jitter < 0.0 || jitter >= 1.0 then
+      invalid_arg "Backoff.create: jitter must be in [0, 1)";
+    validate_strategy ~initial strategy;
+    { strategy; floor = initial; jitter; current = initial; failures = 0 }
+
+  let current b = b.current
+
+  let failures b = b.failures
+
+  let cap b =
+    match b.strategy with
+    | Fixed -> None
+    | Exponential { max; _ } | Additive { max; _ } -> Some max
+
+  let advance b =
+    b.failures <- b.failures + 1;
+    match b.strategy with
+    | Fixed -> ()
+    | Exponential { factor; max } ->
+      b.current <- Stdlib.min max (int_of_float (float_of_int b.current *. factor))
+    | Additive { step; max } -> b.current <- Stdlib.min max (b.current + step)
+
+  let reset b =
+    b.current <- b.floor;
+    b.failures <- 0
+
+  (* One concrete delay draw: the caller supplies a uniform [u] in [0, 1)
+     (its own PRNG stream), and the result lands in
+     [current * (1 - jitter), current * (1 + jitter)] clamped to never fall
+     below the floor nor exceed the strategy cap (so a fleet of reconnecting
+     supervisors decorrelates without ever retrying faster than the
+     configured minimum). *)
+  let delay b ~u =
+    if u < 0.0 || u >= 1.0 then invalid_arg "Backoff.delay: u must be in [0, 1)";
+    let spread = 1.0 +. (b.jitter *. ((2.0 *. u) -. 1.0)) in
+    let d = int_of_float (float_of_int b.current *. spread) in
+    let d = Stdlib.max b.floor d in
+    match cap b with None -> d | Some max -> Stdlib.min max d
+end
+
 let export t = Array.copy t.timeouts
 
 let import t values =

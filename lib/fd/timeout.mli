@@ -39,6 +39,38 @@ val on_false_suspicion : t -> int -> unit
 val increases : t -> int
 (** Total number of adaptations (all peers) — an accuracy-cost metric. *)
 
+(** Retry-delay engine over the same adaptation strategies — what the real
+    transport's per-peer connection supervisors use for reconnect pacing.
+    [advance] grows the delay on each consecutive failure (same curve as
+    {!on_false_suspicion}), [reset] snaps back to the floor on success, and
+    {!Backoff.delay} draws one concrete, jittered delay. *)
+module Backoff : sig
+  type t
+
+  val create : initial:Qs_sim.Stime.t -> ?jitter:float -> strategy -> t
+  (** [jitter] (default 0) is the +/- fraction of the current delay that
+      {!delay} randomizes over. [Invalid_argument] on [initial <= 0], a
+      jitter outside [0, 1), or strategy parameters {!create} would reject. *)
+
+  val current : t -> Qs_sim.Stime.t
+  (** The un-jittered current delay. *)
+
+  val failures : t -> int
+  (** Consecutive failures since the last {!reset}. *)
+
+  val advance : t -> unit
+  (** Record a failure and grow the delay (no-op growth for [Fixed]). *)
+
+  val reset : t -> unit
+  (** Success: snap back to the floor and zero the failure count. *)
+
+  val delay : t -> u:float -> Qs_sim.Stime.t
+  (** A concrete delay draw: [u] is caller-supplied uniform randomness in
+      [0, 1). The result stays within [current * (1 +/- jitter)], never
+      below the creation-time floor, and never above the strategy cap.
+      [Invalid_argument] on [u] outside [0, 1). *)
+end
+
 val export : t -> Qs_sim.Stime.t array
 (** Copy of the per-peer timeouts — the durable part of the adaptive state.
     Persisting it means a recovered process does not re-learn the network

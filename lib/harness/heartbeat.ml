@@ -117,10 +117,12 @@ let create ?(seed = 1L) ?(delay = Network.Fixed (Stime.of_ms 1)) config =
           if (not (is_crashed t i)) && verify t.auth m && m.sender = src then
             Detector.receive proc.fd ~src m))
     t.procs;
-  Network.set_filter net (fun ~now ~src ~dst _ ->
-      match Hashtbl.find_opt omissions (src, dst) with
-      | Some from when Stime.compare now from >= 0 -> Network.Drop
-      | _ -> Network.Deliver);
+  ignore
+    (Network.add_filter net (fun ~now ~src ~dst _ ->
+         match Hashtbl.find_opt omissions (src, dst) with
+         | Some from when Stime.compare now from >= 0 -> Network.Drop
+         | _ -> Network.Deliver)
+      : Network.filter_id);
   t
 
 let sim t = t.sim

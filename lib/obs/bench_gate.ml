@@ -299,6 +299,46 @@ let check_commission ~current base =
       hard (tag "violations = 0") (violations = 0) (string_of_int violations);
     ]
 
+(* The real-runtime section. The component counters come from a fixed
+   scripted sequence (mailbox pushes, crafted frames against a live TCP
+   endpoint) and are pinned exactly against the baseline. The cluster
+   verdicts — zero monitor violations, committed-prefix agreement, full
+   workload committed, no silently-unsupported nemesis phases — are safety
+   bits gated hard from the current run alone. Commit latency is the
+   runner's wall clock: report-only. *)
+let check_runtime ~current base =
+  let cur_comp = field "component" current in
+  let base_comp = field "component" base in
+  let cur_cluster = field "cluster" current in
+  let eq name =
+    let b = int_f name base_comp and c = int_f name cur_comp in
+    hard
+      (Printf.sprintf "runtime component: %s" name)
+      (c = b)
+      (Printf.sprintf "%d vs baseline %d" c b)
+  in
+  let committed = int_f "committed" cur_cluster in
+  let requests = int_f "requests" cur_cluster in
+  let violations = int_f "violations" cur_cluster in
+  let unsupported = int_f "nemesis_unsupported" cur_cluster in
+  [
+    eq "mailbox_shed";
+    eq "dedup_dropped";
+    eq "corrupt_rejected";
+    hard "runtime component: reconnected"
+      (bool_f "reconnected" cur_comp)
+      (if bool_f "reconnected" cur_comp then "true" else "false");
+    hard "runtime cluster: full workload committed" (committed = requests)
+      (Printf.sprintf "%d of %d" committed requests);
+    hard "runtime cluster: prefix agreement"
+      (bool_f "prefix_agreement" cur_cluster)
+      (if bool_f "prefix_agreement" cur_cluster then "true" else "false");
+    hard "runtime cluster: monitor violations = 0" (violations = 0)
+      (string_of_int violations);
+    hard "runtime cluster: no unsupported nemesis phases" (unsupported = 0)
+      (string_of_int unsupported);
+  ]
+
 (* Wall-clock drift, report-only: flag anything 1.5× slower than baseline
    but fail nothing — absolute ns are the runner's, not the code's. *)
 let check_results ~current base =
@@ -398,6 +438,12 @@ let check ~current ~baseline =
       | None -> []
       | Some base -> check_policy ~current:(field "policy" current) base
     in
+    let runtime_checks =
+      (* Absent from pre-runtime baselines, same opt-in as churn/explore. *)
+      match Json.member "runtime" baseline with
+      | None -> []
+      | Some base -> check_runtime ~current:(field "runtime" current) base
+    in
     let ns_checks =
       match (Json.member "results" baseline, Json.member "results" current) with
       | Some (Json.List b), Some (Json.List c) -> check_results ~current:c b
@@ -405,7 +451,7 @@ let check ~current ~baseline =
     in
     (quick_ok :: experiments_ok :: scaling_checks)
     @ ratio_check @ commission_checks @ churn_checks @ explore_checks
-    @ policy_checks @ ns_checks
+    @ policy_checks @ runtime_checks @ ns_checks
   end
 
 (* ------------------------------------------------------------------ *)
@@ -497,6 +543,26 @@ let derive_baseline bench =
       ]
     | None -> []
   in
+  let runtime =
+    match Json.member "runtime" bench with
+    | Some (Json.Obj _ as r) ->
+      let comp = field "component" r in
+      [
+        ( "runtime",
+          Json.Obj
+            [
+              ( "component",
+                Json.Obj
+                  [
+                    ("mailbox_shed", Json.Int (int_f "mailbox_shed" comp));
+                    ("dedup_dropped", Json.Int (int_f "dedup_dropped" comp));
+                    ( "corrupt_rejected",
+                      Json.Int (int_f "corrupt_rejected" comp) );
+                  ] );
+            ] );
+      ]
+    | _ -> []
+  in
   let results =
     match Json.member "results" bench with
     | Some (Json.List rs) ->
@@ -520,5 +586,5 @@ let derive_baseline bench =
        ("commission", Json.List commission);
        ("churn", Json.List churn);
      ]
-    @ explore @ policy
+    @ explore @ policy @ runtime
     @ [ ("results", Json.List results) ])

@@ -1,0 +1,16 @@
+(* One process-wide lock serializing every touch of shared protocol state:
+   replica cores, rejoin engines, the journal and its subscribers (the
+   invariant monitor), metrics. The repository's protocol and observability
+   layers are single-threaded by design (the simulator runs handlers to
+   completion); the runtime keeps that contract by making each endpoint's
+   driver thread take this lock around its execution slice, while I/O
+   threads (accept/read/write/connect) block in syscalls outside it. Under
+   systhreads only one OCaml thread runs at a time anyway, so the lock
+   costs nothing measurable — it buys atomicity of whole handler slices,
+   not parallelism. *)
+
+let lock = Mutex.create ()
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f

@@ -1,0 +1,12 @@
+(** The runtime's single core lock.
+
+    Every execution slice that may touch shared protocol or observability
+    state — an endpoint driver delivering messages and firing timers, the
+    coordinator's monitor probe, a stats snapshot — runs under this one
+    process-wide mutex. I/O threads block in syscalls outside it and only
+    hand work over through {!Mailbox}, so the protocol layers keep the
+    simulator's run-to-completion discipline without becoming thread-aware
+    themselves. *)
+
+val with_lock : (unit -> 'a) -> 'a
+(** Run [f] holding the core lock (released on exception). Not reentrant. *)

@@ -1,0 +1,215 @@
+module Codec = Qs_recovery.Codec
+module Rejoin = Qs_recovery.Rejoin
+module Xmsg = Qs_xpaxos.Xmsg
+
+(* One envelope type per XPaxos runtime node, multiplexing the protocol
+   plane and the rejoin plane over a single transport — the runtime
+   counterpart of the chaos harness's parallel recovery network. Codecs are
+   hand-written over the Codec W/R primitives (the same discipline as the
+   durable-state codecs): explicit field-by-field layouts, versioned frame,
+   checksum, and Corrupt on anything unexpected — never Marshal. *)
+
+type t = Proto of Xmsg.t | Rejoin of Rejoin.msg
+
+let tag = "QENV"
+
+let version = 1
+
+(* --- XPaxos message layout --- *)
+
+let w_request w (r : Xmsg.request) =
+  Codec.W.int w r.Xmsg.client;
+  Codec.W.int w r.Xmsg.rid;
+  Codec.W.str w r.Xmsg.op
+
+let r_request r =
+  let client = Codec.R.int r in
+  let rid = Codec.R.int r in
+  let op = Codec.R.str r in
+  { Xmsg.client; rid; op }
+
+let w_signed_prepare w (sp : Xmsg.signed_prepare) =
+  Codec.W.int w sp.Xmsg.prepare.Xmsg.view;
+  Codec.W.int w sp.Xmsg.prepare.Xmsg.slot;
+  w_request w sp.Xmsg.prepare.Xmsg.request;
+  Codec.W.str w sp.Xmsg.psig
+
+let r_signed_prepare r =
+  let view = Codec.R.int r in
+  let slot = Codec.R.int r in
+  let request = r_request r in
+  let psig = Codec.R.str r in
+  { Xmsg.prepare = { Xmsg.view; slot; request }; psig }
+
+let w_entries w entries =
+  Codec.W.int w (List.length entries);
+  List.iter
+    (fun (e : Xmsg.entry) ->
+      Codec.W.int w e.Xmsg.eview;
+      Codec.W.int w e.Xmsg.eslot;
+      w_request w e.Xmsg.erequest;
+      Codec.W.bool w e.Xmsg.ecommitted;
+      Codec.W.str w e.Xmsg.epsig)
+    entries
+
+let r_entries r =
+  let count = Codec.R.int r in
+  if count > 1_000_000 then raise (Codec.Corrupt "QENV: entry count");
+  List.init count (fun _ ->
+      let eview = Codec.R.int r in
+      let eslot = Codec.R.int r in
+      let erequest = r_request r in
+      let ecommitted = Codec.R.bool r in
+      let epsig = Codec.R.str r in
+      { Xmsg.eview; eslot; erequest; ecommitted; epsig })
+
+let w_row w row =
+  Codec.W.int w (Array.length row);
+  Array.iter (fun v -> Codec.W.int w v) row
+
+let r_row r =
+  let len = Codec.R.int r in
+  if len > 65536 then raise (Codec.Corrupt "QENV: row length");
+  Array.init len (fun _ -> Codec.R.int r)
+
+let w_body w (b : Xmsg.body) =
+  match b with
+  | Xmsg.Prepare sp ->
+    Codec.W.int w 0;
+    w_signed_prepare w sp
+  | Xmsg.Commit { cview; cslot; csp } ->
+    Codec.W.int w 1;
+    Codec.W.int w cview;
+    Codec.W.int w cslot;
+    w_signed_prepare w csp
+  | Xmsg.Suspect { sview } ->
+    Codec.W.int w 2;
+    Codec.W.int w sview
+  | Xmsg.View_change { vview; vlog } ->
+    Codec.W.int w 3;
+    Codec.W.int w vview;
+    w_entries w vlog
+  | Xmsg.New_view { nview; nlog } ->
+    Codec.W.int w 4;
+    Codec.W.int w nview;
+    w_entries w nlog
+  | Xmsg.Qsel m ->
+    Codec.W.int w 5;
+    Codec.W.int w m.Qs_core.Msg.update.Qs_core.Msg.owner;
+    w_row w m.Qs_core.Msg.update.Qs_core.Msg.row;
+    Codec.W.str w m.Qs_core.Msg.signature
+
+let r_body r : Xmsg.body =
+  match Codec.R.int r with
+  | 0 -> Xmsg.Prepare (r_signed_prepare r)
+  | 1 ->
+    let cview = Codec.R.int r in
+    let cslot = Codec.R.int r in
+    let csp = r_signed_prepare r in
+    Xmsg.Commit { cview; cslot; csp }
+  | 2 -> Xmsg.Suspect { sview = Codec.R.int r }
+  | 3 ->
+    let vview = Codec.R.int r in
+    let vlog = r_entries r in
+    Xmsg.View_change { vview; vlog }
+  | 4 ->
+    let nview = Codec.R.int r in
+    let nlog = r_entries r in
+    Xmsg.New_view { nview; nlog }
+  | 5 ->
+    let owner = Codec.R.int r in
+    let row = r_row r in
+    let signature = Codec.R.str r in
+    Xmsg.Qsel { Qs_core.Msg.update = { Qs_core.Msg.owner; row }; signature }
+  | k -> raise (Codec.Corrupt (Printf.sprintf "QENV: unknown body %d" k))
+
+(* --- Rejoin message layout --- *)
+
+let w_payload w (p : Rejoin.payload) =
+  Codec.W.str w p.Rejoin.matrix;
+  Codec.W.int w p.Rejoin.epoch;
+  Codec.W.str w p.Rejoin.extra
+
+let r_payload r =
+  let matrix = Codec.R.str r in
+  let epoch = Codec.R.int r in
+  let extra = Codec.R.str r in
+  { Rejoin.matrix; epoch; extra }
+
+let w_rejoin w (m : Rejoin.msg) =
+  match m with
+  | Rejoin.State_req { rid } ->
+    Codec.W.int w 0;
+    Codec.W.int w rid
+  | Rejoin.State_resp { rid; payload } ->
+    Codec.W.int w 1;
+    Codec.W.int w rid;
+    w_payload w payload
+  | Rejoin.State_push { payload } ->
+    Codec.W.int w 2;
+    w_payload w payload
+  | Rejoin.State_delta { delta } ->
+    Codec.W.int w 3;
+    Codec.W.str w delta
+  | Rejoin.Delta_ack { acks } ->
+    Codec.W.int w 4;
+    Codec.W.int w (List.length acks);
+    List.iter
+      (fun (row, ver) ->
+        Codec.W.int w row;
+        Codec.W.int w ver)
+      acks
+
+let r_rejoin r : Rejoin.msg =
+  match Codec.R.int r with
+  | 0 -> Rejoin.State_req { rid = Codec.R.int r }
+  | 1 ->
+    let rid = Codec.R.int r in
+    let payload = r_payload r in
+    Rejoin.State_resp { rid; payload }
+  | 2 -> Rejoin.State_push { payload = r_payload r }
+  | 3 -> Rejoin.State_delta { delta = Codec.R.str r }
+  | 4 ->
+    let count = Codec.R.int r in
+    if count > 65536 then raise (Codec.Corrupt "QENV: ack count");
+    Rejoin.Delta_ack
+      {
+        acks =
+          List.init count (fun _ ->
+              let row = Codec.R.int r in
+              let ver = Codec.R.int r in
+              (row, ver));
+      }
+  | k -> raise (Codec.Corrupt (Printf.sprintf "QENV: unknown rejoin %d" k))
+
+(* --- Envelope --- *)
+
+let encode t =
+  let w = Codec.W.create () in
+  (match t with
+   | Proto m ->
+     Codec.W.int w 0;
+     Codec.W.int w m.Xmsg.sender;
+     w_body w m.Xmsg.body;
+     Codec.W.str w m.Xmsg.signature
+   | Rejoin m ->
+     Codec.W.int w 1;
+     w_rejoin w m);
+  Codec.frame ~tag ~version (Codec.W.contents w)
+
+let decode s =
+  let v, payload = Codec.unframe ~tag s in
+  if v <> version then raise (Codec.Corrupt "QENV: unknown version");
+  let r = Codec.R.of_string payload in
+  let t =
+    match Codec.R.int r with
+    | 0 ->
+      let sender = Codec.R.int r in
+      let body = r_body r in
+      let signature = Codec.R.str r in
+      Proto { Xmsg.sender; body; signature }
+    | 1 -> Rejoin (r_rejoin r)
+    | k -> raise (Codec.Corrupt (Printf.sprintf "QENV: unknown plane %d" k))
+  in
+  if not (Codec.R.eof r) then raise (Codec.Corrupt "QENV: trailing bytes");
+  t

@@ -1,0 +1,18 @@
+(** Wire envelope for XPaxos runtime nodes.
+
+    Multiplexes the XPaxos protocol plane and the {!Qs_recovery.Rejoin}
+    recovery plane over one transport — the runtime counterpart of the
+    chaos harness's parallel recovery network. The codec is hand-written
+    over the {!Qs_recovery.Codec} primitives (tag ["QENV"], version 1):
+    explicit layouts per constructor, length-prefixed strings, checksummed
+    frame — never [Marshal], so a corrupt or adversarial byte stream is an
+    explicit [Corrupt], not a segfault or a forged value. *)
+
+type t =
+  | Proto of Qs_xpaxos.Xmsg.t
+  | Rejoin of Qs_recovery.Rejoin.msg
+
+val encode : t -> string
+
+val decode : string -> t
+(** Raises {!Qs_recovery.Codec.Corrupt}. *)

@@ -1,0 +1,103 @@
+(* Bounded thread-safe queue with drop-oldest shedding.
+
+   The hand-over point between I/O threads and an endpoint's driver thread.
+   Bounded because a slow consumer must exert backpressure somewhere: when
+   full, the OLDEST entry is shed (and counted) rather than the newest —
+   for protocol traffic the freshest message supersedes stale ones, and a
+   blocking push from a receiver thread would let one slow endpoint stall
+   its peers' sender threads. *)
+
+type 'a t = {
+  capacity : int;
+  q : 'a Queue.t;
+  m : Mutex.t;
+  nonempty : Condition.t;
+  mutable shed : int;
+  mutable closed : bool;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Mailbox.create: capacity must be positive";
+  {
+    capacity;
+    q = Queue.create ();
+    m = Mutex.create ();
+    nonempty = Condition.create ();
+    shed = 0;
+    closed = false;
+  }
+
+let push t x =
+  Mutex.lock t.m;
+  let accepted =
+    if t.closed then false
+    else begin
+      if Queue.length t.q >= t.capacity then begin
+        ignore (Queue.pop t.q);
+        t.shed <- t.shed + 1
+      end;
+      Queue.push x t.q;
+      Condition.signal t.nonempty;
+      true
+    end
+  in
+  Mutex.unlock t.m;
+  accepted
+
+(* [pop ~timeout] blocks until an element, the timeout, or close-and-drained.
+   Condition has no timed wait in the stdlib, so the timeout is implemented
+   by polling in small slices — precise enough for driver-loop pacing, and
+   the signal on push still wakes waiters immediately in the common case. *)
+let poll_slice = 0.002
+
+let pop ?timeout t =
+  let deadline =
+    match timeout with None -> None | Some s -> Some (Unix.gettimeofday () +. s)
+  in
+  Mutex.lock t.m;
+  let rec loop () =
+    if not (Queue.is_empty t.q) then Some (Queue.pop t.q)
+    else if t.closed then None
+    else
+      match deadline with
+      | None ->
+        Condition.wait t.nonempty t.m;
+        loop ()
+      | Some d ->
+        let remaining = d -. Unix.gettimeofday () in
+        if remaining <= 0.0 then None
+        else begin
+          (* Timed wait by briefly releasing the lock; re-check on wake. *)
+          Mutex.unlock t.m;
+          Thread.delay (Float.min poll_slice remaining);
+          Mutex.lock t.m;
+          loop ()
+        end
+  in
+  let r = loop () in
+  Mutex.unlock t.m;
+  r
+
+let close t =
+  Mutex.lock t.m;
+  t.closed <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.m
+
+let length t =
+  Mutex.lock t.m;
+  let n = Queue.length t.q in
+  Mutex.unlock t.m;
+  n
+
+let shed t =
+  Mutex.lock t.m;
+  let n = t.shed in
+  Mutex.unlock t.m;
+  n
+
+let closed t =
+  Mutex.lock t.m;
+  let c = t.closed in
+  Mutex.unlock t.m;
+  c

@@ -1,0 +1,32 @@
+(** Bounded thread-safe queue with drop-oldest shedding.
+
+    The hand-over point between the runtime's I/O threads and an endpoint's
+    single driver thread, and the bounded send queue in front of each TCP
+    peer connection. When full, {!push} sheds the {e oldest} entry and
+    counts it — fresh protocol messages supersede stale ones, and shedding
+    beats blocking a receiver thread on a slow consumer. The shed counter
+    is part of the runtime's deterministic component-level bench gate. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [Invalid_argument] if [capacity <= 0]. *)
+
+val push : 'a t -> 'a -> bool
+(** Never blocks. [false] iff the mailbox is closed (the element is
+    discarded without counting as shed). *)
+
+val pop : ?timeout:float -> 'a t -> 'a option
+(** Block until an element is available ([Some]), the optional [timeout]
+    in seconds elapses, or the mailbox is closed and drained ([None]). *)
+
+val close : _ t -> unit
+(** Wake all waiters; subsequent pushes are discarded, pops drain what
+    remains then return [None]. *)
+
+val length : _ t -> int
+
+val shed : _ t -> int
+(** Entries dropped by drop-oldest shedding since creation. *)
+
+val closed : _ t -> bool

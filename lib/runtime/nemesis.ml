@@ -1,0 +1,170 @@
+module Stime = Qs_sim.Stime
+module Sim = Qs_sim.Sim
+module Fault = Qs_faults.Fault
+module Journal = Qs_obs.Journal
+
+let log = Logs.Src.create "qs.runtime.nemesis" ~doc:"Live fault injection"
+
+module Log = (val Logs.src_log log : Logs.LOG)
+
+(* Live fault injection: compile a declarative {!Qs_faults.Fault.schedule}
+   onto a running TCP fabric. The same DSL that drives the simulated
+   injector drives real sockets here — omissions become loss policies,
+   delays become sender-side holds, crashes become mute+refuse windows with
+   killed sockets, amnesia crashes additionally wipe-and-rejoin at the
+   window's end. Phases are armed and disarmed by the coordinator's timer
+   wheel, which the harness advances to the wall clock. *)
+
+type controls = {
+  set_policy : src:int -> dst:int -> Tcp.policy option -> unit;
+  kill_links : me:int -> unit;
+  set_refusing : me:int -> bool -> unit;
+  set_paused : me:int -> bool -> unit;
+  amnesia : int -> unit;
+}
+
+type t = {
+  n : int;
+  controls : controls;
+  (* Overlapping phases may shape the same link; each arms under its own
+     token and the effective policy is the merge of whatever is live. *)
+  live : (int * int, (int * Tcp.policy) list) Hashtbl.t;
+  mutable next_token : int;
+  mutable armed : int;
+  mutable installed : int;
+  mutable unsupported : int;
+}
+
+let merge_policies ps =
+  match ps with
+  | [] -> None
+  | ps ->
+    let keep = List.fold_left (fun acc (_, p) -> acc *. (1.0 -. p.Tcp.loss)) 1.0 ps in
+    let delay =
+      List.fold_left (fun acc (_, p) -> Stime.( + ) acc p.Tcp.extra_delay) 0 ps
+    in
+    Some { Tcp.loss = 1.0 -. keep; extra_delay = delay }
+
+let apply_link t ~src ~dst =
+  let ps = try Hashtbl.find t.live (src, dst) with Not_found -> [] in
+  t.controls.set_policy ~src ~dst (merge_policies ps)
+
+let arm_link t ~src ~dst policy =
+  let token = t.next_token in
+  t.next_token <- t.next_token + 1;
+  let ps = try Hashtbl.find t.live (src, dst) with Not_found -> [] in
+  Hashtbl.replace t.live (src, dst) ((token, policy) :: ps);
+  apply_link t ~src ~dst;
+  token
+
+let disarm_link t ~src ~dst token =
+  let ps = try Hashtbl.find t.live (src, dst) with Not_found -> [] in
+  Hashtbl.replace t.live (src, dst) (List.filter (fun (tk, _) -> tk <> token) ps);
+  apply_link t ~src ~dst
+
+let cut_links ~n members =
+  (* Both directions across the cut. *)
+  let inside = Array.make n false in
+  List.iter (fun m -> if m >= 0 && m < n then inside.(m) <- true) members;
+  let cut = ref [] in
+  for a = 0 to n - 1 do
+    for b = 0 to n - 1 do
+      if a <> b && inside.(a) <> inside.(b) then cut := (a, b) :: !cut
+    done
+  done;
+  !cut
+
+let out_links ~n members =
+  let inside = Array.make n false in
+  List.iter (fun m -> if m >= 0 && m < n then inside.(m) <- true) members;
+  let links = ref [] in
+  for a = 0 to n - 1 do
+    for b = 0 to n - 1 do
+      if a <> b && inside.(a) && not inside.(b) then links := (a, b) :: !links
+    done
+  done;
+  !links
+
+let journal_phase verb phase =
+  if Journal.live () then
+    Journal.record (Journal.Custom (verb ^ " " ^ Fault.phase_to_string phase))
+
+(* Arm one phase; returns the disarm closure. *)
+let arm t (phase : Fault.phase) =
+  let drop = { Tcp.loss = 1.0; extra_delay = 0 } in
+  let delay_by by = { Tcp.loss = 0.0; extra_delay = by } in
+  let shape_links links policy =
+    let tokens = List.map (fun (src, dst) -> (src, dst, arm_link t ~src ~dst policy)) links in
+    fun () -> List.iter (fun (src, dst, tk) -> disarm_link t ~src ~dst tk) tokens
+  in
+  let crash_members ?(amnesia_at_stop = false) members =
+    List.iter
+      (fun p ->
+        t.controls.set_paused ~me:p true;
+        t.controls.set_refusing ~me:p true;
+        t.controls.kill_links ~me:p)
+      members;
+    fun () ->
+      List.iter
+        (fun p ->
+          t.controls.set_refusing ~me:p false;
+          t.controls.set_paused ~me:p false;
+          if amnesia_at_stop then t.controls.amnesia p)
+        members
+  in
+  match phase.Fault.what with
+  | Fault.Omit { src; dst } -> shape_links [ (src, dst) ] drop
+  | Fault.Delay { src; dst; by } -> shape_links [ (src, dst) ] (delay_by by)
+  | Fault.Partition members -> shape_links (cut_links ~n:t.n members) drop
+  | Fault.RegionPartition { members; _ } ->
+    shape_links (cut_links ~n:t.n members) drop
+  | Fault.GrayRegion { members; by; _ } ->
+    shape_links (out_links ~n:t.n members) (delay_by by)
+  | Fault.Crash p -> crash_members [ p ]
+  | Fault.CrashAmnesia p -> crash_members ~amnesia_at_stop:true [ p ]
+  | Fault.RackLoss { members; _ } -> crash_members members
+  | Fault.Duplicate _ | Fault.Equivocate _ | Fault.Slander _ | Fault.Tamper _
+  | Fault.Replay _ | Fault.Join _ | Fault.Leave _ ->
+    (* Needs either in-flight payload substitution (the simulated network's
+       Replace verdicts) or a membership engine — neither exists on the TCP
+       path yet. Counted so a harness can refuse such schedules loudly. *)
+    t.unsupported <- t.unsupported + 1;
+    Log.warn (fun m ->
+        m "unsupported on real transport: %s" (Fault.phase_to_string phase));
+    fun () -> ()
+
+let install ~sim ~controls ~n schedule =
+  Fault.validate ~n schedule;
+  let t =
+    {
+      n;
+      controls;
+      live = Hashtbl.create 16;
+      next_token = 0;
+      armed = 0;
+      installed = 0;
+      unsupported = 0;
+    }
+  in
+  List.iter
+    (fun (phase : Fault.phase) ->
+      Sim.schedule_at sim ~at:phase.Fault.start (fun () ->
+          journal_phase "fault+" phase;
+          t.armed <- t.armed + 1;
+          t.installed <- t.installed + 1;
+          let disarm = arm t phase in
+          match phase.Fault.stop with
+          | None -> ()
+          | Some stop ->
+            Sim.schedule_at sim ~at:stop (fun () ->
+                journal_phase "fault-" phase;
+                t.armed <- t.armed - 1;
+                disarm ())))
+    schedule;
+  t
+
+let active t = t.armed
+
+let installed t = t.installed
+
+let unsupported t = t.unsupported

@@ -1,0 +1,46 @@
+(** Live fault injection: the fault DSL over real sockets.
+
+    Compiles a {!Qs_faults.Fault.schedule} — the same declarative
+    vocabulary the simulated {!Qs_faults.Injector} consumes — onto a
+    running TCP fabric through a {!controls} record:
+
+    - [Omit] / [Partition] / [RegionPartition] → loss-1.0 link policies
+      across the affected links (partitions cut both directions);
+    - [Delay] / [GrayRegion] → sender-side extra-latency policies;
+    - [Crash] / [RackLoss] → pause (mute) + connect-refusal windows with
+      every live socket killed, so peers experience real connection death
+      and reconnect under backoff;
+    - [CrashAmnesia] → a crash window whose end additionally invokes the
+      [amnesia] hook (wipe to durable snapshot, start rejoin);
+    - commission and churn kinds ([Duplicate], [Equivocate], [Slander],
+      [Tamper], [Replay], [Join], [Leave]) are {e unsupported} on the real
+      transport and counted, never silently dropped.
+
+    Overlapping phases on one link compose: losses combine as independent
+    drops, delays add. Phase transitions are journaled as
+    [Custom "fault+ ..."/"fault- ..."] like the simulated injector's. *)
+
+type controls = {
+  set_policy : src:int -> dst:int -> Tcp.policy option -> unit;
+  kill_links : me:int -> unit;
+  set_refusing : me:int -> bool -> unit;
+  set_paused : me:int -> bool -> unit;
+  amnesia : int -> unit;
+}
+
+type t
+
+val install :
+  sim:Qs_sim.Sim.t -> controls:controls -> n:int -> Qs_faults.Fault.schedule -> t
+(** Schedule every phase on the coordinator's timer wheel (which the
+    harness advances to the wall clock). Validates the schedule against
+    universe size [n] ([Invalid_argument] on nonsense). *)
+
+val active : t -> int
+(** Phases currently armed. *)
+
+val installed : t -> int
+(** Phases ever armed so far. *)
+
+val unsupported : t -> int
+(** Phases skipped because the real transport cannot express them. *)

@@ -1,0 +1,74 @@
+(* Restart-with-budget thread supervision.
+
+   A supervised thread runs its body; if the body raises, the supervisor
+   logs it and restarts the body until the restart budget is exhausted, at
+   which point the thread dies for good and [alive] turns false. Normal
+   return is a clean exit (no restart) — reconnect loops and driver loops
+   encode "run forever" themselves and use the budget purely as a
+   crash-loop bound. *)
+
+type t = {
+  name : string;
+  budget : int;
+  mutable restarts : int;
+  mutable running : bool;
+  mutable stopping : bool;
+  m : Mutex.t;
+  mutable thread : Thread.t option;
+}
+
+let log = Logs.Src.create "qs.runtime.supervisor" ~doc:"Runtime thread supervision"
+
+module Log = (val Logs.src_log log : Logs.LOG)
+
+let spawn ~name ?(restarts = 3) body =
+  if restarts < 0 then invalid_arg "Supervisor.spawn: negative restart budget";
+  let t =
+    {
+      name;
+      budget = restarts;
+      restarts = 0;
+      running = true;
+      stopping = false;
+      m = Mutex.create ();
+      thread = None;
+    }
+  in
+  let rec run () =
+    match body () with
+    | () ->
+      Mutex.lock t.m;
+      t.running <- false;
+      Mutex.unlock t.m
+    | exception exn ->
+      Mutex.lock t.m;
+      let again = (not t.stopping) && t.restarts < t.budget in
+      if again then t.restarts <- t.restarts + 1 else t.running <- false;
+      Mutex.unlock t.m;
+      Log.warn (fun m ->
+          m "%s: %s (%s)" t.name (Printexc.to_string exn)
+            (if again then Printf.sprintf "restart %d/%d" t.restarts t.budget
+             else "budget exhausted"));
+      if again then run ()
+  in
+  t.thread <- Some (Thread.create run ());
+  t
+
+let alive t =
+  Mutex.lock t.m;
+  let r = t.running in
+  Mutex.unlock t.m;
+  r
+
+let restarts t =
+  Mutex.lock t.m;
+  let r = t.restarts in
+  Mutex.unlock t.m;
+  r
+
+let stop t =
+  Mutex.lock t.m;
+  t.stopping <- true;
+  Mutex.unlock t.m
+
+let join t = match t.thread with None -> () | Some th -> Thread.join th

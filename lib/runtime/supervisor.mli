@@ -1,0 +1,26 @@
+(** Restart-with-budget thread supervision.
+
+    Wraps a thread body so an escaped exception restarts it instead of
+    silently killing the thread, up to a finite budget — a crashing replica
+    driver gets bounded retries, a crash-looping one eventually stays down
+    and {!alive} reports it. Normal return is a clean exit: loops encode
+    "run forever" themselves. *)
+
+type t
+
+val spawn : name:string -> ?restarts:int -> (unit -> unit) -> t
+(** Start the body in a fresh thread with a restart budget (default 3).
+    [Invalid_argument] on a negative budget. *)
+
+val alive : t -> bool
+(** [true] while the body is running or will be restarted. *)
+
+val restarts : t -> int
+(** Restarts consumed so far. *)
+
+val stop : t -> unit
+(** Withdraw the restart budget: the {e next} exception (or return) ends the
+    thread. Cooperative — the body must be made to exit (close its mailbox,
+    shut its socket) for {!join} to return. *)
+
+val join : t -> unit

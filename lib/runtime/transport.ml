@@ -1,0 +1,52 @@
+(* The seam between protocol cores and the medium carrying their messages.
+
+   A transport owns, per endpoint, the three things a core needs from its
+   environment: a timer wheel (a [Qs_sim.Sim.t] — in a simulation the shared
+   virtual clock, on a real transport a private wheel advanced to the wall
+   clock), a way to send, and a receive-handler slot. Everything above this
+   signature — replicas, rejoin engines, detectors — runs unmodified on
+   either side of it. *)
+
+module type TRANSPORT = sig
+  type t
+
+  type msg
+
+  val n : t -> int
+
+  val sim : t -> me:int -> Qs_sim.Sim.t
+
+  val send : t -> src:int -> dst:int -> msg -> unit
+
+  val set_handler : t -> int -> (src:int -> msg -> unit) -> unit
+
+  val post : t -> int -> (unit -> unit) -> unit
+end
+
+(* The simulated side: a thin adapter over [Qs_sim.Network]. Every endpoint
+   shares the network's simulation as its timer wheel, [post] is a
+   zero-delay event (preserving run-to-completion), and all the network's
+   machinery — delay models, filter chains, tracers, counters — stays
+   reachable through [net]. *)
+module Sim (M : sig
+  type msg
+end) =
+struct
+  type msg = M.msg
+
+  type t = M.msg Qs_sim.Network.t
+
+  let create ~net = net
+
+  let net t = t
+
+  let n = Qs_sim.Network.n
+
+  let sim t ~me:_ = Qs_sim.Network.sim t
+
+  let send t ~src ~dst m = Qs_sim.Network.send t ~src ~dst m
+
+  let set_handler = Qs_sim.Network.set_handler
+
+  let post t _me f = Qs_sim.Sim.schedule (Qs_sim.Network.sim t) ~delay:0 f
+end

@@ -1,0 +1,50 @@
+(** Transport abstraction: one signature, simulated and real carriers.
+
+    The protocol cores in this repository take a [sim] (their timer wheel)
+    and a [net_send] closure; {!TRANSPORT} packages exactly that per
+    endpoint, so the same unmodified XPaxos/quorum-selection stack runs over
+    the discrete-event {!Qs_sim.Network} and over the real TCP transport
+    ({!Tcp.Make}). What changes across implementations is only who advances
+    the clock: the simulator's event loop, or a driver thread chasing the
+    wall clock with {!Qs_sim.Sim.advance_to}. *)
+
+module type TRANSPORT = sig
+  type t
+
+  type msg
+
+  val n : t -> int
+  (** Number of endpoints. *)
+
+  val sim : t -> me:int -> Qs_sim.Sim.t
+  (** Endpoint [me]'s timer wheel. Simulated transports return the shared
+      simulation; the TCP transport returns a private per-endpoint wheel —
+      schedule on it only from that endpoint's execution context. *)
+
+  val send : t -> src:int -> dst:int -> msg -> unit
+  (** Fire-and-forget, from [src]'s execution context. Real transports may
+      shed under backpressure; delivery is at-least-effort, dedup below. *)
+
+  val set_handler : t -> int -> (src:int -> msg -> unit) -> unit
+  (** Install endpoint [i]'s receive handler; called from [i]'s execution
+      context (simulation event or driver thread holding the core lock). *)
+
+  val post : t -> int -> (unit -> unit) -> unit
+  (** Run a closure in endpoint [i]'s execution context — the thread-safe
+      door for injecting work (client submissions, nemesis actions) into a
+      protocol stack that is itself single-threaded. *)
+end
+
+(** The simulated carrier: a thin adapter over an existing
+    {!Qs_sim.Network}, sharing its simulation as every endpoint's wheel. *)
+module Sim (M : sig
+  type msg
+end) : sig
+  include TRANSPORT with type msg = M.msg
+
+  val create : net:M.msg Qs_sim.Network.t -> t
+
+  val net : t -> M.msg Qs_sim.Network.t
+  (** The underlying network — delay models, filter chains and counters
+      stay fully accessible for fault injection and accounting. *)
+end

@@ -1,0 +1,17 @@
+(* Wall clock behind the Stime interface: one tick = one microsecond, the
+   same unit the simulator uses, measured from a per-clock origin so a run
+   starts at tick 0 exactly like a simulation does. Monotonic within the
+   clock (never goes backwards even if the system clock is stepped). *)
+
+type t = { origin : float; mutable last : Qs_sim.Stime.t }
+
+let create () = { origin = Unix.gettimeofday (); last = 0 }
+
+let now t =
+  let ticks = int_of_float ((Unix.gettimeofday () -. t.origin) *. 1e6) in
+  if ticks > t.last then t.last <- ticks;
+  t.last
+
+let to_seconds ticks = float_of_int ticks /. 1e6
+
+let sleep ticks = if ticks > 0 then Thread.delay (to_seconds ticks)

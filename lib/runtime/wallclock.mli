@@ -1,0 +1,19 @@
+(** Wall-clock time behind the {!Qs_sim.Stime} interface.
+
+    One tick is one microsecond — the simulator's unit — counted from the
+    clock's creation, so real runs and simulated runs speak the same
+    timestamps and the detector/timeout machinery needs no changes. Reads
+    are clamped monotone: a stepped system clock can stall virtual time but
+    never rewind it (the simulator's clock cannot go backwards either). *)
+
+type t
+
+val create : unit -> t
+(** Origin = now; the first read is ~0. *)
+
+val now : t -> Qs_sim.Stime.t
+
+val to_seconds : Qs_sim.Stime.t -> float
+
+val sleep : Qs_sim.Stime.t -> unit
+(** Block the calling thread for the given ticks (no-op if non-positive). *)

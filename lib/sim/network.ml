@@ -32,7 +32,6 @@ type 'm t = {
   fifo : bool;
   rng : Prng.t;
   handlers : (src:int -> 'm -> unit) option array;
-  mutable filter : 'm filter option;
   mutable chain : (filter_id * 'm filter) list; (* installation order *)
   mutable next_filter_id : filter_id;
   mutable tracer :
@@ -64,7 +63,6 @@ let create ~sim ~n ~delay ?(fifo = false) () =
     fifo;
     rng = Prng.split (Sim.prng sim);
     handlers = Array.make n None;
-    filter = None;
     chain = [];
     next_filter_id = 0;
     tracer = None;
@@ -92,10 +90,6 @@ let set_handler t i h =
   check t i;
   t.handlers.(i) <- Some h
 
-let set_filter t f = t.filter <- Some f
-
-let clear_filter t = t.filter <- None
-
 let add_filter t f =
   let id = t.next_filter_id in
   t.next_filter_id <- id + 1;
@@ -104,13 +98,12 @@ let add_filter t f =
 
 let remove_filter t id = t.chain <- List.filter (fun (id', _) -> id' <> id) t.chain
 
-let filter_count t =
-  List.length t.chain + match t.filter with None -> 0 | Some _ -> 1
+let filter_count t = List.length t.chain
 
-(* Resolve the whole chain (single slot first, then installation order) into
-   one verdict: the first [Drop] wins and short-circuits, [Delay]s accumulate,
-   the largest [Duplicate] count wins, and a [Replace] substitutes the payload
-   for every later filter and for delivery (last substitution wins). *)
+(* Resolve the whole chain (in installation order) into one verdict: the
+   first [Drop] wins and short-circuits, [Delay]s accumulate, the largest
+   [Duplicate] count wins, and a [Replace] substitutes the payload for every
+   later filter and for delivery (last substitution wins). *)
 let resolve t ~src ~dst m =
   let now = Sim.now t.sim in
   let rec fold m extra copies = function
@@ -123,12 +116,7 @@ let resolve t ~src ~dst m =
       | Duplicate k -> fold m extra (Stdlib.max copies k) rest
       | Replace m' -> fold m' extra copies rest)
   in
-  let fs =
-    match t.filter with
-    | None -> List.map snd t.chain
-    | Some f -> f :: List.map snd t.chain
-  in
-  fold m 0 1 fs
+  fold m 0 1 (List.map snd t.chain)
 
 let set_tracer t f = t.tracer <- Some f
 
@@ -286,8 +274,7 @@ let drop_pending_to t dst =
 (* Snapshot / restore.
 
    Captures everything the network itself mutates: the pending set and id
-   counter, the filter chain and legacy slot, counters and the FIFO
-   watermarks. Deliberately NOT captured: the simulation queue (events hold
+   counter, the filter chain, counters and the FIFO watermarks. Deliberately NOT captured: the simulation queue (events hold
    closures; in controlled mode no delivery events are in flight, which is
    the only mode a checker forks in), the handlers/tracer (wiring, not
    state), and the global metrics registry and journal — module-level state
@@ -297,7 +284,6 @@ type 'm snapshot = {
   s_pending : 'm held list;
   s_next_msg_id : int;
   s_controlled : bool;
-  s_filter : 'm filter option;
   s_chain : (filter_id * 'm filter) list;
   s_next_filter_id : filter_id;
   s_last_arrival : Stime.t array array;
@@ -312,7 +298,6 @@ let snapshot t =
     s_pending = t.pending_q;
     s_next_msg_id = t.next_msg_id;
     s_controlled = t.controlled;
-    s_filter = t.filter;
     s_chain = t.chain;
     s_next_filter_id = t.next_filter_id;
     s_last_arrival = Array.map Array.copy t.last_arrival;
@@ -326,7 +311,6 @@ let restore t s =
   t.pending_q <- s.s_pending;
   t.next_msg_id <- s.s_next_msg_id;
   t.controlled <- s.s_controlled;
-  t.filter <- s.s_filter;
   t.chain <- s.s_chain;
   t.next_filter_id <- s.s_next_filter_id;
   Array.iteri (fun i row -> Array.blit row 0 t.last_arrival.(i) 0 t.n) s.s_last_arrival;

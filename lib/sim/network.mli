@@ -65,9 +65,11 @@ type filter_id
 
 (** {2 Filter chain}
 
-    Filters stack: every send (with [src <> dst]) consults the single
-    {!set_filter} slot first (when occupied) and then every {!add_filter}
-    entry in installation order. The verdicts compose as follows:
+    Filters stack: every send (with [src <> dst]) consults every
+    {!add_filter} entry in installation order. (A single-occupant
+    [set_filter] slot consulted ahead of the chain existed through PR 9;
+    all injectors — cluster harnesses included — now go through the chain,
+    and the slot is gone.) The verdicts compose as follows:
 
     - the {e first} [Drop] wins and stops evaluation (later filters are not
       consulted for that message);
@@ -88,16 +90,7 @@ val remove_filter : 'm t -> filter_id -> unit
 (** Remove a chained filter; unknown ids are ignored. *)
 
 val filter_count : _ t -> int
-(** Active filters (chain plus the single slot when occupied). *)
-
-val set_filter : 'm t -> 'm filter -> unit
-(** Fill the (single) legacy filter slot, replacing its previous occupant but
-    leaving the {!add_filter} chain untouched. The slot is consulted before
-    the chain. Cluster harnesses use this slot for their built-in link
-    faults; composable injectors should prefer {!add_filter}. *)
-
-val clear_filter : 'm t -> unit
-(** Empty the single slot; the {!add_filter} chain is untouched. *)
+(** Active filters in the chain. *)
 
 val set_tracer :
   'm t -> (kind:trace_kind -> now:Stime.t -> src:int -> dst:int -> 'm -> unit) -> unit
@@ -168,7 +161,7 @@ val drop_pending_to : _ t -> int -> int
 (** {2 Snapshot / restore} — fork points for schedule exploration.
 
     A snapshot captures the network's own mutable state: pending set, id
-    counter, controlled flag, filter chain and legacy slot, FIFO watermarks
+    counter, controlled flag, filter chain, FIFO watermarks
     and counters. It does {e not} capture the simulation event queue (fork
     only from controlled, delivery-quiescent states), the handlers, or
     module-level observability state (metrics registry, journal) — callers

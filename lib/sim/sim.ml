@@ -55,6 +55,17 @@ let run ?until ?(max_events = 10_000_000) t =
          ignore (step t))
   done
 
+(* Wall-clock bridge for the real runtime: execute everything due at or
+   before [at], then move the clock to [at] even if the queue holds nothing
+   (or nothing that early). A plain [run ~until] leaves the clock at the last
+   executed event, so a subsequent [schedule ~delay] would measure its delay
+   from stale time; driver loops advancing virtual time in lockstep with a
+   wall clock need the clock pinned to "now". Never moves the clock
+   backwards. *)
+let advance_to ?max_events t ~at =
+  run ?max_events ~until:at t;
+  if Stime.compare at t.clock > 0 then t.clock <- at
+
 let events_executed t = t.executed
 
 let pending_events t = Heap.size t.queue

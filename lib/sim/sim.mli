@@ -36,6 +36,13 @@ val run : ?until:Stime.t -> ?max_events:int -> t -> unit
 
 exception Event_budget_exhausted
 
+val advance_to : ?max_events:int -> t -> at:Stime.t -> unit
+(** Drain every event due at or before [at], then set the clock to [at]
+    (never backwards). The real-runtime driver loops use this to advance a
+    per-process virtual clock in lockstep with the wall clock, so timers
+    scheduled between events measure their delay from actual "now" rather
+    than from the last executed event. *)
+
 val events_executed : t -> int
 
 val pending_events : t -> int

@@ -1,0 +1,154 @@
+module QS = Qs_core.Quorum_select
+module Timeout = Qs_fd.Timeout
+module Store = Qs_recovery.Store
+module Codec = Qs_recovery.Codec
+module Rejoin = Qs_recovery.Rejoin
+
+(* Durable-state codecs (Codec framing on top of the primitive W/R pair).
+   The view is one varint; the log prefix is the committed entries with
+   their original leader signatures, so import re-runs the provenance
+   check. Factored out of Xcluster so the real-transport runtime node and
+   the simulated cluster persist, collect and adopt byte-identical state. *)
+
+let encode_view view =
+  let w = Codec.W.create () in
+  Codec.W.int w view;
+  Codec.frame ~tag:"xvw" ~version:1 (Codec.W.contents w)
+
+let decode_view s =
+  let version, payload = Codec.unframe ~tag:"xvw" s in
+  if version <> 1 then raise (Codec.Corrupt "xvw: unknown version");
+  let r = Codec.R.of_string payload in
+  let view = Codec.R.int r in
+  if not (Codec.R.eof r) then raise (Codec.Corrupt "xvw: trailing bytes");
+  view
+
+let encode_entries entries =
+  let w = Codec.W.create () in
+  Codec.W.int w (List.length entries);
+  List.iter
+    (fun (e : Xmsg.entry) ->
+      Codec.W.int w e.Xmsg.eview;
+      Codec.W.int w e.Xmsg.eslot;
+      Codec.W.int w e.Xmsg.erequest.Xmsg.client;
+      Codec.W.int w e.Xmsg.erequest.Xmsg.rid;
+      Codec.W.str w e.Xmsg.erequest.Xmsg.op;
+      Codec.W.bool w e.Xmsg.ecommitted;
+      Codec.W.str w e.Xmsg.epsig)
+    entries;
+  Codec.frame ~tag:"xlg" ~version:1 (Codec.W.contents w)
+
+let decode_entries s =
+  let version, payload = Codec.unframe ~tag:"xlg" s in
+  if version <> 1 then raise (Codec.Corrupt "xlg: unknown version");
+  let r = Codec.R.of_string payload in
+  let count = Codec.R.int r in
+  if count < 0 || count > 1_000_000 then raise (Codec.Corrupt "xlg: bad count");
+  let entries = ref [] in
+  for _ = 1 to count do
+    let eview = Codec.R.int r in
+    let eslot = Codec.R.int r in
+    let client = Codec.R.int r in
+    let rid = Codec.R.int r in
+    let op = Codec.R.str r in
+    let ecommitted = Codec.R.bool r in
+    let epsig = Codec.R.str r in
+    entries :=
+      { Xmsg.eview; eslot; erequest = { Xmsg.client; rid; op }; ecommitted; epsig }
+      :: !entries
+  done;
+  if not (Codec.R.eof r) then raise (Codec.Corrupt "xlg: trailing bytes");
+  List.rev !entries
+
+let empty_matrix_payload n = Codec.encode_matrix (Qs_core.Suspicion_matrix.create n)
+
+(* Persist a replica's durable state into its store. Executing a request is
+   the durability point (a real SMR fsyncs its log before answering), so the
+   batch ends with an explicit fsync; an [fsync_every] store merely adds
+   finer-grained points within the batch. *)
+let persist r store =
+  Store.put store "view" (encode_view (Replica.view r));
+  Store.put store "log" (encode_entries (Replica.export_log_prefix r));
+  (match Replica.quorum_selector r with
+   | Some qsel ->
+     Store.put store "mtx" (Codec.encode_matrix (QS.matrix qsel));
+     Store.put store "epo" (Codec.encode_epoch (QS.epoch qsel))
+   | None -> ());
+  Store.put store "tmo" (Codec.encode_timeouts (Timeout.export (Replica.timeouts r)));
+  Store.fsync store
+
+(* A decode failure on durable state means the write never made it past an
+   fsync point in recognisable shape — recover as if the key were absent
+   (the rejoin protocol supplies the rest). *)
+let durable_decode store key decode ~default =
+  match Store.durable_get store key with
+  | None -> default
+  | Some s -> ( match decode s with v -> v | exception Codec.Corrupt _ -> default)
+
+let collect_payload ~n r =
+  let matrix, epoch =
+    match Replica.quorum_selector r with
+    | Some qsel -> (Codec.encode_matrix (QS.matrix qsel), QS.epoch qsel)
+    | None -> (empty_matrix_payload n, 1)
+  in
+  let w = Codec.W.create () in
+  Codec.W.int w (Replica.view r);
+  Codec.W.str w (encode_entries (Replica.export_log_prefix r));
+  let extra = Codec.frame ~tag:"xsu" ~version:1 (Codec.W.contents w) in
+  { Rejoin.matrix; epoch; extra }
+
+let adopt_payload r ~matrix ~epoch ~extra =
+  (* Log and view first: absorb re-evaluates the selection and may itself
+     move the view, and catch_up_view takes the max anyway. *)
+  (match Codec.unframe ~tag:"xsu" extra with
+   | exception Codec.Corrupt _ -> () (* corrupt supplement: matrix merge still stands *)
+   | version, payload ->
+     if version = 1 then begin
+       match
+         let rd = Codec.R.of_string payload in
+         let view = Codec.R.int rd in
+         let entries = decode_entries (Codec.R.str rd) in
+         if not (Codec.R.eof rd) then raise (Codec.Corrupt "xsu: trailing bytes");
+         (view, entries)
+       with
+       | exception Codec.Corrupt _ -> ()
+       | view, entries ->
+         Replica.import_log_prefix r entries;
+         (match Replica.quorum_selector r with
+          | Some _ -> () (* quorum-selection mode moves views via the selector *)
+          | None -> Replica.catch_up_view r ~view)
+     end);
+  match Replica.quorum_selector r with
+  | Some qsel -> QS.absorb qsel ~matrix ~epoch
+  | None -> ()
+
+let amnesia ~n r store =
+  match store with
+  | None ->
+    (* No durability attached: the crash loses everything. *)
+    Replica.amnesia_restart r ~view:0;
+    { Rejoin.matrix = empty_matrix_payload n; epoch = 1; extra = "" }
+  | Some store ->
+    Store.crash store;
+    let view = durable_decode store "view" decode_view ~default:0 in
+    Replica.amnesia_restart r ~view;
+    (match Store.durable_get store "tmo" with
+     | None -> ()
+     | Some s -> (
+       match Codec.decode_timeouts s with
+       | exception Codec.Corrupt _ -> ()
+       | arr -> (
+         match Timeout.import (Replica.timeouts r) arr with
+         | () -> ()
+         | exception Invalid_argument _ -> ())));
+    Replica.import_log_prefix r (durable_decode store "log" decode_entries ~default:[]);
+    {
+      Rejoin.matrix =
+        durable_decode store "mtx"
+          (fun s ->
+            ignore (Codec.decode_matrix s);
+            s)
+          ~default:(empty_matrix_payload n);
+      epoch = durable_decode store "epo" Codec.decode_epoch ~default:1;
+      extra = "";
+    }

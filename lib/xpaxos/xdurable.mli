@@ -1,0 +1,49 @@
+(** Durable XPaxos replica state: codecs, persistence, rejoin payloads.
+
+    Factored out of {!Xcluster} so the same logic drives both the simulated
+    cluster and the real-transport runtime node ({!Qs_runtime}): the durable
+    snapshot layout ([view]/[log]/[mtx]/[epo]/[tmo] keys, Codec-framed and
+    checksummed), the rejoin payload with its signed log-prefix supplement,
+    and the amnesia restart that re-imports the last fsync point. *)
+
+val encode_view : int -> string
+
+val decode_view : string -> int
+(** Raises {!Qs_recovery.Codec.Corrupt}. *)
+
+val encode_entries : Xmsg.entry list -> string
+
+val decode_entries : string -> Xmsg.entry list
+(** Raises {!Qs_recovery.Codec.Corrupt}. *)
+
+val empty_matrix_payload : int -> string
+(** Encoded empty [n * n] suspicion matrix. *)
+
+val persist : Replica.t -> Qs_recovery.Store.t -> unit
+(** Write the replica's durable state (view, committed log prefix, selector
+    matrix and epoch, adapted timeouts) and fsync — the per-execute
+    durability point. *)
+
+val collect_payload : n:int -> Replica.t -> Qs_recovery.Rejoin.payload
+(** The replica's state as a rejoin payload: encoded matrix and epoch
+    (trivial in enumeration mode) plus a supplement carrying the view and
+    the committed log prefix with original prepare signatures. *)
+
+val adopt_payload :
+  Replica.t ->
+  matrix:Qs_core.Suspicion_matrix.t ->
+  epoch:int ->
+  extra:string ->
+  unit
+(** The rejoiner's CRDT join: import the supplement's committed entries
+    (provenance-checked), catch up the view, and absorb matrix and epoch
+    into the embedded selector. A corrupt supplement is skipped — the
+    matrix merge still applies. *)
+
+val amnesia : n:int -> Replica.t -> Qs_recovery.Store.t option -> Qs_recovery.Rejoin.payload
+(** Amnesia-crash one replica: drop the store's unflushed writes, wipe the
+    volatile state ({!Replica.amnesia_restart}), re-import the durable
+    snapshot (view, timeouts, log prefix) and return the durable selection
+    state as a payload — feed it to the replica's rejoin engine as a self
+    [State_push] after [Rejoin.start]. With no store the crash loses
+    everything and the payload is trivial. *)

@@ -354,7 +354,91 @@ let prop_detection_dominates =
       Sim.run sim;
       Detector.is_suspected fd culprit)
 
-let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_completeness; prop_detection_dominates ]
+(* A strategy with an [initial] it accepts, plus driving randomness. *)
+let arbitrary_strategy_and_initial =
+  let open QCheck in
+  let gen =
+    Gen.(
+      int_range 1 200 >>= fun initial ->
+      oneof
+        [
+          return (Timeout.Fixed, initial);
+          (pair (float_range 1.01 4.0) (int_range 0 5000) >|= fun (factor, extra) ->
+           (Timeout.Exponential { factor; max = initial + extra }, initial));
+          (pair (int_range 1 300) (int_range 0 5000) >|= fun (step, extra) ->
+           (Timeout.Additive { step; max = initial + extra }, initial));
+        ])
+  and print (s, initial) =
+    let s =
+      match s with
+      | Timeout.Fixed -> "Fixed"
+      | Timeout.Exponential { factor; max } ->
+        Printf.sprintf "Exp{factor=%g; max=%d}" factor max
+      | Timeout.Additive { step; max } ->
+        Printf.sprintf "Add{step=%d; max=%d}" step max
+    in
+    Printf.sprintf "(%s, initial=%d)" s initial
+  in
+  QCheck.make ~print gen
+
+let prop_export_import_roundtrip =
+  (* Any sequence of per-peer adaptations survives export into a fresh
+     instance: the durable part of the adaptive state is exactly the
+     per-peer timeouts. *)
+  QCheck.Test.make ~name:"timeout export/import round-trips adapted state" ~count:200
+    QCheck.(pair arbitrary_strategy_and_initial (small_list (int_range 0 4)))
+    (fun ((strategy, initial), adaptations) ->
+      let n = 5 in
+      let t = Timeout.create ~n ~initial strategy in
+      List.iter (fun p -> Timeout.on_false_suspicion t p) adaptations;
+      let t' = Timeout.create ~n ~initial strategy in
+      Timeout.import t' (Timeout.export t);
+      List.for_all (fun p -> Timeout.current t' p = Timeout.current t p)
+        (List.init n (fun p -> p)))
+
+let prop_backoff_bounds =
+  (* Under any failure/success pattern the backoff never dips below its
+     creation-time floor, never exceeds its strategy cap, grows monotonically
+     between resets, and every jittered draw stays within the +/- band. *)
+  QCheck.Test.make ~name:"backoff stays within floor/cap and jitter bounds" ~count:300
+    QCheck.(
+      triple arbitrary_strategy_and_initial
+        (make ~print:string_of_float Gen.(float_bound_inclusive 0.99))
+        (small_list (pair bool (make ~print:string_of_float Gen.(float_bound_exclusive 1.0)))))
+    (fun ((strategy, initial), jitter, events) ->
+      let b = Timeout.Backoff.create ~initial ~jitter strategy in
+      (* [Fixed] has no cap: the un-jittered delay never moves, but a draw
+         may still jitter above [initial]. *)
+      let cap =
+        match strategy with
+        | Timeout.Fixed -> None
+        | Timeout.Exponential { max; _ } | Timeout.Additive { max; _ } -> Some max
+      in
+      List.for_all
+        (fun (fail, u) ->
+          let before = Timeout.Backoff.current b in
+          if fail then Timeout.Backoff.advance b else Timeout.Backoff.reset b;
+          let current = Timeout.Backoff.current b in
+          let monotone = if fail then current >= before else current = initial in
+          let d = Timeout.Backoff.delay b ~u in
+          let lo = float_of_int current *. (1.0 -. jitter) in
+          let hi = float_of_int current *. (1.0 +. jitter) in
+          monotone
+          && current >= initial
+          && (match cap with Some m -> current <= m && d <= m | None -> true)
+          && d >= initial
+          && float_of_int d >= lo -. 1.0
+          && float_of_int d <= hi +. 1.0)
+        events)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_completeness;
+      prop_detection_dominates;
+      prop_export_import_roundtrip;
+      prop_backoff_bounds;
+    ]
 
 let () =
   Alcotest.run "fd"

@@ -178,8 +178,9 @@ let test_net_filter_drop () =
   let got = ref 0 in
   Network.set_handler net 1 (fun ~src:_ _ -> incr got);
   Network.set_handler net 2 (fun ~src:_ _ -> incr got);
-  Network.set_filter net (fun ~now:_ ~src ~dst _ ->
-      if src = 0 && dst = 1 then Network.Drop else Network.Deliver);
+  ignore
+    (Network.add_filter net (fun ~now:_ ~src ~dst _ ->
+         if src = 0 && dst = 1 then Network.Drop else Network.Deliver));
   Network.send net ~src:0 ~dst:1 "omitted";
   Network.send net ~src:0 ~dst:2 "fine";
   Sim.run sim;
@@ -190,17 +191,17 @@ let test_net_filter_delay () =
   let sim, net = make_net () in
   let at = ref 0 in
   Network.set_handler net 1 (fun ~src:_ _ -> at := Sim.now sim);
-  Network.set_filter net (fun ~now:_ ~src:_ ~dst:_ _ -> Network.Delay 90);
+  ignore (Network.add_filter net (fun ~now:_ ~src:_ ~dst:_ _ -> Network.Delay 90));
   Network.send net ~src:0 ~dst:1 "slow";
   Sim.run sim;
   check_int "base 10 + extra 90" 100 !at
 
-let test_net_clear_filter () =
+let test_net_remove_filter () =
   let sim, net = make_net () in
   let got = ref 0 in
   Network.set_handler net 1 (fun ~src:_ _ -> incr got);
-  Network.set_filter net (fun ~now:_ ~src:_ ~dst:_ _ -> Network.Drop);
-  Network.clear_filter net;
+  let id = Network.add_filter net (fun ~now:_ ~src:_ ~dst:_ _ -> Network.Drop) in
+  Network.remove_filter net id;
   Network.send net ~src:0 ~dst:1 "m";
   Sim.run sim;
   check_int "filter removed" 1 !got
@@ -258,22 +259,24 @@ let test_net_chain_duplicate () =
   Sim.run sim;
   check_int "largest duplication wins" 3 !got
 
-let test_net_chain_composes_with_set_filter () =
-  (* The legacy single slot is consulted first and composes with the chain:
-     its Delay adds up with chained Delays, and its Drop wins outright. *)
+let test_net_chain_composes_across_installers () =
+  (* A harness-installed filter and an injector-installed one compose: their
+     Delays add up, and an earlier filter's Drop wins outright. Replaces the
+     retired single-slot [set_filter] composition test. *)
   let sim, net = make_net () in
   let at = ref 0 in
   Network.set_handler net 1 (fun ~src:_ _ -> at := Sim.now sim);
-  Network.set_filter net (fun ~now:_ ~src:_ ~dst:_ _ -> Network.Delay 30);
+  let first = Network.add_filter net (fun ~now:_ ~src:_ ~dst:_ _ -> Network.Delay 30) in
   ignore (Network.add_filter net (fun ~now:_ ~src:_ ~dst:_ _ -> Network.Delay 20));
   Network.send net ~src:0 ~dst:1 "m";
   Sim.run sim;
-  check_int "slot and chain delays accumulate" 60 !at;
-  Network.set_filter net (fun ~now:_ ~src:_ ~dst:_ _ -> Network.Drop);
+  check_int "both installers' delays accumulate" 60 !at;
+  Network.remove_filter net first;
+  ignore (Network.add_filter net (fun ~now:_ ~src:_ ~dst:_ _ -> Network.Drop));
   at := -1;
   Network.send net ~src:0 ~dst:1 "m";
   Sim.run sim;
-  check_int "slot drop beats chain" (-1) !at
+  check_int "drop beats the surviving delay" (-1) !at
 
 let test_net_chain_self_send_bypasses () =
   let sim, net = make_net () in
@@ -542,13 +545,13 @@ let () =
           Alcotest.test_case "non-fifo reorders" `Quick test_net_no_fifo_can_reorder;
           Alcotest.test_case "filter drop" `Quick test_net_filter_drop;
           Alcotest.test_case "filter delay" `Quick test_net_filter_delay;
-          Alcotest.test_case "clear filter" `Quick test_net_clear_filter;
+          Alcotest.test_case "remove filter" `Quick test_net_remove_filter;
           Alcotest.test_case "chain add/remove" `Quick test_net_chain_add_remove;
           Alcotest.test_case "chain first drop wins" `Quick test_net_chain_first_drop_wins;
           Alcotest.test_case "chain delays accumulate" `Quick test_net_chain_delays_accumulate;
           Alcotest.test_case "chain duplicate" `Quick test_net_chain_duplicate;
-          Alcotest.test_case "chain composes with slot" `Quick
-            test_net_chain_composes_with_set_filter;
+          Alcotest.test_case "chain composes across installers" `Quick
+            test_net_chain_composes_across_installers;
           Alcotest.test_case "chain self-send bypass" `Quick test_net_chain_self_send_bypasses;
           Alcotest.test_case "eventual synchrony" `Quick test_net_eventually_synchronous;
           Alcotest.test_case "counters" `Quick test_net_counters;
